@@ -1,0 +1,97 @@
+//! Criterion benches of every paper figure's experiment — scaled-down runs
+//! of the same harness the `figures` binary uses at full size, so `cargo
+//! bench` exercises one bench target per table/figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsf_bench::figures::{run_scenario, table1, table2};
+use fsf_bench::{ablations, ENGINE_SEED};
+use fsf_engines::EngineKind;
+use fsf_workload::driver::run_kind;
+use fsf_workload::{ScenarioConfig, Workload};
+use std::hint::black_box;
+
+/// Benchmark-sized variants of the paper scenarios.
+const BENCH_SCALE: f64 = 0.06;
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1_subsumption_example", |b| {
+        b.iter(|| black_box(table1().len()));
+    });
+    c.bench_function("table2_approach_matrix", |b| {
+        b.iter(|| black_box(table2().len()));
+    });
+}
+
+/// One bench per figure: the sub-load and event-load figures of a setting
+/// share the run, as in the figures binary.
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    let settings: [(&str, &str, ScenarioConfig, &[EngineKind]); 4] = [
+        ("fig4_fig5_small_scale", "small", ScenarioConfig::small_scale(), &EngineKind::DISTRIBUTED),
+        ("fig6_fig7_medium_scale", "medium", ScenarioConfig::medium_scale(), &EngineKind::ALL),
+        (
+            "fig8_fig9_large_network",
+            "large-net",
+            ScenarioConfig::large_network(),
+            &EngineKind::DISTRIBUTED,
+        ),
+        (
+            "fig10_fig11_large_sources",
+            "large-src",
+            ScenarioConfig::large_sources(),
+            &EngineKind::DISTRIBUTED,
+        ),
+    ];
+    for (bench_name, _, config, kinds) in settings {
+        let cfg = config.scaled(BENCH_SCALE);
+        group.bench_function(bench_name, |b| {
+            b.iter(|| {
+                let data = run_scenario(black_box(&cfg), kinds);
+                black_box(data.results.len())
+            });
+        });
+    }
+
+    // fig12: recall of FSF across settings — FSF-only runs
+    let recall_cfgs: Vec<ScenarioConfig> =
+        ScenarioConfig::paper_settings().into_iter().map(|c| c.scaled(BENCH_SCALE)).collect();
+    group.bench_function("fig12_event_recall", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for cfg in &recall_cfgs {
+                let w = Workload::generate(cfg);
+                let r = run_kind(&w, EngineKind::FilterSplitForward, ENGINE_SEED);
+                total += r.last().recall;
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let cfg = ScenarioConfig::medium_scale().scaled(BENCH_SCALE);
+    group.bench_function("abl1_error_probability", |b| {
+        b.iter(|| black_box(ablations::abl1_error_probability(&cfg).0.series.len()));
+    });
+    group.bench_function("abl2_filter_policy", |b| {
+        b.iter(|| black_box(ablations::abl2_filter_policy(&cfg).series.len()));
+    });
+    group.bench_function("abl3_dedup", |b| {
+        b.iter(|| black_box(ablations::abl3_dedup(&cfg).series.len()));
+    });
+    group.bench_function("abl4_arity", |b| {
+        b.iter(|| black_box(ablations::abl4_arity(&cfg).series.len()));
+    });
+    group.bench_function("ext1_topk", |b| {
+        b.iter(|| black_box(ablations::ext1_topk(&cfg).series.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks of the hot operations: complex-event window
+//! matching, set-filter coverage checks, event-store maintenance, operator
+//! projection, and topology routing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsf_core::events::EventStore;
+use fsf_model::{
+    complex_match, AttrId, Event, EventId, Operator, Point, SensorId, SubId, Subscription,
+    Timestamp, ValueRange,
+};
+use fsf_network::builders;
+use fsf_subsumption::{FilterPolicy, SetFilterConfig, SubscriptionFilter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn mk_op(arity: usize, lo: f64, hi: f64) -> Operator {
+    let s = Subscription::identified(
+        SubId(1),
+        (0..arity as u32).map(|d| (SensorId(d), ValueRange::new(lo, hi))),
+        30,
+    )
+    .unwrap();
+    Operator::from_subscription(&s)
+}
+
+fn mk_events(n: usize, sensors: u32, seed: u64) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let sensor = rng.gen_range(0..sensors);
+            Event {
+                id: EventId(i as u64),
+                sensor: SensorId(sensor),
+                attr: AttrId(sensor as u16),
+                location: Point::new(0.0, 0.0),
+                value: rng.gen_range(0.0..100.0),
+                timestamp: Timestamp(1_000 + (i as u64) * 3),
+            }
+        })
+        .collect()
+}
+
+fn bench_complex_match(c: &mut Criterion) {
+    let mut g = c.benchmark_group("complex_match");
+    for window in [32usize, 128, 512] {
+        let events = mk_events(window, 5, 7);
+        let refs: Vec<&Event> = events.iter().collect();
+        let op = mk_op(5, 20.0, 80.0);
+        g.bench_with_input(BenchmarkId::new("5-way", window), &window, |b, _| {
+            b.iter(|| black_box(complex_match(black_box(&refs), black_box(&op))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_set_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("set_filter");
+    for group in [4usize, 16, 64] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let members: Vec<Operator> = (0..group)
+            .map(|_| {
+                let lo = rng.gen_range(0.0..50.0);
+                mk_op(3, lo, lo + rng.gen_range(10.0..50.0))
+            })
+            .collect();
+        let member_refs: Vec<&Operator> = members.iter().collect();
+        let target = mk_op(3, 30.0, 45.0);
+        g.bench_with_input(BenchmarkId::new("probabilistic", group), &group, |b, _| {
+            let mut f = SubscriptionFilter::new(
+                FilterPolicy::SetFilter(SetFilterConfig::paper_default()),
+                1,
+            );
+            b.iter(|| black_box(f.is_covered(black_box(&target), black_box(&member_refs))));
+        });
+        g.bench_with_input(BenchmarkId::new("pairwise", group), &group, |b, _| {
+            let mut f = SubscriptionFilter::new(FilterPolicy::Pairwise, 1);
+            b.iter(|| black_box(f.is_covered(black_box(&target), black_box(&member_refs))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_store(c: &mut Criterion) {
+    let events = mk_events(10_000, 50, 3);
+    c.bench_function("event_store/insert_10k_with_expiry", |b| {
+        b.iter(|| {
+            let mut store = EventStore::new(60);
+            for e in &events {
+                store.insert(*e);
+            }
+            black_box(store.len())
+        });
+    });
+    let mut store = EventStore::new(1 << 40);
+    for e in &events {
+        store.insert(*e);
+    }
+    c.bench_function("event_store/correlation_band", |b| {
+        b.iter(|| black_box(store.correlation_band(Timestamp(16_000), 30).len()));
+    });
+}
+
+fn bench_projection_and_routing(c: &mut Criterion) {
+    let op = mk_op(5, 0.0, 100.0);
+    let keep: BTreeSet<_> = op.dims().take(3).collect();
+    c.bench_function("operator/project_5_to_3", |b| {
+        b.iter(|| black_box(op.project(black_box(&keep))));
+    });
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let layout = builders::clustered(10, 5, 100, &mut rng);
+    c.bench_function("topology/median_100_nodes", |b| {
+        b.iter(|| black_box(layout.topology.median()));
+    });
+    c.bench_function("topology/path_100_nodes", |b| {
+        b.iter(|| {
+            black_box(layout.topology.path(
+                fsf_network::NodeId(0),
+                fsf_network::NodeId(99),
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_complex_match,
+    bench_set_filter,
+    bench_event_store,
+    bench_projection_and_routing
+);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [targets…] [--scale F]
+//!
+//! targets: all | table1 | table2 | fig4 fig5 … fig12 | abl1 abl2 abl3 abl4 | ext1
+//! --scale F : scale subscription/round volume by F (default 1.0 = paper size)
+//! ```
+//!
+//! Figure pairs share runs (fig4/fig5 are the same experiment's two
+//! metrics), so asking for both costs one run.
+
+use fsf_bench::figures::{figure12, run_scenario, table1, table2, FigureData};
+use fsf_bench::{ablations, Figure};
+use fsf_engines::EngineKind;
+use fsf_workload::ScenarioConfig;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut targets: BTreeSet<String> = BTreeSet::new();
+    let mut scale = 1.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number in (0,1]");
+            }
+            t => {
+                targets.insert(t.to_string());
+            }
+        }
+    }
+    if targets.is_empty() || targets.contains("all") {
+        targets = ["table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig7b", "fig8",
+            "fig9", "fig10", "fig11", "fig12", "abl1", "abl2", "abl3", "abl4", "ext1"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+    }
+    let want = |t: &str| targets.contains(t);
+    let maybe_scale = |c: ScenarioConfig| if scale < 1.0 { c.scaled(scale) } else { c };
+
+    println!("# paper-figure regeneration (scale = {scale})\n");
+    if want("table1") {
+        println!("{}", table1());
+    }
+    if want("table2") {
+        println!("{}", table2());
+    }
+
+    let mut small: Option<FigureData> = None;
+    let mut medium: Option<FigureData> = None;
+    let mut large_net: Option<FigureData> = None;
+    let mut large_src: Option<FigureData> = None;
+
+    let run = |name: &str, cfg: ScenarioConfig, kinds: &[EngineKind]| -> FigureData {
+        let t0 = Instant::now();
+        let data = run_scenario(&cfg, kinds);
+        eprintln!("[{name}] ran {} engines in {:.1?}", kinds.len(), t0.elapsed());
+        data
+    };
+
+    if want("fig4") || want("fig5") || want("fig12") {
+        let d = run(
+            "small-scale",
+            maybe_scale(ScenarioConfig::small_scale()),
+            &EngineKind::DISTRIBUTED,
+        );
+        if want("fig4") {
+            print_fig(d.subscription_load("fig4"));
+        }
+        if want("fig5") {
+            print_fig(d.event_load("fig5"));
+        }
+        small = Some(d);
+    }
+    if want("fig6") || want("fig7") || want("fig12") {
+        // the medium setting also includes the Centralized baseline (§VI-D)
+        let d = run(
+            "medium-scale",
+            maybe_scale(ScenarioConfig::medium_scale()),
+            &EngineKind::ALL,
+        );
+        if want("fig6") {
+            print_fig(d.subscription_load("fig6"));
+        }
+        if want("fig7") {
+            print_fig(d.event_load("fig7"));
+        }
+        medium = Some(d);
+    }
+    if want("fig7b") {
+        let d = run(
+            "medium-high-rate",
+            maybe_scale(fsf_bench::figures::high_rate_config()),
+            &EngineKind::ALL,
+        );
+        print_fig(d.event_load("fig7b"));
+    }
+    if want("fig8") || want("fig9") || want("fig12") {
+        let d = run(
+            "large-network",
+            maybe_scale(ScenarioConfig::large_network()),
+            &EngineKind::DISTRIBUTED,
+        );
+        if want("fig8") {
+            print_fig(d.subscription_load("fig8"));
+        }
+        if want("fig9") {
+            print_fig(d.event_load("fig9"));
+        }
+        large_net = Some(d);
+    }
+    if want("fig10") || want("fig11") || want("fig12") {
+        let d = run(
+            "large-sources",
+            maybe_scale(ScenarioConfig::large_sources()),
+            &EngineKind::DISTRIBUTED,
+        );
+        if want("fig10") {
+            print_fig(d.subscription_load("fig10"));
+        }
+        if want("fig11") {
+            print_fig(d.event_load("fig11"));
+        }
+        large_src = Some(d);
+    }
+    if want("fig12") {
+        let datas: Vec<(&str, &FigureData)> = [
+            ("Small scale", &small),
+            ("Medium scale", &medium),
+            ("Large scale #1", &large_net),
+            ("Large scale #2", &large_src),
+        ]
+        .iter()
+        .filter_map(|(l, d)| d.as_ref().map(|d| (*l, d)))
+        .collect();
+        print_fig(figure12(&datas));
+    }
+
+    // ablations run on a scaled medium setting unless the user scales
+    // explicitly
+    let abl_cfg = if scale < 1.0 {
+        ScenarioConfig::medium_scale().scaled(scale)
+    } else {
+        ScenarioConfig::medium_scale().scaled(0.3)
+    };
+    if want("abl1") {
+        let t0 = Instant::now();
+        let (a, b) = ablations::abl1_error_probability(&abl_cfg);
+        eprintln!("[abl1] {:.1?}", t0.elapsed());
+        print_fig(a);
+        print_fig(b);
+    }
+    if want("abl2") {
+        let t0 = Instant::now();
+        let f = ablations::abl2_filter_policy(&abl_cfg);
+        eprintln!("[abl2] {:.1?}", t0.elapsed());
+        print_fig(f);
+    }
+    if want("abl3") {
+        let t0 = Instant::now();
+        let f = ablations::abl3_dedup(&abl_cfg);
+        eprintln!("[abl3] {:.1?}", t0.elapsed());
+        print_fig(f);
+    }
+    if want("abl4") {
+        let t0 = Instant::now();
+        let f = ablations::abl4_arity(&abl_cfg);
+        eprintln!("[abl4] {:.1?}", t0.elapsed());
+        print_fig(f);
+    }
+    if want("ext1") {
+        let t0 = Instant::now();
+        let f = ablations::ext1_topk(&abl_cfg);
+        eprintln!("[ext1] {:.1?}", t0.elapsed());
+        print_fig(f);
+    }
+}
+
+fn print_fig(f: Figure) {
+    println!("{}", f.render());
+}

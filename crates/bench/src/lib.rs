@@ -1,0 +1,27 @@
+//! # fsf-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§VI), plus the ablations DESIGN.md calls out.
+//!
+//! * `cargo run --release -p fsf-bench --bin figures -- all` — full paper
+//!   runs, printing one aligned table per figure (the series the paper
+//!   plots);
+//! * `cargo bench -p fsf-bench` — criterion micro-benchmarks of the core
+//!   operations and scaled-down end-to-end runs of every figure.
+//!
+//! All runs are deterministic (workload seeds live in the scenario configs;
+//! engine seeds are fixed here).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ablations;
+pub mod figures;
+pub mod render;
+
+pub use figures::{run_scenario, FigureData};
+pub use render::Figure;
+
+/// The fixed engine seed used by every benchmark run (the probabilistic set
+/// filter derives per-node seeds from it).
+pub const ENGINE_SEED: u64 = 42;

@@ -1,0 +1,114 @@
+//! Plain-text rendering of figure data: one aligned table per figure, with
+//! the same series the paper plots.
+
+/// One plotted series (an approach / configuration).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points; `x` is "number of injected queries" in every paper
+    /// figure.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// A renderable figure.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Identifier ("fig4", "abl1", …).
+    pub id: String,
+    /// Title (the paper's caption).
+    pub title: String,
+    /// Y-axis meaning.
+    pub y_label: String,
+    /// Series, in legend order.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Render as an aligned text table: one row per x value, one column per
+    /// series.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        out.push_str(&format!("   (y = {})\n", self.y_label));
+        let width = self
+            .series
+            .iter()
+            .map(|s| s.label.len().max(12))
+            .max()
+            .unwrap_or(12);
+        out.push_str(&format!("{:>8}", "queries"));
+        for s in &self.series {
+            out.push_str(&format!(" {:>width$}", s.label, width = width));
+        }
+        out.push('\n');
+        let xs: Vec<u64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.0).collect())
+            .unwrap_or_default();
+        for (i, x) in xs.iter().enumerate() {
+            out.push_str(&format!("{x:>8}"));
+            for s in &self.series {
+                let y = s.points.get(i).map_or(f64::NAN, |p| p.1);
+                if y.is_nan() {
+                    out.push_str(&format!(" {:>width$}", "-", width = width));
+                } else if y.fract() == 0.0 && y.abs() < 1e15 {
+                    out.push_str(&format!(" {:>width$}", y as i64, width = width));
+                } else {
+                    out.push_str(&format!(" {:>width$.4}", y, width = width));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Final y value of a series by label (for summary lines / assertions).
+    #[must_use]
+    pub fn final_value(&self, label: &str) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.label == label)
+            .and_then(|s| s.points.last())
+            .map(|p| p.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "test".into(),
+            y_label: "units".into(),
+            series: vec![
+                Series { label: "a".into(), points: vec![(100, 1.0), (200, 2.0)] },
+                Series { label: "b".into(), points: vec![(100, 10.0), (200, 0.5)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows_and_labels() {
+        let r = fig().render();
+        assert!(r.contains("figX"));
+        assert!(r.contains("queries"));
+        let lines: Vec<&str> = r.trim().lines().collect();
+        assert_eq!(lines.len(), 5, "{r}");
+        assert!(lines[3].trim_start().starts_with("100"));
+        assert!(lines[4].contains("0.5000"), "fractions keep decimals: {r}");
+        assert!(lines[3].contains(" 1 ") || lines[3].ends_with("10"), "integers render bare");
+    }
+
+    #[test]
+    fn final_value_lookup() {
+        let f = fig();
+        assert_eq!(f.final_value("a"), Some(2.0));
+        assert_eq!(f.final_value("b"), Some(0.5));
+        assert_eq!(f.final_value("nope"), None);
+    }
+}

@@ -1,0 +1,257 @@
+//! The per-node event store `U` of Algorithm 5.
+//!
+//! "All received simple events are stored and indexed by their timestamps
+//! (line 3), to facilitate time correlation. Furthermore, each event has a
+//! corresponding array of flags (line 2: one flag per neighbor), tracking
+//! whether it was forwarded to neighbors, to ensure that no data unit is
+//! sent more than once to the same neighbor."
+//!
+//! Events are dropped once they can no longer time-correlate with future
+//! events ("having a finite event validity reflects the expectation that,
+//! after a given time, no further time-correlations will appear"); the
+//! validity must exceed the largest `δt` in the system (§IV-B).
+
+use fsf_model::{Event, EventId, OperatorKey, SubId, Timestamp};
+use fsf_network::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The granularity of the `sendTo` duplicate-suppression flags — the event
+/// propagation axis of the paper's Table II.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SentScope {
+    /// Per-neighbor ("publish/subscribe forwarding"): a simple event crosses
+    /// each link at most once, no matter how many operators want it —
+    /// Filter-Split-Forward and the multi-join baseline.
+    Link(NodeId),
+    /// Per operator result stream: each operator's result set is forwarded
+    /// independently, so overlapping operators re-send the same event —
+    /// the naive and operator-placement baselines ("per subscription").
+    LinkOp(NodeId, OperatorKey),
+    /// Delivery bookkeeping for a local subscription (avoids re-delivering
+    /// the same simple event to the same user subscription).
+    LocalSub(SubId),
+}
+
+#[derive(Debug, Clone)]
+struct Stored {
+    event: Event,
+    sent: BTreeSet<SentScope>,
+}
+
+/// Timestamp-indexed store of unexpired simple events.
+#[derive(Debug, Clone)]
+pub struct EventStore {
+    by_id: BTreeMap<EventId, Stored>,
+    by_time: BTreeMap<Timestamp, Vec<EventId>>,
+    validity: u64,
+    max_seen: Timestamp,
+}
+
+impl EventStore {
+    /// Create a store that retains events for `validity` time units past the
+    /// newest timestamp observed. `validity` must exceed every operator's
+    /// `δt` for correctness of late correlation.
+    #[must_use]
+    pub fn new(validity: u64) -> Self {
+        assert!(validity > 0, "validity must be positive");
+        EventStore {
+            by_id: BTreeMap::new(),
+            by_time: BTreeMap::new(),
+            validity,
+            max_seen: Timestamp::ZERO,
+        }
+    }
+
+    /// The configured validity horizon.
+    #[must_use]
+    pub fn validity(&self) -> u64 {
+        self.validity
+    }
+
+    /// Insert an event; returns `false` if this event id is already stored
+    /// or has already expired relative to the newest seen timestamp.
+    pub fn insert(&mut self, event: Event) -> bool {
+        if event.timestamp.plus(self.validity) <= self.max_seen {
+            return false; // too old to ever correlate
+        }
+        if self.by_id.contains_key(&event.id) {
+            return false;
+        }
+        self.max_seen = self.max_seen.max(event.timestamp);
+        self.by_time.entry(event.timestamp).or_default().push(event.id);
+        self.by_id.insert(event.id, Stored { event, sent: BTreeSet::new() });
+        self.prune();
+        true
+    }
+
+    /// Drop events older than the validity horizon.
+    pub fn prune(&mut self) {
+        let cutoff = self.max_seen.minus(self.validity);
+        while let Some((&t, _)) = self.by_time.iter().next() {
+            if t >= cutoff {
+                break;
+            }
+            let ids = self.by_time.remove(&t).expect("key just observed");
+            for id in ids {
+                self.by_id.remove(&id);
+            }
+        }
+    }
+
+    /// Events with timestamps in `[lo, hi]`, in `(timestamp, id)` order.
+    #[must_use]
+    pub fn window(&self, lo: Timestamp, hi: Timestamp) -> Vec<&Event> {
+        let mut out = Vec::new();
+        for ids in self.by_time.range(lo..=hi).map(|(_, v)| v) {
+            for id in ids {
+                out.push(&self.by_id[id].event);
+            }
+        }
+        out
+    }
+
+    /// All events within strict `δt` of `t` — the complete candidate set
+    /// for complex events containing an event at `t` (any valid selection
+    /// containing it lies inside this band).
+    #[must_use]
+    pub fn correlation_band(&self, t: Timestamp, delta_t: u64) -> Vec<&Event> {
+        self.window(t.minus(delta_t.saturating_sub(1)), t.plus(delta_t.saturating_sub(1)))
+    }
+
+    /// Was the event already sent under `scope`?
+    #[must_use]
+    pub fn was_sent(&self, id: EventId, scope: &SentScope) -> bool {
+        self.by_id.get(&id).is_some_and(|s| s.sent.contains(scope))
+    }
+
+    /// Mark the event sent under `scope`. Unknown ids are ignored (the event
+    /// may have expired between matching and marking — harmless).
+    pub fn mark_sent(&mut self, id: EventId, scope: SentScope) {
+        if let Some(s) = self.by_id.get_mut(&id) {
+            s.sent.insert(scope);
+        }
+    }
+
+    /// Fetch a stored event.
+    #[must_use]
+    pub fn get(&self, id: EventId) -> Option<&Event> {
+        self.by_id.get(&id).map(|s| &s.event)
+    }
+
+    /// Is the event currently stored?
+    #[must_use]
+    pub fn contains(&self, id: EventId) -> bool {
+        self.by_id.contains_key(&id)
+    }
+
+    /// Number of stored (unexpired) events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Is the store empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Newest timestamp observed (not necessarily still stored).
+    #[must_use]
+    pub fn max_seen(&self) -> Timestamp {
+        self.max_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsf_model::{AttrId, Point, SensorId};
+
+    fn ev(id: u64, t: u64) -> Event {
+        Event {
+            id: EventId(id),
+            sensor: SensorId(1),
+            attr: AttrId(0),
+            location: Point::new(0.0, 0.0),
+            value: 1.0,
+            timestamp: Timestamp(t),
+        }
+    }
+
+    #[test]
+    fn insert_and_window() {
+        let mut s = EventStore::new(100);
+        assert!(s.insert(ev(1, 10)));
+        assert!(s.insert(ev(2, 20)));
+        assert!(s.insert(ev(3, 30)));
+        assert!(!s.insert(ev(1, 10)), "duplicate id");
+        let w = s.window(Timestamp(10), Timestamp(20));
+        assert_eq!(w.iter().map(|e| e.id.0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn expiry_drops_old_events() {
+        let mut s = EventStore::new(50);
+        s.insert(ev(1, 10));
+        s.insert(ev(2, 30));
+        assert_eq!(s.len(), 2);
+        s.insert(ev(3, 100)); // cutoff becomes 50: drops t=10 and t=30
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(EventId(1)));
+        assert!(!s.contains(EventId(2)));
+        assert!(s.contains(EventId(3)));
+    }
+
+    #[test]
+    fn stale_insert_is_rejected() {
+        let mut s = EventStore::new(50);
+        s.insert(ev(1, 100));
+        assert!(!s.insert(ev(2, 10)), "older than validity horizon");
+        assert!(s.insert(ev(3, 60)), "inside horizon is fine");
+    }
+
+    #[test]
+    fn correlation_band_is_strictly_within_delta_t() {
+        let mut s = EventStore::new(1000);
+        for (i, t) in [(1, 70u64), (2, 71), (3, 100), (4, 129), (5, 130)] {
+            s.insert(ev(i, t));
+        }
+        let band = s.correlation_band(Timestamp(100), 30);
+        // [71, 129]: strictly-within-30 of 100
+        assert_eq!(band.iter().map(|e| e.id.0).collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn sent_flags_per_scope() {
+        let mut s = EventStore::new(100);
+        s.insert(ev(1, 10));
+        let link = SentScope::Link(NodeId(3));
+        let sub = SentScope::LocalSub(SubId(7));
+        assert!(!s.was_sent(EventId(1), &link));
+        s.mark_sent(EventId(1), link.clone());
+        assert!(s.was_sent(EventId(1), &link));
+        assert!(!s.was_sent(EventId(1), &SentScope::Link(NodeId(4))));
+        assert!(!s.was_sent(EventId(1), &sub));
+        s.mark_sent(EventId(1), sub.clone());
+        assert!(s.was_sent(EventId(1), &sub));
+        // marking unknown ids is a no-op
+        s.mark_sent(EventId(99), link);
+        assert!(!s.was_sent(EventId(99), &SentScope::Link(NodeId(3))));
+    }
+
+    #[test]
+    fn same_timestamp_events_coexist() {
+        let mut s = EventStore::new(100);
+        s.insert(ev(1, 10));
+        s.insert(ev(2, 10));
+        assert_eq!(s.window(Timestamp(10), Timestamp(10)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "validity")]
+    fn zero_validity_rejected() {
+        let _ = EventStore::new(0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # fsf-core
+//!
+//! The paper's contribution: **Filter-Split-Forward** processing of
+//! continuous multi-join queries (paper §V), implemented as a configurable
+//! publish/subscribe node ([`PubSubNode`]) on top of the `fsf-network`
+//! substrate.
+//!
+//! One node type covers three of the paper's five approaches, because they
+//! share the advertisement / subscription / event propagation skeleton
+//! (Algorithms 1–5) and differ only along two axes of Table II:
+//!
+//! | approach            | subscription filtering | event propagation    |
+//! |---------------------|------------------------|----------------------|
+//! | Naive               | none                   | per-subscription     |
+//! | Operator placement  | pairwise               | per-subscription     |
+//! | Filter-Split-Forward| set filtering          | per-neighbor (dedup) |
+//!
+//! Both axes are [`PubSubConfig`] knobs ([`FilterPolicy`] and
+//! [`DedupMode`]), which also gives the ablation studies for free. The
+//! multi-join and centralized baselines have structurally different
+//! propagation and live in `fsf-engines`.
+//!
+//! Module map:
+//!
+//! * [`store`] — per-neighbor state of Fig. 2: `DSA_m` advertisement stores
+//!   and `S_m` subscription stores (covered/uncovered);
+//! * [`events`] — the timestamp-indexed event store `U` with validity-based
+//!   expiry and `sendTo` flags (per link, per operator-stream, or per local
+//!   subscription);
+//! * [`node`] — [`PubSubNode`]: Algorithms 1 (advertisement propagation),
+//!   2–4 (filter / split / forward), 5 (event propagation and complex-event
+//!   delivery);
+//! * [`ranking`] — the §VII "future work" extension: rank candidate result
+//!   events and forward only the top-k per link.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod events;
+pub mod node;
+pub mod ranking;
+pub mod store;
+
+pub use events::{EventStore, SentScope};
+pub use node::{DedupMode, PubSubConfig, PubSubMsg, PubSubNode, StorageStats};
+pub use ranking::RankPolicy;
+pub use store::{AdvStore, Origin, SubStore};
+
+// Re-export the policy types callers configure nodes with.
+pub use fsf_subsumption::{FilterPolicy, SetFilterConfig};

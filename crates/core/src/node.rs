@@ -1,0 +1,892 @@
+//! The publish/subscribe processing node — Algorithms 1–5 of the paper.
+//!
+//! [`PubSubNode`] implements the full Filter-Split-Forward pipeline:
+//!
+//! * **Advertisement propagation** (Algorithm 1): flooding with per-sensor
+//!   idempotence, storing `DSA_m` per origin;
+//! * **Subscription propagation** (Algorithms 2–4): filter the incoming
+//!   operator against the same-origin, same-signature uncovered set
+//!   (`filter(s, 𝒮)` — policy-configurable), then *split and forward*:
+//!   project the operator onto each neighbor's advertised data space and
+//!   forward the projections along the reverse advertisement paths;
+//! * **Event propagation** (Algorithm 5): store events in the
+//!   timestamp-indexed store, reassemble complex events inside the `δt`
+//!   correlation band, deliver to local subscriptions, and forward matching
+//!   simple events to the neighbors whose operators matched — deduplicated
+//!   per link (Filter-Split-Forward) or per operator stream (the baselines'
+//!   "per subscription" result sets).
+
+use crate::events::{EventStore, SentScope};
+use crate::ranking::RankPolicy;
+use crate::store::{AdvStore, Origin, SubStore};
+use fsf_model::{
+    complex_match, Advertisement, ComplexEvent, DimKey, Event, Operator, Subscription,
+};
+use fsf_network::{ChargeKind, Ctx, NodeBehavior, NodeId};
+use fsf_subsumption::{FilterPolicy, SubscriptionFilter};
+use std::collections::BTreeMap;
+
+/// Result-set duplicate suppression granularity (Table II, "Event
+/// propagation" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupMode {
+    /// "Per neighbor": each simple event crosses a link at most once —
+    /// the publish/subscribe forwarding of Filter-Split-Forward.
+    #[default]
+    PerLink,
+    /// "Per subscription": each operator's result set is an independent
+    /// stream; overlapping operators duplicate events on shared links —
+    /// the naive and operator-placement baselines.
+    PerOperator,
+}
+
+/// Node configuration: the two Table II axes plus bookkeeping knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PubSubConfig {
+    /// Subscription filtering technique (Algorithm 2 policy).
+    pub filter: FilterPolicy,
+    /// Result duplicate-suppression granularity.
+    pub dedup: DedupMode,
+    /// Event-store validity horizon; must exceed the largest `δt` of any
+    /// subscription in the system (§IV-B).
+    pub event_validity: u64,
+    /// Base RNG seed; each node derives its filter seed from this and its id.
+    pub seed: u64,
+    /// Optional top-k ranked forwarding (§VII extension).
+    pub rank: RankPolicy,
+}
+
+impl PubSubConfig {
+    /// Filter-Split-Forward with the paper-default probabilistic set filter.
+    #[must_use]
+    pub fn fsf(event_validity: u64, seed: u64) -> Self {
+        PubSubConfig {
+            filter: FilterPolicy::SetFilter(fsf_subsumption::SetFilterConfig::paper_default()),
+            dedup: DedupMode::PerLink,
+            event_validity,
+            seed,
+            rank: RankPolicy::All,
+        }
+    }
+
+    /// The naive baseline: no filtering, per-subscription result sets.
+    #[must_use]
+    pub fn naive(event_validity: u64, seed: u64) -> Self {
+        PubSubConfig {
+            filter: FilterPolicy::None,
+            dedup: DedupMode::PerOperator,
+            event_validity,
+            seed,
+            rank: RankPolicy::All,
+        }
+    }
+
+    /// The distributed operator-placement baseline: pairwise coverage,
+    /// per-subscription result sets.
+    #[must_use]
+    pub fn operator_placement(event_validity: u64, seed: u64) -> Self {
+        PubSubConfig {
+            filter: FilterPolicy::Pairwise,
+            dedup: DedupMode::PerOperator,
+            event_validity,
+            seed,
+            rank: RankPolicy::All,
+        }
+    }
+}
+
+/// Wire messages of the pub/sub engines.
+///
+/// `SensorUp`, `Subscribe` and `Publish` are *local injections* (the
+/// workload acting as local sensors/users); `Adv`, `Operator` and `Events`
+/// travel between nodes.
+#[derive(Debug, Clone)]
+pub enum PubSubMsg {
+    /// A sensor appears at this node (Algorithm 1, lines 2–7).
+    SensorUp(Advertisement),
+    /// A flooded advertisement from a neighbor (Algorithm 1, lines 8–13).
+    Adv(Advertisement),
+    /// A local user registers a subscription (Algorithm 4, `n == m`).
+    Subscribe(Subscription),
+    /// A correlation operator forwarded by a neighbor.
+    Operator(Operator),
+    /// A local user cancels a subscription ("subscriptions are expected to
+    /// be valid until explicitly removed", §IV-B).
+    Unsubscribe(fsf_model::SubId),
+    /// A correlation operator withdrawn by a neighbor: removals retrace the
+    /// operator's forwarding paths.
+    RemoveOperator(fsf_model::OperatorKey),
+    /// A local sensor publishes a reading (Algorithm 5, `n == m`).
+    Publish(Event),
+    /// Simple events forwarded by a neighbor. The charge units on the link
+    /// may exceed `events.len()` under [`DedupMode::PerOperator`], where the
+    /// same event is billed once per operator stream.
+    Events(Vec<Event>),
+}
+
+/// A node's storage footprint (the paper's Fig. 2 data structures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageStats {
+    /// Advertisements across all `DSA_*` stores.
+    pub advertisements: usize,
+    /// Active (uncovered) operators across all `S_*` stores.
+    pub uncovered_operators: usize,
+    /// Redundant (covered) operators across all `S_*` stores.
+    pub covered_operators: usize,
+    /// Unexpired simple events in `U`.
+    pub stored_events: usize,
+    /// Origin slots with subscription state (local + neighbors).
+    pub origins: usize,
+}
+
+impl StorageStats {
+    /// Total operators (uncovered + covered).
+    #[must_use]
+    pub fn total_operators(&self) -> usize {
+        self.uncovered_operators + self.covered_operators
+    }
+}
+
+/// A publish/subscribe processing node (Fig. 2 state + Algorithms 1–5).
+#[derive(Debug)]
+pub struct PubSubNode {
+    id: NodeId,
+    config: PubSubConfig,
+    adverts: AdvStore,
+    subs: BTreeMap<Origin, SubStore>,
+    filter: SubscriptionFilter,
+    events: EventStore,
+    dropped_unanswerable: u64,
+}
+
+impl PubSubNode {
+    /// Create a node.
+    #[must_use]
+    pub fn new(id: NodeId, config: PubSubConfig) -> Self {
+        // Mix the node id into the filter seed so nodes draw independent
+        // Monte-Carlo samples while staying deterministic per (seed, id).
+        let filter_seed = config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(id.0) + 1));
+        PubSubNode {
+            id,
+            config,
+            adverts: AdvStore::new(),
+            subs: BTreeMap::new(),
+            filter: SubscriptionFilter::new(config.filter, filter_seed),
+            events: EventStore::new(config.event_validity),
+            dropped_unanswerable: 0,
+        }
+    }
+
+    /// The node id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The advertisement store (`DSA_*`), for inspection.
+    #[must_use]
+    pub fn adverts(&self) -> &AdvStore {
+        &self.adverts
+    }
+
+    /// The subscription store for one origin (`S_local` / `S_m`), if any.
+    #[must_use]
+    pub fn subs(&self, origin: Origin) -> Option<&SubStore> {
+        self.subs.get(&origin)
+    }
+
+    /// The event store `U`, for inspection.
+    #[must_use]
+    pub fn events(&self) -> &EventStore {
+        &self.events
+    }
+
+    /// Locally injected subscriptions dropped because some dimension had no
+    /// matching data source (Algorithm 3, line 3).
+    #[must_use]
+    pub fn dropped_unanswerable(&self) -> u64 {
+        self.dropped_unanswerable
+    }
+
+    /// Total operators stored across all origins (uncovered + covered).
+    #[must_use]
+    pub fn stored_operator_count(&self) -> usize {
+        self.subs.values().map(SubStore::len).sum()
+    }
+
+    /// Snapshot of this node's storage footprint — the quantities the
+    /// paper's Fig. 2 / §V discuss ("the gain in memory space … can be
+    /// immediately observed").
+    #[must_use]
+    pub fn storage_stats(&self) -> StorageStats {
+        StorageStats {
+            advertisements: self.adverts.len(),
+            uncovered_operators: self.subs.values().map(|s| s.uncovered.len()).sum(),
+            covered_operators: self.subs.values().map(|s| s.covered.len()).sum(),
+            stored_events: self.events.len(),
+            origins: self.subs.len(),
+        }
+    }
+
+    // ----- Algorithm 1: advertisement propagation -----
+
+    fn handle_advertisement(
+        &mut self,
+        origin: Origin,
+        adv: Advertisement,
+        ctx: &mut Ctx<'_, PubSubMsg>,
+    ) {
+        if !self.adverts.insert(origin, adv) {
+            return; // duplicate — flooding is idempotent
+        }
+        for &j in ctx.neighbors().to_vec().iter() {
+            if Origin::Neighbor(j) != origin {
+                ctx.send(j, PubSubMsg::Adv(adv), ChargeKind::Advertisement, 1);
+            }
+        }
+    }
+
+    // ----- Algorithms 2–4: filter, split, forward -----
+
+    fn handle_operator(&mut self, origin: Origin, op: Operator, ctx: &mut Ctx<'_, PubSubMsg>) {
+        let key = op.key();
+        {
+            let store = self.subs.entry(origin).or_default();
+            if store.uncovered.contains(&key) || store.covered.contains(&key) {
+                return; // idempotent re-delivery
+            }
+        }
+        // Algorithm 4 line 8: filter against the same-origin uncovered set.
+        let covered = {
+            let store = &self.subs[&origin];
+            let group = store.uncovered.group(&op.signature());
+            self.filter.is_covered(&op, &group)
+        };
+        let store = self.subs.get_mut(&origin).expect("created above");
+        if covered {
+            store.covered.insert(op);
+            return;
+        }
+        store.uncovered.insert(op.clone());
+        self.split_and_forward(origin, &op, ctx);
+    }
+
+    /// Algorithm 3: drop locally-injected subscriptions with absent sources,
+    /// then forward the per-neighbor projections of `op` along the reverse
+    /// advertisement paths.
+    fn split_and_forward(&mut self, origin: Origin, op: &Operator, ctx: &mut Ctx<'_, PubSubMsg>) {
+        if origin == Origin::Local {
+            // matching_sources: every dimension needs at least one known
+            // advertisement, otherwise the subscription cannot match events.
+            let supported = op.supported_dims(self.adverts.all());
+            if supported.len() != op.arity() {
+                self.dropped_unanswerable += 1;
+                return;
+            }
+        }
+        for &j in ctx.neighbors().to_vec().iter() {
+            if Origin::Neighbor(j) == origin {
+                continue;
+            }
+            let dims = op.supported_dims(self.adverts.from_origin(Origin::Neighbor(j)));
+            if let Some(projected) = op.project(&dims) {
+                ctx.send(j, PubSubMsg::Operator(projected), ChargeKind::Subscription, 1);
+            }
+        }
+    }
+
+    // ----- explicit removal (§IV-B: state is valid until removed) -----
+
+    /// A local user cancels a subscription: withdraw every stored operator
+    /// of that subscription from the local slot and retrace the removals.
+    fn handle_unsubscribe(&mut self, sub: fsf_model::SubId, ctx: &mut Ctx<'_, PubSubMsg>) {
+        let Some(store) = self.subs.get_mut(&Origin::Local) else { return };
+        let keys: Vec<_> = store
+            .uncovered
+            .keys_of_sub(sub)
+            .into_iter()
+            .chain(store.covered.keys_of_sub(sub))
+            .collect();
+        for key in keys {
+            self.handle_remove(Origin::Local, &key, ctx);
+        }
+    }
+
+    /// Remove one operator identity from `origin`'s slot. If it was active
+    /// (uncovered), (a) forward the removal along the projections it was
+    /// originally forwarded on, and (b) re-evaluate covered same-signature
+    /// operators of this origin — whatever is no longer covered by the
+    /// remaining set is promoted and forwarded as if newly received.
+    fn handle_remove(
+        &mut self,
+        origin: Origin,
+        key: &fsf_model::OperatorKey,
+        ctx: &mut Ctx<'_, PubSubMsg>,
+    ) {
+        let Some(store) = self.subs.get_mut(&origin) else { return };
+        if store.covered.remove(key).is_some() {
+            return; // covered operators were never forwarded
+        }
+        let Some(op) = store.uncovered.remove(key) else { return };
+
+        // (a) retrace the forwarding paths with removal messages
+        for &j in ctx.neighbors().to_vec().iter() {
+            if Origin::Neighbor(j) == origin {
+                continue;
+            }
+            let dims = op.supported_dims(self.adverts.from_origin(Origin::Neighbor(j)));
+            if let Some(projected) = op.project(&dims) {
+                ctx.send(
+                    j,
+                    PubSubMsg::RemoveOperator(projected.key()),
+                    ChargeKind::Subscription,
+                    1,
+                );
+            }
+        }
+
+        // (b) promote covered operators that lost their cover
+        let candidates: Vec<fsf_model::OperatorKey> = self.subs[&origin]
+            .covered
+            .group(&op.signature())
+            .iter()
+            .map(|c| c.key())
+            .collect();
+        for ckey in candidates {
+            let still_covered = {
+                let store = &self.subs[&origin];
+                let Some(c) = store.covered.get(&ckey) else { continue };
+                let group = store.uncovered.group(&c.signature());
+                self.filter.is_covered(c, &group)
+            };
+            if !still_covered {
+                let store = self.subs.get_mut(&origin).expect("exists");
+                let c = store.covered.remove(&ckey).expect("checked above");
+                store.uncovered.insert(c.clone());
+                self.split_and_forward(origin, &c, ctx);
+            }
+        }
+    }
+
+    // ----- Algorithm 5: event propagation -----
+
+    fn handle_event(&mut self, origin: Origin, event: Event, ctx: &mut Ctx<'_, PubSubMsg>) {
+        if !self.events.insert(event) {
+            return; // duplicate or expired — nothing new can match
+        }
+
+        // Local delivery first (j == n), then each neighbor except the
+        // sender (j ∈ neighbor(n) ∖ {m}), in deterministic order.
+        self.deliver_locally(&event, ctx);
+
+        let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
+        for j in neighbors {
+            if Origin::Neighbor(j) == origin {
+                continue;
+            }
+            self.forward_to_neighbor(j, &event, ctx);
+        }
+    }
+
+    /// Operators of `origin` that could involve `event`, via the dimension
+    /// index (both the sensor dimension and the attribute-type dimension).
+    fn candidate_ops(store: &SubStore, event: &Event, include_covered: bool) -> Vec<Operator> {
+        let sensor_dim = DimKey::Sensor(event.sensor);
+        let attr_dim = DimKey::Attr(event.attr);
+        let mut ops: Vec<Operator> = Vec::new();
+        let mut push_from = |table: &fsf_subsumption::OperatorTable| {
+            for d in [&sensor_dim, &attr_dim] {
+                for op in table.ops_with_dim(d) {
+                    if op.matches_simple(event) {
+                        ops.push(op.clone());
+                    }
+                }
+            }
+        };
+        push_from(&store.uncovered);
+        if include_covered {
+            push_from(&store.covered);
+        }
+        ops
+    }
+
+    fn deliver_locally(&mut self, event: &Event, ctx: &mut Ctx<'_, PubSubMsg>) {
+        let Some(store) = self.subs.get(&Origin::Local) else { return };
+        // Local users are served from *all* their subscriptions, covered or
+        // not (Algorithm 5 line 9: "S = S_local", "which are all whole").
+        let ops = Self::candidate_ops(store, event, true);
+        for op in ops {
+            let band = self.events.correlation_band(event.timestamp, op.delta_t());
+            let Some(m) = complex_match(&band, &op) else { continue };
+            let scope = SentScope::LocalSub(op.sub());
+            let new_ids: Vec<_> = m
+                .participants
+                .iter()
+                .map(|&i| band[i].id)
+                .filter(|id| !self.events.was_sent(*id, &scope))
+                .collect();
+            if new_ids.is_empty() {
+                continue;
+            }
+            let complex =
+                ComplexEvent::new(m.participants.iter().map(|&i| *band[i]).collect());
+            drop(band);
+            ctx.deliver(op.sub(), &complex);
+            for id in new_ids {
+                self.events.mark_sent(id, SentScope::LocalSub(op.sub()));
+            }
+        }
+    }
+
+    fn forward_to_neighbor(&mut self, j: NodeId, event: &Event, ctx: &mut Ctx<'_, PubSubMsg>) {
+        let Some(store) = self.subs.get(&Origin::Neighbor(j)) else { return };
+        let ops = Self::candidate_ops(store, event, false);
+        if ops.is_empty() {
+            return;
+        }
+        // Collect the batch of new events for this link; charge units
+        // according to the dedup mode.
+        let mut batch: Vec<Event> = Vec::new();
+        let mut units: u64 = 0;
+        let mut marks: Vec<(fsf_model::EventId, SentScope)> = Vec::new();
+        for op in &ops {
+            let band = self.events.correlation_band(event.timestamp, op.delta_t());
+            let Some(m) = complex_match(&band, op) else { continue };
+            let scope = match self.config.dedup {
+                DedupMode::PerLink => SentScope::Link(j),
+                DedupMode::PerOperator => SentScope::LinkOp(j, op.key()),
+            };
+            let mut new_events: Vec<Event> = Vec::new();
+            for &i in &m.participants {
+                let id = band[i].id;
+                if self.events.was_sent(id, &scope)
+                    || marks.iter().any(|(mid, ms)| *mid == id && *ms == scope)
+                {
+                    continue;
+                }
+                new_events.push(*band[i]);
+            }
+            drop(band);
+            let selected = self.config.rank.select(new_events);
+            for e in &selected {
+                marks.push((e.id, scope.clone()));
+                units += 1;
+                if !batch.iter().any(|b| b.id == e.id) {
+                    batch.push(*e);
+                }
+            }
+        }
+        for (id, scope) in marks {
+            self.events.mark_sent(id, scope);
+        }
+        if !batch.is_empty() {
+            ctx.send(j, PubSubMsg::Events(batch), ChargeKind::Event, units);
+        }
+    }
+}
+
+impl NodeBehavior for PubSubNode {
+    type Msg = PubSubMsg;
+
+    fn on_message(&mut self, from: NodeId, msg: PubSubMsg, ctx: &mut Ctx<'_, PubSubMsg>) {
+        let origin = if from == ctx.node() { Origin::Local } else { Origin::Neighbor(from) };
+        match msg {
+            PubSubMsg::SensorUp(adv) => {
+                debug_assert_eq!(origin, Origin::Local, "SensorUp is a local injection");
+                self.handle_advertisement(Origin::Local, adv, ctx);
+            }
+            PubSubMsg::Adv(adv) => self.handle_advertisement(origin, adv, ctx),
+            PubSubMsg::Subscribe(sub) => {
+                debug_assert_eq!(origin, Origin::Local, "Subscribe is a local injection");
+                self.handle_operator(Origin::Local, Operator::from_subscription(&sub), ctx);
+            }
+            PubSubMsg::Operator(op) => self.handle_operator(origin, op, ctx),
+            PubSubMsg::Unsubscribe(sub) => {
+                debug_assert_eq!(origin, Origin::Local, "Unsubscribe is a local injection");
+                self.handle_unsubscribe(sub, ctx);
+            }
+            PubSubMsg::RemoveOperator(key) => self.handle_remove(origin, &key, ctx),
+            PubSubMsg::Publish(event) => self.handle_event(Origin::Local, event, ctx),
+            PubSubMsg::Events(events) => {
+                for e in events {
+                    self.handle_event(origin, e, ctx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsf_model::{AttrId, EventId, Point, SensorId, SubId, Timestamp, ValueRange};
+    use fsf_network::{builders, Simulator};
+
+    const DT: u64 = 30;
+
+    fn sim(n: usize, config: PubSubConfig) -> Simulator<PubSubNode> {
+        Simulator::new(builders::line(n), |id, _| PubSubNode::new(id, config))
+    }
+
+    fn adv(sensor: u32, attr: u16) -> Advertisement {
+        Advertisement {
+            sensor: SensorId(sensor),
+            attr: AttrId(attr),
+            location: Point::new(sensor as f64, 0.0),
+        }
+    }
+
+    fn sub(id: u64, filters: &[(u32, f64, f64)]) -> Subscription {
+        Subscription::identified(
+            SubId(id),
+            filters.iter().map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
+            DT,
+        )
+        .unwrap()
+    }
+
+    fn ev(id: u64, sensor: u32, attr: u16, v: f64, t: u64) -> Event {
+        Event {
+            id: EventId(id),
+            sensor: SensorId(sensor),
+            attr: AttrId(attr),
+            location: Point::new(sensor as f64, 0.0),
+            value: v,
+            timestamp: Timestamp(t),
+        }
+    }
+
+    /// line: n0 (sensor 1) — n1 — n2 — n3 (user)
+    fn setup_single_sensor(config: PubSubConfig) -> Simulator<PubSubNode> {
+        let mut s = sim(4, config);
+        s.inject_and_run(NodeId(0), PubSubMsg::SensorUp(adv(1, 0)));
+        s
+    }
+
+    #[test]
+    fn advertisement_floods_and_is_stored_per_origin() {
+        let s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        assert_eq!(s.stats.adv_msgs, 3);
+        assert!(s.node(NodeId(3)).adverts().knows_sensor(SensorId(1)));
+        assert_eq!(
+            s.node(NodeId(2)).adverts().from_origin(Origin::Neighbor(NodeId(1))).len(),
+            1
+        );
+        assert_eq!(s.node(NodeId(0)).adverts().from_origin(Origin::Local).len(), 1);
+    }
+
+    #[test]
+    fn subscription_follows_reverse_advertisement_path() {
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        // forwarded over 3 links toward the sensor
+        assert_eq!(s.stats.sub_forwards, 3);
+        // stored at every hop, uncovered
+        assert_eq!(s.node(NodeId(3)).subs(Origin::Local).unwrap().uncovered.len(), 1);
+        assert_eq!(
+            s.node(NodeId(0)).subs(Origin::Neighbor(NodeId(1))).unwrap().uncovered.len(),
+            1
+        );
+    }
+
+    #[test]
+    fn unanswerable_subscription_is_dropped_at_origin() {
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(99, 0.0, 10.0)])));
+        assert_eq!(s.stats.sub_forwards, 0, "no sources — nothing forwarded");
+        assert_eq!(s.node(NodeId(3)).dropped_unanswerable(), 1);
+        // partially answerable is also unanswerable (completeness!)
+        s.inject_and_run(
+            NodeId(3),
+            PubSubMsg::Subscribe(sub(2, &[(1, 0.0, 10.0), (99, 0.0, 10.0)])),
+        );
+        assert_eq!(s.stats.sub_forwards, 0);
+        assert_eq!(s.node(NodeId(3)).dropped_unanswerable(), 2);
+    }
+
+    #[test]
+    fn matching_event_travels_to_subscriber() {
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        assert_eq!(s.stats.event_units, 3, "3 hops");
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
+        assert!(s.deliveries.delivered(SubId(1)).contains(&EventId(100)));
+    }
+
+    #[test]
+    fn non_matching_event_is_filtered_at_the_source() {
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 55.0, 1000)));
+        assert_eq!(s.stats.event_units, 0, "out-of-range events never leave the sensor node");
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 0);
+    }
+
+    #[test]
+    fn event_without_subscription_goes_nowhere() {
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        assert_eq!(s.stats.event_units, 0);
+    }
+
+    /// Two sensors on opposite ends, user in the middle: n0(s1) — n1 — n2(user) — n3 — n4(s2)
+    fn setup_join() -> Simulator<PubSubNode> {
+        let mut s = sim(5, PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(0), PubSubMsg::SensorUp(adv(1, 0)));
+        s.inject_and_run(NodeId(4), PubSubMsg::SensorUp(adv(2, 1)));
+        s.inject_and_run(
+            NodeId(2),
+            PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])),
+        );
+        s
+    }
+
+    #[test]
+    fn join_subscription_splits_at_divergence() {
+        let s = setup_join();
+        // whole op travels nowhere as a whole: at n2 the advertisement paths
+        // diverge, so simple operators go left and right (2+2 links = 4)
+        assert_eq!(s.stats.sub_forwards, 4);
+        let left =
+            s.node(NodeId(1)).subs(Origin::Neighbor(NodeId(2))).unwrap().uncovered.group(
+                &Operator::from_subscription(&sub(9, &[(1, 0.0, 10.0)])).signature(),
+            );
+        assert_eq!(left.len(), 1);
+        assert!(left[0].is_simple());
+    }
+
+    #[test]
+    fn complex_event_assembles_at_divergence_node() {
+        let mut s = setup_join();
+        // sensor 1 fires; no correlation partner yet → travels to n2 (the
+        // simple operator pulls it) but not beyond… actually it must reach
+        // n2 where the join waits; it is 2 hops.
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        let after_first = s.stats.event_units;
+        assert_eq!(after_first, 2, "left event reaches the join node and waits");
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 0, "incomplete: no delivery");
+        // partner arrives within δt → complex event completes at n2
+        s.inject_and_run(NodeId(4), PubSubMsg::Publish(ev(101, 2, 1, 5.0, 1010)));
+        assert_eq!(s.stats.event_units - after_first, 2, "right event: 2 hops to n2");
+        let delivered = s.deliveries.delivered(SubId(1));
+        assert_eq!(delivered.len(), 2, "both simple events delivered");
+        // out-of-window partner does not re-deliver old event
+        s.inject_and_run(NodeId(4), PubSubMsg::Publish(ev(102, 2, 1, 5.0, 2000)));
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 2);
+    }
+
+    #[test]
+    fn per_link_dedup_sends_event_once_for_overlapping_subs() {
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        // two overlapping (but not covering) subscriptions from the same user node
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 6.0)])));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(2, &[(1, 4.0, 10.0)])));
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        // value 5 matches both, but FSF forwards it once per link: 3 units
+        assert_eq!(s.stats.event_units, 3);
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
+        assert_eq!(s.deliveries.delivered(SubId(2)).len(), 1);
+    }
+
+    #[test]
+    fn per_operator_mode_duplicates_overlapping_result_sets() {
+        let mut s = setup_single_sensor(PubSubConfig::naive(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 6.0)])));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(2, &[(1, 4.0, 10.0)])));
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        // two independent result streams over 3 links each
+        assert_eq!(s.stats.event_units, 6);
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
+        assert_eq!(s.deliveries.delivered(SubId(2)).len(), 1);
+    }
+
+    #[test]
+    fn pairwise_coverage_stops_covered_subscription() {
+        let mut s = setup_single_sensor(PubSubConfig::operator_placement(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        let before = s.stats.sub_forwards;
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(2, &[(1, 2.0, 8.0)])));
+        assert_eq!(s.stats.sub_forwards, before, "covered sub adds no traffic");
+        // it is stored covered at the user node
+        assert_eq!(s.node(NodeId(3)).subs(Origin::Local).unwrap().covered.len(), 1);
+        // …and its user still gets deliveries via the covering stream
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        assert_eq!(s.deliveries.delivered(SubId(2)).len(), 1);
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
+    }
+
+    #[test]
+    fn set_filter_catches_union_coverage_where_pairwise_does_not() {
+        let run = |config: PubSubConfig| {
+            let mut s = setup_single_sensor(config);
+            s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 6.0)])));
+            s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(2, &[(1, 4.0, 10.0)])));
+            let before = s.stats.sub_forwards;
+            s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(3, &[(1, 2.0, 8.0)])));
+            (s.stats.sub_forwards - before, s)
+        };
+        let (fsf_added, mut s_fsf) = run(PubSubConfig::fsf(2 * DT, 1));
+        let (pw_added, _) = run(PubSubConfig::operator_placement(2 * DT, 1));
+        assert_eq!(fsf_added, 0, "set filter: [2,8] ⊆ [0,6] ∪ [4,10]");
+        assert_eq!(pw_added, 3, "pairwise cannot see the union");
+        // delivery for the set-covered subscription still works
+        s_fsf.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        assert_eq!(s_fsf.deliveries.delivered(SubId(3)).len(), 1);
+    }
+
+    #[test]
+    fn top_k_ranking_caps_forwarded_events() {
+        let mut cfg = PubSubConfig::fsf(2 * DT, 1);
+        cfg.rank = RankPolicy::TopK(1);
+        let mut s = sim(2, cfg);
+        s.inject_and_run(NodeId(0), PubSubMsg::SensorUp(adv(1, 0)));
+        s.inject_and_run(NodeId(1), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        // burst of three same-window readings; each arrival forwards at most
+        // one *new* event (the newest), so the oldest is suppressed until it
+        // expires
+        s.inject(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        s.inject(NodeId(0), PubSubMsg::Publish(ev(101, 1, 0, 5.0, 1001)));
+        s.inject(NodeId(0), PubSubMsg::Publish(ev(102, 1, 0, 5.0, 1002)));
+        s.run_to_quiescence();
+        assert!(s.stats.event_units <= 3);
+        assert!(!s.deliveries.delivered(SubId(1)).is_empty());
+    }
+
+    #[test]
+    fn storage_stats_reflect_fig2_state() {
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(2, &[(1, 2.0, 8.0)])));
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        let user = s.node(NodeId(3)).storage_stats();
+        assert_eq!(user.advertisements, 1);
+        assert_eq!(user.uncovered_operators, 1, "s2 is covered by s1");
+        assert_eq!(user.covered_operators, 1);
+        assert_eq!(user.total_operators(), 2);
+        assert_eq!(user.origins, 1, "only the local slot");
+        assert!(user.stored_events >= 1, "the delivered event is retained");
+        let relay = s.node(NodeId(1)).storage_stats();
+        assert_eq!(relay.total_operators(), 1, "only the uncovered s1 travelled");
+    }
+
+    #[test]
+    fn unsubscribe_stops_event_flow_and_cleans_stores() {
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
+
+        s.inject_and_run(NodeId(3), PubSubMsg::Unsubscribe(SubId(1)));
+        // the removal retraced the 3 forwarding hops
+        assert_eq!(s.node(NodeId(0)).subs(Origin::Neighbor(NodeId(1))).unwrap().len(), 0);
+        assert_eq!(s.node(NodeId(3)).subs(Origin::Local).unwrap().len(), 0);
+        // further events go nowhere
+        let before = s.stats.event_units;
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(101, 1, 0, 5.0, 2000)));
+        assert_eq!(s.stats.event_units, before);
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1, "no new deliveries");
+    }
+
+    #[test]
+    fn unsubscribing_the_coverer_promotes_the_covered_subscription() {
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(2, &[(1, 2.0, 8.0)])));
+        // s2 is covered at the user node — never forwarded
+        assert_eq!(s.node(NodeId(3)).subs(Origin::Local).unwrap().covered.len(), 1);
+        let before = s.stats.sub_forwards;
+
+        s.inject_and_run(NodeId(3), PubSubMsg::Unsubscribe(SubId(1)));
+        // s2 lost its cover: promoted and forwarded toward the sensor
+        assert_eq!(s.node(NodeId(3)).subs(Origin::Local).unwrap().covered.len(), 0);
+        assert_eq!(s.node(NodeId(3)).subs(Origin::Local).unwrap().uncovered.len(), 1);
+        assert!(s.stats.sub_forwards > before, "promotion re-forwards s2");
+        // and s2 is now served directly
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        assert_eq!(s.deliveries.delivered(SubId(2)).len(), 1);
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 0, "s1 is gone");
+    }
+
+    #[test]
+    fn unsubscribe_unknown_or_twice_is_a_noop() {
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Unsubscribe(SubId(9)));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        s.inject_and_run(NodeId(3), PubSubMsg::Unsubscribe(SubId(1)));
+        let stats = s.stats.clone();
+        s.inject_and_run(NodeId(3), PubSubMsg::Unsubscribe(SubId(1)));
+        assert_eq!(s.stats, stats, "second unsubscribe changes nothing");
+    }
+
+    #[test]
+    fn resubscription_after_removal_works() {
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        s.inject_and_run(NodeId(3), PubSubMsg::Unsubscribe(SubId(1)));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
+    }
+
+    #[test]
+    fn removal_of_join_subscription_cleans_both_branches() {
+        let mut s = setup_join();
+        assert!(s.node(NodeId(1)).subs(Origin::Neighbor(NodeId(2))).is_some());
+        s.inject_and_run(NodeId(2), PubSubMsg::Unsubscribe(SubId(1)));
+        for n in [0u32, 1, 3, 4] {
+            let store = s.node(NodeId(n)).subs(Origin::Neighbor(NodeId(if n < 2 {
+                n + 1
+            } else {
+                n - 1
+            })));
+            assert_eq!(store.map_or(0, |st| st.len()), 0, "node n{n} still holds operators");
+        }
+        let before = s.stats.event_units;
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        s.inject_and_run(NodeId(4), PubSubMsg::Publish(ev(101, 2, 1, 5.0, 1010)));
+        assert_eq!(s.stats.event_units, before, "no event moves after removal");
+    }
+
+    #[test]
+    fn fig3_table1_scenario_end_to_end() {
+        // Topology of the paper's Fig. 3:
+        //        n6(user) — n5 — n4 — n1(sensor a)
+        //                    |     └— n2(sensor b)
+        //                    └— n3(sensor c)
+        // ids: 0=n6 1=n5 2=n4 3=n1 4=n2 5=n3
+        let topo =
+            fsf_network::Topology::from_edges(6, &[(0, 1), (1, 2), (2, 3), (2, 4), (1, 5)])
+                .unwrap();
+        let mut s = Simulator::new(topo, |id, _| {
+            PubSubNode::new(id, PubSubConfig::fsf(2 * DT, 7))
+        });
+        s.inject_and_run(NodeId(3), PubSubMsg::SensorUp(adv(1, 0))); // sensor a
+        s.inject_and_run(NodeId(4), PubSubMsg::SensorUp(adv(2, 1))); // sensor b
+        s.inject_and_run(NodeId(5), PubSubMsg::SensorUp(adv(3, 2))); // sensor c
+
+        // Table I subscriptions, all at n6 (node 0)
+        let s1 = sub(1, &[(1, 50.0, 80.0), (2, 10.0, 30.0)]);
+        let s2 = sub(2, &[(2, 20.0, 40.0), (3, 2.0, 20.0)]);
+        let s3 = sub(3, &[(1, 55.0, 75.0), (2, 15.0, 35.0), (3, 5.0, 15.0)]);
+        s.inject_and_run(NodeId(0), PubSubMsg::Subscribe(s1));
+        s.inject_and_run(NodeId(0), PubSubMsg::Subscribe(s2));
+        let before_s3 = s.stats.sub_forwards;
+        s.inject_and_run(NodeId(0), PubSubMsg::Subscribe(s3));
+        let s3_forwards = s.stats.sub_forwards - before_s3;
+        // s3's parts die where covering operators reside: fa,3 at n1, fb,3
+        // at n2 (set cover by fb,1 ∪ fb,2!), fc,3 at n3 (or earlier).
+        // It must not add traffic beyond the paths to those nodes (5 hops:
+        // n6→n5, n5→n4 (ab), n4→n1, n4→n2, n5→n3).
+        assert!(s3_forwards <= 5, "s3 added {s3_forwards} forwards");
+
+        // events matching all three subscriptions
+        s.inject_and_run(NodeId(3), PubSubMsg::Publish(ev(100, 1, 0, 60.0, 1000))); // a=60
+        s.inject_and_run(NodeId(4), PubSubMsg::Publish(ev(101, 2, 1, 25.0, 1005))); // b=25
+        s.inject_and_run(NodeId(5), PubSubMsg::Publish(ev(102, 3, 2, 10.0, 1010))); // c=10
+        // s1 = (a,b), s2 = (b,c), s3 = (a,b,c) must all be served
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 2);
+        assert_eq!(s.deliveries.delivered(SubId(2)).len(), 2);
+        assert_eq!(s.deliveries.delivered(SubId(3)).len(), 3, "subsumed s3 still delivered");
+    }
+}

@@ -1,0 +1,191 @@
+//! Per-node state tables — the data structures of the paper's Fig. 2.
+//!
+//! A node keeps, *per neighbor* `m` plus one "local" slot:
+//!
+//! * `DSA_m` — advertisements received from `m` ([`AdvStore`]);
+//! * `S_m` — subscriptions/operators received from `m`, split into the
+//!   uncovered set (candidates for forwarding and event matching) and the
+//!   covered set (stored but redundant; Algorithm 4 lines 8–13).
+
+use fsf_model::{Advertisement, SensorId};
+use fsf_network::NodeId;
+use fsf_subsumption::OperatorTable;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where a piece of state came from: a local user/sensor or a neighbor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Origin {
+    /// Local sensors / local users at this node (`DSA_local`, `S_local`).
+    Local,
+    /// The neighbor the item was received from (`DSA_m`, `S_m`).
+    Neighbor(NodeId),
+}
+
+impl std::fmt::Display for Origin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Origin::Local => write!(f, "local"),
+            Origin::Neighbor(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// The advertisement side of a node's state: one `DSA` list per origin,
+/// plus a global seen-set to make flooding idempotent.
+#[derive(Debug, Default, Clone)]
+pub struct AdvStore {
+    per_origin: BTreeMap<Origin, Vec<Advertisement>>,
+    seen: BTreeSet<SensorId>,
+}
+
+impl AdvStore {
+    /// Empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an advertisement from `origin`. Returns `false` if this
+    /// sensor's advertisement was already known (duplicate flood/re-inject),
+    /// in which case nothing is stored and nothing should be re-forwarded.
+    pub fn insert(&mut self, origin: Origin, adv: Advertisement) -> bool {
+        if !self.seen.insert(adv.sensor) {
+            return false;
+        }
+        self.per_origin.entry(origin).or_default().push(adv);
+        true
+    }
+
+    /// The advertisements received from one origin (`DSA_m` / `DSA_local`).
+    #[must_use]
+    pub fn from_origin(&self, origin: Origin) -> &[Advertisement] {
+        self.per_origin.get(&origin).map_or(&[], Vec::as_slice)
+    }
+
+    /// All known advertisements, origin-sorted (deterministic) — the node's
+    /// whole view of the data-source space, used for the origin-node
+    /// `matching_sources` check of Algorithm 3.
+    pub fn all(&self) -> impl Iterator<Item = &Advertisement> {
+        self.per_origin.values().flatten()
+    }
+
+    /// Has any advertisement of this sensor been seen?
+    #[must_use]
+    pub fn knows_sensor(&self, sensor: SensorId) -> bool {
+        self.seen.contains(&sensor)
+    }
+
+    /// Total advertisements stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Is the store empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Origins with at least one advertisement.
+    pub fn origins(&self) -> impl Iterator<Item = Origin> + '_ {
+        self.per_origin.keys().copied()
+    }
+}
+
+/// The subscription side of one origin slot: uncovered and covered halves.
+///
+/// "Both covered and uncovered subscriptions must be stored: even though
+/// only uncovered subscriptions are candidates for forwarding to neighbors,
+/// all subscriptions define the correlation needs of the neighbors or local
+/// users" (§V-B).
+#[derive(Debug, Default, Clone)]
+pub struct SubStore {
+    /// `𝒮_uncovered`: drives forwarding and event matching toward this
+    /// origin.
+    pub uncovered: OperatorTable,
+    /// `𝒮_covered`: redundant operators, kept for completeness/inspection
+    /// (and, at the local slot, matched for delivery — local user
+    /// subscriptions are served whether covered or not).
+    pub covered: OperatorTable,
+}
+
+impl SubStore {
+    /// Empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total operators in both halves.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.uncovered.len() + self.covered.len()
+    }
+
+    /// Is the store empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.uncovered.is_empty() && self.covered.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsf_model::{AttrId, Point};
+
+    fn adv(sensor: u32) -> Advertisement {
+        Advertisement {
+            sensor: SensorId(sensor),
+            attr: AttrId(0),
+            location: Point::new(0.0, 0.0),
+        }
+    }
+
+    #[test]
+    fn adv_store_dedups_by_sensor() {
+        let mut s = AdvStore::new();
+        assert!(s.insert(Origin::Local, adv(1)));
+        assert!(!s.insert(Origin::Local, adv(1)), "same sensor twice");
+        assert!(!s.insert(Origin::Neighbor(NodeId(2)), adv(1)), "even from elsewhere");
+        assert!(s.insert(Origin::Neighbor(NodeId(2)), adv(2)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.from_origin(Origin::Local).len(), 1);
+        assert_eq!(s.from_origin(Origin::Neighbor(NodeId(2))).len(), 1);
+        assert_eq!(s.from_origin(Origin::Neighbor(NodeId(9))).len(), 0);
+        assert!(s.knows_sensor(SensorId(1)));
+        assert!(!s.knows_sensor(SensorId(9)));
+        assert_eq!(s.all().count(), 2);
+    }
+
+    #[test]
+    fn origin_ordering_puts_local_first() {
+        let mut s = AdvStore::new();
+        s.insert(Origin::Neighbor(NodeId(5)), adv(5));
+        s.insert(Origin::Local, adv(1));
+        let origins: Vec<Origin> = s.origins().collect();
+        assert_eq!(origins, vec![Origin::Local, Origin::Neighbor(NodeId(5))]);
+    }
+
+    #[test]
+    fn substore_counts_both_halves() {
+        use fsf_model::{Operator, SubId, Subscription, ValueRange};
+        let op = |id: u64| {
+            Operator::from_subscription(
+                &Subscription::identified(
+                    SubId(id),
+                    [(SensorId(1), ValueRange::new(0.0, 1.0))],
+                    30,
+                )
+                .unwrap(),
+            )
+        };
+        let mut s = SubStore::new();
+        assert!(s.is_empty());
+        s.uncovered.insert(op(1));
+        s.covered.insert(op(2));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,371 @@
+//! The uniform engine facade the experiment driver runs against.
+
+use crate::centralized::{CentralMsg, CentralNode};
+use crate::multijoin::{MjMsg, MjNode};
+use fsf_core::{PubSubConfig, PubSubMsg, PubSubNode};
+use fsf_model::{Advertisement, Event, Subscription};
+use fsf_network::{DeliveryLog, NodeId, Simulator, Topology, TrafficStats};
+
+/// A continuous-query engine under test: inject workload items, flush the
+/// network, read traffic and deliveries.
+pub trait Engine {
+    /// Human-readable approach name (paper §VI naming).
+    fn name(&self) -> &'static str;
+    /// A sensor appears at `node` (advertises itself).
+    fn inject_sensor(&mut self, node: NodeId, adv: Advertisement);
+    /// A user registers a subscription at `node`.
+    fn inject_subscription(&mut self, node: NodeId, sub: Subscription);
+    /// A sensor at `node` publishes a reading.
+    fn inject_event(&mut self, node: NodeId, event: Event);
+    /// Process all queued messages to quiescence.
+    fn flush(&mut self);
+    /// Accumulated traffic counters.
+    fn stats(&self) -> &TrafficStats;
+    /// Accumulated end-user deliveries.
+    fn deliveries(&self) -> &DeliveryLog;
+}
+
+/// The five approaches of the paper's evaluation (§VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EngineKind {
+    /// All subscriptions and events to the graph median; matching there.
+    Centralized,
+    /// No filtering, per-subscription result sets.
+    Naive,
+    /// Pairwise coverage sharing, per-subscription result sets.
+    OperatorPlacement,
+    /// Binary-join decomposition at divergence nodes, per-link dedup.
+    MultiJoin,
+    /// The paper's contribution: set filtering + split/forward + per-link
+    /// publish/subscribe event propagation.
+    FilterSplitForward,
+}
+
+impl EngineKind {
+    /// All five, in the paper's presentation order.
+    pub const ALL: [EngineKind; 5] = [
+        EngineKind::Centralized,
+        EngineKind::Naive,
+        EngineKind::OperatorPlacement,
+        EngineKind::MultiJoin,
+        EngineKind::FilterSplitForward,
+    ];
+
+    /// The four distributed approaches (the small/large-scale figures omit
+    /// the centralized baseline).
+    pub const DISTRIBUTED: [EngineKind; 4] = [
+        EngineKind::Naive,
+        EngineKind::OperatorPlacement,
+        EngineKind::MultiJoin,
+        EngineKind::FilterSplitForward,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Centralized => "Centralized",
+            EngineKind::Naive => "Naive approach",
+            EngineKind::OperatorPlacement => "Distributed operator placement",
+            EngineKind::MultiJoin => "Distributed multi-join",
+            EngineKind::FilterSplitForward => "Filter-Split-Forward",
+        }
+    }
+
+    /// The paper's Table II row: (subscription filtering, subscription
+    /// splitting, event propagation).
+    #[must_use]
+    pub fn table2_row(&self) -> (&'static str, &'static str, &'static str) {
+        match self {
+            EngineKind::Centralized => ("None", "None", "Full result sets"),
+            EngineKind::Naive => ("None", "Simple", "Full result sets"),
+            EngineKind::OperatorPlacement => ("Pair wise", "Simple", "Per subscription"),
+            EngineKind::MultiJoin => ("Pair wise", "Binary joins", "Per neighbor"),
+            EngineKind::FilterSplitForward => ("Set filtering", "Simple", "Per neighbor"),
+        }
+    }
+
+    /// Build an engine instance over `topology`.
+    ///
+    /// `event_validity` must exceed the workload's `δt`; `seed` feeds the
+    /// probabilistic set filter (Filter-Split-Forward only).
+    #[must_use]
+    pub fn build(&self, topology: Topology, event_validity: u64, seed: u64) -> Box<dyn Engine> {
+        match self {
+            EngineKind::Centralized => Box::new(CentralEngine::new(topology, event_validity)),
+            EngineKind::Naive => Box::new(PubSubEngine::new(
+                "Naive approach",
+                topology,
+                PubSubConfig::naive(event_validity, seed),
+            )),
+            EngineKind::OperatorPlacement => Box::new(PubSubEngine::new(
+                "Distributed operator placement",
+                topology,
+                PubSubConfig::operator_placement(event_validity, seed),
+            )),
+            EngineKind::MultiJoin => Box::new(MjEngine::new(topology, event_validity)),
+            EngineKind::FilterSplitForward => Box::new(PubSubEngine::new(
+                "Filter-Split-Forward",
+                topology,
+                PubSubConfig::fsf(event_validity, seed),
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Engine wrapper for the `fsf-core` pub/sub node family (naive, operator
+/// placement, Filter-Split-Forward, and any ablation configuration).
+pub struct PubSubEngine {
+    name: &'static str,
+    sim: Simulator<PubSubNode>,
+}
+
+impl PubSubEngine {
+    /// Build with an explicit configuration (used for ablations).
+    #[must_use]
+    pub fn new(name: &'static str, topology: Topology, config: PubSubConfig) -> Self {
+        let sim = Simulator::new(topology, |id, _| PubSubNode::new(id, config));
+        PubSubEngine { name, sim }
+    }
+
+    /// Access the underlying simulator (tests / inspection).
+    #[must_use]
+    pub fn simulator(&self) -> &Simulator<PubSubNode> {
+        &self.sim
+    }
+}
+
+impl Engine for PubSubEngine {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn inject_sensor(&mut self, node: NodeId, adv: Advertisement) {
+        self.sim.inject(node, PubSubMsg::SensorUp(adv));
+    }
+    fn inject_subscription(&mut self, node: NodeId, sub: Subscription) {
+        self.sim.inject(node, PubSubMsg::Subscribe(sub));
+    }
+    fn inject_event(&mut self, node: NodeId, event: Event) {
+        self.sim.inject(node, PubSubMsg::Publish(event));
+    }
+    fn flush(&mut self) {
+        self.sim.run_to_quiescence();
+    }
+    fn stats(&self) -> &TrafficStats {
+        &self.sim.stats
+    }
+    fn deliveries(&self) -> &DeliveryLog {
+        &self.sim.deliveries
+    }
+}
+
+/// Engine wrapper for the multi-join baseline.
+pub struct MjEngine {
+    sim: Simulator<MjNode>,
+}
+
+impl MjEngine {
+    /// Build over a topology.
+    #[must_use]
+    pub fn new(topology: Topology, event_validity: u64) -> Self {
+        let sim = Simulator::new(topology, |id, _| MjNode::new(id, event_validity));
+        MjEngine { sim }
+    }
+}
+
+impl Engine for MjEngine {
+    fn name(&self) -> &'static str {
+        "Distributed multi-join"
+    }
+    fn inject_sensor(&mut self, node: NodeId, adv: Advertisement) {
+        self.sim.inject(node, MjMsg::SensorUp(adv));
+    }
+    fn inject_subscription(&mut self, node: NodeId, sub: Subscription) {
+        self.sim.inject(node, MjMsg::Subscribe(sub));
+    }
+    fn inject_event(&mut self, node: NodeId, event: Event) {
+        self.sim.inject(node, MjMsg::Publish(event));
+    }
+    fn flush(&mut self) {
+        self.sim.run_to_quiescence();
+    }
+    fn stats(&self) -> &TrafficStats {
+        &self.sim.stats
+    }
+    fn deliveries(&self) -> &DeliveryLog {
+        &self.sim.deliveries
+    }
+}
+
+/// Engine wrapper for the centralized baseline.
+pub struct CentralEngine {
+    sim: Simulator<CentralNode>,
+}
+
+impl CentralEngine {
+    /// Build over a topology; the centre is the graph median.
+    #[must_use]
+    pub fn new(topology: Topology, event_validity: u64) -> Self {
+        let center = topology.median();
+        let sim =
+            Simulator::new(topology, move |id, t| CentralNode::new(id, t, center, event_validity));
+        CentralEngine { sim }
+    }
+}
+
+impl Engine for CentralEngine {
+    fn name(&self) -> &'static str {
+        "Centralized"
+    }
+    fn inject_sensor(&mut self, _node: NodeId, _adv: Advertisement) {
+        // the centralized scheme needs no advertisements: sensors stream to
+        // the centre unconditionally
+    }
+    fn inject_subscription(&mut self, node: NodeId, sub: Subscription) {
+        self.sim.inject(node, CentralMsg::Subscribe(sub));
+    }
+    fn inject_event(&mut self, node: NodeId, event: Event) {
+        self.sim.inject(node, CentralMsg::Publish(event));
+    }
+    fn flush(&mut self) {
+        self.sim.run_to_quiescence();
+    }
+    fn stats(&self) -> &TrafficStats {
+        &self.sim.stats
+    }
+    fn deliveries(&self) -> &DeliveryLog {
+        &self.sim.deliveries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsf_model::{AttrId, EventId, Point, SensorId, SubId, Timestamp, ValueRange};
+    use fsf_network::builders;
+
+    const DT: u64 = 30;
+
+    fn adv(sensor: u32, attr: u16) -> Advertisement {
+        Advertisement {
+            sensor: SensorId(sensor),
+            attr: AttrId(attr),
+            location: Point::new(sensor as f64, 0.0),
+        }
+    }
+
+    fn sub(id: u64, filters: &[(u32, f64, f64)]) -> Subscription {
+        Subscription::identified(
+            SubId(id),
+            filters.iter().map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
+            DT,
+        )
+        .unwrap()
+    }
+
+    fn ev(id: u64, sensor: u32, attr: u16, v: f64, t: u64) -> Event {
+        Event {
+            id: EventId(id),
+            sensor: SensorId(sensor),
+            attr: AttrId(attr),
+            location: Point::new(sensor as f64, 0.0),
+            value: v,
+            timestamp: Timestamp(t),
+        }
+    }
+
+    /// Drive all five engines through the same small join workload; all
+    /// deterministic approaches must deliver the identical result set.
+    #[test]
+    fn all_engines_deliver_identical_results_on_a_join() {
+        let mut per_engine = Vec::new();
+        for kind in EngineKind::ALL {
+            let mut e = kind.build(builders::balanced(9, 2), 2 * DT, 7);
+            // sensors at leaves 5 and 6, user at leaf 8
+            e.inject_sensor(NodeId(5), adv(1, 0));
+            e.inject_sensor(NodeId(6), adv(2, 1));
+            e.flush();
+            e.inject_subscription(NodeId(8), sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)]));
+            e.flush();
+            for (i, (sensor, node, v, t)) in [
+                (1u32, 5u32, 5.0, 1000u64),
+                (2, 6, 5.0, 1010),
+                (1, 5, 50.0, 1020),  // out of range
+                (2, 6, 5.0, 2000),   // out of window (no partner)
+                (1, 5, 7.0, 2005),   // pairs with the previous one
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let attr = sensor as u16 - 1;
+                e.inject_event(NodeId(node), ev(100 + i as u64, sensor, attr, v, t));
+                e.flush();
+            }
+            let delivered = e.deliveries().delivered(SubId(1)).clone();
+            per_engine.push((kind.name(), delivered));
+        }
+        let reference = per_engine[0].1.clone();
+        assert_eq!(reference.len(), 4, "two complete complex events");
+        for (name, delivered) in &per_engine {
+            assert_eq!(delivered, &reference, "{name} diverged");
+        }
+    }
+
+    /// Traffic ordering on a workload with overlap: naive ≥ operator
+    /// placement ≥ FSF for both loads; centralized has the lowest
+    /// subscription load.
+    #[test]
+    fn traffic_ordering_matches_the_paper() {
+        let run = |kind: EngineKind| {
+            let mut e = kind.build(builders::balanced(9, 2), 2 * DT, 7);
+            e.inject_sensor(NodeId(5), adv(1, 0));
+            e.inject_sensor(NodeId(6), adv(2, 1));
+            e.flush();
+            // overlapping subscriptions from the same user node
+            e.inject_subscription(NodeId(8), sub(1, &[(1, 0.0, 6.0), (2, 0.0, 10.0)]));
+            e.inject_subscription(NodeId(8), sub(2, &[(1, 4.0, 10.0), (2, 0.0, 10.0)]));
+            e.inject_subscription(NodeId(8), sub(3, &[(1, 1.0, 5.0), (2, 1.0, 9.0)]));
+            e.flush();
+            let mut eid = 0;
+            for t in (1000..1600).step_by(40) {
+                eid += 1;
+                e.inject_event(NodeId(5), ev(eid, 1, 0, 5.0, t));
+                eid += 1;
+                e.inject_event(NodeId(6), ev(eid, 2, 1, 5.0, t + 5));
+                e.flush();
+            }
+            (e.stats().sub_forwards, e.stats().event_units)
+        };
+        let (sub_c, _ev_c) = run(EngineKind::Centralized);
+        let (sub_n, ev_n) = run(EngineKind::Naive);
+        let (sub_o, ev_o) = run(EngineKind::OperatorPlacement);
+        let (sub_f, ev_f) = run(EngineKind::FilterSplitForward);
+        assert!(sub_c <= sub_f, "centralized has the lowest subscription load");
+        assert!(sub_n >= sub_o, "naive ≥ operator placement: {sub_n} vs {sub_o}");
+        assert!(sub_o >= sub_f, "operator placement ≥ FSF: {sub_o} vs {sub_f}");
+        assert!(ev_n >= ev_o, "naive ≥ operator placement events: {ev_n} vs {ev_o}");
+        assert!(ev_o >= ev_f, "operator placement ≥ FSF events: {ev_o} vs {ev_f}");
+        assert!(ev_n > ev_f, "sanity: overlap makes naive strictly worse");
+    }
+
+    #[test]
+    fn table2_matrix_is_complete() {
+        assert_eq!(EngineKind::ALL.len(), 5);
+        for kind in EngineKind::ALL {
+            let (f, s, e) = kind.table2_row();
+            assert!(!f.is_empty() && !s.is_empty() && !e.is_empty());
+            assert!(!kind.name().is_empty());
+        }
+        assert_eq!(
+            EngineKind::FilterSplitForward.table2_row(),
+            ("Set filtering", "Simple", "Per neighbor")
+        );
+        assert_eq!(EngineKind::DISTRIBUTED.len(), 4);
+    }
+}

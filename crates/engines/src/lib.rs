@@ -1,0 +1,28 @@
+//! # fsf-engines
+//!
+//! The five approaches of the paper's evaluation (§VI, Table II), behind a
+//! uniform [`Engine`] facade:
+//!
+//! | approach                    | filtering   | splitting    | events           |
+//! |-----------------------------|-------------|--------------|------------------|
+//! | [`EngineKind::Centralized`] | none        | none         | full result sets |
+//! | [`EngineKind::Naive`]       | none        | simple       | full result sets |
+//! | [`EngineKind::OperatorPlacement`] | pairwise | simple    | per subscription |
+//! | [`EngineKind::MultiJoin`]   | pairwise    | binary joins | per neighbor     |
+//! | [`EngineKind::FilterSplitForward`] | set filtering | simple | per neighbor |
+//!
+//! Naive, operator placement and Filter-Split-Forward are configurations of
+//! `fsf-core`'s [`fsf_core::PubSubNode`]; the centralized and multi-join
+//! approaches have structurally different propagation and are implemented
+//! here ([`centralized`], [`multijoin`]).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod api;
+pub mod centralized;
+pub mod multijoin;
+
+pub use api::{Engine, EngineKind, PubSubEngine};
+pub use centralized::{CentralMsg, CentralNode};
+pub use multijoin::{MjMsg, MjNode};

@@ -1,0 +1,31 @@
+//! The distributed multi-join baseline (paper §III-B, §VI).
+//!
+//! A distributed adaptation of Chandramouli & Yang's binary-join
+//! decomposition (\[7\], VLDB 2008): multi-join subscriptions travel whole
+//! along the reverse advertisement path until the **first divergence node**,
+//! which "acts in a way as the centralized server" — it splits the
+//! multi-join into *binary joins* over (main, filtering) attribute pairs and
+//! sends the individual value filters on toward the data sources.
+//!
+//! Each binary join `(a | b)` is evaluated at the lowest node that sees both
+//! streams; its result set is the *main* attribute's events sanctioned by a
+//! window-correlated *filtering* event. Every dimension of a multi-join is
+//! the main of exactly one binary join (ring pairing over the sorted
+//! dimensions), so all requested streams flow to the user. Result streams
+//! are single-attribute, so publish/subscribe forwarding deduplicates them
+//! per link ("per neighbor", Table II) — but sanctioning is only pairwise,
+//! so **false positives** (events passing their binary join while the full
+//! multi-join has no match) travel all the way to the user, where final
+//! filtering drops them. That false-positive traffic is exactly what
+//! Filter-Split-Forward beats (Figs. 5/7/9/11).
+//!
+//! Subscription filtering is pairwise coverage, applied to multi-joins and
+//! binary joins alike ("binary joins with the same signature").
+
+mod node;
+mod ops;
+mod store;
+
+pub use node::{MjMsg, MjNode};
+pub use ops::{ring_pairs, MjKey, MjWireOp, WireKind};
+pub use store::{MjStore, StoredMj, StoredRole};

@@ -1,0 +1,583 @@
+//! The multi-join processing node.
+
+use super::ops::{ring_pairs, MjKey, MjWireOp, WireKind};
+use super::store::{MjStore, StoredMj, StoredRole};
+use fsf_core::events::{EventStore, SentScope};
+use fsf_core::store::{AdvStore, Origin};
+use fsf_model::{
+    complex_match, Advertisement, ComplexEvent, DimKey, Event, Operator, Subscription,
+};
+use fsf_network::{ChargeKind, Ctx, NodeBehavior, NodeId};
+use fsf_subsumption::pairwise;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Wire messages of the multi-join engine.
+#[derive(Debug, Clone)]
+pub enum MjMsg {
+    /// A sensor appears at this node (local injection).
+    SensorUp(Advertisement),
+    /// A flooded advertisement.
+    Adv(Advertisement),
+    /// A local user registers a subscription.
+    Subscribe(Subscription),
+    /// A forwarded operator (multi-join, binary join, or simple filter).
+    Op(MjWireOp),
+    /// A local sensor publishes a reading.
+    Publish(Event),
+    /// Simple events forwarded by a neighbor (per-link deduplicated).
+    Events(Vec<Event>),
+}
+
+/// A node of the distributed multi-join engine.
+#[derive(Debug)]
+pub struct MjNode {
+    id: NodeId,
+    adverts: AdvStore,
+    stores: BTreeMap<Origin, MjStore>,
+    events: EventStore,
+    /// Operators already forwarded per neighbor — the sibling binary joins
+    /// of one multi-join share simple filters, which must not be sent twice.
+    forwarded: BTreeSet<(NodeId, MjKey)>,
+    dropped_unanswerable: u64,
+}
+
+impl MjNode {
+    /// Create a node. `event_validity` as for the other engines.
+    #[must_use]
+    pub fn new(id: NodeId, event_validity: u64) -> Self {
+        MjNode {
+            id,
+            adverts: AdvStore::new(),
+            stores: BTreeMap::new(),
+            events: EventStore::new(event_validity),
+            forwarded: BTreeSet::new(),
+            dropped_unanswerable: 0,
+        }
+    }
+
+    /// The node id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The store for one origin, if any.
+    #[must_use]
+    pub fn store(&self, origin: Origin) -> Option<&MjStore> {
+        self.stores.get(&origin)
+    }
+
+    /// The advertisement store.
+    #[must_use]
+    pub fn adverts(&self) -> &AdvStore {
+        &self.adverts
+    }
+
+    /// Locally injected subscriptions dropped for missing sources.
+    #[must_use]
+    pub fn dropped_unanswerable(&self) -> u64 {
+        self.dropped_unanswerable
+    }
+
+    // ----- advertisements (same flooding as Algorithm 1) -----
+
+    fn handle_advertisement(&mut self, origin: Origin, adv: Advertisement, ctx: &mut Ctx<'_, MjMsg>) {
+        if !self.adverts.insert(origin, adv) {
+            return;
+        }
+        for &j in ctx.neighbors().to_vec().iter() {
+            if Origin::Neighbor(j) != origin {
+                ctx.send(j, MjMsg::Adv(adv), ChargeKind::Advertisement, 1);
+            }
+        }
+    }
+
+    // ----- subscriptions -----
+
+    fn send_op(&mut self, j: NodeId, wire: MjWireOp, ctx: &mut Ctx<'_, MjMsg>) {
+        if self.forwarded.insert((j, wire.key())) {
+            ctx.send(j, MjMsg::Op(wire), ChargeKind::Subscription, 1);
+        }
+    }
+
+    /// Neighbors (excluding `origin`) that advertise *all* the given dims.
+    fn full_support_neighbors(
+        &self,
+        op: &Operator,
+        origin: Origin,
+        neighbors: &[NodeId],
+    ) -> Vec<NodeId> {
+        neighbors
+            .iter()
+            .copied()
+            .filter(|&j| Origin::Neighbor(j) != origin)
+            .filter(|&j| {
+                let sup = op.supported_dims(self.adverts.from_origin(Origin::Neighbor(j)));
+                sup.len() == op.arity()
+            })
+            .collect()
+    }
+
+    fn handle_operator(
+        &mut self,
+        origin: Origin,
+        wire: MjWireOp,
+        is_user_sub: bool,
+        ctx: &mut Ctx<'_, MjMsg>,
+    ) {
+        let key = wire.key();
+        if self.stores.entry(origin).or_default().contains(&key) {
+            return;
+        }
+        // Pairwise coverage filtering, per (signature, main) group.
+        let covered = {
+            let group = self.stores[&origin].filter_group(&key);
+            pairwise::covered_by_any(&wire.op, group)
+        };
+        if covered {
+            // role is irrelevant for covered operators (never matched); keep
+            // a conservative default for inspection.
+            let role = match wire.kind {
+                WireKind::Multi => StoredRole::MultiAbove,
+                WireKind::Binary { main } => StoredRole::BinaryEval { main },
+                WireKind::Filter => StoredRole::FilterTransport,
+            };
+            self.stores.get_mut(&origin).expect("created").insert_covered(
+                key,
+                StoredMj { op: wire.op, role, is_user_sub },
+            );
+            return;
+        }
+
+        // Source check for locally registered subscriptions (Algorithm 3).
+        if is_user_sub {
+            let supported = wire.op.supported_dims(self.adverts.all());
+            if supported.len() != wire.op.arity() {
+                self.dropped_unanswerable += 1;
+                return;
+            }
+        }
+
+        let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
+        match wire.kind {
+            WireKind::Filter => {
+                self.stores.get_mut(&origin).expect("created").insert_uncovered(
+                    key,
+                    StoredMj {
+                        op: wire.op.clone(),
+                        role: StoredRole::FilterTransport,
+                        is_user_sub,
+                    },
+                );
+                // forward the per-neighbor projections toward the sources
+                for j in neighbors {
+                    if Origin::Neighbor(j) == origin {
+                        continue;
+                    }
+                    let sup =
+                        wire.op.supported_dims(self.adverts.from_origin(Origin::Neighbor(j)));
+                    if let Some(proj) = wire.op.project(&sup) {
+                        self.send_op(j, MjWireOp::new(proj, WireKind::Filter), ctx);
+                    }
+                }
+            }
+            WireKind::Binary { main } => {
+                // Binary joins are created at (and never leave) the
+                // multi-join's divergence node — the paper's "it acts in a
+                // way as the centralized server". They window-join here;
+                // only their per-dimension simple filters travel on toward
+                // the data sources.
+                self.stores.get_mut(&origin).expect("created").insert_uncovered(
+                    key,
+                    StoredMj {
+                        op: wire.op.clone(),
+                        role: StoredRole::BinaryEval { main },
+                        is_user_sub,
+                    },
+                );
+                // raw streams are pulled by the multi-join's filter
+                // transports (see `split_into_filters`)
+            }
+            WireKind::Multi => {
+                let full = self.full_support_neighbors(&wire.op, origin, &neighbors);
+                if full.is_empty() {
+                    // First divergence node: split into binary joins
+                    // ("it acts in a way as the centralized server").
+                    self.stores.get_mut(&origin).expect("created").insert_uncovered(
+                        key,
+                        StoredMj {
+                            op: wire.op.clone(),
+                            role: StoredRole::MultiSplit,
+                            is_user_sub,
+                        },
+                    );
+                    let dims: Vec<DimKey> = wire.op.dims().collect();
+                    for (main, filter) in ring_pairs(&dims) {
+                        let keep: BTreeSet<DimKey> = [main, filter].into_iter().collect();
+                        let bop = wire.op.project(&keep).expect("dims are the op's own");
+                        let bwire = MjWireOp::new(bop, WireKind::Binary { main });
+                        self.handle_operator(origin, bwire, false, ctx);
+                    }
+                    // one filter transport per neighbor pulls the raw
+                    // (value-filtered) streams to this node
+                    self.split_into_filters(origin, &wire.op, ctx);
+                } else {
+                    self.stores.get_mut(&origin).expect("created").insert_uncovered(
+                        key,
+                        StoredMj {
+                            op: wire.op.clone(),
+                            role: StoredRole::MultiAbove,
+                            is_user_sub,
+                        },
+                    );
+                    for j in full {
+                        self.send_op(j, wire.clone(), ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Send the divergence node's value filters toward the data sources:
+    /// one per-neighbor projection of the multi-join's filter set ("the
+    /// natural splitting into simple operators, according to the network
+    /// connections behind this node").
+    fn split_into_filters(&mut self, origin: Origin, op: &Operator, ctx: &mut Ctx<'_, MjMsg>) {
+        let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
+        for &j in &neighbors {
+            if Origin::Neighbor(j) == origin {
+                continue;
+            }
+            let sup = op.supported_dims(self.adverts.from_origin(Origin::Neighbor(j)));
+            if let Some(proj) = op.project(&sup) {
+                self.send_op(j, MjWireOp::new(proj, WireKind::Filter), ctx);
+            }
+        }
+    }
+
+    // ----- events -----
+
+    fn handle_event(&mut self, origin: Origin, event: Event, ctx: &mut Ctx<'_, MjMsg>) {
+        if !self.events.insert(event) {
+            return;
+        }
+        self.deliver_locally(&event, ctx);
+        let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
+        for j in neighbors {
+            if Origin::Neighbor(j) == origin {
+                continue;
+            }
+            self.forward_to_neighbor(j, &event, ctx);
+        }
+    }
+
+    /// Final filtering at the user: whole-subscription window matching, so
+    /// binary-join false positives are dropped here and never delivered.
+    fn deliver_locally(&mut self, event: &Event, ctx: &mut Ctx<'_, MjMsg>) {
+        let Some(store) = self.stores.get(&Origin::Local) else { return };
+        let sensor_dim = DimKey::Sensor(event.sensor);
+        let attr_dim = DimKey::Attr(event.attr);
+        let mut candidates: Vec<Operator> = Vec::new();
+        for d in [&sensor_dim, &attr_dim] {
+            for s in store.uncovered_with_dim(d) {
+                if s.is_user_sub && s.op.matches_simple(event) {
+                    candidates.push(s.op.clone());
+                }
+            }
+        }
+        // covered user subscriptions are still served (they ride on their
+        // coverer's streams)
+        for s in store.covered() {
+            if s.is_user_sub && s.op.matches_simple(event) {
+                candidates.push(s.op.clone());
+            }
+        }
+        for op in candidates {
+            let band = self.events.correlation_band(event.timestamp, op.delta_t());
+            let Some(m) = complex_match(&band, &op) else { continue };
+            let scope = SentScope::LocalSub(op.sub());
+            let new_ids: Vec<_> = m
+                .participants
+                .iter()
+                .map(|&i| band[i].id)
+                .filter(|id| !self.events.was_sent(*id, &scope))
+                .collect();
+            if new_ids.is_empty() {
+                continue;
+            }
+            let complex = ComplexEvent::new(m.participants.iter().map(|&i| *band[i]).collect());
+            drop(band);
+            ctx.deliver(op.sub(), &complex);
+            for id in new_ids {
+                self.events.mark_sent(id, SentScope::LocalSub(op.sub()));
+            }
+        }
+    }
+
+    fn forward_to_neighbor(&mut self, j: NodeId, event: &Event, ctx: &mut Ctx<'_, MjMsg>) {
+        let Some(store) = self.stores.get(&Origin::Neighbor(j)) else { return };
+        let sensor_dim = DimKey::Sensor(event.sensor);
+        let attr_dim = DimKey::Attr(event.attr);
+
+        // Which stored events should flow to j because of this arrival?
+        let mut to_send: Vec<Event> = Vec::new();
+        let push = |e: Event, sent: &EventStore, buf: &mut Vec<Event>| {
+            if !sent.was_sent(e.id, &SentScope::Link(j)) && !buf.iter().any(|b| b.id == e.id) {
+                buf.push(e);
+            }
+        };
+
+        let mut matched: Vec<(StoredRole, Operator)> = Vec::new();
+        for d in [&sensor_dim, &attr_dim] {
+            for s in store.uncovered_with_dim(d) {
+                matched.push((s.role, s.op.clone()));
+            }
+        }
+        for (role, op) in matched {
+            match role {
+                StoredRole::MultiSplit => {} // inert: binaries act here
+                StoredRole::FilterTransport | StoredRole::MultiAbove => {
+                    // pass-through result dissemination: value filters only,
+                    // no window re-evaluation (this is what lets binary-join
+                    // false positives travel to the user)
+                    if op.matches_simple(event) {
+                        push(*event, &self.events, &mut to_send);
+                    }
+                }
+                StoredRole::BinaryEval { main } => {
+                    if !op.matches_simple(event) {
+                        continue;
+                    }
+                    let band = self.events.correlation_band(event.timestamp, op.delta_t());
+                    let Some(m) = complex_match(&band, &op) else { continue };
+                    let mains: Vec<Event> = m
+                        .participants
+                        .iter()
+                        .map(|&i| *band[i])
+                        .filter(|e| {
+                            op.predicate_for(&main)
+                                .is_some_and(|p| p.matches(e, op.region()))
+                        })
+                        .collect();
+                    drop(band);
+                    for e in mains {
+                        push(e, &self.events, &mut to_send);
+                    }
+                }
+            }
+        }
+        if to_send.is_empty() {
+            return;
+        }
+        let units = to_send.len() as u64;
+        for e in &to_send {
+            self.events.mark_sent(e.id, SentScope::Link(j));
+        }
+        ctx.send(j, MjMsg::Events(to_send), ChargeKind::Event, units);
+    }
+}
+
+impl NodeBehavior for MjNode {
+    type Msg = MjMsg;
+
+    fn on_message(&mut self, from: NodeId, msg: MjMsg, ctx: &mut Ctx<'_, MjMsg>) {
+        let origin = if from == ctx.node() { Origin::Local } else { Origin::Neighbor(from) };
+        match msg {
+            MjMsg::SensorUp(adv) => self.handle_advertisement(Origin::Local, adv, ctx),
+            MjMsg::Adv(adv) => self.handle_advertisement(origin, adv, ctx),
+            MjMsg::Subscribe(sub) => {
+                let arity = sub.arity();
+                let op = Operator::from_subscription(&sub);
+                let kind = if arity == 1 { WireKind::Filter } else { WireKind::Multi };
+                self.handle_operator(Origin::Local, MjWireOp::new(op, kind), true, ctx);
+            }
+            MjMsg::Op(wire) => self.handle_operator(origin, wire, false, ctx),
+            MjMsg::Publish(event) => self.handle_event(Origin::Local, event, ctx),
+            MjMsg::Events(events) => {
+                for e in events {
+                    self.handle_event(origin, e, ctx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsf_model::{AttrId, EventId, Point, SensorId, SubId, Timestamp, ValueRange};
+    use fsf_network::{builders, Simulator, Topology};
+
+    const DT: u64 = 30;
+
+    fn adv(sensor: u32, attr: u16) -> Advertisement {
+        Advertisement {
+            sensor: SensorId(sensor),
+            attr: AttrId(attr),
+            location: Point::new(sensor as f64, 0.0),
+        }
+    }
+
+    fn sub(id: u64, filters: &[(u32, f64, f64)]) -> Subscription {
+        Subscription::identified(
+            SubId(id),
+            filters.iter().map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
+            DT,
+        )
+        .unwrap()
+    }
+
+    fn ev(id: u64, sensor: u32, attr: u16, v: f64, t: u64) -> Event {
+        Event {
+            id: EventId(id),
+            sensor: SensorId(sensor),
+            attr: AttrId(attr),
+            location: Point::new(sensor as f64, 0.0),
+            value: v,
+            timestamp: Timestamp(t),
+        }
+    }
+
+    /// Star with centre 0; sensors 1,2,3 at leaves 1,2,3; user at leaf 4.
+    fn star_sim() -> Simulator<MjNode> {
+        let topo = builders::star(5);
+        let mut s = Simulator::new(topo, |id, _| MjNode::new(id, 2 * DT));
+        s.inject_and_run(NodeId(1), MjMsg::SensorUp(adv(1, 0)));
+        s.inject_and_run(NodeId(2), MjMsg::SensorUp(adv(2, 1)));
+        s.inject_and_run(NodeId(3), MjMsg::SensorUp(adv(3, 2)));
+        s
+    }
+
+    #[test]
+    fn three_way_join_splits_into_binaries_at_divergence() {
+        let mut s = star_sim();
+        s.inject_and_run(
+            NodeId(4),
+            MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0), (3, 0.0, 10.0)])),
+        );
+        // user→hub: 1 multi; hub: 3 binaries eval here, 3 simple filters out
+        assert_eq!(s.stats.sub_forwards, 1 + 3);
+        let hub = s.node(NodeId(0)).store(Origin::Neighbor(NodeId(4))).unwrap();
+        let evals = hub
+            .uncovered()
+            .iter()
+            .filter(|m| matches!(m.role, StoredRole::BinaryEval { .. }))
+            .count();
+        assert_eq!(evals, 3);
+        // sensor nodes got their simple filters
+        let leaf = s.node(NodeId(1)).store(Origin::Neighbor(NodeId(0))).unwrap();
+        assert_eq!(leaf.uncovered().len(), 1);
+        assert!(matches!(leaf.uncovered()[0].role, StoredRole::FilterTransport));
+    }
+
+    #[test]
+    fn true_complex_event_is_fully_delivered() {
+        let mut s = star_sim();
+        s.inject_and_run(
+            NodeId(4),
+            MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0), (3, 0.0, 10.0)])),
+        );
+        s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        s.inject_and_run(NodeId(2), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
+        s.inject_and_run(NodeId(3), MjMsg::Publish(ev(102, 3, 2, 5.0, 1010)));
+        let d = s.deliveries.delivered(SubId(1));
+        assert_eq!(d.len(), 3, "all three constituents reach the user");
+    }
+
+    #[test]
+    fn false_positives_travel_to_user_but_are_not_delivered() {
+        let mut s = star_sim();
+        s.inject_and_run(
+            NodeId(4),
+            MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0), (3, 0.0, 10.0)])),
+        );
+        // only sensors 1 and 2 fire: binary (1|2) sanctions the sensor-1
+        // event → false positive flows to the user; full join never matches.
+        s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        s.inject_and_run(NodeId(2), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 0, "no delivery");
+        // raw events to hub: 1+1; sanctioned FP hub→user: ≥1
+        let fp_units = s.stats.link(NodeId(0), NodeId(4)).events;
+        assert!(fp_units >= 1, "false positive crossed toward the user: {fp_units}");
+    }
+
+    #[test]
+    fn two_way_join_has_no_false_positives() {
+        let mut s = star_sim();
+        s.inject_and_run(NodeId(4), MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])));
+        s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        // lone event: no partner → nothing to the user
+        assert_eq!(s.stats.link(NodeId(0), NodeId(4)).events, 0);
+        s.inject_and_run(NodeId(2), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 2);
+        assert_eq!(s.stats.link(NodeId(0), NodeId(4)).events, 2);
+    }
+
+    #[test]
+    fn events_are_deduped_per_link_across_overlapping_subs() {
+        let mut s = star_sim();
+        s.inject_and_run(NodeId(4), MjMsg::Subscribe(sub(1, &[(1, 0.0, 6.0), (2, 0.0, 10.0)])));
+        s.inject_and_run(NodeId(4), MjMsg::Subscribe(sub(2, &[(1, 4.0, 10.0), (2, 0.0, 10.0)])));
+        s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        s.inject_and_run(NodeId(2), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
+        // hub→user link carries each event once despite two matching subs
+        assert_eq!(s.stats.link(NodeId(0), NodeId(4)).events, 2);
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 2);
+        assert_eq!(s.deliveries.delivered(SubId(2)).len(), 2);
+    }
+
+    #[test]
+    fn covered_binary_joins_are_filtered() {
+        let mut s = star_sim();
+        s.inject_and_run(NodeId(4), MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])));
+        let before = s.stats.sub_forwards;
+        // narrower multi-join over the same dims: covered pairwise at the
+        // user node already — no further forwards at all
+        s.inject_and_run(NodeId(4), MjMsg::Subscribe(sub(2, &[(1, 2.0, 8.0), (2, 2.0, 8.0)])));
+        assert_eq!(s.stats.sub_forwards, before);
+        // …and still served
+        s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        s.inject_and_run(NodeId(2), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
+        assert_eq!(s.deliveries.delivered(SubId(2)).len(), 2);
+    }
+
+    #[test]
+    fn pre_divergence_path_carries_whole_multijoin() {
+        // line: user(0) — 1 — 2(hub) — 3(sensor1), plus 4(sensor2) on hub
+        let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (2, 4)]).unwrap();
+        let mut s = Simulator::new(topo, |id, _| MjNode::new(id, 2 * DT));
+        s.inject_and_run(NodeId(3), MjMsg::SensorUp(adv(1, 0)));
+        s.inject_and_run(NodeId(4), MjMsg::SensorUp(adv(2, 1)));
+        s.inject_and_run(NodeId(0), MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])));
+        // 0→1 and 1→2 carry the whole multi (2 forwards); at 2 it splits:
+        // two binaries eval at 2, simple filters 2→3 and 2→4 (2 forwards)
+        assert_eq!(s.stats.sub_forwards, 4);
+        let n1 = s.node(NodeId(1)).store(Origin::Neighbor(NodeId(0))).unwrap();
+        assert!(matches!(n1.uncovered()[0].role, StoredRole::MultiAbove));
+        let hub = s.node(NodeId(2)).store(Origin::Neighbor(NodeId(1))).unwrap();
+        assert!(hub.uncovered().iter().any(|m| matches!(m.role, StoredRole::MultiSplit)));
+        // events complete end-to-end through the pass-through segment
+        s.inject_and_run(NodeId(3), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        s.inject_and_run(NodeId(4), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 2);
+    }
+
+    #[test]
+    fn single_attribute_subscription_behaves_like_simple_filter() {
+        let mut s = star_sim();
+        s.inject_and_run(NodeId(4), MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        assert_eq!(s.stats.sub_forwards, 2, "user→hub, hub→sensor");
+        s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
+        s.inject_and_run(NodeId(1), MjMsg::Publish(ev(101, 1, 0, 50.0, 1001)));
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1, "out of range filtered at source");
+    }
+
+    #[test]
+    fn unanswerable_subscription_dropped() {
+        let mut s = star_sim();
+        s.inject_and_run(NodeId(4), MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (99, 0.0, 1.0)])));
+        assert_eq!(s.stats.sub_forwards, 0);
+        assert_eq!(s.node(NodeId(4)).dropped_unanswerable(), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Multi-join operator forms and the binary-join pairing.
+
+use fsf_model::{DimKey, DimSignature, Operator, SubId};
+
+/// What kind of operator travels on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WireKind {
+    /// A whole multi-join subscription (pre-divergence).
+    Multi,
+    /// A binary join; `main` is the result-set attribute, the other
+    /// dimension is the filtering attribute.
+    Binary {
+        /// The main (result) dimension.
+        main: DimKey,
+    },
+    /// A value-filter transport: the "natural splitting into simple
+    /// operators, according to the network connections behind this node" —
+    /// a per-neighbor subset of the multi-join's value filters, pulling the
+    /// raw (filtered) streams toward the divergence node. No correlation
+    /// semantics: events matching any of its filters pass through.
+    Filter,
+}
+
+/// A multi-join-engine operator in flight.
+#[derive(Debug, Clone)]
+pub struct MjWireOp {
+    /// The underlying value filters / correlation distances.
+    pub op: Operator,
+    /// Its role in the decomposition.
+    pub kind: WireKind,
+}
+
+/// Storage/dedup identity of a multi-join-engine operator:
+/// `(subscription, dims, main)` — the `main` distinguishes the two binary
+/// joins a 2-way multi-join decomposes into.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MjKey {
+    /// Originating subscription.
+    pub sub: SubId,
+    /// Dimension signature.
+    pub dims: DimSignature,
+    /// Main dimension for binary joins, `None` otherwise.
+    pub main: Option<DimKey>,
+}
+
+impl MjWireOp {
+    /// Build a wire operator; binary mains must be one of the operator's
+    /// dimensions.
+    #[must_use]
+    pub fn new(op: Operator, kind: WireKind) -> Self {
+        if let WireKind::Binary { main } = kind {
+            debug_assert!(op.dims().any(|d| d == main), "main must be a dimension");
+            debug_assert_eq!(op.arity(), 2, "binary joins have exactly two dims");
+        }
+        debug_assert!(
+            !matches!(kind, WireKind::Multi) || op.arity() >= 2,
+            "multi-joins have at least two dims"
+        );
+        MjWireOp { op, kind }
+    }
+
+    /// The storage/dedup key.
+    #[must_use]
+    pub fn key(&self) -> MjKey {
+        MjKey {
+            sub: self.op.sub(),
+            dims: self.op.signature(),
+            main: match self.kind {
+                WireKind::Binary { main } => Some(main),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Ring pairing of a multi-join's sorted dimensions into binary joins:
+/// `(d₀|d₁), (d₁|d₂), …, (d_{k−1}|d₀)`. Every dimension is the main of
+/// exactly one binary join, so all requested streams reach the user; each
+/// is sanctioned by one partner, which is where the approximation (and its
+/// false positives) comes from. For `k = 2` this yields `(d₀|d₁)` and
+/// `(d₁|d₀)` — in that case binary joins are exact ("binary joins are
+/// equivalent to multi-joins with two attributes", §VI-C).
+#[must_use]
+pub fn ring_pairs(dims: &[DimKey]) -> Vec<(DimKey, DimKey)> {
+    assert!(dims.len() >= 2, "ring pairing needs at least two dims");
+    (0..dims.len()).map(|i| (dims[i], dims[(i + 1) % dims.len()])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsf_model::{SensorId, SubId, Subscription, ValueRange};
+
+    fn op(sensors: &[u32]) -> Operator {
+        let s = Subscription::identified(
+            SubId(1),
+            sensors.iter().map(|&d| (SensorId(d), ValueRange::new(0.0, 10.0))),
+            30,
+        )
+        .unwrap();
+        Operator::from_subscription(&s)
+    }
+
+    #[test]
+    fn ring_pairs_cover_every_dim_as_main_once() {
+        let dims: Vec<DimKey> = op(&[1, 2, 3]).dims().collect();
+        let pairs = ring_pairs(&dims);
+        assert_eq!(pairs.len(), 3);
+        let mains: Vec<DimKey> = pairs.iter().map(|p| p.0).collect();
+        assert_eq!(mains, dims);
+        // partner is always a different dim
+        assert!(pairs.iter().all(|(m, f)| m != f));
+    }
+
+    #[test]
+    fn two_way_ring_gives_both_directions() {
+        let dims: Vec<DimKey> = op(&[1, 2]).dims().collect();
+        let pairs = ring_pairs(&dims);
+        assert_eq!(pairs, vec![(dims[0], dims[1]), (dims[1], dims[0])]);
+    }
+
+    #[test]
+    fn keys_distinguish_binary_direction() {
+        let binary = op(&[1, 2]);
+        let dims: Vec<DimKey> = binary.dims().collect();
+        let k1 = MjWireOp::new(binary.clone(), WireKind::Binary { main: dims[0] }).key();
+        let k2 = MjWireOp::new(binary.clone(), WireKind::Binary { main: dims[1] }).key();
+        let km = MjWireOp::new(binary, WireKind::Multi).key();
+        assert_ne!(k1, k2);
+        assert_ne!(k1, km);
+        assert_ne!(k2, km);
+    }
+}

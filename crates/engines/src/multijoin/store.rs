@@ -1,0 +1,205 @@
+//! Per-origin operator storage for the multi-join engine.
+
+use super::ops::MjKey;
+use fsf_model::{DimKey, Operator};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a stored operator participates in event processing at *this* node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoredRole {
+    /// A whole multi-join above the divergence node: pass-through result
+    /// dissemination (any event matching one of its value filters flows on).
+    MultiAbove,
+    /// A whole multi-join *at* its divergence node: inert — its binary
+    /// joins and simple filters do the work here.
+    MultiSplit,
+    /// A binary join, held at the multi-join's divergence node ("it acts in
+    /// a way as the centralized server"): window-joins its main dimension
+    /// against filtering events, forwards sanctioned mains.
+    BinaryEval {
+        /// The result dimension.
+        main: DimKey,
+    },
+    /// A value-filter transport (per-neighbor subset of a multi-join's
+    /// filters): forwards raw events matching any of its filters toward the
+    /// divergence node — no correlation semantics.
+    FilterTransport,
+}
+
+/// One stored operator.
+#[derive(Debug, Clone)]
+pub struct StoredMj {
+    /// The value filters / correlation distances.
+    pub op: Operator,
+    /// Event-processing role at this node.
+    pub role: StoredRole,
+    /// Was this a whole user subscription registered locally? Only these
+    /// are matched for delivery (final filtering happens against the whole
+    /// multi-join, dropping binary-join false positives).
+    pub is_user_sub: bool,
+}
+
+/// Per-origin storage: uncovered (active) and covered halves, with a
+/// per-dimension index over the uncovered half.
+#[derive(Debug, Default, Clone)]
+pub struct MjStore {
+    uncovered: Vec<StoredMj>,
+    covered: Vec<StoredMj>,
+    keys: BTreeSet<MjKey>,
+    dim_index: BTreeMap<DimKey, Vec<usize>>,
+}
+
+impl MjStore {
+    /// Empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Has this operator identity been stored (covered or not)?
+    #[must_use]
+    pub fn contains(&self, key: &MjKey) -> bool {
+        self.keys.contains(key)
+    }
+
+    /// Store an active operator. Returns `false` on duplicate identity.
+    pub fn insert_uncovered(&mut self, key: MjKey, stored: StoredMj) -> bool {
+        if !self.keys.insert(key) {
+            return false;
+        }
+        let idx = self.uncovered.len();
+        for d in stored.op.dims() {
+            self.dim_index.entry(d).or_default().push(idx);
+        }
+        self.uncovered.push(stored);
+        true
+    }
+
+    /// Store a covered (redundant) operator. Returns `false` on duplicate.
+    pub fn insert_covered(&mut self, key: MjKey, stored: StoredMj) -> bool {
+        if !self.keys.insert(key) {
+            return false;
+        }
+        self.covered.push(stored);
+        true
+    }
+
+    /// Uncovered operators that reference dimension `dim`.
+    pub fn uncovered_with_dim(&self, dim: &DimKey) -> impl Iterator<Item = &StoredMj> {
+        self.dim_index
+            .get(dim)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.uncovered[i])
+    }
+
+    /// All uncovered operators.
+    #[must_use]
+    pub fn uncovered(&self) -> &[StoredMj] {
+        &self.uncovered
+    }
+
+    /// All covered operators.
+    #[must_use]
+    pub fn covered(&self) -> &[StoredMj] {
+        &self.covered
+    }
+
+    /// The pairwise-filtering candidate group: uncovered operators with the
+    /// same dimension signature and the same main (role-compatible).
+    #[must_use]
+    pub fn filter_group(&self, key: &MjKey) -> Vec<&Operator> {
+        self.uncovered
+            .iter()
+            .filter(|s| {
+                let main = match s.role {
+                    StoredRole::BinaryEval { main } => Some(main),
+                    _ => None,
+                };
+                main == key.main && s.op.signature() == key.dims
+            })
+            .map(|s| &s.op)
+            .collect()
+    }
+
+    /// Total stored operators.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.uncovered.len() + self.covered.len()
+    }
+
+    /// Is the store empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsf_model::{SensorId, SubId, Subscription, ValueRange};
+
+    fn op(id: u64, sensors: &[u32], lo: f64, hi: f64) -> Operator {
+        let s = Subscription::identified(
+            SubId(id),
+            sensors.iter().map(|&d| (SensorId(d), ValueRange::new(lo, hi))),
+            30,
+        )
+        .unwrap();
+        Operator::from_subscription(&s)
+    }
+
+    fn key(o: &Operator, main: Option<DimKey>) -> MjKey {
+        MjKey { sub: o.sub(), dims: o.signature(), main }
+    }
+
+    fn stored(o: &Operator, role: StoredRole) -> StoredMj {
+        StoredMj { op: o.clone(), role, is_user_sub: false }
+    }
+
+    #[test]
+    fn insert_and_dedup() {
+        let mut s = MjStore::new();
+        let o = op(1, &[1, 2], 0.0, 10.0);
+        assert!(s.insert_uncovered(key(&o, None), stored(&o, StoredRole::MultiAbove)));
+        assert!(!s.insert_uncovered(key(&o, None), stored(&o, StoredRole::MultiAbove)));
+        assert!(!s.insert_covered(key(&o, None), stored(&o, StoredRole::MultiAbove)));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&key(&o, None)));
+    }
+
+    #[test]
+    fn dim_index_over_uncovered_only() {
+        let mut s = MjStore::new();
+        let o1 = op(1, &[1, 2], 0.0, 10.0);
+        let o2 = op(2, &[2, 3], 0.0, 10.0);
+        let o3 = op(3, &[2], 0.0, 10.0);
+        s.insert_uncovered(key(&o1, None), stored(&o1, StoredRole::MultiAbove));
+        s.insert_uncovered(key(&o2, None), stored(&o2, StoredRole::MultiAbove));
+        s.insert_covered(key(&o3, None), stored(&o3, StoredRole::FilterTransport));
+        let hits: Vec<u64> = s
+            .uncovered_with_dim(&DimKey::Sensor(SensorId(2)))
+            .map(|m| m.op.sub().0)
+            .collect();
+        assert_eq!(hits, vec![1, 2], "covered ops are not matched");
+    }
+
+    #[test]
+    fn filter_group_separates_binary_directions() {
+        let mut s = MjStore::new();
+        let b = op(1, &[1, 2], 0.0, 10.0);
+        let dims: Vec<DimKey> = b.dims().collect();
+        s.insert_uncovered(
+            key(&b, Some(dims[0])),
+            stored(&b, StoredRole::BinaryEval { main: dims[0] }),
+        );
+        let narrow = op(2, &[1, 2], 2.0, 8.0);
+        let same_dir = key(&narrow, Some(dims[0]));
+        let other_dir = key(&narrow, Some(dims[1]));
+        assert_eq!(s.filter_group(&same_dir).len(), 1);
+        assert_eq!(s.filter_group(&other_dir).len(), 0);
+        // multis don't mix with binaries either
+        assert_eq!(s.filter_group(&key(&narrow, None)).len(), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Data source advertisements `DSA_d = (a_d, p_d)` (paper §IV-A).
+
+use crate::{AttrId, DimKey, Point, Region, SensorId};
+use serde::{Deserialize, Serialize};
+
+/// A data source advertisement: a sensor announcing its attribute type and
+/// location so that subscriptions can be routed along the reverse
+/// advertisement path.
+///
+/// The paper's advertisement is the pair `(a_d, p_d)`; we also carry the
+/// sensor id so *identified* subscriptions (which name sensors explicitly)
+/// can be routed as well.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Advertisement {
+    /// The advertising sensor.
+    pub sensor: SensorId,
+    /// The sensor's attribute type `a_d`.
+    pub attr: AttrId,
+    /// The sensor's location `p_d`.
+    pub location: Point,
+}
+
+impl Advertisement {
+    /// Does this advertisement satisfy (provide a source for) the given
+    /// subscription dimension?
+    ///
+    /// * `Sensor(d)` is satisfied by the advertisement of sensor `d` itself;
+    /// * `Attr(a)` is satisfied by any sensor of type `a` whose location lies
+    ///   inside the subscription's `region`.
+    #[must_use]
+    pub fn supports(&self, dim: &DimKey, region: &Region) -> bool {
+        match dim {
+            DimKey::Sensor(d) => self.sensor == *d,
+            DimKey::Attr(a) => self.attr == *a && region.contains(&self.location),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rect;
+
+    fn adv(sensor: u32, attr: u16, x: f64) -> Advertisement {
+        Advertisement {
+            sensor: SensorId(sensor),
+            attr: AttrId(attr),
+            location: Point::new(x, 0.0),
+        }
+    }
+
+    #[test]
+    fn supports_identified_dim_by_sensor_id() {
+        let a = adv(7, 1, 0.0);
+        assert!(a.supports(&DimKey::Sensor(SensorId(7)), &Region::All));
+        assert!(!a.supports(&DimKey::Sensor(SensorId(8)), &Region::All));
+    }
+
+    #[test]
+    fn supports_abstract_dim_by_attr_and_region() {
+        let a = adv(7, 1, 5.0);
+        let region_in = Region::Rect(Rect::new(Point::new(0.0, -1.0), Point::new(10.0, 1.0)));
+        let region_out = Region::Rect(Rect::new(Point::new(6.0, -1.0), Point::new(10.0, 1.0)));
+        assert!(a.supports(&DimKey::Attr(AttrId(1)), &region_in));
+        assert!(!a.supports(&DimKey::Attr(AttrId(2)), &region_in));
+        assert!(!a.supports(&DimKey::Attr(AttrId(1)), &region_out));
+        assert!(a.supports(&DimKey::Attr(AttrId(1)), &Region::All));
+    }
+}

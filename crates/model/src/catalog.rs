@@ -1,0 +1,136 @@
+//! The standard attribute catalog: the five SensorScope measurement types
+//! used in the paper's evaluation (§VI-A).
+
+use crate::{AttrId, ValueRange};
+use serde::{Deserialize, Serialize};
+
+/// Well-known attribute ids for the five measurement types the paper selects
+/// from the SensorScope Grand St. Bernard deployment.
+pub mod attrs {
+    use crate::AttrId;
+
+    /// Ambient temperature (°C).
+    pub const AMBIENT_TEMP: AttrId = AttrId(0);
+    /// Surface temperature (°C).
+    pub const SURFACE_TEMP: AttrId = AttrId(1);
+    /// Relative humidity (%).
+    pub const REL_HUMIDITY: AttrId = AttrId(2);
+    /// Wind speed (m/s).
+    pub const WIND_SPEED: AttrId = AttrId(3);
+    /// Wind direction (degrees).
+    pub const WIND_DIRECTION: AttrId = AttrId(4);
+
+    /// All five standard attributes in id order.
+    pub const ALL: [AttrId; 5] =
+        [AMBIENT_TEMP, SURFACE_TEMP, REL_HUMIDITY, WIND_SPEED, WIND_DIRECTION];
+}
+
+/// Metadata about one attribute type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttrInfo {
+    /// Attribute id.
+    pub id: AttrId,
+    /// Human-readable name.
+    pub name: String,
+    /// Measurement unit.
+    pub unit: String,
+    /// The physically plausible value domain `𝒟_a` (used by workload
+    /// generators and by the subsumption machinery to normalise ranges).
+    pub domain: ValueRange,
+}
+
+/// A catalog of attribute types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttrCatalog {
+    entries: Vec<AttrInfo>,
+}
+
+impl AttrCatalog {
+    /// The five SensorScope measurement types of the paper's evaluation.
+    #[must_use]
+    pub fn sensorscope() -> Self {
+        let mk = |id, name: &str, unit: &str, lo, hi| AttrInfo {
+            id,
+            name: name.to_owned(),
+            unit: unit.to_owned(),
+            domain: ValueRange::new(lo, hi),
+        };
+        AttrCatalog {
+            entries: vec![
+                mk(attrs::AMBIENT_TEMP, "ambient temperature", "°C", -35.0, 35.0),
+                mk(attrs::SURFACE_TEMP, "surface temperature", "°C", -45.0, 45.0),
+                mk(attrs::REL_HUMIDITY, "relative humidity", "%", 0.0, 100.0),
+                mk(attrs::WIND_SPEED, "wind speed", "m/s", 0.0, 40.0),
+                mk(attrs::WIND_DIRECTION, "wind direction", "°", 0.0, 360.0),
+            ],
+        }
+    }
+
+    /// Build a catalog from explicit entries.
+    #[must_use]
+    pub fn new(entries: Vec<AttrInfo>) -> Self {
+        AttrCatalog { entries }
+    }
+
+    /// Look up an attribute's metadata.
+    #[must_use]
+    pub fn get(&self, id: AttrId) -> Option<&AttrInfo> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Human-readable name, falling back to the id's display form.
+    #[must_use]
+    pub fn name(&self, id: AttrId) -> String {
+        self.get(id).map_or_else(|| id.to_string(), |e| e.name.clone())
+    }
+
+    /// Number of attribute types.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the catalog empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &AttrInfo> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensorscope_catalog_has_five_types() {
+        let c = AttrCatalog::sensorscope();
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_empty());
+        assert_eq!(c.name(attrs::WIND_SPEED), "wind speed");
+        assert_eq!(c.get(attrs::REL_HUMIDITY).unwrap().unit, "%");
+        // domains are sane
+        for e in c.iter() {
+            assert!(e.domain.width() > 0.0);
+        }
+    }
+
+    #[test]
+    fn unknown_attr_falls_back_to_id() {
+        let c = AttrCatalog::sensorscope();
+        assert_eq!(c.name(AttrId(99)), "a99");
+        assert!(c.get(AttrId(99)).is_none());
+    }
+
+    #[test]
+    fn attrs_all_matches_catalog() {
+        let c = AttrCatalog::sensorscope();
+        for id in attrs::ALL {
+            assert!(c.get(id).is_some());
+        }
+    }
+}

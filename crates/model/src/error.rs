@@ -1,0 +1,58 @@
+//! Model-level error type.
+
+/// Errors raised while constructing model objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A value range had NaN bounds or `min > max`.
+    InvalidRange {
+        /// Offending lower bound.
+        min: f64,
+        /// Offending upper bound.
+        max: f64,
+    },
+    /// A subscription or operator referenced the same dimension twice.
+    ///
+    /// The paper's model attaches exactly one simple filter to each sensor /
+    /// attribute of a subscription ("a sensor is affected only by one simple
+    /// filter").
+    DuplicateDimension(String),
+    /// A subscription was constructed with no predicates.
+    EmptySubscription,
+    /// An abstract subscription was given a non-positive spatial correlation
+    /// distance.
+    InvalidDeltaL(f64),
+    /// A subscription was given a zero temporal correlation distance, which
+    /// would make every multi-attribute subscription unsatisfiable.
+    InvalidDeltaT,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::InvalidRange { min, max } => {
+                write!(f, "invalid value range [{min}, {max}]")
+            }
+            ModelError::DuplicateDimension(d) => {
+                write!(f, "duplicate dimension in subscription: {d}")
+            }
+            ModelError::EmptySubscription => write!(f, "subscription has no predicates"),
+            ModelError::InvalidDeltaL(v) => write!(f, "invalid spatial correlation distance {v}"),
+            ModelError::InvalidDeltaT => write!(f, "temporal correlation distance must be > 0"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::InvalidRange { min: 2.0, max: 1.0 };
+        assert!(e.to_string().contains("[2, 1]"));
+        assert!(ModelError::EmptySubscription.to_string().contains("no predicates"));
+        assert!(ModelError::InvalidDeltaT.to_string().contains("> 0"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Filters: the per-dimension conditions of subscriptions (paper §IV-A).
+//!
+//! The paper distinguishes *simple filters* `f_a` (conditions on attribute
+//! types), *simple filters with identification* `f_d` (conditions on a named
+//! sensor), and their sets. We unify both through [`DimKey`]: a subscription
+//! dimension is either a named sensor or an attribute type, and a
+//! [`Predicate`] attaches a value range to a dimension.
+//!
+//! This unification is exactly the translation the paper performs to apply
+//! set filtering ("for identified subscriptions, each sensor in the system
+//! acts as one attribute, while for abstract subscriptions, the data types
+//! act as data attributes", §V-B).
+
+use crate::{AttrId, Event, Region, SensorId, ValueRange};
+use serde::{Deserialize, Serialize};
+
+/// A subscription dimension: either an explicitly named sensor (identified
+/// subscriptions) or an attribute type (abstract subscriptions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DimKey {
+    /// A named sensor `d` — one dimension per sensor of an identified
+    /// subscription.
+    Sensor(SensorId),
+    /// An attribute type `a` — one dimension per type of an abstract
+    /// subscription.
+    Attr(AttrId),
+}
+
+impl std::fmt::Display for DimKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimKey::Sensor(d) => write!(f, "{d}"),
+            DimKey::Attr(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// A value condition on one subscription dimension: `min ≤ dim ≤ max`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// The constrained dimension.
+    pub key: DimKey,
+    /// The accepted value range.
+    pub range: ValueRange,
+}
+
+impl Predicate {
+    /// Construct a predicate.
+    #[must_use]
+    pub fn new(key: DimKey, range: ValueRange) -> Self {
+        Predicate { key, range }
+    }
+
+    /// Does the event belong to this predicate's dimension at all
+    /// (ignoring the value range)?
+    ///
+    /// For abstract dimensions the `region` constraint of the owning
+    /// subscription applies: the event's producing sensor must lie inside it.
+    #[must_use]
+    pub fn applies_to(&self, e: &Event, region: &Region) -> bool {
+        match self.key {
+            DimKey::Sensor(d) => e.sensor == d,
+            DimKey::Attr(a) => e.attr == a && region.contains(&e.location),
+        }
+    }
+
+    /// Full match: the event belongs to this dimension *and* its value is in
+    /// range (paper: `f_d(v)` / `f_{a_d}(v)` evaluates to true).
+    #[must_use]
+    pub fn matches(&self, e: &Event, region: &Region) -> bool {
+        self.applies_to(e, region) && self.range.contains(e.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Point, Rect, Timestamp};
+
+    fn event(sensor: u32, attr: u16, value: f64, x: f64) -> Event {
+        Event {
+            id: crate::EventId(1),
+            sensor: SensorId(sensor),
+            attr: AttrId(attr),
+            location: Point::new(x, 0.0),
+            value,
+            timestamp: Timestamp(0),
+        }
+    }
+
+    #[test]
+    fn identified_predicate_matches_only_its_sensor() {
+        let p = Predicate::new(DimKey::Sensor(SensorId(3)), ValueRange::new(0.0, 10.0));
+        assert!(p.matches(&event(3, 0, 5.0, 0.0), &Region::All));
+        assert!(!p.matches(&event(4, 0, 5.0, 0.0), &Region::All));
+        assert!(!p.matches(&event(3, 0, 11.0, 0.0), &Region::All));
+        // identified dims ignore the region argument only via Region::All;
+        // a sensor-dim predicate does not check location at all
+        let r = Region::Rect(Rect::new(Point::new(10.0, -1.0), Point::new(20.0, 1.0)));
+        assert!(p.matches(&event(3, 0, 5.0, 0.0), &r));
+    }
+
+    #[test]
+    fn abstract_predicate_checks_attr_region_and_value() {
+        let p = Predicate::new(DimKey::Attr(AttrId(2)), ValueRange::new(0.0, 10.0));
+        let region = Region::Rect(Rect::new(Point::new(0.0, -1.0), Point::new(10.0, 1.0)));
+        assert!(p.matches(&event(1, 2, 5.0, 5.0), &region));
+        assert!(!p.matches(&event(1, 3, 5.0, 5.0), &region), "wrong attr");
+        assert!(!p.matches(&event(1, 2, 15.0, 5.0), &region), "value out of range");
+        assert!(!p.matches(&event(1, 2, 5.0, 50.0), &region), "outside region");
+    }
+
+    #[test]
+    fn applies_to_ignores_value() {
+        let p = Predicate::new(DimKey::Attr(AttrId(2)), ValueRange::new(0.0, 10.0));
+        assert!(p.applies_to(&event(1, 2, 999.0, 0.0), &Region::All));
+        assert!(!p.applies_to(&event(1, 3, 5.0, 0.0), &Region::All));
+    }
+
+    #[test]
+    fn dimkeys_order_sensors_before_attrs_consistently() {
+        // ordering itself is arbitrary, but it must be total and stable
+        let mut v = vec![
+            DimKey::Attr(AttrId(1)),
+            DimKey::Sensor(SensorId(2)),
+            DimKey::Attr(AttrId(0)),
+            DimKey::Sensor(SensorId(1)),
+        ];
+        v.sort();
+        let v2 = v.clone();
+        v.sort();
+        assert_eq!(v, v2);
+    }
+}

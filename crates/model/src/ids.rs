@@ -1,0 +1,72 @@
+//! Strongly-typed identifiers used across the workspace.
+//!
+//! Newtypes keep sensor ids, attribute ids and subscription ids from being
+//! accidentally mixed up in the node state tables, where all three appear as
+//! map keys side by side.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an attribute *type* (a data type produced by sensors),
+/// an element of the set `𝒜` in the paper.
+///
+/// The workspace ships a standard catalog of the five SensorScope measurement
+/// types in [`crate::catalog::attrs`]; applications may define further ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrId(pub u16);
+
+impl std::fmt::Display for AttrId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Identifier of a single physical sensor `d`.
+///
+/// Each sensor produces data of exactly one attribute type and has a fixed
+/// location (paper §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SensorId(pub u32);
+
+impl std::fmt::Display for SensorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// Identifier of a user subscription.
+///
+/// Subscription ids are assigned by the workload generator / application and
+/// are carried by every [`crate::Operator`] split out of the subscription, so
+/// that result sets can be attributed back to their owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SubId(pub u64);
+
+impl std::fmt::Display for SubId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(AttrId(1) < AttrId(2));
+        assert!(SensorId(1) < SensorId(2));
+        assert!(SubId(1) < SubId(2));
+        assert_eq!(AttrId(3).to_string(), "a3");
+        assert_eq!(SensorId(4).to_string(), "d4");
+        assert_eq!(SubId(5).to_string(), "s5");
+    }
+
+    #[test]
+    fn ids_are_usable_as_map_keys() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<SensorId, u32> = BTreeMap::new();
+        m.insert(SensorId(2), 2);
+        m.insert(SensorId(1), 1);
+        assert_eq!(m.keys().copied().collect::<Vec<_>>(), vec![SensorId(1), SensorId(2)]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Correlation operators — subscriptions (or their splits) in flight
+//! (paper §V-B, "Subscription Placement").
+//!
+//! A node forwards subscriptions "either as the complete set of filters given
+//! by a user, or as filter subsets. We refer to a (sub)set of filters as a
+//! *correlation operator* […] When such an operator is addressing a single
+//! attribute, we call it a *simple operator*."
+
+use crate::{
+    Advertisement, DimKey, Event, Predicate, Region, SubId, Subscription, SubscriptionKind,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The sorted dimension set of an operator: the grouping key for set
+/// filtering ("we compare only subscriptions over the same attributes",
+/// Algorithm 2).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DimSignature(Vec<DimKey>);
+
+impl DimSignature {
+    /// Build a signature from dimensions (sorted + deduplicated internally).
+    #[must_use]
+    pub fn new(mut dims: Vec<DimKey>) -> Self {
+        dims.sort();
+        dims.dedup();
+        DimSignature(dims)
+    }
+
+    /// The sorted dimensions.
+    #[must_use]
+    pub fn dims(&self) -> &[DimKey] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl std::fmt::Display for DimSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Identity of an operator instance: the originating subscription plus the
+/// dimension subset it was projected onto.
+///
+/// In an acyclic network every `(subscription, dims)` projection travels a
+/// unique path, so this key deduplicates operators in node stores.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OperatorKey {
+    /// Originating subscription.
+    pub sub: SubId,
+    /// Projected dimension set.
+    pub dims: DimSignature,
+}
+
+/// A correlation operator: a subset of one subscription's filters, together
+/// with the correlation distances inherited from the subscription.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operator {
+    sub: SubId,
+    kind: SubscriptionKind,
+    predicates: Vec<Predicate>, // sorted by key, unique keys
+    region: Region,
+    delta_t: u64,
+    delta_l: Option<f64>,
+}
+
+impl Operator {
+    /// The whole-subscription operator (no split yet).
+    #[must_use]
+    pub fn from_subscription(s: &Subscription) -> Self {
+        Operator {
+            sub: s.id(),
+            kind: s.kind(),
+            predicates: s.predicates().to_vec(),
+            region: *s.region(),
+            delta_t: s.delta_t(),
+            delta_l: s.delta_l(),
+        }
+    }
+
+    /// The originating subscription id.
+    #[must_use]
+    pub fn sub(&self) -> SubId {
+        self.sub
+    }
+
+    /// Identified or abstract origin.
+    #[must_use]
+    pub fn kind(&self) -> SubscriptionKind {
+        self.kind
+    }
+
+    /// The operator's filters, sorted by dimension.
+    #[must_use]
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// The spatial region constraint.
+    #[must_use]
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// Temporal correlation distance `δt`.
+    #[must_use]
+    pub fn delta_t(&self) -> u64 {
+        self.delta_t
+    }
+
+    /// Spatial correlation distance `δl` (`None` = ∞).
+    #[must_use]
+    pub fn delta_l(&self) -> Option<f64> {
+        self.delta_l
+    }
+
+    /// The operator's dimensions, sorted.
+    pub fn dims(&self) -> impl Iterator<Item = DimKey> + '_ {
+        self.predicates.iter().map(|p| p.key)
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Is this a *simple operator* (single dimension, needs no further
+    /// splitting)?
+    #[must_use]
+    pub fn is_simple(&self) -> bool {
+        self.predicates.len() == 1
+    }
+
+    /// The grouping signature for set filtering.
+    #[must_use]
+    pub fn signature(&self) -> DimSignature {
+        DimSignature::new(self.dims().collect())
+    }
+
+    /// The store-identity key `(sub, dims)`.
+    #[must_use]
+    pub fn key(&self) -> OperatorKey {
+        OperatorKey { sub: self.sub, dims: self.signature() }
+    }
+
+    /// The predicate constraining `dim`, if any.
+    #[must_use]
+    pub fn predicate_for(&self, dim: &DimKey) -> Option<&Predicate> {
+        self.predicates
+            .binary_search_by(|p| p.key.cmp(dim))
+            .ok()
+            .map(|i| &self.predicates[i])
+    }
+
+    /// Project the operator onto a dimension subset, the per-neighbor
+    /// `project(s, j)` of Algorithm 3.
+    ///
+    /// Returns `None` if the intersection is empty (the neighbor advertises
+    /// no dimension of this operator, so nothing is forwarded to it).
+    #[must_use]
+    pub fn project(&self, keep: &BTreeSet<DimKey>) -> Option<Operator> {
+        let predicates: Vec<Predicate> =
+            self.predicates.iter().filter(|p| keep.contains(&p.key)).copied().collect();
+        if predicates.is_empty() {
+            return None;
+        }
+        Some(Operator { predicates, ..self.clone() })
+    }
+
+    /// The subset of this operator's dimensions supported by the given
+    /// advertisements — "the projection of the subscription on the
+    /// neighbor's data space, as defined by its advertisements"
+    /// (Algorithm 3, line 8).
+    #[must_use]
+    pub fn supported_dims<'a>(
+        &self,
+        adverts: impl IntoIterator<Item = &'a Advertisement>,
+    ) -> BTreeSet<DimKey> {
+        let mut out = BTreeSet::new();
+        for adv in adverts {
+            for p in &self.predicates {
+                if adv.supports(&p.key, &self.region) {
+                    out.insert(p.key);
+                }
+            }
+        }
+        out
+    }
+
+    /// Does the simple event match any of this operator's filters?
+    #[must_use]
+    pub fn matches_simple(&self, e: &Event) -> bool {
+        self.predicates.iter().any(|p| p.matches(e, &self.region))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttrId, Point, Rect, SensorId, ValueRange};
+
+    fn sub3() -> Subscription {
+        Subscription::identified(
+            SubId(1),
+            [
+                (SensorId(1), ValueRange::new(0.0, 10.0)),
+                (SensorId(2), ValueRange::new(20.0, 30.0)),
+                (SensorId(3), ValueRange::new(40.0, 50.0)),
+            ],
+            30,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn signature_sorts_and_dedups() {
+        let sig = DimSignature::new(vec![
+            DimKey::Sensor(SensorId(2)),
+            DimKey::Sensor(SensorId(1)),
+            DimKey::Sensor(SensorId(2)),
+        ]);
+        assert_eq!(sig.arity(), 2);
+        assert_eq!(sig.dims()[0], DimKey::Sensor(SensorId(1)));
+    }
+
+    #[test]
+    fn projection_keeps_requested_dims() {
+        let op = Operator::from_subscription(&sub3());
+        let keep: BTreeSet<_> =
+            [DimKey::Sensor(SensorId(1)), DimKey::Sensor(SensorId(3))].into_iter().collect();
+        let p = op.project(&keep).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.sub(), SubId(1));
+        assert_eq!(p.delta_t(), 30);
+        assert!(p.predicate_for(&DimKey::Sensor(SensorId(1))).is_some());
+        assert!(p.predicate_for(&DimKey::Sensor(SensorId(2))).is_none());
+    }
+
+    #[test]
+    fn projection_onto_disjoint_dims_is_none() {
+        let op = Operator::from_subscription(&sub3());
+        let keep: BTreeSet<_> = [DimKey::Sensor(SensorId(99))].into_iter().collect();
+        assert!(op.project(&keep).is_none());
+    }
+
+    #[test]
+    fn simple_operator_detection() {
+        let op = Operator::from_subscription(&sub3());
+        assert!(!op.is_simple());
+        let keep: BTreeSet<_> = [DimKey::Sensor(SensorId(1))].into_iter().collect();
+        assert!(op.project(&keep).unwrap().is_simple());
+    }
+
+    #[test]
+    fn supported_dims_identified() {
+        let op = Operator::from_subscription(&sub3());
+        let adverts = vec![
+            Advertisement { sensor: SensorId(1), attr: AttrId(0), location: Point::new(0.0, 0.0) },
+            Advertisement { sensor: SensorId(9), attr: AttrId(0), location: Point::new(0.0, 0.0) },
+        ];
+        let dims = op.supported_dims(&adverts);
+        assert_eq!(dims.len(), 1);
+        assert!(dims.contains(&DimKey::Sensor(SensorId(1))));
+    }
+
+    #[test]
+    fn supported_dims_abstract_respects_region() {
+        let region = Region::Rect(Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)));
+        let s = Subscription::abstract_over(
+            SubId(2),
+            [(AttrId(0), ValueRange::new(0.0, 1.0)), (AttrId(1), ValueRange::new(0.0, 1.0))],
+            region,
+            30,
+            None,
+        )
+        .unwrap();
+        let op = Operator::from_subscription(&s);
+        let adverts = vec![
+            // attr 0 inside region
+            Advertisement { sensor: SensorId(1), attr: AttrId(0), location: Point::new(5.0, 5.0) },
+            // attr 1 outside region
+            Advertisement {
+                sensor: SensorId(2),
+                attr: AttrId(1),
+                location: Point::new(50.0, 50.0),
+            },
+        ];
+        let dims = op.supported_dims(&adverts);
+        assert_eq!(dims.len(), 1);
+        assert!(dims.contains(&DimKey::Attr(AttrId(0))));
+    }
+
+    #[test]
+    fn operator_key_identity() {
+        let op = Operator::from_subscription(&sub3());
+        let keep: BTreeSet<_> = [DimKey::Sensor(SensorId(1))].into_iter().collect();
+        let p1 = op.project(&keep).unwrap();
+        let p2 = op.project(&keep).unwrap();
+        assert_eq!(p1.key(), p2.key());
+        assert_ne!(p1.key(), op.key());
+    }
+}

@@ -1,0 +1,253 @@
+//! User subscriptions (paper §IV-A).
+
+use crate::{
+    AttrId, DimKey, Event, ModelError, Predicate, Region, SensorId, SubId, ValueRange,
+};
+use serde::{Deserialize, Serialize};
+
+/// The two subscription flavours of the paper's model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubscriptionKind {
+    /// `S_id = (F_D, δt)`: ranges over explicitly named sensors.
+    Identified,
+    /// `S_ab = (F_{A,L}, δt, δl)`: ranges over attribute types bounded to a
+    /// region `L`, with a spatial correlation distance `δl`.
+    Abstract,
+}
+
+/// A user subscription: a set of per-dimension range filters plus the
+/// temporal (and, for abstract subscriptions, spatial) correlation distances.
+///
+/// Invariants enforced at construction:
+/// * at least one predicate;
+/// * predicates sorted by dimension, with unique dimensions (the paper's
+///   model attaches exactly one simple filter per sensor/attribute);
+/// * `δt > 0`; `δl > 0` when present.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subscription {
+    id: SubId,
+    kind: SubscriptionKind,
+    predicates: Vec<Predicate>,
+    region: Region,
+    delta_t: u64,
+    delta_l: Option<f64>,
+}
+
+impl Subscription {
+    /// Build an identified subscription `(F_D, δt)` over named sensors.
+    pub fn identified(
+        id: SubId,
+        filters: impl IntoIterator<Item = (SensorId, ValueRange)>,
+        delta_t: u64,
+    ) -> Result<Self, ModelError> {
+        let predicates = filters
+            .into_iter()
+            .map(|(d, r)| Predicate::new(DimKey::Sensor(d), r))
+            .collect();
+        Self::build(id, SubscriptionKind::Identified, predicates, Region::All, delta_t, None)
+    }
+
+    /// Build an abstract subscription `(F_{A,L}, δt, δl)` over attribute
+    /// types within `region`. `delta_l = None` encodes `δl = ∞` (event
+    /// correlation independent of spatial proximity).
+    pub fn abstract_over(
+        id: SubId,
+        filters: impl IntoIterator<Item = (AttrId, ValueRange)>,
+        region: Region,
+        delta_t: u64,
+        delta_l: Option<f64>,
+    ) -> Result<Self, ModelError> {
+        let predicates = filters
+            .into_iter()
+            .map(|(a, r)| Predicate::new(DimKey::Attr(a), r))
+            .collect();
+        Self::build(id, SubscriptionKind::Abstract, predicates, region, delta_t, delta_l)
+    }
+
+    fn build(
+        id: SubId,
+        kind: SubscriptionKind,
+        mut predicates: Vec<Predicate>,
+        region: Region,
+        delta_t: u64,
+        delta_l: Option<f64>,
+    ) -> Result<Self, ModelError> {
+        if predicates.is_empty() {
+            return Err(ModelError::EmptySubscription);
+        }
+        if delta_t == 0 {
+            return Err(ModelError::InvalidDeltaT);
+        }
+        if let Some(dl) = delta_l {
+            if dl.is_nan() || dl <= 0.0 {
+                return Err(ModelError::InvalidDeltaL(dl));
+            }
+        }
+        predicates.sort_by_key(|p| p.key);
+        for w in predicates.windows(2) {
+            if w[0].key == w[1].key {
+                return Err(ModelError::DuplicateDimension(w[0].key.to_string()));
+            }
+        }
+        Ok(Subscription { id, kind, predicates, region, delta_t, delta_l })
+    }
+
+    /// The subscription id.
+    #[must_use]
+    pub fn id(&self) -> SubId {
+        self.id
+    }
+
+    /// Identified or abstract?
+    #[must_use]
+    pub fn kind(&self) -> SubscriptionKind {
+        self.kind
+    }
+
+    /// The per-dimension filters, sorted by dimension.
+    #[must_use]
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// The spatial region `L` (always [`Region::All`] for identified
+    /// subscriptions).
+    #[must_use]
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// Temporal correlation distance `δt`.
+    #[must_use]
+    pub fn delta_t(&self) -> u64 {
+        self.delta_t
+    }
+
+    /// Spatial correlation distance `δl` (`None` = ∞).
+    #[must_use]
+    pub fn delta_l(&self) -> Option<f64> {
+        self.delta_l
+    }
+
+    /// The subscription's dimensions in sorted order.
+    pub fn dims(&self) -> impl Iterator<Item = DimKey> + '_ {
+        self.predicates.iter().map(|p| p.key)
+    }
+
+    /// Number of dimensions (attributes / sensors).
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Does the simple event match this subscription (paper §IV-A simple
+    /// matching: `d ∈ D ∧ f_d(v)`, resp. `a_d ∈ A ∧ p_d ∈ L ∧ f_{a_d}(v)`)?
+    #[must_use]
+    pub fn matches_simple(&self, e: &Event) -> bool {
+        self.predicates.iter().any(|p| p.matches(e, &self.region))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventId, Point, Rect, Timestamp};
+
+    fn event(sensor: u32, attr: u16, value: f64, x: f64) -> Event {
+        Event {
+            id: EventId(9),
+            sensor: SensorId(sensor),
+            attr: AttrId(attr),
+            location: Point::new(x, 0.0),
+            value,
+            timestamp: Timestamp(0),
+        }
+    }
+
+    #[test]
+    fn identified_subscription_construction() {
+        let s = Subscription::identified(
+            SubId(1),
+            [
+                (SensorId(2), ValueRange::new(0.0, 1.0)),
+                (SensorId(1), ValueRange::new(5.0, 9.0)),
+            ],
+            30,
+        )
+        .unwrap();
+        assert_eq!(s.kind(), SubscriptionKind::Identified);
+        assert_eq!(s.arity(), 2);
+        // sorted by dim
+        assert_eq!(s.dims().collect::<Vec<_>>(), vec![
+            DimKey::Sensor(SensorId(1)),
+            DimKey::Sensor(SensorId(2))
+        ]);
+        assert_eq!(s.delta_l(), None);
+        assert_eq!(*s.region(), Region::All);
+    }
+
+    #[test]
+    fn duplicate_dimensions_rejected() {
+        let err = Subscription::identified(
+            SubId(1),
+            [
+                (SensorId(1), ValueRange::new(0.0, 1.0)),
+                (SensorId(1), ValueRange::new(2.0, 3.0)),
+            ],
+            30,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateDimension(_)));
+    }
+
+    #[test]
+    fn empty_and_invalid_deltas_rejected() {
+        assert!(matches!(
+            Subscription::identified(SubId(1), [], 30),
+            Err(ModelError::EmptySubscription)
+        ));
+        assert!(matches!(
+            Subscription::identified(SubId(1), [(SensorId(1), ValueRange::new(0.0, 1.0))], 0),
+            Err(ModelError::InvalidDeltaT)
+        ));
+        assert!(matches!(
+            Subscription::abstract_over(
+                SubId(1),
+                [(AttrId(1), ValueRange::new(0.0, 1.0))],
+                Region::All,
+                30,
+                Some(-1.0)
+            ),
+            Err(ModelError::InvalidDeltaL(_))
+        ));
+    }
+
+    #[test]
+    fn simple_matching_identified() {
+        let s = Subscription::identified(
+            SubId(1),
+            [(SensorId(1), ValueRange::new(0.0, 10.0))],
+            30,
+        )
+        .unwrap();
+        assert!(s.matches_simple(&event(1, 0, 5.0, 0.0)));
+        assert!(!s.matches_simple(&event(2, 0, 5.0, 0.0)));
+        assert!(!s.matches_simple(&event(1, 0, 50.0, 0.0)));
+    }
+
+    #[test]
+    fn simple_matching_abstract_respects_region() {
+        let region = Region::Rect(Rect::new(Point::new(0.0, -1.0), Point::new(10.0, 1.0)));
+        let s = Subscription::abstract_over(
+            SubId(1),
+            [(AttrId(3), ValueRange::new(0.0, 10.0))],
+            region,
+            30,
+            None,
+        )
+        .unwrap();
+        assert!(s.matches_simple(&event(7, 3, 5.0, 5.0)));
+        assert!(!s.matches_simple(&event(7, 3, 5.0, 50.0)), "outside region");
+        assert!(!s.matches_simple(&event(7, 4, 5.0, 5.0)), "wrong attr");
+    }
+}

@@ -1,0 +1,72 @@
+//! Logical time.
+//!
+//! Event timestamps are *data* time, assigned by the producing sensor. The
+//! network layers never reinterpret them; they only drive the `δt` sliding
+//! window correlation and event-store expiry.
+
+use serde::{Deserialize, Serialize};
+
+/// A logical timestamp in abstract time units.
+///
+/// The unit is workload-defined (the bundled SensorScope-style workload uses
+/// one unit ≈ one second). All the matching semantics only ever compare
+/// differences of timestamps against `δt`, so the absolute scale is free.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The smallest timestamp.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// `self + delta`, saturating at `u64::MAX`.
+    #[must_use]
+    pub fn plus(self, delta: u64) -> Timestamp {
+        Timestamp(self.0.saturating_add(delta))
+    }
+
+    /// `self - delta`, saturating at zero.
+    #[must_use]
+    pub fn minus(self, delta: u64) -> Timestamp {
+        Timestamp(self.0.saturating_sub(delta))
+    }
+
+    /// Absolute difference `|self - other|`.
+    #[must_use]
+    pub fn abs_diff(self, other: Timestamp) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(v: u64) -> Self {
+        Timestamp(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_arithmetic() {
+        assert_eq!(Timestamp(5).minus(10), Timestamp::ZERO);
+        assert_eq!(Timestamp(5).minus(2), Timestamp(3));
+        assert_eq!(Timestamp(u64::MAX).plus(1), Timestamp(u64::MAX));
+        assert_eq!(Timestamp(1).plus(2), Timestamp(3));
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        assert_eq!(Timestamp(3).abs_diff(Timestamp(10)), 7);
+        assert_eq!(Timestamp(10).abs_diff(Timestamp(3)), 7);
+        assert_eq!(Timestamp(10).abs_diff(Timestamp(10)), 0);
+    }
+}

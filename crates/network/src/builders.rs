@@ -1,0 +1,299 @@
+//! Topology builders, including the SensorScope-style clustered layout of
+//! the paper's experiments (§VI-A): "we emulate the real deployment setup by
+//! grouping nodes with sensors from the same base station in a vicinity,
+//! such that they are neighbors".
+
+use crate::topology::{NodeId, Topology};
+use fsf_model::Point;
+use rand::Rng;
+
+/// Build a line `0 — 1 — … — n−1`.
+#[must_use]
+pub fn line(n: usize) -> Topology {
+    assert!(n >= 1);
+    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+    Topology::from_edges(n, &edges).expect("line is a tree")
+}
+
+/// Build a star with `hub` 0 and `n − 1` leaves.
+#[must_use]
+pub fn star(n: usize) -> Topology {
+    assert!(n >= 1);
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (0, i)).collect();
+    Topology::from_edges(n, &edges).expect("star is a tree")
+}
+
+/// Build a balanced tree: node `i ≥ 1` attaches to `(i − 1) / branching`.
+#[must_use]
+pub fn balanced(n: usize, branching: usize) -> Topology {
+    assert!(n >= 1 && branching >= 1);
+    let edges: Vec<(u32, u32)> =
+        (1..n as u32).map(|i| ((i - 1) / branching as u32, i)).collect();
+    Topology::from_edges(n, &edges).expect("balanced is a tree")
+}
+
+/// Build a random recursive tree: node `i ≥ 1` attaches to a uniformly
+/// random earlier node. Deterministic given the RNG state.
+#[must_use]
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Topology {
+    assert!(n >= 1);
+    let edges: Vec<(u32, u32)> =
+        (1..n as u32).map(|i| (rng.gen_range(0..i), i)).collect();
+    Topology::from_edges(n, &edges).expect("random recursive tree is a tree")
+}
+
+/// The experiment layout: a relay backbone with per-group base stations,
+/// each with its sensor nodes attached, and geographic coordinates assigned
+/// to every node.
+///
+/// Node id layout (deterministic):
+/// * `0 .. backbone` — backbone nodes (relays). The first `groups` of them
+///   are the *gateways* (base stations); subscriptions are injected at
+///   backbone nodes.
+/// * `backbone .. backbone + groups·sensors_per_group` — sensor nodes,
+///   group-major (all of group 0, then group 1, …). Within a group the
+///   sensor nodes form a **chain** hanging off the gateway — the paper
+///   groups "nodes with sensors from the same base station in a vicinity,
+///   such that they are neighbors", which is what lets subscriptions keep
+///   splitting (and coverage keep saving hops) *inside* a station.
+#[derive(Debug, Clone)]
+pub struct ClusteredLayout {
+    /// The resulting tree.
+    pub topology: Topology,
+    /// Gateways, one per group (`gateways[g]` hosts group `g`).
+    pub gateways: Vec<NodeId>,
+    /// Backbone nodes that are not gateways (candidate user nodes).
+    pub relays: Vec<NodeId>,
+    /// Sensor nodes per group.
+    pub sensor_nodes: Vec<Vec<NodeId>>,
+    /// Geographic position of every node (metres).
+    pub positions: Vec<Point>,
+    /// Geographic centre of each group's vicinity.
+    pub group_centers: Vec<Point>,
+    /// Radius of each group's vicinity (metres).
+    pub group_radius: f64,
+}
+
+impl ClusteredLayout {
+    /// Total number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// Is the layout empty (never true for constructed layouts)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.topology.is_empty()
+    }
+
+    /// All nodes that host sensors, group-major.
+    pub fn all_sensor_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.sensor_nodes.iter().flatten().copied()
+    }
+
+    /// Backbone nodes where users may attach: every backbone node
+    /// (gateways included), matching the paper's small-scale setting where
+    /// the 60-node network is exactly gateways + sensor nodes.
+    #[must_use]
+    pub fn user_nodes(&self) -> Vec<NodeId> {
+        let mut v = self.relays.clone();
+        v.extend(&self.gateways);
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Build a clustered SensorScope-style layout.
+///
+/// * `groups` — number of base stations (10 or 20 in the paper);
+/// * `sensors_per_group` — sensors attached to each base station (5: one per
+///   measurement type);
+/// * `total_nodes` — overall network size (60/100/200 in the paper). Must be
+///   at least `groups · (sensors_per_group + 1)`; the surplus becomes relay
+///   backbone nodes.
+///
+/// The backbone (gateways + relays) forms a random recursive tree;
+/// group vicinities are placed on a jittered grid, sensors uniformly inside
+/// their vicinity. Deterministic given the RNG.
+#[must_use]
+pub fn clustered<R: Rng + ?Sized>(
+    groups: usize,
+    sensors_per_group: usize,
+    total_nodes: usize,
+    rng: &mut R,
+) -> ClusteredLayout {
+    assert!(groups >= 1);
+    let sensors_total = groups * sensors_per_group;
+    assert!(
+        total_nodes >= sensors_total + groups,
+        "need at least one gateway per group: {total_nodes} < {}",
+        sensors_total + groups
+    );
+    let backbone = total_nodes - sensors_total;
+
+    // Backbone tree over nodes 0..backbone.
+    let mut edges: Vec<(u32, u32)> = (1..backbone as u32)
+        .map(|i| (rng.gen_range(0..i), i))
+        .collect();
+    // Gateways are spread over the backbone ids to avoid all groups sharing
+    // one hub: take evenly spaced backbone ids.
+    let gateways: Vec<NodeId> =
+        (0..groups).map(|g| NodeId((g * backbone / groups) as u32)).collect();
+    let relays: Vec<NodeId> = (0..backbone as u32)
+        .map(NodeId)
+        .filter(|n| !gateways.contains(n))
+        .collect();
+
+    // Sensor nodes chain off their gateway: gateway — s₀ — s₁ — … .
+    let mut sensor_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(groups);
+    let mut next = backbone as u32;
+    for gateway in &gateways {
+        let mut members = Vec::with_capacity(sensors_per_group);
+        let mut prev = gateway.0;
+        for _ in 0..sensors_per_group {
+            edges.push((prev, next));
+            members.push(NodeId(next));
+            prev = next;
+            next += 1;
+        }
+        sensor_nodes.push(members);
+    }
+    let topology = Topology::from_edges(total_nodes, &edges).expect("clustered layout is a tree");
+
+    // Geography: vicinities on a jittered grid, 2 km apart, 150 m radius —
+    // loosely modelled on the Grand St. Bernard deployment footprint.
+    let group_radius = 150.0;
+    let cell = 2_000.0;
+    let cols = (groups as f64).sqrt().ceil() as usize;
+    let group_centers: Vec<Point> = (0..groups)
+        .map(|g| {
+            let (cx, cy) = ((g % cols) as f64, (g / cols) as f64);
+            Point::new(
+                cx * cell + rng.gen_range(-200.0..200.0),
+                cy * cell + rng.gen_range(-200.0..200.0),
+            )
+        })
+        .collect();
+
+    let mut positions = vec![Point::new(0.0, 0.0); total_nodes];
+    for (g, &gw) in gateways.iter().enumerate() {
+        positions[gw.0 as usize] = group_centers[g];
+        for &sn in &sensor_nodes[g] {
+            positions[sn.0 as usize] = Point::new(
+                group_centers[g].x + rng.gen_range(-group_radius..group_radius) * 0.7,
+                group_centers[g].y + rng.gen_range(-group_radius..group_radius) * 0.7,
+            );
+        }
+    }
+    // Relays sit between their tree neighbors; geography is cosmetic for
+    // them (no sensors), place them at the overall centroid with jitter.
+    let centroid = Point::new(
+        group_centers.iter().map(|p| p.x).sum::<f64>() / groups as f64,
+        group_centers.iter().map(|p| p.y).sum::<f64>() / groups as f64,
+    );
+    for r in &relays {
+        positions[r.0 as usize] = Point::new(
+            centroid.x + rng.gen_range(-500.0..500.0),
+            centroid.y + rng.gen_range(-500.0..500.0),
+        );
+    }
+
+    ClusteredLayout {
+        topology,
+        gateways,
+        relays,
+        sensor_nodes,
+        positions,
+        group_centers,
+        group_radius,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn line_star_balanced_shapes() {
+        assert_eq!(line(5).distance(NodeId(0), NodeId(4)), 4);
+        assert_eq!(star(5).distance(NodeId(1), NodeId(4)), 2);
+        let b = balanced(7, 2);
+        assert_eq!(b.neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(b.distance(NodeId(3), NodeId(6)), 4);
+    }
+
+    #[test]
+    fn random_tree_is_deterministic_per_seed() {
+        let t1 = random_tree(50, &mut StdRng::seed_from_u64(9));
+        let t2 = random_tree(50, &mut StdRng::seed_from_u64(9));
+        let t3 = random_tree(50, &mut StdRng::seed_from_u64(10));
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+        assert_eq!(t1.len(), 50);
+    }
+
+    #[test]
+    fn clustered_small_scale_dimensions() {
+        // the paper's small scale: 60 nodes, 10 groups x 5 sensors
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = clustered(10, 5, 60, &mut rng);
+        assert_eq!(l.len(), 60);
+        assert_eq!(l.gateways.len(), 10);
+        assert_eq!(l.relays.len(), 0, "60 = 50 sensors + 10 gateways, no spare relays");
+        assert_eq!(l.all_sensor_nodes().count(), 50);
+        assert_eq!(l.user_nodes().len(), 10);
+        // group members chain off the gateway: first member neighbors the
+        // gateway, the last member is a leaf
+        for (g, members) in l.sensor_nodes.iter().enumerate() {
+            assert!(l.topology.neighbors(members[0]).contains(&l.gateways[g]));
+            assert_eq!(l.topology.degree(*members.last().unwrap()), 1);
+            for w in members.windows(2) {
+                assert!(l.topology.neighbors(w[0]).contains(&w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_medium_has_relays() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = clustered(10, 5, 100, &mut rng);
+        assert_eq!(l.len(), 100);
+        assert_eq!(l.relays.len(), 40);
+        assert_eq!(l.user_nodes().len(), 50);
+    }
+
+    #[test]
+    fn clustered_sensor_positions_are_in_vicinity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let l = clustered(10, 5, 100, &mut rng);
+        for (g, members) in l.sensor_nodes.iter().enumerate() {
+            for &sn in members {
+                let d = l.positions[sn.0 as usize].distance(&l.group_centers[g]);
+                assert!(d <= l.group_radius * 1.5, "sensor {sn} too far: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_rejects_too_small_networks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            clustered(10, 5, 55, &mut rng)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn gateways_are_distinct_backbone_nodes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let l = clustered(20, 5, 200, &mut rng);
+        let mut g = l.gateways.clone();
+        g.sort_unstable();
+        g.dedup();
+        assert_eq!(g.len(), 20);
+        assert!(g.iter().all(|n| (n.0 as usize) < 100), "gateways live on the backbone");
+    }
+}

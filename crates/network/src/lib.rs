@@ -1,0 +1,35 @@
+//! # fsf-network
+//!
+//! The network substrate the paper's system runs on (§IV-B "System Model"):
+//! processing nodes connected in an **acyclic graph**, exchanging
+//! advertisements, subscriptions and events, with *network traffic* as the
+//! metric of interest.
+//!
+//! The paper evaluated on a Xen cluster of 60–200 paravirtualised VMs; the
+//! metrics it reports (subscription load = operators forwarded over links,
+//! publication load = simple-event data units forwarded over links) are
+//! properties of the algorithms and the topology, not of timing. This crate
+//! therefore provides:
+//!
+//! * [`topology`] — validated tree topologies, unique-path routing, the
+//!   graph median (the "central node with the minimum pairwise distance to
+//!   all other nodes" used by the Centralized baseline), and builders
+//!   including the SensorScope-style clustered layout of §VI-A;
+//! * [`traffic`] — per-kind and per-link traffic accounting;
+//! * [`sim`] — a deterministic run-to-quiescence message simulator over a
+//!   [`sim::NodeBehavior`] trait. The same trait is executed by real OS
+//!   threads in `fsf-runtime`, demonstrating the node logic under genuine
+//!   concurrency.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod builders;
+pub mod sim;
+pub mod topology;
+pub mod traffic;
+
+pub use builders::ClusteredLayout;
+pub use sim::{Ctx, DeliveryLog, NodeBehavior, Simulator};
+pub use topology::{NodeId, Topology, TopologyError};
+pub use traffic::{ChargeKind, TrafficStats};

@@ -1,0 +1,360 @@
+//! Deterministic run-to-quiescence message simulator.
+//!
+//! The paper's metrics are traffic counts, not latencies, so the simulator
+//! processes messages from a FIFO queue until none remain ("quiescence")
+//! after each injection. Every behaviour implemented against
+//! [`NodeBehavior`] also runs unmodified on real OS threads via
+//! `fsf-runtime`, which provides the concurrency the paper's Xen testbed
+//! had; the simulator provides the determinism the evaluation needs.
+
+use crate::topology::{NodeId, Topology};
+use crate::traffic::{ChargeKind, TrafficStats};
+use fsf_model::{ComplexEvent, EventId, SubId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The node-logic trait implemented by every engine (FSF and the four
+/// baselines).
+pub trait NodeBehavior {
+    /// The engine's wire message type.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Handle one message. `from == ctx.node()` signals a locally injected
+    /// item (the paper's `n == m` case: a local user subscription, a local
+    /// sensor reading, or a local sensor appearing).
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+}
+
+/// What a node may do while handling a message: send to neighbors and
+/// deliver results to its local users.
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    node: NodeId,
+    neighbors: &'a [NodeId],
+    outbox: &'a mut Vec<(NodeId, M, ChargeKind, u64)>,
+    deliveries: &'a mut DeliveryLog,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Construct a context for an external executor (e.g. the threaded
+    /// runtime in `fsf-runtime`) that drives [`NodeBehavior`] outside the
+    /// simulator. The executor owns the outbox and delivery log and is
+    /// responsible for dispatching/charging the drained sends.
+    #[must_use]
+    pub fn external(
+        node: NodeId,
+        neighbors: &'a [NodeId],
+        outbox: &'a mut Vec<(NodeId, M, ChargeKind, u64)>,
+        deliveries: &'a mut DeliveryLog,
+    ) -> Self {
+        Ctx { node, neighbors, outbox, deliveries }
+    }
+
+    /// The node executing.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's neighbors (sorted).
+    #[must_use]
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Send `msg` to neighbor `to`, charging `units` of `kind` traffic on
+    /// the link. Panics if `to` is not a neighbor — the system model only
+    /// has local interaction.
+    pub fn send(&mut self, to: NodeId, msg: M, kind: ChargeKind, units: u64) {
+        assert!(
+            self.neighbors.binary_search(&to).is_ok(),
+            "{} is not a neighbor of {}",
+            to,
+            self.node
+        );
+        self.outbox.push((to, msg, kind, units));
+    }
+
+    /// Deliver a complex event to a local user's subscription.
+    pub fn deliver(&mut self, sub: SubId, event: &ComplexEvent) {
+        self.deliveries.record(sub, event);
+    }
+}
+
+/// Results delivered to end users, as needed for the recall metric
+/// (§VI-F): per subscription, the set of simple events that reached the
+/// user inside at least one delivered complex event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeliveryLog {
+    per_sub: BTreeMap<SubId, BTreeSet<EventId>>,
+    complex_deliveries: u64,
+}
+
+impl DeliveryLog {
+    /// Empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one delivered complex event.
+    pub fn record(&mut self, sub: SubId, event: &ComplexEvent) {
+        self.complex_deliveries += 1;
+        self.per_sub.entry(sub).or_default().extend(event.event_ids());
+    }
+
+    /// Simple events delivered for `sub` (empty set if none).
+    #[must_use]
+    pub fn delivered(&self, sub: SubId) -> &BTreeSet<EventId> {
+        static EMPTY: BTreeSet<EventId> = BTreeSet::new();
+        self.per_sub.get(&sub).unwrap_or(&EMPTY)
+    }
+
+    /// Number of `deliver` calls (complex events, duplicates included).
+    #[must_use]
+    pub fn complex_deliveries(&self) -> u64 {
+        self.complex_deliveries
+    }
+
+    /// Subscriptions with at least one delivery.
+    pub fn subs(&self) -> impl Iterator<Item = SubId> + '_ {
+        self.per_sub.keys().copied()
+    }
+
+    /// Total distinct (subscription, simple event) delivery pairs.
+    #[must_use]
+    pub fn total_event_units(&self) -> u64 {
+        self.per_sub.values().map(|s| s.len() as u64).sum()
+    }
+
+    /// Fold another log into this one (used by multi-executor runtimes).
+    pub fn merge(&mut self, other: &DeliveryLog) {
+        self.complex_deliveries += other.complex_deliveries;
+        for (sub, events) in &other.per_sub {
+            self.per_sub.entry(*sub).or_default().extend(events.iter().copied());
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Envelope<M> {
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+/// Deterministic FIFO simulator over a tree of [`NodeBehavior`] nodes.
+#[derive(Debug)]
+pub struct Simulator<B: NodeBehavior> {
+    topology: Topology,
+    nodes: Vec<B>,
+    queue: VecDeque<Envelope<B::Msg>>,
+    /// Accumulated traffic counters.
+    pub stats: TrafficStats,
+    /// Accumulated end-user deliveries.
+    pub deliveries: DeliveryLog,
+    steps: u64,
+    max_steps_per_run: u64,
+}
+
+impl<B: NodeBehavior> Simulator<B> {
+    /// Default per-`run_to_quiescence` step budget; exceeding it panics
+    /// (a forwarding loop would otherwise spin forever).
+    pub const DEFAULT_MAX_STEPS: u64 = 200_000_000;
+
+    /// Build a simulator, constructing one node per topology id.
+    pub fn new(topology: Topology, mut make_node: impl FnMut(NodeId, &Topology) -> B) -> Self {
+        let nodes = topology.nodes().map(|id| make_node(id, &topology)).collect();
+        Simulator {
+            topology,
+            nodes,
+            queue: VecDeque::new(),
+            stats: TrafficStats::new(),
+            deliveries: DeliveryLog::new(),
+            steps: 0,
+            max_steps_per_run: Self::DEFAULT_MAX_STEPS,
+        }
+    }
+
+    /// Override the runaway-protection step budget.
+    pub fn set_max_steps(&mut self, max: u64) {
+        self.max_steps_per_run = max;
+    }
+
+    /// The topology being simulated.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Immutable access to a node's state (for inspection in tests).
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &B {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable access to a node's state.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut B {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Messages processed since construction.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Inject a local item (sensor appearance, user subscription, sensor
+    /// reading) at `node`. The node sees `from == node`.
+    pub fn inject(&mut self, node: NodeId, msg: B::Msg) {
+        self.queue.push_back(Envelope { from: node, to: node, msg });
+    }
+
+    /// Process queued messages until the network is quiescent. Returns the
+    /// number of messages processed by this call.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        let mut processed = 0u64;
+        let mut outbox: Vec<(NodeId, B::Msg, ChargeKind, u64)> = Vec::new();
+        while let Some(env) = self.queue.pop_front() {
+            processed += 1;
+            if processed > self.max_steps_per_run {
+                panic!(
+                    "simulator exceeded {} steps — forwarding loop?",
+                    self.max_steps_per_run
+                );
+            }
+            let node_idx = env.to.0 as usize;
+            {
+                let mut ctx = Ctx {
+                    node: env.to,
+                    neighbors: self.topology.neighbors(env.to),
+                    outbox: &mut outbox,
+                    deliveries: &mut self.deliveries,
+                };
+                self.nodes[node_idx].on_message(env.from, env.msg, &mut ctx);
+            }
+            for (to, msg, kind, units) in outbox.drain(..) {
+                self.stats.charge(kind, env.to, to, units);
+                self.queue.push_back(Envelope { from: env.to, to, msg });
+            }
+        }
+        self.steps += processed;
+        processed
+    }
+
+    /// Convenience: inject then run to quiescence.
+    pub fn inject_and_run(&mut self, node: NodeId, msg: B::Msg) -> u64 {
+        self.inject(node, msg);
+        self.run_to_quiescence()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    /// A flooding test behaviour: every locally injected number floods the
+    /// tree; nodes remember what they saw.
+    #[derive(Debug, Default)]
+    struct Flood {
+        seen: Vec<u64>,
+    }
+
+    impl NodeBehavior for Flood {
+        type Msg = u64;
+        fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+            if self.seen.contains(&msg) {
+                return;
+            }
+            self.seen.push(msg);
+            let me = ctx.node();
+            let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
+            for n in neighbors {
+                if n != from || from == me {
+                    ctx.send(n, msg, ChargeKind::Advertisement, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flood_reaches_every_node_once() {
+        let topo = builders::balanced(15, 2);
+        let mut sim = Simulator::new(topo, |_, _| Flood::default());
+        sim.inject_and_run(NodeId(7), 42);
+        for n in 0..15u32 {
+            assert_eq!(sim.node(NodeId(n)).seen, vec![42], "node n{n}");
+        }
+        // a tree floods over exactly n-1 links (back-edges suppressed)
+        assert_eq!(sim.stats.adv_msgs, 14);
+    }
+
+    #[test]
+    fn quiescence_returns_processed_count() {
+        let topo = builders::line(4);
+        let mut sim = Simulator::new(topo, |_, _| Flood::default());
+        let processed = sim.inject_and_run(NodeId(0), 1);
+        // 1 local + 3 forwards
+        assert_eq!(processed, 4);
+        assert_eq!(sim.steps(), 4);
+        assert_eq!(sim.run_to_quiescence(), 0, "already quiescent");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a neighbor")]
+    fn sending_to_non_neighbor_panics() {
+        #[derive(Debug)]
+        struct Bad;
+        impl NodeBehavior for Bad {
+            type Msg = ();
+            fn on_message(&mut self, _: NodeId, _: (), ctx: &mut Ctx<'_, ()>) {
+                ctx.send(NodeId(3), (), ChargeKind::Event, 1);
+            }
+        }
+        let topo = builders::line(4);
+        let mut sim = Simulator::new(topo, |_, _| Bad);
+        sim.inject_and_run(NodeId(0), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "forwarding loop")]
+    fn runaway_protection_trips() {
+        #[derive(Debug)]
+        struct PingPong;
+        impl NodeBehavior for PingPong {
+            type Msg = ();
+            fn on_message(&mut self, from: NodeId, _: (), ctx: &mut Ctx<'_, ()>) {
+                // bounce forever between the two nodes
+                let to = if from == ctx.node() { ctx.neighbors()[0] } else { from };
+                ctx.send(to, (), ChargeKind::Event, 1);
+            }
+        }
+        let topo = builders::line(2);
+        let mut sim = Simulator::new(topo, |_, _| PingPong);
+        sim.set_max_steps(1000);
+        sim.inject_and_run(NodeId(0), ());
+    }
+
+    #[test]
+    fn delivery_log_tracks_distinct_simple_events() {
+        use fsf_model::{AttrId, Event, Point, SensorId, Timestamp};
+        let ev = |id: u64| Event {
+            id: EventId(id),
+            sensor: SensorId(1),
+            attr: AttrId(0),
+            location: Point::new(0.0, 0.0),
+            value: 0.0,
+            timestamp: Timestamp(id),
+        };
+        let mut log = DeliveryLog::new();
+        log.record(SubId(1), &ComplexEvent::new(vec![ev(1), ev(2)]));
+        log.record(SubId(1), &ComplexEvent::new(vec![ev(2), ev(3)]));
+        log.record(SubId(2), &ComplexEvent::new(vec![ev(1)]));
+        assert_eq!(log.complex_deliveries(), 3);
+        assert_eq!(log.delivered(SubId(1)).len(), 3);
+        assert_eq!(log.delivered(SubId(2)).len(), 1);
+        assert_eq!(log.delivered(SubId(9)).len(), 0);
+        assert_eq!(log.total_event_units(), 4);
+        assert_eq!(log.subs().count(), 2);
+    }
+}

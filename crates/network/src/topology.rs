@@ -1,0 +1,320 @@
+//! Acyclic network topologies and unique-path routing.
+//!
+//! The paper's system model (§IV-B): "processing nodes connected in an
+//! acyclic graph". In a tree every pair of nodes has a unique path, which is
+//! what makes reverse-advertisement-path routing of subscriptions and
+//! reverse-subscription-path routing of events well-defined.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Identifier of a processing node.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Errors from topology construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An edge referenced a node outside `0..n`.
+    NodeOutOfRange(u32),
+    /// A self-loop or duplicate edge was supplied.
+    BadEdge(u32, u32),
+    /// The edge set does not form a single connected tree.
+    NotATree,
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::NodeOutOfRange(n) => write!(f, "node n{n} out of range"),
+            TopologyError::BadEdge(a, b) => write!(f, "bad edge (n{a}, n{b})"),
+            TopologyError::NotATree => write!(f, "edge set is not a connected tree"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A validated tree over nodes `0..n`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Build from an explicit edge list. The edges must form a tree:
+    /// exactly `n − 1` distinct non-loop edges connecting all `n` nodes.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, TopologyError> {
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        if edges.len() != n.saturating_sub(1) {
+            return Err(TopologyError::NotATree);
+        }
+        for &(a, b) in edges {
+            if a as usize >= n {
+                return Err(TopologyError::NodeOutOfRange(a));
+            }
+            if b as usize >= n {
+                return Err(TopologyError::NodeOutOfRange(b));
+            }
+            if a == b {
+                return Err(TopologyError::BadEdge(a, b));
+            }
+            if adj[a as usize].contains(&NodeId(b)) {
+                return Err(TopologyError::BadEdge(a, b));
+            }
+            adj[a as usize].push(NodeId(b));
+            adj[b as usize].push(NodeId(a));
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        let topo = Topology { adj };
+        // n-1 distinct edges + connected ⇒ tree
+        if n > 0 && topo.bfs_order(NodeId(0)).len() != n {
+            return Err(TopologyError::NotATree);
+        }
+        Ok(topo)
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Is the topology empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId)
+    }
+
+    /// Neighbors of a node, sorted ascending.
+    #[must_use]
+    pub fn neighbors(&self, n: NodeId) -> &[NodeId] {
+        &self.adj[n.0 as usize]
+    }
+
+    /// Node degree.
+    #[must_use]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj[n.0 as usize].len()
+    }
+
+    /// BFS visit order from `root` (used for connectivity validation).
+    fn bfs_order(&self, root: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut order = Vec::with_capacity(self.adj.len());
+        let mut q = VecDeque::new();
+        seen[root.0 as usize] = true;
+        q.push_back(root);
+        while let Some(u) = q.pop_front() {
+            order.push(u);
+            for &v in self.neighbors(u) {
+                if !seen[v.0 as usize] {
+                    seen[v.0 as usize] = true;
+                    q.push_back(v);
+                }
+            }
+        }
+        order
+    }
+
+    /// Parent pointers of the BFS tree rooted at `root`:
+    /// `parents[v]` is `v`'s neighbor on the unique path toward `root`
+    /// (`None` for the root). This is the next-hop table the Centralized
+    /// baseline routes with.
+    #[must_use]
+    pub fn parents_toward(&self, root: NodeId) -> Vec<Option<NodeId>> {
+        let mut parents: Vec<Option<NodeId>> = vec![None; self.adj.len()];
+        let mut seen = vec![false; self.adj.len()];
+        let mut q = VecDeque::new();
+        seen[root.0 as usize] = true;
+        q.push_back(root);
+        while let Some(u) = q.pop_front() {
+            for &v in self.neighbors(u) {
+                if !seen[v.0 as usize] {
+                    seen[v.0 as usize] = true;
+                    parents[v.0 as usize] = Some(u);
+                    q.push_back(v);
+                }
+            }
+        }
+        parents
+    }
+
+    /// The unique path from `a` to `b`, inclusive of both endpoints.
+    #[must_use]
+    pub fn path(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let parents = self.parents_toward(a);
+        let mut path = vec![b];
+        let mut cur = b;
+        while cur != a {
+            let p = parents[cur.0 as usize].expect("tree is connected");
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Hop distance between two nodes.
+    #[must_use]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        self.path(a, b).len() - 1
+    }
+
+    /// All-nodes hop distances from `root` (one BFS).
+    #[must_use]
+    pub fn distances_from(&self, root: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.adj.len()];
+        let mut q = VecDeque::new();
+        dist[root.0 as usize] = 0;
+        q.push_back(root);
+        while let Some(u) = q.pop_front() {
+            for &v in self.neighbors(u) {
+                if dist[v.0 as usize] == usize::MAX {
+                    dist[v.0 as usize] = dist[u.0 as usize] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The graph median: the node minimising the sum of distances to all
+    /// other nodes — the paper's "central node (the node with the minimum
+    /// pairwise distance to all other nodes)" used by the Centralized
+    /// baseline. Ties break toward the smaller id (deterministic).
+    #[must_use]
+    pub fn median(&self) -> NodeId {
+        assert!(!self.is_empty(), "median of empty topology");
+        let mut best = (usize::MAX, NodeId(0));
+        for n in self.nodes() {
+            let total: usize = self.distances_from(n).iter().sum();
+            if total < best.0 {
+                best = (total, n);
+            }
+        }
+        best.1
+    }
+
+    /// Sum over all node pairs of hop distance — a compactness measure used
+    /// in tests and reports.
+    #[must_use]
+    pub fn wiener_index(&self) -> usize {
+        self.nodes().map(|n| self.distances_from(n).iter().sum::<usize>()).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Topology {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Topology::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn rejects_cycles_disconnected_and_loops() {
+        assert_eq!(
+            Topology::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap_err(),
+            TopologyError::NotATree
+        );
+        assert_eq!(
+            Topology::from_edges(4, &[(0, 1), (2, 3), (0, 1)]).unwrap_err(),
+            TopologyError::BadEdge(0, 1)
+        );
+        assert_eq!(
+            Topology::from_edges(4, &[(0, 1), (2, 3)]).unwrap_err(),
+            TopologyError::NotATree
+        );
+        assert_eq!(
+            Topology::from_edges(2, &[(0, 2)]).unwrap_err(),
+            TopologyError::NodeOutOfRange(2)
+        );
+        assert_eq!(
+            Topology::from_edges(2, &[(1, 1)]).unwrap_err(),
+            TopologyError::BadEdge(1, 1)
+        );
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let t = Topology::from_edges(4, &[(1, 3), (1, 0), (1, 2)]).unwrap();
+        assert_eq!(t.neighbors(NodeId(1)), &[NodeId(0), NodeId(2), NodeId(3)]);
+        assert_eq!(t.degree(NodeId(1)), 3);
+        assert_eq!(t.degree(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn path_and_distance_on_line() {
+        let t = line(5);
+        assert_eq!(
+            t.path(NodeId(0), NodeId(4)),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+        assert_eq!(t.path(NodeId(4), NodeId(0)).len(), 5);
+        assert_eq!(t.distance(NodeId(0), NodeId(4)), 4);
+        assert_eq!(t.distance(NodeId(2), NodeId(2)), 0);
+        assert_eq!(t.path(NodeId(2), NodeId(2)), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn parents_toward_gives_next_hops() {
+        let t = line(4);
+        let p = t.parents_toward(NodeId(0));
+        assert_eq!(p[0], None);
+        assert_eq!(p[1], Some(NodeId(0)));
+        assert_eq!(p[3], Some(NodeId(2)));
+    }
+
+    #[test]
+    fn median_of_line_is_middle() {
+        assert_eq!(line(5).median(), NodeId(2));
+        // even line: tie between 1 and 2 breaks low
+        assert_eq!(line(4).median(), NodeId(1));
+    }
+
+    #[test]
+    fn median_of_star_is_hub() {
+        let t = Topology::from_edges(5, &[(2, 0), (2, 1), (2, 3), (2, 4)]).unwrap();
+        assert_eq!(t.median(), NodeId(2));
+    }
+
+    #[test]
+    fn distances_from_matches_pairwise_distance() {
+        let t = line(6);
+        let d = t.distances_from(NodeId(3));
+        for v in t.nodes() {
+            assert_eq!(d[v.0 as usize], t.distance(NodeId(3), v));
+        }
+    }
+
+    #[test]
+    fn wiener_index_of_line4() {
+        // pairs: 01,02,03,12,13,23 → 1+2+3+1+2+1 = 10
+        assert_eq!(line(4).wiener_index(), 10);
+    }
+
+    #[test]
+    fn single_node_topology() {
+        let t = Topology::from_edges(1, &[]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.median(), NodeId(0));
+        assert!(t.neighbors(NodeId(0)).is_empty());
+    }
+}

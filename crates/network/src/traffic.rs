@@ -1,0 +1,136 @@
+//! Traffic accounting — the paper's evaluation metrics (§VI-B).
+//!
+//! * **Subscription load** "increases every time an operator is forwarded to
+//!   a neighboring node";
+//! * **Publication load** counts forwarded result-set *data units* — we
+//!   charge one unit per simple event crossing a link (a complex-event
+//!   bundle of `k` simple events costs `k`);
+//! * advertisement traffic is tracked but reported separately (the paper
+//!   excludes it from the comparison since it is identical across the
+//!   distributed approaches).
+
+use crate::topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What kind of traffic a message charge belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChargeKind {
+    /// Data-source advertisement flooding (Algorithm 1).
+    Advertisement,
+    /// A subscription / correlation operator forward (Algorithms 3–4).
+    Subscription,
+    /// Simple-event data units (Algorithm 5 / result sets).
+    Event,
+}
+
+/// Per-link counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkTraffic {
+    /// Advertisement messages over this directed link.
+    pub adv: u64,
+    /// Operators forwarded over this directed link.
+    pub subs: u64,
+    /// Simple-event units forwarded over this directed link.
+    pub events: u64,
+}
+
+/// Aggregated traffic statistics of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Total advertisement messages.
+    pub adv_msgs: u64,
+    /// Total operator forwards — the paper's *subscription load*
+    /// ("number of forwarded queries").
+    pub sub_forwards: u64,
+    /// Total simple-event units forwarded — the paper's *publication load*
+    /// ("number of forwarded data units").
+    pub event_units: u64,
+    /// Directed per-link breakdown.
+    per_link: BTreeMap<(NodeId, NodeId), LinkTraffic>,
+}
+
+impl TrafficStats {
+    /// Empty statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `units` of `kind` traffic on the directed link `from → to`.
+    pub fn charge(&mut self, kind: ChargeKind, from: NodeId, to: NodeId, units: u64) {
+        let link = self.per_link.entry((from, to)).or_default();
+        match kind {
+            ChargeKind::Advertisement => {
+                self.adv_msgs += units;
+                link.adv += units;
+            }
+            ChargeKind::Subscription => {
+                self.sub_forwards += units;
+                link.subs += units;
+            }
+            ChargeKind::Event => {
+                self.event_units += units;
+                link.events += units;
+            }
+        }
+    }
+
+    /// Per-link counters for a directed link.
+    #[must_use]
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkTraffic {
+        self.per_link.get(&(from, to)).copied().unwrap_or_default()
+    }
+
+    /// Iterate over all directed links with traffic.
+    pub fn links(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &LinkTraffic)> {
+        self.per_link.iter()
+    }
+
+    /// Fold another run's statistics into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.adv_msgs += other.adv_msgs;
+        self.sub_forwards += other.sub_forwards;
+        self.event_units += other.event_units;
+        for (k, v) in &other.per_link {
+            let link = self.per_link.entry(*k).or_default();
+            link.adv += v.adv;
+            link.subs += v.subs;
+            link.events += v.events;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_by_kind() {
+        let mut s = TrafficStats::new();
+        s.charge(ChargeKind::Subscription, NodeId(0), NodeId(1), 1);
+        s.charge(ChargeKind::Subscription, NodeId(0), NodeId(1), 1);
+        s.charge(ChargeKind::Event, NodeId(1), NodeId(0), 3);
+        s.charge(ChargeKind::Advertisement, NodeId(2), NodeId(1), 1);
+        assert_eq!(s.sub_forwards, 2);
+        assert_eq!(s.event_units, 3);
+        assert_eq!(s.adv_msgs, 1);
+        assert_eq!(s.link(NodeId(0), NodeId(1)).subs, 2);
+        assert_eq!(s.link(NodeId(1), NodeId(0)).events, 3);
+        assert_eq!(s.link(NodeId(1), NodeId(2)).adv, 0, "links are directed");
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = TrafficStats::new();
+        a.charge(ChargeKind::Event, NodeId(0), NodeId(1), 5);
+        let mut b = TrafficStats::new();
+        b.charge(ChargeKind::Event, NodeId(0), NodeId(1), 7);
+        b.charge(ChargeKind::Subscription, NodeId(1), NodeId(2), 1);
+        a.merge(&b);
+        assert_eq!(a.event_units, 12);
+        assert_eq!(a.sub_forwards, 1);
+        assert_eq!(a.link(NodeId(0), NodeId(1)).events, 12);
+        assert_eq!(a.links().count(), 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Binary wire encoding for the data-plane message payloads.
+//!
+//! The threaded runtime's channels stand in for sockets; this codec is what
+//! a real deployment would put on them. Fixed-width big-endian fields, no
+//! self-description — both ends share the schema, as they would in the
+//! paper's homogeneous middleware.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fsf_model::{Advertisement, AttrId, Event, EventId, Point, SensorId, Timestamp};
+
+/// Encoded size of an [`Event`] in bytes.
+pub const EVENT_WIRE_SIZE: usize = 8 + 4 + 2 + 8 + 8 + 8 + 8;
+
+/// Encoded size of an [`Advertisement`] in bytes.
+pub const ADV_WIRE_SIZE: usize = 4 + 2 + 8 + 8;
+
+/// Append an event's wire form to `buf`.
+pub fn encode_event(e: &Event, buf: &mut BytesMut) {
+    buf.reserve(EVENT_WIRE_SIZE);
+    buf.put_u64(e.id.0);
+    buf.put_u32(e.sensor.0);
+    buf.put_u16(e.attr.0);
+    buf.put_f64(e.location.x);
+    buf.put_f64(e.location.y);
+    buf.put_f64(e.value);
+    buf.put_u64(e.timestamp.0);
+}
+
+/// Decode one event; `None` if the buffer is too short.
+pub fn decode_event(buf: &mut Bytes) -> Option<Event> {
+    if buf.remaining() < EVENT_WIRE_SIZE {
+        return None;
+    }
+    Some(Event {
+        id: EventId(buf.get_u64()),
+        sensor: SensorId(buf.get_u32()),
+        attr: AttrId(buf.get_u16()),
+        location: Point::new(buf.get_f64(), buf.get_f64()),
+        value: buf.get_f64(),
+        timestamp: Timestamp(buf.get_u64()),
+    })
+}
+
+/// Append an advertisement's wire form to `buf`.
+pub fn encode_advertisement(a: &Advertisement, buf: &mut BytesMut) {
+    buf.reserve(ADV_WIRE_SIZE);
+    buf.put_u32(a.sensor.0);
+    buf.put_u16(a.attr.0);
+    buf.put_f64(a.location.x);
+    buf.put_f64(a.location.y);
+}
+
+/// Decode one advertisement; `None` if the buffer is too short.
+pub fn decode_advertisement(buf: &mut Bytes) -> Option<Advertisement> {
+    if buf.remaining() < ADV_WIRE_SIZE {
+        return None;
+    }
+    Some(Advertisement {
+        sensor: SensorId(buf.get_u32()),
+        attr: AttrId(buf.get_u16()),
+        location: Point::new(buf.get_f64(), buf.get_f64()),
+    })
+}
+
+/// Encode a batch of events (length-prefixed), the payload of an
+/// `Events(…)` link message.
+#[must_use]
+pub fn encode_event_batch(events: &[Event]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + events.len() * EVENT_WIRE_SIZE);
+    buf.put_u32(events.len() as u32);
+    for e in events {
+        encode_event(e, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decode a batch encoded by [`encode_event_batch`].
+#[must_use]
+pub fn decode_event_batch(mut buf: Bytes) -> Option<Vec<Event>> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let n = buf.get_u32() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(decode_event(&mut buf)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(id: u64) -> Event {
+        Event {
+            id: EventId(id),
+            sensor: SensorId(7),
+            attr: AttrId(3),
+            location: Point::new(1.5, -2.5),
+            value: 21.25,
+            timestamp: Timestamp(123_456),
+        }
+    }
+
+    #[test]
+    fn event_roundtrip() {
+        let e = ev(42);
+        let mut buf = BytesMut::new();
+        encode_event(&e, &mut buf);
+        assert_eq!(buf.len(), EVENT_WIRE_SIZE);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_event(&mut bytes), Some(e));
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn advertisement_roundtrip() {
+        let a = Advertisement {
+            sensor: SensorId(9),
+            attr: AttrId(1),
+            location: Point::new(0.0, 4.25),
+        };
+        let mut buf = BytesMut::new();
+        encode_advertisement(&a, &mut buf);
+        assert_eq!(buf.len(), ADV_WIRE_SIZE);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_advertisement(&mut bytes), Some(a));
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let events: Vec<Event> = (0..5).map(ev).collect();
+        let encoded = encode_event_batch(&events);
+        assert_eq!(encoded.len(), 4 + 5 * EVENT_WIRE_SIZE);
+        assert_eq!(decode_event_batch(encoded), Some(events));
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let e = ev(1);
+        let mut buf = BytesMut::new();
+        encode_event(&e, &mut buf);
+        let mut short = buf.freeze().slice(..EVENT_WIRE_SIZE - 1);
+        assert_eq!(decode_event(&mut short), None);
+
+        let batch = encode_event_batch(&[e]);
+        assert_eq!(decode_event_batch(batch.slice(..batch.len() - 2)), None);
+        assert_eq!(decode_event_batch(Bytes::new()), None);
+    }
+
+    #[test]
+    fn empty_batch_roundtrip() {
+        assert_eq!(decode_event_batch(encode_event_batch(&[])), Some(vec![]));
+    }
+}

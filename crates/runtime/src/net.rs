@@ -1,0 +1,215 @@
+//! The threaded network executor.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use fsf_network::{Ctx, DeliveryLog, NodeBehavior, NodeId, Topology, TrafficStats};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Packet<M> {
+    Msg { from: NodeId, msg: M },
+    Stop,
+}
+
+/// Both ends of one node's inbound channel.
+type Link<M> = (Sender<Packet<M>>, Receiver<Packet<M>>);
+
+struct Shared {
+    stats: Mutex<TrafficStats>,
+    deliveries: Mutex<DeliveryLog>,
+    /// Messages injected or sent but not yet fully processed. Zero means
+    /// the network is quiescent.
+    pending: AtomicI64,
+}
+
+/// A network of node threads executing a [`NodeBehavior`].
+///
+/// Each node runs on its own OS thread; links are unbounded channels.
+/// Traffic charges and end-user deliveries fold into shared, lock-protected
+/// aggregates (the lock stands in for the measurement collector the paper's
+/// testbed would have).
+pub struct ThreadedNet<M: Send + 'static> {
+    senders: Vec<Sender<Packet<M>>>,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<M: Send + 'static> ThreadedNet<M> {
+    /// Spawn one thread per topology node. `make_node` builds each node's
+    /// behaviour (it runs on the spawning thread).
+    #[must_use]
+    pub fn spawn<B>(
+        topology: &Topology,
+        mut make_node: impl FnMut(NodeId, &Topology) -> B,
+    ) -> Self
+    where
+        B: NodeBehavior<Msg = M> + Send + 'static,
+    {
+        let shared = Arc::new(Shared {
+            stats: Mutex::new(TrafficStats::new()),
+            deliveries: Mutex::new(DeliveryLog::new()),
+            pending: AtomicI64::new(0),
+        });
+        let channels: Vec<Link<M>> = (0..topology.len()).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Packet<M>>> =
+            channels.iter().map(|(s, _)| s.clone()).collect();
+
+        let mut handles = Vec::with_capacity(topology.len());
+        for (idx, (_, rx)) in channels.into_iter().enumerate() {
+            let id = NodeId(idx as u32);
+            let mut node = make_node(id, topology);
+            let neighbors = topology.neighbors(id).to_vec();
+            let senders = senders.clone();
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                node_loop(id, &neighbors, &mut node, &rx, &senders, &shared);
+            }));
+        }
+        ThreadedNet { senders, shared, handles }
+    }
+
+    /// Inject a local item at `node` (the node sees `from == node`).
+    pub fn inject(&self, node: NodeId, msg: M) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.senders[node.0 as usize]
+            .send(Packet::Msg { from: node, msg })
+            .expect("node thread alive");
+    }
+
+    /// Block until no message is queued or being processed anywhere.
+    pub fn wait_quiescent(&self) {
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Snapshot of the accumulated traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> TrafficStats {
+        self.shared.stats.lock().clone()
+    }
+
+    /// Snapshot of the accumulated deliveries.
+    #[must_use]
+    pub fn deliveries(&self) -> DeliveryLog {
+        self.shared.deliveries.lock().clone()
+    }
+
+    /// Stop all node threads and return the final aggregates.
+    pub fn shutdown(mut self) -> (TrafficStats, DeliveryLog) {
+        self.wait_quiescent();
+        for s in &self.senders {
+            let _ = s.send(Packet::Stop);
+        }
+        for h in self.handles.drain(..) {
+            h.join().expect("node thread panicked");
+        }
+        let stats = self.shared.stats.lock().clone();
+        let deliveries = self.shared.deliveries.lock().clone();
+        (stats, deliveries)
+    }
+}
+
+fn node_loop<B: NodeBehavior>(
+    id: NodeId,
+    neighbors: &[NodeId],
+    node: &mut B,
+    rx: &Receiver<Packet<B::Msg>>,
+    senders: &[Sender<Packet<B::Msg>>],
+    shared: &Shared,
+) {
+    let mut outbox = Vec::new();
+    let mut local_deliveries = DeliveryLog::new();
+    while let Ok(pkt) = rx.recv() {
+        match pkt {
+            Packet::Stop => break,
+            Packet::Msg { from, msg } => {
+                {
+                    let mut ctx =
+                        Ctx::external(id, neighbors, &mut outbox, &mut local_deliveries);
+                    node.on_message(from, msg, &mut ctx);
+                }
+                if local_deliveries.complex_deliveries() > 0 {
+                    shared.deliveries.lock().merge(&local_deliveries);
+                    local_deliveries = DeliveryLog::new();
+                }
+                if !outbox.is_empty() {
+                    let mut stats = shared.stats.lock();
+                    for (to, msg, kind, units) in outbox.drain(..) {
+                        stats.charge(kind, id, to, units);
+                        shared.pending.fetch_add(1, Ordering::SeqCst);
+                        senders[to.0 as usize]
+                            .send(Packet::Msg { from: id, msg })
+                            .expect("peer thread alive");
+                    }
+                }
+                // processed: decrement after our sends were registered, so
+                // the pending count can never dip to zero early
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsf_network::{builders, ChargeKind};
+
+    /// Flooding behaviour (mirrors the simulator's test double).
+    #[derive(Debug, Default)]
+    struct Flood {
+        seen: Vec<u64>,
+    }
+
+    impl NodeBehavior for Flood {
+        type Msg = u64;
+        fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+            if self.seen.contains(&msg) {
+                return;
+            }
+            self.seen.push(msg);
+            let me = ctx.node();
+            for n in ctx.neighbors().to_vec() {
+                if n != from || from == me {
+                    ctx.send(n, msg, ChargeKind::Advertisement, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_flood_matches_simulator_traffic() {
+        let topo = builders::balanced(31, 2);
+        let net = ThreadedNet::spawn(&topo, |_, _| Flood::default());
+        net.inject(NodeId(0), 7);
+        net.wait_quiescent();
+        net.inject(NodeId(30), 8);
+        net.wait_quiescent();
+        let (stats, _) = net.shutdown();
+        assert_eq!(stats.adv_msgs, 2 * 30, "each flood crosses every link once");
+    }
+
+    #[test]
+    fn concurrent_floods_all_arrive() {
+        let topo = builders::balanced(15, 2);
+        let net = ThreadedNet::spawn(&topo, |_, _| Flood::default());
+        for i in 0..50u64 {
+            net.inject(NodeId((i % 15) as u32), 1000 + i);
+        }
+        net.wait_quiescent();
+        let (stats, _) = net.shutdown();
+        assert_eq!(stats.adv_msgs, 50 * 14);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_on_quiescent_network() {
+        let topo = builders::line(3);
+        let net = ThreadedNet::spawn(&topo, |_, _| Flood::default());
+        net.wait_quiescent(); // nothing injected
+        let (stats, deliveries) = net.shutdown();
+        assert_eq!(stats.adv_msgs, 0);
+        assert_eq!(deliveries.total_event_units(), 0);
+    }
+}

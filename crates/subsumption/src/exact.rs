@@ -1,0 +1,286 @@
+//! Exact set-cover decision over axis-aligned boxes.
+//!
+//! Set subsumption over linear-arithmetic constraints is co-NP complete
+//! (Srivastava 1992, the paper's reference \[21\]); this module implements the
+//! classical grid-decomposition decision procedure, exponential in the number
+//! of dimensions. It exists as (a) the ground-truth oracle for the
+//! Monte-Carlo checker's tests and (b) an exact mode for small groups.
+//!
+//! Scope: *identified* operators (pure value boxes) and abstract operators
+//! whose regions are rectangles or `All` — the region contributes two extra
+//! grid dimensions. Abstract operators with circles or finite `δl` are not
+//! handled here (the probabilistic checker covers them).
+
+use fsf_model::{Operator, Region, SubscriptionKind, ValueRange};
+
+/// Why the exact checker could not decide an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExactError {
+    /// A region shape outside the supported Rect/All fragment, or finite δl.
+    Unsupported,
+    /// The grid would exceed [`MAX_GRID_POINTS`] representative points.
+    TooLarge,
+}
+
+/// Upper bound on representative grid points the checker will test.
+pub const MAX_GRID_POINTS: usize = 4_000_000;
+
+/// A pure hyper-rectangle in `R^n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperBox {
+    dims: Vec<ValueRange>,
+}
+
+impl HyperBox {
+    /// Build from per-dimension ranges.
+    #[must_use]
+    pub fn new(dims: Vec<ValueRange>) -> Self {
+        HyperBox { dims }
+    }
+
+    /// Per-dimension ranges.
+    #[must_use]
+    pub fn dims(&self) -> &[ValueRange] {
+        &self.dims
+    }
+
+    /// Point membership (inclusive).
+    #[must_use]
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        self.dims.len() == p.len()
+            && self.dims.iter().zip(p).all(|(r, v)| r.contains(*v))
+    }
+
+    /// Lower the operator to a hyper-box: value dims plus, for abstract
+    /// operators, two region dims (x then y).
+    pub fn from_operator(op: &Operator) -> Result<Self, ExactError> {
+        let mut dims: Vec<ValueRange> = op.predicates().iter().map(|p| p.range).collect();
+        if op.kind() == SubscriptionKind::Abstract {
+            if op.delta_l().is_some() {
+                return Err(ExactError::Unsupported);
+            }
+            match op.region() {
+                Region::All => {
+                    dims.push(ValueRange::unbounded());
+                    dims.push(ValueRange::unbounded());
+                }
+                Region::Rect(r) => {
+                    dims.push(ValueRange::new(r.min.x, r.max.x));
+                    dims.push(ValueRange::new(r.min.y, r.max.y));
+                }
+                Region::Circle { .. } => return Err(ExactError::Unsupported),
+            }
+        }
+        Ok(HyperBox { dims })
+    }
+}
+
+/// Exact decision: is `target ⊆ ∪ members` (as closed boxes)?
+///
+/// Grid decomposition: per dimension, collect the cut coordinates that member
+/// boundaries induce inside the target, then test one representative point
+/// per grid cell *and* per cut plane. The target is covered iff every
+/// representative is inside some member.
+pub fn is_covered(target: &HyperBox, members: &[HyperBox]) -> Result<bool, ExactError> {
+    let n = target.dims.len();
+    if members.is_empty() {
+        return Ok(false);
+    }
+    if members.iter().any(|m| m.dims.len() != n) {
+        // Boxes over different dimension sets never participate in the same
+        // group; treat as not covering.
+        return Ok(false);
+    }
+
+    // Representative coordinates per dimension: cell midpoints and cuts.
+    let mut reps: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut total: usize = 1;
+    for d in 0..n {
+        let t = &target.dims[d];
+        let mut cuts: Vec<f64> = vec![t.min(), t.max()];
+        for m in members {
+            for c in [m.dims[d].min(), m.dims[d].max()] {
+                if c > t.min() && c < t.max() {
+                    cuts.push(c);
+                }
+            }
+        }
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite coords"));
+        cuts.dedup();
+        let mut r: Vec<f64> = Vec::with_capacity(cuts.len() * 2);
+        for w in cuts.windows(2) {
+            r.push(w[0]);
+            r.push(w[0] / 2.0 + w[1] / 2.0); // midpoint, overflow-safe
+        }
+        r.push(*cuts.last().expect("at least one cut"));
+        r.dedup();
+        total = total.saturating_mul(r.len());
+        if total > MAX_GRID_POINTS {
+            return Err(ExactError::TooLarge);
+        }
+        reps.push(r);
+    }
+
+    // Odometer over the representative grid.
+    let mut idx = vec![0usize; n];
+    let mut point = vec![0f64; n];
+    loop {
+        for d in 0..n {
+            point[d] = reps[d][idx[d]];
+        }
+        if !members.iter().any(|m| m.contains_point(&point)) {
+            return Ok(false);
+        }
+        // advance odometer
+        let mut d = 0;
+        loop {
+            if d == n {
+                return Ok(true);
+            }
+            idx[d] += 1;
+            if idx[d] < reps[d].len() {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+        }
+    }
+}
+
+/// Convenience: exact operator-level set-subsumption for the supported
+/// fragment (same dimension signature assumed, as in Algorithm 2 grouping).
+pub fn operator_covered(
+    target: &Operator,
+    members: &[&Operator],
+) -> Result<bool, ExactError> {
+    let t = HyperBox::from_operator(target)?;
+    let ms = members
+        .iter()
+        .map(|m| HyperBox::from_operator(m))
+        .collect::<Result<Vec<_>, _>>()?;
+    is_covered(&t, &ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxn(ranges: &[(f64, f64)]) -> HyperBox {
+        HyperBox::new(ranges.iter().map(|&(a, b)| ValueRange::new(a, b)).collect())
+    }
+
+    #[test]
+    fn single_box_cover_1d() {
+        let t = boxn(&[(2.0, 8.0)]);
+        assert!(is_covered(&t, &[boxn(&[(0.0, 10.0)])]).unwrap());
+        assert!(!is_covered(&t, &[boxn(&[(3.0, 10.0)])]).unwrap());
+        assert!(!is_covered(&t, &[]).unwrap());
+    }
+
+    #[test]
+    fn union_cover_1d() {
+        let t = boxn(&[(0.0, 10.0)]);
+        // two halves that touch cover the closed interval
+        assert!(is_covered(&t, &[boxn(&[(0.0, 5.0)]), boxn(&[(5.0, 10.0)])]).unwrap());
+        // a gap (5,6) leaks
+        assert!(!is_covered(&t, &[boxn(&[(0.0, 5.0)]), boxn(&[(6.0, 10.0)])]).unwrap());
+    }
+
+    #[test]
+    fn l_shaped_union_does_not_cover_square_2d() {
+        let t = boxn(&[(0.0, 10.0), (0.0, 10.0)]);
+        // left column and bottom row: leaves the top-right block open
+        let left = boxn(&[(0.0, 5.0), (0.0, 10.0)]);
+        let bottom = boxn(&[(0.0, 10.0), (0.0, 5.0)]);
+        assert!(!is_covered(&t, &[left.clone(), bottom.clone()]).unwrap());
+        // adding the missing quadrant closes it
+        let quad = boxn(&[(5.0, 10.0), (5.0, 10.0)]);
+        assert!(is_covered(&t, &[left, bottom, quad]).unwrap());
+    }
+
+    #[test]
+    fn four_quadrants_cover_2d() {
+        let t = boxn(&[(0.0, 2.0), (0.0, 2.0)]);
+        let quads = [
+            boxn(&[(0.0, 1.0), (0.0, 1.0)]),
+            boxn(&[(1.0, 2.0), (0.0, 1.0)]),
+            boxn(&[(0.0, 1.0), (1.0, 2.0)]),
+            boxn(&[(1.0, 2.0), (1.0, 2.0)]),
+        ];
+        assert!(is_covered(&t, &quads).unwrap());
+        assert!(!is_covered(&t, &quads[..3]).unwrap());
+    }
+
+    #[test]
+    fn degenerate_target_point() {
+        let t = boxn(&[(5.0, 5.0), (5.0, 5.0)]);
+        assert!(is_covered(&t, &[boxn(&[(0.0, 10.0), (0.0, 10.0)])]).unwrap());
+        assert!(!is_covered(&t, &[boxn(&[(6.0, 10.0), (0.0, 10.0)])]).unwrap());
+    }
+
+    #[test]
+    fn table_one_example_from_the_paper() {
+        // s1: 50<a<80, 10<b<30 ; s2: 20<b<40, 2<c<20 ; s3: 55<a<75, 15<b<35, 5<c<15.
+        // After splitting, s3's b-filter [15,35] is covered by the *union*
+        // of s1.b=[10,30] and s2.b=[20,40] — set cover, not pairwise.
+        let b3 = boxn(&[(15.0, 35.0)]);
+        let b1 = boxn(&[(10.0, 30.0)]);
+        let b2 = boxn(&[(20.0, 40.0)]);
+        assert!(is_covered(&b3, &[b1.clone(), b2.clone()]).unwrap());
+        assert!(!is_covered(&b3, &[b1]).unwrap());
+        assert!(!is_covered(&b3, &[b2]).unwrap());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_not_covered() {
+        let t = boxn(&[(0.0, 1.0)]);
+        let m = boxn(&[(0.0, 1.0), (0.0, 1.0)]);
+        assert!(!is_covered(&t, &[m]).unwrap());
+    }
+
+    #[test]
+    fn operator_level_cover_with_rect_regions() {
+        use fsf_model::{AttrId, Point, Rect, SubId, Subscription};
+        let mk = |id: u64, lo: f64, hi: f64, rx: f64| {
+            let s = Subscription::abstract_over(
+                SubId(id),
+                [(AttrId(0), ValueRange::new(lo, hi))],
+                Region::Rect(Rect::new(Point::new(0.0, 0.0), Point::new(rx, 10.0))),
+                30,
+                None,
+            )
+            .unwrap();
+            Operator::from_subscription(&s)
+        };
+        let target = mk(1, 2.0, 8.0, 5.0);
+        let member_wide = mk(2, 0.0, 10.0, 10.0);
+        let member_small_region = mk(3, 0.0, 10.0, 3.0);
+        assert!(operator_covered(&target, &[&member_wide]).unwrap());
+        assert!(!operator_covered(&target, &[&member_small_region]).unwrap());
+    }
+
+    #[test]
+    fn circle_regions_are_unsupported() {
+        use fsf_model::{AttrId, Point, SubId, Subscription};
+        let s = Subscription::abstract_over(
+            SubId(1),
+            [(AttrId(0), ValueRange::new(0.0, 1.0))],
+            Region::Circle { center: Point::new(0.0, 0.0), radius: 1.0 },
+            30,
+            None,
+        )
+        .unwrap();
+        let op = Operator::from_subscription(&s);
+        assert_eq!(HyperBox::from_operator(&op).unwrap_err(), ExactError::Unsupported);
+    }
+
+    #[test]
+    fn grid_size_guard() {
+        // 8 dims x many cuts exceeds the budget
+        let t = HyperBox::new(vec![ValueRange::new(0.0, 100.0); 8]);
+        let members: Vec<HyperBox> = (0..20)
+            .map(|i| HyperBox::new(vec![ValueRange::new(i as f64, i as f64 + 50.0); 8]))
+            .collect();
+        assert_eq!(is_covered(&t, &members).unwrap_err(), ExactError::TooLarge);
+    }
+}

@@ -1,0 +1,38 @@
+//! # fsf-subsumption
+//!
+//! Subscription subsumption machinery (paper §V-B and reference \[15\],
+//! Ouksel et al., *Efficient Probabilistic Subsumption Checking for
+//! Content-Based Publish/Subscribe Systems*, Middleware 2006).
+//!
+//! Three checkers, by increasing power:
+//!
+//! * [`pairwise::covers`] — exact single-operator coverage (`s ⊆ s'`), used
+//!   by the *operator placement* and *multi-join* baselines;
+//! * [`exact`] — an exact set-cover decision procedure over axis-aligned
+//!   boxes (grid decomposition). Exponential in the dimension count, so it is
+//!   used as a test oracle and for small operator groups only;
+//! * [`monte_carlo`] — the probabilistic set-subsumption check with a
+//!   configurable error probability, the reproduction of \[15\]. This is the
+//!   *set filtering* of the Filter-Split-Forward engine (Algorithm 2). False
+//!   positives ("covered" although a gap exists) are possible and translate
+//!   into missed events (< 100% recall), exactly as the paper discusses in
+//!   §VI-F.
+//!
+//! [`filter::SubscriptionFilter`] packages the three behind the policy knob
+//! the engines use, and [`table::OperatorTable`] provides the
+//! signature-grouped storage Algorithm 2 requires ("we compare only
+//! subscriptions over the same attributes").
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod exact;
+pub mod filter;
+pub mod monte_carlo;
+pub mod pairwise;
+pub mod shape;
+pub mod table;
+
+pub use filter::{FilterPolicy, SetFilterConfig, SubscriptionFilter};
+pub use shape::{CoverShape, SamplePoint};
+pub use table::OperatorTable;

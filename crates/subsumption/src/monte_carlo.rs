@@ -1,0 +1,205 @@
+//! The probabilistic set-subsumption check — reproduction of \[15\].
+//!
+//! Contract (as this paper uses it, §V-B): decide whether a subscription is
+//! subsumed by a *set* of same-signature subscriptions, with a configurable
+//! probability of error. Errors are one-sided in effect: a false "covered"
+//! verdict suppresses a subscription whose uncovered gap then produces
+//! missed events (false-negative events at the user, §VI-F); a false
+//! "uncovered" verdict merely forwards a redundant subscription.
+//!
+//! Mechanism: draw `n` points uniformly from the candidate's match space and
+//! declare it covered iff every point lands inside some member's match
+//! space. If an uncovered gap occupies at least a fraction `γ` of the
+//! candidate's volume, the probability of missing it is `(1-γ)^n ≤ ε` for
+//! `n = ⌈ln ε / ln(1-γ)⌉` — the error probability is configurable through
+//! `ε` (and the gap resolution through `γ`), matching \[15\]'s knob. Smaller
+//! `ε`/`γ` mean more samples (more processing), fewer false negatives —
+//! the trade-off the paper describes.
+
+use crate::shape::CoverShape;
+use rand::Rng;
+
+/// Number of samples needed so that a relative gap of at least `min_gap`
+/// escapes detection with probability at most `error_prob`.
+///
+/// Both parameters must be in `(0, 1)`.
+#[must_use]
+pub fn required_samples(error_prob: f64, min_gap: f64) -> usize {
+    assert!(
+        error_prob > 0.0 && error_prob < 1.0,
+        "error_prob must be in (0,1), got {error_prob}"
+    );
+    assert!(min_gap > 0.0 && min_gap < 1.0, "min_gap must be in (0,1), got {min_gap}");
+    let n = (error_prob.ln() / (1.0 - min_gap).ln()).ceil();
+    (n as usize).max(1)
+}
+
+/// Monte-Carlo set-cover verdict: is `target` covered by the union of
+/// `members`, judged on `samples` uniform draws?
+///
+/// Conservative on unsampleable targets: returns `false` (never suppresses a
+/// subscription it cannot analyse). An empty member set is never covering.
+pub fn is_covered<R: Rng + ?Sized>(
+    target: &CoverShape,
+    members: &[CoverShape],
+    samples: usize,
+    rng: &mut R,
+) -> bool {
+    if members.is_empty() {
+        return false;
+    }
+    if !target.is_sampleable() {
+        return false;
+    }
+    for _ in 0..samples.max(1) {
+        let Some(p) = target.sample(rng) else {
+            return false; // δl rejection failure — be conservative
+        };
+        if !members.iter().any(|m| m.contains(&p)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsf_model::{Operator, SensorId, SubId, Subscription, ValueRange};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn op(id: u64, ranges: &[(u32, f64, f64)]) -> Operator {
+        let s = Subscription::identified(
+            SubId(id),
+            ranges.iter().map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
+            30,
+        )
+        .unwrap();
+        Operator::from_subscription(&s)
+    }
+
+    fn shape(ranges: &[(u32, f64, f64)]) -> CoverShape {
+        CoverShape::from_operator(&op(99, ranges))
+    }
+
+    #[test]
+    fn sample_count_formula() {
+        // ln(0.01)/ln(0.99) ≈ 458.2
+        assert_eq!(required_samples(0.01, 0.01), 459);
+        assert_eq!(required_samples(0.05, 0.05), 59);
+        // resolution dominates cost
+        assert!(required_samples(0.01, 0.001) > required_samples(0.01, 0.01));
+        assert!(required_samples(0.001, 0.01) > required_samples(0.01, 0.01));
+        assert!(required_samples(0.5, 0.9) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "error_prob")]
+    fn sample_count_rejects_bad_eps() {
+        let _ = required_samples(0.0, 0.1);
+    }
+
+    #[test]
+    fn full_cover_is_detected() {
+        let t = shape(&[(1, 2.0, 8.0), (2, 2.0, 8.0)]);
+        let m = shape(&[(1, 0.0, 10.0), (2, 0.0, 10.0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(is_covered(&t, &[m], 500, &mut rng));
+    }
+
+    #[test]
+    fn union_cover_is_detected() {
+        // the Table I b-filter: [15,35] ⊆ [10,30] ∪ [20,40]
+        let t = shape(&[(1, 15.0, 35.0)]);
+        let m1 = shape(&[(1, 10.0, 30.0)]);
+        let m2 = shape(&[(1, 20.0, 40.0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(is_covered(&t, &[m1, m2], 500, &mut rng));
+    }
+
+    #[test]
+    fn large_gap_is_caught_reliably() {
+        // members cover only half of the target: gap fraction 0.5 —
+        // with 100 samples, miss probability is 2^-100
+        let t = shape(&[(1, 0.0, 10.0)]);
+        let m = shape(&[(1, 0.0, 5.0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!is_covered(&t, &[m], 100, &mut rng));
+    }
+
+    #[test]
+    fn tiny_gap_can_slip_through_with_few_samples() {
+        // gap is 0.1% of the volume; with 10 samples the expected
+        // miss probability is ~0.99 — this is exactly the configurable
+        // false-positive the paper's recall experiment measures.
+        let t = shape(&[(1, 0.0, 1000.0)]);
+        let m = shape(&[(1, 1.0, 1000.0)]); // misses [0,1)
+        let mut rng = StdRng::seed_from_u64(1);
+        let verdicts: Vec<bool> =
+            (0..20).map(|_| is_covered(&t, std::slice::from_ref(&m), 10, &mut rng)).collect();
+        assert!(verdicts.iter().any(|&v| v), "tiny gap should usually slip through");
+    }
+
+    #[test]
+    fn more_samples_catch_smaller_gaps() {
+        // 10% gap with the sample count for γ=0.05, ε=0.01 → caught w.h.p.
+        let t = shape(&[(1, 0.0, 10.0)]);
+        let m = shape(&[(1, 1.0, 10.0)]);
+        let n = required_samples(0.01, 0.05);
+        let mut caught = 0;
+        for seed in 0..50 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            if !is_covered(&t, std::slice::from_ref(&m), n, &mut rng) {
+                caught += 1;
+            }
+        }
+        assert!(caught >= 49, "caught only {caught}/50");
+    }
+
+    #[test]
+    fn empty_member_set_is_never_covering() {
+        let t = shape(&[(1, 0.0, 1.0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!is_covered(&t, &[], 100, &mut rng));
+    }
+
+    #[test]
+    fn agreement_with_exact_oracle_on_random_instances() {
+        use crate::exact::{is_covered as exact_cover, HyperBox};
+        use rand::Rng as _;
+        let mut rng = StdRng::seed_from_u64(2024);
+        let mut disagreements = 0;
+        for _ in 0..200 {
+            // random 2-D instance
+            let t = {
+                let lo0 = rng.gen_range(0.0..50.0);
+                let lo1 = rng.gen_range(0.0..50.0);
+                shape(&[(1, lo0, lo0 + 30.0), (2, lo1, lo1 + 30.0)])
+            };
+            let members: Vec<CoverShape> = (0..4)
+                .map(|_| {
+                    let lo0 = rng.gen_range(0.0..60.0);
+                    let lo1 = rng.gen_range(0.0..60.0);
+                    let w0 = rng.gen_range(10.0..60.0);
+                    let w1 = rng.gen_range(10.0..60.0);
+                    shape(&[(1, lo0, lo0 + w0), (2, lo1, lo1 + w1)])
+                })
+                .collect();
+            let tb = HyperBox::new(t.values().to_vec());
+            let mb: Vec<HyperBox> =
+                members.iter().map(|m| HyperBox::new(m.values().to_vec())).collect();
+            let truth = exact_cover(&tb, &mb).unwrap();
+            let mc = is_covered(&t, &members, 2000, &mut rng);
+            // MC may only err by claiming coverage where a (tiny) gap exists;
+            // it must never claim a gap where full coverage holds.
+            if truth && !mc {
+                panic!("MC denied a true cover");
+            }
+            if !truth && mc {
+                disagreements += 1;
+            }
+        }
+        assert!(disagreements <= 4, "too many missed gaps: {disagreements}/200");
+    }
+}

@@ -1,0 +1,193 @@
+//! Exact pairwise coverage: does one operator subsume another on its own?
+//!
+//! This is the filtering technique of the *operator placement* and
+//! *multi-join* baselines (paper Table II: "Pair wise"), and the cheap first
+//! stage of the Filter-Split-Forward set filter: reusing "wider filters for
+//! the more restrictive ones, which they cover entirely" (§III-A).
+
+use fsf_model::Operator;
+
+/// Does `wide` cover `narrow` — i.e. does every complex event matching
+/// `narrow` also match `wide`?
+///
+/// Exact sufficient-and-necessary conditions for operators over the same
+/// dimension set with the paper's uniform-δ assumption:
+///
+/// * identical dimension signatures (same sensors / attribute types);
+/// * same subscription kind (identified vs abstract);
+/// * `wide`'s temporal correlation distance is at least `narrow`'s
+///   (a larger `δt` window accepts every selection a smaller one accepts);
+/// * `wide`'s spatial correlation distance is at least `narrow`'s;
+/// * `wide`'s region contains `narrow`'s region;
+/// * each of `wide`'s value ranges contains the corresponding range of
+///   `narrow`.
+///
+/// Region containment uses [`fsf_model::Region::contains_region`], which is
+/// exact for the shipped region shapes.
+#[must_use]
+pub fn covers(wide: &Operator, narrow: &Operator) -> bool {
+    if wide.kind() != narrow.kind() {
+        return false;
+    }
+    if wide.delta_t() < narrow.delta_t() {
+        return false;
+    }
+    match (wide.delta_l(), narrow.delta_l()) {
+        (None, _) => {}                             // ∞ accepts everything
+        (Some(_), None) => return false,            // finite cannot cover ∞
+        (Some(w), Some(n)) if w < n => return false,
+        _ => {}
+    }
+    if !wide.region().contains_region(narrow.region()) {
+        return false;
+    }
+    if wide.arity() != narrow.arity() {
+        return false;
+    }
+    // Same sorted dimension order on both sides.
+    wide.predicates().iter().zip(narrow.predicates()).all(|(w, n)| {
+        w.key == n.key && w.range.contains_range(&n.range)
+    })
+}
+
+/// Is `op` covered by any single member of `group`?
+#[must_use]
+pub fn covered_by_any<'a>(
+    op: &Operator,
+    group: impl IntoIterator<Item = &'a Operator>,
+) -> bool {
+    group.into_iter().any(|g| covers(g, op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsf_model::{
+        AttrId, Operator, Point, Rect, Region, SensorId, SubId, Subscription, ValueRange,
+    };
+
+    fn ident(id: u64, ranges: &[(u32, f64, f64)], dt: u64) -> Operator {
+        let s = Subscription::identified(
+            SubId(id),
+            ranges.iter().map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
+            dt,
+        )
+        .unwrap();
+        Operator::from_subscription(&s)
+    }
+
+    fn abstr(
+        id: u64,
+        ranges: &[(u16, f64, f64)],
+        region: Region,
+        dt: u64,
+        dl: Option<f64>,
+    ) -> Operator {
+        let s = Subscription::abstract_over(
+            SubId(id),
+            ranges.iter().map(|&(a, lo, hi)| (AttrId(a), ValueRange::new(lo, hi))),
+            region,
+            dt,
+            dl,
+        )
+        .unwrap();
+        Operator::from_subscription(&s)
+    }
+
+    #[test]
+    fn wider_ranges_cover_narrower() {
+        let wide = ident(1, &[(1, 0.0, 100.0), (2, 0.0, 100.0)], 30);
+        let narrow = ident(2, &[(1, 10.0, 20.0), (2, 30.0, 40.0)], 30);
+        assert!(covers(&wide, &narrow));
+        assert!(!covers(&narrow, &wide));
+        assert!(covers(&wide, &wide), "coverage is reflexive");
+    }
+
+    #[test]
+    fn partial_overlap_does_not_cover() {
+        let a = ident(1, &[(1, 0.0, 50.0)], 30);
+        let b = ident(2, &[(1, 40.0, 60.0)], 30);
+        assert!(!covers(&a, &b));
+        assert!(!covers(&b, &a));
+    }
+
+    #[test]
+    fn different_dims_never_cover() {
+        let a = ident(1, &[(1, 0.0, 100.0), (2, 0.0, 100.0)], 30);
+        let b = ident(2, &[(1, 10.0, 20.0), (3, 10.0, 20.0)], 30);
+        assert!(!covers(&a, &b));
+        // subset of dims does not cover either (a missing attribute is a
+        // request for *nothing*, not for everything — §V-B)
+        let c = ident(3, &[(1, 10.0, 20.0)], 30);
+        assert!(!covers(&a, &c));
+        assert!(!covers(&c, &a));
+    }
+
+    #[test]
+    fn kinds_are_incomparable() {
+        let i = ident(1, &[(1, 0.0, 100.0)], 30);
+        let a = abstr(2, &[(0, 0.0, 100.0)], Region::All, 30, None);
+        assert!(!covers(&i, &a));
+        assert!(!covers(&a, &i));
+    }
+
+    #[test]
+    fn delta_t_must_be_at_least_as_wide() {
+        let wide = ident(1, &[(1, 0.0, 100.0)], 20);
+        let narrow = ident(2, &[(1, 10.0, 20.0)], 30);
+        assert!(!covers(&wide, &narrow), "smaller window cannot cover");
+        let wide2 = ident(3, &[(1, 0.0, 100.0)], 40);
+        assert!(covers(&wide2, &narrow));
+    }
+
+    #[test]
+    fn delta_l_rules() {
+        let r = Region::All;
+        let inf = abstr(1, &[(0, 0.0, 100.0)], r, 30, None);
+        let d10 = abstr(2, &[(0, 10.0, 20.0)], r, 30, Some(10.0));
+        let d20 = abstr(3, &[(0, 10.0, 20.0)], r, 30, Some(20.0));
+        assert!(covers(&inf, &d10), "∞ covers finite");
+        assert!(!covers(&d10, &inf), "finite cannot cover ∞");
+        assert!(covers(&d20, &d10));
+        assert!(!covers(&d10, &d20));
+    }
+
+    #[test]
+    fn region_containment_required() {
+        let big = Region::Rect(Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)));
+        let small = Region::Rect(Rect::new(Point::new(10.0, 10.0), Point::new(20.0, 20.0)));
+        let wide = abstr(1, &[(0, 0.0, 100.0)], big, 30, None);
+        let narrow = abstr(2, &[(0, 10.0, 20.0)], small, 30, None);
+        let narrow_elsewhere = abstr(
+            3,
+            &[(0, 10.0, 20.0)],
+            Region::Rect(Rect::new(Point::new(200.0, 0.0), Point::new(300.0, 100.0))),
+            30,
+            None,
+        );
+        assert!(covers(&wide, &narrow));
+        assert!(!covers(&wide, &narrow_elsewhere));
+    }
+
+    #[test]
+    fn covered_by_any_scans_group() {
+        let g1 = ident(1, &[(1, 0.0, 10.0)], 30);
+        let g2 = ident(2, &[(1, 50.0, 60.0)], 30);
+        let inside = ident(3, &[(1, 52.0, 58.0)], 30);
+        let outside = ident(4, &[(1, 20.0, 30.0)], 30);
+        let group = [g1, g2];
+        assert!(covered_by_any(&inside, &group));
+        assert!(!covered_by_any(&outside, &group));
+        assert!(!covered_by_any(&inside, &[]));
+    }
+
+    #[test]
+    fn union_cover_is_not_pairwise_cover() {
+        // [0,10] ∪ [10,20] covers [5,15] as a set, but neither alone does —
+        // pairwise must say "not covered"
+        let g1 = ident(1, &[(1, 0.0, 10.0)], 30);
+        let g2 = ident(2, &[(1, 10.0, 20.0)], 30);
+        let mid = ident(3, &[(1, 5.0, 15.0)], 30);
+        assert!(!covered_by_any(&mid, &[g1, g2]));
+    }
+}

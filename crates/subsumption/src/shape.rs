@@ -1,0 +1,365 @@
+//! Geometric view of an operator for set-cover checking.
+//!
+//! A complex event matching an operator corresponds to a point in the
+//! operator's *match space*:
+//!
+//! * one coordinate per dimension — the measured value, constrained by that
+//!   dimension's range;
+//! * for abstract operators, one 2-D *location* per dimension — the producing
+//!   sensor's position, constrained by the region `L` and (pairwise) by `δl`.
+//!
+//! An operator `s` is subsumed by a set `{s_i}` over the same dimension set
+//! iff `s`'s match space is contained in the union of the `s_i` match spaces
+//! (§IV-A's subsumption definition restated geometrically). [`CoverShape`]
+//! supports uniform sampling from a match space and membership tests, which
+//! is all both the exact and the Monte-Carlo checkers need.
+//!
+//! Note on locations: the paper folds location in as "just another
+//! attribute". We sample *one location per abstract dimension* rather than a
+//! single shared location — constituent events of one complex event may come
+//! from different sensors at different positions, and a shared-location
+//! approximation would over-report coverage.
+
+use fsf_model::{Operator, Point, Rect, Region, SubscriptionKind, ValueRange};
+use rand::Rng;
+
+/// A sampled point of an operator's match space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplePoint {
+    /// One value per dimension, in sorted-dimension order.
+    pub values: Vec<f64>,
+    /// One location per dimension for abstract operators; empty for
+    /// identified operators (sensor locations are fixed and play no role).
+    pub locations: Vec<Point>,
+}
+
+/// An operator's match space, ready for sampling / membership tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverShape {
+    values: Vec<ValueRange>,
+    kind: SubscriptionKind,
+    region: Region,
+    delta_l: Option<f64>,
+}
+
+/// How many rejection-sampling attempts to spend per location before giving
+/// up on a sample (regions are sampled via their bounding rectangle).
+const LOCATION_REJECTION_TRIES: usize = 64;
+
+impl CoverShape {
+    /// Build the match-space shape of an operator.
+    #[must_use]
+    pub fn from_operator(op: &Operator) -> Self {
+        CoverShape {
+            values: op.predicates().iter().map(|p| p.range).collect(),
+            kind: op.kind(),
+            region: *op.region(),
+            delta_l: op.delta_l(),
+        }
+    }
+
+    /// Number of value dimensions.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The per-dimension value ranges.
+    #[must_use]
+    pub fn values(&self) -> &[ValueRange] {
+        &self.values
+    }
+
+    /// Can this shape be sampled uniformly? Requires finite value ranges and,
+    /// for spatially-constrained abstract operators, a bounded region.
+    #[must_use]
+    pub fn is_sampleable(&self) -> bool {
+        let finite = self
+            .values
+            .iter()
+            .all(|r| r.min().is_finite() && r.max().is_finite());
+        let spatial_ok = match (self.kind, &self.region) {
+            (SubscriptionKind::Identified, _) => true,
+            (SubscriptionKind::Abstract, Region::All) => self.delta_l.is_none(),
+            (SubscriptionKind::Abstract, _) => true,
+        };
+        finite && spatial_ok
+    }
+
+    /// Draw a point uniformly from the match space.
+    ///
+    /// Returns `None` when the shape is not sampleable or when δl-rejection
+    /// sampling fails (pathologically small `δl` relative to the region).
+    /// Callers treat `None` conservatively (never claim coverage).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<SamplePoint> {
+        if !self.is_sampleable() {
+            return None;
+        }
+        let values = self
+            .values
+            .iter()
+            .map(|r| {
+                if r.width() == 0.0 {
+                    r.min()
+                } else {
+                    rng.gen_range(r.min()..=r.max())
+                }
+            })
+            .collect();
+
+        let locations = match self.kind {
+            SubscriptionKind::Identified => Vec::new(),
+            SubscriptionKind::Abstract => match self.region.bounding_rect() {
+                None => Vec::new(), // Region::All, δl = ∞: locations irrelevant
+                Some(br) => self.sample_locations(&br, rng)?,
+            },
+        };
+        Some(SamplePoint { values, locations })
+    }
+
+    fn sample_locations<R: Rng + ?Sized>(
+        &self,
+        br: &Rect,
+        rng: &mut R,
+    ) -> Option<Vec<Point>> {
+        let n = self.values.len();
+        let mut out: Vec<Point> = Vec::with_capacity(n);
+        'outer: for i in 0..n {
+            // After the first location, narrow the proposal rectangle to the
+            // δl-neighbourhood of the first point — otherwise rejection
+            // sampling is hopeless when δl is small relative to the region.
+            // (The sampling distribution need not be uniform over the valid
+            // space for correctness; it only shapes which gaps are probed.)
+            let window = match (self.delta_l, out.first()) {
+                (Some(dl), Some(p0)) if i > 0 => Rect::new(
+                    Point::new((p0.x - dl).max(br.min.x), (p0.y - dl).max(br.min.y)),
+                    Point::new((p0.x + dl).min(br.max.x), (p0.y + dl).min(br.max.y)),
+                ),
+                _ => *br,
+            };
+            for _ in 0..LOCATION_REJECTION_TRIES {
+                let p = Point::new(
+                    sample_coord(rng, window.min.x, window.max.x),
+                    sample_coord(rng, window.min.y, window.max.y),
+                );
+                if !self.region.contains(&p) {
+                    continue;
+                }
+                if let Some(dl) = self.delta_l {
+                    if !out.iter().all(|q| q.distance(&p) < dl) {
+                        continue;
+                    }
+                }
+                out.push(p);
+                continue 'outer;
+            }
+            return None;
+        }
+        Some(out)
+    }
+
+    /// Is the sampled point inside this shape's match space?
+    ///
+    /// Points sampled from a *target* shape are tested against *member*
+    /// shapes; a member accepts the point iff all values fall in its ranges,
+    /// all locations fall in its region, and its `δl` admits the locations.
+    #[must_use]
+    pub fn contains(&self, p: &SamplePoint) -> bool {
+        if p.values.len() != self.values.len() {
+            return false;
+        }
+        if !self.values.iter().zip(&p.values).all(|(r, v)| r.contains(*v)) {
+            return false;
+        }
+        if self.kind == SubscriptionKind::Abstract {
+            if p.locations.is_empty() {
+                // Target had no spatial component (Region::All, δl=∞): a
+                // member can only cover it if it is equally unconstrained.
+                if self.region != Region::All || self.delta_l.is_some() {
+                    return false;
+                }
+            } else {
+                if !p.locations.iter().all(|l| self.region.contains(l)) {
+                    return false;
+                }
+                if let Some(dl) = self.delta_l {
+                    for (i, a) in p.locations.iter().enumerate() {
+                        for b in &p.locations[i + 1..] {
+                            if a.distance(b) >= dl {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Uniform sample on `[lo, hi]`, tolerating degenerate intervals.
+fn sample_coord<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    if lo >= hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsf_model::{AttrId, SensorId, SubId, Subscription};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ident_op(ranges: &[(u32, f64, f64)]) -> Operator {
+        let s = Subscription::identified(
+            SubId(1),
+            ranges.iter().map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
+            30,
+        )
+        .unwrap();
+        Operator::from_subscription(&s)
+    }
+
+    fn abstr_op(ranges: &[(u16, f64, f64)], region: Region, dl: Option<f64>) -> Operator {
+        let s = Subscription::abstract_over(
+            SubId(1),
+            ranges.iter().map(|&(a, lo, hi)| (AttrId(a), ValueRange::new(lo, hi))),
+            region,
+            30,
+            dl,
+        )
+        .unwrap();
+        Operator::from_subscription(&s)
+    }
+
+    #[test]
+    fn identified_samples_stay_in_ranges() {
+        let shape = CoverShape::from_operator(&ident_op(&[(1, 0.0, 10.0), (2, 50.0, 60.0)]));
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let p = shape.sample(&mut rng).unwrap();
+            assert!(p.locations.is_empty());
+            assert!((0.0..=10.0).contains(&p.values[0]));
+            assert!((50.0..=60.0).contains(&p.values[1]));
+            assert!(shape.contains(&p), "a shape contains its own samples");
+        }
+    }
+
+    #[test]
+    fn degenerate_range_samples_the_point() {
+        let shape = CoverShape::from_operator(&ident_op(&[(1, 5.0, 5.0)]));
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = shape.sample(&mut rng).unwrap();
+        assert_eq!(p.values, vec![5.0]);
+    }
+
+    #[test]
+    fn abstract_samples_have_one_location_per_dim_inside_region() {
+        let region = Region::Rect(Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)));
+        let shape =
+            CoverShape::from_operator(&abstr_op(&[(0, 0.0, 1.0), (1, 0.0, 1.0)], region, None));
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let p = shape.sample(&mut rng).unwrap();
+            assert_eq!(p.locations.len(), 2);
+            assert!(p.locations.iter().all(|l| region.contains(l)));
+        }
+    }
+
+    #[test]
+    fn circle_region_sampling_rejects_into_disc() {
+        let region = Region::Circle { center: Point::new(0.0, 0.0), radius: 5.0 };
+        let shape = CoverShape::from_operator(&abstr_op(&[(0, 0.0, 1.0)], region, None));
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let p = shape.sample(&mut rng).unwrap();
+            assert!(region.contains(&p.locations[0]));
+        }
+    }
+
+    #[test]
+    fn delta_l_sampling_respects_pairwise_distance() {
+        let region = Region::Rect(Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)));
+        let shape = CoverShape::from_operator(&abstr_op(
+            &[(0, 0.0, 1.0), (1, 0.0, 1.0), (2, 0.0, 1.0)],
+            region,
+            Some(10.0),
+        ));
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let p = shape.sample(&mut rng).unwrap();
+            for (i, a) in p.locations.iter().enumerate() {
+                for b in &p.locations[i + 1..] {
+                    assert!(a.distance(b) < 10.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_value_dims_are_not_sampleable() {
+        let s = Subscription::identified(
+            SubId(1),
+            [(SensorId(1), ValueRange::unbounded())],
+            30,
+        )
+        .unwrap();
+        let shape = CoverShape::from_operator(&Operator::from_subscription(&s));
+        assert!(!shape.is_sampleable());
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(shape.sample(&mut rng).is_none());
+    }
+
+    #[test]
+    fn all_region_with_finite_delta_l_not_sampleable() {
+        let shape =
+            CoverShape::from_operator(&abstr_op(&[(0, 0.0, 1.0)], Region::All, Some(5.0)));
+        assert!(!shape.is_sampleable());
+    }
+
+    #[test]
+    fn member_containment_checks_region_and_values() {
+        let region_big = Region::Rect(Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)));
+        let region_small = Region::Rect(Rect::new(Point::new(0.0, 0.0), Point::new(5.0, 5.0)));
+        let target = CoverShape::from_operator(&abstr_op(&[(0, 0.0, 1.0)], region_big, None));
+        let member_small =
+            CoverShape::from_operator(&abstr_op(&[(0, 0.0, 1.0)], region_small, None));
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut rejected = 0;
+        for _ in 0..200 {
+            let p = target.sample(&mut rng).unwrap();
+            let inside_small = region_small.contains(&p.locations[0]);
+            assert_eq!(member_small.contains(&p), inside_small);
+            if !inside_small {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 50, "most of the big region lies outside the small one");
+    }
+
+    #[test]
+    fn spatially_unconstrained_target_needs_unconstrained_member() {
+        let target = CoverShape::from_operator(&abstr_op(&[(0, 0.0, 1.0)], Region::All, None));
+        let bounded_member = CoverShape::from_operator(&abstr_op(
+            &[(0, 0.0, 1.0)],
+            Region::Rect(Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))),
+            None,
+        ));
+        let free_member = CoverShape::from_operator(&abstr_op(&[(0, 0.0, 1.0)], Region::All, None));
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = target.sample(&mut rng).unwrap();
+        assert!(p.locations.is_empty());
+        assert!(!bounded_member.contains(&p));
+        assert!(free_member.contains(&p));
+    }
+
+    #[test]
+    fn wrong_arity_point_is_rejected() {
+        let shape = CoverShape::from_operator(&ident_op(&[(1, 0.0, 10.0)]));
+        let p = SamplePoint { values: vec![1.0, 2.0], locations: vec![] };
+        assert!(!shape.contains(&p));
+    }
+}

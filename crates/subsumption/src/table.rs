@@ -1,0 +1,241 @@
+//! Signature-grouped operator storage.
+//!
+//! Algorithm 2 compares a new subscription only against stored subscriptions
+//! *over the same attribute set*; [`OperatorTable`] maintains exactly that
+//! grouping. Every node keeps one table per neighbor (its `S_m`) plus one
+//! for local users (`S_local`), split into covered/uncovered halves by the
+//! node framework.
+//!
+//! Beyond the signature groups, the table maintains a per-dimension inverted
+//! index so that event processing (Algorithm 5) only touches operators that
+//! reference the incoming event's sensor or attribute type.
+
+use fsf_model::{DimKey, DimSignature, Operator, OperatorKey};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Operators grouped by dimension signature, deduplicated by
+/// [`OperatorKey`] (`(subscription, dims)` identity), with a per-dimension
+/// inverted index.
+#[derive(Debug, Default, Clone)]
+pub struct OperatorTable {
+    by_key: BTreeMap<OperatorKey, Operator>,
+    by_sig: BTreeMap<DimSignature, Vec<OperatorKey>>,
+    by_dim: BTreeMap<DimKey, BTreeSet<OperatorKey>>,
+}
+
+impl OperatorTable {
+    /// Empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an operator. Returns `false` (and stores nothing) if an
+    /// operator with the same `(subscription, dims)` identity is already
+    /// present — re-deliveries along the unique tree path are idempotent.
+    pub fn insert(&mut self, op: Operator) -> bool {
+        let key = op.key();
+        if self.by_key.contains_key(&key) {
+            return false;
+        }
+        self.by_sig.entry(op.signature()).or_default().push(key.clone());
+        for d in op.dims() {
+            self.by_dim.entry(d).or_default().insert(key.clone());
+        }
+        self.by_key.insert(key, op);
+        true
+    }
+
+    /// The stored group sharing `sig` (possibly empty), in insertion order.
+    #[must_use]
+    pub fn group(&self, sig: &DimSignature) -> Vec<&Operator> {
+        self.by_sig
+            .get(sig)
+            .map(|keys| keys.iter().map(|k| &self.by_key[k]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Operators that constrain dimension `dim` — the candidates that an
+    /// event of that sensor/attribute could extend.
+    pub fn ops_with_dim(&self, dim: &DimKey) -> impl Iterator<Item = &Operator> {
+        self.by_dim
+            .get(dim)
+            .into_iter()
+            .flat_map(|keys| keys.iter().map(|k| &self.by_key[k]))
+    }
+
+    /// Look up an operator by identity.
+    #[must_use]
+    pub fn get(&self, key: &OperatorKey) -> Option<&Operator> {
+        self.by_key.get(key)
+    }
+
+    /// Remove an operator by identity, returning it if present. Supports
+    /// explicit unsubscription ("subscriptions are expected to be valid
+    /// until explicitly removed", §IV-B).
+    pub fn remove(&mut self, key: &OperatorKey) -> Option<Operator> {
+        let op = self.by_key.remove(key)?;
+        if let Some(keys) = self.by_sig.get_mut(&op.signature()) {
+            keys.retain(|k| k != key);
+            if keys.is_empty() {
+                self.by_sig.remove(&op.signature());
+            }
+        }
+        for d in op.dims() {
+            if let Some(set) = self.by_dim.get_mut(&d) {
+                set.remove(key);
+                if set.is_empty() {
+                    self.by_dim.remove(&d);
+                }
+            }
+        }
+        Some(op)
+    }
+
+    /// All operators originating from one subscription (a user subscription
+    /// and/or its projections), by key order.
+    #[must_use]
+    pub fn keys_of_sub(&self, sub: fsf_model::SubId) -> Vec<OperatorKey> {
+        self.by_key.keys().filter(|k| k.sub == sub).cloned().collect()
+    }
+
+    /// Has this exact operator identity been stored?
+    #[must_use]
+    pub fn contains(&self, key: &OperatorKey) -> bool {
+        self.by_key.contains_key(key)
+    }
+
+    /// All stored operators in key order — deterministic.
+    pub fn iter(&self) -> impl Iterator<Item = &Operator> {
+        self.by_key.values()
+    }
+
+    /// Number of stored operators.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// Is the table empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Number of distinct dimension signatures.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.by_sig.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsf_model::{SensorId, SubId, Subscription, ValueRange};
+
+    fn op(id: u64, sensors: &[u32]) -> Operator {
+        let s = Subscription::identified(
+            SubId(id),
+            sensors.iter().map(|&d| (SensorId(d), ValueRange::new(0.0, 10.0))),
+            30,
+        )
+        .unwrap();
+        Operator::from_subscription(&s)
+    }
+
+    #[test]
+    fn groups_by_signature() {
+        let mut t = OperatorTable::new();
+        assert!(t.insert(op(1, &[1, 2])));
+        assert!(t.insert(op(2, &[1, 2])));
+        assert!(t.insert(op(3, &[1, 3])));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.group_count(), 2);
+        assert_eq!(t.group(&op(9, &[1, 2]).signature()).len(), 2);
+        assert_eq!(t.group(&op(9, &[1, 3]).signature()).len(), 1);
+        assert_eq!(t.group(&op(9, &[7]).signature()).len(), 0);
+    }
+
+    #[test]
+    fn duplicate_identity_is_rejected() {
+        let mut t = OperatorTable::new();
+        assert!(t.insert(op(1, &[1, 2])));
+        assert!(!t.insert(op(1, &[1, 2])), "same (sub, dims) identity");
+        assert!(t.insert(op(1, &[1])), "same sub, different projection is new");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn dim_index_finds_referencing_operators() {
+        use fsf_model::DimKey;
+        let mut t = OperatorTable::new();
+        t.insert(op(1, &[1, 2]));
+        t.insert(op(2, &[2, 3]));
+        t.insert(op(3, &[4]));
+        let d2: Vec<u64> =
+            t.ops_with_dim(&DimKey::Sensor(SensorId(2))).map(|o| o.sub().0).collect();
+        assert_eq!(d2, vec![1, 2]);
+        let d4: Vec<u64> =
+            t.ops_with_dim(&DimKey::Sensor(SensorId(4))).map(|o| o.sub().0).collect();
+        assert_eq!(d4, vec![3]);
+        assert_eq!(t.ops_with_dim(&DimKey::Sensor(SensorId(9))).count(), 0);
+    }
+
+    #[test]
+    fn get_and_contains_track_keys() {
+        let mut t = OperatorTable::new();
+        let o = op(1, &[1, 2]);
+        assert!(!t.contains(&o.key()));
+        assert!(t.get(&o.key()).is_none());
+        t.insert(o.clone());
+        assert!(t.contains(&o.key()));
+        assert_eq!(t.get(&o.key()).unwrap().sub(), SubId(1));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn remove_cleans_all_indexes() {
+        use fsf_model::DimKey;
+        let mut t = OperatorTable::new();
+        let o1 = op(1, &[1, 2]);
+        let o2 = op(2, &[1, 2]);
+        t.insert(o1.clone());
+        t.insert(o2.clone());
+        assert_eq!(t.remove(&o1.key()).unwrap().sub(), SubId(1));
+        assert!(t.remove(&o1.key()).is_none(), "second removal is a no-op");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.group(&o2.signature()).len(), 1);
+        let hits: Vec<u64> =
+            t.ops_with_dim(&DimKey::Sensor(SensorId(1))).map(|o| o.sub().0).collect();
+        assert_eq!(hits, vec![2]);
+        // removing the last member clears the signature group entirely
+        t.remove(&o2.key());
+        assert!(t.is_empty());
+        assert_eq!(t.group_count(), 0);
+        assert_eq!(t.ops_with_dim(&DimKey::Sensor(SensorId(1))).count(), 0);
+    }
+
+    #[test]
+    fn keys_of_sub_finds_all_projections() {
+        let mut t = OperatorTable::new();
+        t.insert(op(1, &[1, 2]));
+        t.insert(op(1, &[1]));
+        t.insert(op(2, &[1]));
+        assert_eq!(t.keys_of_sub(SubId(1)).len(), 2);
+        assert_eq!(t.keys_of_sub(SubId(2)).len(), 1);
+        assert!(t.keys_of_sub(SubId(9)).is_empty());
+    }
+
+    #[test]
+    fn iteration_is_deterministic_key_order() {
+        let mut t = OperatorTable::new();
+        t.insert(op(3, &[5]));
+        t.insert(op(1, &[1, 2]));
+        t.insert(op(2, &[5]));
+        let a: Vec<u64> = t.iter().map(|o| o.sub().0).collect();
+        let b: Vec<u64> = t.iter().map(|o| o.sub().0).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! The experiment driver: replay one workload through one engine.
+//!
+//! Protocol (mirrors the paper's §VI-A setup):
+//!
+//! 1. all sensors advertise (excluded from the comparison metrics, as in the
+//!    paper — advertisement traffic is identical across distributed
+//!    approaches and absent for Centralized);
+//! 2. per batch: inject the batch's subscriptions one by one (registration
+//!    order preserved), then replay the batch's measurement rounds in time
+//!    order, flushing between rounds so network arrival order follows data
+//!    time;
+//! 3. record a cumulative [`BatchPoint`] after each batch.
+
+use crate::oracle;
+use crate::results::{BatchPoint, ExperimentResult};
+use crate::workload::Workload;
+use fsf_engines::{Engine, EngineKind};
+
+/// Run `engine` over `w`, returning per-batch measurements.
+pub fn run_engine(w: &Workload, engine: &mut dyn Engine) -> ExperimentResult {
+    let expected = oracle::expected_units_per_batch(w);
+    for s in &w.sensors {
+        engine.inject_sensor(s.node, s.advertisement());
+    }
+    engine.flush();
+
+    let mut points = Vec::with_capacity(w.config.batches);
+    let mut subs_injected = 0u64;
+    for (b, expected_units) in expected.iter().copied().enumerate() {
+        for (node, sub) in &w.sub_batches[b] {
+            engine.inject_subscription(*node, sub.clone());
+            engine.flush();
+            subs_injected += 1;
+        }
+        for round in &w.event_batches[b] {
+            for (node, e) in round {
+                engine.inject_event(*node, *e);
+            }
+            engine.flush();
+        }
+        let delivered = engine.deliveries().total_event_units();
+        let recall = if expected_units == 0 {
+            1.0
+        } else {
+            delivered as f64 / expected_units as f64
+        };
+        points.push(BatchPoint {
+            batch: b,
+            subs_injected,
+            sub_forwards: engine.stats().sub_forwards,
+            event_units: engine.stats().event_units,
+            delivered_units: delivered,
+            expected_units,
+            recall,
+        });
+    }
+    ExperimentResult {
+        scenario: w.config.name.clone(),
+        engine: engine.name().to_string(),
+        points,
+    }
+}
+
+/// Convenience: build the engine for `kind` over the workload's topology and
+/// run it. `seed` feeds the probabilistic set filter.
+pub fn run_kind(w: &Workload, kind: EngineKind, seed: u64) -> ExperimentResult {
+    let mut engine = kind.build(w.topology.clone(), w.config.event_validity(), seed);
+    run_engine(w, engine.as_mut())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+
+    fn tiny_workload() -> Workload {
+        Workload::generate(&ScenarioConfig::tiny())
+    }
+
+    #[test]
+    fn deterministic_engines_reach_perfect_recall() {
+        let w = tiny_workload();
+        for kind in [
+            EngineKind::Centralized,
+            EngineKind::Naive,
+            EngineKind::OperatorPlacement,
+            EngineKind::MultiJoin,
+        ] {
+            let r = run_kind(&w, kind, 42);
+            for p in &r.points {
+                assert!(
+                    (p.recall - 1.0).abs() < 1e-12,
+                    "{kind}: batch {} recall {} (delivered {} expected {})",
+                    p.batch,
+                    p.recall,
+                    p.delivered_units,
+                    p.expected_units
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fsf_recall_is_high_but_may_dip_below_one() {
+        let w = tiny_workload();
+        let r = run_kind(&w, EngineKind::FilterSplitForward, 42);
+        for p in &r.points {
+            assert!(p.recall <= 1.0 + 1e-12, "recall cannot exceed 1: {}", p.recall);
+            assert!(p.recall > 0.7, "recall collapsed: {}", p.recall);
+        }
+    }
+
+    #[test]
+    fn loads_are_cumulative_and_ordered() {
+        let w = tiny_workload();
+        let naive = run_kind(&w, EngineKind::Naive, 42);
+        let fsf = run_kind(&w, EngineKind::FilterSplitForward, 42);
+        for r in [&naive, &fsf] {
+            for pair in r.points.windows(2) {
+                assert!(pair[1].sub_forwards >= pair[0].sub_forwards);
+                assert!(pair[1].event_units >= pair[0].event_units);
+                assert!(pair[1].subs_injected > pair[0].subs_injected);
+            }
+        }
+        // FSF never does worse than naive
+        let (n, f) = (naive.last(), fsf.last());
+        assert!(f.sub_forwards <= n.sub_forwards);
+        assert!(f.event_units <= n.event_units);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let w = tiny_workload();
+        let a = run_kind(&w, EngineKind::FilterSplitForward, 42);
+        let b = run_kind(&w, EngineKind::FilterSplitForward, 42);
+        assert_eq!(a, b);
+    }
+}

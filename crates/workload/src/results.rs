@@ -1,0 +1,121 @@
+//! Experiment measurement records — the data behind each figure.
+
+use serde::{Deserialize, Serialize};
+
+/// One measurement point, taken after a batch of subscriptions was injected
+/// and its events replayed (the paper measures "after every new batch of 100
+/// subscriptions"). All counters are cumulative, matching the paper's plots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchPoint {
+    /// Batch index (0-based).
+    pub batch: usize,
+    /// Subscriptions injected so far (the x-axis of every figure).
+    pub subs_injected: u64,
+    /// Cumulative subscription load: operators forwarded over links
+    /// (Figs. 4/6/8/10, "number of forwarded queries").
+    pub sub_forwards: u64,
+    /// Cumulative publication load: simple-event units forwarded over links
+    /// (Figs. 5/7/9/11, "number of forwarded data units").
+    pub event_units: u64,
+    /// Distinct `(subscription, simple event)` pairs delivered to users.
+    pub delivered_units: u64,
+    /// Oracle expectation for the same quantity.
+    pub expected_units: u64,
+    /// End-user event recall (Fig. 12): `delivered / expected`.
+    pub recall: f64,
+}
+
+/// A full experiment run: one engine over one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// Engine (approach) name.
+    pub engine: String,
+    /// One point per batch.
+    pub points: Vec<BatchPoint>,
+}
+
+impl ExperimentResult {
+    /// The last measurement point (end of the run).
+    #[must_use]
+    pub fn last(&self) -> &BatchPoint {
+        self.points.last().expect("experiment has at least one batch")
+    }
+
+    /// Render as a tab-separated table (header + one row per batch), the
+    /// format the `figures` binary prints.
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        let mut s = String::from(
+            "subs\tsub_forwards\tevent_units\tdelivered\texpected\trecall\n",
+        );
+        for p in &self.points {
+            s.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{:.4}\n",
+                p.subs_injected,
+                p.sub_forwards,
+                p.event_units,
+                p.delivered_units,
+                p.expected_units,
+                p.recall
+            ));
+        }
+        s
+    }
+
+    /// Minimum recall across all batches (headline number for Fig. 12).
+    #[must_use]
+    pub fn min_recall(&self) -> f64 {
+        self.points.iter().map(|p| p.recall).fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> ExperimentResult {
+        ExperimentResult {
+            scenario: "tiny".into(),
+            engine: "FSF".into(),
+            points: vec![
+                BatchPoint {
+                    batch: 0,
+                    subs_injected: 100,
+                    sub_forwards: 500,
+                    event_units: 1000,
+                    delivered_units: 90,
+                    expected_units: 100,
+                    recall: 0.9,
+                },
+                BatchPoint {
+                    batch: 1,
+                    subs_injected: 200,
+                    sub_forwards: 900,
+                    event_units: 2500,
+                    delivered_units: 196,
+                    expected_units: 200,
+                    recall: 0.98,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn last_and_min_recall() {
+        let r = result();
+        assert_eq!(r.last().subs_injected, 200);
+        assert!((r.min_recall() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tsv_has_header_and_rows() {
+        let t = result().to_tsv();
+        let lines: Vec<&str> = t.trim().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("subs\t"));
+        assert!(lines[1].starts_with("100\t500\t1000\t"));
+        assert!(lines[2].contains("0.9800"));
+    }
+}

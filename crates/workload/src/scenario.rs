@@ -1,0 +1,273 @@
+//! The four experiment settings of the paper's evaluation (§VI-C…E).
+
+use serde::{Deserialize, Serialize};
+
+/// Which subscription flavour (paper §IV-A) a workload generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SubStyle {
+    /// Abstract subscriptions: attribute-type filters bounded to the target
+    /// station's region — "it is more likely that users are interested in
+    /// one or more sensors within a particular spatial region" (§I). The
+    /// paper's evaluation style; the default.
+    #[default]
+    Abstract,
+    /// Identified subscriptions: the same filters addressed to the target
+    /// station's sensors by name (`S_id = (F_D, δt)`).
+    Identified,
+}
+
+/// Parameters of one experiment scenario.
+///
+/// The paper keeps `δt` (and `δl`) system-wide constants, injects
+/// subscriptions in batches of 100 and measures after every batch, replaying
+/// the sensor streams throughout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Scenario name (used in reports).
+    pub name: String,
+    /// Number of base stations ("groups"): 10 or 20 in the paper.
+    pub groups: usize,
+    /// Sensors per base station (5: one per measurement type).
+    pub sensors_per_group: usize,
+    /// Total network size (sensor nodes + gateways + relays).
+    pub total_nodes: usize,
+    /// Number of subscription batches.
+    pub batches: usize,
+    /// Subscriptions per batch (100 in the paper).
+    pub subs_per_batch: usize,
+    /// Minimum attributes per subscription.
+    pub min_attrs: usize,
+    /// Maximum attributes per subscription.
+    pub max_attrs: usize,
+    /// Measurement rounds replayed per batch (each sensor reads once per
+    /// round).
+    pub rounds_per_batch: usize,
+    /// Seconds between rounds.
+    pub reading_interval: u64,
+    /// Temporal correlation distance `δt` (seconds), system-wide.
+    pub delta_t: u64,
+    /// Pareto `x_m` of the range-centre offset, as a multiple of the target
+    /// stream's inter-quartile range. Range centres sit around the stream
+    /// median, displaced by a heavy-tailed Pareto(α=1) offset to either
+    /// side — the staggered-centre population whose interval *unions* create
+    /// the set-subsumption opportunities of the paper's Table I.
+    pub offset_iqr_scale: f64,
+    /// Base half-width of a subscription range, as a multiple of the target
+    /// stream's inter-quartile range (each range draws ×[0.5, 1.5) of it).
+    /// Scaling with the observed spread keeps the workload
+    /// medium-selective regardless of the physical domain width.
+    pub width_iqr_scale: f64,
+    /// Master seed; everything (topology, streams, subscriptions) derives
+    /// from it deterministically.
+    pub seed: u64,
+    /// Subscription flavour (abstract region-bound vs identified-by-sensor).
+    pub sub_style: SubStyle,
+}
+
+impl ScenarioConfig {
+    /// §VI-C small scale: 60 nodes, 50 sensor nodes (10 groups × 5),
+    /// 100→1000 subscriptions, 3–5 attributes each.
+    #[must_use]
+    pub fn small_scale() -> Self {
+        ScenarioConfig {
+            name: "small-scale".into(),
+            groups: 10,
+            sensors_per_group: 5,
+            total_nodes: 60,
+            batches: 10,
+            subs_per_batch: 100,
+            min_attrs: 3,
+            max_attrs: 5,
+            rounds_per_batch: 20,
+            reading_interval: 10,
+            delta_t: 30,
+            offset_iqr_scale: 0.25,
+            width_iqr_scale: 0.75,
+            seed: 0x5EED_0001,
+            sub_style: SubStyle::default(),
+        }
+    }
+
+    /// §VI-D medium scale: 100 nodes, 50 sensor nodes, 100→900
+    /// subscriptions with 5 attributes (also compared against Centralized).
+    #[must_use]
+    pub fn medium_scale() -> Self {
+        ScenarioConfig {
+            name: "medium-scale".into(),
+            groups: 10,
+            sensors_per_group: 5,
+            total_nodes: 100,
+            batches: 9,
+            subs_per_batch: 100,
+            min_attrs: 5,
+            max_attrs: 5,
+            rounds_per_batch: 20,
+            reading_interval: 10,
+            delta_t: 30,
+            offset_iqr_scale: 0.25,
+            width_iqr_scale: 0.75,
+            seed: 0x5EED_0002,
+            sub_style: SubStyle::default(),
+        }
+    }
+
+    /// §VI-E large scale #1 (network size): 200 nodes, 50 sensor nodes.
+    #[must_use]
+    pub fn large_network() -> Self {
+        ScenarioConfig {
+            name: "large-network".into(),
+            groups: 10,
+            sensors_per_group: 5,
+            total_nodes: 200,
+            batches: 9,
+            subs_per_batch: 100,
+            min_attrs: 5,
+            max_attrs: 5,
+            rounds_per_batch: 20,
+            reading_interval: 10,
+            delta_t: 30,
+            offset_iqr_scale: 0.25,
+            width_iqr_scale: 0.75,
+            seed: 0x5EED_0003,
+            sub_style: SubStyle::default(),
+        }
+    }
+
+    /// §VI-E large scale #2 (source count): 200 nodes, 100 sensor nodes
+    /// (20 groups × 5).
+    #[must_use]
+    pub fn large_sources() -> Self {
+        ScenarioConfig {
+            name: "large-sources".into(),
+            groups: 20,
+            sensors_per_group: 5,
+            total_nodes: 200,
+            batches: 9,
+            subs_per_batch: 100,
+            min_attrs: 5,
+            max_attrs: 5,
+            rounds_per_batch: 20,
+            reading_interval: 10,
+            delta_t: 30,
+            offset_iqr_scale: 0.25,
+            width_iqr_scale: 0.75,
+            seed: 0x5EED_0004,
+            sub_style: SubStyle::default(),
+        }
+    }
+
+    /// All four paper settings.
+    #[must_use]
+    pub fn paper_settings() -> Vec<ScenarioConfig> {
+        vec![
+            Self::small_scale(),
+            Self::medium_scale(),
+            Self::large_network(),
+            Self::large_sources(),
+        ]
+    }
+
+    /// A miniature setting for unit/integration tests: 2 groups, 17 nodes,
+    /// small batches — seconds to run in debug builds.
+    #[must_use]
+    pub fn tiny() -> Self {
+        ScenarioConfig {
+            name: "tiny".into(),
+            groups: 2,
+            sensors_per_group: 5,
+            total_nodes: 17,
+            batches: 3,
+            subs_per_batch: 8,
+            min_attrs: 2,
+            max_attrs: 4,
+            rounds_per_batch: 8,
+            reading_interval: 10,
+            delta_t: 30,
+            offset_iqr_scale: 0.25,
+            width_iqr_scale: 0.75,
+            seed: 0x5EED_FFFF,
+            sub_style: SubStyle::default(),
+        }
+    }
+
+    /// Scale down the subscription/batch/round volume (for quick benchmark
+    /// iterations), keeping the network dimensions intact.
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "factor in (0, 1]");
+        let s = |v: usize| ((v as f64 * factor).round() as usize).max(1);
+        self.subs_per_batch = s(self.subs_per_batch);
+        self.rounds_per_batch = s(self.rounds_per_batch);
+        self.name = format!("{}(x{factor})", self.name);
+        self
+    }
+
+    /// The event-store validity horizon the engines should use: twice `δt`
+    /// (the paper requires "longer than δt").
+    #[must_use]
+    pub fn event_validity(&self) -> u64 {
+        2 * self.delta_t
+    }
+
+    /// Total sensors in the deployment.
+    #[must_use]
+    pub fn total_sensors(&self) -> usize {
+        self.groups * self.sensors_per_group
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_settings_match_section_vi() {
+        let small = ScenarioConfig::small_scale();
+        assert_eq!((small.total_nodes, small.total_sensors(), small.groups), (60, 50, 10));
+        assert_eq!(small.batches * small.subs_per_batch, 1000);
+        assert_eq!((small.min_attrs, small.max_attrs), (3, 5));
+
+        let medium = ScenarioConfig::medium_scale();
+        assert_eq!((medium.total_nodes, medium.total_sensors()), (100, 50));
+        assert_eq!(medium.batches * medium.subs_per_batch, 900);
+        assert_eq!((medium.min_attrs, medium.max_attrs), (5, 5));
+
+        let ln = ScenarioConfig::large_network();
+        assert_eq!((ln.total_nodes, ln.total_sensors()), (200, 50));
+
+        let ls = ScenarioConfig::large_sources();
+        assert_eq!((ls.total_nodes, ls.total_sensors(), ls.groups), (200, 100, 20));
+
+        assert_eq!(ScenarioConfig::paper_settings().len(), 4);
+    }
+
+    #[test]
+    fn validity_exceeds_delta_t() {
+        for c in ScenarioConfig::paper_settings() {
+            assert!(c.event_validity() > c.delta_t);
+        }
+    }
+
+    #[test]
+    fn scaling_shrinks_volume_not_network() {
+        let c = ScenarioConfig::medium_scale().scaled(0.25);
+        assert_eq!(c.subs_per_batch, 25);
+        assert_eq!(c.rounds_per_batch, 5);
+        assert_eq!(c.total_nodes, 100);
+        assert!(c.name.contains("x0.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn scaling_rejects_bad_factors() {
+        let _ = ScenarioConfig::tiny().scaled(0.0);
+    }
+
+    #[test]
+    fn configs_roundtrip_through_serde() {
+        // ScenarioConfig is serialized into experiment reports
+        let c = ScenarioConfig::small_scale();
+        let s = format!("{c:?}");
+        assert!(s.contains("small-scale"));
+    }
+}

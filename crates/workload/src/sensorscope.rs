@@ -1,0 +1,211 @@
+//! Synthetic SensorScope-style measurement streams.
+//!
+//! The paper replays the EPFL SensorScope deployment from the Grand
+//! St. Bernard pass (September–October 2007) with five measurement types.
+//! The raw traces are not redistributable, so this module implements value
+//! processes with the statistical features the evaluated algorithms actually
+//! interact with:
+//!
+//! * stationary behaviour around a stable per-stream median (subscription
+//!   ranges are median-centred);
+//! * bounded physical domains (humidity 0–100 %, direction 0–360°, …);
+//! * short-term temporal correlation (AR(1) noise, diurnal components);
+//! * per-station offsets (streams of the same type differ between stations).
+
+use fsf_model::{attrs, AttrId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic value process for one sensor's stream.
+#[derive(Debug, Clone)]
+pub struct ValueProcess {
+    attr: AttrId,
+    rng: StdRng,
+    /// Station-specific base level (e.g. altitude-dependent temperature).
+    base: f64,
+    /// AR(1) state.
+    state: f64,
+}
+
+/// Seconds per synthetic day (diurnal components).
+const DAY: f64 = 86_400.0;
+
+impl ValueProcess {
+    /// Create the process for a sensor of type `attr`; `seed` makes it
+    /// deterministic, `station_jitter ∈ [0,1]` differentiates stations.
+    #[must_use]
+    pub fn new(attr: AttrId, seed: u64, station_jitter: f64) -> Self {
+        let base = match attr {
+            a if a == attrs::AMBIENT_TEMP => -2.0 + 6.0 * station_jitter,
+            a if a == attrs::SURFACE_TEMP => -5.0 + 8.0 * station_jitter,
+            a if a == attrs::REL_HUMIDITY => 55.0 + 20.0 * station_jitter,
+            a if a == attrs::WIND_SPEED => 4.0 + 4.0 * station_jitter,
+            _ => 180.0 + 90.0 * (station_jitter - 0.5),
+        };
+        ValueProcess { attr, rng: StdRng::seed_from_u64(seed), base, state: 0.0 }
+    }
+
+    /// The next reading at time `t` (seconds).
+    pub fn sample(&mut self, t: u64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * (t as f64) / DAY;
+        let noise: f64 = self.rng.gen_range(-1.0..1.0);
+        self.state = 0.8 * self.state + noise;
+        let raw = match self.attr {
+            a if a == attrs::AMBIENT_TEMP => self.base + 5.0 * phase.sin() + 1.5 * self.state,
+            a if a == attrs::SURFACE_TEMP => self.base + 9.0 * phase.sin() + 2.0 * self.state,
+            a if a == attrs::REL_HUMIDITY => self.base - 10.0 * phase.sin() + 4.0 * self.state,
+            a if a == attrs::WIND_SPEED => {
+                // |AR| with occasional gusts
+                let gust = if self.rng.gen::<f64>() < 0.02 {
+                    self.rng.gen_range(5.0..15.0)
+                } else {
+                    0.0
+                };
+                (self.base + 2.0 * self.state + gust).max(0.0)
+            }
+            _ => self.base + 25.0 * self.state,
+        };
+        clamp_to_domain(self.attr, raw)
+    }
+}
+
+/// Clamp a raw sample to the attribute's physical domain.
+#[must_use]
+pub fn clamp_to_domain(attr: AttrId, v: f64) -> f64 {
+    let c = fsf_model::AttrCatalog::sensorscope();
+    match c.get(attr) {
+        Some(info) => v.clamp(info.domain.min(), info.domain.max()),
+        None => v,
+    }
+}
+
+/// Empirical median of a stream's first `n` samples — the anchor for
+/// subscription range generation ("centered around the median values in the
+/// corresponding stream").
+#[must_use]
+pub fn empirical_median(samples: &[f64]) -> f64 {
+    empirical_quantile(samples, 0.5)
+}
+
+/// Empirical `q`-quantile (nearest-rank) of a sample set.
+#[must_use]
+pub fn empirical_quantile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "quantile of empty stream");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    if q == 0.5 {
+        let mid = v.len() / 2;
+        return if v.len() % 2 == 1 { v[mid] } else { (v[mid - 1] + v[mid]) / 2.0 };
+    }
+    let idx = ((v.len() - 1) as f64 * q).round() as usize;
+    v[idx]
+}
+
+/// Empirical inter-quartile range — the stream-spread yardstick the
+/// subscription generator scales its Pareto offsets by. Using the observed
+/// spread (rather than the physical domain width) is what makes the
+/// generated subscriptions "medium selective", as the paper requires of its
+/// workload ("we have chosen medium selective subscriptions, making sure
+/// each one has a minimum number of matching events").
+#[must_use]
+pub fn empirical_iqr(samples: &[f64]) -> f64 {
+    let iqr = empirical_quantile(samples, 0.75) - empirical_quantile(samples, 0.25);
+    // degenerate streams (constant values) still need a usable scale
+    if iqr > f64::EPSILON {
+        iqr
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsf_model::AttrCatalog;
+
+    fn run(attr: AttrId, seed: u64, n: usize) -> Vec<f64> {
+        let mut p = ValueProcess::new(attr, seed, 0.4);
+        (0..n).map(|i| p.sample(i as u64 * 120)).collect()
+    }
+
+    #[test]
+    fn processes_are_deterministic_per_seed() {
+        for attr in attrs::ALL {
+            assert_eq!(run(attr, 7, 100), run(attr, 7, 100));
+            assert_ne!(run(attr, 7, 100), run(attr, 8, 100));
+        }
+    }
+
+    #[test]
+    fn samples_respect_physical_domains() {
+        let catalog = AttrCatalog::sensorscope();
+        for attr in attrs::ALL {
+            let dom = catalog.get(attr).unwrap().domain;
+            for v in run(attr, 3, 2_000) {
+                assert!(dom.contains(v), "{attr}: {v} outside {dom}");
+            }
+        }
+    }
+
+    #[test]
+    fn wind_speed_is_nonnegative_and_gusty() {
+        let samples = run(attrs::WIND_SPEED, 11, 5_000);
+        assert!(samples.iter().all(|&v| v >= 0.0));
+        let max = samples.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(max > 8.0, "expected occasional gusts, max was {max}");
+    }
+
+    #[test]
+    fn medians_are_stable_across_halves() {
+        // stationarity: median of the first half ≈ median of the second
+        for attr in [attrs::AMBIENT_TEMP, attrs::REL_HUMIDITY] {
+            let s = run(attr, 5, 4_000);
+            let m1 = empirical_median(&s[..2_000]);
+            let m2 = empirical_median(&s[2_000..]);
+            let dom = AttrCatalog::sensorscope().get(attr).unwrap().domain.width();
+            assert!(
+                (m1 - m2).abs() < 0.15 * dom,
+                "{attr}: medians drifted {m1} vs {m2}"
+            );
+        }
+    }
+
+    #[test]
+    fn stations_differ() {
+        let a = ValueProcess::new(attrs::AMBIENT_TEMP, 1, 0.0);
+        let b = ValueProcess::new(attrs::AMBIENT_TEMP, 1, 1.0);
+        let ma = empirical_median(
+            &(0..500).scan(a, |p, i| Some(p.sample(i * 120))).collect::<Vec<_>>(),
+        );
+        let mb = empirical_median(
+            &(0..500).scan(b, |p, i| Some(p.sample(i * 120))).collect::<Vec<_>>(),
+        );
+        assert!((ma - mb).abs() > 1.0, "station offset invisible: {ma} vs {mb}");
+    }
+
+    #[test]
+    fn empirical_median_basics() {
+        assert_eq!(empirical_median(&[3.0]), 3.0);
+        assert_eq!(empirical_median(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(empirical_median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(empirical_median(&[4.0, 1.0, 3.0, 2.0]), 2.5, "unsorted input");
+    }
+
+    #[test]
+    fn quantiles_and_iqr() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(empirical_quantile(&v, 0.0), 1.0);
+        assert_eq!(empirical_quantile(&v, 1.0), 100.0);
+        let iqr = empirical_iqr(&v);
+        assert!((45.0..=55.0).contains(&iqr), "iqr of uniform 1..100 ≈ 50, got {iqr}");
+        // degenerate stream falls back to a usable scale
+        assert_eq!(empirical_iqr(&[5.0, 5.0, 5.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_rejects_out_of_range() {
+        let _ = empirical_quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,108 @@
+//! Avalanche warning — a domain scenario from the paper's motivation.
+//!
+//! The Swiss Experiment's SLF use case: detect avalanche-prone conditions at
+//! high-alpine stations. A warning fires when, within one correlation window
+//! at the same station: surface temperature is near melting, wind is strong
+//! (loading the slope), and humidity is high (fresh precipitation). Rescue
+//! services subscribe per region; the network filters readings at the
+//! stations, so quiet weather never leaves the ridge.
+//!
+//! Run with: `cargo run --example avalanche_warning`
+
+use fsf::model::attrs;
+use fsf::prelude::*;
+
+fn main() {
+    // Two stations (Grand St. Bernard ridge + forecourt), one valley relay,
+    // one control-centre node.
+    //
+    //   ridge sensors (0,1,2) — ridge gateway (6) — relay (8) — control (9)
+    //   forecourt sensors (3,4,5) — forecourt gateway (7) — relay (8)
+    let edges = [(0, 6), (1, 6), (2, 6), (3, 7), (4, 7), (5, 7), (6, 8), (7, 8), (8, 9)];
+    let topology = Topology::from_edges(10, &edges).unwrap();
+    let config = PubSubConfig::fsf(120, 99);
+    let mut sim = Simulator::new(topology, |id, _| PubSubNode::new(id, config));
+
+    let ridge = Point::new(0.0, 0.0);
+    let forecourt = Point::new(3_000.0, 500.0);
+    let stations = [(ridge, [0u32, 1, 2]), (forecourt, [3, 4, 5])];
+    let kinds = [attrs::SURFACE_TEMP, attrs::WIND_SPEED, attrs::REL_HUMIDITY];
+    for (center, nodes) in &stations {
+        for (i, &n) in nodes.iter().enumerate() {
+            let adv = Advertisement {
+                sensor: SensorId(n),
+                attr: kinds[i],
+                location: Point::new(center.x + i as f64, center.y),
+            };
+            sim.inject_and_run(NodeId(n), PubSubMsg::SensorUp(adv));
+        }
+    }
+
+    // The SLF control centre subscribes to avalanche conditions on the
+    // ridge only: an *abstract* subscription bounded to the ridge region.
+    let warning = Subscription::abstract_over(
+        SubId(1),
+        [
+            (attrs::SURFACE_TEMP, ValueRange::new(-2.0, 3.0)), // near melting
+            (attrs::WIND_SPEED, ValueRange::new(12.0, 40.0)),  // strong wind
+            (attrs::REL_HUMIDITY, ValueRange::new(80.0, 100.0)), // precipitation
+        ],
+        Region::Rect(Rect::centered(ridge, 500.0)),
+        60, // δt: readings within one minute count as simultaneous
+        None,
+    )
+    .unwrap();
+    sim.inject_and_run(NodeId(9), PubSubMsg::Subscribe(warning));
+    println!("warning subscription installed ({} operator forwards)\n", sim.stats.sub_forwards);
+
+    // A day of readings, one sample per sensor per tick.
+    let mut next_id = 100u64;
+    let mut publish = |sim: &mut Simulator<PubSubNode>, sensor: u32, v: f64, t: u64| {
+        let (center, idx) = if sensor < 3 { (ridge, sensor) } else { (forecourt, sensor - 3) };
+        let event = Event {
+            id: EventId(next_id),
+            sensor: SensorId(sensor),
+            attr: kinds[idx as usize],
+            location: Point::new(center.x + f64::from(idx), center.y),
+            value: v,
+            timestamp: Timestamp(t),
+        };
+        next_id += 1;
+        sim.inject_and_run(NodeId(sensor), PubSubMsg::Publish(event));
+    };
+
+    println!("08:00 — calm morning on the ridge (cold, light wind, dry)");
+    publish(&mut sim, 0, -12.0, 8 * 3600);
+    publish(&mut sim, 1, 4.0, 8 * 3600 + 10);
+    publish(&mut sim, 2, 45.0, 8 * 3600 + 20);
+    report(&sim, 1);
+
+    println!("13:00 — föhn storm: warm, violent wind, saturated air");
+    publish(&mut sim, 0, 0.5, 13 * 3600);
+    publish(&mut sim, 1, 19.0, 13 * 3600 + 15);
+    publish(&mut sim, 2, 91.0, 13 * 3600 + 30);
+    report(&sim, 1);
+
+    println!("13:00 — the forecourt sees the same storm (outside the region)");
+    publish(&mut sim, 3, 1.0, 13 * 3600 + 40);
+    publish(&mut sim, 4, 17.0, 13 * 3600 + 50);
+    publish(&mut sim, 5, 88.0, 13 * 3600 + 55);
+    report(&sim, 1);
+
+    let delivered = sim.deliveries.delivered(SubId(1)).len();
+    assert_eq!(delivered, 3, "exactly the ridge storm triple");
+    println!(
+        "total event units on the network: {} — quiet readings and the \
+         out-of-region station never left their gateways",
+        sim.stats.event_units
+    );
+}
+
+fn report(sim: &Simulator<PubSubNode>, sub: u64) {
+    let n = sim.deliveries.delivered(SubId(sub)).len();
+    if n == 0 {
+        println!("   control centre: no warning\n");
+    } else {
+        println!("   control centre: ⚠ avalanche warning — {n} correlated readings\n");
+    }
+}

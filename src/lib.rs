@@ -1,0 +1,104 @@
+//! # fsf — Continuous Query Evaluation over Distributed Sensor Networks
+//!
+//! A from-scratch Rust reproduction of Jurca, Michel, Herrmann & Aberer,
+//! *Continuous Query Evaluation over Distributed Sensor Networks*
+//! (ICDE 2010): the **Filter-Split-Forward** approach to processing
+//! continuous multi-join subscriptions over distributed sensor data streams,
+//! together with the four baselines of the paper's evaluation and the full
+//! experiment harness.
+//!
+//! ## Crate map
+//!
+//! * [`model`] — events, advertisements, filters, subscriptions, operators,
+//!   and the complex-event matching semantics (paper §IV);
+//! * [`subsumption`] — pairwise coverage, exact box cover, and the
+//!   probabilistic *set filtering* with configurable error probability
+//!   (paper §V-B / reference \[15\]);
+//! * [`network`] — tree topologies, routing, traffic accounting, and the
+//!   deterministic message simulator (paper §IV-B);
+//! * [`core`] — the Filter-Split-Forward node: Algorithms 1–5, plus the
+//!   naive / operator-placement configurations that share its skeleton;
+//! * [`engines`] — the centralized and distributed multi-join baselines and
+//!   the uniform [`engines::Engine`] facade (paper §III, §VI);
+//! * [`workload`] — synthetic SensorScope-style streams, Pareto
+//!   subscriptions, the four experiment scenarios, driver and recall oracle
+//!   (paper §VI-A);
+//! * [`runtime`] — one-OS-thread-per-node execution of any engine.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fsf::prelude::*;
+//!
+//! // a 4-node line: sensor — relay — relay — user
+//! let topology = fsf::network::builders::line(4);
+//! let config = PubSubConfig::fsf(60, 42);
+//! let mut sim = Simulator::new(topology, |id, _| PubSubNode::new(id, config));
+//!
+//! // the sensor advertises, the user subscribes, the sensor publishes
+//! let adv = Advertisement {
+//!     sensor: SensorId(1),
+//!     attr: fsf::model::attrs::AMBIENT_TEMP,
+//!     location: Point::new(0.0, 0.0),
+//! };
+//! sim.inject_and_run(NodeId(0), PubSubMsg::SensorUp(adv));
+//!
+//! let sub = Subscription::identified(
+//!     SubId(1),
+//!     [(SensorId(1), ValueRange::new(-5.0, 5.0))],
+//!     30,
+//! )
+//! .unwrap();
+//! sim.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub));
+//!
+//! let event = Event {
+//!     id: EventId(100),
+//!     sensor: SensorId(1),
+//!     attr: fsf::model::attrs::AMBIENT_TEMP,
+//!     location: Point::new(0.0, 0.0),
+//!     value: 1.5,
+//!     timestamp: Timestamp(1_000),
+//! };
+//! sim.inject_and_run(NodeId(0), PubSubMsg::Publish(event));
+//!
+//! assert_eq!(sim.deliveries.delivered(SubId(1)).len(), 1);
+//! assert_eq!(sim.stats.event_units, 3); // one unit per hop
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use fsf_core as core;
+pub use fsf_engines as engines;
+pub use fsf_model as model;
+pub use fsf_network as network;
+pub use fsf_runtime as runtime;
+pub use fsf_subsumption as subsumption;
+pub use fsf_workload as workload;
+
+/// The most frequently used types, for glob import.
+pub mod prelude {
+    pub use fsf_core::{
+        DedupMode, FilterPolicy, PubSubConfig, PubSubMsg, PubSubNode, RankPolicy,
+        SetFilterConfig,
+    };
+    pub use fsf_engines::{Engine, EngineKind};
+    pub use fsf_model::{
+        Advertisement, AttrId, ComplexEvent, Event, EventId, Operator, Point, Rect, Region,
+        SensorId, SubId, Subscription, Timestamp, ValueRange,
+    };
+    pub use fsf_network::{NodeId, Simulator, Topology};
+    pub use fsf_workload::{run_engine, ScenarioConfig, Workload};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let t = Topology::from_edges(2, &[(0, 1)]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(EngineKind::ALL.len(), 5);
+        let _ = PubSubConfig::fsf(60, 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! The identified-subscription flavour end to end: the same scenario driven
+//! with `S_id = (F_D, δt)` subscriptions must behave like its abstract
+//! counterpart (all engines, full recall for the deterministic ones).
+
+use fsf::engines::EngineKind;
+use fsf::workload::driver::run_kind;
+use fsf::workload::scenario::SubStyle;
+use fsf::workload::{ScenarioConfig, Workload};
+
+fn identified_workload() -> Workload {
+    let mut c = ScenarioConfig::tiny();
+    c.sub_style = SubStyle::Identified;
+    Workload::generate(&c)
+}
+
+#[test]
+fn deterministic_engines_reach_full_recall_on_identified_subs() {
+    let w = identified_workload();
+    for kind in [
+        EngineKind::Centralized,
+        EngineKind::Naive,
+        EngineKind::OperatorPlacement,
+        EngineKind::MultiJoin,
+    ] {
+        let r = run_kind(&w, kind, 42);
+        assert!(
+            (r.min_recall() - 1.0).abs() < 1e-12,
+            "{kind}: identified-subscription recall {}",
+            r.min_recall()
+        );
+    }
+}
+
+#[test]
+fn fsf_traffic_ordering_holds_for_identified_subs() {
+    let w = identified_workload();
+    let naive = run_kind(&w, EngineKind::Naive, 42);
+    let fsf = run_kind(&w, EngineKind::FilterSplitForward, 42);
+    assert!(fsf.last().sub_forwards <= naive.last().sub_forwards);
+    assert!(fsf.last().event_units <= naive.last().event_units);
+    assert!(fsf.min_recall() > 0.8, "recall collapsed: {}", fsf.min_recall());
+}
+
+#[test]
+fn identified_and_abstract_deliver_the_same_ground_truth_volume() {
+    // identified subs name exactly the sensors the abstract region binds,
+    // so the oracle expectation must coincide
+    let w_id = identified_workload();
+    let w_ab = Workload::generate(&ScenarioConfig::tiny());
+    let exp_id = fsf::workload::oracle::expected_units_per_batch(&w_id);
+    let exp_ab = fsf::workload::oracle::expected_units_per_batch(&w_ab);
+    assert_eq!(exp_id, exp_ab, "the two flavours describe the same interest");
+}

@@ -1,0 +1,299 @@
+//! Robustness and edge-case behaviour across engines: duplicate inputs,
+//! out-of-order and expired events, unanswerable subscriptions, and
+//! region-spanning abstract subscriptions.
+
+use fsf::model::attrs;
+use fsf::prelude::*;
+
+const DT: u64 = 30;
+
+fn line_engine(kind: EngineKind) -> Box<dyn Engine> {
+    kind.build(fsf::network::builders::line(4), 2 * DT, 7)
+}
+
+fn adv(sensor: u32) -> Advertisement {
+    Advertisement {
+        sensor: SensorId(sensor),
+        attr: AttrId(0),
+        location: Point::new(0.0, 0.0),
+    }
+}
+
+fn event(id: u64, sensor: u32, v: f64, t: u64) -> Event {
+    Event {
+        id: EventId(id),
+        sensor: SensorId(sensor),
+        attr: AttrId(0),
+        location: Point::new(0.0, 0.0),
+        value: v,
+        timestamp: Timestamp(t),
+    }
+}
+
+fn simple_sub(id: u64, sensor: u32) -> Subscription {
+    Subscription::identified(SubId(id), [(SensorId(sensor), ValueRange::new(0.0, 10.0))], DT)
+        .unwrap()
+}
+
+#[test]
+fn duplicate_advertisements_are_idempotent() {
+    for kind in EngineKind::DISTRIBUTED {
+        let mut e = line_engine(kind);
+        e.inject_sensor(NodeId(0), adv(1));
+        e.flush();
+        let base = e.stats().adv_msgs;
+        e.inject_sensor(NodeId(0), adv(1));
+        e.flush();
+        assert_eq!(e.stats().adv_msgs, base, "{kind}: re-advertising flooded again");
+    }
+}
+
+#[test]
+fn duplicate_subscriptions_are_idempotent() {
+    for kind in EngineKind::DISTRIBUTED {
+        let mut e = line_engine(kind);
+        e.inject_sensor(NodeId(0), adv(1));
+        e.flush();
+        e.inject_subscription(NodeId(3), simple_sub(1, 1));
+        e.flush();
+        let base = e.stats().sub_forwards;
+        e.inject_subscription(NodeId(3), simple_sub(1, 1));
+        e.flush();
+        assert_eq!(e.stats().sub_forwards, base, "{kind}: duplicate subscription forwarded");
+    }
+}
+
+#[test]
+fn duplicate_event_publication_is_idempotent() {
+    for kind in EngineKind::ALL {
+        let mut e = line_engine(kind);
+        e.inject_sensor(NodeId(0), adv(1));
+        e.flush();
+        e.inject_subscription(NodeId(3), simple_sub(1, 1));
+        e.flush();
+        e.inject_event(NodeId(0), event(100, 1, 5.0, 1_000));
+        e.flush();
+        let base = e.stats().event_units;
+        e.inject_event(NodeId(0), event(100, 1, 5.0, 1_000));
+        e.flush();
+        if kind == EngineKind::Centralized {
+            // sensors stream blindly to the centre — the duplicate pays the
+            // inbound transit again, but the centre dedups: no re-delivery
+            // and no result re-send
+            let topo = fsf::network::builders::line(4);
+            let inbound = topo.distance(NodeId(0), topo.median()) as u64;
+            assert_eq!(e.stats().event_units, base + inbound, "{kind}: inbound transit only");
+        } else {
+            // distributed engines dedup at the publishing node itself
+            assert_eq!(e.stats().event_units, base, "{kind}: duplicate event re-forwarded");
+        }
+        assert_eq!(e.deliveries().delivered(SubId(1)).len(), 1);
+    }
+}
+
+#[test]
+fn out_of_order_events_still_correlate() {
+    // a join whose second constituent arrives with an *older* timestamp
+    for kind in EngineKind::ALL {
+        let topo = fsf::network::builders::star(4); // hub 0; sensors 1,2; user 3
+        let mut e = kind.build(topo, 2 * DT, 7);
+        e.inject_sensor(NodeId(1), adv(1));
+        e.inject_sensor(
+            NodeId(2),
+            Advertisement {
+                sensor: SensorId(2),
+                attr: AttrId(1),
+                location: Point::new(0.0, 0.0),
+            },
+        );
+        e.flush();
+        let sub = Subscription::identified(
+            SubId(1),
+            [
+                (SensorId(1), ValueRange::new(0.0, 10.0)),
+                (SensorId(2), ValueRange::new(0.0, 10.0)),
+            ],
+            DT,
+        )
+        .unwrap();
+        e.inject_subscription(NodeId(3), sub);
+        e.flush();
+        // newer event first, older (but in-window) partner second
+        e.inject_event(NodeId(1), event(100, 1, 5.0, 1_010));
+        e.flush();
+        let mut ev2 = event(101, 2, 5.0, 1_000);
+        ev2.attr = AttrId(1);
+        e.inject_event(NodeId(2), ev2);
+        e.flush();
+        assert_eq!(
+            e.deliveries().delivered(SubId(1)).len(),
+            2,
+            "{kind}: late-arriving older partner missed"
+        );
+    }
+}
+
+#[test]
+fn expired_events_never_correlate() {
+    for kind in EngineKind::ALL {
+        let mut e = line_engine(kind);
+        e.inject_sensor(NodeId(0), adv(1));
+        e.flush();
+        e.inject_subscription(NodeId(3), simple_sub(1, 1));
+        e.flush();
+        e.inject_event(NodeId(0), event(100, 1, 5.0, 100_000));
+        e.flush();
+        // far-in-the-past event arrives after the store advanced
+        e.inject_event(NodeId(0), event(101, 1, 5.0, 10));
+        e.flush();
+        let d = e.deliveries().delivered(SubId(1));
+        assert!(d.contains(&EventId(100)), "{kind}");
+        assert!(!d.contains(&EventId(101)), "{kind}: expired event delivered");
+    }
+}
+
+#[test]
+fn events_published_before_any_subscription_are_dropped_at_source() {
+    for kind in EngineKind::DISTRIBUTED {
+        let mut e = line_engine(kind);
+        e.inject_sensor(NodeId(0), adv(1));
+        e.flush();
+        e.inject_event(NodeId(0), event(100, 1, 5.0, 1_000));
+        e.flush();
+        assert_eq!(e.stats().event_units, 0, "{kind}: unrequested event left the node");
+    }
+}
+
+#[test]
+fn unanswerable_subscriptions_produce_no_traffic_in_distributed_engines() {
+    for kind in EngineKind::DISTRIBUTED {
+        let mut e = line_engine(kind);
+        e.inject_sensor(NodeId(0), adv(1));
+        e.flush();
+        // sensor 9 does not exist
+        let sub = Subscription::identified(
+            SubId(1),
+            [
+                (SensorId(1), ValueRange::new(0.0, 10.0)),
+                (SensorId(9), ValueRange::new(0.0, 10.0)),
+            ],
+            DT,
+        )
+        .unwrap();
+        e.inject_subscription(NodeId(3), sub);
+        e.flush();
+        assert_eq!(e.stats().sub_forwards, 0, "{kind}");
+        // and later events for the existing sensor stay put
+        e.inject_event(NodeId(0), event(100, 1, 5.0, 1_000));
+        e.flush();
+        assert_eq!(e.stats().event_units, 0, "{kind}");
+    }
+}
+
+#[test]
+fn abstract_subscription_spanning_two_stations_pulls_both() {
+    // star: hub 0, station A sensor at 1, station B sensor at 2, user at 3;
+    // both stations advertise the same attribute inside the region
+    for kind in EngineKind::ALL {
+        let topo = fsf::network::builders::star(4);
+        let mut e = kind.build(topo, 2 * DT, 7);
+        for (node, sensor, x) in [(1u32, 1u32, 0.0), (2, 2, 50.0)] {
+            e.inject_sensor(
+                NodeId(node),
+                Advertisement {
+                    sensor: SensorId(sensor),
+                    attr: attrs::AMBIENT_TEMP,
+                    location: Point::new(x, 0.0),
+                },
+            );
+        }
+        e.flush();
+        let sub = Subscription::abstract_over(
+            SubId(1),
+            [(attrs::AMBIENT_TEMP, ValueRange::new(0.0, 10.0))],
+            Region::Rect(Rect::new(Point::new(-10.0, -10.0), Point::new(60.0, 10.0))),
+            DT,
+            None,
+        )
+        .unwrap();
+        e.inject_subscription(NodeId(3), sub);
+        e.flush();
+        let mut e1 = event(100, 1, 5.0, 1_000);
+        e1.attr = attrs::AMBIENT_TEMP;
+        let mut e2 = event(101, 2, 5.0, 1_002);
+        e2.attr = attrs::AMBIENT_TEMP;
+        e2.location = Point::new(50.0, 0.0);
+        e.inject_event(NodeId(1), e1);
+        e.inject_event(NodeId(2), e2);
+        e.flush();
+        assert_eq!(
+            e.deliveries().delivered(SubId(1)).len(),
+            2,
+            "{kind}: both stations' readings must arrive"
+        );
+    }
+}
+
+#[test]
+fn abstract_subscription_with_delta_l_filters_far_pairs() {
+    // two-attr abstract subscription with a tight spatial correlation
+    // distance: the far-apart pair must not be delivered
+    let topo = fsf::network::builders::star(4);
+    let mut e = EngineKind::FilterSplitForward.build(topo, 2 * DT, 7);
+    for (node, sensor, attr, x) in
+        [(1u32, 1u32, attrs::AMBIENT_TEMP, 0.0), (2, 2, attrs::WIND_SPEED, 500.0)]
+    {
+        e.inject_sensor(
+            NodeId(node),
+            Advertisement { sensor: SensorId(sensor), attr, location: Point::new(x, 0.0) },
+        );
+    }
+    e.flush();
+    let sub = Subscription::abstract_over(
+        SubId(1),
+        [
+            (attrs::AMBIENT_TEMP, ValueRange::new(0.0, 10.0)),
+            (attrs::WIND_SPEED, ValueRange::new(0.0, 10.0)),
+        ],
+        Region::All,
+        DT,
+        Some(100.0), // sensors are 500 apart — never correlated
+    )
+    .unwrap();
+    e.inject_subscription(NodeId(3), sub);
+    e.flush();
+    let mut e1 = event(100, 1, 5.0, 1_000);
+    e1.attr = attrs::AMBIENT_TEMP;
+    let mut e2 = event(101, 2, 5.0, 1_001);
+    e2.attr = attrs::WIND_SPEED;
+    e2.location = Point::new(500.0, 0.0);
+    e.inject_event(NodeId(1), e1);
+    e.inject_event(NodeId(2), e2);
+    e.flush();
+    assert_eq!(
+        e.deliveries().delivered(SubId(1)).len(),
+        0,
+        "δl must suppress the far-apart pair"
+    );
+}
+
+#[test]
+fn late_subscriber_gets_only_future_events() {
+    for kind in EngineKind::ALL {
+        let mut e = line_engine(kind);
+        e.inject_sensor(NodeId(0), adv(1));
+        e.flush();
+        e.inject_event(NodeId(0), event(100, 1, 5.0, 1_000));
+        e.flush();
+        e.inject_subscription(NodeId(3), simple_sub(1, 1));
+        e.flush();
+        e.inject_event(NodeId(0), event(101, 1, 5.0, 2_000));
+        e.flush();
+        let d = e.deliveries().delivered(SubId(1));
+        assert!(d.contains(&EventId(101)), "{kind}: future event missed");
+        assert!(
+            !d.contains(&EventId(100)),
+            "{kind}: continuous queries must not deliver the past"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! EXP-T1 — the paper's Table I / Fig. 3 walkthrough, end to end through
+//! the public API, across engines.
+
+use fsf::prelude::*;
+
+const DT: u64 = 30;
+
+fn fig3_topology() -> Topology {
+    // The paper's Fig. 3 network, one level deeper ("sensors are placed at
+    // the other side of the network"): 0=n6(user) 1=n5 2=n4 3=n1 4=n2 5=n3,
+    // with the actual sensor hosts 6 (a), 7 (b), 8 (c) behind n1/n2/n3 —
+    // so that coverage detected at n1/n2/n3 still saves a hop.
+    Topology::from_edges(
+        9,
+        &[(0, 1), (1, 2), (2, 3), (2, 4), (1, 5), (3, 6), (4, 7), (5, 8)],
+    )
+    .unwrap()
+}
+
+fn advertise(engine: &mut dyn Engine) {
+    for (node, sensor) in [(6u32, 1u32), (7, 2), (8, 3)] {
+        engine.inject_sensor(
+            NodeId(node),
+            Advertisement {
+                sensor: SensorId(sensor),
+                attr: AttrId(sensor as u16 - 1),
+                location: Point::new(f64::from(sensor), 0.0),
+            },
+        );
+    }
+    engine.flush();
+}
+
+fn table1_subs() -> [Subscription; 3] {
+    [
+        Subscription::identified(
+            SubId(1),
+            [
+                (SensorId(1), ValueRange::new(50.0, 80.0)),
+                (SensorId(2), ValueRange::new(10.0, 30.0)),
+            ],
+            DT,
+        )
+        .unwrap(),
+        Subscription::identified(
+            SubId(2),
+            [
+                (SensorId(2), ValueRange::new(20.0, 40.0)),
+                (SensorId(3), ValueRange::new(2.0, 20.0)),
+            ],
+            DT,
+        )
+        .unwrap(),
+        Subscription::identified(
+            SubId(3),
+            [
+                (SensorId(1), ValueRange::new(55.0, 75.0)),
+                (SensorId(2), ValueRange::new(15.0, 35.0)),
+                (SensorId(3), ValueRange::new(5.0, 15.0)),
+            ],
+            DT,
+        )
+        .unwrap(),
+    ]
+}
+
+fn publish_matching_triple(engine: &mut dyn Engine) {
+    for (node, sensor, value, t) in
+        [(6u32, 1u32, 60.0, 1_000u64), (7, 2, 25.0, 1_005), (8, 3, 10.0, 1_010)]
+    {
+        engine.inject_event(
+            NodeId(node),
+            Event {
+                id: EventId(100 + u64::from(sensor)),
+                sensor: SensorId(sensor),
+                attr: AttrId(sensor as u16 - 1),
+                location: Point::new(f64::from(sensor), 0.0),
+                value,
+                timestamp: Timestamp(t),
+            },
+        );
+        engine.flush();
+    }
+}
+
+/// Every engine must serve all three subscriptions, including the subsumed
+/// s3, with the identical result sets.
+#[test]
+fn every_engine_serves_the_subsumed_subscription() {
+    for kind in EngineKind::ALL {
+        let mut engine = kind.build(fig3_topology(), 2 * DT, 7);
+        advertise(engine.as_mut());
+        for sub in table1_subs() {
+            engine.inject_subscription(NodeId(0), sub);
+            engine.flush();
+        }
+        publish_matching_triple(engine.as_mut());
+        assert_eq!(engine.deliveries().delivered(SubId(1)).len(), 2, "{kind}: s1");
+        assert_eq!(engine.deliveries().delivered(SubId(2)).len(), 2, "{kind}: s2");
+        assert_eq!(engine.deliveries().delivered(SubId(3)).len(), 3, "{kind}: s3");
+    }
+}
+
+/// Only Filter-Split-Forward detects that s3 is subsumed by {s1, s2}: after
+/// s1 and s2 are in place, registering s3 adds *less* subscription traffic
+/// under set filtering than under pairwise filtering.
+#[test]
+fn set_filtering_saves_s3_traffic_where_pairwise_cannot() {
+    let added_by_s3 = |kind: EngineKind| {
+        let mut engine = kind.build(fig3_topology(), 2 * DT, 7);
+        advertise(engine.as_mut());
+        let [s1, s2, s3] = table1_subs();
+        engine.inject_subscription(NodeId(0), s1);
+        engine.inject_subscription(NodeId(0), s2);
+        engine.flush();
+        let before = engine.stats().sub_forwards;
+        engine.inject_subscription(NodeId(0), s3);
+        engine.flush();
+        engine.stats().sub_forwards - before
+    };
+    let fsf = added_by_s3(EngineKind::FilterSplitForward);
+    let op = added_by_s3(EngineKind::OperatorPlacement);
+    let naive = added_by_s3(EngineKind::Naive);
+    // s3's b-part dies only under set filtering ([15,35] ⊆ [10,30] ∪ [20,40])
+    assert!(fsf < op, "set filtering must beat pairwise: fsf={fsf} op={op}");
+    assert!(op <= naive, "pairwise must not exceed naive: op={op} naive={naive}");
+}
+
+/// The subsumed s3 adds zero *event* traffic under FSF: all its results ride
+/// on s1/s2's streams.
+#[test]
+fn subsumed_subscription_adds_no_event_traffic_under_fsf() {
+    let run = |with_s3: bool| {
+        let mut engine =
+            EngineKind::FilterSplitForward.build(fig3_topology(), 2 * DT, 7);
+        advertise(engine.as_mut());
+        let [s1, s2, s3] = table1_subs();
+        engine.inject_subscription(NodeId(0), s1);
+        engine.inject_subscription(NodeId(0), s2);
+        if with_s3 {
+            engine.inject_subscription(NodeId(0), s3);
+        }
+        engine.flush();
+        publish_matching_triple(engine.as_mut());
+        engine.stats().event_units
+    };
+    assert_eq!(run(false), run(true), "s3 must ride entirely on existing streams");
+}

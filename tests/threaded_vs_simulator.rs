@@ -1,0 +1,76 @@
+//! The threaded runtime and the deterministic simulator must agree: same
+//! node logic, same workload (replayed in lockstep), same traffic and
+//! deliveries.
+
+use fsf::prelude::*;
+use fsf::runtime::ThreadedNet;
+use fsf::workload::{ScenarioConfig, Workload};
+
+fn run_simulated(w: &Workload, config: PubSubConfig) -> (u64, u64, u64) {
+    let mut sim =
+        Simulator::new(w.topology.clone(), |id, _| PubSubNode::new(id, config));
+    for s in &w.sensors {
+        sim.inject_and_run(s.node, PubSubMsg::SensorUp(s.advertisement()));
+    }
+    for batch in &w.sub_batches {
+        for (node, sub) in batch {
+            sim.inject_and_run(*node, PubSubMsg::Subscribe(sub.clone()));
+        }
+    }
+    for rounds in &w.event_batches {
+        for round in rounds {
+            for (node, e) in round {
+                sim.inject(*node, PubSubMsg::Publish(*e));
+            }
+            sim.run_to_quiescence();
+        }
+    }
+    (sim.stats.sub_forwards, sim.stats.event_units, sim.deliveries.total_event_units())
+}
+
+fn run_threaded(w: &Workload, config: PubSubConfig) -> (u64, u64, u64) {
+    let net = ThreadedNet::spawn(&w.topology, |id, _| PubSubNode::new(id, config));
+    for s in &w.sensors {
+        net.inject(s.node, PubSubMsg::SensorUp(s.advertisement()));
+        net.wait_quiescent();
+    }
+    for batch in &w.sub_batches {
+        for (node, sub) in batch {
+            net.inject(*node, PubSubMsg::Subscribe(sub.clone()));
+            net.wait_quiescent();
+        }
+    }
+    for rounds in &w.event_batches {
+        for round in rounds {
+            for (node, e) in round {
+                net.inject(*node, PubSubMsg::Publish(*e));
+            }
+            net.wait_quiescent();
+        }
+    }
+    let (stats, deliveries) = net.shutdown();
+    (stats.sub_forwards, stats.event_units, deliveries.total_event_units())
+}
+
+#[test]
+fn threaded_fsf_matches_simulator_exactly() {
+    let w = Workload::generate(&ScenarioConfig::tiny());
+    let config = PubSubConfig::fsf(w.config.event_validity(), 42);
+    let sim = run_simulated(&w, config);
+    let thr = run_threaded(&w, config);
+    assert_eq!(sim.0, thr.0, "subscription load differs");
+    assert_eq!(sim.1, thr.1, "event load differs");
+    assert_eq!(sim.2, thr.2, "delivered units differ");
+}
+
+#[test]
+fn threaded_naive_matches_simulator_exactly() {
+    let mut cfg = ScenarioConfig::tiny();
+    cfg.batches = 2;
+    cfg.subs_per_batch = 5;
+    let w = Workload::generate(&cfg);
+    let config = PubSubConfig::naive(w.config.event_validity(), 42);
+    let sim = run_simulated(&w, config);
+    let thr = run_threaded(&w, config);
+    assert_eq!(sim, thr);
+}

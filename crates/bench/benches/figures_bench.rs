@@ -29,8 +29,18 @@ fn bench_figures(c: &mut Criterion) {
     group.sample_size(10);
 
     let settings: [(&str, &str, ScenarioConfig, &[EngineKind]); 4] = [
-        ("fig4_fig5_small_scale", "small", ScenarioConfig::small_scale(), &EngineKind::DISTRIBUTED),
-        ("fig6_fig7_medium_scale", "medium", ScenarioConfig::medium_scale(), &EngineKind::ALL),
+        (
+            "fig4_fig5_small_scale",
+            "small",
+            ScenarioConfig::small_scale(),
+            &EngineKind::DISTRIBUTED,
+        ),
+        (
+            "fig6_fig7_medium_scale",
+            "medium",
+            ScenarioConfig::medium_scale(),
+            &EngineKind::ALL,
+        ),
         (
             "fig8_fig9_large_network",
             "large-net",
@@ -55,8 +65,10 @@ fn bench_figures(c: &mut Criterion) {
     }
 
     // fig12: recall of FSF across settings — FSF-only runs
-    let recall_cfgs: Vec<ScenarioConfig> =
-        ScenarioConfig::paper_settings().into_iter().map(|c| c.scaled(BENCH_SCALE)).collect();
+    let recall_cfgs: Vec<ScenarioConfig> = ScenarioConfig::paper_settings()
+        .into_iter()
+        .map(|c| c.scaled(BENCH_SCALE))
+        .collect();
     group.bench_function("fig12_event_recall", |b| {
         b.iter(|| {
             let mut total = 0.0;

@@ -116,10 +116,11 @@ fn bench_projection_and_routing(c: &mut Criterion) {
     });
     c.bench_function("topology/path_100_nodes", |b| {
         b.iter(|| {
-            black_box(layout.topology.path(
-                fsf_network::NodeId(0),
-                fsf_network::NodeId(99),
-            ))
+            black_box(
+                layout
+                    .topology
+                    .path(fsf_network::NodeId(0), fsf_network::NodeId(99)),
+            )
         });
     });
 }

@@ -26,22 +26,36 @@ pub fn abl1_error_probability(config: &ScenarioConfig) -> (Figure, Figure) {
     let mut recall = Vec::new();
     for eps in [0.001, 0.02, 0.1, 0.3] {
         let mut c = fsf_config(&w);
-        c.filter = FilterPolicy::SetFilter(SetFilterConfig { error_prob: eps, min_gap: eps });
+        c.filter = FilterPolicy::SetFilter(SetFilterConfig {
+            error_prob: eps,
+            min_gap: eps,
+        });
         let r = run_config(&w, "fsf", c);
         let label = format!("ε = {eps}");
         sub.push(Series {
             label: label.clone(),
-            points: r.points.iter().map(|p| (p.subs_injected, p.sub_forwards as f64)).collect(),
+            points: r
+                .points
+                .iter()
+                .map(|p| (p.subs_injected, p.sub_forwards as f64))
+                .collect(),
         });
         recall.push(Series {
             label,
-            points: r.points.iter().map(|p| (p.subs_injected, p.recall * 100.0)).collect(),
+            points: r
+                .points
+                .iter()
+                .map(|p| (p.subs_injected, p.recall * 100.0))
+                .collect(),
         });
     }
     (
         Figure {
             id: "abl1-subload".into(),
-            title: format!("set-filter error probability vs subscription load ({})", w.config.name),
+            title: format!(
+                "set-filter error probability vs subscription load ({})",
+                w.config.name
+            ),
             y_label: "number of forwarded queries".into(),
             series: sub,
         },
@@ -63,19 +77,29 @@ pub fn abl2_filter_policy(config: &ScenarioConfig) -> Figure {
     for (label, policy) in [
         ("no filtering", FilterPolicy::None),
         ("pairwise", FilterPolicy::Pairwise),
-        ("set filtering", FilterPolicy::SetFilter(SetFilterConfig::paper_default())),
+        (
+            "set filtering",
+            FilterPolicy::SetFilter(SetFilterConfig::paper_default()),
+        ),
     ] {
         let mut c = fsf_config(&w);
         c.filter = policy;
         let r = run_config(&w, "fsf-variant", c);
         series.push(Series {
             label: label.into(),
-            points: r.points.iter().map(|p| (p.subs_injected, p.sub_forwards as f64)).collect(),
+            points: r
+                .points
+                .iter()
+                .map(|p| (p.subs_injected, p.sub_forwards as f64))
+                .collect(),
         });
     }
     Figure {
         id: "abl2".into(),
-        title: format!("subscription filtering technique vs subscription load ({})", w.config.name),
+        title: format!(
+            "subscription filtering technique vs subscription load ({})",
+            w.config.name
+        ),
         y_label: "number of forwarded queries".into(),
         series,
     }
@@ -97,12 +121,19 @@ pub fn abl3_dedup(config: &ScenarioConfig) -> Figure {
         let r = run_config(&w, "fsf-variant", c);
         series.push(Series {
             label: label.into(),
-            points: r.points.iter().map(|p| (p.subs_injected, p.event_units as f64)).collect(),
+            points: r
+                .points
+                .iter()
+                .map(|p| (p.subs_injected, p.event_units as f64))
+                .collect(),
         });
     }
     Figure {
         id: "abl3".into(),
-        title: format!("result-set dedup granularity vs event load ({})", w.config.name),
+        title: format!(
+            "result-set dedup granularity vs event load ({})",
+            w.config.name
+        ),
         y_label: "number of forwarded data units".into(),
         series,
     }
@@ -132,13 +163,21 @@ pub fn abl4_arity(base: &ScenarioConfig) -> Figure {
     }
     Figure {
         id: "abl4".into(),
-        title: "binary-join approximation quality vs subscription arity (x = attributes)"
-            .into(),
+        title: "binary-join approximation quality vs subscription arity (x = attributes)".into(),
         y_label: "final forwarded data units (and multi-join/FSF ratio)".into(),
         series: vec![
-            Series { label: "Distributed multi-join".into(), points: mj },
-            Series { label: "Filter-Split-Forward".into(), points: fsf },
-            Series { label: "multi-join ÷ FSF".into(), points: ratio },
+            Series {
+                label: "Distributed multi-join".into(),
+                points: mj,
+            },
+            Series {
+                label: "Filter-Split-Forward".into(),
+                points: fsf,
+            },
+            Series {
+                label: "multi-join ÷ FSF".into(),
+                points: ratio,
+            },
         ],
     }
 }
@@ -169,8 +208,14 @@ pub fn ext1_topk(config: &ScenarioConfig) -> Figure {
         ),
         y_label: "final forwarded data units / recall %".into(),
         series: vec![
-            Series { label: "event load".into(), points: events },
-            Series { label: "recall (%)".into(), points: recall },
+            Series {
+                label: "event load".into(),
+                points: events,
+            },
+            Series {
+                label: "recall (%)".into(),
+                points: recall,
+            },
         ],
     }
 }
@@ -216,6 +261,9 @@ mod tests {
     fn ext1_capping_reduces_traffic() {
         let f = ext1_topk(&cfg());
         let series = &f.series[0].points;
-        assert!(series[0].1 <= series.last().unwrap().1, "k=1 cannot exceed unlimited");
+        assert!(
+            series[0].1 <= series.last().unwrap().1,
+            "k=1 cannot exceed unlimited"
+        );
     }
 }

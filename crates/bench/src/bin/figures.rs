@@ -36,11 +36,13 @@ fn main() {
         }
     }
     if targets.is_empty() || targets.contains("all") {
-        targets = ["table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig7b", "fig8",
-            "fig9", "fig10", "fig11", "fig12", "abl1", "abl2", "abl3", "abl4", "ext1"]
-            .into_iter()
-            .map(String::from)
-            .collect();
+        targets = [
+            "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig7b", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "abl1", "abl2", "abl3", "abl4", "ext1",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
     }
     let want = |t: &str| targets.contains(t);
     let maybe_scale = |c: ScenarioConfig| if scale < 1.0 { c.scaled(scale) } else { c };
@@ -61,7 +63,11 @@ fn main() {
     let run = |name: &str, cfg: ScenarioConfig, kinds: &[EngineKind]| -> FigureData {
         let t0 = Instant::now();
         let data = run_scenario(&cfg, kinds);
-        eprintln!("[{name}] ran {} engines in {:.1?}", kinds.len(), t0.elapsed());
+        eprintln!(
+            "[{name}] ran {} engines in {:.1?}",
+            kinds.len(),
+            t0.elapsed()
+        );
         data
     };
 

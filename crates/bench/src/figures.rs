@@ -24,16 +24,22 @@ pub fn run_scenario(config: &ScenarioConfig, kinds: &[EngineKind]) -> FigureData
         .iter()
         .map(|&k| (k, run_kind(&workload, k, ENGINE_SEED)))
         .collect();
-    FigureData { config: config.clone(), results }
+    FigureData {
+        config: config.clone(),
+        results,
+    }
 }
 
 impl FigureData {
     /// The subscription-load figure (paper Figs. 4/6/8/10).
     #[must_use]
     pub fn subscription_load(&self, id: &str) -> Figure {
-        self.extract(id, "subscription load", "number of forwarded queries", |p| {
-            p.sub_forwards as f64
-        })
+        self.extract(
+            id,
+            "subscription load",
+            "number of forwarded queries",
+            |p| p.sub_forwards as f64,
+        )
     }
 
     /// The event-load figure (paper Figs. 5/7/9/11).
@@ -55,7 +61,11 @@ impl FigureData {
             .expect("engine was run");
         Series {
             label: label.to_string(),
-            points: r.points.iter().map(|p| (p.subs_injected, p.recall * 100.0)).collect(),
+            points: r
+                .points
+                .iter()
+                .map(|p| (p.subs_injected, p.recall * 100.0))
+                .collect(),
         }
     }
 
@@ -125,7 +135,8 @@ pub fn table1() -> String {
         Operator::from_subscription(
             &Subscription::identified(
                 SubId(id),
-                f.iter().map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
+                f.iter()
+                    .map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
                 30,
             )
             .unwrap(),
@@ -143,12 +154,21 @@ pub fn table1() -> String {
     let mut setf =
         SubscriptionFilter::new(FilterPolicy::SetFilter(SetFilterConfig::paper_default()), 1);
     let rows = [
-        ("f_a,3 = 55<a<75 vs {f_a,1}", pairwise.is_covered(&fa.1, &[&fa.0]),
-            setf.is_covered(&fa.1, &[&fa.0])),
-        ("f_b,3 = 15<b<35 vs {f_b,1, f_b,2}", pairwise.is_covered(&fb3, &[&fb1, &fb2]),
-            setf.is_covered(&fb3, &[&fb1, &fb2])),
-        ("f_c,3 = 5<c<15 vs {f_c,2}", pairwise.is_covered(&fc.1, &[&fc.0]),
-            setf.is_covered(&fc.1, &[&fc.0])),
+        (
+            "f_a,3 = 55<a<75 vs {f_a,1}",
+            pairwise.is_covered(&fa.1, &[&fa.0]),
+            setf.is_covered(&fa.1, &[&fa.0]),
+        ),
+        (
+            "f_b,3 = 15<b<35 vs {f_b,1, f_b,2}",
+            pairwise.is_covered(&fb3, &[&fb1, &fb2]),
+            setf.is_covered(&fb3, &[&fb1, &fb2]),
+        ),
+        (
+            "f_c,3 = 5<c<15 vs {f_c,2}",
+            pairwise.is_covered(&fc.1, &[&fc.0]),
+            setf.is_covered(&fc.1, &[&fc.0]),
+        ),
     ];
     let mut out = String::from(
         "== table1 — subscription subsumption example (paper Table I) ==\n\
@@ -169,9 +189,7 @@ pub fn table1() -> String {
 /// Table II: the implemented-approaches matrix.
 #[must_use]
 pub fn table2() -> String {
-    let mut out = String::from(
-        "== table2 — implemented approaches (paper Table II) ==\n",
-    );
+    let mut out = String::from("== table2 — implemented approaches (paper Table II) ==\n");
     out.push_str(&format!(
         "{:<34} {:<18} {:<14} {}\n",
         "approach", "sub. filtering", "splitting", "event propagation"
@@ -190,7 +208,10 @@ mod tests {
     #[test]
     fn scenario_runs_produce_figures() {
         let config = ScenarioConfig::tiny();
-        let data = run_scenario(&config, &[EngineKind::Naive, EngineKind::FilterSplitForward]);
+        let data = run_scenario(
+            &config,
+            &[EngineKind::Naive, EngineKind::FilterSplitForward],
+        );
         let sub = data.subscription_load("figS");
         let ev = data.event_load("figE");
         assert_eq!(sub.series.len(), 2);
@@ -216,8 +237,14 @@ mod tests {
     fn table1_proves_set_only_subsumption() {
         let t = table1();
         assert!(t.contains("f_b,3"));
-        assert!(t.contains("NOT covered"), "pairwise must fail on the union case:\n{t}");
-        assert!(!t.contains("set filtering: NOT covered\n  => "), "set filter must succeed");
+        assert!(
+            t.contains("NOT covered"),
+            "pairwise must fail on the union case:\n{t}"
+        );
+        assert!(
+            !t.contains("set filtering: NOT covered\n  => "),
+            "set filter must succeed"
+        );
     }
 
     #[test]

@@ -86,8 +86,14 @@ mod tests {
             title: "test".into(),
             y_label: "units".into(),
             series: vec![
-                Series { label: "a".into(), points: vec![(100, 1.0), (200, 2.0)] },
-                Series { label: "b".into(), points: vec![(100, 10.0), (200, 0.5)] },
+                Series {
+                    label: "a".into(),
+                    points: vec![(100, 1.0), (200, 2.0)],
+                },
+                Series {
+                    label: "b".into(),
+                    points: vec![(100, 10.0), (200, 0.5)],
+                },
             ],
         }
     }
@@ -101,7 +107,10 @@ mod tests {
         assert_eq!(lines.len(), 5, "{r}");
         assert!(lines[3].trim_start().starts_with("100"));
         assert!(lines[4].contains("0.5000"), "fractions keep decimals: {r}");
-        assert!(lines[3].contains(" 1 ") || lines[3].ends_with("10"), "integers render bare");
+        assert!(
+            lines[3].contains(" 1 ") || lines[3].ends_with("10"),
+            "integers render bare"
+        );
     }
 
     #[test]

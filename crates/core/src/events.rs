@@ -78,8 +78,17 @@ impl EventStore {
             return false;
         }
         self.max_seen = self.max_seen.max(event.timestamp);
-        self.by_time.entry(event.timestamp).or_default().push(event.id);
-        self.by_id.insert(event.id, Stored { event, sent: BTreeSet::new() });
+        self.by_time
+            .entry(event.timestamp)
+            .or_default()
+            .push(event.id);
+        self.by_id.insert(
+            event.id,
+            Stored {
+                event,
+                sent: BTreeSet::new(),
+            },
+        );
         self.prune();
         true
     }
@@ -115,7 +124,10 @@ impl EventStore {
     /// containing it lies inside this band).
     #[must_use]
     pub fn correlation_band(&self, t: Timestamp, delta_t: u64) -> Vec<&Event> {
-        self.window(t.minus(delta_t.saturating_sub(1)), t.plus(delta_t.saturating_sub(1)))
+        self.window(
+            t.minus(delta_t.saturating_sub(1)),
+            t.plus(delta_t.saturating_sub(1)),
+        )
     }
 
     /// Was the event already sent under `scope`?
@@ -220,7 +232,10 @@ mod tests {
         }
         let band = s.correlation_band(Timestamp(100), 30);
         // [71, 129]: strictly-within-30 of 100
-        assert_eq!(band.iter().map(|e| e.id.0).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(
+            band.iter().map(|e| e.id.0).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
     }
 
     #[test]

@@ -165,7 +165,8 @@ impl PubSubNode {
     pub fn new(id: NodeId, config: PubSubConfig) -> Self {
         // Mix the node id into the filter seed so nodes draw independent
         // Monte-Carlo samples while staying deterministic per (seed, id).
-        let filter_seed = config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(id.0) + 1));
+        let filter_seed =
+            config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(id.0) + 1));
         PubSubNode {
             id,
             config,
@@ -290,7 +291,12 @@ impl PubSubNode {
             }
             let dims = op.supported_dims(self.adverts.from_origin(Origin::Neighbor(j)));
             if let Some(projected) = op.project(&dims) {
-                ctx.send(j, PubSubMsg::Operator(projected), ChargeKind::Subscription, 1);
+                ctx.send(
+                    j,
+                    PubSubMsg::Operator(projected),
+                    ChargeKind::Subscription,
+                    1,
+                );
             }
         }
     }
@@ -300,7 +306,9 @@ impl PubSubNode {
     /// A local user cancels a subscription: withdraw every stored operator
     /// of that subscription from the local slot and retrace the removals.
     fn handle_unsubscribe(&mut self, sub: fsf_model::SubId, ctx: &mut Ctx<'_, PubSubMsg>) {
-        let Some(store) = self.subs.get_mut(&Origin::Local) else { return };
+        let Some(store) = self.subs.get_mut(&Origin::Local) else {
+            return;
+        };
         let keys: Vec<_> = store
             .uncovered
             .keys_of_sub(sub)
@@ -323,11 +331,15 @@ impl PubSubNode {
         key: &fsf_model::OperatorKey,
         ctx: &mut Ctx<'_, PubSubMsg>,
     ) {
-        let Some(store) = self.subs.get_mut(&origin) else { return };
+        let Some(store) = self.subs.get_mut(&origin) else {
+            return;
+        };
         if store.covered.remove(key).is_some() {
             return; // covered operators were never forwarded
         }
-        let Some(op) = store.uncovered.remove(key) else { return };
+        let Some(op) = store.uncovered.remove(key) else {
+            return;
+        };
 
         // (a) retrace the forwarding paths with removal messages
         for &j in ctx.neighbors().to_vec().iter() {
@@ -355,7 +367,9 @@ impl PubSubNode {
         for ckey in candidates {
             let still_covered = {
                 let store = &self.subs[&origin];
-                let Some(c) = store.covered.get(&ckey) else { continue };
+                let Some(c) = store.covered.get(&ckey) else {
+                    continue;
+                };
                 let group = store.uncovered.group(&c.signature());
                 self.filter.is_covered(c, &group)
             };
@@ -411,13 +425,17 @@ impl PubSubNode {
     }
 
     fn deliver_locally(&mut self, event: &Event, ctx: &mut Ctx<'_, PubSubMsg>) {
-        let Some(store) = self.subs.get(&Origin::Local) else { return };
+        let Some(store) = self.subs.get(&Origin::Local) else {
+            return;
+        };
         // Local users are served from *all* their subscriptions, covered or
         // not (Algorithm 5 line 9: "S = S_local", "which are all whole").
         let ops = Self::candidate_ops(store, event, true);
         for op in ops {
             let band = self.events.correlation_band(event.timestamp, op.delta_t());
-            let Some(m) = complex_match(&band, &op) else { continue };
+            let Some(m) = complex_match(&band, &op) else {
+                continue;
+            };
             let scope = SentScope::LocalSub(op.sub());
             let new_ids: Vec<_> = m
                 .participants
@@ -428,8 +446,7 @@ impl PubSubNode {
             if new_ids.is_empty() {
                 continue;
             }
-            let complex =
-                ComplexEvent::new(m.participants.iter().map(|&i| *band[i]).collect());
+            let complex = ComplexEvent::new(m.participants.iter().map(|&i| *band[i]).collect());
             drop(band);
             ctx.deliver(op.sub(), &complex);
             for id in new_ids {
@@ -439,7 +456,9 @@ impl PubSubNode {
     }
 
     fn forward_to_neighbor(&mut self, j: NodeId, event: &Event, ctx: &mut Ctx<'_, PubSubMsg>) {
-        let Some(store) = self.subs.get(&Origin::Neighbor(j)) else { return };
+        let Some(store) = self.subs.get(&Origin::Neighbor(j)) else {
+            return;
+        };
         let ops = Self::candidate_ops(store, event, false);
         if ops.is_empty() {
             return;
@@ -451,7 +470,9 @@ impl PubSubNode {
         let mut marks: Vec<(fsf_model::EventId, SentScope)> = Vec::new();
         for op in &ops {
             let band = self.events.correlation_band(event.timestamp, op.delta_t());
-            let Some(m) = complex_match(&band, op) else { continue };
+            let Some(m) = complex_match(&band, op) else {
+                continue;
+            };
             let scope = match self.config.dedup {
                 DedupMode::PerLink => SentScope::Link(j),
                 DedupMode::PerOperator => SentScope::LinkOp(j, op.key()),
@@ -489,7 +510,11 @@ impl NodeBehavior for PubSubNode {
     type Msg = PubSubMsg;
 
     fn on_message(&mut self, from: NodeId, msg: PubSubMsg, ctx: &mut Ctx<'_, PubSubMsg>) {
-        let origin = if from == ctx.node() { Origin::Local } else { Origin::Neighbor(from) };
+        let origin = if from == ctx.node() {
+            Origin::Local
+        } else {
+            Origin::Neighbor(from)
+        };
         match msg {
             PubSubMsg::SensorUp(adv) => {
                 debug_assert_eq!(origin, Origin::Local, "SensorUp is a local injection");
@@ -539,7 +564,9 @@ mod tests {
     fn sub(id: u64, filters: &[(u32, f64, f64)]) -> Subscription {
         Subscription::identified(
             SubId(id),
-            filters.iter().map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
+            filters
+                .iter()
+                .map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
             DT,
         )
         .unwrap()
@@ -569,10 +596,16 @@ mod tests {
         assert_eq!(s.stats.adv_msgs, 3);
         assert!(s.node(NodeId(3)).adverts().knows_sensor(SensorId(1)));
         assert_eq!(
-            s.node(NodeId(2)).adverts().from_origin(Origin::Neighbor(NodeId(1))).len(),
+            s.node(NodeId(2))
+                .adverts()
+                .from_origin(Origin::Neighbor(NodeId(1)))
+                .len(),
             1
         );
-        assert_eq!(s.node(NodeId(0)).adverts().from_origin(Origin::Local).len(), 1);
+        assert_eq!(
+            s.node(NodeId(0)).adverts().from_origin(Origin::Local).len(),
+            1
+        );
     }
 
     #[test]
@@ -582,9 +615,20 @@ mod tests {
         // forwarded over 3 links toward the sensor
         assert_eq!(s.stats.sub_forwards, 3);
         // stored at every hop, uncovered
-        assert_eq!(s.node(NodeId(3)).subs(Origin::Local).unwrap().uncovered.len(), 1);
         assert_eq!(
-            s.node(NodeId(0)).subs(Origin::Neighbor(NodeId(1))).unwrap().uncovered.len(),
+            s.node(NodeId(3))
+                .subs(Origin::Local)
+                .unwrap()
+                .uncovered
+                .len(),
+            1
+        );
+        assert_eq!(
+            s.node(NodeId(0))
+                .subs(Origin::Neighbor(NodeId(1)))
+                .unwrap()
+                .uncovered
+                .len(),
             1
         );
     }
@@ -619,7 +663,10 @@ mod tests {
         let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
         s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 55.0, 1000)));
-        assert_eq!(s.stats.event_units, 0, "out-of-range events never leave the sensor node");
+        assert_eq!(
+            s.stats.event_units, 0,
+            "out-of-range events never leave the sensor node"
+        );
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 0);
     }
 
@@ -648,10 +695,12 @@ mod tests {
         // whole op travels nowhere as a whole: at n2 the advertisement paths
         // diverge, so simple operators go left and right (2+2 links = 4)
         assert_eq!(s.stats.sub_forwards, 4);
-        let left =
-            s.node(NodeId(1)).subs(Origin::Neighbor(NodeId(2))).unwrap().uncovered.group(
-                &Operator::from_subscription(&sub(9, &[(1, 0.0, 10.0)])).signature(),
-            );
+        let left = s
+            .node(NodeId(1))
+            .subs(Origin::Neighbor(NodeId(2)))
+            .unwrap()
+            .uncovered
+            .group(&Operator::from_subscription(&sub(9, &[(1, 0.0, 10.0)])).signature());
         assert_eq!(left.len(), 1);
         assert!(left[0].is_simple());
     }
@@ -665,10 +714,18 @@ mod tests {
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         let after_first = s.stats.event_units;
         assert_eq!(after_first, 2, "left event reaches the join node and waits");
-        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 0, "incomplete: no delivery");
+        assert_eq!(
+            s.deliveries.delivered(SubId(1)).len(),
+            0,
+            "incomplete: no delivery"
+        );
         // partner arrives within δt → complex event completes at n2
         s.inject_and_run(NodeId(4), PubSubMsg::Publish(ev(101, 2, 1, 5.0, 1010)));
-        assert_eq!(s.stats.event_units - after_first, 2, "right event: 2 hops to n2");
+        assert_eq!(
+            s.stats.event_units - after_first,
+            2,
+            "right event: 2 hops to n2"
+        );
         let delivered = s.deliveries.delivered(SubId(1));
         assert_eq!(delivered.len(), 2, "both simple events delivered");
         // out-of-window partner does not re-deliver old event
@@ -709,7 +766,10 @@ mod tests {
         s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(2, &[(1, 2.0, 8.0)])));
         assert_eq!(s.stats.sub_forwards, before, "covered sub adds no traffic");
         // it is stored covered at the user node
-        assert_eq!(s.node(NodeId(3)).subs(Origin::Local).unwrap().covered.len(), 1);
+        assert_eq!(
+            s.node(NodeId(3)).subs(Origin::Local).unwrap().covered.len(),
+            1
+        );
         // …and its user still gets deliveries via the covering stream
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         assert_eq!(s.deliveries.delivered(SubId(2)).len(), 1);
@@ -767,7 +827,11 @@ mod tests {
         assert_eq!(user.origins, 1, "only the local slot");
         assert!(user.stored_events >= 1, "the delivered event is retained");
         let relay = s.node(NodeId(1)).storage_stats();
-        assert_eq!(relay.total_operators(), 1, "only the uncovered s1 travelled");
+        assert_eq!(
+            relay.total_operators(),
+            1,
+            "only the uncovered s1 travelled"
+        );
     }
 
     #[test]
@@ -779,13 +843,23 @@ mod tests {
 
         s.inject_and_run(NodeId(3), PubSubMsg::Unsubscribe(SubId(1)));
         // the removal retraced the 3 forwarding hops
-        assert_eq!(s.node(NodeId(0)).subs(Origin::Neighbor(NodeId(1))).unwrap().len(), 0);
+        assert_eq!(
+            s.node(NodeId(0))
+                .subs(Origin::Neighbor(NodeId(1)))
+                .unwrap()
+                .len(),
+            0
+        );
         assert_eq!(s.node(NodeId(3)).subs(Origin::Local).unwrap().len(), 0);
         // further events go nowhere
         let before = s.stats.event_units;
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(101, 1, 0, 5.0, 2000)));
         assert_eq!(s.stats.event_units, before);
-        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1, "no new deliveries");
+        assert_eq!(
+            s.deliveries.delivered(SubId(1)).len(),
+            1,
+            "no new deliveries"
+        );
     }
 
     #[test]
@@ -794,13 +868,26 @@ mod tests {
         s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
         s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(2, &[(1, 2.0, 8.0)])));
         // s2 is covered at the user node — never forwarded
-        assert_eq!(s.node(NodeId(3)).subs(Origin::Local).unwrap().covered.len(), 1);
+        assert_eq!(
+            s.node(NodeId(3)).subs(Origin::Local).unwrap().covered.len(),
+            1
+        );
         let before = s.stats.sub_forwards;
 
         s.inject_and_run(NodeId(3), PubSubMsg::Unsubscribe(SubId(1)));
         // s2 lost its cover: promoted and forwarded toward the sensor
-        assert_eq!(s.node(NodeId(3)).subs(Origin::Local).unwrap().covered.len(), 0);
-        assert_eq!(s.node(NodeId(3)).subs(Origin::Local).unwrap().uncovered.len(), 1);
+        assert_eq!(
+            s.node(NodeId(3)).subs(Origin::Local).unwrap().covered.len(),
+            0
+        );
+        assert_eq!(
+            s.node(NodeId(3))
+                .subs(Origin::Local)
+                .unwrap()
+                .uncovered
+                .len(),
+            1
+        );
         assert!(s.stats.sub_forwards > before, "promotion re-forwards s2");
         // and s2 is now served directly
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
@@ -832,15 +919,20 @@ mod tests {
     #[test]
     fn removal_of_join_subscription_cleans_both_branches() {
         let mut s = setup_join();
-        assert!(s.node(NodeId(1)).subs(Origin::Neighbor(NodeId(2))).is_some());
+        assert!(s
+            .node(NodeId(1))
+            .subs(Origin::Neighbor(NodeId(2)))
+            .is_some());
         s.inject_and_run(NodeId(2), PubSubMsg::Unsubscribe(SubId(1)));
         for n in [0u32, 1, 3, 4] {
-            let store = s.node(NodeId(n)).subs(Origin::Neighbor(NodeId(if n < 2 {
-                n + 1
-            } else {
-                n - 1
-            })));
-            assert_eq!(store.map_or(0, |st| st.len()), 0, "node n{n} still holds operators");
+            let store =
+                s.node(NodeId(n))
+                    .subs(Origin::Neighbor(NodeId(if n < 2 { n + 1 } else { n - 1 })));
+            assert_eq!(
+                store.map_or(0, |st| st.len()),
+                0,
+                "node n{n} still holds operators"
+            );
         }
         let before = s.stats.event_units;
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
@@ -855,9 +947,8 @@ mod tests {
         //                    |     └— n2(sensor b)
         //                    └— n3(sensor c)
         // ids: 0=n6 1=n5 2=n4 3=n1 4=n2 5=n3
-        let topo =
-            fsf_network::Topology::from_edges(6, &[(0, 1), (1, 2), (2, 3), (2, 4), (1, 5)])
-                .unwrap();
+        let topo = fsf_network::Topology::from_edges(6, &[(0, 1), (1, 2), (2, 3), (2, 4), (1, 5)])
+            .unwrap();
         let mut s = Simulator::new(topo, |id, _| {
             PubSubNode::new(id, PubSubConfig::fsf(2 * DT, 7))
         });
@@ -884,9 +975,13 @@ mod tests {
         s.inject_and_run(NodeId(3), PubSubMsg::Publish(ev(100, 1, 0, 60.0, 1000))); // a=60
         s.inject_and_run(NodeId(4), PubSubMsg::Publish(ev(101, 2, 1, 25.0, 1005))); // b=25
         s.inject_and_run(NodeId(5), PubSubMsg::Publish(ev(102, 3, 2, 10.0, 1010))); // c=10
-        // s1 = (a,b), s2 = (b,c), s3 = (a,b,c) must all be served
+                                                                                    // s1 = (a,b), s2 = (b,c), s3 = (a,b,c) must all be served
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 2);
         assert_eq!(s.deliveries.delivered(SubId(2)).len(), 2);
-        assert_eq!(s.deliveries.delivered(SubId(3)).len(), 3, "subsumed s3 still delivered");
+        assert_eq!(
+            s.deliveries.delivered(SubId(3)).len(),
+            3,
+            "subsumed s3 still delivered"
+        );
     }
 }

@@ -34,9 +34,7 @@ impl RankPolicy {
         match *self {
             RankPolicy::All => candidates,
             RankPolicy::TopK(k) => {
-                candidates.sort_by(|a, b| {
-                    b.timestamp.cmp(&a.timestamp).then(b.id.cmp(&a.id))
-                });
+                candidates.sort_by(|a, b| b.timestamp.cmp(&a.timestamp).then(b.id.cmp(&a.id)));
                 candidates.truncate(k);
                 candidates
             }
@@ -82,6 +80,11 @@ mod tests {
     #[test]
     fn topk_zero_drops_all_and_oversized_k_keeps_all() {
         assert!(RankPolicy::TopK(0).select(vec![ev(1, 10)]).is_empty());
-        assert_eq!(RankPolicy::TopK(10).select(vec![ev(1, 10), ev(2, 20)]).len(), 2);
+        assert_eq!(
+            RankPolicy::TopK(10)
+                .select(vec![ev(1, 10), ev(2, 20)])
+                .len(),
+            2
+        );
     }
 }

@@ -148,7 +148,10 @@ mod tests {
         let mut s = AdvStore::new();
         assert!(s.insert(Origin::Local, adv(1)));
         assert!(!s.insert(Origin::Local, adv(1)), "same sensor twice");
-        assert!(!s.insert(Origin::Neighbor(NodeId(2)), adv(1)), "even from elsewhere");
+        assert!(
+            !s.insert(Origin::Neighbor(NodeId(2)), adv(1)),
+            "even from elsewhere"
+        );
         assert!(s.insert(Origin::Neighbor(NodeId(2)), adv(2)));
         assert_eq!(s.len(), 2);
         assert_eq!(s.from_origin(Origin::Local).len(), 1);

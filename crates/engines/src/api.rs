@@ -213,8 +213,9 @@ impl CentralEngine {
     #[must_use]
     pub fn new(topology: Topology, event_validity: u64) -> Self {
         let center = topology.median();
-        let sim =
-            Simulator::new(topology, move |id, t| CentralNode::new(id, t, center, event_validity));
+        let sim = Simulator::new(topology, move |id, t| {
+            CentralNode::new(id, t, center, event_validity)
+        });
         CentralEngine { sim }
     }
 }
@@ -263,7 +264,9 @@ mod tests {
     fn sub(id: u64, filters: &[(u32, f64, f64)]) -> Subscription {
         Subscription::identified(
             SubId(id),
-            filters.iter().map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
+            filters
+                .iter()
+                .map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
             DT,
         )
         .unwrap()
@@ -296,9 +299,9 @@ mod tests {
             for (i, (sensor, node, v, t)) in [
                 (1u32, 5u32, 5.0, 1000u64),
                 (2, 6, 5.0, 1010),
-                (1, 5, 50.0, 1020),  // out of range
-                (2, 6, 5.0, 2000),   // out of window (no partner)
-                (1, 5, 7.0, 2005),   // pairs with the previous one
+                (1, 5, 50.0, 1020), // out of range
+                (2, 6, 5.0, 2000),  // out of window (no partner)
+                (1, 5, 7.0, 2005),  // pairs with the previous one
             ]
             .into_iter()
             .enumerate()
@@ -346,11 +349,26 @@ mod tests {
         let (sub_n, ev_n) = run(EngineKind::Naive);
         let (sub_o, ev_o) = run(EngineKind::OperatorPlacement);
         let (sub_f, ev_f) = run(EngineKind::FilterSplitForward);
-        assert!(sub_c <= sub_f, "centralized has the lowest subscription load");
-        assert!(sub_n >= sub_o, "naive ≥ operator placement: {sub_n} vs {sub_o}");
-        assert!(sub_o >= sub_f, "operator placement ≥ FSF: {sub_o} vs {sub_f}");
-        assert!(ev_n >= ev_o, "naive ≥ operator placement events: {ev_n} vs {ev_o}");
-        assert!(ev_o >= ev_f, "operator placement ≥ FSF events: {ev_o} vs {ev_f}");
+        assert!(
+            sub_c <= sub_f,
+            "centralized has the lowest subscription load"
+        );
+        assert!(
+            sub_n >= sub_o,
+            "naive ≥ operator placement: {sub_n} vs {sub_o}"
+        );
+        assert!(
+            sub_o >= sub_f,
+            "operator placement ≥ FSF: {sub_o} vs {sub_f}"
+        );
+        assert!(
+            ev_n >= ev_o,
+            "naive ≥ operator placement events: {ev_n} vs {ev_o}"
+        );
+        assert!(
+            ev_o >= ev_f,
+            "operator placement ≥ FSF events: {ev_o} vs {ev_f}"
+        );
         assert!(ev_n > ev_f, "sanity: overlap makes naive strictly worse");
     }
 

@@ -133,7 +133,9 @@ impl CentralNode {
         };
         for op in candidates {
             let band = self.events.correlation_band(event.timestamp, op.delta_t());
-            let Some(m) = complex_match(&band, &op) else { continue };
+            let Some(m) = complex_match(&band, &op) else {
+                continue;
+            };
             let scope = SentScope::LocalSub(op.sub());
             let new_events: Vec<Event> = m
                 .participants
@@ -157,7 +159,11 @@ impl CentralNode {
                 let hop = self.hop_toward(user);
                 ctx.send(
                     hop,
-                    CentralMsg::Results { user, sub: op.sub(), events: new_events },
+                    CentralMsg::Results {
+                        user,
+                        sub: op.sub(),
+                        events: new_events,
+                    },
                     ChargeKind::Event,
                     units,
                 );
@@ -191,7 +197,12 @@ impl NodeBehavior for CentralNode {
                     self.register_at_center(sub, user);
                 } else {
                     let hop = self.hop_toward(self.center);
-                    ctx.send(hop, CentralMsg::SubToCenter { sub, user }, ChargeKind::Subscription, 1);
+                    ctx.send(
+                        hop,
+                        CentralMsg::SubToCenter { sub, user },
+                        ChargeKind::Subscription,
+                        1,
+                    );
                 }
             }
             CentralMsg::Publish(event) => {
@@ -216,7 +227,12 @@ impl NodeBehavior for CentralNode {
                 } else {
                     let units = events.len() as u64;
                     let hop = self.hop_toward(user);
-                    ctx.send(hop, CentralMsg::Results { user, sub, events }, ChargeKind::Event, units);
+                    ctx.send(
+                        hop,
+                        CentralMsg::Results { user, sub, events },
+                        ChargeKind::Event,
+                        units,
+                    );
                 }
             }
         }
@@ -234,7 +250,9 @@ mod tests {
     fn sub(id: u64, filters: &[(u32, f64, f64)]) -> Subscription {
         Subscription::identified(
             SubId(id),
-            filters.iter().map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
+            filters
+                .iter()
+                .map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
             DT,
         )
         .unwrap()
@@ -325,7 +343,10 @@ mod tests {
     #[test]
     fn results_are_deduped_within_a_stream() {
         let mut s = line_sim();
-        s.inject_and_run(NodeId(0), CentralMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])));
+        s.inject_and_run(
+            NodeId(0),
+            CentralMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])),
+        );
         s.inject_and_run(NodeId(4), CentralMsg::Publish(ev(1, 1, 5.0, 100)));
         s.inject_and_run(NodeId(4), CentralMsg::Publish(ev(2, 2, 5.0, 101)));
         let base = s.stats.event_units;

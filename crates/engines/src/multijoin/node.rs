@@ -81,7 +81,12 @@ impl MjNode {
 
     // ----- advertisements (same flooding as Algorithm 1) -----
 
-    fn handle_advertisement(&mut self, origin: Origin, adv: Advertisement, ctx: &mut Ctx<'_, MjMsg>) {
+    fn handle_advertisement(
+        &mut self,
+        origin: Origin,
+        adv: Advertisement,
+        ctx: &mut Ctx<'_, MjMsg>,
+    ) {
         if !self.adverts.insert(origin, adv) {
             return;
         }
@@ -142,10 +147,17 @@ impl MjNode {
                 WireKind::Binary { main } => StoredRole::BinaryEval { main },
                 WireKind::Filter => StoredRole::FilterTransport,
             };
-            self.stores.get_mut(&origin).expect("created").insert_covered(
-                key,
-                StoredMj { op: wire.op, role, is_user_sub },
-            );
+            self.stores
+                .get_mut(&origin)
+                .expect("created")
+                .insert_covered(
+                    key,
+                    StoredMj {
+                        op: wire.op,
+                        role,
+                        is_user_sub,
+                    },
+                );
             return;
         }
 
@@ -161,21 +173,25 @@ impl MjNode {
         let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
         match wire.kind {
             WireKind::Filter => {
-                self.stores.get_mut(&origin).expect("created").insert_uncovered(
-                    key,
-                    StoredMj {
-                        op: wire.op.clone(),
-                        role: StoredRole::FilterTransport,
-                        is_user_sub,
-                    },
-                );
+                self.stores
+                    .get_mut(&origin)
+                    .expect("created")
+                    .insert_uncovered(
+                        key,
+                        StoredMj {
+                            op: wire.op.clone(),
+                            role: StoredRole::FilterTransport,
+                            is_user_sub,
+                        },
+                    );
                 // forward the per-neighbor projections toward the sources
                 for j in neighbors {
                     if Origin::Neighbor(j) == origin {
                         continue;
                     }
-                    let sup =
-                        wire.op.supported_dims(self.adverts.from_origin(Origin::Neighbor(j)));
+                    let sup = wire
+                        .op
+                        .supported_dims(self.adverts.from_origin(Origin::Neighbor(j)));
                     if let Some(proj) = wire.op.project(&sup) {
                         self.send_op(j, MjWireOp::new(proj, WireKind::Filter), ctx);
                     }
@@ -187,14 +203,17 @@ impl MjNode {
                 // way as the centralized server". They window-join here;
                 // only their per-dimension simple filters travel on toward
                 // the data sources.
-                self.stores.get_mut(&origin).expect("created").insert_uncovered(
-                    key,
-                    StoredMj {
-                        op: wire.op.clone(),
-                        role: StoredRole::BinaryEval { main },
-                        is_user_sub,
-                    },
-                );
+                self.stores
+                    .get_mut(&origin)
+                    .expect("created")
+                    .insert_uncovered(
+                        key,
+                        StoredMj {
+                            op: wire.op.clone(),
+                            role: StoredRole::BinaryEval { main },
+                            is_user_sub,
+                        },
+                    );
                 // raw streams are pulled by the multi-join's filter
                 // transports (see `split_into_filters`)
             }
@@ -203,14 +222,17 @@ impl MjNode {
                 if full.is_empty() {
                     // First divergence node: split into binary joins
                     // ("it acts in a way as the centralized server").
-                    self.stores.get_mut(&origin).expect("created").insert_uncovered(
-                        key,
-                        StoredMj {
-                            op: wire.op.clone(),
-                            role: StoredRole::MultiSplit,
-                            is_user_sub,
-                        },
-                    );
+                    self.stores
+                        .get_mut(&origin)
+                        .expect("created")
+                        .insert_uncovered(
+                            key,
+                            StoredMj {
+                                op: wire.op.clone(),
+                                role: StoredRole::MultiSplit,
+                                is_user_sub,
+                            },
+                        );
                     let dims: Vec<DimKey> = wire.op.dims().collect();
                     for (main, filter) in ring_pairs(&dims) {
                         let keep: BTreeSet<DimKey> = [main, filter].into_iter().collect();
@@ -222,14 +244,17 @@ impl MjNode {
                     // (value-filtered) streams to this node
                     self.split_into_filters(origin, &wire.op, ctx);
                 } else {
-                    self.stores.get_mut(&origin).expect("created").insert_uncovered(
-                        key,
-                        StoredMj {
-                            op: wire.op.clone(),
-                            role: StoredRole::MultiAbove,
-                            is_user_sub,
-                        },
-                    );
+                    self.stores
+                        .get_mut(&origin)
+                        .expect("created")
+                        .insert_uncovered(
+                            key,
+                            StoredMj {
+                                op: wire.op.clone(),
+                                role: StoredRole::MultiAbove,
+                                is_user_sub,
+                            },
+                        );
                     for j in full {
                         self.send_op(j, wire.clone(), ctx);
                     }
@@ -274,7 +299,9 @@ impl MjNode {
     /// Final filtering at the user: whole-subscription window matching, so
     /// binary-join false positives are dropped here and never delivered.
     fn deliver_locally(&mut self, event: &Event, ctx: &mut Ctx<'_, MjMsg>) {
-        let Some(store) = self.stores.get(&Origin::Local) else { return };
+        let Some(store) = self.stores.get(&Origin::Local) else {
+            return;
+        };
         let sensor_dim = DimKey::Sensor(event.sensor);
         let attr_dim = DimKey::Attr(event.attr);
         let mut candidates: Vec<Operator> = Vec::new();
@@ -294,7 +321,9 @@ impl MjNode {
         }
         for op in candidates {
             let band = self.events.correlation_band(event.timestamp, op.delta_t());
-            let Some(m) = complex_match(&band, &op) else { continue };
+            let Some(m) = complex_match(&band, &op) else {
+                continue;
+            };
             let scope = SentScope::LocalSub(op.sub());
             let new_ids: Vec<_> = m
                 .participants
@@ -315,7 +344,9 @@ impl MjNode {
     }
 
     fn forward_to_neighbor(&mut self, j: NodeId, event: &Event, ctx: &mut Ctx<'_, MjMsg>) {
-        let Some(store) = self.stores.get(&Origin::Neighbor(j)) else { return };
+        let Some(store) = self.stores.get(&Origin::Neighbor(j)) else {
+            return;
+        };
         let sensor_dim = DimKey::Sensor(event.sensor);
         let attr_dim = DimKey::Attr(event.attr);
 
@@ -349,7 +380,9 @@ impl MjNode {
                         continue;
                     }
                     let band = self.events.correlation_band(event.timestamp, op.delta_t());
-                    let Some(m) = complex_match(&band, &op) else { continue };
+                    let Some(m) = complex_match(&band, &op) else {
+                        continue;
+                    };
                     let mains: Vec<Event> = m
                         .participants
                         .iter()
@@ -381,14 +414,22 @@ impl NodeBehavior for MjNode {
     type Msg = MjMsg;
 
     fn on_message(&mut self, from: NodeId, msg: MjMsg, ctx: &mut Ctx<'_, MjMsg>) {
-        let origin = if from == ctx.node() { Origin::Local } else { Origin::Neighbor(from) };
+        let origin = if from == ctx.node() {
+            Origin::Local
+        } else {
+            Origin::Neighbor(from)
+        };
         match msg {
             MjMsg::SensorUp(adv) => self.handle_advertisement(Origin::Local, adv, ctx),
             MjMsg::Adv(adv) => self.handle_advertisement(origin, adv, ctx),
             MjMsg::Subscribe(sub) => {
                 let arity = sub.arity();
                 let op = Operator::from_subscription(&sub);
-                let kind = if arity == 1 { WireKind::Filter } else { WireKind::Multi };
+                let kind = if arity == 1 {
+                    WireKind::Filter
+                } else {
+                    WireKind::Multi
+                };
                 self.handle_operator(Origin::Local, MjWireOp::new(op, kind), true, ctx);
             }
             MjMsg::Op(wire) => self.handle_operator(origin, wire, false, ctx),
@@ -421,7 +462,9 @@ mod tests {
     fn sub(id: u64, filters: &[(u32, f64, f64)]) -> Subscription {
         Subscription::identified(
             SubId(id),
-            filters.iter().map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
+            filters
+                .iter()
+                .map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
             DT,
         )
         .unwrap()
@@ -457,7 +500,10 @@ mod tests {
         );
         // user→hub: 1 multi; hub: 3 binaries eval here, 3 simple filters out
         assert_eq!(s.stats.sub_forwards, 1 + 3);
-        let hub = s.node(NodeId(0)).store(Origin::Neighbor(NodeId(4))).unwrap();
+        let hub = s
+            .node(NodeId(0))
+            .store(Origin::Neighbor(NodeId(4)))
+            .unwrap();
         let evals = hub
             .uncovered()
             .iter()
@@ -465,9 +511,15 @@ mod tests {
             .count();
         assert_eq!(evals, 3);
         // sensor nodes got their simple filters
-        let leaf = s.node(NodeId(1)).store(Origin::Neighbor(NodeId(0))).unwrap();
+        let leaf = s
+            .node(NodeId(1))
+            .store(Origin::Neighbor(NodeId(0)))
+            .unwrap();
         assert_eq!(leaf.uncovered().len(), 1);
-        assert!(matches!(leaf.uncovered()[0].role, StoredRole::FilterTransport));
+        assert!(matches!(
+            leaf.uncovered()[0].role,
+            StoredRole::FilterTransport
+        ));
     }
 
     #[test]
@@ -498,13 +550,19 @@ mod tests {
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 0, "no delivery");
         // raw events to hub: 1+1; sanctioned FP hub→user: ≥1
         let fp_units = s.stats.link(NodeId(0), NodeId(4)).events;
-        assert!(fp_units >= 1, "false positive crossed toward the user: {fp_units}");
+        assert!(
+            fp_units >= 1,
+            "false positive crossed toward the user: {fp_units}"
+        );
     }
 
     #[test]
     fn two_way_join_has_no_false_positives() {
         let mut s = star_sim();
-        s.inject_and_run(NodeId(4), MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])));
+        s.inject_and_run(
+            NodeId(4),
+            MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])),
+        );
         s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         // lone event: no partner → nothing to the user
         assert_eq!(s.stats.link(NodeId(0), NodeId(4)).events, 0);
@@ -516,8 +574,14 @@ mod tests {
     #[test]
     fn events_are_deduped_per_link_across_overlapping_subs() {
         let mut s = star_sim();
-        s.inject_and_run(NodeId(4), MjMsg::Subscribe(sub(1, &[(1, 0.0, 6.0), (2, 0.0, 10.0)])));
-        s.inject_and_run(NodeId(4), MjMsg::Subscribe(sub(2, &[(1, 4.0, 10.0), (2, 0.0, 10.0)])));
+        s.inject_and_run(
+            NodeId(4),
+            MjMsg::Subscribe(sub(1, &[(1, 0.0, 6.0), (2, 0.0, 10.0)])),
+        );
+        s.inject_and_run(
+            NodeId(4),
+            MjMsg::Subscribe(sub(2, &[(1, 4.0, 10.0), (2, 0.0, 10.0)])),
+        );
         s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         s.inject_and_run(NodeId(2), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
         // hub→user link carries each event once despite two matching subs
@@ -529,11 +593,17 @@ mod tests {
     #[test]
     fn covered_binary_joins_are_filtered() {
         let mut s = star_sim();
-        s.inject_and_run(NodeId(4), MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])));
+        s.inject_and_run(
+            NodeId(4),
+            MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])),
+        );
         let before = s.stats.sub_forwards;
         // narrower multi-join over the same dims: covered pairwise at the
         // user node already — no further forwards at all
-        s.inject_and_run(NodeId(4), MjMsg::Subscribe(sub(2, &[(1, 2.0, 8.0), (2, 2.0, 8.0)])));
+        s.inject_and_run(
+            NodeId(4),
+            MjMsg::Subscribe(sub(2, &[(1, 2.0, 8.0), (2, 2.0, 8.0)])),
+        );
         assert_eq!(s.stats.sub_forwards, before);
         // …and still served
         s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
@@ -548,14 +618,26 @@ mod tests {
         let mut s = Simulator::new(topo, |id, _| MjNode::new(id, 2 * DT));
         s.inject_and_run(NodeId(3), MjMsg::SensorUp(adv(1, 0)));
         s.inject_and_run(NodeId(4), MjMsg::SensorUp(adv(2, 1)));
-        s.inject_and_run(NodeId(0), MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])));
+        s.inject_and_run(
+            NodeId(0),
+            MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])),
+        );
         // 0→1 and 1→2 carry the whole multi (2 forwards); at 2 it splits:
         // two binaries eval at 2, simple filters 2→3 and 2→4 (2 forwards)
         assert_eq!(s.stats.sub_forwards, 4);
-        let n1 = s.node(NodeId(1)).store(Origin::Neighbor(NodeId(0))).unwrap();
+        let n1 = s
+            .node(NodeId(1))
+            .store(Origin::Neighbor(NodeId(0)))
+            .unwrap();
         assert!(matches!(n1.uncovered()[0].role, StoredRole::MultiAbove));
-        let hub = s.node(NodeId(2)).store(Origin::Neighbor(NodeId(1))).unwrap();
-        assert!(hub.uncovered().iter().any(|m| matches!(m.role, StoredRole::MultiSplit)));
+        let hub = s
+            .node(NodeId(2))
+            .store(Origin::Neighbor(NodeId(1)))
+            .unwrap();
+        assert!(hub
+            .uncovered()
+            .iter()
+            .any(|m| matches!(m.role, StoredRole::MultiSplit)));
         // events complete end-to-end through the pass-through segment
         s.inject_and_run(NodeId(3), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         s.inject_and_run(NodeId(4), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
@@ -570,13 +652,20 @@ mod tests {
         s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
         s.inject_and_run(NodeId(1), MjMsg::Publish(ev(101, 1, 0, 50.0, 1001)));
-        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1, "out of range filtered at source");
+        assert_eq!(
+            s.deliveries.delivered(SubId(1)).len(),
+            1,
+            "out of range filtered at source"
+        );
     }
 
     #[test]
     fn unanswerable_subscription_dropped() {
         let mut s = star_sim();
-        s.inject_and_run(NodeId(4), MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (99, 0.0, 1.0)])));
+        s.inject_and_run(
+            NodeId(4),
+            MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (99, 0.0, 1.0)])),
+        );
         assert_eq!(s.stats.sub_forwards, 0);
         assert_eq!(s.node(NodeId(4)).dropped_unanswerable(), 1);
     }

@@ -83,7 +83,9 @@ impl MjWireOp {
 #[must_use]
 pub fn ring_pairs(dims: &[DimKey]) -> Vec<(DimKey, DimKey)> {
     assert!(dims.len() >= 2, "ring pairing needs at least two dims");
-    (0..dims.len()).map(|i| (dims[i], dims[(i + 1) % dims.len()])).collect()
+    (0..dims.len())
+        .map(|i| (dims[i], dims[(i + 1) % dims.len()]))
+        .collect()
 }
 
 #[cfg(test)]
@@ -94,7 +96,9 @@ mod tests {
     fn op(sensors: &[u32]) -> Operator {
         let s = Subscription::identified(
             SubId(1),
-            sensors.iter().map(|&d| (SensorId(d), ValueRange::new(0.0, 10.0))),
+            sensors
+                .iter()
+                .map(|&d| (SensorId(d), ValueRange::new(0.0, 10.0))),
             30,
         )
         .unwrap();

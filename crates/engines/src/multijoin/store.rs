@@ -143,7 +143,9 @@ mod tests {
     fn op(id: u64, sensors: &[u32], lo: f64, hi: f64) -> Operator {
         let s = Subscription::identified(
             SubId(id),
-            sensors.iter().map(|&d| (SensorId(d), ValueRange::new(lo, hi))),
+            sensors
+                .iter()
+                .map(|&d| (SensorId(d), ValueRange::new(lo, hi))),
             30,
         )
         .unwrap();
@@ -151,11 +153,19 @@ mod tests {
     }
 
     fn key(o: &Operator, main: Option<DimKey>) -> MjKey {
-        MjKey { sub: o.sub(), dims: o.signature(), main }
+        MjKey {
+            sub: o.sub(),
+            dims: o.signature(),
+            main,
+        }
     }
 
     fn stored(o: &Operator, role: StoredRole) -> StoredMj {
-        StoredMj { op: o.clone(), role, is_user_sub: false }
+        StoredMj {
+            op: o.clone(),
+            role,
+            is_user_sub: false,
+        }
     }
 
     #[test]

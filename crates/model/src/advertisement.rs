@@ -1,7 +1,6 @@
 //! Data source advertisements `DSA_d = (a_d, p_d)` (paper §IV-A).
 
 use crate::{AttrId, DimKey, Point, Region, SensorId};
-use serde::{Deserialize, Serialize};
 
 /// A data source advertisement: a sensor announcing its attribute type and
 /// location so that subscriptions can be routed along the reverse
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// The paper's advertisement is the pair `(a_d, p_d)`; we also carry the
 /// sensor id so *identified* subscriptions (which name sensors explicitly)
 /// can be routed as well.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Advertisement {
     /// The advertising sensor.
     pub sensor: SensorId,

@@ -2,7 +2,6 @@
 //! used in the paper's evaluation (§VI-A).
 
 use crate::{AttrId, ValueRange};
-use serde::{Deserialize, Serialize};
 
 /// Well-known attribute ids for the five measurement types the paper selects
 /// from the SensorScope Grand St. Bernard deployment.
@@ -21,12 +20,17 @@ pub mod attrs {
     pub const WIND_DIRECTION: AttrId = AttrId(4);
 
     /// All five standard attributes in id order.
-    pub const ALL: [AttrId; 5] =
-        [AMBIENT_TEMP, SURFACE_TEMP, REL_HUMIDITY, WIND_SPEED, WIND_DIRECTION];
+    pub const ALL: [AttrId; 5] = [
+        AMBIENT_TEMP,
+        SURFACE_TEMP,
+        REL_HUMIDITY,
+        WIND_SPEED,
+        WIND_DIRECTION,
+    ];
 }
 
 /// Metadata about one attribute type.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttrInfo {
     /// Attribute id.
     pub id: AttrId,
@@ -40,7 +44,7 @@ pub struct AttrInfo {
 }
 
 /// A catalog of attribute types.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttrCatalog {
     entries: Vec<AttrInfo>,
 }
@@ -57,8 +61,20 @@ impl AttrCatalog {
         };
         AttrCatalog {
             entries: vec![
-                mk(attrs::AMBIENT_TEMP, "ambient temperature", "°C", -35.0, 35.0),
-                mk(attrs::SURFACE_TEMP, "surface temperature", "°C", -45.0, 45.0),
+                mk(
+                    attrs::AMBIENT_TEMP,
+                    "ambient temperature",
+                    "°C",
+                    -35.0,
+                    35.0,
+                ),
+                mk(
+                    attrs::SURFACE_TEMP,
+                    "surface temperature",
+                    "°C",
+                    -45.0,
+                    45.0,
+                ),
                 mk(attrs::REL_HUMIDITY, "relative humidity", "%", 0.0, 100.0),
                 mk(attrs::WIND_SPEED, "wind speed", "m/s", 0.0, 40.0),
                 mk(attrs::WIND_DIRECTION, "wind direction", "°", 0.0, 360.0),
@@ -81,7 +97,8 @@ impl AttrCatalog {
     /// Human-readable name, falling back to the id's display form.
     #[must_use]
     pub fn name(&self, id: AttrId) -> String {
-        self.get(id).map_or_else(|| id.to_string(), |e| e.name.clone())
+        self.get(id)
+            .map_or_else(|| id.to_string(), |e| e.name.clone())
     }
 
     /// Number of attribute types.

@@ -52,7 +52,9 @@ mod tests {
     fn display_is_informative() {
         let e = ModelError::InvalidRange { min: 2.0, max: 1.0 };
         assert!(e.to_string().contains("[2, 1]"));
-        assert!(ModelError::EmptySubscription.to_string().contains("no predicates"));
+        assert!(ModelError::EmptySubscription
+            .to_string()
+            .contains("no predicates"));
         assert!(ModelError::InvalidDeltaT.to_string().contains("> 0"));
     }
 }

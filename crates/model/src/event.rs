@@ -1,14 +1,13 @@
 //! Events — sensor measurements (paper §IV-A).
 
 use crate::{AttrId, Point, SensorId, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// Globally unique identifier of a simple event instance.
 ///
 /// The paper's Algorithm 5 needs to recognise "events not seen by a
 /// neighbor"; a unique id per published measurement makes the per-link
 /// deduplication exact without comparing payloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(pub u64);
 
 impl std::fmt::Display for EventId {
@@ -18,7 +17,7 @@ impl std::fmt::Display for EventId {
 }
 
 /// A simple event `e_d = (a_d, p_d, v, t)`: one measurement of one sensor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Event {
     /// Unique instance id (not part of the paper's tuple; used for dedup).
     pub id: EventId,
@@ -39,7 +38,7 @@ pub struct Event {
 /// Constructed by the matching machinery; the constituent events are kept
 /// sorted by `(timestamp, id)` so two complex events over the same simple
 /// events compare equal.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComplexEvent {
     events: Vec<Event>,
 }

@@ -12,11 +12,10 @@
 //! act as data attributes", §V-B).
 
 use crate::{AttrId, Event, Region, SensorId, ValueRange};
-use serde::{Deserialize, Serialize};
 
 /// A subscription dimension: either an explicitly named sensor (identified
 /// subscriptions) or an attribute type (abstract subscriptions).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DimKey {
     /// A named sensor `d` — one dimension per sensor of an identified
     /// subscription.
@@ -36,7 +35,7 @@ impl std::fmt::Display for DimKey {
 }
 
 /// A value condition on one subscription dimension: `min ≤ dim ≤ max`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Predicate {
     /// The constrained dimension.
     pub key: DimKey,
@@ -106,8 +105,14 @@ mod tests {
         let region = Region::Rect(Rect::new(Point::new(0.0, -1.0), Point::new(10.0, 1.0)));
         assert!(p.matches(&event(1, 2, 5.0, 5.0), &region));
         assert!(!p.matches(&event(1, 3, 5.0, 5.0), &region), "wrong attr");
-        assert!(!p.matches(&event(1, 2, 15.0, 5.0), &region), "value out of range");
-        assert!(!p.matches(&event(1, 2, 5.0, 50.0), &region), "outside region");
+        assert!(
+            !p.matches(&event(1, 2, 15.0, 5.0), &region),
+            "value out of range"
+        );
+        assert!(
+            !p.matches(&event(1, 2, 5.0, 50.0), &region),
+            "outside region"
+        );
     }
 
     #[test]

@@ -4,14 +4,12 @@
 //! accidentally mixed up in the node state tables, where all three appear as
 //! map keys side by side.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of an attribute *type* (a data type produced by sensors),
 /// an element of the set `𝒜` in the paper.
 ///
 /// The workspace ships a standard catalog of the five SensorScope measurement
 /// types in [`crate::catalog::attrs`]; applications may define further ids.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AttrId(pub u16);
 
 impl std::fmt::Display for AttrId {
@@ -24,7 +22,7 @@ impl std::fmt::Display for AttrId {
 ///
 /// Each sensor produces data of exactly one attribute type and has a fixed
 /// location (paper §IV-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SensorId(pub u32);
 
 impl std::fmt::Display for SensorId {
@@ -38,7 +36,7 @@ impl std::fmt::Display for SensorId {
 /// Subscription ids are assigned by the workload generator / application and
 /// are carried by every [`crate::Operator`] split out of the subscription, so
 /// that result sets can be attributed back to their owner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SubId(pub u64);
 
 impl std::fmt::Display for SubId {
@@ -67,6 +65,9 @@ mod tests {
         let mut m: BTreeMap<SensorId, u32> = BTreeMap::new();
         m.insert(SensorId(2), 2);
         m.insert(SensorId(1), 1);
-        assert_eq!(m.keys().copied().collect::<Vec<_>>(), vec![SensorId(1), SensorId(2)]);
+        assert_eq!(
+            m.keys().copied().collect::<Vec<_>>(),
+            vec![SensorId(1), SensorId(2)]
+        );
     }
 }

@@ -4,10 +4,8 @@
 //! sources to a [`Region`] `L ⊆ ℒ`. Regions support the containment checks
 //! the subsumption machinery needs (`L ⊆ L'`).
 
-use serde::{Deserialize, Serialize};
-
 /// A point in 2-D space (metres in the bundled workloads, but unit-free here).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     /// Easting / x coordinate.
     pub x: f64,
@@ -30,7 +28,7 @@ impl Point {
 }
 
 /// An axis-aligned rectangle `[min.x, max.x] × [min.y, max.y]` (inclusive).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// Lower-left corner.
     pub min: Point,
@@ -46,7 +44,10 @@ impl Rect {
             min.x.is_finite() && min.y.is_finite() && max.x.is_finite() && max.y.is_finite(),
             "Rect corners must be finite"
         );
-        assert!(min.x <= max.x && min.y <= max.y, "Rect corners inverted: {min:?} > {max:?}");
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "Rect corners inverted: {min:?} > {max:?}"
+        );
         Rect { min, max }
     }
 
@@ -83,7 +84,10 @@ impl Rect {
     /// Centre point.
     #[must_use]
     pub fn center(&self) -> Point {
-        Point::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
     }
 }
 
@@ -93,7 +97,7 @@ impl Rect {
 /// in 3D space, or a sub-location in a hierarchically organized location
 /// domain"); we implement the 2-D case with rectangles and circles, plus the
 /// unconstrained region used by identified subscriptions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Region {
     /// The whole location domain (no spatial constraint).
     All,
@@ -143,8 +147,14 @@ impl Region {
                 corners.iter().all(|c| center.distance(c) <= *radius)
             }
             (
-                Region::Circle { center: c1, radius: r1 },
-                Region::Circle { center: c2, radius: r2 },
+                Region::Circle {
+                    center: c1,
+                    radius: r1,
+                },
+                Region::Circle {
+                    center: c2,
+                    radius: r2,
+                },
             ) => c1.distance(c2) + r2 <= *r1,
         }
     }
@@ -205,7 +215,10 @@ mod tests {
     #[test]
     fn region_contains_point() {
         let rect = Region::Rect(Rect::new(p(0.0, 0.0), p(4.0, 4.0)));
-        let circ = Region::Circle { center: p(0.0, 0.0), radius: 5.0 };
+        let circ = Region::Circle {
+            center: p(0.0, 0.0),
+            radius: 5.0,
+        };
         assert!(Region::All.contains(&p(1e9, -1e9)));
         assert!(rect.contains(&p(4.0, 4.0)));
         assert!(!rect.contains(&p(4.0, 4.1)));
@@ -217,8 +230,14 @@ mod tests {
     fn region_containment_all_pairs() {
         let r1 = Region::Rect(Rect::new(p(0.0, 0.0), p(10.0, 10.0)));
         let r2 = Region::Rect(Rect::new(p(2.0, 2.0), p(3.0, 3.0)));
-        let c_in = Region::Circle { center: p(5.0, 5.0), radius: 1.0 };
-        let c_big = Region::Circle { center: p(5.0, 5.0), radius: 100.0 };
+        let c_in = Region::Circle {
+            center: p(5.0, 5.0),
+            radius: 1.0,
+        };
+        let c_big = Region::Circle {
+            center: p(5.0, 5.0),
+            radius: 100.0,
+        };
 
         assert!(Region::All.contains_region(&r1));
         assert!(!r1.contains_region(&Region::All));
@@ -238,7 +257,10 @@ mod tests {
     #[test]
     fn bounding_rect() {
         assert_eq!(Region::All.bounding_rect(), None);
-        let c = Region::Circle { center: p(1.0, 1.0), radius: 2.0 };
+        let c = Region::Circle {
+            center: p(1.0, 1.0),
+            radius: 2.0,
+        };
         let br = c.bounding_rect().unwrap();
         assert_eq!(br.min, p(-1.0, -1.0));
         assert_eq!(br.max, p(3.0, 3.0));
@@ -247,12 +269,18 @@ mod tests {
     #[test]
     fn containment_implies_point_membership() {
         // if A ⊇ B then every sampled point of B is in A
-        let a = Region::Circle { center: p(0.0, 0.0), radius: 10.0 };
+        let a = Region::Circle {
+            center: p(0.0, 0.0),
+            radius: 10.0,
+        };
         let b = Region::Rect(Rect::new(p(-2.0, -2.0), p(2.0, 2.0)));
         assert!(a.contains_region(&b));
         for i in 0..20 {
             for j in 0..20 {
-                let q = p(-2.0 + 4.0 * (i as f64) / 19.0, -2.0 + 4.0 * (j as f64) / 19.0);
+                let q = p(
+                    -2.0 + 4.0 * (i as f64) / 19.0,
+                    -2.0 + 4.0 * (j as f64) / 19.0,
+                );
                 if b.contains(&q) {
                     assert!(a.contains(&q));
                 }

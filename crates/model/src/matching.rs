@@ -78,7 +78,11 @@ pub fn complex_match(events: &[&Event], op: &Operator) -> Option<MatchOutcome> {
 /// participates (any per-dimension choice from the window is a valid complex
 /// event). Marked windows are collected as index ranges and merged, keeping
 /// the whole procedure `O(n log n)`.
-fn match_time_only(cands: &[(u64, usize, usize)], ndims: usize, delta_t: u64) -> Option<MatchOutcome> {
+fn match_time_only(
+    cands: &[(u64, usize, usize)],
+    ndims: usize,
+    delta_t: u64,
+) -> Option<MatchOutcome> {
     let mut counts = vec![0usize; ndims];
     let mut covered = 0usize;
     let mut lo = 0usize;
@@ -162,13 +166,23 @@ fn match_time_and_space(
         if slot == per_dim.len() {
             return true;
         }
-        let options: &[usize] =
-            if slot == fixed_slot { std::slice::from_ref(&fixed_idx) } else { &per_dim[slot] };
+        let options: &[usize] = if slot == fixed_slot {
+            std::slice::from_ref(&fixed_idx)
+        } else {
+            &per_dim[slot]
+        };
         for &cand in options {
             if chosen.iter().all(|&c| compatible(c, cand)) {
                 chosen.push(cand);
                 if search(
-                    events, per_dim, chosen, slot + 1, fixed_slot, fixed_idx, steps, budget,
+                    events,
+                    per_dim,
+                    chosen,
+                    slot + 1,
+                    fixed_slot,
+                    fixed_idx,
+                    steps,
+                    budget,
                     compatible,
                 ) {
                     chosen.pop();
@@ -261,9 +275,15 @@ mod tests {
         let e1 = ev(1, 1, 0, 5.0, 100, 0.0);
         let e2 = ev(2, 2, 0, 5.0, 130, 0.0);
         let op = op_ab(30);
-        assert!(complex_match(&[&e1, &e2], &op).is_none(), "span == δt is out");
+        assert!(
+            complex_match(&[&e1, &e2], &op).is_none(),
+            "span == δt is out"
+        );
         let e3 = ev(3, 2, 0, 5.0, 129, 0.0);
-        assert!(complex_match(&[&e1, &e3], &op).is_some(), "span == δt-1 is in");
+        assert!(
+            complex_match(&[&e1, &e3], &op).is_some(),
+            "span == δt-1 is in"
+        );
     }
 
     #[test]
@@ -308,10 +328,16 @@ mod tests {
     fn abstract_matching_with_delta_l() {
         // two attrs; events for attr 1 at x=0 and x=100, event for attr 2 at x=5.
         // δl = 20 admits only the x=0 partner.
-        let region = Region::Rect(Rect::new(Point::new(-1000.0, -10.0), Point::new(1000.0, 10.0)));
+        let region = Region::Rect(Rect::new(
+            Point::new(-1000.0, -10.0),
+            Point::new(1000.0, 10.0),
+        ));
         let s = Subscription::abstract_over(
             SubId(1),
-            [(AttrId(0), ValueRange::new(0.0, 10.0)), (AttrId(1), ValueRange::new(0.0, 10.0))],
+            [
+                (AttrId(0), ValueRange::new(0.0, 10.0)),
+                (AttrId(1), ValueRange::new(0.0, 10.0)),
+            ],
             region,
             30,
             Some(20.0),
@@ -325,7 +351,11 @@ mod tests {
         ];
         let refs: Vec<&Event> = events.iter().collect();
         let m = complex_match(&refs, &op).unwrap();
-        assert_eq!(m.participants, vec![0, 2], "far-away attr-0 event excluded by δl");
+        assert_eq!(
+            m.participants,
+            vec![0, 2],
+            "far-away attr-0 event excluded by δl"
+        );
     }
 
     #[test]
@@ -333,7 +363,10 @@ mod tests {
         let region = Region::All;
         let s = Subscription::abstract_over(
             SubId(1),
-            [(AttrId(0), ValueRange::new(0.0, 10.0)), (AttrId(1), ValueRange::new(0.0, 10.0))],
+            [
+                (AttrId(0), ValueRange::new(0.0, 10.0)),
+                (AttrId(1), ValueRange::new(0.0, 10.0)),
+            ],
             region,
             30,
             Some(5.0),

@@ -9,13 +9,12 @@
 use crate::{
     Advertisement, DimKey, Event, Predicate, Region, SubId, Subscription, SubscriptionKind,
 };
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// The sorted dimension set of an operator: the grouping key for set
 /// filtering ("we compare only subscriptions over the same attributes",
 /// Algorithm 2).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DimSignature(Vec<DimKey>);
 
 impl DimSignature {
@@ -58,7 +57,7 @@ impl std::fmt::Display for DimSignature {
 ///
 /// In an acyclic network every `(subscription, dims)` projection travels a
 /// unique path, so this key deduplicates operators in node stores.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OperatorKey {
     /// Originating subscription.
     pub sub: SubId,
@@ -68,7 +67,7 @@ pub struct OperatorKey {
 
 /// A correlation operator: a subset of one subscription's filters, together
 /// with the correlation distances inherited from the subscription.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Operator {
     sub: SubId,
     kind: SubscriptionKind,
@@ -155,7 +154,10 @@ impl Operator {
     /// The store-identity key `(sub, dims)`.
     #[must_use]
     pub fn key(&self) -> OperatorKey {
-        OperatorKey { sub: self.sub, dims: self.signature() }
+        OperatorKey {
+            sub: self.sub,
+            dims: self.signature(),
+        }
     }
 
     /// The predicate constraining `dim`, if any.
@@ -174,12 +176,19 @@ impl Operator {
     /// no dimension of this operator, so nothing is forwarded to it).
     #[must_use]
     pub fn project(&self, keep: &BTreeSet<DimKey>) -> Option<Operator> {
-        let predicates: Vec<Predicate> =
-            self.predicates.iter().filter(|p| keep.contains(&p.key)).copied().collect();
+        let predicates: Vec<Predicate> = self
+            .predicates
+            .iter()
+            .filter(|p| keep.contains(&p.key))
+            .copied()
+            .collect();
         if predicates.is_empty() {
             return None;
         }
-        Some(Operator { predicates, ..self.clone() })
+        Some(Operator {
+            predicates,
+            ..self.clone()
+        })
     }
 
     /// The subset of this operator's dimensions supported by the given
@@ -241,8 +250,9 @@ mod tests {
     #[test]
     fn projection_keeps_requested_dims() {
         let op = Operator::from_subscription(&sub3());
-        let keep: BTreeSet<_> =
-            [DimKey::Sensor(SensorId(1)), DimKey::Sensor(SensorId(3))].into_iter().collect();
+        let keep: BTreeSet<_> = [DimKey::Sensor(SensorId(1)), DimKey::Sensor(SensorId(3))]
+            .into_iter()
+            .collect();
         let p = op.project(&keep).unwrap();
         assert_eq!(p.arity(), 2);
         assert_eq!(p.sub(), SubId(1));
@@ -270,8 +280,16 @@ mod tests {
     fn supported_dims_identified() {
         let op = Operator::from_subscription(&sub3());
         let adverts = vec![
-            Advertisement { sensor: SensorId(1), attr: AttrId(0), location: Point::new(0.0, 0.0) },
-            Advertisement { sensor: SensorId(9), attr: AttrId(0), location: Point::new(0.0, 0.0) },
+            Advertisement {
+                sensor: SensorId(1),
+                attr: AttrId(0),
+                location: Point::new(0.0, 0.0),
+            },
+            Advertisement {
+                sensor: SensorId(9),
+                attr: AttrId(0),
+                location: Point::new(0.0, 0.0),
+            },
         ];
         let dims = op.supported_dims(&adverts);
         assert_eq!(dims.len(), 1);
@@ -283,7 +301,10 @@ mod tests {
         let region = Region::Rect(Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)));
         let s = Subscription::abstract_over(
             SubId(2),
-            [(AttrId(0), ValueRange::new(0.0, 1.0)), (AttrId(1), ValueRange::new(0.0, 1.0))],
+            [
+                (AttrId(0), ValueRange::new(0.0, 1.0)),
+                (AttrId(1), ValueRange::new(0.0, 1.0)),
+            ],
             region,
             30,
             None,
@@ -292,7 +313,11 @@ mod tests {
         let op = Operator::from_subscription(&s);
         let adverts = vec![
             // attr 0 inside region
-            Advertisement { sensor: SensorId(1), attr: AttrId(0), location: Point::new(5.0, 5.0) },
+            Advertisement {
+                sensor: SensorId(1),
+                attr: AttrId(0),
+                location: Point::new(5.0, 5.0),
+            },
             // attr 1 outside region
             Advertisement {
                 sensor: SensorId(2),

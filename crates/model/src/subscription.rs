@@ -1,12 +1,9 @@
 //! User subscriptions (paper §IV-A).
 
-use crate::{
-    AttrId, DimKey, Event, ModelError, Predicate, Region, SensorId, SubId, ValueRange,
-};
-use serde::{Deserialize, Serialize};
+use crate::{AttrId, DimKey, Event, ModelError, Predicate, Region, SensorId, SubId, ValueRange};
 
 /// The two subscription flavours of the paper's model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SubscriptionKind {
     /// `S_id = (F_D, δt)`: ranges over explicitly named sensors.
     Identified,
@@ -23,7 +20,7 @@ pub enum SubscriptionKind {
 /// * predicates sorted by dimension, with unique dimensions (the paper's
 ///   model attaches exactly one simple filter per sensor/attribute);
 /// * `δt > 0`; `δl > 0` when present.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Subscription {
     id: SubId,
     kind: SubscriptionKind,
@@ -44,7 +41,14 @@ impl Subscription {
             .into_iter()
             .map(|(d, r)| Predicate::new(DimKey::Sensor(d), r))
             .collect();
-        Self::build(id, SubscriptionKind::Identified, predicates, Region::All, delta_t, None)
+        Self::build(
+            id,
+            SubscriptionKind::Identified,
+            predicates,
+            Region::All,
+            delta_t,
+            None,
+        )
     }
 
     /// Build an abstract subscription `(F_{A,L}, δt, δl)` over attribute
@@ -61,7 +65,14 @@ impl Subscription {
             .into_iter()
             .map(|(a, r)| Predicate::new(DimKey::Attr(a), r))
             .collect();
-        Self::build(id, SubscriptionKind::Abstract, predicates, region, delta_t, delta_l)
+        Self::build(
+            id,
+            SubscriptionKind::Abstract,
+            predicates,
+            region,
+            delta_t,
+            delta_l,
+        )
     }
 
     fn build(
@@ -89,7 +100,14 @@ impl Subscription {
                 return Err(ModelError::DuplicateDimension(w[0].key.to_string()));
             }
         }
-        Ok(Subscription { id, kind, predicates, region, delta_t, delta_l })
+        Ok(Subscription {
+            id,
+            kind,
+            predicates,
+            region,
+            delta_t,
+            delta_l,
+        })
     }
 
     /// The subscription id.
@@ -178,10 +196,10 @@ mod tests {
         assert_eq!(s.kind(), SubscriptionKind::Identified);
         assert_eq!(s.arity(), 2);
         // sorted by dim
-        assert_eq!(s.dims().collect::<Vec<_>>(), vec![
-            DimKey::Sensor(SensorId(1)),
-            DimKey::Sensor(SensorId(2))
-        ]);
+        assert_eq!(
+            s.dims().collect::<Vec<_>>(),
+            vec![DimKey::Sensor(SensorId(1)), DimKey::Sensor(SensorId(2))]
+        );
         assert_eq!(s.delta_l(), None);
         assert_eq!(*s.region(), Region::All);
     }
@@ -224,12 +242,8 @@ mod tests {
 
     #[test]
     fn simple_matching_identified() {
-        let s = Subscription::identified(
-            SubId(1),
-            [(SensorId(1), ValueRange::new(0.0, 10.0))],
-            30,
-        )
-        .unwrap();
+        let s = Subscription::identified(SubId(1), [(SensorId(1), ValueRange::new(0.0, 10.0))], 30)
+            .unwrap();
         assert!(s.matches_simple(&event(1, 0, 5.0, 0.0)));
         assert!(!s.matches_simple(&event(2, 0, 5.0, 0.0)));
         assert!(!s.matches_simple(&event(1, 0, 50.0, 0.0)));

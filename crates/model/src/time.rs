@@ -4,16 +4,12 @@
 //! network layers never reinterpret them; they only drive the `δt` sliding
 //! window correlation and event-store expiry.
 
-use serde::{Deserialize, Serialize};
-
 /// A logical timestamp in abstract time units.
 ///
 /// The unit is workload-defined (the bundled SensorScope-style workload uses
 /// one unit ≈ one second). All the matching semantics only ever compare
 /// differences of timestamps against `δt`, so the absolute scale is free.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {

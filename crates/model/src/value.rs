@@ -1,13 +1,11 @@
 //! Value ranges — the `min ≤ a ≤ max` simple-filter conditions (paper §IV-A).
 
-use serde::{Deserialize, Serialize};
-
 /// A closed interval `[min, max]` over an ordered value domain `𝒟`.
 ///
 /// Simple filters in the paper are `min ≤ a ≤ max` (or the degenerate
 /// `a = v`). Ranges are the atoms both the matching semantics and the
 /// subsumption machinery operate on.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ValueRange {
     min: f64,
     max: f64,
@@ -41,7 +39,10 @@ impl ValueRange {
     /// The whole (finite-representable) value domain.
     #[must_use]
     pub fn unbounded() -> Self {
-        ValueRange { min: f64::NEG_INFINITY, max: f64::INFINITY }
+        ValueRange {
+            min: f64::NEG_INFINITY,
+            max: f64::INFINITY,
+        }
     }
 
     /// Lower bound.
@@ -146,7 +147,10 @@ mod tests {
         assert_eq!(wide.intersection(&disjoint), None);
         // touching intervals intersect at the shared endpoint
         let touch = ValueRange::new(100.0, 150.0);
-        assert_eq!(wide.intersection(&touch), Some(ValueRange::new(100.0, 100.0)));
+        assert_eq!(
+            wide.intersection(&touch),
+            Some(ValueRange::new(100.0, 100.0))
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@ use rand::Rng;
 #[must_use]
 pub fn line(n: usize) -> Topology {
     assert!(n >= 1);
-    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32)
+        .map(|i| (i, i + 1))
+        .collect();
     Topology::from_edges(n, &edges).expect("line is a tree")
 }
 
@@ -27,8 +29,9 @@ pub fn star(n: usize) -> Topology {
 #[must_use]
 pub fn balanced(n: usize, branching: usize) -> Topology {
     assert!(n >= 1 && branching >= 1);
-    let edges: Vec<(u32, u32)> =
-        (1..n as u32).map(|i| ((i - 1) / branching as u32, i)).collect();
+    let edges: Vec<(u32, u32)> = (1..n as u32)
+        .map(|i| ((i - 1) / branching as u32, i))
+        .collect();
     Topology::from_edges(n, &edges).expect("balanced is a tree")
 }
 
@@ -37,8 +40,7 @@ pub fn balanced(n: usize, branching: usize) -> Topology {
 #[must_use]
 pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Topology {
     assert!(n >= 1);
-    let edges: Vec<(u32, u32)> =
-        (1..n as u32).map(|i| (rng.gen_range(0..i), i)).collect();
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (rng.gen_range(0..i), i)).collect();
     Topology::from_edges(n, &edges).expect("random recursive tree is a tree")
 }
 
@@ -138,8 +140,9 @@ pub fn clustered<R: Rng + ?Sized>(
         .collect();
     // Gateways are spread over the backbone ids to avoid all groups sharing
     // one hub: take evenly spaced backbone ids.
-    let gateways: Vec<NodeId> =
-        (0..groups).map(|g| NodeId((g * backbone / groups) as u32)).collect();
+    let gateways: Vec<NodeId> = (0..groups)
+        .map(|g| NodeId((g * backbone / groups) as u32))
+        .collect();
     let relays: Vec<NodeId> = (0..backbone as u32)
         .map(NodeId)
         .filter(|n| !gateways.contains(n))
@@ -242,7 +245,11 @@ mod tests {
         let l = clustered(10, 5, 60, &mut rng);
         assert_eq!(l.len(), 60);
         assert_eq!(l.gateways.len(), 10);
-        assert_eq!(l.relays.len(), 0, "60 = 50 sensors + 10 gateways, no spare relays");
+        assert_eq!(
+            l.relays.len(),
+            0,
+            "60 = 50 sensors + 10 gateways, no spare relays"
+        );
         assert_eq!(l.all_sensor_nodes().count(), 50);
         assert_eq!(l.user_nodes().len(), 10);
         // group members chain off the gateway: first member neighbors the
@@ -294,6 +301,9 @@ mod tests {
         g.sort_unstable();
         g.dedup();
         assert_eq!(g.len(), 20);
-        assert!(g.iter().all(|n| (n.0 as usize) < 100), "gateways live on the backbone");
+        assert!(
+            g.iter().all(|n| (n.0 as usize) < 100),
+            "gateways live on the backbone"
+        );
     }
 }

@@ -46,7 +46,12 @@ impl<'a, M> Ctx<'a, M> {
         outbox: &'a mut Vec<(NodeId, M, ChargeKind, u64)>,
         deliveries: &'a mut DeliveryLog,
     ) -> Self {
-        Ctx { node, neighbors, outbox, deliveries }
+        Ctx {
+            node,
+            neighbors,
+            outbox,
+            deliveries,
+        }
     }
 
     /// The node executing.
@@ -99,7 +104,10 @@ impl DeliveryLog {
     /// Record one delivered complex event.
     pub fn record(&mut self, sub: SubId, event: &ComplexEvent) {
         self.complex_deliveries += 1;
-        self.per_sub.entry(sub).or_default().extend(event.event_ids());
+        self.per_sub
+            .entry(sub)
+            .or_default()
+            .extend(event.event_ids());
     }
 
     /// Simple events delivered for `sub` (empty set if none).
@@ -130,7 +138,10 @@ impl DeliveryLog {
     pub fn merge(&mut self, other: &DeliveryLog) {
         self.complex_deliveries += other.complex_deliveries;
         for (sub, events) in &other.per_sub {
-            self.per_sub.entry(*sub).or_default().extend(events.iter().copied());
+            self.per_sub
+                .entry(*sub)
+                .or_default()
+                .extend(events.iter().copied());
         }
     }
 }
@@ -163,7 +174,10 @@ impl<B: NodeBehavior> Simulator<B> {
 
     /// Build a simulator, constructing one node per topology id.
     pub fn new(topology: Topology, mut make_node: impl FnMut(NodeId, &Topology) -> B) -> Self {
-        let nodes = topology.nodes().map(|id| make_node(id, &topology)).collect();
+        let nodes = topology
+            .nodes()
+            .map(|id| make_node(id, &topology))
+            .collect();
         Simulator {
             topology,
             nodes,
@@ -206,7 +220,11 @@ impl<B: NodeBehavior> Simulator<B> {
     /// Inject a local item (sensor appearance, user subscription, sensor
     /// reading) at `node`. The node sees `from == node`.
     pub fn inject(&mut self, node: NodeId, msg: B::Msg) {
-        self.queue.push_back(Envelope { from: node, to: node, msg });
+        self.queue.push_back(Envelope {
+            from: node,
+            to: node,
+            msg,
+        });
     }
 
     /// Process queued messages until the network is quiescent. Returns the
@@ -234,7 +252,11 @@ impl<B: NodeBehavior> Simulator<B> {
             }
             for (to, msg, kind, units) in outbox.drain(..) {
                 self.stats.charge(kind, env.to, to, units);
-                self.queue.push_back(Envelope { from: env.to, to, msg });
+                self.queue.push_back(Envelope {
+                    from: env.to,
+                    to,
+                    msg,
+                });
             }
         }
         self.steps += processed;
@@ -325,7 +347,11 @@ mod tests {
             type Msg = ();
             fn on_message(&mut self, from: NodeId, _: (), ctx: &mut Ctx<'_, ()>) {
                 // bounce forever between the two nodes
-                let to = if from == ctx.node() { ctx.neighbors()[0] } else { from };
+                let to = if from == ctx.node() {
+                    ctx.neighbors()[0]
+                } else {
+                    from
+                };
                 ctx.send(to, (), ChargeKind::Event, 1);
             }
         }

@@ -5,13 +5,10 @@
 //! what makes reverse-advertisement-path routing of subscriptions and
 //! reverse-subscription-path routing of events well-defined.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Identifier of a processing node.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl std::fmt::Display for NodeId {
@@ -44,7 +41,7 @@ impl std::fmt::Display for TopologyError {
 impl std::error::Error for TopologyError {}
 
 /// A validated tree over nodes `0..n`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     adj: Vec<Vec<NodeId>>,
 }
@@ -215,7 +212,10 @@ impl Topology {
     /// in tests and reports.
     #[must_use]
     pub fn wiener_index(&self) -> usize {
-        self.nodes().map(|n| self.distances_from(n).iter().sum::<usize>()).sum::<usize>() / 2
+        self.nodes()
+            .map(|n| self.distances_from(n).iter().sum::<usize>())
+            .sum::<usize>()
+            / 2
     }
 }
 

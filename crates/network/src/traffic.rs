@@ -10,11 +10,10 @@
 //!   distributed approaches).
 
 use crate::topology::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// What kind of traffic a message charge belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChargeKind {
     /// Data-source advertisement flooding (Algorithm 1).
     Advertisement,
@@ -25,7 +24,7 @@ pub enum ChargeKind {
 }
 
 /// Per-link counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkTraffic {
     /// Advertisement messages over this directed link.
     pub adv: u64,
@@ -36,7 +35,7 @@ pub struct LinkTraffic {
 }
 
 /// Aggregated traffic statistics of one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrafficStats {
     /// Total advertisement messages.
     pub adv_msgs: u64,

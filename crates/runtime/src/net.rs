@@ -39,10 +39,7 @@ impl<M: Send + 'static> ThreadedNet<M> {
     /// Spawn one thread per topology node. `make_node` builds each node's
     /// behaviour (it runs on the spawning thread).
     #[must_use]
-    pub fn spawn<B>(
-        topology: &Topology,
-        mut make_node: impl FnMut(NodeId, &Topology) -> B,
-    ) -> Self
+    pub fn spawn<B>(topology: &Topology, mut make_node: impl FnMut(NodeId, &Topology) -> B) -> Self
     where
         B: NodeBehavior<Msg = M> + Send + 'static,
     {
@@ -52,8 +49,7 @@ impl<M: Send + 'static> ThreadedNet<M> {
             pending: AtomicI64::new(0),
         });
         let channels: Vec<Link<M>> = (0..topology.len()).map(|_| unbounded()).collect();
-        let senders: Vec<Sender<Packet<M>>> =
-            channels.iter().map(|(s, _)| s.clone()).collect();
+        let senders: Vec<Sender<Packet<M>>> = channels.iter().map(|(s, _)| s.clone()).collect();
 
         let mut handles = Vec::with_capacity(topology.len());
         for (idx, (_, rx)) in channels.into_iter().enumerate() {
@@ -66,7 +62,11 @@ impl<M: Send + 'static> ThreadedNet<M> {
                 node_loop(id, &neighbors, &mut node, &rx, &senders, &shared);
             }));
         }
-        ThreadedNet { senders, shared, handles }
+        ThreadedNet {
+            senders,
+            shared,
+            handles,
+        }
     }
 
     /// Inject a local item at `node` (the node sees `from == node`).
@@ -126,8 +126,7 @@ fn node_loop<B: NodeBehavior>(
             Packet::Stop => break,
             Packet::Msg { from, msg } => {
                 {
-                    let mut ctx =
-                        Ctx::external(id, neighbors, &mut outbox, &mut local_deliveries);
+                    let mut ctx = Ctx::external(id, neighbors, &mut outbox, &mut local_deliveries);
                     node.on_message(from, msg, &mut ctx);
                 }
                 if local_deliveries.complex_deliveries() > 0 {

@@ -47,8 +47,7 @@ impl HyperBox {
     /// Point membership (inclusive).
     #[must_use]
     pub fn contains_point(&self, p: &[f64]) -> bool {
-        self.dims.len() == p.len()
-            && self.dims.iter().zip(p).all(|(r, v)| r.contains(*v))
+        self.dims.len() == p.len() && self.dims.iter().zip(p).all(|(r, v)| r.contains(*v))
     }
 
     /// Lower the operator to a hyper-box: value dims plus, for abstract
@@ -149,10 +148,7 @@ pub fn is_covered(target: &HyperBox, members: &[HyperBox]) -> Result<bool, Exact
 
 /// Convenience: exact operator-level set-subsumption for the supported
 /// fragment (same dimension signature assumed, as in Algorithm 2 grouping).
-pub fn operator_covered(
-    target: &Operator,
-    members: &[&Operator],
-) -> Result<bool, ExactError> {
+pub fn operator_covered(target: &Operator, members: &[&Operator]) -> Result<bool, ExactError> {
     let t = HyperBox::from_operator(target)?;
     let ms = members
         .iter()
@@ -265,13 +261,19 @@ mod tests {
         let s = Subscription::abstract_over(
             SubId(1),
             [(AttrId(0), ValueRange::new(0.0, 1.0))],
-            Region::Circle { center: Point::new(0.0, 0.0), radius: 1.0 },
+            Region::Circle {
+                center: Point::new(0.0, 0.0),
+                radius: 1.0,
+            },
             30,
             None,
         )
         .unwrap();
         let op = Operator::from_subscription(&s);
-        assert_eq!(HyperBox::from_operator(&op).unwrap_err(), ExactError::Unsupported);
+        assert_eq!(
+            HyperBox::from_operator(&op).unwrap_err(),
+            ExactError::Unsupported
+        );
     }
 
     #[test]

@@ -39,14 +39,20 @@ impl SetFilterConfig {
     /// [`SetFilterConfig::strict`] for near-exact filtering.
     #[must_use]
     pub fn paper_default() -> Self {
-        SetFilterConfig { error_prob: 0.4, min_gap: 0.25 }
+        SetFilterConfig {
+            error_prob: 0.4,
+            min_gap: 0.25,
+        }
     }
 
     /// A conservative configuration (`ε = 0.01`, `γ = 0.01`, ≈ 459 samples):
     /// virtually no false "covered" verdicts, recall ≈ 100%.
     #[must_use]
     pub fn strict() -> Self {
-        SetFilterConfig { error_prob: 0.01, min_gap: 0.01 }
+        SetFilterConfig {
+            error_prob: 0.01,
+            min_gap: 0.01,
+        }
     }
 
     /// Number of Monte-Carlo samples this configuration implies.
@@ -86,7 +92,10 @@ impl SubscriptionFilter {
     /// Create a filter with the given policy and deterministic seed.
     #[must_use]
     pub fn new(policy: FilterPolicy, seed: u64) -> Self {
-        SubscriptionFilter { policy, rng: StdRng::seed_from_u64(seed) }
+        SubscriptionFilter {
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The active policy.
@@ -122,17 +131,17 @@ impl SubscriptionFilter {
         }
         match self.policy {
             FilterPolicy::None => false,
-            FilterPolicy::Pairwise => {
-                pairwise::covered_by_any(op, eligible.iter().copied())
-            }
+            FilterPolicy::Pairwise => pairwise::covered_by_any(op, eligible.iter().copied()),
             FilterPolicy::SetFilter(cfg) => {
                 // cheap exact pre-pass: a single covering member decides
                 if pairwise::covered_by_any(op, eligible.iter().copied()) {
                     return true;
                 }
                 let target = CoverShape::from_operator(op);
-                let members: Vec<CoverShape> =
-                    eligible.iter().map(|m| CoverShape::from_operator(m)).collect();
+                let members: Vec<CoverShape> = eligible
+                    .iter()
+                    .map(|m| CoverShape::from_operator(m))
+                    .collect();
                 monte_carlo::is_covered(&target, &members, cfg.samples(), &mut self.rng)
             }
         }
@@ -147,7 +156,9 @@ mod tests {
     fn op(id: u64, ranges: &[(u32, f64, f64)], dt: u64) -> Operator {
         let s = Subscription::identified(
             SubId(id),
-            ranges.iter().map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
+            ranges
+                .iter()
+                .map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
             dt,
         )
         .unwrap();
@@ -224,7 +235,9 @@ mod tests {
                 FilterPolicy::SetFilter(SetFilterConfig::paper_default()),
                 seed,
             );
-            (0..10).map(|_| f.is_covered(&mid, &[&left, &right])).collect::<Vec<_>>()
+            (0..10)
+                .map(|_| f.is_covered(&mid, &[&left, &right]))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(42), run(42));
     }

@@ -29,7 +29,10 @@ pub fn required_samples(error_prob: f64, min_gap: f64) -> usize {
         error_prob > 0.0 && error_prob < 1.0,
         "error_prob must be in (0,1), got {error_prob}"
     );
-    assert!(min_gap > 0.0 && min_gap < 1.0, "min_gap must be in (0,1), got {min_gap}");
+    assert!(
+        min_gap > 0.0 && min_gap < 1.0,
+        "min_gap must be in (0,1), got {min_gap}"
+    );
     let n = (error_prob.ln() / (1.0 - min_gap).ln()).ceil();
     (n as usize).max(1)
 }
@@ -72,7 +75,9 @@ mod tests {
     fn op(id: u64, ranges: &[(u32, f64, f64)]) -> Operator {
         let s = Subscription::identified(
             SubId(id),
-            ranges.iter().map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
+            ranges
+                .iter()
+                .map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
             30,
         )
         .unwrap();
@@ -136,9 +141,13 @@ mod tests {
         let t = shape(&[(1, 0.0, 1000.0)]);
         let m = shape(&[(1, 1.0, 1000.0)]); // misses [0,1)
         let mut rng = StdRng::seed_from_u64(1);
-        let verdicts: Vec<bool> =
-            (0..20).map(|_| is_covered(&t, std::slice::from_ref(&m), 10, &mut rng)).collect();
-        assert!(verdicts.iter().any(|&v| v), "tiny gap should usually slip through");
+        let verdicts: Vec<bool> = (0..20)
+            .map(|_| is_covered(&t, std::slice::from_ref(&m), 10, &mut rng))
+            .collect();
+        assert!(
+            verdicts.iter().any(|&v| v),
+            "tiny gap should usually slip through"
+        );
     }
 
     #[test]
@@ -187,8 +196,10 @@ mod tests {
                 })
                 .collect();
             let tb = HyperBox::new(t.values().to_vec());
-            let mb: Vec<HyperBox> =
-                members.iter().map(|m| HyperBox::new(m.values().to_vec())).collect();
+            let mb: Vec<HyperBox> = members
+                .iter()
+                .map(|m| HyperBox::new(m.values().to_vec()))
+                .collect();
             let truth = exact_cover(&tb, &mb).unwrap();
             let mc = is_covered(&t, &members, 2000, &mut rng);
             // MC may only err by claiming coverage where a (tiny) gap exists;
@@ -200,6 +211,9 @@ mod tests {
                 disagreements += 1;
             }
         }
-        assert!(disagreements <= 4, "too many missed gaps: {disagreements}/200");
+        assert!(
+            disagreements <= 4,
+            "too many missed gaps: {disagreements}/200"
+        );
     }
 }

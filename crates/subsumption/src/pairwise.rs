@@ -33,8 +33,8 @@ pub fn covers(wide: &Operator, narrow: &Operator) -> bool {
         return false;
     }
     match (wide.delta_l(), narrow.delta_l()) {
-        (None, _) => {}                             // ∞ accepts everything
-        (Some(_), None) => return false,            // finite cannot cover ∞
+        (None, _) => {}                  // ∞ accepts everything
+        (Some(_), None) => return false, // finite cannot cover ∞
         (Some(w), Some(n)) if w < n => return false,
         _ => {}
     }
@@ -45,17 +45,15 @@ pub fn covers(wide: &Operator, narrow: &Operator) -> bool {
         return false;
     }
     // Same sorted dimension order on both sides.
-    wide.predicates().iter().zip(narrow.predicates()).all(|(w, n)| {
-        w.key == n.key && w.range.contains_range(&n.range)
-    })
+    wide.predicates()
+        .iter()
+        .zip(narrow.predicates())
+        .all(|(w, n)| w.key == n.key && w.range.contains_range(&n.range))
 }
 
 /// Is `op` covered by any single member of `group`?
 #[must_use]
-pub fn covered_by_any<'a>(
-    op: &Operator,
-    group: impl IntoIterator<Item = &'a Operator>,
-) -> bool {
+pub fn covered_by_any<'a>(op: &Operator, group: impl IntoIterator<Item = &'a Operator>) -> bool {
     group.into_iter().any(|g| covers(g, op))
 }
 
@@ -69,7 +67,9 @@ mod tests {
     fn ident(id: u64, ranges: &[(u32, f64, f64)], dt: u64) -> Operator {
         let s = Subscription::identified(
             SubId(id),
-            ranges.iter().map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
+            ranges
+                .iter()
+                .map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
             dt,
         )
         .unwrap();
@@ -85,7 +85,9 @@ mod tests {
     ) -> Operator {
         let s = Subscription::abstract_over(
             SubId(id),
-            ranges.iter().map(|&(a, lo, hi)| (AttrId(a), ValueRange::new(lo, hi))),
+            ranges
+                .iter()
+                .map(|&(a, lo, hi)| (AttrId(a), ValueRange::new(lo, hi))),
             region,
             dt,
             dl,

@@ -117,11 +117,7 @@ impl CoverShape {
         Some(SamplePoint { values, locations })
     }
 
-    fn sample_locations<R: Rng + ?Sized>(
-        &self,
-        br: &Rect,
-        rng: &mut R,
-    ) -> Option<Vec<Point>> {
+    fn sample_locations<R: Rng + ?Sized>(&self, br: &Rect, rng: &mut R) -> Option<Vec<Point>> {
         let n = self.values.len();
         let mut out: Vec<Point> = Vec::with_capacity(n);
         'outer: for i in 0..n {
@@ -168,7 +164,12 @@ impl CoverShape {
         if p.values.len() != self.values.len() {
             return false;
         }
-        if !self.values.iter().zip(&p.values).all(|(r, v)| r.contains(*v)) {
+        if !self
+            .values
+            .iter()
+            .zip(&p.values)
+            .all(|(r, v)| r.contains(*v))
+        {
             return false;
         }
         if self.kind == SubscriptionKind::Abstract {
@@ -216,7 +217,9 @@ mod tests {
     fn ident_op(ranges: &[(u32, f64, f64)]) -> Operator {
         let s = Subscription::identified(
             SubId(1),
-            ranges.iter().map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
+            ranges
+                .iter()
+                .map(|&(d, lo, hi)| (SensorId(d), ValueRange::new(lo, hi))),
             30,
         )
         .unwrap();
@@ -226,7 +229,9 @@ mod tests {
     fn abstr_op(ranges: &[(u16, f64, f64)], region: Region, dl: Option<f64>) -> Operator {
         let s = Subscription::abstract_over(
             SubId(1),
-            ranges.iter().map(|&(a, lo, hi)| (AttrId(a), ValueRange::new(lo, hi))),
+            ranges
+                .iter()
+                .map(|&(a, lo, hi)| (AttrId(a), ValueRange::new(lo, hi))),
             region,
             30,
             dl,
@@ -271,7 +276,10 @@ mod tests {
 
     #[test]
     fn circle_region_sampling_rejects_into_disc() {
-        let region = Region::Circle { center: Point::new(0.0, 0.0), radius: 5.0 };
+        let region = Region::Circle {
+            center: Point::new(0.0, 0.0),
+            radius: 5.0,
+        };
         let shape = CoverShape::from_operator(&abstr_op(&[(0, 0.0, 1.0)], region, None));
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..100 {
@@ -301,12 +309,8 @@ mod tests {
 
     #[test]
     fn unbounded_value_dims_are_not_sampleable() {
-        let s = Subscription::identified(
-            SubId(1),
-            [(SensorId(1), ValueRange::unbounded())],
-            30,
-        )
-        .unwrap();
+        let s = Subscription::identified(SubId(1), [(SensorId(1), ValueRange::unbounded())], 30)
+            .unwrap();
         let shape = CoverShape::from_operator(&Operator::from_subscription(&s));
         assert!(!shape.is_sampleable());
         let mut rng = StdRng::seed_from_u64(7);
@@ -315,8 +319,7 @@ mod tests {
 
     #[test]
     fn all_region_with_finite_delta_l_not_sampleable() {
-        let shape =
-            CoverShape::from_operator(&abstr_op(&[(0, 0.0, 1.0)], Region::All, Some(5.0)));
+        let shape = CoverShape::from_operator(&abstr_op(&[(0, 0.0, 1.0)], Region::All, Some(5.0)));
         assert!(!shape.is_sampleable());
     }
 
@@ -337,7 +340,10 @@ mod tests {
                 rejected += 1;
             }
         }
-        assert!(rejected > 50, "most of the big region lies outside the small one");
+        assert!(
+            rejected > 50,
+            "most of the big region lies outside the small one"
+        );
     }
 
     #[test]
@@ -359,7 +365,10 @@ mod tests {
     #[test]
     fn wrong_arity_point_is_rejected() {
         let shape = CoverShape::from_operator(&ident_op(&[(1, 0.0, 10.0)]));
-        let p = SamplePoint { values: vec![1.0, 2.0], locations: vec![] };
+        let p = SamplePoint {
+            values: vec![1.0, 2.0],
+            locations: vec![],
+        };
         assert!(!shape.contains(&p));
     }
 }

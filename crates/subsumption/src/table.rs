@@ -38,7 +38,10 @@ impl OperatorTable {
         if self.by_key.contains_key(&key) {
             return false;
         }
-        self.by_sig.entry(op.signature()).or_default().push(key.clone());
+        self.by_sig
+            .entry(op.signature())
+            .or_default()
+            .push(key.clone());
         for d in op.dims() {
             self.by_dim.entry(d).or_default().insert(key.clone());
         }
@@ -96,7 +99,11 @@ impl OperatorTable {
     /// and/or its projections), by key order.
     #[must_use]
     pub fn keys_of_sub(&self, sub: fsf_model::SubId) -> Vec<OperatorKey> {
-        self.by_key.keys().filter(|k| k.sub == sub).cloned().collect()
+        self.by_key
+            .keys()
+            .filter(|k| k.sub == sub)
+            .cloned()
+            .collect()
     }
 
     /// Has this exact operator identity been stored?
@@ -137,7 +144,9 @@ mod tests {
     fn op(id: u64, sensors: &[u32]) -> Operator {
         let s = Subscription::identified(
             SubId(id),
-            sensors.iter().map(|&d| (SensorId(d), ValueRange::new(0.0, 10.0))),
+            sensors
+                .iter()
+                .map(|&d| (SensorId(d), ValueRange::new(0.0, 10.0))),
             30,
         )
         .unwrap();
@@ -162,7 +171,10 @@ mod tests {
         let mut t = OperatorTable::new();
         assert!(t.insert(op(1, &[1, 2])));
         assert!(!t.insert(op(1, &[1, 2])), "same (sub, dims) identity");
-        assert!(t.insert(op(1, &[1])), "same sub, different projection is new");
+        assert!(
+            t.insert(op(1, &[1])),
+            "same sub, different projection is new"
+        );
         assert_eq!(t.len(), 2);
     }
 
@@ -173,11 +185,15 @@ mod tests {
         t.insert(op(1, &[1, 2]));
         t.insert(op(2, &[2, 3]));
         t.insert(op(3, &[4]));
-        let d2: Vec<u64> =
-            t.ops_with_dim(&DimKey::Sensor(SensorId(2))).map(|o| o.sub().0).collect();
+        let d2: Vec<u64> = t
+            .ops_with_dim(&DimKey::Sensor(SensorId(2)))
+            .map(|o| o.sub().0)
+            .collect();
         assert_eq!(d2, vec![1, 2]);
-        let d4: Vec<u64> =
-            t.ops_with_dim(&DimKey::Sensor(SensorId(4))).map(|o| o.sub().0).collect();
+        let d4: Vec<u64> = t
+            .ops_with_dim(&DimKey::Sensor(SensorId(4)))
+            .map(|o| o.sub().0)
+            .collect();
         assert_eq!(d4, vec![3]);
         assert_eq!(t.ops_with_dim(&DimKey::Sensor(SensorId(9))).count(), 0);
     }
@@ -206,8 +222,10 @@ mod tests {
         assert!(t.remove(&o1.key()).is_none(), "second removal is a no-op");
         assert_eq!(t.len(), 1);
         assert_eq!(t.group(&o2.signature()).len(), 1);
-        let hits: Vec<u64> =
-            t.ops_with_dim(&DimKey::Sensor(SensorId(1))).map(|o| o.sub().0).collect();
+        let hits: Vec<u64> = t
+            .ops_with_dim(&DimKey::Sensor(SensorId(1)))
+            .map(|o| o.sub().0)
+            .collect();
         assert_eq!(hits, vec![2]);
         // removing the last member clears the signature group entirely
         t.remove(&o2.key());

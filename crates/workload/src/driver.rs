@@ -105,7 +105,11 @@ mod tests {
         let w = tiny_workload();
         let r = run_kind(&w, EngineKind::FilterSplitForward, 42);
         for p in &r.points {
-            assert!(p.recall <= 1.0 + 1e-12, "recall cannot exceed 1: {}", p.recall);
+            assert!(
+                p.recall <= 1.0 + 1e-12,
+                "recall cannot exceed 1: {}",
+                p.recall
+            );
             assert!(p.recall > 0.7, "recall collapsed: {}", p.recall);
         }
     }

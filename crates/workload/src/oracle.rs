@@ -30,8 +30,7 @@ pub fn expected_units_per_batch(w: &Workload) -> Vec<u64> {
         .collect();
     let per_batch = w.config.subs_per_batch;
     for (b, rounds) in w.event_batches.iter().enumerate() {
-        let events: Vec<&Event> =
-            rounds.iter().flatten().map(|(_, e)| e).collect();
+        let events: Vec<&Event> = rounds.iter().flatten().map(|(_, e)| e).collect();
         let active = ((b + 1) * per_batch).min(ops.len());
         for op in &ops[..active] {
             if let Some(m) = complex_match(&events, op) {
@@ -47,8 +46,11 @@ pub fn expected_units_per_batch(w: &Workload) -> Vec<u64> {
 /// and detailed reports.
 #[must_use]
 pub fn expected_units_for(w: &Workload, op: &Operator, batch: usize) -> u64 {
-    let events: Vec<&Event> =
-        w.event_batches[batch].iter().flatten().map(|(_, e)| e).collect();
+    let events: Vec<&Event> = w.event_batches[batch]
+        .iter()
+        .flatten()
+        .map(|(_, e)| e)
+        .collect();
     complex_match(&events, op).map_or(0, |m| m.participants.len() as u64)
 }
 

@@ -1,11 +1,9 @@
 //! Experiment measurement records — the data behind each figure.
 
-use serde::{Deserialize, Serialize};
-
 /// One measurement point, taken after a batch of subscriptions was injected
 /// and its events replayed (the paper measures "after every new batch of 100
 /// subscriptions"). All counters are cumulative, matching the paper's plots.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchPoint {
     /// Batch index (0-based).
     pub batch: usize,
@@ -26,7 +24,7 @@ pub struct BatchPoint {
 }
 
 /// A full experiment run: one engine over one scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentResult {
     /// Scenario name.
     pub scenario: String,
@@ -40,16 +38,16 @@ impl ExperimentResult {
     /// The last measurement point (end of the run).
     #[must_use]
     pub fn last(&self) -> &BatchPoint {
-        self.points.last().expect("experiment has at least one batch")
+        self.points
+            .last()
+            .expect("experiment has at least one batch")
     }
 
     /// Render as a tab-separated table (header + one row per batch), the
     /// format the `figures` binary prints.
     #[must_use]
     pub fn to_tsv(&self) -> String {
-        let mut s = String::from(
-            "subs\tsub_forwards\tevent_units\tdelivered\texpected\trecall\n",
-        );
+        let mut s = String::from("subs\tsub_forwards\tevent_units\tdelivered\texpected\trecall\n");
         for p in &self.points {
             s.push_str(&format!(
                 "{}\t{}\t{}\t{}\t{}\t{:.4}\n",
@@ -67,7 +65,10 @@ impl ExperimentResult {
     /// Minimum recall across all batches (headline number for Fig. 12).
     #[must_use]
     pub fn min_recall(&self) -> f64 {
-        self.points.iter().map(|p| p.recall).fold(f64::INFINITY, f64::min)
+        self.points
+            .iter()
+            .map(|p| p.recall)
+            .fold(f64::INFINITY, f64::min)
     }
 }
 

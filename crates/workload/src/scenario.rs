@@ -1,9 +1,7 @@
 //! The four experiment settings of the paper's evaluation (§VI-C…E).
 
-use serde::{Deserialize, Serialize};
-
 /// Which subscription flavour (paper §IV-A) a workload generates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SubStyle {
     /// Abstract subscriptions: attribute-type filters bounded to the target
     /// station's region — "it is more likely that users are interested in
@@ -21,7 +19,7 @@ pub enum SubStyle {
 /// The paper keeps `δt` (and `δl`) system-wide constants, injects
 /// subscriptions in batches of 100 and measures after every batch, replaying
 /// the sensor streams throughout.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
     /// Scenario name (used in reports).
     pub name: String,
@@ -223,7 +221,10 @@ mod tests {
     #[test]
     fn paper_settings_match_section_vi() {
         let small = ScenarioConfig::small_scale();
-        assert_eq!((small.total_nodes, small.total_sensors(), small.groups), (60, 50, 10));
+        assert_eq!(
+            (small.total_nodes, small.total_sensors(), small.groups),
+            (60, 50, 10)
+        );
         assert_eq!(small.batches * small.subs_per_batch, 1000);
         assert_eq!((small.min_attrs, small.max_attrs), (3, 5));
 
@@ -236,7 +237,10 @@ mod tests {
         assert_eq!((ln.total_nodes, ln.total_sensors()), (200, 50));
 
         let ls = ScenarioConfig::large_sources();
-        assert_eq!((ls.total_nodes, ls.total_sensors(), ls.groups), (200, 100, 20));
+        assert_eq!(
+            (ls.total_nodes, ls.total_sensors(), ls.groups),
+            (200, 100, 20)
+        );
 
         assert_eq!(ScenarioConfig::paper_settings().len(), 4);
     }
@@ -264,8 +268,8 @@ mod tests {
     }
 
     #[test]
-    fn configs_roundtrip_through_serde() {
-        // ScenarioConfig is serialized into experiment reports
+    fn config_debug_format_names_the_scenario() {
+        // ScenarioConfig appears in experiment-report headers via Debug
         let c = ScenarioConfig::small_scale();
         let s = format!("{c:?}");
         assert!(s.contains("small-scale"));

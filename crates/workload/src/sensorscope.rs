@@ -42,7 +42,12 @@ impl ValueProcess {
             a if a == attrs::WIND_SPEED => 4.0 + 4.0 * station_jitter,
             _ => 180.0 + 90.0 * (station_jitter - 0.5),
         };
-        ValueProcess { attr, rng: StdRng::seed_from_u64(seed), base, state: 0.0 }
+        ValueProcess {
+            attr,
+            rng: StdRng::seed_from_u64(seed),
+            base,
+            state: 0.0,
+        }
     }
 
     /// The next reading at time `t` (seconds).
@@ -96,7 +101,11 @@ pub fn empirical_quantile(samples: &[f64], q: f64) -> f64 {
     v.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
     if q == 0.5 {
         let mid = v.len() / 2;
-        return if v.len() % 2 == 1 { v[mid] } else { (v[mid - 1] + v[mid]) / 2.0 };
+        return if v.len() % 2 == 1 {
+            v[mid]
+        } else {
+            (v[mid - 1] + v[mid]) / 2.0
+        };
     }
     let idx = ((v.len() - 1) as f64 * q).round() as usize;
     v[idx]
@@ -176,12 +185,19 @@ mod tests {
         let a = ValueProcess::new(attrs::AMBIENT_TEMP, 1, 0.0);
         let b = ValueProcess::new(attrs::AMBIENT_TEMP, 1, 1.0);
         let ma = empirical_median(
-            &(0..500).scan(a, |p, i| Some(p.sample(i * 120))).collect::<Vec<_>>(),
+            &(0..500)
+                .scan(a, |p, i| Some(p.sample(i * 120)))
+                .collect::<Vec<_>>(),
         );
         let mb = empirical_median(
-            &(0..500).scan(b, |p, i| Some(p.sample(i * 120))).collect::<Vec<_>>(),
+            &(0..500)
+                .scan(b, |p, i| Some(p.sample(i * 120)))
+                .collect::<Vec<_>>(),
         );
-        assert!((ma - mb).abs() > 1.0, "station offset invisible: {ma} vs {mb}");
+        assert!(
+            (ma - mb).abs() > 1.0,
+            "station offset invisible: {ma} vs {mb}"
+        );
     }
 
     #[test]
@@ -189,7 +205,11 @@ mod tests {
         assert_eq!(empirical_median(&[3.0]), 3.0);
         assert_eq!(empirical_median(&[1.0, 2.0, 3.0]), 2.0);
         assert_eq!(empirical_median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
-        assert_eq!(empirical_median(&[4.0, 1.0, 3.0, 2.0]), 2.5, "unsorted input");
+        assert_eq!(
+            empirical_median(&[4.0, 1.0, 3.0, 2.0]),
+            2.5,
+            "unsorted input"
+        );
     }
 
     #[test]
@@ -198,7 +218,10 @@ mod tests {
         assert_eq!(empirical_quantile(&v, 0.0), 1.0);
         assert_eq!(empirical_quantile(&v, 1.0), 100.0);
         let iqr = empirical_iqr(&v);
-        assert!((45.0..=55.0).contains(&iqr), "iqr of uniform 1..100 ≈ 50, got {iqr}");
+        assert!(
+            (45.0..=55.0).contains(&iqr),
+            "iqr of uniform 1..100 ≈ 50, got {iqr}"
+        );
         // degenerate stream falls back to a usable scale
         assert_eq!(empirical_iqr(&[5.0, 5.0, 5.0]), 1.0);
     }

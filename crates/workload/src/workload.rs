@@ -40,7 +40,11 @@ impl SensorSpec {
     /// The advertisement this sensor floods on startup.
     #[must_use]
     pub fn advertisement(&self) -> Advertisement {
-        Advertisement { sensor: self.sensor, attr: self.attr, location: self.location }
+        Advertisement {
+            sensor: self.sensor,
+            attr: self.attr,
+            location: self.location,
+        }
     }
 }
 
@@ -147,9 +151,14 @@ impl Workload {
             }
             event_batches.push(rounds);
         }
-        let medians: Vec<f64> =
-            samples_per_sensor.iter().map(|s| empirical_median(s)).collect();
-        let iqrs: Vec<f64> = samples_per_sensor.iter().map(|s| empirical_iqr(s)).collect();
+        let medians: Vec<f64> = samples_per_sensor
+            .iter()
+            .map(|s| empirical_median(s))
+            .collect();
+        let iqrs: Vec<f64> = samples_per_sensor
+            .iter()
+            .map(|s| empirical_iqr(s))
+            .collect();
 
         // --- subscriptions: median-centred Pareto ranges, groups targeted
         //     evenly, attribute subsets drawn per subscription ---
@@ -189,16 +198,18 @@ impl Workload {
                     // medium-selective.
                     let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
                     let center_offset = sign
-                        * pareto_clamped(
-                            &mut rng,
-                            config.offset_iqr_scale * iqr,
-                            1.0,
-                            2.0 * iqr,
-                        );
-                    let center = median + center_offset;
-                    let half_width = config.width_iqr_scale * iqr * rng.gen_range(0.5..1.5);
-                    let lo = (center - half_width).clamp(dom.min(), dom.max());
-                    let hi = (center + half_width).clamp(dom.min(), dom.max());
+                        * pareto_clamped(&mut rng, config.offset_iqr_scale * iqr, 1.0, 2.0 * iqr);
+                    let half_width = (config.width_iqr_scale * iqr * rng.gen_range(0.5..1.5))
+                        .min(dom.width() / 2.0);
+                    // Clamp the *center* into the domain (not the endpoints:
+                    // that would collapse edge-straddling ranges to width 0).
+                    // The edges can cross by one ulp when dom.width() is not
+                    // exactly representable, so order them explicitly.
+                    let lo_edge = dom.min() + half_width;
+                    let hi_edge = (dom.max() - half_width).max(lo_edge);
+                    let center = (median + center_offset).clamp(lo_edge, hi_edge);
+                    let lo = (center - half_width).max(dom.min());
+                    let hi = (center + half_width).min(dom.max());
                     filters.push((attr, ValueRange::new(lo, hi)));
                 }
                 let user = user_nodes[rng.gen_range(0..user_nodes.len())];
@@ -309,8 +320,12 @@ mod tests {
     fn each_group_has_one_sensor_per_attr() {
         let w = Workload::generate(&ScenarioConfig::tiny());
         for g in 0..w.config.groups {
-            let mut attrs_seen: Vec<AttrId> =
-                w.sensors.iter().filter(|s| s.group == g).map(|s| s.attr).collect();
+            let mut attrs_seen: Vec<AttrId> = w
+                .sensors
+                .iter()
+                .filter(|s| s.group == g)
+                .map(|s| s.attr)
+                .collect();
             attrs_seen.sort();
             attrs_seen.dedup();
             assert_eq!(attrs_seen.len(), w.config.sensors_per_group);
@@ -333,7 +348,9 @@ mod tests {
             per_group[g] += 1;
             // answerable: every attr of the sub exists in the target group
             for d in sub.dims() {
-                let fsf_model::DimKey::Attr(a) = d else { panic!("abstract subs") };
+                let fsf_model::DimKey::Attr(a) = d else {
+                    panic!("abstract subs")
+                };
                 assert!(w
                     .sensors
                     .iter()
@@ -368,8 +385,22 @@ mod tests {
     #[test]
     fn batches_are_separated_beyond_any_window() {
         let w = Workload::generate(&ScenarioConfig::tiny());
-        let end_b0 = w.event_batches[0].last().unwrap().last().unwrap().1.timestamp.0;
-        let start_b1 = w.event_batches[1].first().unwrap().first().unwrap().1.timestamp.0;
+        let end_b0 = w.event_batches[0]
+            .last()
+            .unwrap()
+            .last()
+            .unwrap()
+            .1
+            .timestamp
+            .0;
+        let start_b1 = w.event_batches[1]
+            .first()
+            .unwrap()
+            .first()
+            .unwrap()
+            .1
+            .timestamp
+            .0;
         assert!(start_b1 - end_b0 > 100 * w.config.delta_t);
     }
 
@@ -379,7 +410,9 @@ mod tests {
         let catalog = AttrCatalog::sensorscope();
         for (_, sub) in w.sub_batches.iter().flatten() {
             for p in sub.predicates() {
-                let fsf_model::DimKey::Attr(a) = p.key else { panic!() };
+                let fsf_model::DimKey::Attr(a) = p.key else {
+                    panic!()
+                };
                 let dom = catalog.get(a).unwrap().domain;
                 assert!(dom.contains(p.range.min()));
                 assert!(dom.contains(p.range.max()));
@@ -400,7 +433,9 @@ mod tests {
             let mut groups: Vec<usize> = sub
                 .dims()
                 .map(|d| {
-                    let fsf_model::DimKey::Sensor(id) = d else { panic!("identified") };
+                    let fsf_model::DimKey::Sensor(id) = d else {
+                        panic!("identified")
+                    };
                     w.group_of(id)
                 })
                 .collect();

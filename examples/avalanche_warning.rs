@@ -18,7 +18,17 @@ fn main() {
     //
     //   ridge sensors (0,1,2) — ridge gateway (6) — relay (8) — control (9)
     //   forecourt sensors (3,4,5) — forecourt gateway (7) — relay (8)
-    let edges = [(0, 6), (1, 6), (2, 6), (3, 7), (4, 7), (5, 7), (6, 8), (7, 8), (8, 9)];
+    let edges = [
+        (0, 6),
+        (1, 6),
+        (2, 6),
+        (3, 7),
+        (4, 7),
+        (5, 7),
+        (6, 8),
+        (7, 8),
+        (8, 9),
+    ];
     let topology = Topology::from_edges(10, &edges).unwrap();
     let config = PubSubConfig::fsf(120, 99);
     let mut sim = Simulator::new(topology, |id, _| PubSubNode::new(id, config));
@@ -53,12 +63,19 @@ fn main() {
     )
     .unwrap();
     sim.inject_and_run(NodeId(9), PubSubMsg::Subscribe(warning));
-    println!("warning subscription installed ({} operator forwards)\n", sim.stats.sub_forwards);
+    println!(
+        "warning subscription installed ({} operator forwards)\n",
+        sim.stats.sub_forwards
+    );
 
     // A day of readings, one sample per sensor per tick.
     let mut next_id = 100u64;
     let mut publish = |sim: &mut Simulator<PubSubNode>, sensor: u32, v: f64, t: u64| {
-        let (center, idx) = if sensor < 3 { (ridge, sensor) } else { (forecourt, sensor - 3) };
+        let (center, idx) = if sensor < 3 {
+            (ridge, sensor)
+        } else {
+            (forecourt, sensor - 3)
+        };
         let event = Event {
             id: EventId(next_id),
             sensor: SensorId(sensor),

@@ -12,8 +12,7 @@ use fsf::prelude::*;
 
 fn main() {
     // Topology of Fig. 3 — ids: 0=n6(user) 1=n5 2=n4 3=n1(a) 4=n2(b) 5=n3(c)
-    let topology =
-        Topology::from_edges(6, &[(0, 1), (1, 2), (2, 3), (2, 4), (1, 5)]).unwrap();
+    let topology = Topology::from_edges(6, &[(0, 1), (1, 2), (2, 3), (2, 4), (1, 5)]).unwrap();
     let config = PubSubConfig::fsf(60, 7);
     let mut sim = Simulator::new(topology, |id, _| PubSubNode::new(id, config));
 
@@ -36,19 +35,28 @@ fn main() {
 
     // Table I subscriptions, all registered at the user node n6.
     let subs: [(&str, Vec<(SensorId, ValueRange)>); 3] = [
-        ("s1 = 50<a<80 ∧ 10<b<30", vec![
-            (SensorId(1), ValueRange::new(50.0, 80.0)),
-            (SensorId(2), ValueRange::new(10.0, 30.0)),
-        ]),
-        ("s2 = 20<b<40 ∧ 2<c<20", vec![
-            (SensorId(2), ValueRange::new(20.0, 40.0)),
-            (SensorId(3), ValueRange::new(2.0, 20.0)),
-        ]),
-        ("s3 = 55<a<75 ∧ 15<b<35 ∧ 5<c<15", vec![
-            (SensorId(1), ValueRange::new(55.0, 75.0)),
-            (SensorId(2), ValueRange::new(15.0, 35.0)),
-            (SensorId(3), ValueRange::new(5.0, 15.0)),
-        ]),
+        (
+            "s1 = 50<a<80 ∧ 10<b<30",
+            vec![
+                (SensorId(1), ValueRange::new(50.0, 80.0)),
+                (SensorId(2), ValueRange::new(10.0, 30.0)),
+            ],
+        ),
+        (
+            "s2 = 20<b<40 ∧ 2<c<20",
+            vec![
+                (SensorId(2), ValueRange::new(20.0, 40.0)),
+                (SensorId(3), ValueRange::new(2.0, 20.0)),
+            ],
+        ),
+        (
+            "s3 = 55<a<75 ∧ 15<b<35 ∧ 5<c<15",
+            vec![
+                (SensorId(1), ValueRange::new(55.0, 75.0)),
+                (SensorId(2), ValueRange::new(15.0, 35.0)),
+                (SensorId(3), ValueRange::new(5.0, 15.0)),
+            ],
+        ),
     ];
     for (i, (desc, filters)) in subs.into_iter().enumerate() {
         let before = sim.stats.sub_forwards;

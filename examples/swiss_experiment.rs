@@ -60,8 +60,16 @@ fn main() {
         println!();
     }
 
-    let fsf = &results.iter().find(|(k, _)| *k == EngineKind::FilterSplitForward).unwrap().1;
-    let mj = &results.iter().find(|(k, _)| *k == EngineKind::MultiJoin).unwrap().1;
+    let fsf = &results
+        .iter()
+        .find(|(k, _)| *k == EngineKind::FilterSplitForward)
+        .unwrap()
+        .1;
+    let mj = &results
+        .iter()
+        .find(|(k, _)| *k == EngineKind::MultiJoin)
+        .unwrap()
+        .1;
     let saved = 100.0 * (1.0 - fsf.last().event_units as f64 / mj.last().event_units as f64);
     println!(
         "\nFilter-Split-Forward carries {saved:.1}% less event traffic than the \

@@ -79,8 +79,7 @@ pub use fsf_workload as workload;
 /// The most frequently used types, for glob import.
 pub mod prelude {
     pub use fsf_core::{
-        DedupMode, FilterPolicy, PubSubConfig, PubSubMsg, PubSubNode, RankPolicy,
-        SetFilterConfig,
+        DedupMode, FilterPolicy, PubSubConfig, PubSubMsg, PubSubNode, RankPolicy, SetFilterConfig,
     };
     pub use fsf_engines::{Engine, EngineKind};
     pub use fsf_model::{

@@ -102,9 +102,12 @@ fn paper_traffic_ordering_holds_on_the_tiny_setting() {
 #[test]
 fn recall_bands_match_the_paper() {
     let w = workload();
-    for k in [EngineKind::Centralized, EngineKind::Naive, EngineKind::OperatorPlacement,
-        EngineKind::MultiJoin]
-    {
+    for k in [
+        EngineKind::Centralized,
+        EngineKind::Naive,
+        EngineKind::OperatorPlacement,
+        EngineKind::MultiJoin,
+    ] {
         let r = run_kind(&w, k, 42);
         assert!(
             (r.min_recall() - 1.0).abs() < 1e-12,
@@ -113,7 +116,11 @@ fn recall_bands_match_the_paper() {
         );
     }
     let fsf_r = run_kind(&w, EngineKind::FilterSplitForward, 42);
-    assert!(fsf_r.min_recall() > 0.80, "FSF recall collapsed: {}", fsf_r.min_recall());
+    assert!(
+        fsf_r.min_recall() > 0.80,
+        "FSF recall collapsed: {}",
+        fsf_r.min_recall()
+    );
     assert!(fsf_r.min_recall() <= 1.0 + 1e-12);
 }
 

@@ -38,7 +38,11 @@ fn fsf_traffic_ordering_holds_for_identified_subs() {
     let fsf = run_kind(&w, EngineKind::FilterSplitForward, 42);
     assert!(fsf.last().sub_forwards <= naive.last().sub_forwards);
     assert!(fsf.last().event_units <= naive.last().event_units);
-    assert!(fsf.min_recall() > 0.8, "recall collapsed: {}", fsf.min_recall());
+    assert!(
+        fsf.min_recall() > 0.8,
+        "recall collapsed: {}",
+        fsf.min_recall()
+    );
 }
 
 #[test]
@@ -49,5 +53,8 @@ fn identified_and_abstract_deliver_the_same_ground_truth_volume() {
     let w_ab = Workload::generate(&ScenarioConfig::tiny());
     let exp_id = fsf::workload::oracle::expected_units_per_batch(&w_id);
     let exp_ab = fsf::workload::oracle::expected_units_per_batch(&w_ab);
-    assert_eq!(exp_id, exp_ab, "the two flavours describe the same interest");
+    assert_eq!(
+        exp_id, exp_ab,
+        "the two flavours describe the same interest"
+    );
 }

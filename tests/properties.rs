@@ -1,119 +1,132 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these run each property over many seeded-random cases drawn from the
+//! vendored [`rand`] shim — fully deterministic, one distinct seed per case.
 
 use fsf::model::{
-    complex_match, AttrId, Event, EventId, Operator, Point, SensorId, SubId,
-    Subscription, Timestamp, ValueRange,
+    complex_match, AttrId, Event, EventId, Operator, Point, SensorId, SubId, Subscription,
+    Timestamp, ValueRange,
 };
 use fsf::network::{builders, NodeId, Topology};
 use fsf::subsumption::exact::{is_covered as exact_cover, HyperBox};
 use fsf::subsumption::monte_carlo;
 use fsf::subsumption::pairwise;
 use fsf::subsumption::CoverShape;
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 // ---------- generators ----------
 
-fn range_strategy() -> impl Strategy<Value = ValueRange> {
-    (-100.0f64..100.0, 0.0f64..80.0)
-        .prop_map(|(lo, w)| ValueRange::new(lo, lo + w))
+fn gen_range(rng: &mut StdRng) -> ValueRange {
+    let lo = rng.gen_range(-100.0..100.0);
+    let w = rng.gen_range(0.0..80.0);
+    ValueRange::new(lo, lo + w)
 }
 
-fn op_strategy(max_arity: usize) -> impl Strategy<Value = Operator> {
-    let arity = 1..=max_arity;
-    arity.prop_flat_map(|k| {
-        proptest::collection::vec(range_strategy(), k).prop_map(move |ranges| {
-            let filters: Vec<(SensorId, ValueRange)> = ranges
-                .into_iter()
-                .enumerate()
-                .map(|(i, r)| (SensorId(i as u32), r))
-                .collect();
-            Operator::from_subscription(
-                &Subscription::identified(SubId(1), filters, 30).unwrap(),
-            )
-        })
-    })
+fn gen_op(rng: &mut StdRng, max_arity: usize) -> Operator {
+    let arity = rng.gen_range(1..=max_arity);
+    let filters: Vec<(SensorId, ValueRange)> = (0..arity)
+        .map(|i| (SensorId(i as u32), gen_range(rng)))
+        .collect();
+    Operator::from_subscription(&Subscription::identified(SubId(1), filters, 30).unwrap())
 }
 
-fn events_strategy(n: usize, sensors: u32) -> impl Strategy<Value = Vec<Event>> {
-    proptest::collection::vec(
-        (0..sensors, -100.0f64..100.0, 0u64..300),
-        1..=n,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (sensor, value, t))| Event {
+fn gen_events(rng: &mut StdRng, n: usize, sensors: u32) -> Vec<Event> {
+    let count = rng.gen_range(1..=n);
+    (0..count)
+        .map(|i| {
+            let sensor = rng.gen_range(0..sensors);
+            Event {
                 id: EventId(i as u64),
                 sensor: SensorId(sensor),
                 attr: AttrId(sensor as u16),
                 location: Point::new(0.0, 0.0),
-                value,
-                timestamp: Timestamp(1_000 + t),
-            })
-            .collect()
-    })
+                value: rng.gen_range(-100.0..100.0),
+                timestamp: Timestamp(1_000 + rng.gen_range(0u64..300)),
+            }
+        })
+        .collect()
+}
+
+/// Run `body` once per case, each with its own deterministic generator.
+/// `salt` decorrelates tests that share a generator-call prefix.
+fn cases(salt: u64, n: u64, mut body: impl FnMut(&mut StdRng)) {
+    for case in 0..n {
+        let mut rng = StdRng::seed_from_u64(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case);
+        body(&mut rng);
+    }
 }
 
 // ---------- value ranges ----------
 
-proptest! {
-    #[test]
-    fn range_contains_its_endpoints_and_center(r in range_strategy()) {
-        prop_assert!(r.contains(r.min()));
-        prop_assert!(r.contains(r.max()));
-        prop_assert!(r.contains(r.center()));
-    }
+#[test]
+fn range_contains_its_endpoints_and_center() {
+    cases(0, 256, |rng| {
+        let r = gen_range(rng);
+        assert!(r.contains(r.min()));
+        assert!(r.contains(r.max()));
+        assert!(r.contains(r.center()));
+    });
+}
 
-    #[test]
-    fn range_intersection_is_commutative_and_contained(a in range_strategy(), b in range_strategy()) {
+#[test]
+fn range_intersection_is_commutative_and_contained() {
+    cases(1, 256, |rng| {
+        let a = gen_range(rng);
+        let b = gen_range(rng);
         let ab = a.intersection(&b);
         let ba = b.intersection(&a);
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba);
         if let Some(i) = ab {
-            prop_assert!(a.contains_range(&i));
-            prop_assert!(b.contains_range(&i));
+            assert!(a.contains_range(&i));
+            assert!(b.contains_range(&i));
         } else {
-            prop_assert!(!a.intersects(&b));
+            assert!(!a.intersects(&b));
         }
-    }
+    });
+}
 
-    #[test]
-    fn containment_is_transitive(a in range_strategy(), b in range_strategy(), c in range_strategy()) {
+#[test]
+fn containment_is_transitive() {
+    cases(2, 256, |rng| {
+        let a = gen_range(rng);
+        let b = gen_range(rng);
+        let c = gen_range(rng);
         if a.contains_range(&b) && b.contains_range(&c) {
-            prop_assert!(a.contains_range(&c));
+            assert!(a.contains_range(&c));
         }
-    }
+    });
 }
 
 // ---------- matching ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Every participant returned by complex_match satisfies the operator's
-    /// value filter for its dimension.
-    #[test]
-    fn participants_always_match_their_filter(
-        op in op_strategy(3),
-        events in events_strategy(24, 3),
-    ) {
+/// Every participant returned by complex_match satisfies the operator's
+/// value filter for its dimension.
+#[test]
+fn participants_always_match_their_filter() {
+    cases(3, 128, |rng| {
+        let op = gen_op(rng, 3);
+        let events = gen_events(rng, 24, 3);
         let refs: Vec<&Event> = events.iter().collect();
         if let Some(m) = complex_match(&refs, &op) {
             for &i in &m.participants {
-                prop_assert!(op.matches_simple(refs[i]), "participant {i} fails the filter");
+                assert!(
+                    op.matches_simple(refs[i]),
+                    "participant {i} fails the filter"
+                );
             }
         }
-    }
+    });
+}
 
-    /// Adding more events never removes participants (monotonicity).
-    #[test]
-    fn matching_is_monotone_in_the_event_set(
-        op in op_strategy(3),
-        events in events_strategy(20, 3),
-        extra in events_strategy(6, 3),
-    ) {
+/// Adding more events never removes participants (monotonicity).
+#[test]
+fn matching_is_monotone_in_the_event_set() {
+    cases(4, 128, |rng| {
+        let op = gen_op(rng, 3);
+        let events = gen_events(rng, 20, 3);
+        let extra = gen_events(rng, 6, 3);
         let refs: Vec<&Event> = events.iter().collect();
         let before: Vec<EventId> = complex_match(&refs, &op)
             .map(|m| m.participants.iter().map(|&i| refs[i].id).collect())
@@ -122,7 +135,10 @@ proptest! {
         let extra: Vec<Event> = extra
             .into_iter()
             .enumerate()
-            .map(|(i, mut e)| { e.id = EventId(1_000 + i as u64); e })
+            .map(|(i, mut e)| {
+                e.id = EventId(1_000 + i as u64);
+                e
+            })
             .collect();
         let mut all = events.clone();
         all.extend(extra);
@@ -131,18 +147,19 @@ proptest! {
             .map(|m| m.participants.iter().map(|&i| all_refs[i].id).collect())
             .unwrap_or_default();
         for id in before {
-            prop_assert!(after.contains(&id), "participant {id:?} vanished");
+            assert!(after.contains(&id), "participant {id:?} vanished");
         }
-    }
+    });
+}
 
-    /// Participants of any match lie within strict δt of some co-participant
-    /// set covering all dimensions (weak window check: participant events
-    /// must have a complete dimension cover within ±δt).
-    #[test]
-    fn participants_have_complete_windows(
-        op in op_strategy(3),
-        events in events_strategy(24, 3),
-    ) {
+/// Participants of any match lie within strict δt of some co-participant
+/// set covering all dimensions (weak window check: participant events
+/// must have a complete dimension cover within ±δt).
+#[test]
+fn participants_have_complete_windows() {
+    cases(5, 128, |rng| {
+        let op = gen_op(rng, 3);
+        let events = gen_events(rng, 24, 3);
         let refs: Vec<&Event> = events.iter().collect();
         if let Some(m) = complex_match(&refs, &op) {
             let dims: Vec<_> = op.dims().collect();
@@ -155,173 +172,182 @@ proptest! {
                                 .predicate_for(d)
                                 .is_some_and(|p| p.matches(e, op.region()))
                     });
-                    prop_assert!(found, "no {d} partner within δt of participant {i}");
+                    assert!(found, "no {d} partner within δt of participant {i}");
                 }
             }
         }
-    }
+    });
 }
 
 // ---------- subsumption ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Pairwise coverage implies exact box cover implies Monte-Carlo cover.
-    #[test]
-    fn coverage_checkers_form_a_hierarchy(
-        target in op_strategy(2),
-        wide in op_strategy(2),
-    ) {
+/// Pairwise coverage implies exact box cover implies Monte-Carlo cover.
+#[test]
+fn coverage_checkers_form_a_hierarchy() {
+    cases(6, 96, |rng| {
+        let target = gen_op(rng, 2);
+        let wide = gen_op(rng, 2);
         if wide.signature() != target.signature() {
-            return Ok(());
+            return;
         }
         let pw = pairwise::covers(&wide, &target);
         let tb = HyperBox::from_operator(&target).unwrap();
         let wb = HyperBox::from_operator(&wide).unwrap();
         let exact = exact_cover(&tb, std::slice::from_ref(&wb)).unwrap();
-        prop_assert!(!pw || exact, "pairwise cover not confirmed by exact checker");
+        assert!(
+            !pw || exact,
+            "pairwise cover not confirmed by exact checker"
+        );
         if exact {
             let ts = CoverShape::from_operator(&target);
             let ws = CoverShape::from_operator(&wide);
-            let mut rng = StdRng::seed_from_u64(7);
-            prop_assert!(
-                monte_carlo::is_covered(&ts, &[ws], 200, &mut rng),
+            let mut mc_rng = StdRng::seed_from_u64(7);
+            assert!(
+                monte_carlo::is_covered(&ts, &[ws], 200, &mut mc_rng),
                 "MC denied a true single cover"
             );
         }
-    }
+    });
+}
 
-    /// The exact checker agrees with random point sampling: if covered, no
-    /// sampled point of the target escapes the union.
-    #[test]
-    fn exact_cover_means_no_escaping_points(
-        target in op_strategy(2),
-        members in proptest::collection::vec(op_strategy(2), 1..4),
-    ) {
-        let same_sig: Vec<&Operator> =
-            members.iter().filter(|m| m.signature() == target.signature()).collect();
+/// The exact checker agrees with random point sampling: if covered, no
+/// sampled point of the target escapes the union.
+#[test]
+fn exact_cover_means_no_escaping_points() {
+    cases(7, 96, |rng| {
+        let target = gen_op(rng, 2);
+        let members: Vec<Operator> = (0..rng.gen_range(1..4)).map(|_| gen_op(rng, 2)).collect();
+        let same_sig: Vec<&Operator> = members
+            .iter()
+            .filter(|m| m.signature() == target.signature())
+            .collect();
         if same_sig.is_empty() {
-            return Ok(());
+            return;
         }
         let tb = HyperBox::from_operator(&target).unwrap();
-        let mb: Vec<HyperBox> =
-            same_sig.iter().map(|m| HyperBox::from_operator(m).unwrap()).collect();
+        let mb: Vec<HyperBox> = same_sig
+            .iter()
+            .map(|m| HyperBox::from_operator(m).unwrap())
+            .collect();
         if exact_cover(&tb, &mb).unwrap() {
             let ts = CoverShape::from_operator(&target);
-            let shapes: Vec<CoverShape> =
-                same_sig.iter().map(|m| CoverShape::from_operator(m)).collect();
-            let mut rng = StdRng::seed_from_u64(11);
+            let shapes: Vec<CoverShape> = same_sig
+                .iter()
+                .map(|m| CoverShape::from_operator(m))
+                .collect();
+            let mut mc_rng = StdRng::seed_from_u64(11);
             for _ in 0..200 {
-                let p = ts.sample(&mut rng).unwrap();
-                prop_assert!(
+                let p = ts.sample(&mut mc_rng).unwrap();
+                assert!(
                     shapes.iter().any(|s| s.contains(&p)),
                     "sampled point escaped a supposedly-covered target"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Coverage is preserved by projection: if wide covers narrow on the
-    /// full signature, each shared projection also covers.
-    #[test]
-    fn coverage_survives_projection(
-        narrow in op_strategy(3),
-        grow in 0.0f64..20.0,
-    ) {
+/// Coverage is preserved by projection: if wide covers narrow on the
+/// full signature, each shared projection also covers.
+#[test]
+fn coverage_survives_projection() {
+    cases(8, 96, |rng| {
+        let narrow = gen_op(rng, 3);
+        let grow = rng.gen_range(0.0..20.0);
         // build a genuinely covering wide operator
         let filters: Vec<(SensorId, ValueRange)> = narrow
             .predicates()
             .iter()
             .map(|p| {
-                let fsf::model::DimKey::Sensor(d) = p.key else { unreachable!() };
-                (d, ValueRange::new(p.range.min() - grow, p.range.max() + grow))
+                let fsf::model::DimKey::Sensor(d) = p.key else {
+                    unreachable!()
+                };
+                (
+                    d,
+                    ValueRange::new(p.range.min() - grow, p.range.max() + grow),
+                )
             })
             .collect();
-        let wide = Operator::from_subscription(
-            &Subscription::identified(SubId(2), filters, 30).unwrap(),
-        );
-        prop_assert!(pairwise::covers(&wide, &narrow));
+        let wide =
+            Operator::from_subscription(&Subscription::identified(SubId(2), filters, 30).unwrap());
+        assert!(pairwise::covers(&wide, &narrow));
         let dims: Vec<_> = narrow.dims().collect();
         for keep_n in 1..=dims.len() {
             let keep: std::collections::BTreeSet<_> = dims.iter().take(keep_n).copied().collect();
             let (pw, pn) = (wide.project(&keep).unwrap(), narrow.project(&keep).unwrap());
-            prop_assert!(pairwise::covers(&pw, &pn), "projection broke coverage");
+            assert!(pairwise::covers(&pw, &pn), "projection broke coverage");
         }
-    }
+    });
 }
 
 // ---------- topology ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_tree_paths_are_valid_and_symmetric(
-        n in 2usize..60,
-        seed in 0u64..1_000,
-        a_raw in 0u32..60,
-        b_raw in 0u32..60,
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let t = builders::random_tree(n, &mut rng);
+#[test]
+fn random_tree_paths_are_valid_and_symmetric() {
+    cases(9, 64, |rng| {
+        let n = rng.gen_range(2usize..60);
+        let a_raw = rng.gen_range(0u32..60);
+        let b_raw = rng.gen_range(0u32..60);
+        let t = builders::random_tree(n, rng);
         let a = NodeId(a_raw % n as u32);
         let b = NodeId(b_raw % n as u32);
         let path = t.path(a, b);
-        prop_assert_eq!(*path.first().unwrap(), a);
-        prop_assert_eq!(*path.last().unwrap(), b);
+        assert_eq!(*path.first().unwrap(), a);
+        assert_eq!(*path.last().unwrap(), b);
         for w in path.windows(2) {
-            prop_assert!(t.neighbors(w[0]).contains(&w[1]), "path uses a non-edge");
+            assert!(t.neighbors(w[0]).contains(&w[1]), "path uses a non-edge");
         }
-        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+        assert_eq!(t.distance(a, b), t.distance(b, a));
         // unique nodes on a tree path
         let mut dedup = path.clone();
         dedup.sort();
         dedup.dedup();
-        prop_assert_eq!(dedup.len(), path.len());
-    }
+        assert_eq!(dedup.len(), path.len());
+    });
+}
 
-    #[test]
-    fn median_minimises_total_distance(n in 2usize..40, seed in 0u64..500) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let t = builders::random_tree(n, &mut rng);
+#[test]
+fn median_minimises_total_distance() {
+    cases(10, 64, |rng| {
+        let n = rng.gen_range(2usize..40);
+        let t = builders::random_tree(n, rng);
         let median = t.median();
         let cost = |v: NodeId| t.distances_from(v).iter().sum::<usize>();
         let best = cost(median);
         for v in t.nodes() {
-            prop_assert!(best <= cost(v), "median {median} beaten by {v}");
+            assert!(best <= cost(v), "median {median} beaten by {v}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn parents_toward_root_shorten_distance(n in 2usize..40, seed in 0u64..500, root_raw in 0u32..40) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let t = builders::random_tree(n, &mut rng);
+#[test]
+fn parents_toward_root_shorten_distance() {
+    cases(11, 64, |rng| {
+        let n = rng.gen_range(2usize..40);
+        let root_raw = rng.gen_range(0u32..40);
+        let t = builders::random_tree(n, rng);
         let root = NodeId(root_raw % n as u32);
         let parents = t.parents_toward(root);
         for v in t.nodes() {
             if v == root {
-                prop_assert_eq!(parents[v.0 as usize], None);
+                assert_eq!(parents[v.0 as usize], None);
             } else {
                 let p = parents[v.0 as usize].unwrap();
-                prop_assert_eq!(t.distance(p, root) + 1, t.distance(v, root));
+                assert_eq!(t.distance(p, root) + 1, t.distance(v, root));
             }
         }
-    }
+    });
 }
 
 // ---------- event store ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn event_store_window_equals_brute_force(
-        events in events_strategy(40, 5),
-        lo in 900u64..1400,
-        width in 0u64..200,
-    ) {
+#[test]
+fn event_store_window_equals_brute_force() {
+    cases(12, 64, |rng| {
         use fsf::core::events::EventStore;
+        let events = gen_events(rng, 40, 5);
+        let lo = rng.gen_range(900u64..1400);
+        let width = rng.gen_range(0u64..200);
         let mut store = EventStore::new(1 << 30);
         let mut inserted: Vec<Event> = Vec::new();
         for e in &events {
@@ -330,8 +356,11 @@ proptest! {
             }
         }
         let hi = lo + width;
-        let got: Vec<EventId> =
-            store.window(Timestamp(lo), Timestamp(hi)).iter().map(|e| e.id).collect();
+        let got: Vec<EventId> = store
+            .window(Timestamp(lo), Timestamp(hi))
+            .iter()
+            .map(|e| e.id)
+            .collect();
         let mut want: Vec<EventId> = inserted
             .iter()
             .filter(|e| e.timestamp.0 >= lo && e.timestamp.0 <= hi)
@@ -341,14 +370,17 @@ proptest! {
             let e = inserted.iter().find(|e| e.id == *id).unwrap();
             (e.timestamp, e.id)
         });
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    #[test]
-    fn event_store_expiry_keeps_only_the_validity_horizon(
-        times in proptest::collection::vec(0u64..10_000, 1..50),
-    ) {
+#[test]
+fn event_store_expiry_keeps_only_the_validity_horizon() {
+    cases(13, 64, |rng| {
         use fsf::core::events::EventStore;
+        let times: Vec<u64> = (0..rng.gen_range(1..50))
+            .map(|_| rng.gen_range(0u64..10_000))
+            .collect();
         let mut store = EventStore::new(100);
         let mut max_seen = 0u64;
         for (i, t) in times.iter().enumerate() {
@@ -364,9 +396,9 @@ proptest! {
         }
         let cutoff = max_seen.saturating_sub(100);
         for e in store.window(Timestamp(0), Timestamp(u64::MAX)) {
-            prop_assert!(e.timestamp.0 >= cutoff, "expired event survived");
+            assert!(e.timestamp.0 >= cutoff, "expired event survived");
         }
-    }
+    });
 }
 
 // ---------- workload determinism ----------

@@ -31,8 +31,12 @@ fn event(id: u64, sensor: u32, v: f64, t: u64) -> Event {
 }
 
 fn simple_sub(id: u64, sensor: u32) -> Subscription {
-    Subscription::identified(SubId(id), [(SensorId(sensor), ValueRange::new(0.0, 10.0))], DT)
-        .unwrap()
+    Subscription::identified(
+        SubId(id),
+        [(SensorId(sensor), ValueRange::new(0.0, 10.0))],
+        DT,
+    )
+    .unwrap()
 }
 
 #[test]
@@ -44,7 +48,11 @@ fn duplicate_advertisements_are_idempotent() {
         let base = e.stats().adv_msgs;
         e.inject_sensor(NodeId(0), adv(1));
         e.flush();
-        assert_eq!(e.stats().adv_msgs, base, "{kind}: re-advertising flooded again");
+        assert_eq!(
+            e.stats().adv_msgs,
+            base,
+            "{kind}: re-advertising flooded again"
+        );
     }
 }
 
@@ -59,7 +67,11 @@ fn duplicate_subscriptions_are_idempotent() {
         let base = e.stats().sub_forwards;
         e.inject_subscription(NodeId(3), simple_sub(1, 1));
         e.flush();
-        assert_eq!(e.stats().sub_forwards, base, "{kind}: duplicate subscription forwarded");
+        assert_eq!(
+            e.stats().sub_forwards,
+            base,
+            "{kind}: duplicate subscription forwarded"
+        );
     }
 }
 
@@ -82,10 +94,18 @@ fn duplicate_event_publication_is_idempotent() {
             // and no result re-send
             let topo = fsf::network::builders::line(4);
             let inbound = topo.distance(NodeId(0), topo.median()) as u64;
-            assert_eq!(e.stats().event_units, base + inbound, "{kind}: inbound transit only");
+            assert_eq!(
+                e.stats().event_units,
+                base + inbound,
+                "{kind}: inbound transit only"
+            );
         } else {
             // distributed engines dedup at the publishing node itself
-            assert_eq!(e.stats().event_units, base, "{kind}: duplicate event re-forwarded");
+            assert_eq!(
+                e.stats().event_units,
+                base,
+                "{kind}: duplicate event re-forwarded"
+            );
         }
         assert_eq!(e.deliveries().delivered(SubId(1)).len(), 1);
     }
@@ -148,7 +168,10 @@ fn expired_events_never_correlate() {
         e.flush();
         let d = e.deliveries().delivered(SubId(1));
         assert!(d.contains(&EventId(100)), "{kind}");
-        assert!(!d.contains(&EventId(101)), "{kind}: expired event delivered");
+        assert!(
+            !d.contains(&EventId(101)),
+            "{kind}: expired event delivered"
+        );
     }
 }
 
@@ -160,7 +183,11 @@ fn events_published_before_any_subscription_are_dropped_at_source() {
         e.flush();
         e.inject_event(NodeId(0), event(100, 1, 5.0, 1_000));
         e.flush();
-        assert_eq!(e.stats().event_units, 0, "{kind}: unrequested event left the node");
+        assert_eq!(
+            e.stats().event_units,
+            0,
+            "{kind}: unrequested event left the node"
+        );
     }
 }
 
@@ -240,12 +267,17 @@ fn abstract_subscription_with_delta_l_filters_far_pairs() {
     // distance: the far-apart pair must not be delivered
     let topo = fsf::network::builders::star(4);
     let mut e = EngineKind::FilterSplitForward.build(topo, 2 * DT, 7);
-    for (node, sensor, attr, x) in
-        [(1u32, 1u32, attrs::AMBIENT_TEMP, 0.0), (2, 2, attrs::WIND_SPEED, 500.0)]
-    {
+    for (node, sensor, attr, x) in [
+        (1u32, 1u32, attrs::AMBIENT_TEMP, 0.0),
+        (2, 2, attrs::WIND_SPEED, 500.0),
+    ] {
         e.inject_sensor(
             NodeId(node),
-            Advertisement { sensor: SensorId(sensor), attr, location: Point::new(x, 0.0) },
+            Advertisement {
+                sensor: SensorId(sensor),
+                attr,
+                location: Point::new(x, 0.0),
+            },
         );
     }
     e.flush();

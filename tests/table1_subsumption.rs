@@ -12,7 +12,16 @@ fn fig3_topology() -> Topology {
     // so that coverage detected at n1/n2/n3 still saves a hop.
     Topology::from_edges(
         9,
-        &[(0, 1), (1, 2), (2, 3), (2, 4), (1, 5), (3, 6), (4, 7), (5, 8)],
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (2, 4),
+            (1, 5),
+            (3, 6),
+            (4, 7),
+            (5, 8),
+        ],
     )
     .unwrap()
 }
@@ -65,9 +74,11 @@ fn table1_subs() -> [Subscription; 3] {
 }
 
 fn publish_matching_triple(engine: &mut dyn Engine) {
-    for (node, sensor, value, t) in
-        [(6u32, 1u32, 60.0, 1_000u64), (7, 2, 25.0, 1_005), (8, 3, 10.0, 1_010)]
-    {
+    for (node, sensor, value, t) in [
+        (6u32, 1u32, 60.0, 1_000u64),
+        (7, 2, 25.0, 1_005),
+        (8, 3, 10.0, 1_010),
+    ] {
         engine.inject_event(
             NodeId(node),
             Event {
@@ -95,9 +106,21 @@ fn every_engine_serves_the_subsumed_subscription() {
             engine.flush();
         }
         publish_matching_triple(engine.as_mut());
-        assert_eq!(engine.deliveries().delivered(SubId(1)).len(), 2, "{kind}: s1");
-        assert_eq!(engine.deliveries().delivered(SubId(2)).len(), 2, "{kind}: s2");
-        assert_eq!(engine.deliveries().delivered(SubId(3)).len(), 3, "{kind}: s3");
+        assert_eq!(
+            engine.deliveries().delivered(SubId(1)).len(),
+            2,
+            "{kind}: s1"
+        );
+        assert_eq!(
+            engine.deliveries().delivered(SubId(2)).len(),
+            2,
+            "{kind}: s2"
+        );
+        assert_eq!(
+            engine.deliveries().delivered(SubId(3)).len(),
+            3,
+            "{kind}: s3"
+        );
     }
 }
 
@@ -122,8 +145,14 @@ fn set_filtering_saves_s3_traffic_where_pairwise_cannot() {
     let op = added_by_s3(EngineKind::OperatorPlacement);
     let naive = added_by_s3(EngineKind::Naive);
     // s3's b-part dies only under set filtering ([15,35] ⊆ [10,30] ∪ [20,40])
-    assert!(fsf < op, "set filtering must beat pairwise: fsf={fsf} op={op}");
-    assert!(op <= naive, "pairwise must not exceed naive: op={op} naive={naive}");
+    assert!(
+        fsf < op,
+        "set filtering must beat pairwise: fsf={fsf} op={op}"
+    );
+    assert!(
+        op <= naive,
+        "pairwise must not exceed naive: op={op} naive={naive}"
+    );
 }
 
 /// The subsumed s3 adds zero *event* traffic under FSF: all its results ride
@@ -131,8 +160,7 @@ fn set_filtering_saves_s3_traffic_where_pairwise_cannot() {
 #[test]
 fn subsumed_subscription_adds_no_event_traffic_under_fsf() {
     let run = |with_s3: bool| {
-        let mut engine =
-            EngineKind::FilterSplitForward.build(fig3_topology(), 2 * DT, 7);
+        let mut engine = EngineKind::FilterSplitForward.build(fig3_topology(), 2 * DT, 7);
         advertise(engine.as_mut());
         let [s1, s2, s3] = table1_subs();
         engine.inject_subscription(NodeId(0), s1);
@@ -144,5 +172,9 @@ fn subsumed_subscription_adds_no_event_traffic_under_fsf() {
         publish_matching_triple(engine.as_mut());
         engine.stats().event_units
     };
-    assert_eq!(run(false), run(true), "s3 must ride entirely on existing streams");
+    assert_eq!(
+        run(false),
+        run(true),
+        "s3 must ride entirely on existing streams"
+    );
 }

@@ -7,8 +7,7 @@ use fsf::runtime::ThreadedNet;
 use fsf::workload::{ScenarioConfig, Workload};
 
 fn run_simulated(w: &Workload, config: PubSubConfig) -> (u64, u64, u64) {
-    let mut sim =
-        Simulator::new(w.topology.clone(), |id, _| PubSubNode::new(id, config));
+    let mut sim = Simulator::new(w.topology.clone(), |id, _| PubSubNode::new(id, config));
     for s in &w.sensors {
         sim.inject_and_run(s.node, PubSubMsg::SensorUp(s.advertisement()));
     }
@@ -25,7 +24,11 @@ fn run_simulated(w: &Workload, config: PubSubConfig) -> (u64, u64, u64) {
             sim.run_to_quiescence();
         }
     }
-    (sim.stats.sub_forwards, sim.stats.event_units, sim.deliveries.total_event_units())
+    (
+        sim.stats.sub_forwards,
+        sim.stats.event_units,
+        sim.deliveries.total_event_units(),
+    )
 }
 
 fn run_threaded(w: &Workload, config: PubSubConfig) -> (u64, u64, u64) {
@@ -49,7 +52,11 @@ fn run_threaded(w: &Workload, config: PubSubConfig) -> (u64, u64, u64) {
         }
     }
     let (stats, deliveries) = net.shutdown();
-    (stats.sub_forwards, stats.event_units, deliveries.total_event_units())
+    (
+        stats.sub_forwards,
+        stats.event_units,
+        deliveries.total_event_units(),
+    )
 }
 
 #[test]

@@ -1,0 +1,293 @@
+//! Vendored, dependency-free stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of the `bytes 1.x` API the wire codec uses:
+//! [`BytesMut`] with big-endian `put_*` writers, [`Bytes`] with consuming
+//! `get_*` readers, `freeze`, `slice`, and the [`Buf`]/[`BufMut`] traits.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// Read access to a byte cursor (subset of upstream `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Read `n` bytes from the front into `dst` (panics if short).
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Skip `n` bytes (panics if short).
+    fn advance(&mut self, n: usize);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+/// Write access to a growable byte buffer (subset of upstream
+/// `bytes::BufMut`).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+/// A growable, writable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Ensure room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` if nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Convert into an immutable, cheaply cloneable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::from(self.inner.into_boxed_slice()),
+            start: 0,
+            end_offset: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+/// An immutable, cheaply cloneable byte slice with a read cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    /// Read cursor / view start, advanced by [`Buf`] reads.
+    start: usize,
+    /// Bytes cut off the end of `data` by [`Bytes::slice`].
+    end_offset: usize,
+}
+
+impl Bytes {
+    /// An empty slice.
+    #[must_use]
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(Vec::new().into_boxed_slice()),
+            start: 0,
+            end_offset: 0,
+        }
+    }
+
+    /// Length of the remaining view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.end_offset - self.start
+    }
+
+    /// `true` if the remaining view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The remaining view as a plain slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.data.len() - self.end_offset]
+    }
+
+    /// A sub-view of the remaining bytes (like `&bytes[range]`, but
+    /// returning `Bytes` without copying).
+    #[must_use]
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(lo <= hi && hi <= len, "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end_offset: self.end_offset + (len - hi),
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            end_offset: 0,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "buffer underflow");
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "buffer underflow");
+        self.start += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_roundtrip() {
+        let mut m = BytesMut::with_capacity(32);
+        m.put_u8(7);
+        m.put_u16(0xBEEF);
+        m.put_u32(0xDEAD_BEEF);
+        m.put_u64(42);
+        m.put_f64(-1.5);
+        let mut b = m.freeze();
+        assert_eq!(b.remaining(), 1 + 2 + 4 + 8 + 8);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16(), 0xBEEF);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), 42);
+        assert_eq!(b.get_f64(), -1.5);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_restricts_the_view() {
+        let mut m = BytesMut::new();
+        m.put_slice(&[1, 2, 3, 4, 5]);
+        let b = m.freeze();
+        let s = b.slice(..3);
+        assert_eq!(s.as_slice(), &[1, 2, 3]);
+        let mid = b.slice(1..4);
+        assert_eq!(mid.as_slice(), &[2, 3, 4]);
+        // slicing is relative to the remaining view
+        let mut c = b.clone();
+        c.advance(2);
+        assert_eq!(c.slice(..2).as_slice(), &[3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn reading_past_the_end_panics() {
+        let mut b = Bytes::new();
+        let _ = b.get_u8();
+    }
+}

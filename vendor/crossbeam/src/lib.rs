@@ -1,0 +1,44 @@
+//! Vendored, dependency-free stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io; the runtime only needs
+//! unbounded MPSC channels, which `std::sync::mpsc` provides with the same
+//! `send`/`recv` signatures. Upstream crossbeam's channels are MPMC and
+//! faster under contention; neither property is load-bearing here (each
+//! receiver lives on exactly one node thread).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+/// Unbounded channels (subset of upstream `crossbeam::channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// An unbounded FIFO channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn cloneable_senders_fan_in() {
+        let (tx, rx) = unbounded::<u32>();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Vendored, dependency-free stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io; this wraps
+//! `std::sync::Mutex` behind `parking_lot`'s panic-free `lock()` signature
+//! (poisoning is swallowed — a poisoned aggregate is still the best
+//! available snapshot, and the runtime joins its threads and propagates
+//! their panics anyway).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::sync::{self, MutexGuard};
+
+/// A mutex whose `lock()` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap `value` in a mutex.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    #[must_use]
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, ignoring poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_survives_a_poisoning_panic() {
+        let m = std::sync::Arc::new(Mutex::new(5u32));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), 5);
+    }
+}

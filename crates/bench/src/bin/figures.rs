@@ -1,16 +1,19 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [targets…] [--scale F]
+//! figures [targets…] [--scale F] [--json PATH]
 //!
-//! targets: all | table1 | table2 | fig4 fig5 … fig12 | abl1 abl2 abl3 abl4 | ext1
-//! --scale F : scale subscription/round volume by F (default 1.0 = paper size)
+//! targets: all | table1 | table2 | fig4 fig5 … fig12 | abl1 abl2 abl3 abl4 | ext1 ext2
+//! --scale F   : scale subscription/round volume by F (default 1.0 = paper size)
+//! --json PATH : additionally write machine-readable results (engine × metric)
+//!               for bench trajectory files (`BENCH_*.json`)
 //! ```
 //!
 //! Figure pairs share runs (fig4/fig5 are the same experiment's two
 //! metrics), so asking for both costs one run.
 
-use fsf_bench::figures::{figure12, run_scenario, table1, table2, FigureData};
+use fsf_bench::figures::{ext2_churn, figure12, run_scenario, table1, table2, FigureData};
+use fsf_bench::json::{to_json, JsonRecord};
 use fsf_bench::{ablations, Figure};
 use fsf_engines::EngineKind;
 use fsf_workload::ScenarioConfig;
@@ -21,6 +24,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut targets: BTreeSet<String> = BTreeSet::new();
     let mut scale = 1.0f64;
+    let mut json_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -30,6 +34,9 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--scale needs a number in (0,1]");
             }
+            "--json" => {
+                json_path = Some(it.next().expect("--json needs a file path").clone());
+            }
             t => {
                 targets.insert(t.to_string());
             }
@@ -38,7 +45,7 @@ fn main() {
     if targets.is_empty() || targets.contains("all") {
         targets = [
             "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig7b", "fig8", "fig9", "fig10",
-            "fig11", "fig12", "abl1", "abl2", "abl3", "abl4", "ext1",
+            "fig11", "fig12", "abl1", "abl2", "abl3", "abl4", "ext1", "ext2",
         ]
         .into_iter()
         .map(String::from)
@@ -46,6 +53,7 @@ fn main() {
     }
     let want = |t: &str| targets.contains(t);
     let maybe_scale = |c: ScenarioConfig| if scale < 1.0 { c.scaled(scale) } else { c };
+    let mut records: Vec<JsonRecord> = Vec::new();
 
     println!("# paper-figure regeneration (scale = {scale})\n");
     if want("table1") {
@@ -78,10 +86,10 @@ fn main() {
             &EngineKind::DISTRIBUTED,
         );
         if want("fig4") {
-            print_fig(d.subscription_load("fig4"));
+            print_fig(d.subscription_load("fig4"), &mut records);
         }
         if want("fig5") {
-            print_fig(d.event_load("fig5"));
+            print_fig(d.event_load("fig5"), &mut records);
         }
         small = Some(d);
     }
@@ -93,10 +101,10 @@ fn main() {
             &EngineKind::ALL,
         );
         if want("fig6") {
-            print_fig(d.subscription_load("fig6"));
+            print_fig(d.subscription_load("fig6"), &mut records);
         }
         if want("fig7") {
-            print_fig(d.event_load("fig7"));
+            print_fig(d.event_load("fig7"), &mut records);
         }
         medium = Some(d);
     }
@@ -106,7 +114,7 @@ fn main() {
             maybe_scale(fsf_bench::figures::high_rate_config()),
             &EngineKind::ALL,
         );
-        print_fig(d.event_load("fig7b"));
+        print_fig(d.event_load("fig7b"), &mut records);
     }
     if want("fig8") || want("fig9") || want("fig12") {
         let d = run(
@@ -115,10 +123,10 @@ fn main() {
             &EngineKind::DISTRIBUTED,
         );
         if want("fig8") {
-            print_fig(d.subscription_load("fig8"));
+            print_fig(d.subscription_load("fig8"), &mut records);
         }
         if want("fig9") {
-            print_fig(d.event_load("fig9"));
+            print_fig(d.event_load("fig9"), &mut records);
         }
         large_net = Some(d);
     }
@@ -129,10 +137,10 @@ fn main() {
             &EngineKind::DISTRIBUTED,
         );
         if want("fig10") {
-            print_fig(d.subscription_load("fig10"));
+            print_fig(d.subscription_load("fig10"), &mut records);
         }
         if want("fig11") {
-            print_fig(d.event_load("fig11"));
+            print_fig(d.event_load("fig11"), &mut records);
         }
         large_src = Some(d);
     }
@@ -146,7 +154,7 @@ fn main() {
         .iter()
         .filter_map(|(l, d)| d.as_ref().map(|d| (*l, d)))
         .collect();
-        print_fig(figure12(&datas));
+        print_fig(figure12(&datas), &mut records);
     }
 
     // ablations run on a scaled medium setting unless the user scales
@@ -160,35 +168,55 @@ fn main() {
         let t0 = Instant::now();
         let (a, b) = ablations::abl1_error_probability(&abl_cfg);
         eprintln!("[abl1] {:.1?}", t0.elapsed());
-        print_fig(a);
-        print_fig(b);
+        print_fig(a, &mut records);
+        print_fig(b, &mut records);
     }
     if want("abl2") {
         let t0 = Instant::now();
         let f = ablations::abl2_filter_policy(&abl_cfg);
         eprintln!("[abl2] {:.1?}", t0.elapsed());
-        print_fig(f);
+        print_fig(f, &mut records);
     }
     if want("abl3") {
         let t0 = Instant::now();
         let f = ablations::abl3_dedup(&abl_cfg);
         eprintln!("[abl3] {:.1?}", t0.elapsed());
-        print_fig(f);
+        print_fig(f, &mut records);
     }
     if want("abl4") {
         let t0 = Instant::now();
         let f = ablations::abl4_arity(&abl_cfg);
         eprintln!("[abl4] {:.1?}", t0.elapsed());
-        print_fig(f);
+        print_fig(f, &mut records);
     }
     if want("ext1") {
         let t0 = Instant::now();
         let f = ablations::ext1_topk(&abl_cfg);
         eprintln!("[ext1] {:.1?}", t0.elapsed());
-        print_fig(f);
+        print_fig(f, &mut records);
+    }
+    if want("ext2") {
+        let t0 = Instant::now();
+        let (table, mut recs) = ext2_churn(scale);
+        eprintln!("[ext2] {:.1?}", t0.elapsed());
+        println!("{table}");
+        records.append(&mut recs);
+    }
+
+    if let Some(path) = json_path {
+        let doc = to_json(scale, &records);
+        std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("[json] wrote {} records to {path}", records.len());
     }
 }
 
-fn print_fig(f: Figure) {
+/// Print a figure and collect each series' final value as an
+/// `engine × metric` record.
+fn print_fig(f: Figure, records: &mut Vec<JsonRecord>) {
+    for s in &f.series {
+        if let Some(&(_, y)) = s.points.last() {
+            records.push(JsonRecord::new(&f.id, &s.label, &f.y_label, y));
+        }
+    }
     println!("{}", f.render());
 }

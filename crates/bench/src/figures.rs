@@ -186,6 +186,74 @@ pub fn table1() -> String {
     out
 }
 
+/// EXT-2: recall and traffic **under churn** for the four distributed
+/// engines — the dynamic counterpart of Figs. 4–12. A seeded
+/// [`fsf_workload::churn`] plan (subscribe/unsubscribe, sensor up/down,
+/// interleaved readings, full teardown) replays through every engine;
+/// deterministic engines must hold recall 1.0 relative to the exact naive
+/// baseline, and the teardown must leave every node empty.
+#[must_use]
+pub fn ext2_churn(scale: f64) -> (String, Vec<crate::json::JsonRecord>) {
+    let config = if scale < 1.0 {
+        fsf_workload::ChurnConfig::paper_scale().scaled(scale)
+    } else {
+        fsf_workload::ChurnConfig::paper_scale()
+    };
+    let rows = fsf_workload::run_churn(&config);
+    let mut out = format!(
+        "== ext2 — recall and traffic under churn ({}, {} nodes, {} churn actions) ==\n",
+        config.name, config.total_nodes, config.plan.churn_actions
+    );
+    out.push_str(&format!(
+        "{:<34} {:>12} {:>12} {:>10} {:>8} {:>9}\n",
+        "approach", "sub load", "event load", "delivered", "recall", "teardown"
+    ));
+    let mut records = Vec::new();
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<34} {:>12} {:>12} {:>10} {:>8.4} {:>9}\n",
+            r.engine.name(),
+            r.sub_forwards,
+            r.event_units,
+            r.delivered_units,
+            r.recall_vs_exact,
+            if r.teardown_clean { "clean" } else { "LEAKED" },
+        ));
+        let name = r.engine.name();
+        records.push(crate::json::JsonRecord::new(
+            "ext2",
+            name,
+            "subscription load",
+            r.sub_forwards as f64,
+        ));
+        records.push(crate::json::JsonRecord::new(
+            "ext2",
+            name,
+            "event load",
+            r.event_units as f64,
+        ));
+        records.push(crate::json::JsonRecord::new(
+            "ext2",
+            name,
+            "delivered units",
+            r.delivered_units as f64,
+        ));
+        records.push(crate::json::JsonRecord::new(
+            "ext2",
+            name,
+            "recall vs exact",
+            r.recall_vs_exact,
+        ));
+        records.push(crate::json::JsonRecord::new(
+            "ext2",
+            name,
+            "teardown clean",
+            if r.teardown_clean { 1.0 } else { 0.0 },
+        ));
+    }
+    (out, records)
+}
+
 /// Table II: the implemented-approaches matrix.
 #[must_use]
 pub fn table2() -> String {
@@ -245,6 +313,21 @@ mod tests {
             !t.contains("set filtering: NOT covered\n  => "),
             "set filter must succeed"
         );
+    }
+
+    #[test]
+    fn ext2_reports_all_distributed_engines_with_clean_teardown() {
+        let (table, records) = ext2_churn(0.2);
+        for kind in EngineKind::DISTRIBUTED {
+            assert!(table.contains(kind.name()), "missing {kind}:\n{table}");
+        }
+        assert!(!table.contains("LEAKED"), "teardown leaked:\n{table}");
+        assert_eq!(records.len(), 4 * 5, "engine × metric grid");
+        let naive_recall = records
+            .iter()
+            .find(|r| r.engine == "Naive approach" && r.metric == "recall vs exact")
+            .unwrap();
+        assert!((naive_recall.value - 1.0).abs() < 1e-12);
     }
 
     #[test]

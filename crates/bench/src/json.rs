@@ -1,0 +1,279 @@
+//! Machine-readable benchmark results (`figures --json <path>`).
+//!
+//! One flat `engine × metric` record list so bench trajectory files
+//! (`BENCH_*.json`) can accumulate across runs and be diffed by tooling.
+//! The writer and the parser are hand-rolled (the workspace builds fully
+//! offline, no serde) and round-trip each other exactly.
+
+/// One measured value: a figure/table id, an engine (series) label, the
+/// metric name, and the final value of that series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonRecord {
+    /// Figure or table id ("fig4", "ext2", …).
+    pub id: String,
+    /// Engine / series label.
+    pub engine: String,
+    /// Metric name (the figure's y-label or the table column).
+    pub metric: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+impl JsonRecord {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(id: &str, engine: &str, metric: &str, value: f64) -> Self {
+        JsonRecord {
+            id: id.to_string(),
+            engine: engine.to_string(),
+            metric: metric.to_string(),
+            value,
+        }
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // `{}` prints the shortest representation that round-trips through
+        // `str::parse::<f64>` — exactly what a trajectory file needs
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Serialize a result set.
+#[must_use]
+pub fn to_json(scale: f64, records: &[JsonRecord]) -> String {
+    let mut out = String::from("{\"scale\":");
+    push_f64(scale, &mut out);
+    out.push_str(",\"results\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":\"");
+        escape(&r.id, &mut out);
+        out.push_str("\",\"engine\":\"");
+        escape(&r.engine, &mut out);
+        out.push_str("\",\"metric\":\"");
+        escape(&r.metric, &mut out);
+        out.push_str("\",\"value\":");
+        push_f64(r.value, &mut out);
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Parse a document produced by [`to_json`]. Returns `(scale, records)`,
+/// or `None` on malformed input.
+#[must_use]
+pub fn parse(s: &str) -> Option<(f64, Vec<JsonRecord>)> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        i: 0,
+    };
+    p.expect(b'{')?;
+    p.key("scale")?;
+    let scale = p.number()?;
+    p.expect(b',')?;
+    p.key("results")?;
+    p.expect(b'[')?;
+    let mut records = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b']') {
+        p.i += 1;
+    } else {
+        loop {
+            p.expect(b'{')?;
+            p.key("id")?;
+            let id = p.string()?;
+            p.expect(b',')?;
+            p.key("engine")?;
+            let engine = p.string()?;
+            p.expect(b',')?;
+            p.key("metric")?;
+            let metric = p.string()?;
+            p.expect(b',')?;
+            p.key("value")?;
+            let value = p.number()?;
+            p.expect(b'}')?;
+            records.push(JsonRecord {
+                id,
+                engine,
+                metric,
+                value,
+            });
+            p.skip_ws();
+            match p.next()? {
+                b',' => {}
+                b']' => break,
+                _ => return None,
+            }
+        }
+    }
+    p.expect(b'}')?;
+    p.skip_ws();
+    if p.peek().is_some() {
+        return None; // trailing garbage: truncated/concatenated documents
+    }
+    Some((scale, records))
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+    fn next(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        Some(c)
+    }
+    fn expect(&mut self, c: u8) -> Option<()> {
+        self.skip_ws();
+        (self.next()? == c).then_some(())
+    }
+    /// `"key":` with surrounding whitespace.
+    fn key(&mut self, name: &str) -> Option<()> {
+        let k = self.string()?;
+        (k == name).then_some(())?;
+        self.expect(b':')
+    }
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                b'"' => return Some(out),
+                b'\\' => match self.next()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next()? as char;
+                            code = code * 16 + d.to_digit(16)?;
+                        }
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => {
+                    // multi-byte UTF-8 sequences pass through byte by byte
+                    let start = self.i - 1;
+                    let len = match c {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    self.i = start + len;
+                    out.push_str(std::str::from_utf8(self.s.get(start..start + len)?).ok()?);
+                }
+            }
+        }
+    }
+    fn number(&mut self) -> Option<f64> {
+        self.skip_ws();
+        if self.s[self.i..].starts_with(b"null") {
+            self.i += 4;
+            return Some(f64::NAN);
+        }
+        let start = self.i;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()?
+            .parse()
+            .ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records() -> Vec<JsonRecord> {
+        vec![
+            JsonRecord::new(
+                "fig4",
+                "Naive approach",
+                "number of forwarded queries",
+                1234.0,
+            ),
+            JsonRecord::new("ext2", "Filter-Split-Forward", "recall", 0.9823),
+            JsonRecord::new("t\"x\\y", "a\nb", "µ-metric", -0.5),
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let recs = records();
+        let s = to_json(0.1, &recs);
+        let (scale, parsed) = parse(&s).expect("well-formed");
+        assert_eq!(scale, 0.1);
+        assert_eq!(parsed, recs);
+    }
+
+    #[test]
+    fn empty_result_set_round_trips() {
+        let s = to_json(1.0, &[]);
+        let (scale, parsed) = parse(&s).expect("well-formed");
+        assert_eq!(scale, 1.0);
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_not_panicked() {
+        for bad in [
+            "",
+            "{",
+            "{\"scale\":1}",
+            "[1,2]",
+            "{\"scale\":x,\"results\":[]}",
+            "{\"scale\":1,\"results\":[]}{\"scale\":2,\"results\":[]}",
+            "{\"scale\":1,\"results\":[]}garbage",
+        ] {
+            assert!(parse(bad).is_none(), "accepted: {bad}");
+        }
+        // trailing whitespace (the writer emits a final newline) is fine
+        assert!(parse("{\"scale\":1,\"results\":[]}\n  ").is_some());
+    }
+
+    #[test]
+    fn values_survive_shortest_float_formatting() {
+        let recs = vec![JsonRecord::new("x", "e", "m", 0.1 + 0.2)];
+        let (_, parsed) = parse(&to_json(1.0, &recs)).unwrap();
+        assert_eq!(parsed[0].value, 0.1 + 0.2, "bit-exact round trip");
+    }
+}

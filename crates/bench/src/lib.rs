@@ -17,9 +17,11 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod json;
 pub mod render;
 
 pub use figures::{run_scenario, FigureData};
+pub use json::JsonRecord;
 pub use render::Figure;
 
 /// The fixed engine seed used by every benchmark run (the probabilistic set

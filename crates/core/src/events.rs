@@ -144,6 +144,31 @@ impl EventStore {
         }
     }
 
+    /// Garbage-collect every stored event of a departed sensor (`SensorDown`
+    /// retraction): its readings can never again participate in a
+    /// correlation, so keeping them only leaks memory. Returns how many
+    /// events were dropped.
+    pub fn remove_sensor(&mut self, sensor: fsf_model::SensorId) -> usize {
+        let ids: Vec<EventId> = self
+            .by_id
+            .iter()
+            .filter(|(_, s)| s.event.sensor == sensor)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &ids {
+            if let Some(stored) = self.by_id.remove(id) {
+                let t = stored.event.timestamp;
+                if let Some(slot) = self.by_time.get_mut(&t) {
+                    slot.retain(|i| i != id);
+                    if slot.is_empty() {
+                        self.by_time.remove(&t);
+                    }
+                }
+            }
+        }
+        ids.len()
+    }
+
     /// Fetch a stored event.
     #[must_use]
     pub fn get(&self, id: EventId) -> Option<&Event> {

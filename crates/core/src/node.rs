@@ -106,6 +106,13 @@ pub enum PubSubMsg {
     SensorUp(Advertisement),
     /// A flooded advertisement from a neighbor (Algorithm 1, lines 8–13).
     Adv(Advertisement),
+    /// A local sensor departs: retract its advertisement, garbage-collect
+    /// its stored events, and withdraw the operator projections that relied
+    /// on it (the churn counterpart of `SensorUp`).
+    SensorDown(fsf_model::SensorId),
+    /// A flooded advertisement retraction from a neighbor — retraces the
+    /// `Adv` flood with the same idempotence.
+    AdvDown(fsf_model::SensorId),
     /// A local user registers a subscription (Algorithm 4, `n == m`).
     Subscribe(Subscription),
     /// A correlation operator forwarded by a neighbor.
@@ -137,6 +144,9 @@ pub struct StorageStats {
     pub stored_events: usize,
     /// Origin slots with subscription state (local + neighbors).
     pub origins: usize,
+    /// Forwarded-projection route entries (the reverse paths removal
+    /// messages retrace).
+    pub forwarded_routes: usize,
 }
 
 impl StorageStats {
@@ -156,6 +166,12 @@ pub struct PubSubNode {
     subs: BTreeMap<Origin, SubStore>,
     filter: SubscriptionFilter,
     events: EventStore,
+    /// Exactly which projection was forwarded where, per stored uncovered
+    /// operator: `(origin, parent key) → {neighbor → projected key}`. This
+    /// is the routing state that removal messages retrace — recorded at
+    /// send time so retraction stays correct even after the advertisement
+    /// picture changed (sensor churn).
+    routes: BTreeMap<(Origin, fsf_model::OperatorKey), BTreeMap<NodeId, fsf_model::OperatorKey>>,
     dropped_unanswerable: u64,
 }
 
@@ -174,6 +190,7 @@ impl PubSubNode {
             subs: BTreeMap::new(),
             filter: SubscriptionFilter::new(config.filter, filter_seed),
             events: EventStore::new(config.event_validity),
+            routes: BTreeMap::new(),
             dropped_unanswerable: 0,
         }
     }
@@ -226,6 +243,7 @@ impl PubSubNode {
             covered_operators: self.subs.values().map(|s| s.covered.len()).sum(),
             stored_events: self.events.len(),
             origins: self.subs.len(),
+            forwarded_routes: self.routes.values().map(BTreeMap::len).sum(),
         }
     }
 
@@ -291,6 +309,10 @@ impl PubSubNode {
             }
             let dims = op.supported_dims(self.adverts.from_origin(Origin::Neighbor(j)));
             if let Some(projected) = op.project(&dims) {
+                self.routes
+                    .entry((origin, op.key()))
+                    .or_default()
+                    .insert(j, projected.key());
                 ctx.send(
                     j,
                     PubSubMsg::Operator(projected),
@@ -321,10 +343,12 @@ impl PubSubNode {
     }
 
     /// Remove one operator identity from `origin`'s slot. If it was active
-    /// (uncovered), (a) forward the removal along the projections it was
-    /// originally forwarded on, and (b) re-evaluate covered same-signature
-    /// operators of this origin — whatever is no longer covered by the
-    /// remaining set is promoted and forwarded as if newly received.
+    /// (uncovered), (a) forward the removal along the exact projections it
+    /// was originally forwarded on (the recorded routes — correct even if
+    /// the advertisement picture changed since), and (b) re-evaluate covered
+    /// same-signature operators of this origin — whatever is no longer
+    /// covered by the remaining set is promoted and forwarded as if newly
+    /// received.
     fn handle_remove(
         &mut self,
         origin: Origin,
@@ -341,19 +365,19 @@ impl PubSubNode {
             return;
         };
 
-        // (a) retrace the forwarding paths with removal messages
-        for &j in ctx.neighbors().to_vec().iter() {
-            if Origin::Neighbor(j) == origin {
-                continue;
-            }
-            let dims = op.supported_dims(self.adverts.from_origin(Origin::Neighbor(j)));
-            if let Some(projected) = op.project(&dims) {
-                ctx.send(
-                    j,
-                    PubSubMsg::RemoveOperator(projected.key()),
-                    ChargeKind::Subscription,
-                    1,
-                );
+        // (a) retrace the recorded forwarding paths with removal messages;
+        // a target that is no longer a neighbor crashed out of the topology,
+        // so its copy is unreachable (and dead with it).
+        if let Some(targets) = self.routes.remove(&(origin, key.clone())) {
+            for (j, projected_key) in targets {
+                if ctx.neighbors().binary_search(&j).is_ok() {
+                    ctx.send(
+                        j,
+                        PubSubMsg::RemoveOperator(projected_key),
+                        ChargeKind::Subscription,
+                        1,
+                    );
+                }
             }
         }
 
@@ -378,6 +402,87 @@ impl PubSubNode {
                 let c = store.covered.remove(&ckey).expect("checked above");
                 store.uncovered.insert(c.clone());
                 self.split_and_forward(origin, &c, ctx);
+            }
+        }
+    }
+
+    // ----- sensor departure (churn counterpart of Algorithm 1) -----
+
+    /// A sensor departed: retract its advertisement, retrace the flood, drop
+    /// its stored events, and withdraw (or narrow) the operator projections
+    /// that were routed over the retracting advertisement path.
+    fn handle_sensor_down(
+        &mut self,
+        origin: Origin,
+        sensor: fsf_model::SensorId,
+        ctx: &mut Ctx<'_, PubSubMsg>,
+    ) {
+        let Some(adv_origin) = self.adverts.remove(sensor) else {
+            return; // unknown sensor — retraction flooding is idempotent
+        };
+        for &j in ctx.neighbors().to_vec().iter() {
+            if Origin::Neighbor(j) != origin {
+                ctx.send(j, PubSubMsg::AdvDown(sensor), ChargeKind::Advertisement, 1);
+            }
+        }
+        self.events.remove_sensor(sensor);
+        if let Origin::Neighbor(j) = adv_origin {
+            self.reproject_toward(j, ctx);
+        }
+    }
+
+    /// Re-derive every projection previously forwarded to `j` from the
+    /// remaining advertisements behind `j`. Projections that lost all
+    /// support are withdrawn; projections that lost *some* dimensions are
+    /// replaced (withdraw old, forward narrowed) so that events of the
+    /// surviving sensors keep flowing.
+    fn reproject_toward(&mut self, j: NodeId, ctx: &mut Ctx<'_, PubSubMsg>) {
+        if ctx.neighbors().binary_search(&j).is_err() {
+            return; // j crashed out of the topology — nothing to withdraw
+        }
+        type Update = (
+            (Origin, fsf_model::OperatorKey),
+            fsf_model::OperatorKey,
+            Option<Operator>,
+        );
+        let mut updates: Vec<Update> = Vec::new();
+        for ((origin, parent_key), targets) in &self.routes {
+            let Some(old_key) = targets.get(&j) else {
+                continue;
+            };
+            let Some(parent) = self
+                .subs
+                .get(origin)
+                .and_then(|s| s.uncovered.get(parent_key))
+            else {
+                continue;
+            };
+            let dims = parent.supported_dims(self.adverts.from_origin(Origin::Neighbor(j)));
+            let narrowed = parent.project(&dims);
+            match narrowed {
+                Some(p) if p.key() == *old_key => {} // unchanged
+                other => updates.push(((*origin, parent_key.clone()), old_key.clone(), other)),
+            }
+        }
+        for (route_key, old_key, narrowed) in updates {
+            ctx.send(
+                j,
+                PubSubMsg::RemoveOperator(old_key),
+                ChargeKind::Subscription,
+                1,
+            );
+            let targets = self.routes.get_mut(&route_key).expect("entry just seen");
+            match narrowed {
+                Some(p) => {
+                    targets.insert(j, p.key());
+                    ctx.send(j, PubSubMsg::Operator(p), ChargeKind::Subscription, 1);
+                }
+                None => {
+                    targets.remove(&j);
+                    if targets.is_empty() {
+                        self.routes.remove(&route_key);
+                    }
+                }
             }
         }
     }
@@ -521,6 +626,11 @@ impl NodeBehavior for PubSubNode {
                 self.handle_advertisement(Origin::Local, adv, ctx);
             }
             PubSubMsg::Adv(adv) => self.handle_advertisement(origin, adv, ctx),
+            PubSubMsg::SensorDown(sensor) => {
+                debug_assert_eq!(origin, Origin::Local, "SensorDown is a local injection");
+                self.handle_sensor_down(Origin::Local, sensor, ctx);
+            }
+            PubSubMsg::AdvDown(sensor) => self.handle_sensor_down(origin, sensor, ctx),
             PubSubMsg::Subscribe(sub) => {
                 debug_assert_eq!(origin, Origin::Local, "Subscribe is a local injection");
                 self.handle_operator(Origin::Local, Operator::from_subscription(&sub), ctx);
@@ -938,6 +1048,96 @@ mod tests {
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         s.inject_and_run(NodeId(4), PubSubMsg::Publish(ev(101, 2, 1, 5.0, 1010)));
         assert_eq!(s.stats.event_units, before, "no event moves after removal");
+    }
+
+    #[test]
+    fn sensor_down_retraces_the_flood_and_collects_garbage() {
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        let adv_before = s.stats.adv_msgs;
+        s.inject_and_run(NodeId(0), PubSubMsg::SensorDown(SensorId(1)));
+        // the retraction retraces the 3 flood links
+        assert_eq!(s.stats.adv_msgs, adv_before + 3);
+        for n in 0..4u32 {
+            let node = s.node(NodeId(n));
+            assert!(!node.adverts().knows_sensor(SensorId(1)), "n{n} advert");
+            assert_eq!(node.events().len(), 0, "n{n} events not collected");
+        }
+        // the subscription's projections were withdrawn along the path…
+        for n in 0..3u32 {
+            let st = s.node(NodeId(n)).storage_stats();
+            assert_eq!(st.total_operators(), 0, "n{n} leaked operators");
+            assert_eq!(st.forwarded_routes, 0, "n{n} leaked routes");
+        }
+        // …while the user's own subscription is retained (it outlives the
+        // sensor; only its forwarding state is gone)
+        assert_eq!(s.node(NodeId(3)).storage_stats().total_operators(), 1);
+    }
+
+    #[test]
+    fn sensor_down_is_idempotent() {
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(0), PubSubMsg::SensorDown(SensorId(1)));
+        let stats = s.stats.clone();
+        s.inject_and_run(NodeId(0), PubSubMsg::SensorDown(SensorId(1)));
+        assert_eq!(s.stats, stats, "second retraction changes nothing");
+    }
+
+    #[test]
+    fn sensor_down_narrows_shared_projections_so_survivors_keep_flowing() {
+        // two sensors on the same branch: n0(s1) — n1(s2) — n2 — n3(user)
+        let mut s = sim(4, PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(0), PubSubMsg::SensorUp(adv(1, 0)));
+        s.inject_and_run(NodeId(1), PubSubMsg::SensorUp(adv(2, 1)));
+        s.inject_and_run(
+            NodeId(3),
+            PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])),
+        );
+        s.inject_and_run(NodeId(0), PubSubMsg::SensorDown(SensorId(1)));
+        // the join can no longer complete, but s2 events still reach the
+        // join point: the projection toward the branch was narrowed, not
+        // dropped wholesale
+        s.inject_and_run(NodeId(1), PubSubMsg::Publish(ev(100, 2, 1, 5.0, 1000)));
+        assert!(
+            s.node(NodeId(3)).events().contains(EventId(100)),
+            "surviving sensor's events stopped flowing after the retraction"
+        );
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 0, "join incomplete");
+    }
+
+    #[test]
+    fn full_teardown_returns_every_node_to_empty() {
+        let mut s = setup_join();
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        s.inject_and_run(NodeId(4), PubSubMsg::Publish(ev(101, 2, 1, 5.0, 1010)));
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 2);
+        // tear everything down: subscription first, then both sensors
+        s.inject_and_run(NodeId(2), PubSubMsg::Unsubscribe(SubId(1)));
+        s.inject_and_run(NodeId(0), PubSubMsg::SensorDown(SensorId(1)));
+        s.inject_and_run(NodeId(4), PubSubMsg::SensorDown(SensorId(2)));
+        for n in 0..5u32 {
+            let st = s.node(NodeId(n)).storage_stats();
+            assert_eq!(st.advertisements, 0, "n{n} advertisements leaked");
+            assert_eq!(st.total_operators(), 0, "n{n} operators leaked");
+            assert_eq!(st.stored_events, 0, "n{n} events leaked");
+            assert_eq!(st.forwarded_routes, 0, "n{n} routes leaked");
+        }
+    }
+
+    #[test]
+    fn unsubscribe_after_sensor_down_still_cleans_the_whole_path() {
+        // retraction order inverted: sensor first, then the subscription —
+        // the recorded routes (not the advert picture) drive the retrace
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        s.inject_and_run(NodeId(0), PubSubMsg::SensorDown(SensorId(1)));
+        s.inject_and_run(NodeId(3), PubSubMsg::Unsubscribe(SubId(1)));
+        for n in 0..4u32 {
+            let st = s.node(NodeId(n)).storage_stats();
+            assert_eq!(st.total_operators(), 0, "n{n} operators leaked");
+            assert_eq!(st.forwarded_routes, 0, "n{n} routes leaked");
+        }
     }
 
     #[test]

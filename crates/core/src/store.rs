@@ -56,6 +56,25 @@ impl AdvStore {
         true
     }
 
+    /// Retract a sensor's advertisement (the sensor departed, §IV-B "valid
+    /// until explicitly removed"). Returns the origin the advertisement was
+    /// stored under, or `None` if the sensor was unknown — retraction
+    /// flooding is idempotent, exactly like advertisement flooding.
+    pub fn remove(&mut self, sensor: SensorId) -> Option<Origin> {
+        if !self.seen.remove(&sensor) {
+            return None;
+        }
+        let mut found = None;
+        self.per_origin.retain(|origin, advs| {
+            if advs.iter().any(|a| a.sensor == sensor) {
+                advs.retain(|a| a.sensor != sensor);
+                found = Some(*origin);
+            }
+            !advs.is_empty()
+        });
+        found
+    }
+
     /// The advertisements received from one origin (`DSA_m` / `DSA_local`).
     #[must_use]
     pub fn from_origin(&self, origin: Origin) -> &[Advertisement] {

@@ -1,0 +1,61 @@
+//! Teardown invariants: a fully retracted network holds no residual state.
+
+use fsf_engines::{Engine, NodeFootprint};
+
+/// The per-node residual state that survived — empty iff the engine is
+/// clean. Downed (crashed) nodes are excluded: their state died with them.
+#[must_use]
+pub fn leaks(engine: &dyn Engine) -> Vec<NodeFootprint> {
+    engine
+        .footprint()
+        .into_iter()
+        .filter(|f| !f.is_clean())
+        .collect()
+}
+
+/// Assert that a fully torn-down engine returned to its post-bootstrap
+/// empty state: no operators, no stored events, no advertisements, no
+/// forwarding routes on any surviving node.
+///
+/// # Panics
+/// Panics with a per-node leak listing otherwise.
+pub fn assert_clean(engine: &dyn Engine) {
+    let leaked = leaks(engine);
+    assert!(
+        leaked.is_empty(),
+        "{}: residual state after full teardown: {leaked:?}",
+        engine.name()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ChurnPlan, ChurnPlanConfig};
+    use crate::runner::run_plan;
+    use fsf_engines::EngineKind;
+    use fsf_network::builders;
+
+    #[test]
+    fn torn_down_engines_are_clean_and_interrupted_ones_are_not() {
+        let topo = builders::balanced(31, 2);
+        let plan = ChurnPlan::seeded(
+            &topo,
+            &ChurnPlanConfig {
+                churn_actions: 15,
+                ..ChurnPlanConfig::default()
+            },
+        );
+        for kind in EngineKind::ALL {
+            let mut engine = kind.build(topo.clone(), 60, 42);
+            run_plan(engine.as_mut(), &plan);
+            assert!(
+                !leaks(engine.as_mut()).is_empty(),
+                "{kind}: a live deployment must hold state"
+            );
+            let tail = ChurnPlan::scripted(plan.teardown());
+            run_plan(engine.as_mut(), &tail);
+            assert_clean(engine.as_mut());
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # fsf-dynamics
+//!
+//! The churn, retraction and fault-injection subsystem: everything the
+//! static paper reproduction lacked about *change*. The paper's system
+//! model (§IV-B) says subscriptions "are valid until explicitly removed"
+//! and targets long-lived sensor deployments — so a faithful system must
+//! survive sensors departing, users unsubscribing, and nodes crashing.
+//!
+//! * [`plan`] — [`ChurnPlan`]: a deterministic sequence of
+//!   [`ChurnAction`]s (sensor up/down, subscribe/unsubscribe, publish,
+//!   node crash), either scripted by hand or generated from a seed over
+//!   any topology, plus the teardown suffix that retracts everything that
+//!   is still alive;
+//! * [`runner`] — replays a plan through any [`fsf_engines::Engine`]
+//!   (all five approaches speak the retraction protocol);
+//! * [`invariants`] — leak checks: a fully torn-down network must return
+//!   to its post-bootstrap state — no operators, no stored events, no
+//!   advertisements, no forwarding routes on any surviving node.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod invariants;
+pub mod plan;
+pub mod runner;
+
+pub use invariants::{assert_clean, leaks};
+pub use plan::{ChurnAction, ChurnPlan, ChurnPlanConfig};
+pub use runner::{apply_action, run_plan};

@@ -1,0 +1,507 @@
+//! Churn plans: deterministic action sequences over a topology.
+
+use fsf_model::{
+    Advertisement, AttrId, Event, EventId, Point, SensorId, SubId, Subscription, Timestamp,
+    ValueRange,
+};
+use fsf_network::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// One dynamic event in the life of a deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnAction {
+    /// A sensor appears at `node` and floods its advertisement.
+    SensorUp {
+        /// Hosting node.
+        node: NodeId,
+        /// The advertisement it floods.
+        adv: Advertisement,
+    },
+    /// The sensor at `node` departs; its advertisement is retracted.
+    SensorDown {
+        /// Hosting node.
+        node: NodeId,
+        /// The departing sensor.
+        sensor: SensorId,
+    },
+    /// A user at `node` registers a subscription.
+    Subscribe {
+        /// The user's node.
+        node: NodeId,
+        /// The subscription.
+        sub: Subscription,
+    },
+    /// The user at `node` cancels a subscription.
+    Unsubscribe {
+        /// The user's node.
+        node: NodeId,
+        /// The cancelled subscription.
+        sub: SubId,
+    },
+    /// A sensor at `node` publishes a reading.
+    Publish {
+        /// Hosting node.
+        node: NodeId,
+        /// The reading.
+        event: Event,
+    },
+    /// `node` crashes; its orphaned neighbors re-graft onto `anchor`.
+    Crash {
+        /// The crashing node.
+        node: NodeId,
+        /// The neighbor adopting the orphaned subtree.
+        anchor: NodeId,
+    },
+}
+
+impl ChurnAction {
+    /// Is this a churn action proper (state change), as opposed to a
+    /// `Publish` (steady-state data traffic between churn events)?
+    #[must_use]
+    pub fn is_churn(&self) -> bool {
+        !matches!(self, ChurnAction::Publish { .. })
+    }
+}
+
+/// Parameters of the seeded churn-plan generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnPlanConfig {
+    /// Master seed; the same `(topology, config)` pair always yields the
+    /// same plan.
+    pub seed: u64,
+    /// Sensors brought up before any churn begins (the bootstrap phase).
+    pub initial_sensors: usize,
+    /// Number of churn actions proper (sensor up/down, subscribe,
+    /// unsubscribe, crash) to generate.
+    pub churn_actions: usize,
+    /// Readings published after every churn action (steady-state traffic
+    /// that exercises the mutated state).
+    pub events_per_action: usize,
+    /// Maximum dimensions per generated subscription.
+    pub max_arity: usize,
+    /// Temporal correlation distance `δt` of generated subscriptions.
+    pub delta_t: u64,
+    /// Value domain: readings are uniform in `[0, value_span)`.
+    pub value_span: f64,
+    /// Base half-width of subscription ranges (scaled ×\[0.5, 1.5)).
+    pub range_half_width: f64,
+    /// Seconds the clock advances per published reading.
+    pub reading_interval: u64,
+    /// Also generate node crashes. Only stateless leaf nodes are crashed
+    /// (nodes hosting no live sensor or subscription), so the surviving
+    /// network's semantics stay exact; interior-crash recovery is a
+    /// protocol of its own (see ROADMAP).
+    pub with_crashes: bool,
+}
+
+impl Default for ChurnPlanConfig {
+    fn default() -> Self {
+        ChurnPlanConfig {
+            seed: 0xC0FF_EE00,
+            initial_sensors: 8,
+            churn_actions: 50,
+            events_per_action: 4,
+            max_arity: 3,
+            delta_t: 30,
+            value_span: 100.0,
+            range_half_width: 25.0,
+            reading_interval: 7,
+            with_crashes: false,
+        }
+    }
+}
+
+/// A deterministic sequence of churn actions over one topology.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChurnPlan {
+    /// The actions, in execution order.
+    pub actions: Vec<ChurnAction>,
+}
+
+impl ChurnPlan {
+    /// A hand-scripted plan.
+    #[must_use]
+    pub fn scripted(actions: Vec<ChurnAction>) -> Self {
+        ChurnPlan { actions }
+    }
+
+    /// Number of churn actions proper (excluding `Publish`).
+    #[must_use]
+    pub fn churn_action_count(&self) -> usize {
+        self.actions.iter().filter(|a| a.is_churn()).count()
+    }
+
+    /// Generate a seeded-random plan over `topology`.
+    ///
+    /// Invariants the generator maintains so that the deterministic engines
+    /// stay delivery-equivalent under the plan:
+    /// * readings only come from sensors that are currently up;
+    /// * subscriptions only reference sensors that are up at registration
+    ///   time (so no engine drops them as unanswerable) and use fresh ids;
+    /// * the clock jumps by `δt` at every registration, so "continuous
+    ///   queries deliver future events" is unambiguous: without the jump
+    ///   the centralized baseline would retroactively serve in-window
+    ///   pre-registration events out of its central store — events the
+    ///   distributed engines never routed (the static workload's
+    ///   batch-epoch separation, applied per subscription);
+    /// * departed sensor ids are never reused (a returning station gets a
+    ///   new identity — advertisement re-routing for resurrected ids is an
+    ///   open item);
+    /// * crashes (if enabled) only hit stateless leaf nodes.
+    #[must_use]
+    pub fn seeded(topology: &Topology, config: &ChurnPlanConfig) -> Self {
+        assert!(topology.len() >= 2, "churn needs at least two nodes");
+        let mut g = Generator {
+            rng: StdRng::seed_from_u64(config.seed),
+            config: config.clone(),
+            actions: Vec::new(),
+            clock: 1_000,
+            next_sensor: 0,
+            next_sub: 0,
+            next_event: 0,
+            up: BTreeMap::new(),
+            active: BTreeMap::new(),
+            crashed: Vec::new(),
+            hosted_ever: Vec::new(),
+            nodes: topology.nodes().collect(),
+        };
+        for _ in 0..config.initial_sensors.max(1) {
+            g.sensor_up();
+        }
+        let mut emitted = 0usize;
+        while emitted < config.churn_actions {
+            if !g.step(topology) {
+                continue;
+            }
+            emitted += 1;
+            for _ in 0..config.events_per_action {
+                g.publish();
+            }
+        }
+        ChurnPlan { actions: g.actions }
+    }
+
+    /// The teardown suffix: unsubscribe every subscription that is still
+    /// active at the end of the plan, then retract every sensor that is
+    /// still up — in that order, so operator retraction happens while its
+    /// forwarding state is still addressable. State hosted on crashed nodes
+    /// died with them and is skipped.
+    #[must_use]
+    pub fn teardown(&self) -> Vec<ChurnAction> {
+        let mut up: BTreeMap<SensorId, NodeId> = BTreeMap::new();
+        let mut active: BTreeMap<SubId, NodeId> = BTreeMap::new();
+        let mut crashed: Vec<NodeId> = Vec::new();
+        for a in &self.actions {
+            match a {
+                ChurnAction::SensorUp { node, adv } => {
+                    up.insert(adv.sensor, *node);
+                }
+                ChurnAction::SensorDown { sensor, .. } => {
+                    up.remove(sensor);
+                }
+                ChurnAction::Subscribe { node, sub } => {
+                    active.insert(sub.id(), *node);
+                }
+                ChurnAction::Unsubscribe { sub, .. } => {
+                    active.remove(sub);
+                }
+                ChurnAction::Crash { node, .. } => crashed.push(*node),
+                ChurnAction::Publish { .. } => {}
+            }
+        }
+        let mut out = Vec::with_capacity(active.len() + up.len());
+        for (sub, node) in active {
+            if !crashed.contains(&node) {
+                out.push(ChurnAction::Unsubscribe { node, sub });
+            }
+        }
+        for (sensor, node) in up {
+            if !crashed.contains(&node) {
+                out.push(ChurnAction::SensorDown { node, sensor });
+            }
+        }
+        out
+    }
+
+    /// This plan followed by its own teardown.
+    #[must_use]
+    pub fn with_teardown(mut self) -> Self {
+        let mut tail = self.teardown();
+        self.actions.append(&mut tail);
+        self
+    }
+}
+
+/// Bookkeeping of the seeded generator (see [`ChurnPlan::seeded`]).
+struct Generator {
+    rng: StdRng,
+    config: ChurnPlanConfig,
+    actions: Vec<ChurnAction>,
+    clock: u64,
+    next_sensor: u32,
+    next_sub: u64,
+    next_event: u64,
+    up: BTreeMap<SensorId, (NodeId, AttrId)>,
+    active: BTreeMap<SubId, NodeId>,
+    crashed: Vec<NodeId>,
+    /// Nodes that hosted a sensor or subscription at some point (excluded
+    /// from crashing: their state must stay addressable for teardown).
+    hosted_ever: Vec<NodeId>,
+    nodes: Vec<NodeId>,
+}
+
+impl Generator {
+    fn pick_node(&mut self) -> NodeId {
+        loop {
+            let n = *self
+                .nodes
+                .choose(&mut self.rng)
+                .expect("non-empty topology");
+            if !self.crashed.contains(&n) {
+                return n;
+            }
+        }
+    }
+
+    fn sensor_up(&mut self) {
+        let node = self.pick_node();
+        let sensor = SensorId(self.next_sensor);
+        let attr = AttrId((self.next_sensor % 5) as u16);
+        self.next_sensor += 1;
+        self.hosted_ever.push(node);
+        self.up.insert(sensor, (node, attr));
+        self.actions.push(ChurnAction::SensorUp {
+            node,
+            adv: Advertisement {
+                sensor,
+                attr,
+                location: Point::new(f64::from(sensor.0), 0.0),
+            },
+        });
+    }
+
+    fn publish(&mut self) {
+        let sensors: Vec<(SensorId, NodeId, AttrId)> =
+            self.up.iter().map(|(&s, &(n, a))| (s, n, a)).collect();
+        let Some(&(sensor, node, attr)) = sensors.choose(&mut self.rng) else {
+            return;
+        };
+        self.clock += self.config.reading_interval;
+        let event = Event {
+            id: EventId(self.next_event),
+            sensor,
+            attr,
+            location: Point::new(f64::from(sensor.0), 0.0),
+            value: self.rng.gen_range(0.0..self.config.value_span),
+            timestamp: Timestamp(self.clock),
+        };
+        self.next_event += 1;
+        self.actions.push(ChurnAction::Publish { node, event });
+    }
+
+    /// One churn action; returns `false` if the rolled action was not
+    /// applicable in the current state (caller re-rolls).
+    fn step(&mut self, topology: &Topology) -> bool {
+        let roll = self.rng.gen_range(0u32..100);
+        match roll {
+            // subscribe — the bread-and-butter action
+            0..=34 => {
+                if self.up.is_empty() {
+                    return false;
+                }
+                let arity = self
+                    .rng
+                    .gen_range(1..=self.config.max_arity.min(self.up.len()));
+                let mut pool: Vec<SensorId> = self.up.keys().copied().collect();
+                pool.shuffle(&mut self.rng);
+                let filters: Vec<(SensorId, ValueRange)> = pool[..arity]
+                    .iter()
+                    .map(|&s| {
+                        let half = self.config.range_half_width * self.rng.gen_range(0.5..1.5);
+                        let hi_center = (self.config.value_span - half).max(half + 0.1);
+                        let center = self.rng.gen_range(half..hi_center);
+                        (s, ValueRange::new(center - half, center + half))
+                    })
+                    .collect();
+                let node = self.pick_node();
+                let sub =
+                    Subscription::identified(SubId(self.next_sub), filters, self.config.delta_t)
+                        .expect("generated subscription is valid");
+                // registration epoch: pre-registration events must not be
+                // able to correlate with post-registration ones (see the
+                // generator invariants on `ChurnPlan::seeded`)
+                self.clock += self.config.delta_t;
+                self.active.insert(SubId(self.next_sub), node);
+                self.next_sub += 1;
+                self.hosted_ever.push(node);
+                self.actions.push(ChurnAction::Subscribe { node, sub });
+                true
+            }
+            // unsubscribe an active subscription
+            35..=54 => {
+                let subs: Vec<(SubId, NodeId)> =
+                    self.active.iter().map(|(&s, &n)| (s, n)).collect();
+                let Some(&(sub, node)) = subs.choose(&mut self.rng) else {
+                    return false;
+                };
+                self.active.remove(&sub);
+                self.actions.push(ChurnAction::Unsubscribe { node, sub });
+                true
+            }
+            // a brand-new sensor joins
+            55..=69 => {
+                self.sensor_up();
+                true
+            }
+            // a sensor departs (keep at least one up)
+            70..=84 => {
+                if self.up.len() <= 1 {
+                    return false;
+                }
+                let sensors: Vec<(SensorId, NodeId)> =
+                    self.up.iter().map(|(&s, &(n, _))| (s, n)).collect();
+                let &(sensor, node) = sensors.choose(&mut self.rng).expect("non-empty");
+                self.up.remove(&sensor);
+                self.actions.push(ChurnAction::SensorDown { node, sensor });
+                true
+            }
+            // crash a stateless leaf (fault injection)
+            _ => {
+                if !self.config.with_crashes {
+                    return false;
+                }
+                let candidate = self.nodes.iter().copied().find(|&n| {
+                    topology.degree(n) == 1
+                        && !self.crashed.contains(&n)
+                        && !self.hosted_ever.contains(&n)
+                        && !self.crashed.contains(&topology.neighbors(n)[0])
+                });
+                let Some(node) = candidate else {
+                    return false;
+                };
+                let anchor = topology.neighbors(node)[0];
+                self.crashed.push(node);
+                self.actions.push(ChurnAction::Crash { node, anchor });
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsf_network::builders;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let topo = builders::balanced(31, 2);
+        let cfg = ChurnPlanConfig::default();
+        let a = ChurnPlan::seeded(&topo, &cfg);
+        let b = ChurnPlan::seeded(&topo, &cfg);
+        assert_eq!(a, b);
+        let mut other = cfg.clone();
+        other.seed ^= 1;
+        assert_ne!(a, ChurnPlan::seeded(&topo, &other));
+    }
+
+    #[test]
+    fn seeded_plan_hits_the_requested_churn_volume() {
+        let topo = builders::balanced(63, 2);
+        let cfg = ChurnPlanConfig {
+            churn_actions: 50,
+            ..ChurnPlanConfig::default()
+        };
+        let plan = ChurnPlan::seeded(&topo, &cfg);
+        // bootstrap sensors count as churn actions too
+        assert!(plan.churn_action_count() >= 50 + cfg.initial_sensors);
+        // publishes interleave
+        assert!(plan.actions.iter().any(|a| !a.is_churn()));
+    }
+
+    #[test]
+    fn generator_never_publishes_from_a_downed_sensor() {
+        let topo = builders::balanced(63, 2);
+        let plan = ChurnPlan::seeded(
+            &topo,
+            &ChurnPlanConfig {
+                churn_actions: 120,
+                ..ChurnPlanConfig::default()
+            },
+        );
+        let mut up: Vec<SensorId> = Vec::new();
+        for a in &plan.actions {
+            match a {
+                ChurnAction::SensorUp { adv, .. } => {
+                    assert!(!up.contains(&adv.sensor), "sensor id reused");
+                    up.push(adv.sensor);
+                }
+                ChurnAction::SensorDown { sensor, .. } => {
+                    up.retain(|s| s != sensor);
+                }
+                ChurnAction::Publish { event, .. } => {
+                    assert!(up.contains(&event.sensor), "reading from a ghost");
+                }
+                ChurnAction::Subscribe { sub, .. } => {
+                    for d in sub.dims() {
+                        let fsf_model::DimKey::Sensor(s) = d else {
+                            panic!("identified subscriptions only")
+                        };
+                        assert!(up.contains(&s), "subscription over a ghost sensor");
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn teardown_retracts_exactly_the_survivors() {
+        let topo = builders::balanced(31, 2);
+        let plan = ChurnPlan::seeded(&topo, &ChurnPlanConfig::default());
+        let tail = plan.teardown();
+        // after appending the teardown, a second teardown is empty
+        let full = plan.with_teardown();
+        assert!(!tail.is_empty());
+        assert!(full.teardown().is_empty(), "teardown is exhaustive");
+    }
+
+    #[test]
+    fn crashes_only_hit_stateless_leaves() {
+        let topo = builders::balanced(63, 2);
+        let plan = ChurnPlan::seeded(
+            &topo,
+            &ChurnPlanConfig {
+                with_crashes: true,
+                churn_actions: 200,
+                ..ChurnPlanConfig::default()
+            },
+        );
+        let crashes: Vec<&ChurnAction> = plan
+            .actions
+            .iter()
+            .filter(|a| matches!(a, ChurnAction::Crash { .. }))
+            .collect();
+        assert!(!crashes.is_empty(), "200 actions should include a crash");
+        for c in crashes {
+            let ChurnAction::Crash { node, anchor } = c else {
+                unreachable!()
+            };
+            assert_eq!(topo.degree(*node), 1, "only leaves crash");
+            assert_eq!(topo.neighbors(*node)[0], *anchor);
+            for a in &plan.actions {
+                match a {
+                    ChurnAction::SensorUp { node: n, .. }
+                    | ChurnAction::Subscribe { node: n, .. }
+                    | ChurnAction::Publish { node: n, .. } => {
+                        assert_ne!(n, node, "crashed node hosted state");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

@@ -3,10 +3,39 @@
 use crate::centralized::{CentralMsg, CentralNode};
 use crate::multijoin::{MjMsg, MjNode};
 use fsf_core::{PubSubConfig, PubSubMsg, PubSubNode};
-use fsf_model::{Advertisement, Event, Subscription};
-use fsf_network::{DeliveryLog, NodeId, Simulator, Topology, TrafficStats};
+use fsf_model::{Advertisement, Event, SensorId, SubId, Subscription};
+use fsf_network::{DeliveryLog, NodeId, Simulator, Topology, TopologyError, TrafficStats};
 
-/// A continuous-query engine under test: inject workload items, flush the
+/// One node's residual state, as reported by [`Engine::footprint`] — the
+/// quantities a fully torn-down network must return to zero (churn leak
+/// checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFootprint {
+    /// The node.
+    pub node: NodeId,
+    /// Stored advertisements (`DSA_*`).
+    pub advertisements: usize,
+    /// Stored operators, covered and uncovered, all origins.
+    pub operators: usize,
+    /// Unexpired stored simple events.
+    pub stored_events: usize,
+    /// Forwarding-route entries retraction messages would retrace.
+    pub routes: usize,
+}
+
+impl NodeFootprint {
+    /// No residual state at all?
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.advertisements == 0
+            && self.operators == 0
+            && self.stored_events == 0
+            && self.routes == 0
+    }
+}
+
+/// A continuous-query engine under test: inject workload items (and retract
+/// them — §IV-B: state "is valid until explicitly removed"), flush the
 /// network, read traffic and deliveries.
 pub trait Engine {
     /// Human-readable approach name (paper §VI naming).
@@ -17,6 +46,23 @@ pub trait Engine {
     fn inject_subscription(&mut self, node: NodeId, sub: Subscription);
     /// A sensor at `node` publishes a reading.
     fn inject_event(&mut self, node: NodeId, event: Event);
+    /// The user at `node` cancels subscription `sub`: every engine must
+    /// withdraw the subscription's operator state along its forwarding
+    /// paths (or, for the centralized baseline, at the centre).
+    fn retract_subscription(&mut self, node: NodeId, sub: SubId);
+    /// The sensor `sensor` hosted at `node` departs: retract its
+    /// advertisement state and garbage-collect its stored readings.
+    fn retract_sensor(&mut self, node: NodeId, sensor: SensorId);
+    /// Crash `node`: re-graft its orphaned neighbors onto `anchor` (which
+    /// must be one of its neighbors) and mark it down — subsequent traffic
+    /// to it is dropped. See [`fsf_network::Topology::regraft`].
+    ///
+    /// # Errors
+    /// Fails if `anchor` is not a neighbor of `node`.
+    fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError>;
+    /// Per-node residual state (downed nodes excluded — they died with
+    /// their state).
+    fn footprint(&self) -> Vec<NodeFootprint>;
     /// Process all queued messages to quiescence.
     fn flush(&mut self);
     /// Accumulated traffic counters.
@@ -154,6 +200,31 @@ impl Engine for PubSubEngine {
     fn inject_event(&mut self, node: NodeId, event: Event) {
         self.sim.inject(node, PubSubMsg::Publish(event));
     }
+    fn retract_subscription(&mut self, node: NodeId, sub: SubId) {
+        self.sim.inject(node, PubSubMsg::Unsubscribe(sub));
+    }
+    fn retract_sensor(&mut self, node: NodeId, sensor: SensorId) {
+        self.sim.inject(node, PubSubMsg::SensorDown(sensor));
+    }
+    fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
+        self.sim.crash_and_regraft(node, anchor)
+    }
+    fn footprint(&self) -> Vec<NodeFootprint> {
+        let ids: Vec<NodeId> = self.sim.topology().nodes().collect();
+        ids.iter()
+            .filter(|&&id| !self.sim.is_down(id))
+            .map(|&id| {
+                let st = self.sim.node(id).storage_stats();
+                NodeFootprint {
+                    node: id,
+                    advertisements: st.advertisements,
+                    operators: st.total_operators(),
+                    stored_events: st.stored_events,
+                    routes: st.forwarded_routes,
+                }
+            })
+            .collect()
+    }
     fn flush(&mut self) {
         self.sim.run_to_quiescence();
     }
@@ -191,6 +262,32 @@ impl Engine for MjEngine {
     }
     fn inject_event(&mut self, node: NodeId, event: Event) {
         self.sim.inject(node, MjMsg::Publish(event));
+    }
+    fn retract_subscription(&mut self, node: NodeId, sub: SubId) {
+        self.sim.inject(node, MjMsg::Unsubscribe(sub));
+    }
+    fn retract_sensor(&mut self, node: NodeId, sensor: SensorId) {
+        self.sim.inject(node, MjMsg::SensorDown(sensor));
+    }
+    fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
+        self.sim.crash_and_regraft(node, anchor)
+    }
+    fn footprint(&self) -> Vec<NodeFootprint> {
+        let ids: Vec<NodeId> = self.sim.topology().nodes().collect();
+        ids.iter()
+            .filter(|&&id| !self.sim.is_down(id))
+            .map(|&id| {
+                let (advertisements, operators, stored_events, routes) =
+                    self.sim.node(id).state_counts();
+                NodeFootprint {
+                    node: id,
+                    advertisements,
+                    operators,
+                    stored_events,
+                    routes,
+                }
+            })
+            .collect()
     }
     fn flush(&mut self) {
         self.sim.run_to_quiescence();
@@ -233,6 +330,31 @@ impl Engine for CentralEngine {
     }
     fn inject_event(&mut self, node: NodeId, event: Event) {
         self.sim.inject(node, CentralMsg::Publish(event));
+    }
+    fn retract_subscription(&mut self, node: NodeId, sub: SubId) {
+        self.sim.inject(node, CentralMsg::Unsubscribe(sub));
+    }
+    fn retract_sensor(&mut self, node: NodeId, sensor: SensorId) {
+        self.sim.inject(node, CentralMsg::SensorDown(sensor));
+    }
+    fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
+        self.sim.crash_and_regraft(node, anchor)
+    }
+    fn footprint(&self) -> Vec<NodeFootprint> {
+        let ids: Vec<NodeId> = self.sim.topology().nodes().collect();
+        ids.iter()
+            .filter(|&&id| !self.sim.is_down(id))
+            .map(|&id| {
+                let n = self.sim.node(id);
+                NodeFootprint {
+                    node: id,
+                    advertisements: 0, // the centralized scheme keeps none
+                    operators: n.registered_subs(),
+                    stored_events: n.stored_events(),
+                    routes: 0,
+                }
+            })
+            .collect()
     }
     fn flush(&mut self) {
         self.sim.run_to_quiescence();

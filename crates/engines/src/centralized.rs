@@ -43,6 +43,16 @@ pub enum CentralMsg {
         /// The newly matched simple events.
         events: Vec<Event>,
     },
+    /// Local injection: a user cancels a subscription at this node.
+    Unsubscribe(SubId),
+    /// A cancellation en route to the centre, where the real removal
+    /// happens (subscription table + owner entry).
+    UnsubToCenter(SubId),
+    /// Local injection: the sensor at this node departed.
+    SensorDown(fsf_model::SensorId),
+    /// A departure notice en route to the centre, which garbage-collects
+    /// the departed sensor's stored events.
+    SensorDownToCenter(fsf_model::SensorId),
 }
 
 /// A node of the centralized engine: relays toward the centre / toward
@@ -65,7 +75,18 @@ impl CentralNode {
     /// setup; `event_validity` as for the distributed engines.
     #[must_use]
     pub fn new(id: NodeId, topology: &Topology, center: NodeId, event_validity: u64) -> Self {
-        // Full next-hop table: for each destination, the neighbor on the path.
+        CentralNode {
+            id,
+            center,
+            next_hop: Self::compute_next_hops(id, topology),
+            subs: OperatorTable::new(),
+            owners: BTreeMap::new(),
+            events: EventStore::new(event_validity),
+        }
+    }
+
+    /// Full next-hop table: for each destination, the neighbor on the path.
+    fn compute_next_hops(id: NodeId, topology: &Topology) -> Vec<NodeId> {
         let mut next_hop = vec![id; topology.len()];
         let parents = topology.parents_toward(id);
         for d in topology.nodes() {
@@ -82,14 +103,7 @@ impl CentralNode {
             }
             next_hop[d.0 as usize] = cur;
         }
-        CentralNode {
-            id,
-            center,
-            next_hop,
-            subs: OperatorTable::new(),
-            owners: BTreeMap::new(),
-            events: EventStore::new(event_validity),
-        }
+        next_hop
     }
 
     /// Is this node the matching centre?
@@ -104,6 +118,12 @@ impl CentralNode {
         self.subs.len()
     }
 
+    /// Number of events stored at the centre (0 elsewhere).
+    #[must_use]
+    pub fn stored_events(&self) -> usize {
+        self.events.len()
+    }
+
     fn hop_toward(&self, dest: NodeId) -> NodeId {
         self.next_hop[dest.0 as usize]
     }
@@ -112,6 +132,31 @@ impl CentralNode {
         let op = Operator::from_subscription(&sub);
         self.owners.insert(sub.id(), user);
         self.subs.insert(op);
+    }
+
+    /// The real removal path of the centralized baseline: drop the
+    /// subscription's operator and owner entry at the centre. Idempotent.
+    fn unregister_at_center(&mut self, sub: SubId) {
+        for key in self.subs.keys_of_sub(sub) {
+            self.subs.remove(&key);
+        }
+        self.owners.remove(&sub);
+    }
+
+    /// Forward a message one hop toward the centre, or run `at_center` here.
+    fn toward_center(
+        &mut self,
+        kind: ChargeKind,
+        make: impl FnOnce() -> CentralMsg,
+        at_center: impl FnOnce(&mut Self),
+        ctx: &mut Ctx<'_, CentralMsg>,
+    ) {
+        if self.is_center() {
+            at_center(self);
+        } else {
+            let hop = self.hop_toward(self.center);
+            ctx.send(hop, make(), kind, 1);
+        }
     }
 
     /// Centre matching: store the event, find matching subscriptions, emit
@@ -235,7 +280,34 @@ impl NodeBehavior for CentralNode {
                     );
                 }
             }
+            CentralMsg::Unsubscribe(sub) | CentralMsg::UnsubToCenter(sub) => {
+                self.toward_center(
+                    ChargeKind::Subscription,
+                    || CentralMsg::UnsubToCenter(sub),
+                    |n| n.unregister_at_center(sub),
+                    ctx,
+                );
+            }
+            CentralMsg::SensorDown(sensor) | CentralMsg::SensorDownToCenter(sensor) => {
+                // control traffic, accounted like the distributed engines'
+                // retraction floods (advertisement class, which the paper
+                // excludes from the load comparison)
+                self.toward_center(
+                    ChargeKind::Advertisement,
+                    || CentralMsg::SensorDownToCenter(sensor),
+                    |n| {
+                        n.events.remove_sensor(sensor);
+                    },
+                    ctx,
+                );
+            }
         }
+    }
+
+    fn on_topology_change(&mut self, topology: &Topology) {
+        // a crashed neighbor's subtree was re-grafted: the precomputed
+        // next-hop table is stale, rebuild it (the centre itself stays put)
+        self.next_hop = Self::compute_next_hops(self.id, topology);
     }
 }
 
@@ -338,6 +410,35 @@ mod tests {
         s.inject_and_run(NodeId(4), CentralMsg::Publish(ev(1, 1, 5.0, 100)));
         assert_eq!(s.stats.event_units, 2, "only the inbound leg");
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
+    }
+
+    #[test]
+    fn unsubscribe_removes_center_state_and_stops_results() {
+        let mut s = line_sim();
+        s.inject_and_run(NodeId(0), CentralMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        assert_eq!(s.node(NodeId(2)).registered_subs(), 1);
+        s.inject_and_run(NodeId(0), CentralMsg::Unsubscribe(SubId(1)));
+        assert_eq!(s.node(NodeId(2)).registered_subs(), 0);
+        // events still pay the inbound fixed cost, but no results flow back
+        let before = s.stats.event_units;
+        s.inject_and_run(NodeId(4), CentralMsg::Publish(ev(1, 1, 5.0, 100)));
+        assert_eq!(s.stats.event_units - before, 2, "inbound leg only");
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 0);
+        // idempotent
+        s.inject_and_run(NodeId(0), CentralMsg::Unsubscribe(SubId(1)));
+        assert_eq!(s.node(NodeId(2)).registered_subs(), 0);
+    }
+
+    #[test]
+    fn sensor_down_collects_the_centers_event_store() {
+        let mut s = line_sim();
+        s.inject_and_run(NodeId(4), CentralMsg::Publish(ev(1, 1, 5.0, 100)));
+        s.inject_and_run(NodeId(4), CentralMsg::Publish(ev(2, 2, 5.0, 101)));
+        assert_eq!(s.node(NodeId(2)).stored_events(), 2);
+        s.inject_and_run(NodeId(4), CentralMsg::SensorDown(fsf_model::SensorId(1)));
+        assert_eq!(s.node(NodeId(2)).stored_events(), 1, "s1's reading dropped");
+        s.inject_and_run(NodeId(4), CentralMsg::SensorDown(fsf_model::SensorId(2)));
+        assert_eq!(s.node(NodeId(2)).stored_events(), 0);
     }
 
     #[test]

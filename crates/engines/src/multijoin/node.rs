@@ -18,10 +18,21 @@ pub enum MjMsg {
     SensorUp(Advertisement),
     /// A flooded advertisement.
     Adv(Advertisement),
+    /// A local sensor departs (local injection): retract its advertisement
+    /// and garbage-collect its stored readings.
+    SensorDown(fsf_model::SensorId),
+    /// A flooded advertisement retraction (retraces the `Adv` flood).
+    AdvDown(fsf_model::SensorId),
     /// A local user registers a subscription.
     Subscribe(Subscription),
+    /// A local user cancels a subscription: the whole decomposition (multi,
+    /// binary joins, filter transports) is withdrawn along its forwarding
+    /// paths.
+    Unsubscribe(fsf_model::SubId),
     /// A forwarded operator (multi-join, binary join, or simple filter).
     Op(MjWireOp),
+    /// A subscription's operators withdrawn by a neighbor.
+    RemoveSub(fsf_model::SubId),
     /// A local sensor publishes a reading.
     Publish(Event),
     /// Simple events forwarded by a neighbor (per-link deduplicated).
@@ -77,6 +88,18 @@ impl MjNode {
     #[must_use]
     pub fn dropped_unanswerable(&self) -> u64 {
         self.dropped_unanswerable
+    }
+
+    /// `(advertisements, operators, stored events, forwarded entries)` —
+    /// this node's residual state, for churn leak checks.
+    #[must_use]
+    pub fn state_counts(&self) -> (usize, usize, usize, usize) {
+        (
+            self.adverts.len(),
+            self.stores.values().map(MjStore::len).sum(),
+            self.events.len(),
+            self.forwarded.len(),
+        )
     }
 
     // ----- advertisements (same flooding as Algorithm 1) -----
@@ -263,6 +286,104 @@ impl MjNode {
         }
     }
 
+    // ----- explicit removal (unsubscribe / sensor churn) -----
+
+    /// Withdraw every operator of `sub` stored from `origin` and retrace the
+    /// forwards. The whole decomposition of one subscription carries the
+    /// same `SubId` and, on a tree, reaches each node from exactly one
+    /// origin, so whole-subscription removal is exact. Promotes covered
+    /// operators that lost their cover.
+    fn handle_remove_sub(
+        &mut self,
+        origin: Origin,
+        sub: fsf_model::SubId,
+        ctx: &mut Ctx<'_, MjMsg>,
+    ) {
+        let removed = self
+            .stores
+            .get_mut(&origin)
+            .is_some_and(|s| s.remove_sub(sub));
+        if !removed {
+            return; // idempotent: unknown subscription, nothing to retrace
+        }
+        // retrace: every neighbor this subscription's operators were sent to
+        let sent: Vec<(NodeId, MjKey)> = self
+            .forwarded
+            .iter()
+            .filter(|(_, k)| k.sub == sub)
+            .cloned()
+            .collect();
+        let mut notified: BTreeSet<NodeId> = BTreeSet::new();
+        for (j, k) in sent {
+            self.forwarded.remove(&(j, k));
+            notified.insert(j);
+        }
+        for j in notified {
+            if ctx.neighbors().binary_search(&j).is_ok() {
+                ctx.send(j, MjMsg::RemoveSub(sub), ChargeKind::Subscription, 1);
+            }
+        }
+        self.promote_uncovered(origin, ctx);
+    }
+
+    /// Re-check the covered half of `origin`'s slot after a removal: any
+    /// operator no longer pairwise-covered by the remaining uncovered set is
+    /// promoted and re-processed as if newly received.
+    fn promote_uncovered(&mut self, origin: Origin, ctx: &mut Ctx<'_, MjMsg>) {
+        let Some(store) = self.stores.get(&origin) else {
+            return;
+        };
+        let candidates: Vec<MjKey> = store.covered_entries().map(|(k, _)| k.clone()).collect();
+        for key in candidates {
+            let (still_covered, stored) = {
+                let store = &self.stores[&origin];
+                let Some(s) = store.covered_entries().find(|(k, _)| **k == key) else {
+                    continue;
+                };
+                (
+                    pairwise::covered_by_any(&s.1.op, store.filter_group(&key)),
+                    s.1.clone(),
+                )
+            };
+            if still_covered {
+                continue;
+            }
+            self.stores
+                .get_mut(&origin)
+                .expect("slot exists")
+                .remove_covered(&key);
+            let kind = match stored.role {
+                StoredRole::BinaryEval { main } => WireKind::Binary { main },
+                StoredRole::FilterTransport => WireKind::Filter,
+                StoredRole::MultiAbove | StoredRole::MultiSplit => WireKind::Multi,
+            };
+            let wire = MjWireOp::new(stored.op, kind);
+            self.handle_operator(origin, wire, stored.is_user_sub, ctx);
+        }
+    }
+
+    /// A sensor departed: retract its advertisement, retrace the flood, and
+    /// garbage-collect its stored readings. Operators referencing the
+    /// departed sensor stay until their subscription is retracted — with the
+    /// source gone they are inert, and whole-subscription removal does not
+    /// depend on the advertisement picture.
+    fn handle_sensor_down(
+        &mut self,
+        origin: Origin,
+        sensor: fsf_model::SensorId,
+        ctx: &mut Ctx<'_, MjMsg>,
+    ) {
+        if self.adverts.remove(sensor).is_none() {
+            return; // retraction flooding is idempotent
+        }
+        for &j in ctx.neighbors().to_vec().iter() {
+            if Origin::Neighbor(j) != origin {
+                ctx.send(j, MjMsg::AdvDown(sensor), ChargeKind::Advertisement, 1);
+            }
+        }
+        self.events.remove_sensor(sensor);
+    }
+
     /// Send the divergence node's value filters toward the data sources:
     /// one per-neighbor projection of the multi-join's filter set ("the
     /// natural splitting into simple operators, according to the network
@@ -422,6 +543,10 @@ impl NodeBehavior for MjNode {
         match msg {
             MjMsg::SensorUp(adv) => self.handle_advertisement(Origin::Local, adv, ctx),
             MjMsg::Adv(adv) => self.handle_advertisement(origin, adv, ctx),
+            MjMsg::SensorDown(sensor) => self.handle_sensor_down(Origin::Local, sensor, ctx),
+            MjMsg::AdvDown(sensor) => self.handle_sensor_down(origin, sensor, ctx),
+            MjMsg::Unsubscribe(sub) => self.handle_remove_sub(Origin::Local, sub, ctx),
+            MjMsg::RemoveSub(sub) => self.handle_remove_sub(origin, sub, ctx),
             MjMsg::Subscribe(sub) => {
                 let arity = sub.arity();
                 let op = Operator::from_subscription(&sub);
@@ -657,6 +782,86 @@ mod tests {
             1,
             "out of range filtered at source"
         );
+    }
+
+    #[test]
+    fn unsubscribe_withdraws_the_whole_decomposition() {
+        let mut s = star_sim();
+        s.inject_and_run(
+            NodeId(4),
+            MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0), (3, 0.0, 10.0)])),
+        );
+        s.inject_and_run(NodeId(4), MjMsg::Unsubscribe(SubId(1)));
+        for n in 0..5u32 {
+            let (_, ops, _, fwd) = s.node(NodeId(n)).state_counts();
+            assert_eq!(ops, 0, "n{n} leaked operators");
+            assert_eq!(fwd, 0, "n{n} leaked forward entries");
+        }
+        // further readings go nowhere
+        let before = s.stats.event_units;
+        s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        s.inject_and_run(NodeId(2), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
+        assert_eq!(s.stats.event_units, before);
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 0);
+        // idempotent
+        let stats = s.stats.clone();
+        s.inject_and_run(NodeId(4), MjMsg::Unsubscribe(SubId(1)));
+        assert_eq!(s.stats, stats);
+    }
+
+    #[test]
+    fn unsubscribing_the_coverer_promotes_the_covered_multijoin() {
+        let mut s = star_sim();
+        s.inject_and_run(
+            NodeId(4),
+            MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])),
+        );
+        // narrower multi over the same dims: covered at the user node
+        s.inject_and_run(
+            NodeId(4),
+            MjMsg::Subscribe(sub(2, &[(1, 2.0, 8.0), (2, 2.0, 8.0)])),
+        );
+        s.inject_and_run(NodeId(4), MjMsg::Unsubscribe(SubId(1)));
+        // s2 was promoted and re-forwarded; it is now served directly
+        s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        s.inject_and_run(NodeId(2), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
+        assert_eq!(s.deliveries.delivered(SubId(2)).len(), 2);
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 0, "s1 is gone");
+    }
+
+    #[test]
+    fn sensor_down_retracts_adverts_and_collects_events() {
+        let mut s = star_sim();
+        s.inject_and_run(
+            NodeId(4),
+            MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])),
+        );
+        s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        s.inject_and_run(NodeId(1), MjMsg::SensorDown(SensorId(1)));
+        for n in 0..5u32 {
+            let node = s.node(NodeId(n));
+            assert!(!node.adverts().knows_sensor(SensorId(1)), "n{n} advert");
+        }
+        // the departed sensor's stored reading is gone everywhere, so a late
+        // partner cannot resurrect the join
+        s.inject_and_run(NodeId(2), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 0);
+        // idempotent
+        let stats = s.stats.clone();
+        s.inject_and_run(NodeId(1), MjMsg::SensorDown(SensorId(1)));
+        assert_eq!(s.stats, stats);
+    }
+
+    #[test]
+    fn resubscription_after_removal_is_fresh() {
+        let mut s = star_sim();
+        let subscription = sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)]);
+        s.inject_and_run(NodeId(4), MjMsg::Subscribe(subscription.clone()));
+        s.inject_and_run(NodeId(4), MjMsg::Unsubscribe(SubId(1)));
+        s.inject_and_run(NodeId(4), MjMsg::Subscribe(subscription));
+        s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        s.inject_and_run(NodeId(2), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 2);
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! Per-origin operator storage for the multi-join engine.
+//!
+//! Keyed by [`MjKey`] in both halves so that explicit retraction
+//! (unsubscribe / sensor churn) can remove individual identities and whole
+//! subscriptions without rebuilding the store.
 
 use super::ops::MjKey;
-use fsf_model::{DimKey, Operator};
+use fsf_model::{DimKey, Operator, SubId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// How a stored operator participates in event processing at *this* node.
@@ -43,10 +47,9 @@ pub struct StoredMj {
 /// per-dimension index over the uncovered half.
 #[derive(Debug, Default, Clone)]
 pub struct MjStore {
-    uncovered: Vec<StoredMj>,
-    covered: Vec<StoredMj>,
-    keys: BTreeSet<MjKey>,
-    dim_index: BTreeMap<DimKey, Vec<usize>>,
+    uncovered: BTreeMap<MjKey, StoredMj>,
+    covered: BTreeMap<MjKey, StoredMj>,
+    dim_index: BTreeMap<DimKey, BTreeSet<MjKey>>,
 }
 
 impl MjStore {
@@ -59,28 +62,27 @@ impl MjStore {
     /// Has this operator identity been stored (covered or not)?
     #[must_use]
     pub fn contains(&self, key: &MjKey) -> bool {
-        self.keys.contains(key)
+        self.uncovered.contains_key(key) || self.covered.contains_key(key)
     }
 
     /// Store an active operator. Returns `false` on duplicate identity.
     pub fn insert_uncovered(&mut self, key: MjKey, stored: StoredMj) -> bool {
-        if !self.keys.insert(key) {
+        if self.contains(&key) {
             return false;
         }
-        let idx = self.uncovered.len();
         for d in stored.op.dims() {
-            self.dim_index.entry(d).or_default().push(idx);
+            self.dim_index.entry(d).or_default().insert(key.clone());
         }
-        self.uncovered.push(stored);
+        self.uncovered.insert(key, stored);
         true
     }
 
     /// Store a covered (redundant) operator. Returns `false` on duplicate.
     pub fn insert_covered(&mut self, key: MjKey, stored: StoredMj) -> bool {
-        if !self.keys.insert(key) {
+        if self.contains(&key) {
             return false;
         }
-        self.covered.push(stored);
+        self.covered.insert(key, stored);
         true
     }
 
@@ -90,19 +92,56 @@ impl MjStore {
             .get(dim)
             .into_iter()
             .flatten()
-            .map(|&i| &self.uncovered[i])
+            .map(|k| &self.uncovered[k])
     }
 
-    /// All uncovered operators.
+    /// All uncovered operators, in key order.
     #[must_use]
-    pub fn uncovered(&self) -> &[StoredMj] {
-        &self.uncovered
+    pub fn uncovered(&self) -> Vec<&StoredMj> {
+        self.uncovered.values().collect()
     }
 
-    /// All covered operators.
+    /// All covered operators, in key order.
     #[must_use]
-    pub fn covered(&self) -> &[StoredMj] {
-        &self.covered
+    pub fn covered(&self) -> Vec<&StoredMj> {
+        self.covered.values().collect()
+    }
+
+    /// Covered entries, with their keys (promotion re-checks).
+    pub fn covered_entries(&self) -> impl Iterator<Item = (&MjKey, &StoredMj)> {
+        self.covered.iter()
+    }
+
+    /// Remove one covered identity (promotion path).
+    pub fn remove_covered(&mut self, key: &MjKey) -> Option<StoredMj> {
+        self.covered.remove(key)
+    }
+
+    /// Remove every operator (both halves) belonging to `sub` — the whole
+    /// decomposition of one retracted subscription. Returns `true` if
+    /// anything was removed.
+    pub fn remove_sub(&mut self, sub: SubId) -> bool {
+        let keys: Vec<MjKey> = self
+            .uncovered
+            .keys()
+            .chain(self.covered.keys())
+            .filter(|k| k.sub == sub)
+            .cloned()
+            .collect();
+        for key in &keys {
+            if let Some(stored) = self.uncovered.remove(key) {
+                for d in stored.op.dims() {
+                    if let Some(set) = self.dim_index.get_mut(&d) {
+                        set.remove(key);
+                        if set.is_empty() {
+                            self.dim_index.remove(&d);
+                        }
+                    }
+                }
+            }
+            self.covered.remove(key);
+        }
+        !keys.is_empty()
     }
 
     /// The pairwise-filtering candidate group: uncovered operators with the
@@ -110,7 +149,7 @@ impl MjStore {
     #[must_use]
     pub fn filter_group(&self, key: &MjKey) -> Vec<&Operator> {
         self.uncovered
-            .iter()
+            .values()
             .filter(|s| {
                 let main = match s.role {
                     StoredRole::BinaryEval { main } => Some(main),
@@ -131,7 +170,7 @@ impl MjStore {
     /// Is the store empty?
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.uncovered.is_empty() && self.covered.is_empty()
     }
 }
 
@@ -211,5 +250,32 @@ mod tests {
         assert_eq!(s.filter_group(&other_dir).len(), 0);
         // multis don't mix with binaries either
         assert_eq!(s.filter_group(&key(&narrow, None)).len(), 0);
+    }
+
+    #[test]
+    fn remove_sub_clears_both_halves_and_the_dim_index() {
+        let mut s = MjStore::new();
+        let multi = op(1, &[1, 2], 0.0, 10.0);
+        let dims: Vec<DimKey> = multi.dims().collect();
+        s.insert_uncovered(key(&multi, None), stored(&multi, StoredRole::MultiSplit));
+        s.insert_uncovered(
+            key(&multi, Some(dims[0])),
+            stored(&multi, StoredRole::BinaryEval { main: dims[0] }),
+        );
+        let other = op(2, &[1], 0.0, 10.0);
+        s.insert_covered(
+            key(&other, None),
+            stored(&other, StoredRole::FilterTransport),
+        );
+        assert!(s.remove_sub(SubId(1)));
+        assert!(!s.remove_sub(SubId(1)), "second removal is a no-op");
+        assert_eq!(s.len(), 1, "only sub 2's covered entry remains");
+        assert_eq!(
+            s.uncovered_with_dim(&DimKey::Sensor(SensorId(1))).count(),
+            0,
+            "dim index cleaned"
+        );
+        assert!(s.remove_sub(SubId(2)));
+        assert!(s.is_empty());
     }
 }

@@ -22,6 +22,13 @@ pub trait NodeBehavior {
     /// item (the paper's `n == m` case: a local user subscription, a local
     /// sensor reading, or a local sensor appearing).
     fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// The topology changed around this node (a crashed neighbor's subtree
+    /// was re-grafted). Nodes with precomputed routing state (e.g. the
+    /// centralized baseline's next-hop table) refresh it here; the default
+    /// is a no-op because the pub/sub family reads `ctx.neighbors()` fresh
+    /// on every message.
+    fn on_topology_change(&mut self, _topology: &Topology) {}
 }
 
 /// What a node may do while handling a message: send to neighbors and
@@ -165,6 +172,8 @@ pub struct Simulator<B: NodeBehavior> {
     pub deliveries: DeliveryLog,
     steps: u64,
     max_steps_per_run: u64,
+    down: BTreeSet<NodeId>,
+    dropped_to_downed: u64,
 }
 
 impl<B: NodeBehavior> Simulator<B> {
@@ -186,6 +195,8 @@ impl<B: NodeBehavior> Simulator<B> {
             deliveries: DeliveryLog::new(),
             steps: 0,
             max_steps_per_run: Self::DEFAULT_MAX_STEPS,
+            down: BTreeSet::new(),
+            dropped_to_downed: 0,
         }
     }
 
@@ -201,14 +212,67 @@ impl<B: NodeBehavior> Simulator<B> {
     }
 
     /// Immutable access to a node's state (for inspection in tests).
+    ///
+    /// # Panics
+    /// Panics with a named-id message on unknown node ids — churn plans make
+    /// out-of-range ids a realistic mistake.
     #[must_use]
     pub fn node(&self, id: NodeId) -> &B {
-        &self.nodes[id.0 as usize]
+        let n = self.topology.len();
+        self.nodes
+            .get(id.0 as usize)
+            .unwrap_or_else(|| panic!("unknown NodeId {id}: topology has {n} nodes (0..{n})"))
     }
 
     /// Mutable access to a node's state.
+    ///
+    /// # Panics
+    /// Panics with a named-id message on unknown node ids (see [`Self::node`]).
     pub fn node_mut(&mut self, id: NodeId) -> &mut B {
-        &mut self.nodes[id.0 as usize]
+        let n = self.topology.len();
+        self.nodes
+            .get_mut(id.0 as usize)
+            .unwrap_or_else(|| panic!("unknown NodeId {id}: topology has {n} nodes (0..{n})"))
+    }
+
+    /// Is the node marked down (crashed)?
+    #[must_use]
+    pub fn is_down(&self, id: NodeId) -> bool {
+        self.down.contains(&id)
+    }
+
+    /// Messages dropped because their destination was down — the simulator's
+    /// fault-injection counter.
+    #[must_use]
+    pub fn dropped_to_downed(&self) -> u64 {
+        self.dropped_to_downed
+    }
+
+    /// Crash a node: re-graft its orphaned neighbors onto `anchor` (see
+    /// [`Topology::regraft`]), mark it down, drop every queued message
+    /// addressed to it, and notify every surviving node of the new topology
+    /// via [`NodeBehavior::on_topology_change`]. Messages later sent to the
+    /// downed node are charged (they left the sender's radio) but dropped.
+    pub fn crash_and_regraft(
+        &mut self,
+        crashed: NodeId,
+        anchor: NodeId,
+    ) -> Result<(), crate::topology::TopologyError> {
+        if self.down.contains(&anchor) {
+            // re-grafting survivors onto a corpse would black-hole them
+            return Err(crate::topology::TopologyError::BadEdge(crashed.0, anchor.0));
+        }
+        self.topology = self.topology.regraft(crashed, anchor)?;
+        self.down.insert(crashed);
+        let before = self.queue.len();
+        self.queue.retain(|env| env.to != crashed);
+        self.dropped_to_downed += (before - self.queue.len()) as u64;
+        for id in 0..self.nodes.len() {
+            if !self.down.contains(&NodeId(id as u32)) {
+                self.nodes[id].on_topology_change(&self.topology);
+            }
+        }
+        Ok(())
     }
 
     /// Messages processed since construction.
@@ -218,8 +282,14 @@ impl<B: NodeBehavior> Simulator<B> {
     }
 
     /// Inject a local item (sensor appearance, user subscription, sensor
-    /// reading) at `node`. The node sees `from == node`.
+    /// reading) at `node`. The node sees `from == node`. Injections at a
+    /// downed node are dropped (and counted) — its users and sensors died
+    /// with it.
     pub fn inject(&mut self, node: NodeId, msg: B::Msg) {
+        if self.down.contains(&node) {
+            self.dropped_to_downed += 1;
+            return;
+        }
         self.queue.push_back(Envelope {
             from: node,
             to: node,
@@ -239,6 +309,10 @@ impl<B: NodeBehavior> Simulator<B> {
                     "simulator exceeded {} steps — forwarding loop?",
                     self.max_steps_per_run
                 );
+            }
+            if self.down.contains(&env.to) {
+                self.dropped_to_downed += 1;
+                continue;
             }
             let node_idx = env.to.0 as usize;
             {
@@ -359,6 +433,54 @@ mod tests {
         let mut sim = Simulator::new(topo, |_, _| PingPong);
         sim.set_max_steps(1000);
         sim.inject_and_run(NodeId(0), ());
+    }
+
+    #[test]
+    fn unknown_node_id_panics_with_named_message() {
+        let topo = builders::line(3);
+        let sim = Simulator::new(topo, |_, _| Flood::default());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = sim.node(NodeId(7));
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("unknown NodeId n7"), "got: {msg}");
+        assert!(msg.contains("3 nodes"), "got: {msg}");
+    }
+
+    #[test]
+    fn crashed_node_drops_traffic_but_survivors_reroute() {
+        // star: hub 0, leaves 1..4 — crash the hub onto leaf 1
+        let topo = builders::star(5);
+        let mut sim = Simulator::new(topo, |_, _| Flood::default());
+        sim.crash_and_regraft(NodeId(0), NodeId(1)).unwrap();
+        assert!(sim.is_down(NodeId(0)));
+        sim.inject_and_run(NodeId(2), 42);
+        // the flood reaches every survivor via the new hub (leaf 1)…
+        for n in [1u32, 2, 3, 4] {
+            assert_eq!(sim.node(NodeId(n)).seen, vec![42], "node n{n}");
+        }
+        // …and the copy sent to the downed node is charged but dropped
+        assert!(sim.node(NodeId(0)).seen.is_empty());
+        assert!(sim.dropped_to_downed() >= 1);
+        // injections at the corpse are swallowed
+        let dropped = sim.dropped_to_downed();
+        sim.inject_and_run(NodeId(0), 43);
+        assert_eq!(sim.dropped_to_downed(), dropped + 1);
+    }
+
+    #[test]
+    fn regrafting_onto_a_downed_anchor_is_rejected() {
+        // line 0-1-2-3: down node 1, then try to re-graft node 2's
+        // survivors onto the corpse
+        let topo = builders::line(4);
+        let mut sim = Simulator::new(topo, |_, _| Flood::default());
+        sim.crash_and_regraft(NodeId(1), NodeId(2)).unwrap();
+        assert!(sim.crash_and_regraft(NodeId(2), NodeId(1)).is_err());
+        // a live anchor still works
+        sim.crash_and_regraft(NodeId(2), NodeId(3)).unwrap();
+        sim.inject_and_run(NodeId(0), 7);
+        assert_eq!(sim.node(NodeId(3)).seen, vec![7], "0 reaches 3 via regraft");
     }
 
     #[test]

@@ -208,6 +208,45 @@ impl Topology {
         best.1
     }
 
+    /// Re-graft the subtree around a crashed node: every edge of `crashed`
+    /// except the one to `anchor` is replaced by an edge from the orphaned
+    /// neighbor directly to `anchor`, so the survivors stay a connected
+    /// tree. `crashed` itself remains attached to `anchor` as a leaf (its id
+    /// stays valid; the simulator marks it down so it never processes or
+    /// receives anything). `anchor` must be a neighbor of `crashed`.
+    pub fn regraft(&self, crashed: NodeId, anchor: NodeId) -> Result<Topology, TopologyError> {
+        if crashed == anchor
+            || crashed.0 as usize >= self.len()
+            || anchor.0 as usize >= self.len()
+            || !self.neighbors(crashed).contains(&anchor)
+        {
+            return Err(TopologyError::BadEdge(crashed.0, anchor.0));
+        }
+        let mut adj = self.adj.clone();
+        let orphans: Vec<NodeId> = self
+            .neighbors(crashed)
+            .iter()
+            .copied()
+            .filter(|&n| n != anchor)
+            .collect();
+        adj[crashed.0 as usize] = vec![anchor];
+        for o in orphans {
+            let l = &mut adj[o.0 as usize];
+            l.retain(|&n| n != crashed);
+            l.push(anchor);
+            l.sort_unstable();
+            adj[anchor.0 as usize].push(o);
+        }
+        adj[anchor.0 as usize].sort_unstable();
+        let topo = Topology { adj };
+        debug_assert_eq!(
+            topo.bfs_order(anchor).len(),
+            topo.len(),
+            "regraft stays a tree"
+        );
+        Ok(topo)
+    }
+
     /// Sum over all node pairs of hop distance — a compactness measure used
     /// in tests and reports.
     #[must_use]
@@ -308,6 +347,39 @@ mod tests {
     fn wiener_index_of_line4() {
         // pairs: 01,02,03,12,13,23 → 1+2+3+1+2+1 = 10
         assert_eq!(line(4).wiener_index(), 10);
+    }
+
+    #[test]
+    fn regraft_moves_orphans_to_anchor() {
+        // star around 2, crash the hub onto neighbor 0
+        let t = Topology::from_edges(5, &[(2, 0), (2, 1), (2, 3), (2, 4)]).unwrap();
+        let r = t.regraft(NodeId(2), NodeId(0)).unwrap();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.neighbors(NodeId(2)), &[NodeId(0)], "crashed is a leaf");
+        assert_eq!(
+            r.neighbors(NodeId(0)),
+            &[NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+        // survivors stay connected without passing through the crashed node
+        assert_eq!(
+            r.path(NodeId(1), NodeId(4)),
+            vec![NodeId(1), NodeId(0), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn regraft_of_leaf_changes_nothing() {
+        let t = line(4);
+        let r = t.regraft(NodeId(3), NodeId(2)).unwrap();
+        assert_eq!(r, t);
+    }
+
+    #[test]
+    fn regraft_rejects_non_neighbor_anchor_and_self() {
+        let t = line(4);
+        assert!(t.regraft(NodeId(1), NodeId(3)).is_err(), "not a neighbor");
+        assert!(t.regraft(NodeId(1), NodeId(1)).is_err(), "self anchor");
+        assert!(t.regraft(NodeId(9), NodeId(0)).is_err(), "out of range");
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! The `churn` experiment scenario: recall and traffic under dynamics.
+//!
+//! The paper's evaluation is static — subscriptions only arrive, sensors
+//! only appear. This scenario replays a seeded [`ChurnPlan`] (subscribe,
+//! unsubscribe, sensor up/down, interleaved readings, full teardown at the
+//! end) through the four distributed engines and measures:
+//!
+//! * subscription / event load, as in the static figures;
+//! * **recall under churn**: delivered result units relative to the exact
+//!   naive baseline (the deterministic engines must stay at 1.0; the
+//!   probabilistic Filter-Split-Forward filter may dip, exactly like the
+//!   static Fig. 12);
+//! * **teardown cleanliness**: whether the full retraction suffix returned
+//!   every node to its post-bootstrap empty state.
+
+use fsf_dynamics::{leaks, run_plan, ChurnPlan, ChurnPlanConfig};
+use fsf_engines::EngineKind;
+use fsf_network::builders;
+
+/// Parameters of the churn experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnConfig {
+    /// Scenario name (reports).
+    pub name: String,
+    /// Network size: a balanced binary tree of this many nodes.
+    pub total_nodes: usize,
+    /// The plan generator's parameters.
+    pub plan: ChurnPlanConfig,
+    /// Event-store validity horizon for the engines (must exceed the
+    /// plan's `δt`).
+    pub event_validity: u64,
+    /// Engine seed (feeds the probabilistic set filter).
+    pub engine_seed: u64,
+}
+
+impl ChurnConfig {
+    /// The default churn setting: a 127-node balanced tree, 60 churn
+    /// actions over 12 bootstrap sensors, four readings between actions.
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        let plan = ChurnPlanConfig {
+            seed: 0x0DD5_EED5,
+            initial_sensors: 12,
+            churn_actions: 60,
+            events_per_action: 4,
+            ..ChurnPlanConfig::default()
+        };
+        ChurnConfig {
+            name: "churn".into(),
+            total_nodes: 127,
+            event_validity: 2 * plan.delta_t,
+            engine_seed: 42,
+            plan,
+        }
+    }
+
+    /// Scale down the churn volume (quick CI/bench runs), keeping the
+    /// network dimensions intact.
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "factor in (0, 1]");
+        let s = |v: usize| ((v as f64 * factor).round() as usize).max(1);
+        self.plan.churn_actions = s(self.plan.churn_actions).max(10);
+        // keep enough readings between actions for joins to complete
+        self.plan.events_per_action = s(self.plan.events_per_action).max(3);
+        self.name = format!("{}(x{factor})", self.name);
+        self
+    }
+}
+
+/// One engine's measurements over the churn scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnRow {
+    /// The engine.
+    pub engine: EngineKind,
+    /// Total operator forwards (subscription load).
+    pub sub_forwards: u64,
+    /// Total simple-event units forwarded (event load).
+    pub event_units: u64,
+    /// Distinct `(subscription, simple event)` pairs delivered.
+    pub delivered_units: u64,
+    /// Delivered units relative to the exact naive baseline.
+    pub recall_vs_exact: f64,
+    /// Did the teardown suffix leave every surviving node empty?
+    pub teardown_clean: bool,
+}
+
+/// Run the churn scenario through the four distributed engines.
+#[must_use]
+pub fn run_churn(config: &ChurnConfig) -> Vec<ChurnRow> {
+    let topology = builders::balanced(config.total_nodes, 2);
+    let plan = ChurnPlan::seeded(&topology, &config.plan).with_teardown();
+    let mut rows: Vec<ChurnRow> = Vec::new();
+    let mut exact_delivered: u64 = 0;
+    for kind in EngineKind::DISTRIBUTED {
+        let mut engine = kind.build(topology.clone(), config.event_validity, config.engine_seed);
+        run_plan(engine.as_mut(), &plan);
+        let delivered = engine.deliveries().total_event_units();
+        if kind == EngineKind::Naive {
+            exact_delivered = delivered;
+        }
+        rows.push(ChurnRow {
+            engine: kind,
+            sub_forwards: engine.stats().sub_forwards,
+            event_units: engine.stats().event_units,
+            delivered_units: delivered,
+            recall_vs_exact: 0.0, // filled below, once the baseline is known
+            teardown_clean: leaks(engine.as_mut()).is_empty(),
+        });
+    }
+    for row in &mut rows {
+        row.recall_vs_exact = if exact_delivered == 0 {
+            1.0
+        } else {
+            row.delivered_units as f64 / exact_delivered as f64
+        };
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ChurnConfig {
+        let mut c = ChurnConfig::paper_scale();
+        c.total_nodes = 31;
+        c.plan.churn_actions = 12;
+        c.plan.initial_sensors = 6;
+        c
+    }
+
+    #[test]
+    fn deterministic_engines_keep_perfect_recall_under_churn() {
+        let rows = run_churn(&tiny());
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.teardown_clean, "{}: teardown leaked", row.engine);
+            match row.engine {
+                EngineKind::FilterSplitForward => {
+                    assert!(
+                        row.recall_vs_exact > 0.8 && row.recall_vs_exact <= 1.0 + 1e-12,
+                        "FSF recall out of band: {}",
+                        row.recall_vs_exact
+                    );
+                }
+                _ => assert!(
+                    (row.recall_vs_exact - 1.0).abs() < 1e-12,
+                    "{}: deterministic recall {}",
+                    row.engine,
+                    row.recall_vs_exact
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn churn_runs_are_reproducible() {
+        let a = run_churn(&tiny());
+        let b = run_churn(&tiny());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaling_shrinks_the_plan_not_the_network() {
+        let c = ChurnConfig::paper_scale().scaled(0.5);
+        assert_eq!(c.plan.churn_actions, 30);
+        assert_eq!(c.total_nodes, 127);
+        assert!(c.name.contains("x0.5"));
+    }
+}

@@ -22,11 +22,15 @@
 //!   (§VI-F), computed engine-independently;
 //! * [`driver`] — runs any [`fsf_engines::Engine`] over a workload and
 //!   produces per-batch measurement points (subscription load, event load,
-//!   recall).
+//!   recall);
+//! * [`churn`] — the dynamic counterpart: replays a seeded
+//!   [`fsf_dynamics::ChurnPlan`] (subscribe/unsubscribe, sensor up/down,
+//!   full teardown) and measures recall and traffic under churn.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod churn;
 pub mod driver;
 pub mod oracle;
 pub mod pareto;
@@ -35,6 +39,7 @@ pub mod scenario;
 pub mod sensorscope;
 pub mod workload;
 
+pub use churn::{run_churn, ChurnConfig, ChurnRow};
 pub use driver::run_engine;
 pub use results::{BatchPoint, ExperimentResult};
 pub use scenario::ScenarioConfig;

@@ -20,6 +20,9 @@
 //!   naive / operator-placement configurations that share its skeleton;
 //! * [`engines`] — the centralized and distributed multi-join baselines and
 //!   the uniform [`engines::Engine`] facade (paper §III, §VI);
+//! * [`dynamics`] — churn, retraction and fault injection: scripted and
+//!   seeded [`dynamics::ChurnPlan`]s (sensor up/down, subscribe/
+//!   unsubscribe, node crash), teardown invariant checks;
 //! * [`workload`] — synthetic SensorScope-style streams, Pareto
 //!   subscriptions, the four experiment scenarios, driver and recall oracle
 //!   (paper §VI-A);
@@ -69,6 +72,7 @@
 #![warn(clippy::all)]
 
 pub use fsf_core as core;
+pub use fsf_dynamics as dynamics;
 pub use fsf_engines as engines;
 pub use fsf_model as model;
 pub use fsf_network as network;
@@ -81,7 +85,8 @@ pub mod prelude {
     pub use fsf_core::{
         DedupMode, FilterPolicy, PubSubConfig, PubSubMsg, PubSubNode, RankPolicy, SetFilterConfig,
     };
-    pub use fsf_engines::{Engine, EngineKind};
+    pub use fsf_dynamics::{ChurnAction, ChurnPlan, ChurnPlanConfig};
+    pub use fsf_engines::{Engine, EngineKind, NodeFootprint};
     pub use fsf_model::{
         Advertisement, AttrId, ComplexEvent, Event, EventId, Operator, Point, Rect, Region,
         SensorId, SubId, Subscription, Timestamp, ValueRange,

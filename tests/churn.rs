@@ -1,0 +1,208 @@
+//! Churn integration: all five engines replay an identical seeded
+//! `ChurnPlan`; deterministic engines must agree event-for-event on every
+//! delivery, FSF must stay within its recall bands, and full teardown must
+//! return every node to its post-bootstrap empty state. Plus fault
+//! injection: a crashed node must degrade the network, not wedge it.
+
+use fsf::dynamics::{assert_clean, leaks, run_plan, ChurnAction, ChurnPlan, ChurnPlanConfig};
+use fsf::model::attrs;
+use fsf::prelude::*;
+
+const VALIDITY: u64 = 60;
+
+fn acceptance_plan() -> (Topology, ChurnPlan) {
+    let topology = fsf::network::builders::balanced(63, 2);
+    let plan = ChurnPlan::seeded(
+        &topology,
+        &ChurnPlanConfig {
+            seed: 0xD15E_A5ED,
+            churn_actions: 50,
+            initial_sensors: 10,
+            ..ChurnPlanConfig::default()
+        },
+    );
+    assert!(
+        plan.churn_action_count() >= 50,
+        "plan too small: {}",
+        plan.churn_action_count()
+    );
+    (topology, plan)
+}
+
+/// The tentpole acceptance run: ≥ 50 churn actions on a ≥ 63-node tree,
+/// identical for all five `EngineKind`s.
+#[test]
+fn all_five_engines_survive_an_identical_seeded_churn_plan() {
+    let (topology, plan) = acceptance_plan();
+    let full = plan.clone().with_teardown();
+    let subs: Vec<SubId> = plan
+        .actions
+        .iter()
+        .filter_map(|a| match a {
+            ChurnAction::Subscribe { sub, .. } => Some(sub.id()),
+            _ => None,
+        })
+        .collect();
+    assert!(!subs.is_empty(), "plan registered no subscriptions");
+
+    let mut engines: Vec<(EngineKind, Box<dyn Engine>)> = EngineKind::ALL
+        .iter()
+        .map(|&kind| {
+            let mut e = kind.build(topology.clone(), VALIDITY, 42);
+            run_plan(e.as_mut(), &full);
+            (kind, e)
+        })
+        .collect();
+
+    // deterministic engines agree event-for-event on every delivery
+    let (_, reference) = &engines[0];
+    let mut total_ref = 0usize;
+    for &sub in &subs {
+        let expected = reference.deliveries().delivered(sub);
+        total_ref += expected.len();
+        for (kind, engine) in &engines[1..] {
+            if *kind == EngineKind::FilterSplitForward {
+                // probabilistic filter: a subset of ground truth
+                assert!(
+                    engine.deliveries().delivered(sub).is_subset(expected),
+                    "FSF delivered outside ground truth for {sub:?}"
+                );
+            } else {
+                assert_eq!(
+                    engine.deliveries().delivered(sub),
+                    expected,
+                    "{kind} diverged on {sub:?}"
+                );
+            }
+        }
+    }
+    assert!(total_ref > 0, "the plan produced no deliveries at all");
+
+    // FSF recall stays within its existing bands
+    let fsf_total = engines
+        .iter()
+        .find(|(k, _)| *k == EngineKind::FilterSplitForward)
+        .map(|(_, e)| e.deliveries().total_event_units())
+        .unwrap();
+    let exact_total = reference.deliveries().total_event_units();
+    let recall = fsf_total as f64 / exact_total as f64;
+    assert!(recall > 0.8, "FSF recall collapsed under churn: {recall}");
+
+    // full teardown leaves every node's filter/operator/event state empty
+    for (kind, engine) in &mut engines {
+        assert!(
+            leaks(engine.as_mut()).is_empty(),
+            "{kind}: teardown leaked: {:?}",
+            leaks(engine.as_mut())
+        );
+    }
+}
+
+/// Applying the same retraction twice mid-plan changes nothing: the whole
+/// retraction protocol is idempotent at quiescence.
+#[test]
+fn retractions_are_idempotent_mid_plan() {
+    let (topology, plan) = acceptance_plan();
+    for kind in EngineKind::DISTRIBUTED {
+        let mut engine = kind.build(topology.clone(), VALIDITY, 42);
+        run_plan(engine.as_mut(), &plan);
+        for action in plan.teardown() {
+            fsf::dynamics::apply_action(engine.as_mut(), &action);
+            engine.flush();
+            let stats = engine.stats().clone();
+            let footprint = engine.footprint();
+            fsf::dynamics::apply_action(engine.as_mut(), &action);
+            engine.flush();
+            assert_eq!(engine.stats(), &stats, "{kind}: {action:?} not idempotent");
+            assert_eq!(engine.footprint(), footprint, "{kind}: state changed");
+        }
+        assert_clean(engine.as_mut());
+    }
+}
+
+/// Fault injection with crashes enabled: stateless-leaf crashes re-graft
+/// the tree, every engine keeps running, deterministic engines still agree,
+/// and teardown still comes back clean.
+#[test]
+fn leaf_crashes_regraft_without_breaking_equivalence() {
+    let topology = fsf::network::builders::balanced(63, 2);
+    let plan = ChurnPlan::seeded(
+        &topology,
+        &ChurnPlanConfig {
+            seed: 0xFA17_1A7E,
+            churn_actions: 60,
+            initial_sensors: 8,
+            with_crashes: true,
+            ..ChurnPlanConfig::default()
+        },
+    )
+    .with_teardown();
+    assert!(
+        plan.actions
+            .iter()
+            .any(|a| matches!(a, ChurnAction::Crash { .. })),
+        "plan contains no crash"
+    );
+    let mut delivered: Vec<(EngineKind, u64)> = Vec::new();
+    for kind in EngineKind::ALL {
+        let mut engine = kind.build(topology.clone(), VALIDITY, 42);
+        run_plan(engine.as_mut(), &plan);
+        delivered.push((kind, engine.deliveries().total_event_units()));
+        assert_clean(engine.as_mut());
+    }
+    let exact: Vec<u64> = delivered
+        .iter()
+        .filter(|(k, _)| *k != EngineKind::FilterSplitForward)
+        .map(|&(_, d)| d)
+        .collect();
+    assert!(
+        exact.windows(2).all(|w| w[0] == w[1]),
+        "deterministic engines diverged under crashes: {delivered:?}"
+    );
+}
+
+/// Fault injection, interior edition: crashing a relay that carries live
+/// routing state degrades delivery (messages to it are dropped) but must
+/// not wedge or panic any engine — the network keeps running and later
+/// traffic still flushes to quiescence.
+#[test]
+fn interior_crash_degrades_but_does_not_wedge() {
+    // line: sensor n0 — n1 — n2 — user n3; crash relay n1 onto n2
+    for kind in EngineKind::ALL {
+        let topology = fsf::network::builders::line(4);
+        let mut engine = kind.build(topology, VALIDITY, 42);
+        engine.inject_sensor(
+            NodeId(0),
+            Advertisement {
+                sensor: SensorId(1),
+                attr: attrs::AMBIENT_TEMP,
+                location: Point::new(0.0, 0.0),
+            },
+        );
+        engine.flush();
+        let sub =
+            Subscription::identified(SubId(1), [(SensorId(1), ValueRange::new(-5.0, 5.0))], 30)
+                .unwrap();
+        engine.inject_subscription(NodeId(3), sub);
+        engine.flush();
+        engine.crash_node(NodeId(1), NodeId(2)).unwrap();
+        // the publisher's state still references the dead relay; the system
+        // must absorb that (drops, not deadlock)
+        engine.inject_event(
+            NodeId(0),
+            Event {
+                id: EventId(100),
+                sensor: SensorId(1),
+                attr: attrs::AMBIENT_TEMP,
+                location: Point::new(0.0, 0.0),
+                value: 1.0,
+                timestamp: Timestamp(1_000),
+            },
+        );
+        engine.flush();
+        // retraction through the re-grafted tree must not panic either
+        engine.retract_subscription(NodeId(3), SubId(1));
+        engine.retract_sensor(NodeId(0), SensorId(1));
+        engine.flush();
+    }
+}

@@ -63,6 +63,67 @@ fn smoke(kind: EngineKind) {
     );
 }
 
+/// Teardown counterpart: subscribe → matching event → unsubscribe →
+/// matching event. The second event must not be delivered, and after also
+/// retracting the sensor no node may hold residual state (operators,
+/// events, advertisements, routes).
+fn teardown_smoke(kind: EngineKind) {
+    let topology = fsf::network::builders::line(4);
+    let mut engine = kind.build(topology, 60, 42);
+    let adv = Advertisement {
+        sensor: SensorId(1),
+        attr: attrs::AMBIENT_TEMP,
+        location: Point::new(0.0, 0.0),
+    };
+    engine.inject_sensor(NodeId(0), adv);
+    engine.flush();
+    let sub = Subscription::identified(SubId(1), [(SensorId(1), ValueRange::new(-5.0, 5.0))], 30)
+        .unwrap();
+    engine.inject_subscription(NodeId(3), sub);
+    engine.flush();
+    let ev = |id: u64, t: u64| Event {
+        id: EventId(id),
+        sensor: SensorId(1),
+        attr: attrs::AMBIENT_TEMP,
+        location: Point::new(0.0, 0.0),
+        value: 1.5,
+        timestamp: Timestamp(t),
+    };
+    engine.inject_event(NodeId(0), ev(100, 1_000));
+    engine.flush();
+    assert_eq!(engine.deliveries().delivered(SubId(1)).len(), 1, "{kind}");
+
+    engine.retract_subscription(NodeId(3), SubId(1));
+    engine.flush();
+    let units_after_retract = engine.stats().event_units;
+    engine.inject_event(NodeId(0), ev(101, 2_000));
+    engine.flush();
+    assert_eq!(
+        engine.deliveries().delivered(SubId(1)).len(),
+        1,
+        "{kind}: delivery after unsubscribe"
+    );
+    if kind != EngineKind::Centralized {
+        // distributed engines: the unwanted reading never leaves its node
+        // (the centralized baseline always pays the inbound fixed cost)
+        assert_eq!(
+            engine.stats().event_units,
+            units_after_retract,
+            "{kind}: event traffic after unsubscribe"
+        );
+    }
+
+    engine.retract_sensor(NodeId(0), SensorId(1));
+    engine.flush();
+    for f in engine.footprint() {
+        assert!(
+            f.is_clean(),
+            "{kind}: residual state at {} after full teardown: {f:?}",
+            f.node
+        );
+    }
+}
+
 #[test]
 fn centralized_smoke() {
     smoke(EngineKind::Centralized);
@@ -86,4 +147,29 @@ fn multijoin_smoke() {
 #[test]
 fn filter_split_forward_smoke() {
     smoke(EngineKind::FilterSplitForward);
+}
+
+#[test]
+fn centralized_teardown_smoke() {
+    teardown_smoke(EngineKind::Centralized);
+}
+
+#[test]
+fn naive_teardown_smoke() {
+    teardown_smoke(EngineKind::Naive);
+}
+
+#[test]
+fn operator_placement_teardown_smoke() {
+    teardown_smoke(EngineKind::OperatorPlacement);
+}
+
+#[test]
+fn multijoin_teardown_smoke() {
+    teardown_smoke(EngineKind::MultiJoin);
+}
+
+#[test]
+fn filter_split_forward_teardown_smoke() {
+    teardown_smoke(EngineKind::FilterSplitForward);
 }

@@ -401,6 +401,148 @@ fn event_store_expiry_keeps_only_the_validity_horizon() {
     });
 }
 
+// ---------- churn interleavings ----------
+
+/// A small random deployment driven through the `Engine` facade: `n`-node
+/// random tree, two sensors, a pool of subscriptions over them.
+fn churn_setup(
+    rng: &mut StdRng,
+    kind: fsf::engines::EngineKind,
+) -> (Box<dyn fsf::engines::Engine>, Vec<NodeId>) {
+    use fsf::model::{Advertisement, AttrId, Point};
+    let n = rng.gen_range(4usize..24);
+    let topo = builders::random_tree(n, rng);
+    let nodes: Vec<NodeId> = topo.nodes().collect();
+    let mut engine = kind.build(topo, 60, 7);
+    for s in [1u32, 2] {
+        let host = nodes[rng.gen_range(0..nodes.len())];
+        engine.inject_sensor(
+            host,
+            Advertisement {
+                sensor: SensorId(s),
+                attr: AttrId(s as u16),
+                location: Point::new(0.0, 0.0),
+            },
+        );
+        engine.flush();
+    }
+    (engine, nodes)
+}
+
+fn churn_sub(rng: &mut StdRng, id: u64) -> Subscription {
+    let arity = rng.gen_range(1..=2usize);
+    let filters: Vec<(SensorId, ValueRange)> = (1..=arity as u32)
+        .map(|s| {
+            let lo = rng.gen_range(-50.0..30.0);
+            (
+                SensorId(s),
+                ValueRange::new(lo, lo + rng.gen_range(10.0..60.0)),
+            )
+        })
+        .collect();
+    Subscription::identified(SubId(id), filters, 30).unwrap()
+}
+
+/// Unsubscribe and sensor-down are idempotent at quiescence: replaying the
+/// same retraction changes neither traffic nor any node's state footprint
+/// (distributed engines; the centralized baseline re-pays relay transit by
+/// design, like its blind event streaming).
+#[test]
+fn retraction_is_idempotent_across_random_interleavings() {
+    use fsf::model::{AttrId, Point};
+    cases(14, 24, |rng| {
+        for kind in fsf::engines::EngineKind::DISTRIBUTED {
+            let (mut engine, nodes) = churn_setup(rng, kind);
+            let user = nodes[rng.gen_range(0..nodes.len())];
+            engine.inject_subscription(user, churn_sub(rng, 1));
+            engine.flush();
+            let publisher = nodes[rng.gen_range(0..nodes.len())];
+            engine.inject_event(
+                publisher,
+                Event {
+                    id: EventId(100),
+                    sensor: SensorId(1),
+                    attr: AttrId(1),
+                    location: Point::new(0.0, 0.0),
+                    value: 0.0,
+                    timestamp: Timestamp(1_000),
+                },
+            );
+            engine.flush();
+            // one of the two retractions, drawn at random, applied twice
+            let retract = |e: &mut dyn fsf::engines::Engine, which: bool| {
+                if which {
+                    e.retract_subscription(user, SubId(1));
+                } else {
+                    e.retract_sensor(publisher, SensorId(1));
+                }
+            };
+            let which = rng.gen::<bool>();
+            retract(engine.as_mut(), which);
+            engine.flush();
+            let stats = engine.stats().clone();
+            let footprint = engine.footprint();
+            retract(engine.as_mut(), which);
+            engine.flush();
+            assert_eq!(engine.stats(), &stats, "{kind}: traffic changed");
+            assert_eq!(engine.footprint(), footprint, "{kind}: state changed");
+        }
+    });
+}
+
+/// Re-subscribing after a retraction behaves like a fresh subscription:
+/// an engine that went subscribe → unsubscribe → subscribe delivers exactly
+/// what an engine that only saw the final subscribe delivers (events in a
+/// fresh epoch, > δt after the churn).
+#[test]
+fn resubscription_after_retraction_behaves_like_fresh() {
+    use fsf::model::{AttrId, Point};
+    cases(15, 16, |rng| {
+        for kind in fsf::engines::EngineKind::ALL {
+            let seed_state = rng.gen::<u64>();
+            let build = || {
+                let mut r = StdRng::seed_from_u64(seed_state);
+                let (e, nodes) = churn_setup(&mut r, kind);
+                let user = nodes[r.gen_range(0..nodes.len())];
+                let publisher = nodes[r.gen_range(0..nodes.len())];
+                let sub = churn_sub(&mut r, 1);
+                (e, user, publisher, sub)
+            };
+            let (mut churned, user, publisher, sub) = build();
+            churned.inject_subscription(user, sub.clone());
+            churned.flush();
+            churned.retract_subscription(user, SubId(1));
+            churned.flush();
+            churned.inject_subscription(user, sub);
+            churned.flush();
+            let (mut fresh, _, _, sub2) = build();
+            fresh.inject_subscription(user, sub2);
+            fresh.flush();
+            for (i, t) in [(0u64, 5_000u64), (1, 5_010), (2, 5_020)] {
+                for (s, engine) in [(1u32, &mut churned), (1, &mut fresh)] {
+                    engine.inject_event(
+                        publisher,
+                        Event {
+                            id: EventId(200 + i),
+                            sensor: SensorId(s),
+                            attr: AttrId(s as u16),
+                            location: Point::new(0.0, 0.0),
+                            value: 10.0,
+                            timestamp: Timestamp(t),
+                        },
+                    );
+                    engine.flush();
+                }
+            }
+            assert_eq!(
+                churned.deliveries().delivered(SubId(1)),
+                fresh.deliveries().delivered(SubId(1)),
+                "{kind}: resubscription is not fresh"
+            );
+        }
+    });
+}
+
 // ---------- workload determinism ----------
 
 #[test]

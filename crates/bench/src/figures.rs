@@ -254,6 +254,54 @@ pub fn ext2_churn(scale: f64) -> (String, Vec<crate::json::JsonRecord>) {
     (out, records)
 }
 
+/// EXT-3: delivery-latency distributions under the discrete-event clock —
+/// the response-time axis the traffic figures cannot show. A seeded churn
+/// plan replays **timed** (actions fire at their virtual timestamps, no
+/// per-action flushes) through all five engines over a network with
+/// per-hop message latency; the table reports p50/p95/max virtual ticks
+/// from reading injection to complex-event delivery.
+#[must_use]
+pub fn ext3_latency(scale: f64) -> (String, Vec<crate::json::JsonRecord>) {
+    let config = if scale < 1.0 {
+        fsf_workload::TimedConfig::paper_scale().scaled(scale)
+    } else {
+        fsf_workload::TimedConfig::paper_scale()
+    };
+    let rows = fsf_workload::run_timed(&config);
+    let mut out = format!(
+        "== ext3 — delivery latency under a timed network ({}, {} nodes, {:?}) ==\n",
+        config.name, config.total_nodes, config.latency
+    );
+    out.push_str(&format!(
+        "{:<34} {:>10} {:>9} {:>9} {:>9} {:>9} {:>12}\n",
+        "approach", "delivered", "samples", "lat p50", "lat p95", "lat max", "final clock"
+    ));
+    let mut records = Vec::new();
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<34} {:>10} {:>9} {:>9} {:>9} {:>9} {:>12}\n",
+            r.engine.name(),
+            r.delivered_units,
+            r.latency.samples,
+            r.latency.p50,
+            r.latency.p95,
+            r.latency.max,
+            r.final_clock,
+        ));
+        let name = r.engine.name();
+        for (metric, value) in [
+            ("delivered units", r.delivered_units as f64),
+            ("latency samples", r.latency.samples as f64),
+            ("latency p50", r.latency.p50 as f64),
+            ("latency p95", r.latency.p95 as f64),
+            ("latency max", r.latency.max as f64),
+        ] {
+            records.push(crate::json::JsonRecord::new("ext3", name, metric, value));
+        }
+    }
+    (out, records)
+}
+
 /// Table II: the implemented-approaches matrix.
 #[must_use]
 pub fn table2() -> String {
@@ -328,6 +376,22 @@ mod tests {
             .find(|r| r.engine == "Naive approach" && r.metric == "recall vs exact")
             .unwrap();
         assert!((naive_recall.value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ext3_reports_latency_percentiles_for_all_five_engines() {
+        let (table, records) = ext3_latency(0.2);
+        for kind in EngineKind::ALL {
+            assert!(table.contains(kind.name()), "missing {kind}:\n{table}");
+        }
+        assert_eq!(records.len(), 5 * 5, "engine × metric grid");
+        for kind in EngineKind::ALL {
+            let p95 = records
+                .iter()
+                .find(|r| r.engine == kind.name() && r.metric == "latency p95")
+                .unwrap();
+            assert!(p95.value > 0.0, "{kind}: zero p95 under nonzero latency");
+        }
     }
 
     #[test]

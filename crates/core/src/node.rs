@@ -173,6 +173,10 @@ pub struct PubSubNode {
     /// picture changed (sensor churn).
     routes: BTreeMap<(Origin, fsf_model::OperatorKey), BTreeMap<NodeId, fsf_model::OperatorKey>>,
     dropped_unanswerable: u64,
+    /// Latest virtual time observed through [`fsf_network::Ctx::now`] —
+    /// the node's local view of the discrete-event clock (monotone; stays
+    /// 0 under zero-latency / wall-clock executors).
+    clock: u64,
 }
 
 impl PubSubNode {
@@ -192,6 +196,7 @@ impl PubSubNode {
             events: EventStore::new(config.event_validity),
             routes: BTreeMap::new(),
             dropped_unanswerable: 0,
+            clock: 0,
         }
     }
 
@@ -217,6 +222,14 @@ impl PubSubNode {
     #[must_use]
     pub fn events(&self) -> &EventStore {
         &self.events
+    }
+
+    /// The node's view of the virtual clock: the `deliver_at` tick of the
+    /// last message it handled (0 before any traffic, and permanently 0
+    /// under executors without a virtual clock).
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.clock
     }
 
     /// Locally injected subscriptions dropped because some dimension had no
@@ -615,6 +628,7 @@ impl NodeBehavior for PubSubNode {
     type Msg = PubSubMsg;
 
     fn on_message(&mut self, from: NodeId, msg: PubSubMsg, ctx: &mut Ctx<'_, PubSubMsg>) {
+        self.clock = self.clock.max(ctx.now());
         let origin = if from == ctx.node() {
             Origin::Local
         } else {
@@ -669,6 +683,27 @@ mod tests {
             attr: AttrId(attr),
             location: Point::new(sensor as f64, 0.0),
         }
+    }
+
+    /// The node-local clock mirrors the discrete-event clock: under a
+    /// uniform hop delay each node's `clock()` reads the arrival tick of
+    /// the flood front; under zero latency it stays 0.
+    #[test]
+    fn node_clock_tracks_virtual_arrival_time() {
+        use fsf_network::LatencyModel;
+        let config = PubSubConfig::fsf(60, 42);
+        let mut timed = Simulator::with_latency(
+            builders::line(4),
+            LatencyModel::Uniform { hop: 5 },
+            |id, _| PubSubNode::new(id, config),
+        );
+        timed.inject_and_run(NodeId(0), PubSubMsg::SensorUp(adv(1, 0)));
+        for k in 0..4u64 {
+            assert_eq!(timed.node(NodeId(k as u32)).clock(), 5 * k, "node {k}");
+        }
+        let mut zero = sim(4, config);
+        zero.inject_and_run(NodeId(0), PubSubMsg::SensorUp(adv(1, 0)));
+        assert_eq!(zero.node(NodeId(3)).clock(), 0);
     }
 
     fn sub(id: u64, filters: &[(u32, f64, f64)]) -> Subscription {

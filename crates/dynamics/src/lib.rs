@@ -12,7 +12,10 @@
 //!   any topology, plus the teardown suffix that retracts everything that
 //!   is still alive;
 //! * [`runner`] — replays a plan through any [`fsf_engines::Engine`]
-//!   (all five approaches speak the retraction protocol);
+//!   (all five approaches speak the retraction protocol), either
+//!   serialized (flush per action) or timed ([`run_plan_timed`]: actions
+//!   fire at their [`TimedPlan`] virtual times while earlier floods are
+//!   still in flight);
 //! * [`invariants`] — leak checks: a fully torn-down network must return
 //!   to its post-bootstrap state — no operators, no stored events, no
 //!   advertisements, no forwarding routes on any surviving node.
@@ -25,5 +28,7 @@ pub mod plan;
 pub mod runner;
 
 pub use invariants::{assert_clean, leaks};
-pub use plan::{ChurnAction, ChurnPlan, ChurnPlanConfig};
-pub use runner::{apply_action, run_plan};
+pub use plan::{
+    ChurnAction, ChurnPlan, ChurnPlanConfig, TimedAction, TimedPlan, TimedReplayConfig,
+};
+pub use runner::{apply_action, run_plan, run_plan_timed};

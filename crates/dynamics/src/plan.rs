@@ -233,6 +233,110 @@ impl ChurnPlan {
         self.actions.append(&mut tail);
         self
     }
+
+    /// Schedule this plan on the virtual clock: assign every action the
+    /// virtual time at which the timed runner applies it, **without**
+    /// flushing between actions (floods genuinely interleave).
+    ///
+    /// The schedule replays the generator's data clock — a `Publish` fires
+    /// at its reading's own timestamp, a `Subscribe` advances the clock by
+    /// the subscription's `δt` (the registration-epoch jump) — and adds
+    /// `config.churn_gap` ticks of virtual time in front of every churn
+    /// action proper. The gap is the *flood-drain margin*: sized at or
+    /// above `diameter × max-hop-latency` it guarantees the floods of the
+    /// preceding actions have drained before state changes, which keeps the
+    /// five engines delivery-equivalent (their transient disagreement
+    /// windows never overlap a state change). Event floods still race each
+    /// other — readings are only `reading_interval` apart — and retraction
+    /// floods still chase their own advertisement floods, so the
+    /// interleaving is real where it is semantically allowed.
+    #[must_use]
+    pub fn timed(&self, config: &TimedReplayConfig) -> TimedPlan {
+        let mut data_clock = config.initial_clock;
+        let mut offset = 0u64;
+        let mut actions = Vec::with_capacity(self.actions.len());
+        for action in &self.actions {
+            let at = match action {
+                ChurnAction::Publish { event, .. } => {
+                    data_clock = data_clock.max(event.timestamp.0);
+                    data_clock + offset
+                }
+                ChurnAction::Subscribe { sub, .. } => {
+                    offset += config.churn_gap;
+                    let at = data_clock + offset;
+                    data_clock += sub.delta_t();
+                    at
+                }
+                _ => {
+                    offset += config.churn_gap;
+                    data_clock + offset
+                }
+            };
+            actions.push(TimedAction {
+                at,
+                action: action.clone(),
+            });
+        }
+        TimedPlan { actions }
+    }
+}
+
+/// Parameters of [`ChurnPlan::timed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedReplayConfig {
+    /// Virtual time of the first action (matches the seeded generator's
+    /// initial data clock so publish times line up).
+    pub initial_clock: u64,
+    /// Extra virtual ticks inserted before every churn action proper (see
+    /// [`ChurnPlan::timed`]). Zero means state changes race the floods of
+    /// the immediately preceding actions.
+    pub churn_gap: u64,
+}
+
+impl Default for TimedReplayConfig {
+    fn default() -> Self {
+        TimedReplayConfig {
+            initial_clock: 1_000,
+            churn_gap: 0,
+        }
+    }
+}
+
+impl TimedReplayConfig {
+    /// A config whose churn gap safely drains any flood on `topology`
+    /// under `latency`: tree diameter × the model's worst hop delay, plus
+    /// one tick of slack.
+    #[must_use]
+    pub fn drained(topology: &Topology, latency: &fsf_network::LatencyModel) -> Self {
+        TimedReplayConfig {
+            initial_clock: 1_000,
+            churn_gap: topology.diameter() as u64 * latency.max_hop() + 1,
+        }
+    }
+}
+
+/// One churn action scheduled at a virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedAction {
+    /// Virtual time the runner applies the action at.
+    pub at: u64,
+    /// The action.
+    pub action: ChurnAction,
+}
+
+/// A churn plan scheduled on the virtual clock (non-decreasing times).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimedPlan {
+    /// The scheduled actions, in execution (= time) order.
+    pub actions: Vec<TimedAction>,
+}
+
+impl TimedPlan {
+    /// Virtual time of the last action (0 for an empty plan).
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.actions.last().map_or(0, |a| a.at)
+    }
 }
 
 /// Bookkeeping of the seeded generator (see [`ChurnPlan::seeded`]).
@@ -456,6 +560,52 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn timed_schedule_is_monotone_and_fires_publishes_at_their_timestamps() {
+        let topo = builders::balanced(31, 2);
+        let plan = ChurnPlan::seeded(&topo, &ChurnPlanConfig::default()).with_teardown();
+        let cfg = TimedReplayConfig {
+            initial_clock: 1_000,
+            churn_gap: 11,
+        };
+        let timed = plan.timed(&cfg);
+        assert_eq!(timed.actions.len(), plan.actions.len());
+        // non-decreasing virtual times
+        assert!(
+            timed.actions.windows(2).all(|w| w[0].at <= w[1].at),
+            "schedule not monotone"
+        );
+        assert_eq!(timed.horizon(), timed.actions.last().unwrap().at);
+        // every publish fires at its reading's own timestamp plus the
+        // accumulated churn-gap offset — never before the reading exists
+        let mut gaps = 0u64;
+        for t in &timed.actions {
+            if t.action.is_churn() {
+                gaps += cfg.churn_gap;
+            }
+            if let ChurnAction::Publish { event, .. } = &t.action {
+                assert_eq!(t.at, event.timestamp.0 + gaps, "publish off schedule");
+            }
+        }
+        // churn actions are strictly separated from their predecessor
+        for w in timed.actions.windows(2) {
+            if w[1].action.is_churn() {
+                assert!(w[1].at >= w[0].at + cfg.churn_gap, "gap not applied");
+            }
+        }
+    }
+
+    #[test]
+    fn drained_config_scales_with_topology_and_latency() {
+        use fsf_network::LatencyModel;
+        let topo = builders::line(8); // diameter 7
+        let cfg = TimedReplayConfig::drained(&topo, &LatencyModel::Uniform { hop: 3 });
+        assert_eq!(cfg.churn_gap, 7 * 3 + 1);
+        let zero = TimedReplayConfig::drained(&topo, &LatencyModel::Zero);
+        assert_eq!(zero.churn_gap, 1);
+        assert_eq!(TimedReplayConfig::default().churn_gap, 0);
     }
 
     #[test]

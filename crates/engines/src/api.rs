@@ -4,7 +4,10 @@ use crate::centralized::{CentralMsg, CentralNode};
 use crate::multijoin::{MjMsg, MjNode};
 use fsf_core::{PubSubConfig, PubSubMsg, PubSubNode};
 use fsf_model::{Advertisement, Event, SensorId, SubId, Subscription};
-use fsf_network::{DeliveryLog, NodeId, Simulator, Topology, TopologyError, TrafficStats};
+use fsf_network::{
+    DeliveryLog, LatencyModel, LatencySummary, NodeId, Simulator, Topology, TopologyError,
+    TrafficStats,
+};
 
 /// One node's residual state, as reported by [`Engine::footprint`] — the
 /// quantities a fully torn-down network must return to zero (churn leak
@@ -65,6 +68,20 @@ pub trait Engine {
     fn footprint(&self) -> Vec<NodeFootprint>;
     /// Process all queued messages to quiescence.
     fn flush(&mut self);
+    /// Advance the virtual clock to `t`, delivering exactly the messages
+    /// due at or before `t` and leaving later ones in flight (partial
+    /// advancement — the timed churn replay interleaves actions with
+    /// in-flight floods through this). Returns the number of messages
+    /// handled.
+    fn run_until(&mut self, t: u64) -> u64;
+    /// The network's virtual clock (0 until a nonzero-latency message or
+    /// `run_until` horizon advances it).
+    fn now(&self) -> u64;
+    /// Messages scheduled but not yet delivered (0 at quiescence).
+    fn queue_depth(&self) -> usize;
+    /// Delivery-latency percentiles observed so far (virtual ticks from
+    /// reading injection to complex-event delivery).
+    fn latency_summary(&self) -> LatencySummary;
     /// Accumulated traffic counters.
     fn stats(&self) -> &TrafficStats;
     /// Accumulated end-user deliveries.
@@ -131,29 +148,52 @@ impl EngineKind {
         }
     }
 
-    /// Build an engine instance over `topology`.
+    /// Build an engine instance over `topology` with instantaneous message
+    /// delivery (the paper's run-to-quiescence evaluation setting).
     ///
     /// `event_validity` must exceed the workload's `δt`; `seed` feeds the
     /// probabilistic set filter (Filter-Split-Forward only).
     #[must_use]
     pub fn build(&self, topology: Topology, event_validity: u64, seed: u64) -> Box<dyn Engine> {
+        self.build_with_latency(topology, event_validity, seed, LatencyModel::Zero)
+    }
+
+    /// Build an engine whose network has real propagation delay: every send
+    /// is scheduled through `latency` on the discrete-event clock.
+    #[must_use]
+    pub fn build_with_latency(
+        &self,
+        topology: Topology,
+        event_validity: u64,
+        seed: u64,
+        latency: LatencyModel,
+    ) -> Box<dyn Engine> {
         match self {
-            EngineKind::Centralized => Box::new(CentralEngine::new(topology, event_validity)),
-            EngineKind::Naive => Box::new(PubSubEngine::new(
+            EngineKind::Centralized => Box::new(CentralEngine::with_latency(
+                topology,
+                event_validity,
+                latency,
+            )),
+            EngineKind::Naive => Box::new(PubSubEngine::with_latency(
                 "Naive approach",
                 topology,
                 PubSubConfig::naive(event_validity, seed),
+                latency,
             )),
-            EngineKind::OperatorPlacement => Box::new(PubSubEngine::new(
+            EngineKind::OperatorPlacement => Box::new(PubSubEngine::with_latency(
                 "Distributed operator placement",
                 topology,
                 PubSubConfig::operator_placement(event_validity, seed),
+                latency,
             )),
-            EngineKind::MultiJoin => Box::new(MjEngine::new(topology, event_validity)),
-            EngineKind::FilterSplitForward => Box::new(PubSubEngine::new(
+            EngineKind::MultiJoin => {
+                Box::new(MjEngine::with_latency(topology, event_validity, latency))
+            }
+            EngineKind::FilterSplitForward => Box::new(PubSubEngine::with_latency(
                 "Filter-Split-Forward",
                 topology,
                 PubSubConfig::fsf(event_validity, seed),
+                latency,
             )),
         }
     }
@@ -173,10 +213,22 @@ pub struct PubSubEngine {
 }
 
 impl PubSubEngine {
-    /// Build with an explicit configuration (used for ablations).
+    /// Build with an explicit configuration (used for ablations), zero
+    /// latency.
     #[must_use]
     pub fn new(name: &'static str, topology: Topology, config: PubSubConfig) -> Self {
-        let sim = Simulator::new(topology, |id, _| PubSubNode::new(id, config));
+        Self::with_latency(name, topology, config, LatencyModel::Zero)
+    }
+
+    /// Build with an explicit configuration and latency model.
+    #[must_use]
+    pub fn with_latency(
+        name: &'static str,
+        topology: Topology,
+        config: PubSubConfig,
+        latency: LatencyModel,
+    ) -> Self {
+        let sim = Simulator::with_latency(topology, latency, |id, _| PubSubNode::new(id, config));
         PubSubEngine { name, sim }
     }
 
@@ -198,6 +250,7 @@ impl Engine for PubSubEngine {
         self.sim.inject(node, PubSubMsg::Subscribe(sub));
     }
     fn inject_event(&mut self, node: NodeId, event: Event) {
+        self.sim.deliveries.note_injection(event.id, self.sim.now());
         self.sim.inject(node, PubSubMsg::Publish(event));
     }
     fn retract_subscription(&mut self, node: NodeId, sub: SubId) {
@@ -228,6 +281,18 @@ impl Engine for PubSubEngine {
     fn flush(&mut self) {
         self.sim.run_to_quiescence();
     }
+    fn run_until(&mut self, t: u64) -> u64 {
+        self.sim.run_until(t)
+    }
+    fn now(&self) -> u64 {
+        self.sim.now()
+    }
+    fn queue_depth(&self) -> usize {
+        self.sim.queue_depth()
+    }
+    fn latency_summary(&self) -> LatencySummary {
+        self.sim.deliveries.latency_summary()
+    }
     fn stats(&self) -> &TrafficStats {
         &self.sim.stats
     }
@@ -242,10 +307,17 @@ pub struct MjEngine {
 }
 
 impl MjEngine {
-    /// Build over a topology.
+    /// Build over a topology, zero latency.
     #[must_use]
     pub fn new(topology: Topology, event_validity: u64) -> Self {
-        let sim = Simulator::new(topology, |id, _| MjNode::new(id, event_validity));
+        Self::with_latency(topology, event_validity, LatencyModel::Zero)
+    }
+
+    /// Build over a topology with a latency model.
+    #[must_use]
+    pub fn with_latency(topology: Topology, event_validity: u64, latency: LatencyModel) -> Self {
+        let sim =
+            Simulator::with_latency(topology, latency, |id, _| MjNode::new(id, event_validity));
         MjEngine { sim }
     }
 }
@@ -261,6 +333,7 @@ impl Engine for MjEngine {
         self.sim.inject(node, MjMsg::Subscribe(sub));
     }
     fn inject_event(&mut self, node: NodeId, event: Event) {
+        self.sim.deliveries.note_injection(event.id, self.sim.now());
         self.sim.inject(node, MjMsg::Publish(event));
     }
     fn retract_subscription(&mut self, node: NodeId, sub: SubId) {
@@ -292,6 +365,18 @@ impl Engine for MjEngine {
     fn flush(&mut self) {
         self.sim.run_to_quiescence();
     }
+    fn run_until(&mut self, t: u64) -> u64 {
+        self.sim.run_until(t)
+    }
+    fn now(&self) -> u64 {
+        self.sim.now()
+    }
+    fn queue_depth(&self) -> usize {
+        self.sim.queue_depth()
+    }
+    fn latency_summary(&self) -> LatencySummary {
+        self.sim.deliveries.latency_summary()
+    }
     fn stats(&self) -> &TrafficStats {
         &self.sim.stats
     }
@@ -306,11 +391,17 @@ pub struct CentralEngine {
 }
 
 impl CentralEngine {
-    /// Build over a topology; the centre is the graph median.
+    /// Build over a topology, zero latency; the centre is the graph median.
     #[must_use]
     pub fn new(topology: Topology, event_validity: u64) -> Self {
+        Self::with_latency(topology, event_validity, LatencyModel::Zero)
+    }
+
+    /// Build over a topology with a latency model.
+    #[must_use]
+    pub fn with_latency(topology: Topology, event_validity: u64, latency: LatencyModel) -> Self {
         let center = topology.median();
-        let sim = Simulator::new(topology, move |id, t| {
+        let sim = Simulator::with_latency(topology, latency, move |id, t| {
             CentralNode::new(id, t, center, event_validity)
         });
         CentralEngine { sim }
@@ -329,6 +420,7 @@ impl Engine for CentralEngine {
         self.sim.inject(node, CentralMsg::Subscribe(sub));
     }
     fn inject_event(&mut self, node: NodeId, event: Event) {
+        self.sim.deliveries.note_injection(event.id, self.sim.now());
         self.sim.inject(node, CentralMsg::Publish(event));
     }
     fn retract_subscription(&mut self, node: NodeId, sub: SubId) {
@@ -358,6 +450,18 @@ impl Engine for CentralEngine {
     }
     fn flush(&mut self) {
         self.sim.run_to_quiescence();
+    }
+    fn run_until(&mut self, t: u64) -> u64 {
+        self.sim.run_until(t)
+    }
+    fn now(&self) -> u64 {
+        self.sim.now()
+    }
+    fn queue_depth(&self) -> usize {
+        self.sim.queue_depth()
+    }
+    fn latency_summary(&self) -> LatencySummary {
+        self.sim.deliveries.latency_summary()
     }
     fn stats(&self) -> &TrafficStats {
         &self.sim.stats
@@ -492,6 +596,41 @@ mod tests {
             "operator placement ≥ FSF events: {ev_o} vs {ev_f}"
         );
         assert!(ev_n > ev_f, "sanity: overlap makes naive strictly worse");
+    }
+
+    /// Latency wiring: under a uniform hop delay every engine delivers the
+    /// same results as its zero-latency twin, reports a nonzero delivery
+    /// latency, and its clock advances.
+    #[test]
+    fn latency_build_keeps_results_and_measures_delay() {
+        for kind in EngineKind::ALL {
+            let run = |latency: LatencyModel| {
+                let mut e = kind.build_with_latency(builders::balanced(9, 2), 2 * DT, 7, latency);
+                e.inject_sensor(NodeId(5), adv(1, 0));
+                e.inject_sensor(NodeId(6), adv(2, 1));
+                e.flush();
+                e.inject_subscription(NodeId(8), sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)]));
+                e.flush();
+                e.inject_event(NodeId(5), ev(100, 1, 0, 5.0, 1000));
+                e.flush();
+                e.inject_event(NodeId(6), ev(101, 2, 1, 5.0, 1010));
+                e.flush();
+                (
+                    e.deliveries().delivered(SubId(1)).clone(),
+                    e.latency_summary(),
+                    e.now(),
+                )
+            };
+            let (zero_set, zero_lat, zero_now) = run(LatencyModel::Zero);
+            let (slow_set, slow_lat, slow_now) = run(LatencyModel::Uniform { hop: 2 });
+            assert_eq!(zero_set, slow_set, "{kind}: latency changed the results");
+            assert_eq!(zero_set.len(), 2, "{kind}: the join completed");
+            assert_eq!((zero_lat.max, zero_now), (0, 0), "{kind}");
+            assert!(slow_lat.samples > 0, "{kind}: no latency samples");
+            assert!(slow_lat.max > 0, "{kind}: delivery was instantaneous");
+            assert!(slow_now > 0, "{kind}: the clock never moved");
+            assert_eq!(kind.build(builders::line(3), 2 * DT, 7).queue_depth(), 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Message-latency models and delivery-latency statistics for the
+//! discrete-event simulator.
+//!
+//! Every send is scheduled `delay(from, to)` virtual ticks into the
+//! future. All models are deterministic functions of the link, so two runs
+//! of the same workload schedule identical timelines, and — because the
+//! per-link delay is constant — messages sent over one link are delivered
+//! in send order (per-link FIFO), which the retraction protocols rely on
+//! (a retraction chases its own flood and must never overtake it).
+
+use crate::topology::NodeId;
+use std::collections::BTreeMap;
+
+/// How long a message takes to cross a link, in virtual ticks.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum LatencyModel {
+    /// Every hop is instantaneous. This is the compatibility mode: with it,
+    /// the discrete-event scheduler reproduces the pre-scheduler FIFO
+    /// simulator step for step (all messages carry the same `deliver_at`,
+    /// so the sequence-number tie-break *is* FIFO order).
+    #[default]
+    Zero,
+    /// Every hop takes the same number of ticks.
+    Uniform {
+        /// Per-hop delay in ticks (> 0 for genuine interleaving).
+        hop: u64,
+    },
+    /// Per-link weighted delays: an explicit per-link table with a default
+    /// for unlisted links. Links are undirected — `(a, b)` and `(b, a)`
+    /// share a weight.
+    PerLink {
+        /// Delay for links not present in `weights`.
+        default: u64,
+        /// Per-link delay overrides, keyed by the normalized (low, high)
+        /// endpoint pair.
+        weights: BTreeMap<(NodeId, NodeId), u64>,
+    },
+}
+
+impl LatencyModel {
+    /// A per-link model from `(a, b, delay)` triples (endpoint order is
+    /// irrelevant) with `default` for every other link.
+    #[must_use]
+    pub fn per_link(default: u64, links: impl IntoIterator<Item = (NodeId, NodeId, u64)>) -> Self {
+        LatencyModel::PerLink {
+            default,
+            weights: links
+                .into_iter()
+                .map(|(a, b, d)| (Self::normalize(a, b), d))
+                .collect(),
+        }
+    }
+
+    fn normalize(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Ticks a message sent `from → to` spends in flight.
+    #[must_use]
+    pub fn delay(&self, from: NodeId, to: NodeId) -> u64 {
+        match self {
+            LatencyModel::Zero => 0,
+            LatencyModel::Uniform { hop } => *hop,
+            LatencyModel::PerLink { default, weights } => {
+                *weights.get(&Self::normalize(from, to)).unwrap_or(default)
+            }
+        }
+    }
+
+    /// The largest delay any single hop can take (an upper bound used to
+    /// compute flood-drain safety gaps).
+    #[must_use]
+    pub fn max_hop(&self) -> u64 {
+        match self {
+            LatencyModel::Zero => 0,
+            LatencyModel::Uniform { hop } => *hop,
+            LatencyModel::PerLink { default, weights } => weights
+                .values()
+                .copied()
+                .chain(std::iter::once(*default))
+                .max()
+                .unwrap_or(*default),
+        }
+    }
+}
+
+/// Summary statistics of end-to-end delivery latency (virtual ticks from
+/// reading injection to complex-event delivery at the user's node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Number of complex-event deliveries with a known injection time.
+    pub samples: u64,
+    /// Median delivery latency.
+    pub p50: u64,
+    /// 95th-percentile delivery latency.
+    pub p95: u64,
+    /// Worst observed delivery latency.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Nearest-rank percentiles over raw samples (empty input → all zero).
+    #[must_use]
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = |p: f64| {
+            let idx = (p * sorted.len() as f64).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        LatencySummary {
+            samples: sorted.len() as u64,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_and_symmetric() {
+        let m = LatencyModel::per_link(2, [(NodeId(3), NodeId(1), 7)]);
+        assert_eq!(m.delay(NodeId(1), NodeId(3)), 7);
+        assert_eq!(m.delay(NodeId(3), NodeId(1)), 7);
+        assert_eq!(m.delay(NodeId(0), NodeId(1)), 2);
+        assert_eq!(m.max_hop(), 7);
+        assert_eq!(LatencyModel::Zero.delay(NodeId(0), NodeId(1)), 0);
+        assert_eq!(LatencyModel::Uniform { hop: 4 }.max_hop(), 4);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let s = LatencySummary::from_samples(&[5, 1, 9, 3, 7]);
+        assert_eq!(s.samples, 5);
+        assert_eq!(s.p50, 5);
+        assert_eq!(s.p95, 9);
+        assert_eq!(s.max, 9);
+        assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+        let one = LatencySummary::from_samples(&[4]);
+        assert_eq!((one.p50, one.p95, one.max), (4, 4, 4));
+    }
+}

@@ -16,20 +16,29 @@
 //!   all other nodes" used by the Centralized baseline), and builders
 //!   including the SensorScope-style clustered layout of §VI-A;
 //! * [`traffic`] — per-kind and per-link traffic accounting;
-//! * [`sim`] — a deterministic run-to-quiescence message simulator over a
-//!   [`sim::NodeBehavior`] trait. The same trait is executed by real OS
-//!   threads in `fsf-runtime`, demonstrating the node logic under genuine
-//!   concurrency.
+//! * [`latency`] — deterministic per-link message-latency models and
+//!   delivery-latency summaries (p50/p95/max virtual ticks);
+//! * [`sim`] — a deterministic **discrete-event** message simulator over a
+//!   [`sim::NodeBehavior`] trait: a timestamped priority queue ordered by
+//!   `(deliver_at, seq)`, a virtual clock exposed through [`sim::Ctx::now`],
+//!   partial advancement via [`sim::Simulator::run_until`], and a
+//!   zero-latency mode that reproduces the legacy run-to-quiescence FIFO
+//!   order exactly (see the `sim` module docs for the event-clock
+//!   semantics, the tie-breaking rule, and the compat guarantee). The same
+//!   trait is executed by real OS threads in `fsf-runtime`, demonstrating
+//!   the node logic under genuine concurrency.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod builders;
+pub mod latency;
 pub mod sim;
 pub mod topology;
 pub mod traffic;
 
 pub use builders::ClusteredLayout;
+pub use latency::{LatencyModel, LatencySummary};
 pub use sim::{Ctx, DeliveryLog, NodeBehavior, Simulator};
 pub use topology::{NodeId, Topology, TopologyError};
 pub use traffic::{ChargeKind, TrafficStats};

@@ -1,16 +1,41 @@
-//! Deterministic run-to-quiescence message simulator.
+//! Deterministic discrete-event message simulator.
 //!
-//! The paper's metrics are traffic counts, not latencies, so the simulator
-//! processes messages from a FIFO queue until none remain ("quiescence")
-//! after each injection. Every behaviour implemented against
-//! [`NodeBehavior`] also runs unmodified on real OS threads via
-//! `fsf-runtime`, which provides the concurrency the paper's Xen testbed
-//! had; the simulator provides the determinism the evaluation needs.
+//! The simulator processes messages from a timestamped priority queue: each
+//! send is scheduled `LatencyModel::delay(from, to)` virtual ticks into the
+//! future, and the queue pops in `(deliver_at, seq)` order, where `seq` is a
+//! global monotone sequence number assigned at scheduling time.
+//!
+//! **Event-clock semantics.** The virtual clock [`Simulator::now`] only
+//! moves forward, to the `deliver_at` of the message being processed (or to
+//! the explicit horizon of [`Simulator::run_until`]). Nodes observe it
+//! through [`Ctx::now`]. Virtual time is a *network* notion (message
+//! propagation); the data-level `Timestamp`s carried inside events are a
+//! separate axis (correlation windows) and are never reinterpreted.
+//!
+//! **Tie-breaking rule.** Messages due at the same tick are processed in
+//! scheduling order (`seq` ascending). This makes the whole timeline a
+//! deterministic function of the injection sequence and the latency model —
+//! no hash-map iteration order, no randomness.
+//!
+//! **Zero-latency compat guarantee.** Under [`LatencyModel::Zero`] every
+//! message is due immediately, so the `(deliver_at, seq)` order degenerates
+//! to `seq` order — exactly the FIFO order of the pre-scheduler simulator.
+//! `tests/fifo_compat.rs` holds this step-for-step, delivery-for-delivery
+//! across 30 seeded workloads.
+//!
+//! The paper's metrics are traffic counts, which are latency-independent;
+//! the scheduler adds the response-time axis (delivery latency percentiles
+//! via [`DeliveryLog::latency_summary`]) and makes churn racing in-flight
+//! floods simulable. Every behaviour implemented against [`NodeBehavior`]
+//! also runs unmodified on real OS threads via `fsf-runtime`, which provides
+//! the concurrency the paper's Xen testbed had; the simulator provides the
+//! determinism the evaluation needs.
 
+use crate::latency::{LatencyModel, LatencySummary};
 use crate::topology::{NodeId, Topology};
 use crate::traffic::{ChargeKind, TrafficStats};
 use fsf_model::{ComplexEvent, EventId, SubId};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// The node-logic trait implemented by every engine (FSF and the four
 /// baselines).
@@ -31,12 +56,13 @@ pub trait NodeBehavior {
     fn on_topology_change(&mut self, _topology: &Topology) {}
 }
 
-/// What a node may do while handling a message: send to neighbors and
-/// deliver results to its local users.
+/// What a node may do while handling a message: send to neighbors, deliver
+/// results to its local users, and read the virtual clock.
 #[derive(Debug)]
 pub struct Ctx<'a, M> {
     node: NodeId,
     neighbors: &'a [NodeId],
+    now: u64,
     outbox: &'a mut Vec<(NodeId, M, ChargeKind, u64)>,
     deliveries: &'a mut DeliveryLog,
 }
@@ -45,17 +71,20 @@ impl<'a, M> Ctx<'a, M> {
     /// Construct a context for an external executor (e.g. the threaded
     /// runtime in `fsf-runtime`) that drives [`NodeBehavior`] outside the
     /// simulator. The executor owns the outbox and delivery log and is
-    /// responsible for dispatching/charging the drained sends.
+    /// responsible for dispatching/charging the drained sends; `now` is its
+    /// notion of virtual time (0 for wall-clock executors without one).
     #[must_use]
     pub fn external(
         node: NodeId,
         neighbors: &'a [NodeId],
+        now: u64,
         outbox: &'a mut Vec<(NodeId, M, ChargeKind, u64)>,
         deliveries: &'a mut DeliveryLog,
     ) -> Self {
         Ctx {
             node,
             neighbors,
+            now,
             outbox,
             deliveries,
         }
@@ -73,6 +102,12 @@ impl<'a, M> Ctx<'a, M> {
         self.neighbors
     }
 
+    /// The virtual clock: the `deliver_at` of the message being handled.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
     /// Send `msg` to neighbor `to`, charging `units` of `kind` traffic on
     /// the link. Panics if `to` is not a neighbor — the system model only
     /// has local interaction.
@@ -88,18 +123,39 @@ impl<'a, M> Ctx<'a, M> {
 
     /// Deliver a complex event to a local user's subscription.
     pub fn deliver(&mut self, sub: SubId, event: &ComplexEvent) {
-        self.deliveries.record(sub, event);
+        self.deliveries.record_at(sub, event, self.now);
     }
 }
 
 /// Results delivered to end users, as needed for the recall metric
 /// (§VI-F): per subscription, the set of simple events that reached the
-/// user inside at least one delivered complex event.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// user inside at least one delivered complex event — plus, per delivery,
+/// the virtual-time latency from reading injection to delivery.
+///
+/// Equality compares the *delivered results* only (`per_sub` sets and the
+/// delivery count), not the latency samples: two engines can deliver the
+/// identical result sets at different speeds, and the equivalence tests
+/// compare logs across engines.
+#[derive(Debug, Clone, Default)]
 pub struct DeliveryLog {
     per_sub: BTreeMap<SubId, BTreeSet<EventId>>,
     complex_deliveries: u64,
+    /// Virtual injection time per simple event, registered by the engine
+    /// wrapper when the reading enters the network.
+    injected_at: BTreeMap<EventId, u64>,
+    /// One sample per complex delivery whose constituents have a known
+    /// injection time: delivery tick − injection tick of the *latest*
+    /// injected constituent (the reading that completed the match).
+    latencies: Vec<u64>,
 }
+
+impl PartialEq for DeliveryLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.per_sub == other.per_sub && self.complex_deliveries == other.complex_deliveries
+    }
+}
+
+impl Eq for DeliveryLog {}
 
 impl DeliveryLog {
     /// Empty log.
@@ -108,9 +164,28 @@ impl DeliveryLog {
         Self::default()
     }
 
-    /// Record one delivered complex event.
+    /// Register the virtual time a simple event was injected at (enables
+    /// latency accounting for deliveries containing it).
+    pub fn note_injection(&mut self, event: EventId, at: u64) {
+        self.injected_at.entry(event).or_insert(at);
+    }
+
+    /// Record one delivered complex event, without timing (compat shortcut
+    /// for executors with no virtual clock).
     pub fn record(&mut self, sub: SubId, event: &ComplexEvent) {
+        self.record_at(sub, event, 0);
+    }
+
+    /// Record one complex event delivered at virtual time `at`.
+    pub fn record_at(&mut self, sub: SubId, event: &ComplexEvent, at: u64) {
         self.complex_deliveries += 1;
+        if let Some(injected) = event
+            .event_ids()
+            .filter_map(|id| self.injected_at.get(&id).copied())
+            .max()
+        {
+            self.latencies.push(at.saturating_sub(injected));
+        }
         self.per_sub
             .entry(sub)
             .or_default()
@@ -128,6 +203,18 @@ impl DeliveryLog {
     #[must_use]
     pub fn complex_deliveries(&self) -> u64 {
         self.complex_deliveries
+    }
+
+    /// Raw delivery-latency samples (virtual ticks), in delivery order.
+    #[must_use]
+    pub fn latency_samples(&self) -> &[u64] {
+        &self.latencies
+    }
+
+    /// p50/p95/max of the delivery latencies observed so far.
+    #[must_use]
+    pub fn latency_summary(&self) -> LatencySummary {
+        LatencySummary::from_samples(&self.latencies)
     }
 
     /// Subscriptions with at least one delivery.
@@ -150,6 +237,10 @@ impl DeliveryLog {
                 .or_default()
                 .extend(events.iter().copied());
         }
+        for (&id, &at) in &other.injected_at {
+            self.injected_at.entry(id).or_insert(at);
+        }
+        self.latencies.extend_from_slice(&other.latencies);
     }
 }
 
@@ -160,29 +251,73 @@ struct Envelope<M> {
     msg: M,
 }
 
-/// Deterministic FIFO simulator over a tree of [`NodeBehavior`] nodes.
+/// A scheduled envelope. Heap order: earliest `deliver_at` first, ties
+/// broken by scheduling sequence (`seq` ascending) — the determinism rule.
+#[derive(Debug, Clone)]
+struct Scheduled<M> {
+    deliver_at: u64,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // reversed: BinaryHeap is a max-heap, we pop the earliest message
+        (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
+    }
+}
+
+/// Deterministic discrete-event simulator over a tree of [`NodeBehavior`]
+/// nodes. Defaults to [`LatencyModel::Zero`], which reproduces the classic
+/// run-to-quiescence FIFO semantics exactly (see the module docs).
 #[derive(Debug)]
 pub struct Simulator<B: NodeBehavior> {
     topology: Topology,
     nodes: Vec<B>,
-    queue: VecDeque<Envelope<B::Msg>>,
+    queue: BinaryHeap<Scheduled<B::Msg>>,
+    latency: LatencyModel,
     /// Accumulated traffic counters.
     pub stats: TrafficStats,
     /// Accumulated end-user deliveries.
     pub deliveries: DeliveryLog,
+    now: u64,
+    next_seq: u64,
     steps: u64,
+    scheduled_total: u64,
+    queue_drops: u64,
     max_steps_per_run: u64,
     down: BTreeSet<NodeId>,
     dropped_to_downed: u64,
 }
 
 impl<B: NodeBehavior> Simulator<B> {
-    /// Default per-`run_to_quiescence` step budget; exceeding it panics
-    /// (a forwarding loop would otherwise spin forever).
+    /// Default per-run step budget; exceeding it panics (a forwarding loop
+    /// would otherwise spin forever).
     pub const DEFAULT_MAX_STEPS: u64 = 200_000_000;
 
-    /// Build a simulator, constructing one node per topology id.
-    pub fn new(topology: Topology, mut make_node: impl FnMut(NodeId, &Topology) -> B) -> Self {
+    /// Build a zero-latency simulator, constructing one node per topology
+    /// id.
+    pub fn new(topology: Topology, make_node: impl FnMut(NodeId, &Topology) -> B) -> Self {
+        Self::with_latency(topology, LatencyModel::Zero, make_node)
+    }
+
+    /// Build a simulator with an explicit latency model.
+    pub fn with_latency(
+        topology: Topology,
+        latency: LatencyModel,
+        mut make_node: impl FnMut(NodeId, &Topology) -> B,
+    ) -> Self {
         let nodes = topology
             .nodes()
             .map(|id| make_node(id, &topology))
@@ -190,15 +325,26 @@ impl<B: NodeBehavior> Simulator<B> {
         Simulator {
             topology,
             nodes,
-            queue: VecDeque::new(),
+            queue: BinaryHeap::new(),
+            latency,
             stats: TrafficStats::new(),
             deliveries: DeliveryLog::new(),
+            now: 0,
+            next_seq: 0,
             steps: 0,
+            scheduled_total: 0,
+            queue_drops: 0,
             max_steps_per_run: Self::DEFAULT_MAX_STEPS,
             down: BTreeSet::new(),
             dropped_to_downed: 0,
         }
     }
+
+    // No mid-run latency-model setter on purpose: swapping to a faster
+    // model while messages are in flight could let a later send overtake
+    // an earlier one on the same link, breaking the per-link FIFO
+    // invariant the retraction protocols rely on. Construct a new
+    // simulator instead.
 
     /// Override the runaway-protection step budget.
     pub fn set_max_steps(&mut self, max: u64) {
@@ -242,10 +388,42 @@ impl<B: NodeBehavior> Simulator<B> {
     }
 
     /// Messages dropped because their destination was down — the simulator's
-    /// fault-injection counter.
+    /// fault-injection counter (covers injections at downed nodes, queued
+    /// messages purged when their destination crashed, and in-flight
+    /// messages arriving at a corpse).
     #[must_use]
     pub fn dropped_to_downed(&self) -> u64 {
         self.dropped_to_downed
+    }
+
+    /// The virtual clock: the latest delivery tick processed (or horizon
+    /// passed to [`Self::run_until`]). Never decreases.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Messages currently scheduled but not yet delivered.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Every envelope ever enqueued (injections at live nodes + sends).
+    /// Together with [`Self::steps`], [`Self::dropped_from_queue`] and
+    /// [`Self::queue_depth`] this forms the message-conservation invariant:
+    /// `scheduled_total == steps + dropped_from_queue + queue_depth` holds
+    /// at every pause point — nothing is lost or duplicated mid-flight.
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Enqueued messages that were dropped instead of processed (destination
+    /// crashed while they were in flight, or already down at delivery).
+    #[must_use]
+    pub fn dropped_from_queue(&self) -> u64 {
+        self.queue_drops
     }
 
     /// Crash a node: re-graft its orphaned neighbors onto `anchor` (see
@@ -265,8 +443,14 @@ impl<B: NodeBehavior> Simulator<B> {
         self.topology = self.topology.regraft(crashed, anchor)?;
         self.down.insert(crashed);
         let before = self.queue.len();
-        self.queue.retain(|env| env.to != crashed);
-        self.dropped_to_downed += (before - self.queue.len()) as u64;
+        let kept: BinaryHeap<Scheduled<B::Msg>> = std::mem::take(&mut self.queue)
+            .into_iter()
+            .filter(|s| s.env.to != crashed)
+            .collect();
+        self.queue = kept;
+        let purged = (before - self.queue.len()) as u64;
+        self.dropped_to_downed += purged;
+        self.queue_drops += purged;
         for id in 0..self.nodes.len() {
             if !self.down.contains(&NodeId(id as u32)) {
                 self.nodes[id].on_topology_change(&self.topology);
@@ -275,50 +459,78 @@ impl<B: NodeBehavior> Simulator<B> {
         Ok(())
     }
 
-    /// Messages processed since construction.
+    /// Messages processed (handled by a live node) since construction.
+    /// Drops to downed nodes are counted in [`Self::dropped_to_downed`],
+    /// not here.
     #[must_use]
     pub fn steps(&self) -> u64 {
         self.steps
     }
 
+    fn schedule(&mut self, from: NodeId, to: NodeId, msg: B::Msg, deliver_at: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.queue.push(Scheduled {
+            deliver_at,
+            seq,
+            env: Envelope { from, to, msg },
+        });
+    }
+
     /// Inject a local item (sensor appearance, user subscription, sensor
-    /// reading) at `node`. The node sees `from == node`. Injections at a
-    /// downed node are dropped (and counted) — its users and sensors died
-    /// with it.
+    /// reading) at `node`, due immediately (at the current virtual time).
+    /// The node sees `from == node`. Injections at a downed node are dropped
+    /// (and counted) — its users and sensors died with it.
     pub fn inject(&mut self, node: NodeId, msg: B::Msg) {
+        self.inject_at(node, msg, self.now);
+    }
+
+    /// Inject a local item scheduled for virtual time `at` (clamped to the
+    /// present — the clock never runs backwards).
+    pub fn inject_at(&mut self, node: NodeId, msg: B::Msg, at: u64) {
         if self.down.contains(&node) {
             self.dropped_to_downed += 1;
             return;
         }
-        self.queue.push_back(Envelope {
-            from: node,
-            to: node,
-            msg,
-        });
+        self.schedule(node, node, msg, at.max(self.now));
     }
 
-    /// Process queued messages until the network is quiescent. Returns the
-    /// number of messages processed by this call.
-    pub fn run_to_quiescence(&mut self) -> u64 {
-        let mut processed = 0u64;
+    /// Process messages in `(deliver_at, seq)` order until `horizon` (if
+    /// any) or quiescence. Returns the number of messages handled.
+    fn pump(&mut self, horizon: Option<u64>) -> u64 {
+        let mut handled = 0u64;
+        let mut popped = 0u64;
         let mut outbox: Vec<(NodeId, B::Msg, ChargeKind, u64)> = Vec::new();
-        while let Some(env) = self.queue.pop_front() {
-            processed += 1;
-            if processed > self.max_steps_per_run {
+        while let Some(head) = self.queue.peek() {
+            if horizon.is_some_and(|t| head.deliver_at > t) {
+                break;
+            }
+            let sch = self.queue.pop().expect("peeked");
+            popped += 1;
+            if popped > self.max_steps_per_run {
                 panic!(
-                    "simulator exceeded {} steps — forwarding loop?",
-                    self.max_steps_per_run
+                    "simulator exceeded {} steps at virtual time {} with {} messages queued — \
+                     forwarding loop?",
+                    self.max_steps_per_run,
+                    self.now,
+                    self.queue.len()
                 );
             }
+            self.now = self.now.max(sch.deliver_at);
+            let env = sch.env;
             if self.down.contains(&env.to) {
                 self.dropped_to_downed += 1;
+                self.queue_drops += 1;
                 continue;
             }
+            handled += 1;
             let node_idx = env.to.0 as usize;
             {
                 let mut ctx = Ctx {
                     node: env.to,
                     neighbors: self.topology.neighbors(env.to),
+                    now: self.now,
                     outbox: &mut outbox,
                     deliveries: &mut self.deliveries,
                 };
@@ -326,15 +538,29 @@ impl<B: NodeBehavior> Simulator<B> {
             }
             for (to, msg, kind, units) in outbox.drain(..) {
                 self.stats.charge(kind, env.to, to, units);
-                self.queue.push_back(Envelope {
-                    from: env.to,
-                    to,
-                    msg,
-                });
+                let deliver_at = self.now + self.latency.delay(env.to, to);
+                self.schedule(env.to, to, msg, deliver_at);
             }
         }
-        self.steps += processed;
-        processed
+        if let Some(t) = horizon {
+            self.now = self.now.max(t);
+        }
+        self.steps += handled;
+        handled
+    }
+
+    /// Process queued messages until the network is quiescent, advancing
+    /// the virtual clock through every scheduled delivery. Returns the
+    /// number of messages handled by this call.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.pump(None)
+    }
+
+    /// Advance virtual time to `t`, delivering exactly the messages due at
+    /// or before `t` and leaving later ones in flight. The clock ends at
+    /// `max(now, t)` even if nothing was due.
+    pub fn run_until(&mut self, t: u64) -> u64 {
+        self.pump(Some(t))
     }
 
     /// Convenience: inject then run to quiescence.
@@ -350,10 +576,11 @@ mod tests {
     use crate::builders;
 
     /// A flooding test behaviour: every locally injected number floods the
-    /// tree; nodes remember what they saw.
+    /// tree; nodes remember what they saw and when.
     #[derive(Debug, Default)]
     struct Flood {
         seen: Vec<u64>,
+        seen_at: Vec<u64>,
     }
 
     impl NodeBehavior for Flood {
@@ -363,6 +590,7 @@ mod tests {
                 return;
             }
             self.seen.push(msg);
+            self.seen_at.push(ctx.now());
             let me = ctx.node();
             let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
             for n in neighbors {
@@ -383,6 +611,8 @@ mod tests {
         }
         // a tree floods over exactly n-1 links (back-edges suppressed)
         assert_eq!(sim.stats.adv_msgs, 14);
+        // zero latency: the virtual clock never moved
+        assert_eq!(sim.now(), 0);
     }
 
     #[test]
@@ -394,6 +624,94 @@ mod tests {
         assert_eq!(processed, 4);
         assert_eq!(sim.steps(), 4);
         assert_eq!(sim.run_to_quiescence(), 0, "already quiescent");
+    }
+
+    #[test]
+    fn uniform_latency_advances_the_clock_by_distance() {
+        // line 0-1-2-3, 5 ticks per hop: the flood front arrives at node k
+        // at virtual time 5k
+        let topo = builders::line(4);
+        let mut sim = Simulator::with_latency(topo, LatencyModel::Uniform { hop: 5 }, |_, _| {
+            Flood::default()
+        });
+        sim.inject_and_run(NodeId(0), 9);
+        for k in 0..4u64 {
+            assert_eq!(sim.node(NodeId(k as u32)).seen_at, vec![5 * k], "node {k}");
+        }
+        assert_eq!(sim.now(), 15);
+    }
+
+    #[test]
+    fn per_link_weights_shape_the_timeline() {
+        // star: hub 0, leaves 1..=3; the 0-2 link is slow
+        let topo = builders::star(4);
+        let model = LatencyModel::per_link(1, [(NodeId(0), NodeId(2), 10)]);
+        let mut sim = Simulator::with_latency(topo, model, |_, _| Flood::default());
+        sim.inject_and_run(NodeId(1), 5);
+        assert_eq!(sim.node(NodeId(0)).seen_at, vec![1]);
+        assert_eq!(sim.node(NodeId(3)).seen_at, vec![2]);
+        assert_eq!(sim.node(NodeId(2)).seen_at, vec![11], "slow link");
+    }
+
+    #[test]
+    fn run_until_pauses_mid_flight_without_loss_or_duplication() {
+        // the satellite invariant: injecting during a paused in-flight
+        // flood neither drops nor duplicates deliveries
+        let topo = builders::balanced(15, 2);
+        let mut sim = Simulator::with_latency(topo, LatencyModel::Uniform { hop: 3 }, |_, _| {
+            Flood::default()
+        });
+        sim.inject(NodeId(0), 1);
+        let first = sim.run_until(4); // root + its two children have seen it
+        assert!(first >= 3, "partial advancement handled {first}");
+        assert!(sim.queue_depth() > 0, "flood must still be in flight");
+        assert_eq!(sim.now(), 4);
+        // conservation invariant mid-flight: nothing lost, nothing invented
+        assert_eq!(
+            sim.scheduled_total(),
+            sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64
+        );
+        // inject a second flood while the first is paused in flight
+        sim.inject(NodeId(14), 2);
+        sim.run_to_quiescence();
+        for n in 0..15u32 {
+            let mut seen = sim.node(NodeId(n)).seen.clone();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![1, 2], "node n{n} saw each flood exactly once");
+        }
+        assert_eq!(sim.stats.adv_msgs, 2 * 14);
+        assert_eq!(
+            sim.scheduled_total(),
+            sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64
+        );
+    }
+
+    #[test]
+    fn run_until_advances_the_clock_even_when_idle() {
+        let topo = builders::line(2);
+        let mut sim = Simulator::new(topo, |_, _| Flood::default());
+        assert_eq!(sim.run_until(100), 0);
+        assert_eq!(sim.now(), 100);
+        // a later injection is due at the advanced clock, and past times
+        // clamp forward
+        sim.inject_at(NodeId(0), 1, 50);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(NodeId(0)).seen_at, vec![100]);
+    }
+
+    #[test]
+    fn zero_latency_is_fifo_ordered() {
+        // two same-tick floods interleave in strict injection order: the
+        // seq tie-break reproduces the legacy FIFO trace
+        let topo = builders::line(3);
+        let mut sim = Simulator::new(topo, |_, _| Flood::default());
+        sim.inject(NodeId(0), 1);
+        sim.inject(NodeId(2), 2);
+        sim.run_to_quiescence();
+        // node 1 hears 1 first (seq order), node 0/2 their local value first
+        assert_eq!(sim.node(NodeId(1)).seen, vec![1, 2]);
+        assert_eq!(sim.node(NodeId(0)).seen, vec![1, 2]);
+        assert_eq!(sim.node(NodeId(2)).seen, vec![2, 1]);
     }
 
     #[test]
@@ -412,27 +730,44 @@ mod tests {
         sim.inject_and_run(NodeId(0), ());
     }
 
+    #[derive(Debug)]
+    struct PingPong;
+    impl NodeBehavior for PingPong {
+        type Msg = ();
+        fn on_message(&mut self, from: NodeId, _: (), ctx: &mut Ctx<'_, ()>) {
+            // bounce forever between the two nodes
+            let to = if from == ctx.node() {
+                ctx.neighbors()[0]
+            } else {
+                from
+            };
+            ctx.send(to, (), ChargeKind::Event, 1);
+        }
+    }
+
     #[test]
     #[should_panic(expected = "forwarding loop")]
     fn runaway_protection_trips() {
-        #[derive(Debug)]
-        struct PingPong;
-        impl NodeBehavior for PingPong {
-            type Msg = ();
-            fn on_message(&mut self, from: NodeId, _: (), ctx: &mut Ctx<'_, ()>) {
-                // bounce forever between the two nodes
-                let to = if from == ctx.node() {
-                    ctx.neighbors()[0]
-                } else {
-                    from
-                };
-                ctx.send(to, (), ChargeKind::Event, 1);
-            }
-        }
         let topo = builders::line(2);
         let mut sim = Simulator::new(topo, |_, _| PingPong);
         sim.set_max_steps(1000);
         sim.inject_and_run(NodeId(0), ());
+    }
+
+    #[test]
+    fn runaway_panic_names_the_clock_and_queue_depth() {
+        let topo = builders::line(2);
+        let mut sim =
+            Simulator::with_latency(topo, LatencyModel::Uniform { hop: 2 }, |_, _| PingPong);
+        sim.set_max_steps(100);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.inject_and_run(NodeId(0), ());
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("exceeded 100 steps"), "got: {msg}");
+        assert!(msg.contains("at virtual time"), "got: {msg}");
+        assert!(msg.contains("messages queued"), "got: {msg}");
     }
 
     #[test]
@@ -470,6 +805,24 @@ mod tests {
     }
 
     #[test]
+    fn steps_count_handled_messages_not_drops() {
+        // line 0-1-2: crash the far end, flood from 0. The copy addressed
+        // to the corpse is dropped, not processed — steps must not count it.
+        let topo = builders::line(3);
+        let mut sim = Simulator::new(topo, |_, _| Flood::default());
+        sim.crash_and_regraft(NodeId(2), NodeId(1)).unwrap();
+        let processed = sim.inject_and_run(NodeId(0), 1);
+        assert_eq!(processed, 2, "only n0 and n1 handled the flood");
+        assert_eq!(sim.steps(), 2);
+        assert_eq!(sim.dropped_to_downed(), 1);
+        assert_eq!(sim.dropped_from_queue(), 1);
+        assert_eq!(
+            sim.scheduled_total(),
+            sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64
+        );
+    }
+
+    #[test]
     fn regrafting_onto_a_downed_anchor_is_rejected() {
         // line 0-1-2-3: down node 1, then try to re-graft node 2's
         // survivors onto the corpse
@@ -481,6 +834,30 @@ mod tests {
         sim.crash_and_regraft(NodeId(2), NodeId(3)).unwrap();
         sim.inject_and_run(NodeId(0), 7);
         assert_eq!(sim.node(NodeId(3)).seen, vec![7], "0 reaches 3 via regraft");
+    }
+
+    #[test]
+    fn crash_purges_in_flight_messages_to_the_corpse() {
+        // pause a flood mid-flight, crash a node the front hasn't reached
+        let topo = builders::line(4);
+        let mut sim = Simulator::with_latency(topo, LatencyModel::Uniform { hop: 4 }, |_, _| {
+            Flood::default()
+        });
+        sim.inject(NodeId(0), 1);
+        sim.run_until(5); // n0 at 0, n1 at 4; the 1→2 copy in flight for t=8
+        assert_eq!(sim.queue_depth(), 1);
+        sim.crash_and_regraft(NodeId(2), NodeId(1)).unwrap();
+        assert_eq!(sim.queue_depth(), 0, "in-flight copy purged");
+        assert_eq!(sim.dropped_from_queue(), 1);
+        sim.run_to_quiescence();
+        // the flood front died with the purged copy — n3 (re-grafted onto
+        // n1) never hears it; re-flooding after a crash is the ROADMAP
+        // recovery-protocol item, not the scheduler's job
+        assert!(sim.node(NodeId(3)).seen.is_empty());
+        assert_eq!(
+            sim.scheduled_total(),
+            sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64
+        );
     }
 
     #[test]
@@ -504,5 +881,35 @@ mod tests {
         assert_eq!(log.delivered(SubId(9)).len(), 0);
         assert_eq!(log.total_event_units(), 4);
         assert_eq!(log.subs().count(), 2);
+    }
+
+    #[test]
+    fn delivery_latency_measures_injection_to_delivery() {
+        use fsf_model::{AttrId, Event, Point, SensorId, Timestamp};
+        let ev = |id: u64| Event {
+            id: EventId(id),
+            sensor: SensorId(1),
+            attr: AttrId(0),
+            location: Point::new(0.0, 0.0),
+            value: 0.0,
+            timestamp: Timestamp(id),
+        };
+        let mut log = DeliveryLog::new();
+        log.note_injection(EventId(1), 100);
+        log.note_injection(EventId(2), 130);
+        // the delivery at t=142 was completed by event 2 (injected 130)
+        log.record_at(SubId(1), &ComplexEvent::new(vec![ev(1), ev(2)]), 142);
+        assert_eq!(log.latency_samples(), &[12]);
+        // a delivery with no known constituents contributes no sample
+        log.record_at(SubId(1), &ComplexEvent::new(vec![ev(9)]), 500);
+        assert_eq!(log.latency_samples().len(), 1);
+        let s = log.latency_summary();
+        assert_eq!((s.samples, s.p50, s.p95, s.max), (1, 12, 12, 12));
+        // equality ignores timing: same results at different speeds compare
+        // equal
+        let mut other = DeliveryLog::new();
+        other.record(SubId(1), &ComplexEvent::new(vec![ev(1), ev(2)]));
+        other.record(SubId(1), &ComplexEvent::new(vec![ev(9)]));
+        assert_eq!(log, other);
     }
 }

@@ -247,6 +247,28 @@ impl Topology {
         Ok(topo)
     }
 
+    /// The tree diameter in hops (longest node-to-node path), via double
+    /// BFS. With a per-hop latency bound this bounds how long any flood
+    /// stays in flight — the timed churn replay uses it to size safety
+    /// gaps.
+    #[must_use]
+    pub fn diameter(&self) -> usize {
+        if self.len() <= 1 {
+            return 0;
+        }
+        let far = |from: NodeId| {
+            let d = self.distances_from(from);
+            let (i, &best) = d
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, &d)| (d, std::cmp::Reverse(i)))
+                .expect("non-empty");
+            (NodeId(i as u32), best)
+        };
+        let (u, _) = far(NodeId(0));
+        far(u).1
+    }
+
     /// Sum over all node pairs of hop distance — a compactness measure used
     /// in tests and reports.
     #[must_use]
@@ -341,6 +363,15 @@ mod tests {
         for v in t.nodes() {
             assert_eq!(d[v.0 as usize], t.distance(NodeId(3), v));
         }
+    }
+
+    #[test]
+    fn diameter_is_the_longest_path() {
+        assert_eq!(line(4).diameter(), 3);
+        assert_eq!(line(1).diameter(), 0);
+        // star: any leaf-to-leaf path is 2 hops
+        let star = Topology::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(star.diameter(), 2);
     }
 
     #[test]

@@ -126,7 +126,10 @@ fn node_loop<B: NodeBehavior>(
             Packet::Stop => break,
             Packet::Msg { from, msg } => {
                 {
-                    let mut ctx = Ctx::external(id, neighbors, &mut outbox, &mut local_deliveries);
+                    // the threaded executor runs on wall clock, not virtual
+                    // time — behaviours see a frozen clock at tick 0
+                    let mut ctx =
+                        Ctx::external(id, neighbors, 0, &mut outbox, &mut local_deliveries);
                     node.on_message(from, msg, &mut ctx);
                 }
                 if local_deliveries.complex_deliveries() > 0 {

@@ -37,10 +37,12 @@ pub mod pareto;
 pub mod results;
 pub mod scenario;
 pub mod sensorscope;
+pub mod timed;
 pub mod workload;
 
 pub use churn::{run_churn, ChurnConfig, ChurnRow};
 pub use driver::run_engine;
 pub use results::{BatchPoint, ExperimentResult};
 pub use scenario::ScenarioConfig;
+pub use timed::{run_timed, TimedConfig, TimedRow};
 pub use workload::Workload;

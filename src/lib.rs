@@ -15,14 +15,17 @@
 //!   probabilistic *set filtering* with configurable error probability
 //!   (paper §V-B / reference \[15\]);
 //! * [`network`] — tree topologies, routing, traffic accounting, and the
-//!   deterministic message simulator (paper §IV-B);
+//!   deterministic discrete-event message simulator: per-link latency
+//!   models, virtual clock, partial advancement, delivery-latency
+//!   percentiles (paper §IV-B);
 //! * [`core`] — the Filter-Split-Forward node: Algorithms 1–5, plus the
 //!   naive / operator-placement configurations that share its skeleton;
 //! * [`engines`] — the centralized and distributed multi-join baselines and
 //!   the uniform [`engines::Engine`] facade (paper §III, §VI);
 //! * [`dynamics`] — churn, retraction and fault injection: scripted and
 //!   seeded [`dynamics::ChurnPlan`]s (sensor up/down, subscribe/
-//!   unsubscribe, node crash), teardown invariant checks;
+//!   unsubscribe, node crash), timed replay on the virtual clock
+//!   ([`dynamics::TimedPlan`]), teardown invariant checks;
 //! * [`workload`] — synthetic SensorScope-style streams, Pareto
 //!   subscriptions, the four experiment scenarios, driver and recall oracle
 //!   (paper §VI-A);
@@ -85,13 +88,13 @@ pub mod prelude {
     pub use fsf_core::{
         DedupMode, FilterPolicy, PubSubConfig, PubSubMsg, PubSubNode, RankPolicy, SetFilterConfig,
     };
-    pub use fsf_dynamics::{ChurnAction, ChurnPlan, ChurnPlanConfig};
+    pub use fsf_dynamics::{ChurnAction, ChurnPlan, ChurnPlanConfig, TimedPlan, TimedReplayConfig};
     pub use fsf_engines::{Engine, EngineKind, NodeFootprint};
     pub use fsf_model::{
         Advertisement, AttrId, ComplexEvent, Event, EventId, Operator, Point, Rect, Region,
         SensorId, SubId, Subscription, Timestamp, ValueRange,
     };
-    pub use fsf_network::{NodeId, Simulator, Topology};
+    pub use fsf_network::{LatencyModel, LatencySummary, NodeId, Simulator, Topology};
     pub use fsf_workload::{run_engine, ScenarioConfig, Workload};
 }
 

@@ -1,0 +1,80 @@
+//! Diff two `figures --json` documents and fail on regressions.
+//!
+//! ```text
+//! compare BASELINE.json NEW.json [--max-recall-drop F] [--max-latency-growth F]
+//! ```
+//!
+//! Exit code 0 when the new run is inside tolerance (recall within
+//! `max-recall-drop`, latency p95 within `max-latency-growth`), 1 on any
+//! regression, 2 on unreadable input. The seed of `BENCH_*.json`
+//! trajectory tracking: CI stores one document per commit and gates new
+//! runs against the stored baseline.
+
+use fsf_bench::compare::{compare, CompareConfig};
+use fsf_bench::json;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<(f64, Vec<json::JsonRecord>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    json::parse(&text).ok_or_else(|| format!("{path}: not a figures --json document"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut config = CompareConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-recall-drop" => {
+                config.max_recall_drop = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-recall-drop needs a fraction in (0,1)");
+            }
+            "--max-latency-growth" => {
+                config.max_latency_growth = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-latency-growth needs a fraction");
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!(
+            "usage: compare BASELINE.json NEW.json [--max-recall-drop F] [--max-latency-growth F]"
+        );
+        return ExitCode::from(2);
+    }
+    let (old, new) = match (load(&paths[0]), load(&paths[1])) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if old.0 != new.0 {
+        eprintln!(
+            "note: scales differ (baseline {} vs new {}) — absolute loads are not comparable",
+            old.0, new.0
+        );
+    }
+    let report = compare(&old.1, &new.1, &config);
+    for line in &report.notes {
+        println!("{line}");
+    }
+    for line in &report.regressions {
+        println!("{line}");
+    }
+    println!(
+        "compared {} record(s): {}",
+        report.compared,
+        if report.passed() { "OK" } else { "REGRESSED" }
+    );
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

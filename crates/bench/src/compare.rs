@@ -1,0 +1,162 @@
+//! Bench-trajectory comparison: diff two `figures --json` documents and
+//! flag regressions — the gate behind the CI bench-trajectory step and
+//! future `BENCH_*.json` tracking.
+//!
+//! Policy (tuned for the metrics the figures emit):
+//!
+//! * any metric whose name contains `recall` may not drop by more than the
+//!   recall tolerance (relative, default 20%);
+//! * `latency p95` may not grow by more than the latency tolerance
+//!   (relative, default 20%, plus one absolute tick of slack so tiny
+//!   baselines don't flap);
+//! * records present only on one side are reported as informational
+//!   drift, not failures (figure sets evolve).
+
+use crate::json::JsonRecord;
+
+/// Comparison tolerances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareConfig {
+    /// Maximum relative recall drop (0.2 = 20%).
+    pub max_recall_drop: f64,
+    /// Maximum relative latency-p95 growth (0.2 = 20%).
+    pub max_latency_growth: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            max_recall_drop: 0.2,
+            max_latency_growth: 0.2,
+        }
+    }
+}
+
+/// The verdict of one comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompareReport {
+    /// Human-readable regression lines; non-empty means FAIL.
+    pub regressions: Vec<String>,
+    /// Informational lines (series appearing/disappearing, improvements).
+    pub notes: Vec<String>,
+    /// Records compared on both sides.
+    pub compared: usize,
+}
+
+impl CompareReport {
+    /// Did the new run pass the gate?
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare a baseline result set against a new one.
+#[must_use]
+pub fn compare(old: &[JsonRecord], new: &[JsonRecord], config: &CompareConfig) -> CompareReport {
+    let mut report = CompareReport::default();
+    let key = |r: &JsonRecord| (r.id.clone(), r.engine.clone(), r.metric.clone());
+    for o in old {
+        let Some(n) = new.iter().find(|n| key(n) == key(o)) else {
+            report.notes.push(format!(
+                "· {} / {} / {}: present only in the baseline",
+                o.id, o.engine, o.metric
+            ));
+            continue;
+        };
+        report.compared += 1;
+        if o.value.is_nan() || n.value.is_nan() {
+            continue;
+        }
+        let metric = o.metric.to_ascii_lowercase();
+        if metric.contains("recall") && o.value > 0.0 {
+            let floor = o.value * (1.0 - config.max_recall_drop);
+            if n.value < floor {
+                report.regressions.push(format!(
+                    "✗ {} / {} / {}: recall {:.4} → {:.4} (> {:.0}% drop)",
+                    o.id,
+                    o.engine,
+                    o.metric,
+                    o.value,
+                    n.value,
+                    config.max_recall_drop * 100.0
+                ));
+            }
+        } else if metric == "latency p95" {
+            let ceiling = o.value * (1.0 + config.max_latency_growth) + 1.0;
+            if n.value > ceiling {
+                report.regressions.push(format!(
+                    "✗ {} / {} / {}: p95 {} → {} (> {:.0}% growth)",
+                    o.id,
+                    o.engine,
+                    o.metric,
+                    o.value,
+                    n.value,
+                    config.max_latency_growth * 100.0
+                ));
+            }
+        }
+    }
+    for n in new {
+        if !old.iter().any(|o| key(o) == key(n)) {
+            report.notes.push(format!(
+                "· {} / {} / {}: new series (no baseline)",
+                n.id, n.engine, n.metric
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(metric: &str, value: f64) -> JsonRecord {
+        JsonRecord::new("ext4", "Filter-Split-Forward", metric, value)
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let recs = vec![rec("recall post-recovery", 0.95), rec("latency p95", 10.0)];
+        let r = compare(&recs, &recs, &CompareConfig::default());
+        assert!(r.passed());
+        assert_eq!(r.compared, 2);
+        assert!(r.notes.is_empty());
+    }
+
+    #[test]
+    fn recall_drop_beyond_tolerance_fails() {
+        let old = vec![rec("recall post-recovery", 1.0)];
+        let ok = vec![rec("recall post-recovery", 0.85)];
+        let bad = vec![rec("recall post-recovery", 0.79)];
+        assert!(compare(&old, &ok, &CompareConfig::default()).passed());
+        let r = compare(&old, &bad, &CompareConfig::default());
+        assert!(!r.passed());
+        assert!(r.regressions[0].contains("recall"), "{:?}", r.regressions);
+    }
+
+    #[test]
+    fn latency_p95_growth_beyond_tolerance_fails() {
+        let old = vec![rec("latency p95", 10.0)];
+        // 13 = 10 × 1.2 + 1.0 tick of slack: the boundary still passes
+        let ok = vec![rec("latency p95", 13.0)];
+        let bad = vec![rec("latency p95", 13.5)];
+        assert!(compare(&old, &ok, &CompareConfig::default()).passed());
+        assert!(!compare(&old, &bad, &CompareConfig::default()).passed());
+        // other metrics are not latency-gated
+        let old_e = vec![rec("event load", 10.0)];
+        let new_e = vec![rec("event load", 100.0)];
+        assert!(compare(&old_e, &new_e, &CompareConfig::default()).passed());
+    }
+
+    #[test]
+    fn disjoint_series_are_notes_not_failures() {
+        let old = vec![rec("recall pre-crash", 1.0)];
+        let new = vec![rec("recall post-recovery", 1.0)];
+        let r = compare(&old, &new, &CompareConfig::default());
+        assert!(r.passed());
+        assert_eq!(r.compared, 0);
+        assert_eq!(r.notes.len(), 2);
+    }
+}

@@ -302,6 +302,57 @@ pub fn ext3_latency(scale: f64) -> (String, Vec<crate::json::JsonRecord>) {
     (out, records)
 }
 
+/// EXT-4: recall and message cost before / during / after an interior-node
+/// crash, per engine — the recovery protocol's ledger. A seeded deployment
+/// publishes three epoch-separated reading phases; a stateless interior
+/// relay crashes before phase 2 (auto-recovery off, so the outage is
+/// measurable) and the recovery protocol runs before phase 3. Recall is
+/// relative to a crash-free naive oracle: deterministic engines must sit
+/// at 1.0 in phase 1, typically dip in phase 2, and return to 1.0 in
+/// phase 3. The cost columns report what the repair took.
+#[must_use]
+pub fn ext4_recovery(scale: f64) -> (String, Vec<crate::json::JsonRecord>) {
+    let config = if scale < 1.0 {
+        fsf_workload::RecoveryConfig::paper_scale().scaled(scale)
+    } else {
+        fsf_workload::RecoveryConfig::paper_scale()
+    };
+    let rows = fsf_workload::run_recovery(&config);
+    let mut out = format!(
+        "== ext4 — recall across an interior crash + recovery ({}, {} nodes, \
+         {} readings/phase) ==\n",
+        config.name, config.total_nodes, config.events_per_phase
+    );
+    out.push_str(&format!(
+        "{:<34} {:>10} {:>10} {:>10} {:>9} {:>9}\n",
+        "approach", "pre-crash", "outage", "recovered", "repairs", "control"
+    ));
+    let mut records = Vec::new();
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<34} {:>10.4} {:>10.4} {:>10.4} {:>9} {:>9}\n",
+            r.engine.name(),
+            r.recall[0],
+            r.recall[1],
+            r.recall[2],
+            r.repair_msgs,
+            r.control_injections,
+        ));
+        let name = r.engine.name();
+        for (metric, value) in [
+            ("recall pre-crash", r.recall[0]),
+            ("recall during outage", r.recall[1]),
+            ("recall post-recovery", r.recall[2]),
+            ("repair messages", r.repair_msgs as f64),
+            ("control injections", r.control_injections as f64),
+            ("delivered units", r.delivered.iter().sum::<u64>() as f64),
+        ] {
+            records.push(crate::json::JsonRecord::new("ext4", name, metric, value));
+        }
+    }
+    (out, records)
+}
+
 /// Table II: the implemented-approaches matrix.
 #[must_use]
 pub fn table2() -> String {
@@ -392,6 +443,38 @@ mod tests {
                 .unwrap();
             assert!(p95.value > 0.0, "{kind}: zero p95 under nonzero latency");
         }
+    }
+
+    #[test]
+    fn ext4_shows_recovery_restoring_recall_and_round_trips_json() {
+        let (table, records) = ext4_recovery(0.25);
+        for kind in EngineKind::ALL {
+            assert!(table.contains(kind.name()), "missing {kind}:\n{table}");
+        }
+        assert_eq!(records.len(), 5 * 6, "engine × metric grid");
+        for kind in EngineKind::ALL {
+            let metric = |m: &str| {
+                records
+                    .iter()
+                    .find(|r| r.engine == kind.name() && r.metric == m)
+                    .unwrap_or_else(|| panic!("{kind}: missing {m}"))
+                    .value
+            };
+            let post = metric("recall post-recovery");
+            if kind == EngineKind::FilterSplitForward {
+                assert!(post > 0.8, "{kind}: post-recovery recall {post}");
+            } else {
+                assert!(
+                    (post - 1.0).abs() < 1e-12,
+                    "{kind}: recovery did not restore recall: {post}"
+                );
+            }
+        }
+        // the records survive the writer/parser round trip bit-exactly
+        let doc = crate::json::to_json(0.25, &records);
+        let (scale, parsed) = crate::json::parse(&doc).expect("well-formed");
+        assert_eq!(scale, 0.25);
+        assert_eq!(parsed, records);
     }
 
     #[test]

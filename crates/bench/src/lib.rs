@@ -16,6 +16,7 @@
 #![warn(clippy::all)]
 
 pub mod ablations;
+pub mod compare;
 pub mod figures;
 pub mod json;
 pub mod render;

@@ -113,6 +113,13 @@ pub enum PubSubMsg {
     /// A flooded advertisement retraction from a neighbor — retraces the
     /// `Adv` flood with the same idempotence.
     AdvDown(fsf_model::SensorId),
+    /// A crash-recovery advertisement re-flood. Unlike `Adv`, repair floods
+    /// are **not** absorbed by the seen-set: they traverse the whole tree
+    /// (structural termination — a tree flood that never returns toward its
+    /// sender cannot loop), re-homing the advertisement's origin where the
+    /// regraft changed the path toward the station and triggering the
+    /// operator re-split toward the repaired direction.
+    AdvRepair(Advertisement),
     /// A local user registers a subscription (Algorithm 4, `n == m`).
     Subscribe(Subscription),
     /// A correlation operator forwarded by a neighbor.
@@ -440,64 +447,135 @@ impl PubSubNode {
         }
         self.events.remove_sensor(sensor);
         if let Origin::Neighbor(j) = adv_origin {
-            self.reproject_toward(j, ctx);
+            self.resplit_toward(j, ctx);
         }
     }
 
-    /// Re-derive every projection previously forwarded to `j` from the
-    /// remaining advertisements behind `j`. Projections that lost all
-    /// support are withdrawn; projections that lost *some* dimensions are
-    /// replaced (withdraw old, forward narrowed) so that events of the
-    /// surviving sensors keep flowing.
-    fn reproject_toward(&mut self, j: NodeId, ctx: &mut Ctx<'_, PubSubMsg>) {
+    /// Reconcile every projection toward `j` with the current advertisement
+    /// picture behind `j` — the shared repair step of retraction *and*
+    /// crash recovery. For each stored uncovered operator (any origin except
+    /// `j` itself) the desired projection onto `j`'s data space is compared
+    /// with the recorded route: unchanged projections are left alone
+    /// (idempotence — nothing is re-sent), changed ones are replaced
+    /// (withdraw old, forward new), vanished ones are withdrawn, and
+    /// operators that previously had nothing to send toward `j` but now
+    /// project onto its repaired data space are forwarded fresh.
+    fn resplit_toward(&mut self, j: NodeId, ctx: &mut Ctx<'_, PubSubMsg>) {
         if ctx.neighbors().binary_search(&j).is_err() {
-            return; // j crashed out of the topology — nothing to withdraw
+            return; // j crashed out of the topology — nothing to reconcile
         }
         type Update = (
             (Origin, fsf_model::OperatorKey),
-            fsf_model::OperatorKey,
+            Option<fsf_model::OperatorKey>,
             Option<Operator>,
         );
+        let behind_j = self.adverts.from_origin(Origin::Neighbor(j));
         let mut updates: Vec<Update> = Vec::new();
-        for ((origin, parent_key), targets) in &self.routes {
-            let Some(old_key) = targets.get(&j) else {
-                continue;
-            };
-            let Some(parent) = self
-                .subs
-                .get(origin)
-                .and_then(|s| s.uncovered.get(parent_key))
-            else {
-                continue;
-            };
-            let dims = parent.supported_dims(self.adverts.from_origin(Origin::Neighbor(j)));
-            let narrowed = parent.project(&dims);
-            match narrowed {
-                Some(p) if p.key() == *old_key => {} // unchanged
-                other => updates.push(((*origin, parent_key.clone()), old_key.clone(), other)),
+        for (&origin, store) in &self.subs {
+            if origin == Origin::Neighbor(j) {
+                continue; // never forward interest back toward its origin
+            }
+            for parent in store.uncovered.iter() {
+                let key = parent.key();
+                let recorded = self
+                    .routes
+                    .get(&(origin, key.clone()))
+                    .and_then(|t| t.get(&j))
+                    .cloned();
+                let dims = parent.supported_dims(behind_j);
+                let desired = parent.project(&dims);
+                match (&desired, &recorded) {
+                    (None, None) => {}
+                    (Some(p), Some(k)) if p.key() == *k => {} // unchanged
+                    _ => updates.push(((origin, key), recorded, desired)),
+                }
             }
         }
-        for (route_key, old_key, narrowed) in updates {
-            ctx.send(
-                j,
-                PubSubMsg::RemoveOperator(old_key),
-                ChargeKind::Subscription,
-                1,
-            );
-            let targets = self.routes.get_mut(&route_key).expect("entry just seen");
-            match narrowed {
+        for (route_key, old_key, desired) in updates {
+            if let Some(old) = old_key {
+                ctx.send(
+                    j,
+                    PubSubMsg::RemoveOperator(old),
+                    ChargeKind::Subscription,
+                    1,
+                );
+            }
+            match desired {
                 Some(p) => {
-                    targets.insert(j, p.key());
+                    self.routes.entry(route_key).or_default().insert(j, p.key());
                     ctx.send(j, PubSubMsg::Operator(p), ChargeKind::Subscription, 1);
                 }
                 None => {
-                    targets.remove(&j);
-                    if targets.is_empty() {
-                        self.routes.remove(&route_key);
+                    if let Some(targets) = self.routes.get_mut(&route_key) {
+                        targets.remove(&j);
+                        if targets.is_empty() {
+                            self.routes.remove(&route_key);
+                        }
                     }
                 }
             }
         }
+    }
+
+    // ----- crash recovery (the regraft counterpart of Algorithm 1) -----
+
+    /// A crash-recovery advertisement re-flood arrived: fill the hole or
+    /// re-home the origin if the repaired tree reaches the station through
+    /// a different neighbor, propagate the flood structurally, and re-split
+    /// stored operators toward the repaired direction.
+    fn handle_adv_repair(
+        &mut self,
+        origin: Origin,
+        adv: Advertisement,
+        ctx: &mut Ctx<'_, PubSubMsg>,
+    ) {
+        let changed = match self.adverts.rehome(adv.sensor, origin) {
+            None => self.adverts.insert(origin, adv), // unknown: fill the hole
+            Some(old) => old != origin && old != Origin::Local,
+        };
+        for &n in ctx.neighbors().to_vec().iter() {
+            if Origin::Neighbor(n) != origin {
+                ctx.send(n, PubSubMsg::AdvRepair(adv), ChargeKind::Recovery, 1);
+            }
+        }
+        if changed {
+            if let Origin::Neighbor(m) = origin {
+                self.resplit_toward(m, ctx);
+            }
+        }
+    }
+
+    /// Purge every trace of a crashed neighbor: its interest slot (covered
+    /// operators die silently — they were never forwarded; uncovered ones
+    /// retrace their recorded routes so the downstream copies are
+    /// withdrawn too) and the projections this node had routed *to* the
+    /// corpse (those copies died with it — dropped without messages).
+    /// Advertisements learned via the corpse are kept: live stations
+    /// re-home them through the repair flood, and the engine's management
+    /// plane retracts the ones hosted on the corpse.
+    fn purge_crashed_origin(&mut self, crashed: NodeId, ctx: &mut Ctx<'_, PubSubMsg>) {
+        let origin = Origin::Neighbor(crashed);
+        if let Some(store) = self.subs.remove(&origin) {
+            for parent in store.uncovered.iter() {
+                let Some(targets) = self.routes.remove(&(origin, parent.key())) else {
+                    continue;
+                };
+                for (j, projected) in targets {
+                    if j != crashed && ctx.neighbors().binary_search(&j).is_ok() {
+                        ctx.send(
+                            j,
+                            PubSubMsg::RemoveOperator(projected),
+                            ChargeKind::Subscription,
+                            1,
+                        );
+                    }
+                }
+            }
+        }
+        self.routes.retain(|_, targets| {
+            targets.remove(&crashed);
+            !targets.is_empty()
+        });
     }
 
     // ----- Algorithm 5: event propagation -----
@@ -645,6 +723,7 @@ impl NodeBehavior for PubSubNode {
                 self.handle_sensor_down(Origin::Local, sensor, ctx);
             }
             PubSubMsg::AdvDown(sensor) => self.handle_sensor_down(origin, sensor, ctx),
+            PubSubMsg::AdvRepair(adv) => self.handle_adv_repair(origin, adv, ctx),
             PubSubMsg::Subscribe(sub) => {
                 debug_assert_eq!(origin, Origin::Local, "Subscribe is a local injection");
                 self.handle_operator(Origin::Local, Operator::from_subscription(&sub), ctx);
@@ -660,6 +739,26 @@ impl NodeBehavior for PubSubNode {
                 for e in events {
                     self.handle_event(origin, e, ctx);
                 }
+            }
+        }
+    }
+
+    /// The crash-recovery protocol, node-local part: nodes adjacent to the
+    /// crash purge the corpse's per-origin state, and every station
+    /// re-floods its local advertisements over the re-grafted tree (a full
+    /// re-flood; partial-state handoff is a recorded follow-on). The repair
+    /// floods re-home stale origins and drive the operator re-split, so
+    /// subscriber-side projections that had been routed through the dead
+    /// node are re-established — idempotently, because unchanged
+    /// projections are never re-sent and operator delivery dedups by key.
+    fn on_recover(&mut self, delta: &fsf_network::RegraftDelta, ctx: &mut Ctx<'_, PubSubMsg>) {
+        if delta.was_neighbor(self.id) {
+            self.purge_crashed_origin(delta.crashed, ctx);
+        }
+        let local: Vec<Advertisement> = self.adverts.from_origin(Origin::Local).to_vec();
+        for adv in local {
+            for &n in ctx.neighbors().to_vec().iter() {
+                ctx.send(n, PubSubMsg::AdvRepair(adv), ChargeKind::Recovery, 1);
             }
         }
     }
@@ -1173,6 +1272,67 @@ mod tests {
             assert_eq!(st.total_operators(), 0, "n{n} operators leaked");
             assert_eq!(st.forwarded_routes, 0, "n{n} routes leaked");
         }
+    }
+
+    #[test]
+    fn crash_recovery_restores_the_reverse_path() {
+        // line: n0(sensor) — n1 — n2 — n3(user); crash the relay n1 onto
+        // n2. The regraft attaches n0 directly to n2; recovery must re-home
+        // the advertisement, withdraw-and-re-forward the operator over the
+        // new edge, and events must flow again.
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        let delta = s.crash_and_regraft(NodeId(1), NodeId(2)).unwrap();
+        s.run_recovery(&delta);
+        s.run_to_quiescence();
+        assert!(s.stats.recovery_msgs > 0, "re-flood was charged");
+        // the anchor re-homed the advert onto the re-grafted edge…
+        assert_eq!(
+            s.node(NodeId(2))
+                .adverts()
+                .from_origin(Origin::Neighbor(NodeId(0)))
+                .len(),
+            1
+        );
+        // …and the orphaned station received the operator over it
+        assert_eq!(
+            s.node(NodeId(0))
+                .subs(Origin::Neighbor(NodeId(2)))
+                .unwrap()
+                .uncovered
+                .len(),
+            1
+        );
+        // the purged slot for the corpse is gone on both sides
+        assert!(s
+            .node(NodeId(0))
+            .subs(Origin::Neighbor(NodeId(1)))
+            .is_none());
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
+        // full teardown over the repaired tree still leaves no residue
+        s.inject_and_run(NodeId(3), PubSubMsg::Unsubscribe(SubId(1)));
+        s.inject_and_run(NodeId(0), PubSubMsg::SensorDown(SensorId(1)));
+        for n in [0u32, 2, 3] {
+            let st = s.node(NodeId(n)).storage_stats();
+            assert_eq!(st.total_operators(), 0, "n{n} leaked operators");
+            assert_eq!(st.forwarded_routes, 0, "n{n} leaked routes");
+            assert_eq!(st.advertisements, 0, "n{n} leaked advertisements");
+        }
+    }
+
+    #[test]
+    fn adv_repair_is_idempotent_on_an_intact_tree() {
+        // with no crash at all, a repair flood must change nothing but the
+        // recovery counters: same stores, same routes, no re-forwards
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        let subs_before = s.stats.sub_forwards;
+        s.inject_and_run(NodeId(0), PubSubMsg::AdvRepair(adv(1, 0)));
+        assert_eq!(s.stats.sub_forwards, subs_before, "no operator re-sent");
+        assert_eq!(s.stats.recovery_msgs, 3, "repair traversed the 3 links");
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
     }
 
     #[test]

@@ -75,6 +75,32 @@ impl AdvStore {
         found
     }
 
+    /// Re-home a known sensor's advertisement under `new_origin` — crash
+    /// recovery repaired the tree and the sensor is now reached through a
+    /// different neighbor. Returns the origin it was stored under before
+    /// the move, or `None` if the sensor is unknown. Local advertisements
+    /// never move: the hosting station's own entry is authoritative.
+    pub fn rehome(&mut self, sensor: SensorId, new_origin: Origin) -> Option<Origin> {
+        if !self.seen.contains(&sensor) {
+            return None;
+        }
+        let (old, adv) = self
+            .per_origin
+            .iter()
+            .find_map(|(o, advs)| advs.iter().find(|a| a.sensor == sensor).map(|a| (*o, *a)))
+            .expect("seen sensors have a stored advertisement");
+        if old == new_origin || old == Origin::Local {
+            return Some(old);
+        }
+        let slot = self.per_origin.get_mut(&old).expect("found above");
+        slot.retain(|a| a.sensor != sensor);
+        if slot.is_empty() {
+            self.per_origin.remove(&old);
+        }
+        self.per_origin.entry(new_origin).or_default().push(adv);
+        Some(old)
+    }
+
     /// The advertisements received from one origin (`DSA_m` / `DSA_local`).
     #[must_use]
     pub fn from_origin(&self, origin: Origin) -> &[Advertisement] {
@@ -179,6 +205,34 @@ mod tests {
         assert!(s.knows_sensor(SensorId(1)));
         assert!(!s.knows_sensor(SensorId(9)));
         assert_eq!(s.all().count(), 2);
+    }
+
+    #[test]
+    fn rehome_moves_between_origins_but_never_off_local() {
+        let mut s = AdvStore::new();
+        s.insert(Origin::Neighbor(NodeId(2)), adv(1));
+        s.insert(Origin::Local, adv(7));
+        // unknown sensors are reported, not invented
+        assert_eq!(s.rehome(SensorId(9), Origin::Local), None);
+        // a real move: origin slot changes, seen-set untouched
+        assert_eq!(
+            s.rehome(SensorId(1), Origin::Neighbor(NodeId(4))),
+            Some(Origin::Neighbor(NodeId(2)))
+        );
+        assert_eq!(s.from_origin(Origin::Neighbor(NodeId(2))).len(), 0);
+        assert_eq!(s.from_origin(Origin::Neighbor(NodeId(4))).len(), 1);
+        assert!(s.knows_sensor(SensorId(1)));
+        // idempotent when already home
+        assert_eq!(
+            s.rehome(SensorId(1), Origin::Neighbor(NodeId(4))),
+            Some(Origin::Neighbor(NodeId(4)))
+        );
+        // the hosting station's own entry is pinned
+        assert_eq!(
+            s.rehome(SensorId(7), Origin::Neighbor(NodeId(4))),
+            Some(Origin::Local)
+        );
+        assert_eq!(s.from_origin(Origin::Local).len(), 1);
     }
 
     #[test]

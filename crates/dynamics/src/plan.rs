@@ -55,6 +55,12 @@ pub enum ChurnAction {
         /// The neighbor adopting the orphaned subtree.
         anchor: NodeId,
     },
+    /// Run the crash-recovery protocol for every crash still pending —
+    /// the management-plane half of the `Crash`/`Recover` pair. A no-op
+    /// for engines left in auto-recovery mode (they recovered at the
+    /// crash); the pair makes the outage window explicit for engines
+    /// driven with auto-recovery off.
+    Recover,
 }
 
 impl ChurnAction {
@@ -90,11 +96,26 @@ pub struct ChurnPlanConfig {
     pub range_half_width: f64,
     /// Seconds the clock advances per published reading.
     pub reading_interval: u64,
-    /// Also generate node crashes. Only stateless leaf nodes are crashed
-    /// (nodes hosting no live sensor or subscription), so the surviving
-    /// network's semantics stay exact; interior-crash recovery is a
-    /// protocol of its own (see ROADMAP).
+    /// Also generate node crashes. Without [`Self::crash_interior`], only
+    /// stateless leaf nodes are crashed (nodes hosting no live sensor or
+    /// subscription) — the equivalence-preserving generator that predates
+    /// the recovery protocol, kept behind this flag pair.
     pub with_crashes: bool,
+    /// Lift the stateless-leaf restriction: crash arbitrary interior nodes
+    /// (their hosted sensors and subscriptions die with them) and emit the
+    /// `Crash`/`Recover` action pair. The generator tracks the re-grafted
+    /// topology so later crash anchors stay valid, and jumps the data clock
+    /// by `δt` at every crash so no correlation window straddles an outage
+    /// (the epoch argument of the `Subscribe` jump, applied to crashes).
+    pub crash_interior: bool,
+    /// Nodes the generator never crashes (e.g. the topology median, which
+    /// the centralized baseline cannot lose).
+    pub protected_nodes: Vec<NodeId>,
+    /// Guarantee at least this many crashes in interior mode: the dice may
+    /// roll none in a short plan, and crash-battery tests need the fault
+    /// they are testing to actually occur. Extra `Crash`/`Recover` pairs
+    /// (with their publish tails) are appended until the floor is met.
+    pub min_crashes: usize,
 }
 
 impl Default for ChurnPlanConfig {
@@ -110,6 +131,9 @@ impl Default for ChurnPlanConfig {
             range_half_width: 25.0,
             reading_interval: 7,
             with_crashes: false,
+            crash_interior: false,
+            protected_nodes: Vec::new(),
+            min_crashes: 0,
         }
     }
 }
@@ -122,6 +146,12 @@ pub struct ChurnPlan {
 }
 
 impl ChurnPlan {
+    /// How many flood-drain gaps a crash or recovery gets in a timed
+    /// schedule: the recovery cascade spans up to three tree traversals
+    /// (advertisement re-flood, operator re-forward, event re-send), plus
+    /// slack.
+    pub const RECOVERY_GAP_FACTOR: u64 = 4;
+
     /// A hand-scripted plan.
     #[must_use]
     pub fn scripted(actions: Vec<ChurnAction>) -> Self {
@@ -150,7 +180,11 @@ impl ChurnPlan {
     /// * departed sensor ids are never reused (a returning station gets a
     ///   new identity — advertisement re-routing for resurrected ids is an
     ///   open item);
-    /// * crashes (if enabled) only hit stateless leaf nodes.
+    /// * crashes (if enabled) hit stateless leaves, or — with
+    ///   [`ChurnPlanConfig::crash_interior`] — arbitrary unprotected nodes,
+    ///   in which case every `Crash` is paired with a `Recover`, the hosted
+    ///   state dies with the node, and the data clock jumps `δt` so no
+    ///   correlation window straddles the outage.
     #[must_use]
     pub fn seeded(topology: &Topology, config: &ChurnPlanConfig) -> Self {
         assert!(topology.len() >= 2, "churn needs at least two nodes");
@@ -167,18 +201,36 @@ impl ChurnPlan {
             crashed: Vec::new(),
             hosted_ever: Vec::new(),
             nodes: topology.nodes().collect(),
+            topo: topology.clone(),
         };
         for _ in 0..config.initial_sensors.max(1) {
             g.sensor_up();
         }
         let mut emitted = 0usize;
         while emitted < config.churn_actions {
-            if !g.step(topology) {
+            if !g.step() {
                 continue;
             }
             emitted += 1;
             for _ in 0..config.events_per_action {
                 g.publish();
+            }
+        }
+        if config.with_crashes && config.crash_interior {
+            let mut crashes = g
+                .actions
+                .iter()
+                .filter(|a| matches!(a, ChurnAction::Crash { .. }))
+                .count();
+            let mut attempts = 0;
+            while crashes < config.min_crashes && attempts < 64 {
+                attempts += 1;
+                if g.crash_interior() {
+                    crashes += 1;
+                    for _ in 0..config.events_per_action {
+                        g.publish();
+                    }
+                }
             }
         }
         ChurnPlan { actions: g.actions }
@@ -209,7 +261,7 @@ impl ChurnPlan {
                     active.remove(sub);
                 }
                 ChurnAction::Crash { node, .. } => crashed.push(*node),
-                ChurnAction::Publish { .. } => {}
+                ChurnAction::Recover | ChurnAction::Publish { .. } => {}
             }
         }
         let mut out = Vec::with_capacity(active.len() + up.len());
@@ -265,6 +317,16 @@ impl ChurnPlan {
                     offset += config.churn_gap;
                     let at = data_clock + offset;
                     data_clock += sub.delta_t();
+                    at
+                }
+                // crashes and recoveries leave a widened margin *behind*
+                // them: recovery is a cascade (adv re-flood → operator
+                // re-forward → event re-send), so whatever follows must
+                // wait several flood-drain gaps for it to settle, not one
+                ChurnAction::Crash { .. } | ChurnAction::Recover => {
+                    offset += config.churn_gap;
+                    let at = data_clock + offset;
+                    offset += config.churn_gap * (Self::RECOVERY_GAP_FACTOR - 1);
                     at
                 }
                 _ => {
@@ -352,9 +414,13 @@ struct Generator {
     active: BTreeMap<SubId, NodeId>,
     crashed: Vec<NodeId>,
     /// Nodes that hosted a sensor or subscription at some point (excluded
-    /// from crashing: their state must stay addressable for teardown).
+    /// from crashing in leaf mode: their state must stay addressable for
+    /// teardown).
     hosted_ever: Vec<NodeId>,
     nodes: Vec<NodeId>,
+    /// The topology as it evolves under regrafts — later crash anchors
+    /// must be neighbors in the *current* tree, not the original one.
+    topo: Topology,
 }
 
 impl Generator {
@@ -406,9 +472,57 @@ impl Generator {
         self.actions.push(ChurnAction::Publish { node, event });
     }
 
+    /// Crash an arbitrary live node: its hosted state dies, the tracked
+    /// topology regrafts, the clock jumps a correlation epoch, and the
+    /// `Crash`/`Recover` pair is emitted. Returns `false` when no eligible
+    /// candidate exists (everything protected, or the crash would take the
+    /// last live sensor down).
+    fn crash_interior(&mut self) -> bool {
+        let candidates: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&n| {
+                !self.crashed.contains(&n)
+                    && !self.config.protected_nodes.contains(&n)
+                    && self
+                        .topo
+                        .neighbors(n)
+                        .iter()
+                        .any(|a| !self.crashed.contains(a))
+                    // keep at least one sensor alive so publishes continue
+                    && self.up.values().any(|&(host, _)| host != n)
+            })
+            .collect();
+        let Some(&node) = candidates.choose(&mut self.rng) else {
+            return false;
+        };
+        let anchor = *self
+            .topo
+            .neighbors(node)
+            .iter()
+            .find(|a| !self.crashed.contains(a))
+            .expect("filtered for a live neighbor");
+        self.topo = self
+            .topo
+            .regraft(node, anchor)
+            .expect("anchor is a current neighbor");
+        self.crashed.push(node);
+        self.up.retain(|_, &mut (host, _)| host != node);
+        self.active.retain(|_, &mut host| host != node);
+        // correlation epoch around the outage: pre-crash readings must not
+        // be able to complete joins with post-recovery ones, or the five
+        // engines' transient disagreement during the outage would leak
+        // into the delivered results
+        self.clock += self.config.delta_t;
+        self.actions.push(ChurnAction::Crash { node, anchor });
+        self.actions.push(ChurnAction::Recover);
+        true
+    }
+
     /// One churn action; returns `false` if the rolled action was not
     /// applicable in the current state (caller re-rolls).
-    fn step(&mut self, topology: &Topology) -> bool {
+    fn step(&mut self) -> bool {
         let roll = self.rng.gen_range(0u32..100);
         match roll {
             // subscribe — the bread-and-butter action
@@ -472,21 +586,28 @@ impl Generator {
                 self.actions.push(ChurnAction::SensorDown { node, sensor });
                 true
             }
-            // crash a stateless leaf (fault injection)
+            // crash a node (fault injection)
             _ => {
                 if !self.config.with_crashes {
                     return false;
                 }
+                if self.config.crash_interior {
+                    return self.crash_interior();
+                }
+                // equivalence-preserving mode: stateless leaves only (a
+                // leaf regraft changes no surviving path, and a stateless
+                // corpse takes no state with it)
                 let candidate = self.nodes.iter().copied().find(|&n| {
-                    topology.degree(n) == 1
+                    self.topo.degree(n) == 1
                         && !self.crashed.contains(&n)
                         && !self.hosted_ever.contains(&n)
-                        && !self.crashed.contains(&topology.neighbors(n)[0])
+                        && !self.config.protected_nodes.contains(&n)
+                        && !self.crashed.contains(&self.topo.neighbors(n)[0])
                 });
                 let Some(node) = candidate else {
                     return false;
                 };
-                let anchor = topology.neighbors(node)[0];
+                let anchor = self.topo.neighbors(node)[0];
                 self.crashed.push(node);
                 self.actions.push(ChurnAction::Crash { node, anchor });
                 true
@@ -617,6 +738,123 @@ mod tests {
         let full = plan.with_teardown();
         assert!(!tail.is_empty());
         assert!(full.teardown().is_empty(), "teardown is exhaustive");
+    }
+
+    #[test]
+    fn interior_crashes_pair_with_recovery_and_keep_invariants() {
+        let topo = builders::balanced(63, 2);
+        let median = topo.median();
+        let plan = ChurnPlan::seeded(
+            &topo,
+            &ChurnPlanConfig {
+                with_crashes: true,
+                crash_interior: true,
+                protected_nodes: vec![median],
+                churn_actions: 150,
+                ..ChurnPlanConfig::default()
+            },
+        );
+        // every crash is immediately followed by its Recover twin
+        let mut crashes: Vec<(NodeId, NodeId)> = Vec::new();
+        for (i, a) in plan.actions.iter().enumerate() {
+            if let ChurnAction::Crash { node, anchor } = a {
+                crashes.push((*node, *anchor));
+                assert_eq!(
+                    plan.actions.get(i + 1),
+                    Some(&ChurnAction::Recover),
+                    "crash without a paired recover"
+                );
+            }
+        }
+        assert!(!crashes.is_empty(), "150 actions should include crashes");
+        assert!(
+            crashes.iter().any(|&(n, _)| topo.degree(n) > 1),
+            "interior mode should crash non-leaves: {crashes:?}"
+        );
+        // the protected median survives, and every anchor is a live
+        // neighbor in the *evolving* tree — replay the regrafts to check
+        let mut topo_now = topo.clone();
+        for &(node, anchor) in &crashes {
+            assert_ne!(node, median, "protected node crashed");
+            topo_now = topo_now
+                .regraft(node, anchor)
+                .expect("anchor must be a current neighbor");
+        }
+        // dead state stays dead: no publishes from crashed-host sensors,
+        // no new subscriptions over them, no activity on crashed nodes
+        let mut crashed: Vec<NodeId> = Vec::new();
+        let mut up: BTreeMap<SensorId, NodeId> = BTreeMap::new();
+        for a in &plan.actions {
+            match a {
+                ChurnAction::SensorUp { node, adv } => {
+                    assert!(!crashed.contains(node), "sensor on a corpse");
+                    up.insert(adv.sensor, *node);
+                }
+                ChurnAction::SensorDown { sensor, .. } => {
+                    up.remove(sensor);
+                }
+                ChurnAction::Crash { node, .. } => {
+                    crashed.push(*node);
+                    up.retain(|_, host| host != node);
+                }
+                ChurnAction::Publish { node, event } => {
+                    assert!(up.contains_key(&event.sensor), "reading from a ghost");
+                    assert!(!crashed.contains(node), "reading from a corpse");
+                }
+                ChurnAction::Subscribe { node, sub } => {
+                    assert!(!crashed.contains(node), "subscription on a corpse");
+                    for d in sub.dims() {
+                        let fsf_model::DimKey::Sensor(s) = d else {
+                            panic!("identified subscriptions only")
+                        };
+                        assert!(up.contains_key(&s), "subscription over a dead sensor");
+                    }
+                }
+                ChurnAction::Unsubscribe { .. } | ChurnAction::Recover => {}
+            }
+        }
+    }
+
+    #[test]
+    fn timed_schedule_gives_crashes_the_recovery_margin() {
+        let topo = builders::balanced(31, 2);
+        let plan = ChurnPlan::seeded(
+            &topo,
+            &ChurnPlanConfig {
+                with_crashes: true,
+                crash_interior: true,
+                protected_nodes: vec![topo.median()],
+                churn_actions: 60,
+                ..ChurnPlanConfig::default()
+            },
+        );
+        let cfg = TimedReplayConfig {
+            initial_clock: 1_000,
+            churn_gap: 5,
+        };
+        let timed = plan.timed(&cfg);
+        assert!(
+            timed.actions.windows(2).all(|w| w[0].at <= w[1].at),
+            "schedule not monotone"
+        );
+        // the settle margin sits *behind* a crash/recover: whatever comes
+        // next waits RECOVERY_GAP_FACTOR flood-drain gaps for the repair
+        // cascade, while the crash itself only needs the ordinary gap
+        let margin = cfg.churn_gap * ChurnPlan::RECOVERY_GAP_FACTOR;
+        let mut saw_crash = false;
+        for (i, t) in timed.actions.iter().enumerate() {
+            if matches!(t.action, ChurnAction::Crash { .. } | ChurnAction::Recover) {
+                saw_crash = true;
+                if let Some(next) = timed.actions.get(i + 1) {
+                    assert!(
+                        next.at >= t.at + margin,
+                        "action after crash/recover at {} lacks the {margin}-tick settle margin",
+                        t.at
+                    );
+                }
+            }
+        }
+        assert!(saw_crash);
     }
 
     #[test]

@@ -5,9 +5,10 @@ use crate::multijoin::{MjMsg, MjNode};
 use fsf_core::{PubSubConfig, PubSubMsg, PubSubNode};
 use fsf_model::{Advertisement, Event, SensorId, SubId, Subscription};
 use fsf_network::{
-    DeliveryLog, LatencyModel, LatencySummary, NodeId, Simulator, Topology, TopologyError,
-    TrafficStats,
+    DeliveryLog, LatencyModel, LatencySummary, NodeId, RegraftDelta, Simulator, Topology,
+    TopologyError, TrafficStats,
 };
+use std::collections::BTreeMap;
 
 /// One node's residual state, as reported by [`Engine::footprint`] — the
 /// quantities a fully torn-down network must return to zero (churn leak
@@ -37,6 +38,129 @@ impl NodeFootprint {
     }
 }
 
+/// Cumulative crash-recovery accounting of one engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Successful `crash_node` calls.
+    pub crashes: u64,
+    /// Crash events whose recovery protocol has run (equals `crashes` under
+    /// auto-recovery; lags behind while recovery is deferred).
+    pub recoveries: u64,
+    /// Advertisement re-flood messages network-wide (mirrors
+    /// `stats().recovery_msgs` — the protocol's repair cost).
+    pub repair_msgs: u64,
+    /// Management-plane injections issued during recovery: retractions for
+    /// state hosted on the corpse, plus the centralized baseline's
+    /// re-registrations.
+    pub control_injections: u64,
+}
+
+/// Shared engine-wrapper bookkeeping for the recovery management plane:
+/// which node hosts which sensor / subscription (the deployment's
+/// management view — node behaviors cannot tell a sensor hosted *on* the
+/// corpse from one advertised *through* it), the tombstones of everything
+/// that ever left, which crashes still await recovery, and the cumulative
+/// counters.
+#[derive(Debug)]
+struct RecoveryPlane {
+    auto: bool,
+    pending: Vec<RegraftDelta>,
+    crashes: u64,
+    recoveries: u64,
+    control_injections: u64,
+    sensor_hosts: BTreeMap<SensorId, NodeId>,
+    sub_hosts: BTreeMap<SubId, NodeId>,
+    /// Tombstones: every sensor that ever departed — retracted by its user
+    /// or dead in a crash. Recovery re-announces them at the crash
+    /// frontier, because a retraction flood the crash severed in flight
+    /// must be replayed; a re-announcement of a long-forgotten sensor is
+    /// absorbed by the first node that no longer knows it, so the cost is
+    /// proportional to actual staleness.
+    dead_sensors: std::collections::BTreeSet<SensorId>,
+    /// Tombstoned subscriptions, for the centralized baseline (the pub/sub
+    /// family's corpse purge retraces severed operator removals on its
+    /// own; the centre needs the cancellation re-sent).
+    dead_subs: std::collections::BTreeSet<SubId>,
+}
+
+impl RecoveryPlane {
+    fn new() -> Self {
+        RecoveryPlane {
+            auto: true,
+            pending: Vec::new(),
+            crashes: 0,
+            recoveries: 0,
+            control_injections: 0,
+            sensor_hosts: BTreeMap::new(),
+            sub_hosts: BTreeMap::new(),
+            dead_sensors: std::collections::BTreeSet::new(),
+            dead_subs: std::collections::BTreeSet::new(),
+        }
+    }
+
+    fn note_sensor_retracted(&mut self, sensor: SensorId) {
+        self.sensor_hosts.remove(&sensor);
+        self.dead_sensors.insert(sensor);
+    }
+
+    fn note_sub_retracted(&mut self, sub: SubId) {
+        self.sub_hosts.remove(&sub);
+        self.dead_subs.insert(sub);
+    }
+
+    /// Record a crash: state hosted on the corpse is dead (tombstoned)
+    /// from the management plane's point of view immediately. Returns the
+    /// delta to recover now (auto) or queues it (deferred).
+    fn note_crash(&mut self, delta: RegraftDelta) -> Option<RegraftDelta> {
+        self.crashes += 1;
+        let corpse = delta.crashed;
+        let dead_sensors: Vec<SensorId> = self
+            .sensor_hosts
+            .iter()
+            .filter(|(_, &n)| n == corpse)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in dead_sensors {
+            self.note_sensor_retracted(s);
+        }
+        let dead_subs: Vec<SubId> = self
+            .sub_hosts
+            .iter()
+            .filter(|(_, &n)| n == corpse)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in dead_subs {
+            self.note_sub_retracted(s);
+        }
+        if self.auto {
+            Some(delta)
+        } else {
+            self.pending.push(delta);
+            None
+        }
+    }
+
+    /// Where to inject the tombstone re-announcements: the crash frontier
+    /// — the anchor and the orphans, skipping any that are corpses
+    /// themselves (cascading crashes). Every stale region left behind by a
+    /// severed flood is rooted at one of these nodes.
+    fn frontier(delta: &RegraftDelta, is_down: impl Fn(NodeId) -> bool) -> Vec<NodeId> {
+        std::iter::once(delta.anchor)
+            .chain(delta.orphans.iter().copied())
+            .filter(|&n| !is_down(n))
+            .collect()
+    }
+
+    fn stats(&self, repair_msgs: u64) -> RecoveryStats {
+        RecoveryStats {
+            crashes: self.crashes,
+            recoveries: self.recoveries,
+            repair_msgs,
+            control_injections: self.control_injections,
+        }
+    }
+}
+
 /// A continuous-query engine under test: inject workload items (and retract
 /// them — §IV-B: state "is valid until explicitly removed"), flush the
 /// network, read traffic and deliveries.
@@ -63,6 +187,20 @@ pub trait Engine {
     /// # Errors
     /// Fails if `anchor` is not a neighbor of `node`.
     fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError>;
+    /// Toggle automatic crash recovery (default **on**): when enabled,
+    /// `crash_node` immediately runs the recovery protocol over the
+    /// re-grafted tree (advertisement re-floods, operator re-forwards,
+    /// management-plane retraction of corpse-hosted state); when disabled,
+    /// crashes degrade the network — the pre-recovery behavior — until
+    /// [`Engine::recover`] is called.
+    fn set_auto_recover(&mut self, on: bool);
+    /// Run the recovery protocol for every crash still pending (a no-op
+    /// when auto-recovery already handled them). Schedules the recovery
+    /// traffic on the virtual clock without flushing, so it races whatever
+    /// is in flight — flush or `run_until` to drain it.
+    fn recover(&mut self);
+    /// Cumulative crash/recovery counters.
+    fn recovery_stats(&self) -> RecoveryStats;
     /// Per-node residual state (downed nodes excluded — they died with
     /// their state).
     fn footprint(&self) -> Vec<NodeFootprint>;
@@ -210,6 +348,7 @@ impl std::fmt::Display for EngineKind {
 pub struct PubSubEngine {
     name: &'static str,
     sim: Simulator<PubSubNode>,
+    recovery: RecoveryPlane,
 }
 
 impl PubSubEngine {
@@ -229,7 +368,33 @@ impl PubSubEngine {
         latency: LatencyModel,
     ) -> Self {
         let sim = Simulator::with_latency(topology, latency, |id, _| PubSubNode::new(id, config));
-        PubSubEngine { name, sim }
+        PubSubEngine {
+            name,
+            sim,
+            recovery: RecoveryPlane::new(),
+        }
+    }
+
+    /// Run one crash's recovery: the node-level protocol (purge +
+    /// advertisement re-flood over the re-grafted tree), then the
+    /// management plane re-announces every tombstoned sensor at the crash
+    /// frontier — corpse-hosted sensors *and* earlier retractions whose
+    /// `AdvDown` flood the crash may have severed in flight; where the
+    /// retraction already completed, the re-announcement is absorbed by
+    /// the first node that no longer knows the sensor. Dead subscriptions
+    /// need no injection: the purge at the corpse's former neighbors
+    /// retraces their forwards (severed or not).
+    fn apply_recovery(&mut self, delta: &RegraftDelta) {
+        self.sim.run_recovery(delta);
+        let frontier = RecoveryPlane::frontier(delta, |n| self.sim.is_down(n));
+        let tombstones: Vec<SensorId> = self.recovery.dead_sensors.iter().copied().collect();
+        for sensor in tombstones {
+            for &node in &frontier {
+                self.sim.inject(node, PubSubMsg::AdvDown(sensor));
+                self.recovery.control_injections += 1;
+            }
+        }
+        self.recovery.recoveries += 1;
     }
 
     /// Access the underlying simulator (tests / inspection).
@@ -244,9 +409,11 @@ impl Engine for PubSubEngine {
         self.name
     }
     fn inject_sensor(&mut self, node: NodeId, adv: Advertisement) {
+        self.recovery.sensor_hosts.insert(adv.sensor, node);
         self.sim.inject(node, PubSubMsg::SensorUp(adv));
     }
     fn inject_subscription(&mut self, node: NodeId, sub: Subscription) {
+        self.recovery.sub_hosts.insert(sub.id(), node);
         self.sim.inject(node, PubSubMsg::Subscribe(sub));
     }
     fn inject_event(&mut self, node: NodeId, event: Event) {
@@ -254,13 +421,30 @@ impl Engine for PubSubEngine {
         self.sim.inject(node, PubSubMsg::Publish(event));
     }
     fn retract_subscription(&mut self, node: NodeId, sub: SubId) {
+        self.recovery.note_sub_retracted(sub);
         self.sim.inject(node, PubSubMsg::Unsubscribe(sub));
     }
     fn retract_sensor(&mut self, node: NodeId, sensor: SensorId) {
+        self.recovery.note_sensor_retracted(sensor);
         self.sim.inject(node, PubSubMsg::SensorDown(sensor));
     }
     fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
-        self.sim.crash_and_regraft(node, anchor)
+        let delta = self.sim.crash_and_regraft(node, anchor)?;
+        if let Some(delta) = self.recovery.note_crash(delta) {
+            self.apply_recovery(&delta);
+        }
+        Ok(())
+    }
+    fn set_auto_recover(&mut self, on: bool) {
+        self.recovery.auto = on;
+    }
+    fn recover(&mut self) {
+        for delta in std::mem::take(&mut self.recovery.pending) {
+            self.apply_recovery(&delta);
+        }
+    }
+    fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery.stats(self.sim.stats.recovery_msgs)
     }
     fn footprint(&self) -> Vec<NodeFootprint> {
         let ids: Vec<NodeId> = self.sim.topology().nodes().collect();
@@ -304,6 +488,7 @@ impl Engine for PubSubEngine {
 /// Engine wrapper for the multi-join baseline.
 pub struct MjEngine {
     sim: Simulator<MjNode>,
+    recovery: RecoveryPlane,
 }
 
 impl MjEngine {
@@ -318,7 +503,26 @@ impl MjEngine {
     pub fn with_latency(topology: Topology, event_validity: u64, latency: LatencyModel) -> Self {
         let sim =
             Simulator::with_latency(topology, latency, |id, _| MjNode::new(id, event_validity));
-        MjEngine { sim }
+        MjEngine {
+            sim,
+            recovery: RecoveryPlane::new(),
+        }
+    }
+
+    /// One crash's recovery — see [`PubSubEngine::apply_recovery`]; the
+    /// multi-join protocol is analogous (purge + re-flood + tombstone
+    /// re-announcement at the crash frontier).
+    fn apply_recovery(&mut self, delta: &RegraftDelta) {
+        self.sim.run_recovery(delta);
+        let frontier = RecoveryPlane::frontier(delta, |n| self.sim.is_down(n));
+        let tombstones: Vec<SensorId> = self.recovery.dead_sensors.iter().copied().collect();
+        for sensor in tombstones {
+            for &node in &frontier {
+                self.sim.inject(node, MjMsg::AdvDown(sensor));
+                self.recovery.control_injections += 1;
+            }
+        }
+        self.recovery.recoveries += 1;
     }
 }
 
@@ -327,9 +531,11 @@ impl Engine for MjEngine {
         "Distributed multi-join"
     }
     fn inject_sensor(&mut self, node: NodeId, adv: Advertisement) {
+        self.recovery.sensor_hosts.insert(adv.sensor, node);
         self.sim.inject(node, MjMsg::SensorUp(adv));
     }
     fn inject_subscription(&mut self, node: NodeId, sub: Subscription) {
+        self.recovery.sub_hosts.insert(sub.id(), node);
         self.sim.inject(node, MjMsg::Subscribe(sub));
     }
     fn inject_event(&mut self, node: NodeId, event: Event) {
@@ -337,13 +543,30 @@ impl Engine for MjEngine {
         self.sim.inject(node, MjMsg::Publish(event));
     }
     fn retract_subscription(&mut self, node: NodeId, sub: SubId) {
+        self.recovery.note_sub_retracted(sub);
         self.sim.inject(node, MjMsg::Unsubscribe(sub));
     }
     fn retract_sensor(&mut self, node: NodeId, sensor: SensorId) {
+        self.recovery.note_sensor_retracted(sensor);
         self.sim.inject(node, MjMsg::SensorDown(sensor));
     }
     fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
-        self.sim.crash_and_regraft(node, anchor)
+        let delta = self.sim.crash_and_regraft(node, anchor)?;
+        if let Some(delta) = self.recovery.note_crash(delta) {
+            self.apply_recovery(&delta);
+        }
+        Ok(())
+    }
+    fn set_auto_recover(&mut self, on: bool) {
+        self.recovery.auto = on;
+    }
+    fn recover(&mut self) {
+        for delta in std::mem::take(&mut self.recovery.pending) {
+            self.apply_recovery(&delta);
+        }
+    }
+    fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery.stats(self.sim.stats.recovery_msgs)
     }
     fn footprint(&self) -> Vec<NodeFootprint> {
         let ids: Vec<NodeId> = self.sim.topology().nodes().collect();
@@ -388,6 +611,11 @@ impl Engine for MjEngine {
 /// Engine wrapper for the centralized baseline.
 pub struct CentralEngine {
     sim: Simulator<CentralNode>,
+    recovery: RecoveryPlane,
+    /// Live subscriptions with their bodies — the centralized baseline's
+    /// repair path re-registers them (registrations dropped in flight
+    /// through the corpse are restored; the centre dedups by key).
+    subscriptions: BTreeMap<SubId, (NodeId, Subscription)>,
 }
 
 impl CentralEngine {
@@ -404,7 +632,42 @@ impl CentralEngine {
         let sim = Simulator::with_latency(topology, latency, move |id, t| {
             CentralNode::new(id, t, center, event_validity)
         });
-        CentralEngine { sim }
+        CentralEngine {
+            sim,
+            recovery: RecoveryPlane::new(),
+            subscriptions: BTreeMap::new(),
+        }
+    }
+
+    /// The centralized repair path: the next-hop tables were already
+    /// refreshed at the crash (`on_topology_change`), so recovery is pure
+    /// management plane — re-send every tombstoned retraction toward the
+    /// centre (a cancellation or sensor departure dropped in flight
+    /// through the corpse must reach it; completed ones are idempotent
+    /// no-ops there), then re-register every live subscription so dropped
+    /// registrations are restored. Injections go to a live frontier node;
+    /// a crashed centre is unrecoverable for this baseline by design.
+    fn apply_recovery(&mut self, delta: &RegraftDelta) {
+        self.sim.run_recovery(delta);
+        let frontier = RecoveryPlane::frontier(delta, |n| self.sim.is_down(n));
+        if let Some(&via) = frontier.first() {
+            let sensors: Vec<SensorId> = self.recovery.dead_sensors.iter().copied().collect();
+            for sensor in sensors {
+                self.sim.inject(via, CentralMsg::SensorDownToCenter(sensor));
+                self.recovery.control_injections += 1;
+            }
+            let subs: Vec<SubId> = self.recovery.dead_subs.iter().copied().collect();
+            for sub in subs {
+                self.sim.inject(via, CentralMsg::UnsubToCenter(sub));
+                self.recovery.control_injections += 1;
+            }
+        }
+        let live: Vec<(NodeId, Subscription)> = self.subscriptions.values().cloned().collect();
+        for (node, sub) in live {
+            self.sim.inject(node, CentralMsg::Subscribe(sub));
+            self.recovery.control_injections += 1;
+        }
+        self.recovery.recoveries += 1;
     }
 }
 
@@ -412,11 +675,15 @@ impl Engine for CentralEngine {
     fn name(&self) -> &'static str {
         "Centralized"
     }
-    fn inject_sensor(&mut self, _node: NodeId, _adv: Advertisement) {
-        // the centralized scheme needs no advertisements: sensors stream to
-        // the centre unconditionally
+    fn inject_sensor(&mut self, node: NodeId, adv: Advertisement) {
+        // the centralized scheme needs no advertisements (sensors stream to
+        // the centre unconditionally), but the management plane still
+        // records the host so a crash can garbage-collect its readings
+        self.recovery.sensor_hosts.insert(adv.sensor, node);
     }
     fn inject_subscription(&mut self, node: NodeId, sub: Subscription) {
+        self.recovery.sub_hosts.insert(sub.id(), node);
+        self.subscriptions.insert(sub.id(), (node, sub.clone()));
         self.sim.inject(node, CentralMsg::Subscribe(sub));
     }
     fn inject_event(&mut self, node: NodeId, event: Event) {
@@ -424,13 +691,32 @@ impl Engine for CentralEngine {
         self.sim.inject(node, CentralMsg::Publish(event));
     }
     fn retract_subscription(&mut self, node: NodeId, sub: SubId) {
+        self.recovery.note_sub_retracted(sub);
+        self.subscriptions.remove(&sub);
         self.sim.inject(node, CentralMsg::Unsubscribe(sub));
     }
     fn retract_sensor(&mut self, node: NodeId, sensor: SensorId) {
+        self.recovery.note_sensor_retracted(sensor);
         self.sim.inject(node, CentralMsg::SensorDown(sensor));
     }
     fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
-        self.sim.crash_and_regraft(node, anchor)
+        let delta = self.sim.crash_and_regraft(node, anchor)?;
+        self.subscriptions.retain(|_, (n, _)| *n != node);
+        if let Some(delta) = self.recovery.note_crash(delta) {
+            self.apply_recovery(&delta);
+        }
+        Ok(())
+    }
+    fn set_auto_recover(&mut self, on: bool) {
+        self.recovery.auto = on;
+    }
+    fn recover(&mut self) {
+        for delta in std::mem::take(&mut self.recovery.pending) {
+            self.apply_recovery(&delta);
+        }
+    }
+    fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery.stats(self.sim.stats.recovery_msgs)
     }
     fn footprint(&self) -> Vec<NodeFootprint> {
         let ids: Vec<NodeId> = self.sim.topology().nodes().collect();
@@ -630,6 +916,96 @@ mod tests {
             assert!(slow_lat.max > 0, "{kind}: delivery was instantaneous");
             assert!(slow_now > 0, "{kind}: the clock never moved");
             assert_eq!(kind.build(builders::line(3), 2 * DT, 7).queue_depth(), 0);
+        }
+    }
+
+    /// The recovery acceptance smoke at the facade level: a relay crash
+    /// with auto-recovery restores delivery for every engine, while the
+    /// deferred mode stays degraded until `recover()` is called.
+    #[test]
+    fn crash_recovery_restores_delivery_for_every_engine() {
+        for kind in EngineKind::ALL {
+            for auto in [true, false] {
+                // line: sensor n0 — n1 — n2 — n3 — n4(user); crash relay
+                // n1. n2 is the median, so the centralized matcher survives.
+                let mut e = kind.build(builders::line(5), 2 * DT, 7);
+                e.set_auto_recover(auto);
+                e.inject_sensor(NodeId(0), adv(1, 0));
+                e.flush();
+                e.inject_subscription(NodeId(4), sub(1, &[(1, 0.0, 10.0)]));
+                e.flush();
+                e.crash_node(NodeId(1), NodeId(2)).unwrap();
+                e.flush();
+                if !auto {
+                    // degraded: the publisher's event dies at the hole
+                    e.inject_event(NodeId(0), ev(100, 1, 0, 5.0, 1000));
+                    e.flush();
+                    if kind != EngineKind::Centralized {
+                        assert_eq!(
+                            e.deliveries().delivered(SubId(1)).len(),
+                            0,
+                            "{kind}: delivered through a dead relay without recovery"
+                        );
+                    }
+                    assert_eq!(e.recovery_stats().recoveries, 0, "{kind}");
+                    e.recover();
+                    e.flush();
+                }
+                let stats = e.recovery_stats();
+                assert_eq!(stats.crashes, 1, "{kind}");
+                assert_eq!(stats.recoveries, 1, "{kind}");
+                // post-recovery (new correlation epoch): delivery restored
+                e.inject_event(NodeId(0), ev(101, 1, 0, 5.0, 2000));
+                e.flush();
+                assert!(
+                    e.deliveries().delivered(SubId(1)).contains(&EventId(101)),
+                    "{kind} (auto={auto}): recovery did not restore the path"
+                );
+                assert_eq!(e.queue_depth(), 0, "{kind}: not quiescent");
+            }
+        }
+    }
+
+    /// Crashing the node that hosts a sensor: the management plane declares
+    /// it down, its traces are garbage-collected network-wide, and the
+    /// survivors' teardown still comes back clean.
+    #[test]
+    fn crashing_a_station_retracts_its_sensor_everywhere() {
+        for kind in EngineKind::ALL {
+            let mut e = kind.build(builders::line(4), 2 * DT, 7);
+            e.inject_sensor(NodeId(0), adv(1, 0));
+            e.inject_sensor(NodeId(3), adv(2, 1));
+            e.flush();
+            e.inject_subscription(NodeId(2), sub(1, &[(1, 0.0, 10.0)]));
+            e.inject_subscription(NodeId(2), sub(2, &[(2, 0.0, 10.0)]));
+            e.flush();
+            e.inject_event(NodeId(0), ev(100, 1, 0, 5.0, 1000));
+            e.flush();
+            // the station hosting sensor 1 crashes (with its past readings)
+            e.crash_node(NodeId(0), NodeId(1)).unwrap();
+            e.flush();
+            assert!(e.recovery_stats().control_injections >= 1, "{kind}");
+            // the surviving sensor still delivers…
+            e.inject_event(NodeId(3), ev(101, 2, 1, 5.0, 2000));
+            e.flush();
+            assert!(
+                e.deliveries().delivered(SubId(2)).contains(&EventId(101)),
+                "{kind}: surviving sensor broken by the crash"
+            );
+            // …and retracting the survivors leaves no residue anywhere
+            e.retract_subscription(NodeId(2), SubId(1));
+            e.retract_subscription(NodeId(2), SubId(2));
+            e.retract_sensor(NodeId(3), SensorId(2));
+            e.flush();
+            let leaked: Vec<_> = e
+                .footprint()
+                .into_iter()
+                .filter(|f| !f.is_clean())
+                .collect();
+            assert!(
+                leaked.is_empty(),
+                "{kind}: residue after teardown: {leaked:?}"
+            );
         }
     }
 

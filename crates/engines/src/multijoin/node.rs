@@ -23,6 +23,10 @@ pub enum MjMsg {
     SensorDown(fsf_model::SensorId),
     /// A flooded advertisement retraction (retraces the `Adv` flood).
     AdvDown(fsf_model::SensorId),
+    /// A crash-recovery advertisement re-flood: traverses the whole tree
+    /// (structural termination), re-homing stale origins and re-forwarding
+    /// the operator decomposition toward the repaired direction.
+    AdvRepair(Advertisement),
     /// A local user registers a subscription.
     Subscribe(Subscription),
     /// A local user cancels a subscription: the whole decomposition (multi,
@@ -384,6 +388,118 @@ impl MjNode {
         self.events.remove_sensor(sensor);
     }
 
+    // ----- crash recovery -----
+
+    /// Purge every trace of a crashed neighbor: its whole interest slot
+    /// (retracing each subscription's downstream forwards so the copies
+    /// beyond this node are withdrawn too) and the forward records toward
+    /// the corpse (those copies died with it). Advertisements learned via
+    /// the corpse are kept for re-homing by the repair flood; the engine's
+    /// management plane retracts the ones hosted on the corpse.
+    fn purge_crashed_origin(&mut self, crashed: NodeId, ctx: &mut Ctx<'_, MjMsg>) {
+        let origin = Origin::Neighbor(crashed);
+        if let Some(store) = self.stores.remove(&origin) {
+            for sub in store.sub_ids() {
+                let sent: Vec<(NodeId, MjKey)> = self
+                    .forwarded
+                    .iter()
+                    .filter(|(_, k)| k.sub == sub)
+                    .cloned()
+                    .collect();
+                let mut notified: BTreeSet<NodeId> = BTreeSet::new();
+                for (j, k) in sent {
+                    self.forwarded.remove(&(j, k));
+                    notified.insert(j);
+                }
+                for j in notified {
+                    if j != crashed && ctx.neighbors().binary_search(&j).is_ok() {
+                        ctx.send(j, MjMsg::RemoveSub(sub), ChargeKind::Subscription, 1);
+                    }
+                }
+            }
+        }
+        self.forwarded.retain(|(j, _)| *j != crashed);
+    }
+
+    /// A crash-recovery re-flood arrived: fill the hole or re-home the
+    /// origin, propagate structurally, and re-forward the decomposition
+    /// toward the repaired direction.
+    fn handle_adv_repair(&mut self, origin: Origin, adv: Advertisement, ctx: &mut Ctx<'_, MjMsg>) {
+        let changed = match self.adverts.rehome(adv.sensor, origin) {
+            None => self.adverts.insert(origin, adv),
+            Some(old) => old != origin && old != Origin::Local,
+        };
+        for &n in ctx.neighbors().to_vec().iter() {
+            if Origin::Neighbor(n) != origin {
+                ctx.send(n, MjMsg::AdvRepair(adv), ChargeKind::Recovery, 1);
+            }
+        }
+        if changed {
+            if let Origin::Neighbor(m) = origin {
+                self.resplit_toward(m, ctx);
+            }
+        }
+    }
+
+    /// Re-forward the stored decomposition toward `j` after the data space
+    /// behind `j` changed: filter transports and divergence-node filters
+    /// re-project (`send_op` dedups, so intact forwards are not repeated);
+    /// whole multi-joins re-travel toward `j` if it now fully supports
+    /// them, and a `MultiAbove` whose fully-supporting neighbor died is
+    /// demoted — this node becomes the divergence point and re-processes it
+    /// as a fresh multi (splitting into binary joins + filter transports).
+    fn resplit_toward(&mut self, j: NodeId, ctx: &mut Ctx<'_, MjMsg>) {
+        if ctx.neighbors().binary_search(&j).is_err() {
+            return;
+        }
+        let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
+        let mut filters: Vec<Operator> = Vec::new();
+        let mut multis: Vec<Operator> = Vec::new();
+        let mut demote: Vec<(Origin, MjKey, StoredMj)> = Vec::new();
+        for (&origin, store) in &self.stores {
+            if origin == Origin::Neighbor(j) {
+                continue;
+            }
+            for (key, s) in store.uncovered_entries() {
+                match s.role {
+                    StoredRole::FilterTransport | StoredRole::MultiSplit => {
+                        filters.push(s.op.clone());
+                    }
+                    StoredRole::MultiAbove => {
+                        let full = self.full_support_neighbors(&s.op, origin, &neighbors);
+                        if full.contains(&j) {
+                            multis.push(s.op.clone());
+                        } else if full.is_empty() {
+                            demote.push((origin, key.clone(), s.clone()));
+                        }
+                    }
+                    StoredRole::BinaryEval { .. } => {} // binaries never travel
+                }
+            }
+        }
+        for op in filters {
+            let sup = op.supported_dims(self.adverts.from_origin(Origin::Neighbor(j)));
+            if let Some(proj) = op.project(&sup) {
+                self.send_op(j, MjWireOp::new(proj, WireKind::Filter), ctx);
+            }
+        }
+        for op in multis {
+            self.send_op(j, MjWireOp::new(op, WireKind::Multi), ctx);
+        }
+        for (origin, key, stored) in demote {
+            self.stores
+                .get_mut(&origin)
+                .expect("slot seen above")
+                .remove_uncovered(&key);
+            self.handle_operator(
+                origin,
+                MjWireOp::new(stored.op, WireKind::Multi),
+                stored.is_user_sub,
+                ctx,
+            );
+        }
+    }
+
     /// Send the divergence node's value filters toward the data sources:
     /// one per-neighbor projection of the multi-join's filter set ("the
     /// natural splitting into simple operators, according to the network
@@ -545,6 +661,7 @@ impl NodeBehavior for MjNode {
             MjMsg::Adv(adv) => self.handle_advertisement(origin, adv, ctx),
             MjMsg::SensorDown(sensor) => self.handle_sensor_down(Origin::Local, sensor, ctx),
             MjMsg::AdvDown(sensor) => self.handle_sensor_down(origin, sensor, ctx),
+            MjMsg::AdvRepair(adv) => self.handle_adv_repair(origin, adv, ctx),
             MjMsg::Unsubscribe(sub) => self.handle_remove_sub(Origin::Local, sub, ctx),
             MjMsg::RemoveSub(sub) => self.handle_remove_sub(origin, sub, ctx),
             MjMsg::Subscribe(sub) => {
@@ -563,6 +680,22 @@ impl NodeBehavior for MjNode {
                 for e in events {
                     self.handle_event(origin, e, ctx);
                 }
+            }
+        }
+    }
+
+    /// Crash recovery, multi-join edition: nodes adjacent to the crash
+    /// purge the corpse's slot (with downstream retraction), and stations
+    /// re-flood their local advertisements; the repair floods drive the
+    /// decomposition re-forward through [`Self::resplit_toward`].
+    fn on_recover(&mut self, delta: &fsf_network::RegraftDelta, ctx: &mut Ctx<'_, MjMsg>) {
+        if delta.was_neighbor(self.id) {
+            self.purge_crashed_origin(delta.crashed, ctx);
+        }
+        let local: Vec<Advertisement> = self.adverts.from_origin(Origin::Local).to_vec();
+        for adv in local {
+            for &n in ctx.neighbors().to_vec().iter() {
+                ctx.send(n, MjMsg::AdvRepair(adv), ChargeKind::Recovery, 1);
             }
         }
     }

@@ -112,6 +112,40 @@ impl MjStore {
         self.covered.iter()
     }
 
+    /// Uncovered entries, with their keys (crash-recovery re-splits).
+    pub fn uncovered_entries(&self) -> impl Iterator<Item = (&MjKey, &StoredMj)> {
+        self.uncovered.iter()
+    }
+
+    /// Remove one uncovered identity, maintaining the dimension index
+    /// (crash recovery demotes a `MultiAbove` whose forwarding target died
+    /// so it can be re-processed as a fresh multi-join).
+    pub fn remove_uncovered(&mut self, key: &MjKey) -> Option<StoredMj> {
+        let stored = self.uncovered.remove(key)?;
+        for d in stored.op.dims() {
+            if let Some(set) = self.dim_index.get_mut(&d) {
+                set.remove(key);
+                if set.is_empty() {
+                    self.dim_index.remove(&d);
+                }
+            }
+        }
+        Some(stored)
+    }
+
+    /// The distinct subscriptions with operators in either half — the
+    /// units of whole-subscription removal.
+    #[must_use]
+    pub fn sub_ids(&self) -> Vec<SubId> {
+        let set: BTreeSet<SubId> = self
+            .uncovered
+            .keys()
+            .chain(self.covered.keys())
+            .map(|k| k.sub)
+            .collect();
+        set.into_iter().collect()
+    }
+
     /// Remove one covered identity (promotion path).
     pub fn remove_covered(&mut self, key: &MjKey) -> Option<StoredMj> {
         self.covered.remove(key)

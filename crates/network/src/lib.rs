@@ -40,5 +40,5 @@ pub mod traffic;
 pub use builders::ClusteredLayout;
 pub use latency::{LatencyModel, LatencySummary};
 pub use sim::{Ctx, DeliveryLog, NodeBehavior, Simulator};
-pub use topology::{NodeId, Topology, TopologyError};
+pub use topology::{NodeId, RegraftDelta, Topology, TopologyError};
 pub use traffic::{ChargeKind, TrafficStats};

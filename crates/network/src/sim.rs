@@ -32,7 +32,7 @@
 //! determinism the evaluation needs.
 
 use crate::latency::{LatencyModel, LatencySummary};
-use crate::topology::{NodeId, Topology};
+use crate::topology::{NodeId, RegraftDelta, Topology};
 use crate::traffic::{ChargeKind, TrafficStats};
 use fsf_model::{ComplexEvent, EventId, SubId};
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
@@ -52,8 +52,20 @@ pub trait NodeBehavior {
     /// was re-grafted). Nodes with precomputed routing state (e.g. the
     /// centralized baseline's next-hop table) refresh it here; the default
     /// is a no-op because the pub/sub family reads `ctx.neighbors()` fresh
-    /// on every message.
+    /// on every message. Always invoked immediately at the crash (stale
+    /// next-hop tables would route into walls); the *recovery protocol*
+    /// runs separately through [`Self::on_recover`], which may be deferred.
     fn on_topology_change(&mut self, _topology: &Topology) {}
+
+    /// Run this node's part of the crash-recovery protocol for one
+    /// `crash + regraft` event: purge per-origin state that referenced the
+    /// crashed neighbor, and (for nodes hosting data sources) re-flood
+    /// advertisements over the re-grafted tree. Invoked through
+    /// [`Simulator::run_recovery`] with a live [`Ctx`], so recovery traffic
+    /// is scheduled on the virtual clock and races in-flight floods like
+    /// any other message. The default is a no-op (test behaviours, plain
+    /// relays).
+    fn on_recover(&mut self, _delta: &RegraftDelta, _ctx: &mut Ctx<'_, Self::Msg>) {}
 }
 
 /// What a node may do while handling a message: send to neighbors, deliver
@@ -431,16 +443,21 @@ impl<B: NodeBehavior> Simulator<B> {
     /// addressed to it, and notify every surviving node of the new topology
     /// via [`NodeBehavior::on_topology_change`]. Messages later sent to the
     /// downed node are charged (they left the sender's radio) but dropped.
+    ///
+    /// Returns the [`RegraftDelta`] describing what moved — feed it to
+    /// [`Self::run_recovery`] to run the crash-recovery protocol
+    /// (immediately for auto-recovery, later for a deferred repair).
     pub fn crash_and_regraft(
         &mut self,
         crashed: NodeId,
         anchor: NodeId,
-    ) -> Result<(), crate::topology::TopologyError> {
+    ) -> Result<RegraftDelta, crate::topology::TopologyError> {
         if self.down.contains(&anchor) {
             // re-grafting survivors onto a corpse would black-hole them
             return Err(crate::topology::TopologyError::BadEdge(crashed.0, anchor.0));
         }
-        self.topology = self.topology.regraft(crashed, anchor)?;
+        let (topology, delta) = self.topology.regraft_with_delta(crashed, anchor)?;
+        self.topology = topology;
         self.down.insert(crashed);
         let before = self.queue.len();
         let kept: BinaryHeap<Scheduled<B::Msg>> = std::mem::take(&mut self.queue)
@@ -456,7 +473,39 @@ impl<B: NodeBehavior> Simulator<B> {
                 self.nodes[id].on_topology_change(&self.topology);
             }
         }
-        Ok(())
+        Ok(delta)
+    }
+
+    /// Run the crash-recovery protocol for one regraft: every surviving
+    /// node gets [`NodeBehavior::on_recover`] with a live [`Ctx`] at the
+    /// current virtual time, and whatever it sends is charged and scheduled
+    /// through the latency model — recovery traffic races in-flight floods
+    /// exactly like any other message. Nodes are visited in id order, so
+    /// the recovery timeline is deterministic. Does **not** flush: callers
+    /// decide whether recovery drains before the next action.
+    pub fn run_recovery(&mut self, delta: &RegraftDelta) {
+        let mut outbox: Vec<(NodeId, B::Msg, ChargeKind, u64)> = Vec::new();
+        for id in 0..self.nodes.len() {
+            let node = NodeId(id as u32);
+            if self.down.contains(&node) {
+                continue;
+            }
+            {
+                let mut ctx = Ctx {
+                    node,
+                    neighbors: self.topology.neighbors(node),
+                    now: self.now,
+                    outbox: &mut outbox,
+                    deliveries: &mut self.deliveries,
+                };
+                self.nodes[id].on_recover(delta, &mut ctx);
+            }
+            for (to, msg, kind, units) in outbox.drain(..) {
+                self.stats.charge(kind, node, to, units);
+                let deliver_at = self.now + self.latency.delay(node, to);
+                self.schedule(node, to, msg, deliver_at);
+            }
+        }
     }
 
     /// Messages processed (handled by a live node) since construction.
@@ -854,6 +903,74 @@ mod tests {
         // n1) never hears it; re-flooding after a crash is the ROADMAP
         // recovery-protocol item, not the scheduler's job
         assert!(sim.node(NodeId(3)).seen.is_empty());
+        assert_eq!(
+            sim.scheduled_total(),
+            sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64
+        );
+    }
+
+    /// A behaviour whose recovery action re-floods its own seen values —
+    /// the skeleton of the advertisement re-flood protocol.
+    #[derive(Debug, Default)]
+    struct RecoverFlood {
+        seen: Vec<u64>,
+        seen_at: Vec<u64>,
+        recoveries: Vec<RegraftDelta>,
+    }
+
+    impl NodeBehavior for RecoverFlood {
+        type Msg = u64;
+        fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+            if self.seen.contains(&msg) {
+                return;
+            }
+            self.seen.push(msg);
+            self.seen_at.push(ctx.now());
+            let me = ctx.node();
+            for n in ctx.neighbors().to_vec() {
+                if n != from || from == me {
+                    ctx.send(n, msg, ChargeKind::Advertisement, 1);
+                }
+            }
+        }
+        fn on_recover(&mut self, delta: &RegraftDelta, ctx: &mut Ctx<'_, u64>) {
+            self.recoveries.push(delta.clone());
+            // re-flood everything this node originated (values == node id)
+            let me = ctx.node();
+            if self.seen.contains(&u64::from(me.0)) {
+                for n in ctx.neighbors().to_vec() {
+                    ctx.send(n, u64::from(me.0), ChargeKind::Recovery, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_recovery_schedules_on_the_virtual_clock_and_charges_recovery() {
+        // line 0-1-2-3, 2 ticks per hop; node 0 floods its value, then the
+        // relay n1 crashes before the flood passes it
+        let topo = builders::line(4);
+        let mut sim = Simulator::with_latency(topo, LatencyModel::Uniform { hop: 2 }, |_, _| {
+            RecoverFlood::default()
+        });
+        sim.inject(NodeId(0), 0);
+        sim.run_until(1); // n0 handled it; the 0→1 copy is in flight
+        let delta = sim.crash_and_regraft(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(delta.orphans, vec![NodeId(0)]);
+        sim.run_recovery(&delta);
+        // every survivor observed the delta exactly once…
+        for n in [0u32, 2, 3] {
+            assert_eq!(sim.node(NodeId(n)).recoveries, vec![delta.clone()]);
+        }
+        assert!(sim.node(NodeId(1)).recoveries.is_empty(), "corpse skipped");
+        sim.run_to_quiescence();
+        // …and n0's recovery re-flood reached the re-grafted survivors,
+        // two hops away on the new tree, at recovery-time + 2 hops
+        assert_eq!(sim.node(NodeId(2)).seen, vec![0]);
+        assert_eq!(sim.node(NodeId(3)).seen, vec![0]);
+        assert_eq!(sim.node(NodeId(2)).seen_at, vec![1 + 2]);
+        assert_eq!(sim.node(NodeId(3)).seen_at, vec![1 + 4]);
+        assert!(sim.stats.recovery_msgs >= 1, "recovery traffic is charged");
         assert_eq!(
             sim.scheduled_total(),
             sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64

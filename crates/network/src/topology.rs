@@ -40,6 +40,32 @@ impl std::fmt::Display for TopologyError {
 
 impl std::error::Error for TopologyError {}
 
+/// What a [`Topology::regraft`] actually changed — the membership-change
+/// delta the crash-recovery protocol reacts to. Surfaced to node behaviors
+/// through [`crate::NodeBehavior::on_recover`] so that the nodes adjacent
+/// to the crash know exactly which origin slots went stale and which new
+/// edges carry the re-grafted subtrees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegraftDelta {
+    /// The node that crashed (stays attached to `anchor` as a downed leaf).
+    pub crashed: NodeId,
+    /// The neighbor that adopted the orphaned subtrees.
+    pub anchor: NodeId,
+    /// The crashed node's former neighbors other than `anchor`: the roots
+    /// of the orphaned subtrees, each now a direct neighbor of `anchor`.
+    pub orphans: Vec<NodeId>,
+}
+
+impl RegraftDelta {
+    /// Was `node` a neighbor of the crashed node before the regraft? These
+    /// are the nodes whose per-origin state for the crashed neighbor went
+    /// stale (the recovery protocol's purge set).
+    #[must_use]
+    pub fn was_neighbor(&self, node: NodeId) -> bool {
+        node == self.anchor || self.orphans.contains(&node)
+    }
+}
+
 /// A validated tree over nodes `0..n`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
@@ -215,6 +241,16 @@ impl Topology {
     /// stays valid; the simulator marks it down so it never processes or
     /// receives anything). `anchor` must be a neighbor of `crashed`.
     pub fn regraft(&self, crashed: NodeId, anchor: NodeId) -> Result<Topology, TopologyError> {
+        self.regraft_with_delta(crashed, anchor).map(|(t, _)| t)
+    }
+
+    /// [`Self::regraft`], additionally returning the [`RegraftDelta`]
+    /// describing what moved — the input of the crash-recovery protocol.
+    pub fn regraft_with_delta(
+        &self,
+        crashed: NodeId,
+        anchor: NodeId,
+    ) -> Result<(Topology, RegraftDelta), TopologyError> {
         if crashed == anchor
             || crashed.0 as usize >= self.len()
             || anchor.0 as usize >= self.len()
@@ -230,7 +266,7 @@ impl Topology {
             .filter(|&n| n != anchor)
             .collect();
         adj[crashed.0 as usize] = vec![anchor];
-        for o in orphans {
+        for &o in &orphans {
             let l = &mut adj[o.0 as usize];
             l.retain(|&n| n != crashed);
             l.push(anchor);
@@ -244,7 +280,14 @@ impl Topology {
             topo.len(),
             "regraft stays a tree"
         );
-        Ok(topo)
+        Ok((
+            topo,
+            RegraftDelta {
+                crashed,
+                anchor,
+                orphans,
+            },
+        ))
     }
 
     /// The tree diameter in hops (longest node-to-node path), via double
@@ -396,6 +439,20 @@ mod tests {
             r.path(NodeId(1), NodeId(4)),
             vec![NodeId(1), NodeId(0), NodeId(4)]
         );
+    }
+
+    #[test]
+    fn regraft_delta_names_the_orphans() {
+        // star around 2: crash the hub onto 0 — 1, 3, 4 are orphaned
+        let t = Topology::from_edges(5, &[(2, 0), (2, 1), (2, 3), (2, 4)]).unwrap();
+        let (r, delta) = t.regraft_with_delta(NodeId(2), NodeId(0)).unwrap();
+        assert_eq!(r, t.regraft(NodeId(2), NodeId(0)).unwrap());
+        assert_eq!(delta.crashed, NodeId(2));
+        assert_eq!(delta.anchor, NodeId(0));
+        assert_eq!(delta.orphans, vec![NodeId(1), NodeId(3), NodeId(4)]);
+        assert!(delta.was_neighbor(NodeId(0)), "anchor was a neighbor");
+        assert!(delta.was_neighbor(NodeId(3)), "orphan was a neighbor");
+        assert!(!delta.was_neighbor(NodeId(2)), "crashed is not in the set");
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub enum ChargeKind {
     Subscription,
     /// Simple-event data units (Algorithm 5 / result sets).
     Event,
+    /// Crash-recovery control traffic (advertisement re-floods after a
+    /// `crash + regraft`). Reported separately so the recovery protocol's
+    /// cost is visible next to the paper's load metrics.
+    Recovery,
 }
 
 /// Per-link counters.
@@ -32,6 +36,8 @@ pub struct LinkTraffic {
     pub subs: u64,
     /// Simple-event units forwarded over this directed link.
     pub events: u64,
+    /// Recovery re-flood messages over this directed link.
+    pub recovery: u64,
 }
 
 /// Aggregated traffic statistics of one simulation run.
@@ -45,6 +51,9 @@ pub struct TrafficStats {
     /// Total simple-event units forwarded — the paper's *publication load*
     /// ("number of forwarded data units").
     pub event_units: u64,
+    /// Total crash-recovery re-flood messages (excluded from the paper's
+    /// load comparison, like advertisement traffic).
+    pub recovery_msgs: u64,
     /// Directed per-link breakdown.
     per_link: BTreeMap<(NodeId, NodeId), LinkTraffic>,
 }
@@ -72,6 +81,10 @@ impl TrafficStats {
                 self.event_units += units;
                 link.events += units;
             }
+            ChargeKind::Recovery => {
+                self.recovery_msgs += units;
+                link.recovery += units;
+            }
         }
     }
 
@@ -91,11 +104,13 @@ impl TrafficStats {
         self.adv_msgs += other.adv_msgs;
         self.sub_forwards += other.sub_forwards;
         self.event_units += other.event_units;
+        self.recovery_msgs += other.recovery_msgs;
         for (k, v) in &other.per_link {
             let link = self.per_link.entry(*k).or_default();
             link.adv += v.adv;
             link.subs += v.subs;
             link.events += v.events;
+            link.recovery += v.recovery;
         }
     }
 }

@@ -34,6 +34,7 @@ pub mod churn;
 pub mod driver;
 pub mod oracle;
 pub mod pareto;
+pub mod recovery;
 pub mod results;
 pub mod scenario;
 pub mod sensorscope;
@@ -42,6 +43,7 @@ pub mod workload;
 
 pub use churn::{run_churn, ChurnConfig, ChurnRow};
 pub use driver::run_engine;
+pub use recovery::{run_recovery, RecoveryConfig, RecoveryRow};
 pub use results::{BatchPoint, ExperimentResult};
 pub use scenario::ScenarioConfig;
 pub use timed::{run_timed, TimedConfig, TimedRow};

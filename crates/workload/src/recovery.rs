@@ -1,0 +1,334 @@
+//! The `recovery` experiment scenario: recall and message cost **before,
+//! during, and after** an interior-node crash.
+//!
+//! A seeded deployment (sensors and subscribers on leaves) publishes three
+//! epoch-separated reading phases. Between phase 1 and 2 a stateless
+//! interior relay crashes (auto-recovery disabled, so the outage is
+//! observable); between phase 2 and 3 the recovery protocol runs. Each
+//! engine's per-phase recall is measured against a crash-free naive oracle:
+//! deterministic engines must sit at 1.0 before the crash, typically dip
+//! during the outage, and — the point of the protocol — return to 1.0
+//! after recovery. The recovery columns report what the repair cost.
+
+use fsf_engines::EngineKind;
+use fsf_model::{
+    Advertisement, AttrId, Event, EventId, Point, SensorId, SubId, Subscription, Timestamp,
+    ValueRange,
+};
+use fsf_network::{builders, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the recovery experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryConfig {
+    /// Scenario name (reports).
+    pub name: String,
+    /// Network size: a balanced binary tree of this many nodes.
+    pub total_nodes: usize,
+    /// Sensors placed on random leaves.
+    pub sensors: usize,
+    /// Subscriptions placed on random leaves (over live sensors).
+    pub subscriptions: usize,
+    /// Readings published in each of the three phases.
+    pub events_per_phase: usize,
+    /// Temporal correlation distance of the subscriptions.
+    pub delta_t: u64,
+    /// Workload seed (placement, ranges, values).
+    pub seed: u64,
+    /// Engine seed (feeds the probabilistic set filter).
+    pub engine_seed: u64,
+}
+
+impl RecoveryConfig {
+    /// The default recovery setting: a 63-node tree, 10 sensors, 12
+    /// subscriptions, 40 readings per phase.
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        RecoveryConfig {
+            name: "recovery".into(),
+            total_nodes: 63,
+            sensors: 10,
+            subscriptions: 12,
+            events_per_phase: 40,
+            delta_t: 30,
+            seed: 0x4EC0_FACE,
+            engine_seed: 42,
+        }
+    }
+
+    /// Scale down the workload volume (quick CI/bench runs), keeping the
+    /// network dimensions intact.
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "factor in (0, 1]");
+        let s = |v: usize| ((v as f64 * factor).round() as usize).max(2);
+        self.subscriptions = s(self.subscriptions);
+        self.events_per_phase = s(self.events_per_phase).max(6);
+        self.name = format!("{}(x{factor})", self.name);
+        self
+    }
+}
+
+/// One engine's measurements over the three phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryRow {
+    /// The engine.
+    pub engine: EngineKind,
+    /// Delivered `(subscription, event)` units per phase.
+    pub delivered: [u64; 3],
+    /// Per-phase recall against the crash-free naive oracle.
+    pub recall: [f64; 3],
+    /// Advertisement re-flood messages the recovery cost.
+    pub repair_msgs: u64,
+    /// Management-plane injections during recovery.
+    pub control_injections: u64,
+}
+
+/// The generated scenario (deterministic in the config).
+struct Plan {
+    topology: Topology,
+    sensors: Vec<(NodeId, Advertisement)>,
+    subs: Vec<(NodeId, Subscription)>,
+    phases: [Vec<(NodeId, Event)>; 3],
+    crash: NodeId,
+    anchor: NodeId,
+}
+
+fn plan(config: &RecoveryConfig) -> Plan {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let topology = builders::balanced(config.total_nodes, 2);
+    let median = topology.median();
+    let leaves: Vec<NodeId> = topology
+        .nodes()
+        .filter(|&n| topology.degree(n) == 1)
+        .collect();
+
+    let mut sensors = Vec::new();
+    for i in 0..config.sensors as u32 {
+        // the first sensor sits in the first leaf so the crash relay below
+        // always has traffic to sever
+        let node = if i == 0 {
+            leaves[0]
+        } else {
+            *leaves.choose(&mut rng).expect("leaves")
+        };
+        sensors.push((
+            node,
+            Advertisement {
+                sensor: SensorId(i + 1),
+                attr: AttrId((i % 5) as u16),
+                location: Point::new(f64::from(i), 0.0),
+            },
+        ));
+    }
+
+    let mut subs = Vec::new();
+    for i in 0..config.subscriptions as u64 {
+        let node = if i == 0 {
+            *leaves.last().expect("leaves")
+        } else {
+            *leaves.choose(&mut rng).expect("leaves")
+        };
+        let arity = rng.gen_range(1..=2usize).min(sensors.len());
+        let mut pool: Vec<u32> = (1..=config.sensors as u32).collect();
+        pool.shuffle(&mut rng);
+        let picked = if i == 0 {
+            vec![1u32]
+        } else {
+            pool[..arity].to_vec()
+        };
+        let filters: Vec<(SensorId, ValueRange)> = picked
+            .iter()
+            .map(|&s| {
+                let half = rng.gen_range(15.0..45.0);
+                let center = rng.gen_range(half..(100.0 - half).max(half + 0.1));
+                (SensorId(s), ValueRange::new(center - half, center + half))
+            })
+            .collect();
+        subs.push((
+            node,
+            Subscription::identified(SubId(i + 1), filters, config.delta_t).unwrap(),
+        ));
+    }
+
+    let hosts: Vec<NodeId> = sensors
+        .iter()
+        .map(|(n, _)| *n)
+        .chain(subs.iter().map(|(n, _)| *n))
+        .collect();
+    let path = topology.path(sensors[0].0, subs[0].0);
+    let crash = path
+        .iter()
+        .copied()
+        .find(|&n| topology.degree(n) > 1 && n != median && !hosts.contains(&n))
+        .expect("a balanced tree has a stateless relay on the corner-to-corner path");
+    let anchor = topology.neighbors(crash)[0];
+
+    // three reading phases in disjoint correlation epochs (no window
+    // straddles the crash or the recovery)
+    let epoch_gap = 100 * config.delta_t;
+    let mut next_event = 0u64;
+    let phases = [0u64, 1, 2].map(|phase| {
+        let base_t = 1_000 + phase * epoch_gap;
+        (0..config.events_per_phase)
+            .map(|i| {
+                let &(node, adv) = sensors
+                    .get((rng.gen_range(0u32..sensors.len() as u32)) as usize)
+                    .expect("non-empty");
+                next_event += 1;
+                (
+                    node,
+                    Event {
+                        id: EventId(phase * 1_000_000 + next_event),
+                        sensor: adv.sensor,
+                        attr: adv.attr,
+                        location: adv.location,
+                        value: rng.gen_range(0.0..100.0),
+                        timestamp: Timestamp(base_t + 3 * i as u64),
+                    },
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+
+    Plan {
+        topology,
+        sensors,
+        subs,
+        phases,
+        crash,
+        anchor,
+    }
+}
+
+/// Run the recovery scenario through all five engines. The oracle is a
+/// crash-free naive run over the same workload.
+#[must_use]
+pub fn run_recovery(config: &RecoveryConfig) -> Vec<RecoveryRow> {
+    let plan = plan(config);
+    let validity = 2 * config.delta_t;
+
+    let run = |kind: EngineKind, with_crash: bool| -> ([u64; 3], u64, u64) {
+        let mut e = kind.build(plan.topology.clone(), validity, config.engine_seed);
+        e.set_auto_recover(false);
+        for &(node, adv) in &plan.sensors {
+            e.inject_sensor(node, adv);
+            e.flush();
+        }
+        for (node, sub) in &plan.subs {
+            e.inject_subscription(*node, sub.clone());
+            e.flush();
+        }
+        let mut delivered = [0u64; 3];
+        let mut seen = 0u64;
+        for (i, phase) in plan.phases.iter().enumerate() {
+            if with_crash && i == 1 {
+                e.crash_node(plan.crash, plan.anchor)
+                    .expect("anchor is a neighbor");
+                e.flush();
+            }
+            if with_crash && i == 2 {
+                e.recover();
+                e.flush();
+            }
+            for &(node, ev) in phase {
+                e.inject_event(node, ev);
+                e.flush();
+            }
+            let total = e.deliveries().total_event_units();
+            delivered[i] = total - seen;
+            seen = total;
+        }
+        let stats = e.recovery_stats();
+        (delivered, stats.repair_msgs, stats.control_injections)
+    };
+
+    let (oracle, _, _) = run(EngineKind::Naive, false);
+    EngineKind::ALL
+        .iter()
+        .map(|&kind| {
+            let (delivered, repair_msgs, control_injections) = run(kind, true);
+            let recall = [0, 1, 2].map(|i| {
+                if oracle[i] == 0 {
+                    1.0
+                } else {
+                    delivered[i] as f64 / oracle[i] as f64
+                }
+            });
+            RecoveryRow {
+                engine: kind,
+                delivered,
+                recall,
+                repair_msgs,
+                control_injections,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RecoveryConfig {
+        let mut c = RecoveryConfig::paper_scale();
+        c.total_nodes = 31;
+        c.sensors = 6;
+        c.subscriptions = 6;
+        c.events_per_phase = 15;
+        c
+    }
+
+    #[test]
+    fn recovery_rows_show_outage_and_restoration() {
+        let rows = run_recovery(&tiny());
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            // pre-crash and post-recovery recall: exact engines at 1.0,
+            // the probabilistic filter inside its usual band
+            for phase in [0usize, 2] {
+                if row.engine == EngineKind::FilterSplitForward {
+                    assert!(
+                        row.recall[phase] > 0.8 && row.recall[phase] <= 1.0 + 1e-12,
+                        "{}: phase {phase} recall {}",
+                        row.engine,
+                        row.recall[phase]
+                    );
+                } else {
+                    assert!(
+                        (row.recall[phase] - 1.0).abs() < 1e-12,
+                        "{}: phase {phase} recall {} != 1.0",
+                        row.engine,
+                        row.recall[phase]
+                    );
+                }
+            }
+            assert!(row.recall[1] <= 1.0 + 1e-12, "{}", row.engine);
+            // the repair itself was charged for the distributed engines
+            if row.engine != EngineKind::Centralized {
+                assert!(row.repair_msgs > 0, "{}: free recovery?", row.engine);
+            }
+        }
+        // the outage is visible for at least one distributed engine
+        assert!(
+            rows.iter()
+                .any(|r| r.engine != EngineKind::Centralized && r.recall[1] < 1.0),
+            "the crash severed nothing: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_runs_are_reproducible() {
+        assert_eq!(run_recovery(&tiny()), run_recovery(&tiny()));
+    }
+
+    #[test]
+    fn scaling_shrinks_the_workload_not_the_network() {
+        let c = RecoveryConfig::paper_scale().scaled(0.5);
+        assert_eq!(c.total_nodes, 63);
+        assert_eq!(c.subscriptions, 6);
+        assert_eq!(c.events_per_phase, 20);
+    }
+}

@@ -1,9 +1,12 @@
-//! Churn rollout: a long-lived deployment under dynamics.
+//! Churn rollout: a long-lived deployment under dynamics and crashes.
 //!
 //! A 63-node tree boots a dozen sensors, then lives through a seeded churn
-//! plan — users come and go, sensors join and depart — while readings keep
-//! flowing. At the end the deployment is fully torn down and every node is
-//! checked for leaked state (operators, events, advertisements, routes).
+//! plan — users come and go, sensors join and depart, and *interior relay
+//! nodes crash* — while readings keep flowing. Every crash is followed by
+//! the recovery protocol (advertisement re-floods, operator re-forwards),
+//! so recall survives the outages. At the end the deployment is fully torn
+//! down and every surviving node is checked for leaked state (operators,
+//! events, advertisements, routes).
 //!
 //! ```console
 //! cargo run --release --example churn_rollout
@@ -20,6 +23,9 @@ fn main() {
         churn_actions: 60,
         events_per_action: 4,
         with_crashes: true,
+        crash_interior: true,
+        // the centralized baseline cannot lose its matching centre
+        protected_nodes: vec![topology.median()],
         ..ChurnPlanConfig::default()
     };
     let plan = ChurnPlan::seeded(&topology, &config);
@@ -28,6 +34,7 @@ fn main() {
     let mut subs = 0usize;
     let mut unsubs = 0usize;
     let mut crashes = 0usize;
+    let mut recoveries = 0usize;
     let mut readings = 0usize;
     for a in &plan.actions {
         match a {
@@ -36,19 +43,20 @@ fn main() {
             ChurnAction::Subscribe { .. } => subs += 1,
             ChurnAction::Unsubscribe { .. } => unsubs += 1,
             ChurnAction::Crash { .. } => crashes += 1,
+            ChurnAction::Recover => recoveries += 1,
             ChurnAction::Publish { .. } => readings += 1,
         }
     }
     println!("== churn rollout over a {}-node tree ==", topology.len());
     println!(
         "plan: {} sensor-ups, {} sensor-downs, {} subscribes, {} unsubscribes, \
-         {} crashes, {} readings\n",
-        ups, downs, subs, unsubs, crashes, readings
+         {} crashes (+{} recoveries), {} readings\n",
+        ups, downs, subs, unsubs, crashes, recoveries, readings
     );
 
     println!(
-        "{:<34} {:>9} {:>10} {:>10} {:>9}",
-        "approach", "sub load", "event load", "delivered", "teardown"
+        "{:<34} {:>9} {:>10} {:>10} {:>8} {:>9}",
+        "approach", "sub load", "event load", "delivered", "repairs", "teardown"
     );
     for kind in EngineKind::ALL {
         let mut engine = kind.build(topology.clone(), 60, 42);
@@ -59,14 +67,20 @@ fn main() {
         run_plan(engine.as_mut(), &ChurnPlan::scripted(plan.teardown()));
         let leaked = leaks(engine.as_mut());
         println!(
-            "{:<34} {:>9} {:>10} {:>10} {:>9}",
+            "{:<34} {:>9} {:>10} {:>10} {:>8} {:>9}",
             kind.name(),
             engine.stats().sub_forwards,
             engine.stats().event_units,
             delivered,
+            engine.recovery_stats().repair_msgs,
             if leaked.is_empty() { "clean" } else { "LEAKED" },
         );
         assert!(leaked.is_empty(), "{kind}: leaked {leaked:?}");
+        assert_eq!(
+            engine.recovery_stats().crashes as usize,
+            crashes,
+            "{kind}: crash count mismatch"
+        );
     }
-    println!("\nevery engine survived the same churn and tore down clean.");
+    println!("\nevery engine survived the same churn-and-crash history and tore down clean.");
 }

@@ -10,6 +10,62 @@ use fsf::prelude::*;
 
 const VALIDITY: u64 = 60;
 
+/// Replay one seeded plan through all five engines and assert the standing
+/// churn invariants: deterministic engines agree event-for-event on every
+/// delivery, FSF stays inside ground truth, and teardown leaves every
+/// surviving node empty.
+fn assert_five_engine_equivalence(topology: &Topology, plan: &ChurnPlan, label: &str) {
+    let full = plan.clone().with_teardown();
+    let subs: Vec<SubId> = plan
+        .actions
+        .iter()
+        .filter_map(|a| match a {
+            ChurnAction::Subscribe { sub, .. } => Some(sub.id()),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !subs.is_empty(),
+        "{label}: plan registered no subscriptions"
+    );
+    let mut engines: Vec<(EngineKind, Box<dyn Engine>)> = EngineKind::ALL
+        .iter()
+        .map(|&kind| {
+            let mut e = kind.build(topology.clone(), VALIDITY, 42);
+            run_plan(e.as_mut(), &full);
+            (kind, e)
+        })
+        .collect();
+    let (_, reference) = &engines[0];
+    let mut total_ref = 0usize;
+    for &sub in &subs {
+        let expected = reference.deliveries().delivered(sub);
+        total_ref += expected.len();
+        for (kind, engine) in &engines[1..] {
+            if *kind == EngineKind::FilterSplitForward {
+                assert!(
+                    engine.deliveries().delivered(sub).is_subset(expected),
+                    "{label}: FSF delivered outside ground truth for {sub:?}"
+                );
+            } else {
+                assert_eq!(
+                    engine.deliveries().delivered(sub),
+                    expected,
+                    "{label}: {kind} diverged on {sub:?}"
+                );
+            }
+        }
+    }
+    assert!(total_ref > 0, "{label}: the plan produced no deliveries");
+    for (kind, engine) in &mut engines {
+        assert!(
+            leaks(engine.as_mut()).is_empty(),
+            "{label}: {kind} teardown leaked: {:?}",
+            leaks(engine.as_mut())
+        );
+    }
+}
+
 fn acceptance_plan() -> (Topology, ChurnPlan) {
     let topology = fsf::network::builders::balanced(63, 2);
     let plan = ChurnPlan::seeded(
@@ -161,16 +217,18 @@ fn leaf_crashes_regraft_without_breaking_equivalence() {
     );
 }
 
-/// Fault injection, interior edition: crashing a relay that carries live
-/// routing state degrades delivery (messages to it are dropped) but must
-/// not wedge or panic any engine — the network keeps running and later
-/// traffic still flushes to quiescence.
+/// Fault injection, interior edition, recovery *disabled*: crashing a
+/// relay that carries live routing state degrades delivery (messages to it
+/// are dropped) but must not wedge or panic any engine — the network keeps
+/// running and later traffic still flushes to quiescence. (With recovery —
+/// the default — recall returns instead; see `tests/recovery.rs`.)
 #[test]
 fn interior_crash_degrades_but_does_not_wedge() {
     // line: sensor n0 — n1 — n2 — user n3; crash relay n1 onto n2
     for kind in EngineKind::ALL {
         let topology = fsf::network::builders::line(4);
         let mut engine = kind.build(topology, VALIDITY, 42);
+        engine.set_auto_recover(false);
         engine.inject_sensor(
             NodeId(0),
             Advertisement {
@@ -204,5 +262,62 @@ fn interior_crash_degrades_but_does_not_wedge() {
         engine.retract_subscription(NodeId(3), SubId(1));
         engine.retract_sensor(NodeId(0), SensorId(1));
         engine.flush();
+    }
+}
+
+/// Interior crashes with the full `Crash`/`Recover` protocol: the seeded
+/// generator now kills arbitrary relays (their hosted state dies with
+/// them), and the five engines must *still* agree event-for-event through
+/// crash → recover → churn interleavings, with clean teardown.
+#[test]
+fn interior_crashes_with_recovery_keep_five_engine_equivalence() {
+    let topology = fsf::network::builders::balanced(63, 2);
+    let plan = ChurnPlan::seeded(
+        &topology,
+        &ChurnPlanConfig {
+            seed: 0x0C0_FFEE,
+            churn_actions: 60,
+            initial_sensors: 10,
+            with_crashes: true,
+            crash_interior: true,
+            protected_nodes: vec![topology.median()],
+            ..ChurnPlanConfig::default()
+        },
+    );
+    let interior_crashes = plan
+        .actions
+        .iter()
+        .filter(|a| matches!(a, ChurnAction::Crash { node, .. } if topology.degree(*node) > 1))
+        .count();
+    assert!(interior_crashes > 0, "plan crashed no interior node");
+    assert_five_engine_equivalence(&topology, &plan, "interior-crash");
+}
+
+/// The nightly seed sweep: `FSF_CHURN_SWEEP=<n>` replays `n` seeded
+/// interior-crash churn plans through all five engines with the full
+/// equivalence + teardown battery. Unset (the per-PR path), it covers a
+/// single extra seed so the harness itself stays exercised.
+#[test]
+fn churn_seed_sweep() {
+    let sweep: u64 = std::env::var("FSF_CHURN_SWEEP")
+        .ok()
+        .map(|s| s.parse().expect("FSF_CHURN_SWEEP must be a count"))
+        .unwrap_or(1);
+    let topology = fsf::network::builders::balanced(63, 2);
+    for i in 0..sweep {
+        let seed = 0x51_EE_B0_00 + i;
+        let plan = ChurnPlan::seeded(
+            &topology,
+            &ChurnPlanConfig {
+                seed,
+                churn_actions: 40,
+                initial_sensors: 8,
+                with_crashes: true,
+                crash_interior: true,
+                protected_nodes: vec![topology.median()],
+                ..ChurnPlanConfig::default()
+            },
+        );
+        assert_five_engine_equivalence(&topology, &plan, &format!("sweep seed {seed:#x}"));
     }
 }

@@ -98,7 +98,9 @@ fn as_msg(action: &ChurnAction) -> (NodeId, PubSubMsg) {
         ChurnAction::Subscribe { node, sub } => (*node, PubSubMsg::Subscribe(sub.clone())),
         ChurnAction::Unsubscribe { node, sub } => (*node, PubSubMsg::Unsubscribe(*sub)),
         ChurnAction::Publish { node, event } => (*node, PubSubMsg::Publish(*event)),
-        ChurnAction::Crash { .. } => unreachable!("compat plans are crash-free"),
+        ChurnAction::Crash { .. } | ChurnAction::Recover => {
+            unreachable!("compat plans are crash-free")
+        }
     }
 }
 
@@ -108,7 +110,12 @@ fn as_msg(action: &ChurnAction) -> (NodeId, PubSubMsg) {
 /// naive configuration and the probabilistic Filter-Split-Forward one.
 #[test]
 fn zero_latency_mode_is_identical_to_the_legacy_fifo_on_30_seeds() {
-    for i in 0..30u64 {
+    // nightly CI widens the sweep: FSF_FIFO_SEEDS=<n> replays n seeds
+    let seed_count: u64 = std::env::var("FSF_FIFO_SEEDS")
+        .ok()
+        .map(|s| s.parse().expect("FSF_FIFO_SEEDS must be a count"))
+        .unwrap_or(30);
+    for i in 0..seed_count {
         let seed = 0xF1F0_0000 + i;
         let config = if i % 2 == 0 {
             PubSubConfig::fsf(60, 42)

@@ -307,6 +307,91 @@ fn random_tree_paths_are_valid_and_symmetric() {
 }
 
 #[test]
+fn regraft_properties_over_random_trees() {
+    cases(21, 64, |rng| {
+        let n = rng.gen_range(3usize..48);
+        let t = builders::random_tree(n, rng);
+        let crashed = NodeId(rng.gen_range(0u32..n as u32));
+        let nbrs = t.neighbors(crashed).to_vec();
+        let anchor = nbrs[rng.gen_range(0..nbrs.len())];
+        let (r, delta) = t.regraft_with_delta(crashed, anchor).unwrap();
+        // same node set; the corpse hangs off the anchor as a leaf
+        assert_eq!(r.len(), t.len());
+        assert_eq!(r.neighbors(crashed), &[anchor]);
+        // the delta's orphans all re-anchored
+        for o in &delta.orphans {
+            assert!(r.neighbors(anchor).contains(o), "orphan not re-anchored");
+        }
+        // every survivor stays reachable without traversing the corpse
+        let d = r.distances_from(anchor);
+        for v in r.nodes() {
+            assert_ne!(d[v.0 as usize], usize::MAX, "regraft disconnected {v}");
+        }
+        for _ in 0..8 {
+            let a = NodeId(rng.gen_range(0u32..n as u32));
+            let b = NodeId(rng.gen_range(0u32..n as u32));
+            if a == crashed || b == crashed {
+                continue;
+            }
+            assert!(
+                !r.path(a, b).contains(&crashed),
+                "survivor path crosses the corpse"
+            );
+        }
+        // cascading crash: the regraft target itself crashes next — the
+        // first corpse is among its orphans and must re-anchor again
+        let next = r
+            .neighbors(anchor)
+            .iter()
+            .copied()
+            .find(|&x| x != crashed)
+            .expect("n >= 3 leaves the anchor a live neighbor");
+        let r2 = r.regraft(anchor, next).unwrap();
+        assert_eq!(r2.neighbors(anchor), &[next]);
+        let d2 = r2.distances_from(next);
+        for v in r2.nodes() {
+            assert_ne!(d2[v.0 as usize], usize::MAX, "cascade disconnected {v}");
+        }
+        for _ in 0..8 {
+            let a = NodeId(rng.gen_range(0u32..n as u32));
+            let b = NodeId(rng.gen_range(0u32..n as u32));
+            if [a, b].iter().any(|&x| x == crashed || x == anchor) {
+                continue;
+            }
+            let path = r2.path(a, b);
+            assert!(
+                !path.contains(&crashed) && !path.contains(&anchor),
+                "survivor path crosses a corpse after the cascade"
+            );
+        }
+    });
+}
+
+#[test]
+fn regrafting_the_roots_child_rehangs_its_subtrees_on_the_root() {
+    // balanced(15): root 0 with children 1, 2; node 1's subtrees re-hang
+    // directly on the root when 1 crashes onto it
+    let t = builders::balanced(15, 2);
+    let (r, delta) = t.regraft_with_delta(NodeId(1), NodeId(0)).unwrap();
+    assert_eq!(delta.orphans, vec![NodeId(3), NodeId(4)]);
+    assert_eq!(
+        r.neighbors(NodeId(0)),
+        &[NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+    );
+    for a in r.nodes() {
+        for b in r.nodes() {
+            if a == NodeId(1) || b == NodeId(1) || a == b {
+                continue;
+            }
+            assert!(
+                !r.path(a, b).contains(&NodeId(1)),
+                "{a}→{b} uses the corpse"
+            );
+        }
+    }
+}
+
+#[test]
 fn median_minimises_total_distance() {
     cases(10, 64, |rng| {
         let n = rng.gen_range(2usize..40);

@@ -103,6 +103,90 @@ fn five_engines_agree_event_for_event_under_latency() {
     }
 }
 
+/// The recovery extension of the tentpole battery: seeded plans that crash
+/// *interior* nodes (paired with `Recover`) replay timed under nonzero
+/// latency — crashes purge in-flight messages, recovery floods race the
+/// surviving traffic — and the five engines must still agree
+/// event-for-event at quiescence, with clean teardown and recovery
+/// actually charged.
+#[test]
+fn five_engines_agree_through_timed_crash_recover_interleavings() {
+    for seed in seeds() {
+        let topology = builders::balanced(63, 2);
+        let latency = LatencyModel::Uniform { hop: 1 };
+        let plan = ChurnPlan::seeded(
+            &topology,
+            &ChurnPlanConfig {
+                seed,
+                churn_actions: 40,
+                initial_sensors: 8,
+                with_crashes: true,
+                crash_interior: true,
+                protected_nodes: vec![topology.median()],
+                min_crashes: 2,
+                ..ChurnPlanConfig::default()
+            },
+        )
+        .with_teardown();
+        assert!(
+            plan.actions
+                .iter()
+                .any(|a| matches!(a, ChurnAction::Crash { .. })),
+            "seed {seed:#x}: plan contains no crash"
+        );
+        let timed = plan.timed(&TimedReplayConfig::drained(&topology, &latency));
+        let subs: Vec<SubId> = plan
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                ChurnAction::Subscribe { sub, .. } => Some(sub.id()),
+                _ => None,
+            })
+            .collect();
+
+        let mut engines: Vec<(EngineKind, Box<dyn Engine>)> = EngineKind::ALL
+            .iter()
+            .map(|&kind| {
+                let mut e =
+                    kind.build_with_latency(topology.clone(), VALIDITY, 42, latency.clone());
+                run_plan_timed(e.as_mut(), &timed);
+                assert_eq!(e.queue_depth(), 0, "{kind}: not quiescent");
+                assert!(e.recovery_stats().recoveries > 0, "{kind}: no recovery ran");
+                (kind, e)
+            })
+            .collect();
+
+        let (_, reference) = &engines[0];
+        let mut total_ref = 0usize;
+        for &sub in &subs {
+            let expected = reference.deliveries().delivered(sub);
+            total_ref += expected.len();
+            for (kind, engine) in &engines[1..] {
+                if *kind == EngineKind::FilterSplitForward {
+                    assert!(
+                        engine.deliveries().delivered(sub).is_subset(expected),
+                        "seed {seed:#x}: FSF outside ground truth for {sub:?}"
+                    );
+                } else {
+                    assert_eq!(
+                        engine.deliveries().delivered(sub),
+                        expected,
+                        "seed {seed:#x}: {kind} diverged on {sub:?} through crash/recover"
+                    );
+                }
+            }
+        }
+        assert!(total_ref > 0, "seed {seed:#x}: no deliveries at all");
+        for (kind, engine) in &mut engines {
+            assert!(
+                leaks(engine.as_mut()).is_empty(),
+                "seed {seed:#x}: {kind} teardown leaked: {:?}",
+                leaks(engine.as_mut())
+            );
+        }
+    }
+}
+
 /// Per-link weighted latency (a slow backbone link) must not change the
 /// delivered results either — only the timeline.
 #[test]

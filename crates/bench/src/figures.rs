@@ -353,6 +353,61 @@ pub fn ext4_recovery(scale: f64) -> (String, Vec<crate::json::JsonRecord>) {
     (out, records)
 }
 
+/// EXT-5: handoff cost and recall under **sensor mobility** — what the
+/// `Move` re-advertisement protocol charges for keeping a known sensor id
+/// routable while it travels. A seeded id-reusing churn plan (live
+/// handoffs and departed-id revivals) replays through every engine next
+/// to its stationary twin (retire the old id, fresh id at the new node,
+/// migrate the referencing subscriptions); a correct protocol delivers
+/// the identical log (`recall vs stationary twin` = 1.0, twin-equal,
+/// clean teardown), and the handoff columns report the per-move message
+/// bill.
+#[must_use]
+pub fn ext5_mobility(scale: f64) -> (String, Vec<crate::json::JsonRecord>) {
+    let config = if scale < 1.0 {
+        fsf_workload::MobilityConfig::paper_scale().scaled(scale)
+    } else {
+        fsf_workload::MobilityConfig::paper_scale()
+    };
+    let rows = fsf_workload::run_mobility(&config);
+    let mut out = format!(
+        "== ext5 — handoff cost and recall under sensor mobility ({}, {} nodes, \
+         {} churn actions) ==\n",
+        config.name, config.total_nodes, config.plan.churn_actions
+    );
+    out.push_str(&format!(
+        "{:<34} {:>6} {:>9} {:>11} {:>10} {:>8} {:>6} {:>9}\n",
+        "approach", "moves", "handoffs", "handoff/mv", "delivered", "recall", "twin", "teardown"
+    ));
+    let mut records = Vec::new();
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<34} {:>6} {:>9} {:>11.2} {:>10} {:>8.4} {:>6} {:>9}\n",
+            r.engine.name(),
+            r.moves,
+            r.handoff_msgs,
+            r.handoff_per_move,
+            r.delivered_units,
+            r.recall_vs_twin,
+            if r.twin_equal { "equal" } else { "DIFF" },
+            if r.teardown_clean { "clean" } else { "LEAKED" },
+        ));
+        let name = r.engine.name();
+        for (metric, value) in [
+            ("moves", r.moves as f64),
+            ("handoff messages", r.handoff_msgs as f64),
+            ("handoff per move", r.handoff_per_move),
+            ("delivered units", r.delivered_units as f64),
+            ("recall vs stationary twin", r.recall_vs_twin),
+            ("twin equal", if r.twin_equal { 1.0 } else { 0.0 }),
+            ("teardown clean", if r.teardown_clean { 1.0 } else { 0.0 }),
+        ] {
+            records.push(crate::json::JsonRecord::new("ext5", name, metric, value));
+        }
+    }
+    (out, records)
+}
+
 /// Table II: the implemented-approaches matrix.
 #[must_use]
 pub fn table2() -> String {
@@ -474,6 +529,46 @@ mod tests {
         let doc = crate::json::to_json(0.25, &records);
         let (scale, parsed) = crate::json::parse(&doc).expect("well-formed");
         assert_eq!(scale, 0.25);
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn ext5_reports_twin_exact_mobility_and_round_trips_json() {
+        let (table, records) = ext5_mobility(0.4);
+        for kind in EngineKind::ALL {
+            assert!(table.contains(kind.name()), "missing {kind}:\n{table}");
+        }
+        assert!(!table.contains("LEAKED"), "teardown leaked:\n{table}");
+        assert_eq!(records.len(), 5 * 7, "engine × metric grid");
+        for kind in EngineKind::ALL {
+            let metric = |m: &str| {
+                records
+                    .iter()
+                    .find(|r| r.engine == kind.name() && r.metric == m)
+                    .unwrap_or_else(|| panic!("{kind}: missing {m}"))
+                    .value
+            };
+            let recall = metric("recall vs stationary twin");
+            if kind == EngineKind::FilterSplitForward {
+                // probabilistic set filter: banded, not twin-exact (the
+                // twin's renamed ids draw different coverage decisions)
+                assert!(
+                    (0.8..=1.25).contains(&recall),
+                    "{kind}: twin recall {recall} out of band"
+                );
+            } else {
+                assert!(
+                    (recall - 1.0).abs() < 1e-12,
+                    "{kind}: mobile run diverged from its twin"
+                );
+                assert!(metric("twin equal") > 0.5, "{kind}: twin not equal");
+            }
+            assert!(metric("handoff per move") > 0.0, "{kind}: free handoff");
+        }
+        // the records survive the writer/parser round trip bit-exactly
+        let doc = crate::json::to_json(0.4, &records);
+        let (scale, parsed) = crate::json::parse(&doc).expect("well-formed");
+        assert_eq!(scale, 0.4);
         assert_eq!(parsed, records);
     }
 

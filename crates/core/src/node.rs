@@ -18,7 +18,7 @@
 
 use crate::events::{EventStore, SentScope};
 use crate::ranking::RankPolicy;
-use crate::store::{AdvStore, Origin, SubStore};
+use crate::store::{AdvStore, AdvUpdate, Origin, SubStore};
 use fsf_model::{
     complex_match, Advertisement, ComplexEvent, DimKey, Event, Operator, Subscription,
 };
@@ -111,15 +111,33 @@ pub enum PubSubMsg {
     /// on it (the churn counterpart of `SensorUp`).
     SensorDown(fsf_model::SensorId),
     /// A flooded advertisement retraction from a neighbor — retraces the
-    /// `Adv` flood with the same idempotence.
-    AdvDown(fsf_model::SensorId),
-    /// A crash-recovery advertisement re-flood. Unlike `Adv`, repair floods
-    /// are **not** absorbed by the seen-set: they traverse the whole tree
-    /// (structural termination — a tree flood that never returns toward its
-    /// sender cannot loop), re-homing the advertisement's origin where the
-    /// regraft changed the path toward the station and triggering the
-    /// operator re-split toward the repaired direction.
-    AdvRepair(Advertisement),
+    /// `Adv` flood with the same idempotence. The generation is the one the
+    /// retraction *retired*: the retraction host bumps its known generation
+    /// by one, so the flood is ordered against concurrent `Move` floods — a
+    /// retraction straggler cannot wipe a route a newer `Move` established,
+    /// and a `Move` straggler cannot resurrect a newer retraction.
+    AdvDown(fsf_model::SensorId, u64),
+    /// A crash-recovery advertisement re-flood, carrying the sensor's
+    /// advertisement generation. Unlike `Adv`, repair floods are **not**
+    /// absorbed by the seen-set: they traverse the whole tree (structural
+    /// termination — a tree flood that never returns toward its sender
+    /// cannot loop), re-homing the advertisement's origin where the regraft
+    /// changed the path toward the station and triggering the operator
+    /// re-split toward the repaired direction. The generation keeps repair
+    /// and mobility floods ordered: a stale repair cannot resurrect a route
+    /// superseded by a later `Move`, and a repair carrying a generation the
+    /// node never saw replays the move it missed.
+    AdvRepair(Advertisement, u64),
+    /// A sensor-mobility handoff: a **known** sensor id re-appeared at a
+    /// new host station, which floods this generation-tagged
+    /// re-advertisement over the whole tree. Nodes whose path toward the
+    /// sensor changed re-home the advertisement origin, retract routing
+    /// state along the old recorded path, and re-split uncovered operators
+    /// toward the new path; nodes whose path is unchanged keep everything
+    /// pinned (only the uncovered frontier migrates). The generation makes
+    /// the flood idempotent and lets it race — and beat — the sensor's own
+    /// original advertisement flood.
+    Move(Advertisement, u64),
     /// A local user registers a subscription (Algorithm 4, `n == m`).
     Subscribe(Subscription),
     /// A correlation operator forwarded by a neighbor.
@@ -265,6 +283,35 @@ impl PubSubNode {
             origins: self.subs.len(),
             forwarded_routes: self.routes.values().map(BTreeMap::len).sum(),
         }
+    }
+
+    /// Mobility leak check: recorded route entries whose projection no
+    /// longer matches what the *current* advertisement picture would
+    /// produce — i.e. routing state left behind by a superseded
+    /// advertisement generation. A quiescent network must report none on
+    /// any node: after every move, `resplit_toward` must have reconciled
+    /// each recorded route with the re-homed advertisement origins.
+    #[must_use]
+    pub fn stale_routes(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for ((origin, key), targets) in &self.routes {
+            let Some(op) = self.subs.get(origin).and_then(|s| s.uncovered.get(key)) else {
+                out.push(format!("route for missing operator {key:?} from {origin}"));
+                continue;
+            };
+            for (j, projected) in targets {
+                let dims = op.supported_dims(self.adverts.from_origin(Origin::Neighbor(*j)));
+                match op.project(&dims) {
+                    Some(p) if p.key() == *projected => {}
+                    desired => out.push(format!(
+                        "stale route {key:?} from {origin} toward {j}: recorded {projected:?}, \
+                         desired {:?}",
+                        desired.map(|p| p.key())
+                    )),
+                }
+            }
+        }
+        out
     }
 
     // ----- Algorithm 1: advertisement propagation -----
@@ -430,19 +477,36 @@ impl PubSubNode {
 
     /// A sensor departed: retract its advertisement, retrace the flood, drop
     /// its stored events, and withdraw (or narrow) the operator projections
-    /// that were routed over the retracting advertisement path.
+    /// that were routed over the retracting advertisement path. A retraction
+    /// is itself a **generation event**: the local injection (`gen` =
+    /// `None`) retires the host's known generation by bumping it, and the
+    /// flood carries that number — so a retraction straggler arriving after
+    /// a newer `Move` is absorbed instead of wiping the new route, and the
+    /// generation tombstone left behind absorbs any older `Move` straggler.
     fn handle_sensor_down(
         &mut self,
         origin: Origin,
         sensor: fsf_model::SensorId,
+        gen: Option<u64>,
         ctx: &mut Ctx<'_, PubSubMsg>,
     ) {
+        let known = self.adverts.generation(sensor);
+        let gen = gen.unwrap_or(known + 1);
+        if gen < known {
+            return; // a newer Move superseded this retraction — absorb
+        }
         let Some(adv_origin) = self.adverts.remove(sensor) else {
             return; // unknown sensor — retraction flooding is idempotent
         };
+        self.adverts.note_generation(sensor, gen);
         for &j in ctx.neighbors().to_vec().iter() {
             if Origin::Neighbor(j) != origin {
-                ctx.send(j, PubSubMsg::AdvDown(sensor), ChargeKind::Advertisement, 1);
+                ctx.send(
+                    j,
+                    PubSubMsg::AdvDown(sensor, gen),
+                    ChargeKind::Advertisement,
+                    1,
+                );
             }
         }
         self.events.remove_sensor(sensor);
@@ -517,32 +581,78 @@ impl PubSubNode {
         }
     }
 
+    // ----- sensor mobility (re-advertisement re-routing) -----
+
+    /// Re-route after an advertisement origin change: retract along the old
+    /// recorded direction (if it is a live link), then re-split toward the
+    /// new one. Covered operators stay covered — [`Self::resplit_toward`]
+    /// only reconciles the uncovered set's projections — and unchanged
+    /// projections are never re-sent, so the migration is idempotent.
+    fn reroute(&mut self, update: AdvUpdate, new_origin: Origin, ctx: &mut Ctx<'_, PubSubMsg>) {
+        if let AdvUpdate::Moved {
+            old: Origin::Neighbor(o),
+        } = update
+        {
+            self.resplit_toward(o, ctx);
+        }
+        if matches!(update, AdvUpdate::Moved { .. } | AdvUpdate::Inserted) {
+            if let Origin::Neighbor(n) = new_origin {
+                self.resplit_toward(n, ctx);
+            }
+        }
+    }
+
+    /// A generation-tagged `Move` re-advertisement arrived: a known sensor
+    /// id re-appeared at a new host. Supersede the stored advertisement,
+    /// flood onward structurally (the generation check is the cross-flood
+    /// terminator), and re-route the uncovered operators.
+    fn handle_move(
+        &mut self,
+        origin: Origin,
+        adv: Advertisement,
+        gen: u64,
+        ctx: &mut Ctx<'_, PubSubMsg>,
+    ) {
+        let update = self.adverts.apply_move(origin, adv, gen);
+        if update == AdvUpdate::Stale {
+            return; // absorb: a stale flood cannot resurrect the old route
+        }
+        for &j in ctx.neighbors().to_vec().iter() {
+            if Origin::Neighbor(j) != origin {
+                ctx.send(j, PubSubMsg::Move(adv, gen), ChargeKind::Handoff, 1);
+            }
+        }
+        // A handoff opens a fresh correlation epoch for the sensor: its
+        // readings from the old location are dropped exactly as a
+        // retraction would drop them, so a moved run stores the same events
+        // as its stationary twin (retire at the old host, fresh id at the
+        // new one) and no correlation window straddles the move.
+        self.events.remove_sensor(adv.sensor);
+        self.reroute(update, origin, ctx);
+    }
+
     // ----- crash recovery (the regraft counterpart of Algorithm 1) -----
 
     /// A crash-recovery advertisement re-flood arrived: fill the hole or
     /// re-home the origin if the repaired tree reaches the station through
     /// a different neighbor, propagate the flood structurally, and re-split
-    /// stored operators toward the repaired direction.
+    /// stored operators toward the repaired direction. The generation
+    /// ordering against mobility lives in [`AdvStore::apply_repair`],
+    /// shared with the multi-join engine.
     fn handle_adv_repair(
         &mut self,
         origin: Origin,
         adv: Advertisement,
+        gen: u64,
         ctx: &mut Ctx<'_, PubSubMsg>,
     ) {
-        let changed = match self.adverts.rehome(adv.sensor, origin) {
-            None => self.adverts.insert(origin, adv), // unknown: fill the hole
-            Some(old) => old != origin && old != Origin::Local,
-        };
+        let update = self.adverts.apply_repair(origin, adv, gen);
         for &n in ctx.neighbors().to_vec().iter() {
             if Origin::Neighbor(n) != origin {
-                ctx.send(n, PubSubMsg::AdvRepair(adv), ChargeKind::Recovery, 1);
+                ctx.send(n, PubSubMsg::AdvRepair(adv, gen), ChargeKind::Recovery, 1);
             }
         }
-        if changed {
-            if let Origin::Neighbor(m) = origin {
-                self.resplit_toward(m, ctx);
-            }
-        }
+        self.reroute(update, origin, ctx);
     }
 
     /// Purge every trace of a crashed neighbor: its interest slot (covered
@@ -720,10 +830,13 @@ impl NodeBehavior for PubSubNode {
             PubSubMsg::Adv(adv) => self.handle_advertisement(origin, adv, ctx),
             PubSubMsg::SensorDown(sensor) => {
                 debug_assert_eq!(origin, Origin::Local, "SensorDown is a local injection");
-                self.handle_sensor_down(Origin::Local, sensor, ctx);
+                self.handle_sensor_down(Origin::Local, sensor, None, ctx);
             }
-            PubSubMsg::AdvDown(sensor) => self.handle_sensor_down(origin, sensor, ctx),
-            PubSubMsg::AdvRepair(adv) => self.handle_adv_repair(origin, adv, ctx),
+            PubSubMsg::AdvDown(sensor, gen) => {
+                self.handle_sensor_down(origin, sensor, Some(gen), ctx);
+            }
+            PubSubMsg::AdvRepair(adv, gen) => self.handle_adv_repair(origin, adv, gen, ctx),
+            PubSubMsg::Move(adv, gen) => self.handle_move(origin, adv, gen, ctx),
             PubSubMsg::Subscribe(sub) => {
                 debug_assert_eq!(origin, Origin::Local, "Subscribe is a local injection");
                 self.handle_operator(Origin::Local, Operator::from_subscription(&sub), ctx);
@@ -757,8 +870,9 @@ impl NodeBehavior for PubSubNode {
         }
         let local: Vec<Advertisement> = self.adverts.from_origin(Origin::Local).to_vec();
         for adv in local {
+            let gen = self.adverts.generation(adv.sensor);
             for &n in ctx.neighbors().to_vec().iter() {
-                ctx.send(n, PubSubMsg::AdvRepair(adv), ChargeKind::Recovery, 1);
+                ctx.send(n, PubSubMsg::AdvRepair(adv, gen), ChargeKind::Recovery, 1);
             }
         }
     }
@@ -1328,11 +1442,127 @@ mod tests {
         let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
         s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
         let subs_before = s.stats.sub_forwards;
-        s.inject_and_run(NodeId(0), PubSubMsg::AdvRepair(adv(1, 0)));
+        s.inject_and_run(NodeId(0), PubSubMsg::AdvRepair(adv(1, 0), 0));
         assert_eq!(s.stats.sub_forwards, subs_before, "no operator re-sent");
         assert_eq!(s.stats.recovery_msgs, 3, "repair traversed the 3 links");
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
+    }
+
+    #[test]
+    fn move_rehomes_the_advert_and_reroutes_the_operator() {
+        // line n0(sensor) — n1 — n2 — n3(user); sensor 1 moves to n2.
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        s.inject_and_run(NodeId(2), PubSubMsg::Move(adv(1, 0), 1));
+        assert_eq!(s.stats.handoff_msgs, 3, "move flood traversed the 3 links");
+        // the new host owns the advert locally; the old host reaches it via n1
+        assert_eq!(
+            s.node(NodeId(2)).adverts().from_origin(Origin::Local).len(),
+            1
+        );
+        assert_eq!(
+            s.node(NodeId(0))
+                .adverts()
+                .from_origin(Origin::Neighbor(NodeId(1)))
+                .len(),
+            1
+        );
+        assert_eq!(s.node(NodeId(0)).adverts().generation(SensorId(1)), 1);
+        // the old path's operator projections were withdrawn…
+        for n in [0u32, 1] {
+            assert_eq!(
+                s.node(NodeId(n)).storage_stats().total_operators(),
+                0,
+                "n{n} kept a superseded operator"
+            );
+        }
+        // …and no node holds a route for the superseded generation
+        for n in 0..4u32 {
+            assert_eq!(
+                s.node(NodeId(n)).stale_routes(),
+                Vec::<String>::new(),
+                "n{n}"
+            );
+        }
+        // readings from the new host reach the subscriber (1 hop now)
+        let before = s.stats.event_units;
+        s.inject_and_run(NodeId(2), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        assert_eq!(s.stats.event_units - before, 1);
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
+    }
+
+    #[test]
+    fn stale_floods_cannot_resurrect_a_superseded_route() {
+        let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
+        s.inject_and_run(NodeId(2), PubSubMsg::Move(adv(1, 0), 1));
+        let stats = s.stats.clone();
+        // re-delivering the same move generation changes nothing
+        s.inject_and_run(NodeId(2), PubSubMsg::Move(adv(1, 0), 1));
+        assert_eq!(s.stats, stats, "duplicate move not absorbed");
+        // a straggler of the original advertisement flood is absorbed too
+        s.inject_and_run(NodeId(0), PubSubMsg::Adv(adv(1, 0)));
+        assert_eq!(
+            s.node(NodeId(1))
+                .adverts()
+                .from_origin(Origin::Neighbor(NodeId(2)))
+                .len(),
+            1,
+            "stale Adv re-homed the moved sensor"
+        );
+        // …as is a stale repair flood carrying the old generation
+        s.inject_and_run(NodeId(0), PubSubMsg::AdvRepair(adv(1, 0), 0));
+        assert_eq!(
+            s.node(NodeId(1))
+                .adverts()
+                .from_origin(Origin::Neighbor(NodeId(2)))
+                .len(),
+            1,
+            "stale AdvRepair re-homed the moved sensor"
+        );
+        // a move back to the original host is a fresh generation: it works,
+        // and doing it twice is idempotent
+        s.inject_and_run(NodeId(0), PubSubMsg::Move(adv(1, 0), 2));
+        assert_eq!(
+            s.node(NodeId(0)).adverts().from_origin(Origin::Local).len(),
+            1
+        );
+        let stats = s.stats.clone();
+        s.inject_and_run(NodeId(0), PubSubMsg::Move(adv(1, 0), 2));
+        assert_eq!(s.stats, stats);
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(101, 1, 0, 5.0, 2000)));
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
+    }
+
+    #[test]
+    fn move_drops_the_sensors_stored_readings_like_a_retraction() {
+        // handoff = fresh correlation epoch: a pre-move reading must not
+        // complete a join with a post-move partner (stationary-twin rule)
+        let mut s = sim(4, PubSubConfig::fsf(2 * DT, 1));
+        s.inject_and_run(NodeId(0), PubSubMsg::SensorUp(adv(1, 0)));
+        s.inject_and_run(NodeId(1), PubSubMsg::SensorUp(adv(2, 1)));
+        s.inject_and_run(
+            NodeId(3),
+            PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])),
+        );
+        s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        s.inject_and_run(NodeId(2), PubSubMsg::Move(adv(1, 0), 1));
+        for n in 0..4u32 {
+            assert!(
+                !s.node(NodeId(n)).events().contains(EventId(100)),
+                "n{n} kept the moved sensor's pre-move reading"
+            );
+        }
+        s.inject_and_run(NodeId(1), PubSubMsg::Publish(ev(101, 2, 1, 5.0, 1010)));
+        assert_eq!(
+            s.deliveries.delivered(SubId(1)).len(),
+            0,
+            "a pre-move reading completed a join across the handoff"
+        );
+        // a fresh post-move pair joins normally over the new path
+        s.inject_and_run(NodeId(2), PubSubMsg::Publish(ev(102, 1, 0, 5.0, 1020)));
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 2);
     }
 
     #[test]

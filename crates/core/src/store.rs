@@ -30,12 +30,43 @@ impl std::fmt::Display for Origin {
     }
 }
 
+/// Outcome of applying a generation-tagged re-advertisement (sensor
+/// mobility) to an [`AdvStore`] — see [`AdvStore::apply_move`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvUpdate {
+    /// The update's generation is not newer than what this node already
+    /// knows: a stale or duplicate flood. Absorb it — a stale in-flight
+    /// advertisement must never resurrect a superseded route.
+    Stale,
+    /// The sensor was unknown here; its advertisement was stored fresh
+    /// under the new origin (the move flood outran, or replaced, the
+    /// original advertisement flood).
+    Inserted,
+    /// The sensor was known and stays reachable through the same origin —
+    /// only the generation (and the advertisement body) advanced. The
+    /// route through this node is unchanged, so operators stay pinned.
+    Refreshed,
+    /// The sensor was known and its origin changed: the route through this
+    /// node moved away from `old` — retract along the old direction and
+    /// re-split toward the new one.
+    Moved {
+        /// The origin the advertisement was stored under before the move.
+        old: Origin,
+    },
+}
+
 /// The advertisement side of a node's state: one `DSA` list per origin,
-/// plus a global seen-set to make flooding idempotent.
+/// plus a global seen-set to make flooding idempotent and a per-sensor
+/// generation counter that orders re-advertisements (sensor mobility).
 #[derive(Debug, Default, Clone)]
 pub struct AdvStore {
     per_origin: BTreeMap<Origin, Vec<Advertisement>>,
     seen: BTreeSet<SensorId>,
+    /// Advertisement generation per sensor: 0 for the original
+    /// advertisement, bumped by every `Move` re-advertisement. Entries
+    /// outlive [`AdvStore::remove`] as tombstones, so a stale flood that
+    /// raced a retraction cannot re-insert a superseded advertisement.
+    gens: BTreeMap<SensorId, u64>,
 }
 
 impl AdvStore {
@@ -45,15 +76,97 @@ impl AdvStore {
         Self::default()
     }
 
-    /// Record an advertisement from `origin`. Returns `false` if this
-    /// sensor's advertisement was already known (duplicate flood/re-inject),
+    /// Record a generation-0 advertisement from `origin`. Returns `false`
+    /// if this sensor's advertisement was already known (duplicate
+    /// flood/re-inject) **or** superseded by a later move generation (a
+    /// stale original-advertisement flood arriving after its own `Move`),
     /// in which case nothing is stored and nothing should be re-forwarded.
     pub fn insert(&mut self, origin: Origin, adv: Advertisement) -> bool {
+        if self.generation(adv.sensor) > 0 {
+            return false; // a move superseded the original advertisement
+        }
         if !self.seen.insert(adv.sensor) {
             return false;
         }
         self.per_origin.entry(origin).or_default().push(adv);
         true
+    }
+
+    /// The advertisement generation this node knows for `sensor` (0 for
+    /// never-moved or unknown sensors; tombstoned generations survive
+    /// retraction).
+    #[must_use]
+    pub fn generation(&self, sensor: SensorId) -> u64 {
+        self.gens.get(&sensor).copied().unwrap_or(0)
+    }
+
+    /// Record that `sensor`'s advertisement is now at generation `gen`
+    /// (monotone: lower generations are ignored). Used by repair floods
+    /// that carry a newer generation than this node ever saw — e.g. when a
+    /// crash purged the `Move` flood before it arrived.
+    pub fn note_generation(&mut self, sensor: SensorId, gen: u64) {
+        let g = self.gens.entry(sensor).or_insert(0);
+        *g = (*g).max(gen);
+    }
+
+    /// Apply a generation-tagged `Move` re-advertisement: supersede the
+    /// stored advertisement (origin **and** body — the sensor may have a
+    /// new location) iff `gen` is strictly newer than the known
+    /// generation. Unlike [`AdvStore::rehome`], a move re-homes local
+    /// entries too: the sensor left its old host station.
+    pub fn apply_move(&mut self, new_origin: Origin, adv: Advertisement, gen: u64) -> AdvUpdate {
+        if gen <= self.generation(adv.sensor) {
+            return AdvUpdate::Stale;
+        }
+        self.gens.insert(adv.sensor, gen);
+        if self.seen.insert(adv.sensor) {
+            self.per_origin.entry(new_origin).or_default().push(adv);
+            return AdvUpdate::Inserted;
+        }
+        let old = self
+            .per_origin
+            .iter()
+            .find_map(|(o, advs)| advs.iter().any(|a| a.sensor == adv.sensor).then_some(*o))
+            .expect("seen sensors have a stored advertisement");
+        let slot = self.per_origin.get_mut(&old).expect("found above");
+        slot.retain(|a| a.sensor != adv.sensor);
+        if slot.is_empty() {
+            self.per_origin.remove(&old);
+        }
+        self.per_origin.entry(new_origin).or_default().push(adv);
+        if old == new_origin {
+            AdvUpdate::Refreshed
+        } else {
+            AdvUpdate::Moved { old }
+        }
+    }
+
+    /// Apply a generation-tagged crash-repair re-advertisement: the shared
+    /// ordering of [`AdvStore::apply_move`] and the repair semantics, in
+    /// one place for every engine. A repair *newer* than the known
+    /// generation is a move this node missed (the crash purged the `Move`
+    /// flood) and gets the full move treatment; a stale repair changes
+    /// nothing; at generation parity the repair re-homes the origin, fills
+    /// a hole, or is absorbed by the retraction tombstone.
+    pub fn apply_repair(&mut self, origin: Origin, adv: Advertisement, gen: u64) -> AdvUpdate {
+        let known = self.generation(adv.sensor);
+        if gen > known {
+            return self.apply_move(origin, adv, gen);
+        }
+        if gen < known {
+            return AdvUpdate::Stale;
+        }
+        match self.rehome(adv.sensor, origin) {
+            None => {
+                if self.insert(origin, adv) {
+                    AdvUpdate::Inserted // unknown: fill the hole
+                } else {
+                    AdvUpdate::Stale // seen-set / generation tombstone
+                }
+            }
+            Some(old) if old != origin && old != Origin::Local => AdvUpdate::Moved { old },
+            Some(_) => AdvUpdate::Refreshed,
+        }
     }
 
     /// Retract a sensor's advertisement (the sensor departed, §IV-B "valid
@@ -233,6 +346,74 @@ mod tests {
             Some(Origin::Local)
         );
         assert_eq!(s.from_origin(Origin::Local).len(), 1);
+    }
+
+    #[test]
+    fn apply_move_orders_by_generation() {
+        let mut s = AdvStore::new();
+        assert!(s.insert(Origin::Neighbor(NodeId(2)), adv(1)));
+        assert_eq!(s.generation(SensorId(1)), 0);
+        // a newer generation re-homes (even off Local — tested below)
+        assert_eq!(
+            s.apply_move(Origin::Neighbor(NodeId(4)), adv(1), 1),
+            AdvUpdate::Moved {
+                old: Origin::Neighbor(NodeId(2))
+            }
+        );
+        assert_eq!(s.generation(SensorId(1)), 1);
+        assert_eq!(s.from_origin(Origin::Neighbor(NodeId(2))).len(), 0);
+        assert_eq!(s.from_origin(Origin::Neighbor(NodeId(4))).len(), 1);
+        // the same generation again is a duplicate: absorbed
+        assert_eq!(
+            s.apply_move(Origin::Neighbor(NodeId(4)), adv(1), 1),
+            AdvUpdate::Stale
+        );
+        // an older in-flight move cannot resurrect the old route
+        assert_eq!(
+            s.apply_move(Origin::Neighbor(NodeId(2)), adv(1), 0),
+            AdvUpdate::Stale
+        );
+        // a newer move through the same origin only refreshes
+        assert_eq!(
+            s.apply_move(Origin::Neighbor(NodeId(4)), adv(1), 2),
+            AdvUpdate::Refreshed
+        );
+        // an unknown sensor is inserted fresh (move flood outran the
+        // original advertisement flood)
+        assert_eq!(
+            s.apply_move(Origin::Neighbor(NodeId(4)), adv(9), 1),
+            AdvUpdate::Inserted
+        );
+        assert!(s.knows_sensor(SensorId(9)));
+    }
+
+    #[test]
+    fn apply_move_rehomes_off_local_and_supersedes_stale_inserts() {
+        let mut s = AdvStore::new();
+        s.insert(Origin::Local, adv(7));
+        // the sensor left this host: Local entries DO move (unlike rehome)
+        assert_eq!(
+            s.apply_move(Origin::Neighbor(NodeId(3)), adv(7), 1),
+            AdvUpdate::Moved { old: Origin::Local }
+        );
+        assert_eq!(s.from_origin(Origin::Local).len(), 0);
+        // a straggler generation-0 advertisement is absorbed…
+        assert!(!s.insert(Origin::Local, adv(7)));
+        // …even after retraction (the generation tombstone survives remove)
+        assert_eq!(s.remove(SensorId(7)), Some(Origin::Neighbor(NodeId(3))));
+        assert!(!s.knows_sensor(SensorId(7)));
+        assert_eq!(s.generation(SensorId(7)), 1);
+        assert!(!s.insert(Origin::Local, adv(7)), "tombstone ignored");
+        // a newer move re-inserts the retracted-then-returned sensor
+        assert_eq!(
+            s.apply_move(Origin::Neighbor(NodeId(5)), adv(7), 2),
+            AdvUpdate::Inserted
+        );
+        // note_generation is monotone
+        s.note_generation(SensorId(7), 1);
+        assert_eq!(s.generation(SensorId(7)), 2);
+        s.note_generation(SensorId(7), 6);
+        assert_eq!(s.generation(SensorId(7)), 6);
     }
 
     #[test]

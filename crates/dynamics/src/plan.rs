@@ -8,7 +8,7 @@ use fsf_network::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One dynamic event in the life of a deployment.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +26,22 @@ pub enum ChurnAction {
         node: NodeId,
         /// The departing sensor.
         sensor: SensorId,
+    },
+    /// A **known** sensor id re-appears at `node` (sensor mobility): the
+    /// new host floods a generation-tagged `Move` re-advertisement and
+    /// uncovered operators re-split toward the new path. Works for a live
+    /// sensor (handoff from `from`) and for a previously departed id
+    /// returning at a new station.
+    Move {
+        /// The new hosting node.
+        node: NodeId,
+        /// The node that hosted the sensor before the move (bookkeeping:
+        /// the stationary-twin transformation retires the old identity
+        /// here).
+        from: NodeId,
+        /// The advertisement the new host floods (same sensor id; the
+        /// location may change with the station).
+        adv: Advertisement,
     },
     /// A user at `node` registers a subscription.
     Subscribe {
@@ -116,6 +132,19 @@ pub struct ChurnPlanConfig {
     /// they are testing to actually occur. Extra `Crash`/`Recover` pairs
     /// (with their publish tails) are appended until the floor is met.
     pub min_crashes: usize,
+    /// Generate sensor moves — the **id-reusing** generator mode. A move
+    /// picks a live sensor and re-hosts it on a different node (handoff),
+    /// or revives a previously departed id at a new station
+    /// (re-advertisement); either way the sensor id is *reused*, the
+    /// restriction the pre-mobility generator was designed around. Every
+    /// move jumps the data clock by `δt` so no correlation window
+    /// straddles the handoff's fresh epoch.
+    pub with_moves: bool,
+    /// Guarantee at least this many moves when [`Self::with_moves`] is on
+    /// (mobility batteries need the handoff they are testing to occur).
+    /// Extra moves (with their publish tails) are appended until the
+    /// floor is met.
+    pub min_moves: usize,
 }
 
 impl Default for ChurnPlanConfig {
@@ -134,6 +163,8 @@ impl Default for ChurnPlanConfig {
             crash_interior: false,
             protected_nodes: Vec::new(),
             min_crashes: 0,
+            with_moves: false,
+            min_moves: 0,
         }
     }
 }
@@ -177,9 +208,14 @@ impl ChurnPlan {
     ///   pre-registration events out of its central store — events the
     ///   distributed engines never routed (the static workload's
     ///   batch-epoch separation, applied per subscription);
-    /// * departed sensor ids are never reused (a returning station gets a
-    ///   new identity — advertisement re-routing for resurrected ids is an
-    ///   open item);
+    /// * sensor ids **are reused** when [`ChurnPlanConfig::with_moves`] is
+    ///   on: a known id re-appears at a new node as a [`ChurnAction::Move`]
+    ///   (live handoff or departed-id revival), and the engines' `Move`
+    ///   re-advertisement protocol re-splits uncovered operators toward
+    ///   the new path. Fresh `SensorUp` ids stay unique — reuse always
+    ///   goes through the generation-tagged move protocol, and each move
+    ///   jumps the data clock by `δt` (handoffs open a fresh correlation
+    ///   epoch);
     /// * crashes (if enabled) hit stateless leaves, or — with
     ///   [`ChurnPlanConfig::crash_interior`] — arbitrary unprotected nodes,
     ///   in which case every `Crash` is paired with a `Recover`, the hosted
@@ -197,6 +233,7 @@ impl ChurnPlan {
             next_sub: 0,
             next_event: 0,
             up: BTreeMap::new(),
+            departed: BTreeMap::new(),
             active: BTreeMap::new(),
             crashed: Vec::new(),
             hosted_ever: Vec::new(),
@@ -233,7 +270,152 @@ impl ChurnPlan {
                 }
             }
         }
+        if config.with_moves {
+            let mut moves = g
+                .actions
+                .iter()
+                .filter(|a| matches!(a, ChurnAction::Move { .. }))
+                .count();
+            let mut attempts = 0;
+            while moves < config.min_moves && attempts < 64 {
+                attempts += 1;
+                if g.move_sensor() {
+                    moves += 1;
+                    for _ in 0..config.events_per_action {
+                        g.publish();
+                    }
+                }
+            }
+        }
         ChurnPlan { actions: g.actions }
+    }
+
+    /// The **stationary twin** of a mobile plan: every [`ChurnAction::Move`]
+    /// is replaced by the equivalent fresh-identity sequence — retire the
+    /// old identity at its current host (live handoffs only), bring a
+    /// *fresh* sensor id up at the new node, and migrate every live
+    /// subscription that references the moved sensor by cancelling and
+    /// re-registering it with the dimension renamed. All later references
+    /// (publishes, subscriptions, further moves, retractions) are renamed
+    /// accordingly; event ids, values and timestamps are untouched.
+    ///
+    /// A correct mobility protocol makes the mobile plan and its twin
+    /// produce the **identical** [`fsf_network::DeliveryLog`] on every
+    /// engine: same per-subscription result sets *and* the same delivery
+    /// count — full recall with zero duplicated deliveries, in one
+    /// comparison (the mobility analogue of the recovery battery's
+    /// uncrashed twin).
+    ///
+    /// `fresh_base` must exceed every sensor id the plan uses. Exactness
+    /// precondition: when a subscription is migrated, the *other* sensors
+    /// it references are up — otherwise the twin's re-registration is
+    /// dropped as unanswerable by the distributed engines while the mobile
+    /// plan keeps the original registration alive.
+    #[must_use]
+    pub fn stationary_twin(&self, fresh_base: u32) -> ChurnPlan {
+        let mut alias: BTreeMap<SensorId, SensorId> = BTreeMap::new();
+        let mut next_fresh = fresh_base;
+        let mut up: BTreeSet<SensorId> = BTreeSet::new();
+        let mut live_subs: BTreeMap<SubId, (NodeId, Subscription)> = BTreeMap::new();
+        let mut out: Vec<ChurnAction> = Vec::new();
+        let renamed = |sub: &Subscription, alias: &BTreeMap<SensorId, SensorId>| -> Subscription {
+            let filters: Vec<(SensorId, ValueRange)> = sub
+                .predicates()
+                .iter()
+                .map(|p| {
+                    let fsf_model::DimKey::Sensor(s) = p.key else {
+                        panic!("stationary twins need identified subscriptions")
+                    };
+                    (*alias.get(&s).unwrap_or(&s), p.range)
+                })
+                .collect();
+            Subscription::identified(sub.id(), filters, sub.delta_t())
+                .expect("renaming preserves validity")
+        };
+        for action in &self.actions {
+            match action {
+                ChurnAction::Move { node, from, adv } => {
+                    let old = *alias.get(&adv.sensor).unwrap_or(&adv.sensor);
+                    if up.contains(&adv.sensor) {
+                        out.push(ChurnAction::SensorDown {
+                            node: *from,
+                            sensor: old,
+                        });
+                    }
+                    let fresh = SensorId(next_fresh);
+                    next_fresh += 1;
+                    alias.insert(adv.sensor, fresh);
+                    up.insert(adv.sensor);
+                    out.push(ChurnAction::SensorUp {
+                        node: *node,
+                        adv: Advertisement {
+                            sensor: fresh,
+                            ..*adv
+                        },
+                    });
+                    // live subscriptions referencing the moved sensor follow
+                    // it to the fresh identity: cancel + re-register renamed
+                    for (id, (sub_node, body)) in &live_subs {
+                        if body
+                            .dims()
+                            .any(|d| d == fsf_model::DimKey::Sensor(adv.sensor))
+                        {
+                            out.push(ChurnAction::Unsubscribe {
+                                node: *sub_node,
+                                sub: *id,
+                            });
+                            out.push(ChurnAction::Subscribe {
+                                node: *sub_node,
+                                sub: renamed(body, &alias),
+                            });
+                        }
+                    }
+                }
+                ChurnAction::SensorUp { node, adv } => {
+                    up.insert(adv.sensor);
+                    out.push(ChurnAction::SensorUp {
+                        node: *node,
+                        adv: Advertisement {
+                            sensor: *alias.get(&adv.sensor).unwrap_or(&adv.sensor),
+                            ..*adv
+                        },
+                    });
+                }
+                ChurnAction::SensorDown { node, sensor } => {
+                    up.remove(sensor);
+                    out.push(ChurnAction::SensorDown {
+                        node: *node,
+                        sensor: *alias.get(sensor).unwrap_or(sensor),
+                    });
+                }
+                ChurnAction::Subscribe { node, sub } => {
+                    live_subs.insert(sub.id(), (*node, sub.clone()));
+                    out.push(ChurnAction::Subscribe {
+                        node: *node,
+                        sub: renamed(sub, &alias),
+                    });
+                }
+                ChurnAction::Unsubscribe { sub, .. } => {
+                    live_subs.remove(sub);
+                    out.push(action.clone());
+                }
+                ChurnAction::Publish { node, event } => {
+                    let mut e = *event;
+                    e.sensor = *alias.get(&event.sensor).unwrap_or(&event.sensor);
+                    out.push(ChurnAction::Publish {
+                        node: *node,
+                        event: e,
+                    });
+                }
+                ChurnAction::Crash { node, .. } => {
+                    // state hosted on the corpse dies in both worlds
+                    live_subs.retain(|_, (n, _)| n != node);
+                    out.push(action.clone());
+                }
+                ChurnAction::Recover => out.push(action.clone()),
+            }
+        }
+        ChurnPlan { actions: out }
     }
 
     /// The teardown suffix: unsubscribe every subscription that is still
@@ -253,6 +435,9 @@ impl ChurnPlan {
                 }
                 ChurnAction::SensorDown { sensor, .. } => {
                     up.remove(sensor);
+                }
+                ChurnAction::Move { node, adv, .. } => {
+                    up.insert(adv.sensor, *node);
                 }
                 ChurnAction::Subscribe { node, sub } => {
                     active.insert(sub.id(), *node);
@@ -319,11 +504,11 @@ impl ChurnPlan {
                     data_clock += sub.delta_t();
                     at
                 }
-                // crashes and recoveries leave a widened margin *behind*
-                // them: recovery is a cascade (adv re-flood → operator
-                // re-forward → event re-send), so whatever follows must
-                // wait several flood-drain gaps for it to settle, not one
-                ChurnAction::Crash { .. } | ChurnAction::Recover => {
+                // crashes, recoveries and moves leave a widened margin
+                // *behind* them: each is a cascade (adv/move flood →
+                // operator re-split → downstream re-forwards), so whatever
+                // follows must wait several flood-drain gaps, not one
+                ChurnAction::Crash { .. } | ChurnAction::Recover | ChurnAction::Move { .. } => {
                     offset += config.churn_gap;
                     let at = data_clock + offset;
                     offset += config.churn_gap * (Self::RECOVERY_GAP_FACTOR - 1);
@@ -411,6 +596,9 @@ struct Generator {
     next_sub: u64,
     next_event: u64,
     up: BTreeMap<SensorId, (NodeId, AttrId)>,
+    /// Departed sensors (via `SensorDown`, not crashes) — the candidates
+    /// for id-reusing re-appearance moves.
+    departed: BTreeMap<SensorId, (NodeId, AttrId)>,
     active: BTreeMap<SubId, NodeId>,
     crashed: Vec<NodeId>,
     /// Nodes that hosted a sensor or subscription at some point (excluded
@@ -470,6 +658,48 @@ impl Generator {
         };
         self.next_event += 1;
         self.actions.push(ChurnAction::Publish { node, event });
+    }
+
+    /// Re-host a sensor id (the id-reusing action): a live sensor hands
+    /// off to a different node, or a departed id returns at a new station.
+    /// Jumps the data clock by `δt` — handoffs open a fresh correlation
+    /// epoch, so no window straddles the move. Returns `false` when no
+    /// candidate (sensor, destination) pair exists.
+    fn move_sensor(&mut self) -> bool {
+        let pool: Vec<(SensorId, NodeId, AttrId, bool)> = self
+            .up
+            .iter()
+            .map(|(&s, &(n, a))| (s, n, a, true))
+            .chain(self.departed.iter().map(|(&s, &(n, a))| (s, n, a, false)))
+            .collect();
+        let Some(&(sensor, from, attr, was_up)) = pool.choose(&mut self.rng) else {
+            return false;
+        };
+        let destinations: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&n| n != from && !self.crashed.contains(&n))
+            .collect();
+        let Some(&to) = destinations.choose(&mut self.rng) else {
+            return false;
+        };
+        if !was_up {
+            self.departed.remove(&sensor);
+        }
+        self.up.insert(sensor, (to, attr));
+        self.hosted_ever.push(to);
+        self.clock += self.config.delta_t;
+        self.actions.push(ChurnAction::Move {
+            node: to,
+            from,
+            adv: Advertisement {
+                sensor,
+                attr,
+                location: Point::new(f64::from(sensor.0), 0.0),
+            },
+        });
+        true
     }
 
     /// Crash an arbitrary live node: its hosted state dies, the tracked
@@ -579,15 +809,21 @@ impl Generator {
                 if self.up.len() <= 1 {
                     return false;
                 }
-                let sensors: Vec<(SensorId, NodeId)> =
-                    self.up.iter().map(|(&s, &(n, _))| (s, n)).collect();
-                let &(sensor, node) = sensors.choose(&mut self.rng).expect("non-empty");
+                let sensors: Vec<(SensorId, NodeId, AttrId)> =
+                    self.up.iter().map(|(&s, &(n, a))| (s, n, a)).collect();
+                let &(sensor, node, attr) = sensors.choose(&mut self.rng).expect("non-empty");
                 self.up.remove(&sensor);
+                self.departed.insert(sensor, (node, attr));
                 self.actions.push(ChurnAction::SensorDown { node, sensor });
                 true
             }
-            // crash a node (fault injection)
+            // sensor mobility / fault injection share the top of the roll
+            // table; the split only exists when moves are enabled, so plans
+            // generated without them replay byte-identically
             _ => {
+                if self.config.with_moves && (!self.config.with_crashes || roll < 93) {
+                    return self.move_sensor();
+                }
                 if !self.config.with_crashes {
                     return false;
                 }
@@ -661,9 +897,14 @@ mod tests {
         for a in &plan.actions {
             match a {
                 ChurnAction::SensorUp { adv, .. } => {
-                    assert!(!up.contains(&adv.sensor), "sensor id reused");
+                    assert!(!up.contains(&adv.sensor), "fresh SensorUp over a live id");
                     up.push(adv.sensor);
                 }
+                // id reuse is legal — it goes through the move protocol
+                ChurnAction::Move { adv, .. } if !up.contains(&adv.sensor) => {
+                    up.push(adv.sensor);
+                }
+                ChurnAction::Move { .. } => {}
                 ChurnAction::SensorDown { sensor, .. } => {
                     up.retain(|s| s != sensor);
                 }
@@ -792,6 +1033,10 @@ mod tests {
                 }
                 ChurnAction::SensorDown { sensor, .. } => {
                     up.remove(sensor);
+                }
+                ChurnAction::Move { node, adv, .. } => {
+                    assert!(!crashed.contains(node), "sensor moved onto a corpse");
+                    up.insert(adv.sensor, *node);
                 }
                 ChurnAction::Crash { node, .. } => {
                     crashed.push(*node);

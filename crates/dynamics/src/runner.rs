@@ -18,6 +18,7 @@ pub fn apply_action(engine: &mut dyn Engine, action: &ChurnAction) {
                 .crash_node(*node, *anchor)
                 .expect("plan crashes are anchored on a neighbor");
         }
+        ChurnAction::Move { node, adv, .. } => engine.move_sensor(*node, *adv),
         ChurnAction::Recover => engine.recover(),
     }
 }

@@ -38,6 +38,29 @@ impl NodeFootprint {
     }
 }
 
+/// Cumulative sensor-mobility accounting of one engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MobilityStats {
+    /// Successful `move_sensor` calls (handoffs).
+    pub moves: u64,
+    /// `Move` re-advertisement messages network-wide (mirrors
+    /// `stats().handoff_msgs` — the protocol's handoff cost; the operator
+    /// re-splits ride in the subscription class).
+    pub handoff_msgs: u64,
+}
+
+impl MobilityStats {
+    /// Mean handoff messages per move (0.0 before the first move).
+    #[must_use]
+    pub fn handoff_per_move(&self) -> f64 {
+        if self.moves == 0 {
+            0.0
+        } else {
+            self.handoff_msgs as f64 / self.moves as f64
+        }
+    }
+}
+
 /// Cumulative crash-recovery accounting of one engine run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RecoveryStats {
@@ -70,6 +93,13 @@ struct RecoveryPlane {
     control_injections: u64,
     sensor_hosts: BTreeMap<SensorId, NodeId>,
     sub_hosts: BTreeMap<SubId, NodeId>,
+    /// Advertisement generation per sensor: 0 at the first advertisement,
+    /// bumped by every move. The management plane is the generation
+    /// authority — the new host cannot derive it from its own (possibly
+    /// stale, possibly still in-flight) advertisement picture.
+    sensor_gens: BTreeMap<SensorId, u64>,
+    /// Successful `move_sensor` calls.
+    moves: u64,
     /// Tombstones: every sensor that ever departed — retracted by its user
     /// or dead in a crash. Recovery re-announces them at the crash
     /// frontier, because a retraction flood the crash severed in flight
@@ -93,14 +123,37 @@ impl RecoveryPlane {
             control_injections: 0,
             sensor_hosts: BTreeMap::new(),
             sub_hosts: BTreeMap::new(),
+            sensor_gens: BTreeMap::new(),
+            moves: 0,
             dead_sensors: std::collections::BTreeSet::new(),
             dead_subs: std::collections::BTreeSet::new(),
         }
     }
 
+    /// Record a sensor handoff: bump the advertisement generation, re-home
+    /// the host entry, and (for a retired id re-appearing) lift the
+    /// tombstone — the sensor is live again and must not be re-retracted
+    /// by a later recovery's tombstone re-announcement. Returns the new
+    /// generation the `Move` flood must carry.
+    fn note_move(&mut self, sensor: SensorId, node: NodeId) -> u64 {
+        self.moves += 1;
+        self.sensor_hosts.insert(sensor, node);
+        self.dead_sensors.remove(&sensor);
+        let gen = self.sensor_gens.entry(sensor).or_insert(0);
+        *gen += 1;
+        *gen
+    }
+
+    /// Record a sensor retraction. A retraction is itself a **generation
+    /// event**: the bump mirrors what the host node does when it processes
+    /// `SensorDown` (retire the current generation), keeping the
+    /// management plane the generation authority for tombstone
+    /// re-announcements and later revivals.
     fn note_sensor_retracted(&mut self, sensor: SensorId) {
         self.sensor_hosts.remove(&sensor);
         self.dead_sensors.insert(sensor);
+        let gen = self.sensor_gens.entry(sensor).or_insert(0);
+        *gen += 1;
     }
 
     fn note_sub_retracted(&mut self, sub: SubId) {
@@ -180,6 +233,19 @@ pub trait Engine {
     /// The sensor `sensor` hosted at `node` departs: retract its
     /// advertisement state and garbage-collect its stored readings.
     fn retract_sensor(&mut self, node: NodeId, sensor: SensorId);
+    /// A **known** sensor id re-appears at `node` (sensor mobility): the
+    /// new host floods a generation-tagged `Move` re-advertisement. Nodes
+    /// re-home the advertisement origin, retract routing state along the
+    /// old recorded path, and re-split uncovered operators toward the new
+    /// path — covered operators stay covered, no delivery is duplicated,
+    /// and the handoff opens a fresh correlation epoch for the sensor
+    /// (its stored readings from the old location are dropped, exactly as
+    /// the stationary twin's retire + fresh-id sequence would drop them).
+    /// Works for a live sensor (handoff) and for a previously retracted id
+    /// re-appearing (re-advertisement).
+    fn move_sensor(&mut self, node: NodeId, adv: Advertisement);
+    /// Cumulative mobility counters (moves and handoff message cost).
+    fn mobility_stats(&self) -> MobilityStats;
     /// Crash `node`: re-graft its orphaned neighbors onto `anchor` (which
     /// must be one of its neighbors) and mark it down — subsequent traffic
     /// to it is dropped. See [`fsf_network::Topology::regraft`].
@@ -389,8 +455,9 @@ impl PubSubEngine {
         let frontier = RecoveryPlane::frontier(delta, |n| self.sim.is_down(n));
         let tombstones: Vec<SensorId> = self.recovery.dead_sensors.iter().copied().collect();
         for sensor in tombstones {
+            let gen = self.recovery.sensor_gens.get(&sensor).copied().unwrap_or(1);
             for &node in &frontier {
-                self.sim.inject(node, PubSubMsg::AdvDown(sensor));
+                self.sim.inject(node, PubSubMsg::AdvDown(sensor, gen));
                 self.recovery.control_injections += 1;
             }
         }
@@ -427,6 +494,16 @@ impl Engine for PubSubEngine {
     fn retract_sensor(&mut self, node: NodeId, sensor: SensorId) {
         self.recovery.note_sensor_retracted(sensor);
         self.sim.inject(node, PubSubMsg::SensorDown(sensor));
+    }
+    fn move_sensor(&mut self, node: NodeId, adv: Advertisement) {
+        let gen = self.recovery.note_move(adv.sensor, node);
+        self.sim.inject(node, PubSubMsg::Move(adv, gen));
+    }
+    fn mobility_stats(&self) -> MobilityStats {
+        MobilityStats {
+            moves: self.recovery.moves,
+            handoff_msgs: self.sim.stats.handoff_msgs,
+        }
     }
     fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
         let delta = self.sim.crash_and_regraft(node, anchor)?;
@@ -509,6 +586,12 @@ impl MjEngine {
         }
     }
 
+    /// Node-level introspection for tests (stores, adverts, forwards).
+    #[must_use]
+    pub fn simulator(&self) -> &Simulator<MjNode> {
+        &self.sim
+    }
+
     /// One crash's recovery — see [`PubSubEngine::apply_recovery`]; the
     /// multi-join protocol is analogous (purge + re-flood + tombstone
     /// re-announcement at the crash frontier).
@@ -517,8 +600,9 @@ impl MjEngine {
         let frontier = RecoveryPlane::frontier(delta, |n| self.sim.is_down(n));
         let tombstones: Vec<SensorId> = self.recovery.dead_sensors.iter().copied().collect();
         for sensor in tombstones {
+            let gen = self.recovery.sensor_gens.get(&sensor).copied().unwrap_or(1);
             for &node in &frontier {
-                self.sim.inject(node, MjMsg::AdvDown(sensor));
+                self.sim.inject(node, MjMsg::AdvDown(sensor, gen));
                 self.recovery.control_injections += 1;
             }
         }
@@ -549,6 +633,16 @@ impl Engine for MjEngine {
     fn retract_sensor(&mut self, node: NodeId, sensor: SensorId) {
         self.recovery.note_sensor_retracted(sensor);
         self.sim.inject(node, MjMsg::SensorDown(sensor));
+    }
+    fn move_sensor(&mut self, node: NodeId, adv: Advertisement) {
+        let gen = self.recovery.note_move(adv.sensor, node);
+        self.sim.inject(node, MjMsg::Move(adv, gen));
+    }
+    fn mobility_stats(&self) -> MobilityStats {
+        MobilityStats {
+            moves: self.recovery.moves,
+            handoff_msgs: self.sim.stats.handoff_msgs,
+        }
     }
     fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
         let delta = self.sim.crash_and_regraft(node, anchor)?;
@@ -698,6 +792,19 @@ impl Engine for CentralEngine {
     fn retract_sensor(&mut self, node: NodeId, sensor: SensorId) {
         self.recovery.note_sensor_retracted(sensor);
         self.sim.inject(node, CentralMsg::SensorDown(sensor));
+    }
+    fn move_sensor(&mut self, node: NodeId, adv: Advertisement) {
+        // the centre's subscription table is location-independent, so the
+        // handoff is management-plane (host re-home) plus the fresh-epoch
+        // notice toward the centre; the generation is tracked for parity
+        let _gen = self.recovery.note_move(adv.sensor, node);
+        self.sim.inject(node, CentralMsg::Move(adv.sensor));
+    }
+    fn mobility_stats(&self) -> MobilityStats {
+        MobilityStats {
+            moves: self.recovery.moves,
+            handoff_msgs: self.sim.stats.handoff_msgs,
+        }
     }
     fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
         let delta = self.sim.crash_and_regraft(node, anchor)?;
@@ -1005,6 +1112,55 @@ mod tests {
             assert!(
                 leaked.is_empty(),
                 "{kind}: residue after teardown: {leaked:?}"
+            );
+        }
+    }
+
+    /// The mobility acceptance smoke at the facade level: a sensor handoff
+    /// re-routes delivery for every engine, bills the move, and the
+    /// post-move teardown still comes back clean.
+    #[test]
+    fn sensor_move_rerouting_restores_delivery_for_every_engine() {
+        for kind in EngineKind::ALL {
+            // line: sensor n0 — n1 — n2 — n3 — n4(user); sensor 1 moves
+            // from n0 to n3 (one hop from the user)
+            let mut e = kind.build(builders::line(5), 2 * DT, 7);
+            e.inject_sensor(NodeId(0), adv(1, 0));
+            e.flush();
+            e.inject_subscription(NodeId(4), sub(1, &[(1, 0.0, 10.0)]));
+            e.flush();
+            e.inject_event(NodeId(0), ev(100, 1, 0, 5.0, 1000));
+            e.flush();
+            assert!(
+                e.deliveries().delivered(SubId(1)).contains(&EventId(100)),
+                "{kind}: pre-move delivery broken"
+            );
+            e.move_sensor(NodeId(3), adv(1, 0));
+            e.flush();
+            let ms = e.mobility_stats();
+            assert_eq!(ms.moves, 1, "{kind}");
+            assert!(ms.handoff_msgs > 0, "{kind}: free handoff?");
+            assert!(ms.handoff_per_move() > 0.0, "{kind}");
+            // post-move (fresh correlation epoch): readings from the new
+            // host reach the subscriber over the re-split path
+            e.inject_event(NodeId(3), ev(101, 1, 0, 5.0, 2000));
+            e.flush();
+            assert!(
+                e.deliveries().delivered(SubId(1)).contains(&EventId(101)),
+                "{kind}: the move broke delivery"
+            );
+            // teardown addressed at the *new* host leaves no residue
+            e.retract_subscription(NodeId(4), SubId(1));
+            e.retract_sensor(NodeId(3), SensorId(1));
+            e.flush();
+            let leaked: Vec<_> = e
+                .footprint()
+                .into_iter()
+                .filter(|f| !f.is_clean())
+                .collect();
+            assert!(
+                leaked.is_empty(),
+                "{kind}: residue after post-move teardown: {leaked:?}"
             );
         }
     }

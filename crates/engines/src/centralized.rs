@@ -53,6 +53,16 @@ pub enum CentralMsg {
     /// A departure notice en route to the centre, which garbage-collects
     /// the departed sensor's stored events.
     SensorDownToCenter(fsf_model::SensorId),
+    /// Local injection: a known sensor id re-appeared at this node (sensor
+    /// mobility). The centralized baseline needs no re-routing — events
+    /// stream to the centre from wherever they are published and the
+    /// subscription table is location-independent — but the handoff still
+    /// opens a fresh correlation epoch: the centre drops the moved
+    /// sensor's stored readings, exactly as the stationary twin's
+    /// retire-then-fresh-id sequence would.
+    Move(fsf_model::SensorId),
+    /// A mobility handoff notice en route to the centre.
+    MoveToCenter(fsf_model::SensorId),
 }
 
 /// A node of the centralized engine: relays toward the centre / toward
@@ -288,6 +298,19 @@ impl NodeBehavior for CentralNode {
                     ctx,
                 );
             }
+            CentralMsg::Move(sensor) | CentralMsg::MoveToCenter(sensor) => {
+                // the handoff's only centre-side effect is the fresh
+                // correlation epoch (event-store GC); charged in the
+                // handoff class so ext5 can bill the per-move cost
+                self.toward_center(
+                    ChargeKind::Handoff,
+                    || CentralMsg::MoveToCenter(sensor),
+                    |n| {
+                        n.events.remove_sensor(sensor);
+                    },
+                    ctx,
+                );
+            }
             CentralMsg::SensorDown(sensor) | CentralMsg::SensorDownToCenter(sensor) => {
                 // control traffic, accounted like the distributed engines'
                 // retraction floods (advertisement class, which the paper
@@ -439,6 +462,25 @@ mod tests {
         assert_eq!(s.node(NodeId(2)).stored_events(), 1, "s1's reading dropped");
         s.inject_and_run(NodeId(4), CentralMsg::SensorDown(fsf_model::SensorId(2)));
         assert_eq!(s.node(NodeId(2)).stored_events(), 0);
+    }
+
+    #[test]
+    fn move_notice_opens_a_fresh_epoch_at_the_center() {
+        let mut s = line_sim();
+        s.inject_and_run(NodeId(4), CentralMsg::Publish(ev(1, 1, 5.0, 100)));
+        s.inject_and_run(NodeId(4), CentralMsg::Publish(ev(2, 2, 5.0, 101)));
+        assert_eq!(s.node(NodeId(2)).stored_events(), 2);
+        s.inject_and_run(NodeId(0), CentralMsg::Move(fsf_model::SensorId(1)));
+        assert_eq!(
+            s.node(NodeId(2)).stored_events(),
+            1,
+            "the moved sensor's reading survived the handoff"
+        );
+        assert_eq!(s.stats.handoff_msgs, 2, "notice travelled 0→1→2");
+        // idempotent, and post-move readings store normally
+        s.inject_and_run(NodeId(0), CentralMsg::Move(fsf_model::SensorId(1)));
+        s.inject_and_run(NodeId(0), CentralMsg::Publish(ev(3, 1, 5.0, 130)));
+        assert_eq!(s.node(NodeId(2)).stored_events(), 2);
     }
 
     #[test]

@@ -23,6 +23,6 @@ pub mod api;
 pub mod centralized;
 pub mod multijoin;
 
-pub use api::{Engine, EngineKind, NodeFootprint, PubSubEngine, RecoveryStats};
+pub use api::{Engine, EngineKind, MobilityStats, NodeFootprint, PubSubEngine, RecoveryStats};
 pub use centralized::{CentralMsg, CentralNode};
 pub use multijoin::{MjMsg, MjNode};

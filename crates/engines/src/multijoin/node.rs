@@ -3,7 +3,7 @@
 use super::ops::{ring_pairs, MjKey, MjWireOp, WireKind};
 use super::store::{MjStore, StoredMj, StoredRole};
 use fsf_core::events::{EventStore, SentScope};
-use fsf_core::store::{AdvStore, Origin};
+use fsf_core::store::{AdvStore, AdvUpdate, Origin};
 use fsf_model::{
     complex_match, Advertisement, ComplexEvent, DimKey, Event, Operator, Subscription,
 };
@@ -21,12 +21,24 @@ pub enum MjMsg {
     /// A local sensor departs (local injection): retract its advertisement
     /// and garbage-collect its stored readings.
     SensorDown(fsf_model::SensorId),
-    /// A flooded advertisement retraction (retraces the `Adv` flood).
-    AdvDown(fsf_model::SensorId),
-    /// A crash-recovery advertisement re-flood: traverses the whole tree
-    /// (structural termination), re-homing stale origins and re-forwarding
-    /// the operator decomposition toward the repaired direction.
-    AdvRepair(Advertisement),
+    /// A flooded advertisement retraction (retraces the `Adv` flood),
+    /// carrying the generation it retires — ordered against concurrent
+    /// `Move` floods like [`fsf_core::PubSubMsg::AdvDown`].
+    AdvDown(fsf_model::SensorId, u64),
+    /// A crash-recovery advertisement re-flood (generation-tagged):
+    /// traverses the whole tree (structural termination), re-homing stale
+    /// origins and re-forwarding the operator decomposition toward the
+    /// repaired direction. The generation orders repairs against mobility
+    /// (`Move`) floods — see [`fsf_core::PubSubMsg::AdvRepair`].
+    AdvRepair(Advertisement, u64),
+    /// A sensor-mobility handoff: a known sensor id re-appeared at a new
+    /// host, which floods this generation-tagged re-advertisement over the
+    /// whole tree. Nodes re-home the advert origin and re-forward the
+    /// stored decomposition toward the new path; a `MultiAbove` whose
+    /// fully-supporting neighbor lost the moved sensor is demoted — this
+    /// node becomes the new divergence point and splits the multi-join
+    /// locally (the join point migrates with the sensor).
+    Move(Advertisement, u64),
     /// A local user registers a subscription.
     Subscribe(Subscription),
     /// A local user cancels a subscription: the whole decomposition (multi,
@@ -370,19 +382,30 @@ impl MjNode {
     /// garbage-collect its stored readings. Operators referencing the
     /// departed sensor stay until their subscription is retracted — with the
     /// source gone they are inert, and whole-subscription removal does not
-    /// depend on the advertisement picture.
+    /// depend on the advertisement picture. Generation-ordered against
+    /// mobility exactly like [`fsf_core::PubSubNode`]'s handler: the local
+    /// injection retires the host's known generation by bumping it, the
+    /// flood carries that number, and stragglers on either side are
+    /// absorbed.
     fn handle_sensor_down(
         &mut self,
         origin: Origin,
         sensor: fsf_model::SensorId,
+        gen: Option<u64>,
         ctx: &mut Ctx<'_, MjMsg>,
     ) {
+        let known = self.adverts.generation(sensor);
+        let gen = gen.unwrap_or(known + 1);
+        if gen < known {
+            return; // a newer Move superseded this retraction — absorb
+        }
         if self.adverts.remove(sensor).is_none() {
             return; // retraction flooding is idempotent
         }
+        self.adverts.note_generation(sensor, gen);
         for &j in ctx.neighbors().to_vec().iter() {
             if Origin::Neighbor(j) != origin {
-                ctx.send(j, MjMsg::AdvDown(sensor), ChargeKind::Advertisement, 1);
+                ctx.send(j, MjMsg::AdvDown(sensor, gen), ChargeKind::Advertisement, 1);
             }
         }
         self.events.remove_sensor(sensor);
@@ -421,70 +444,113 @@ impl MjNode {
         self.forwarded.retain(|(j, _)| *j != crashed);
     }
 
-    /// A crash-recovery re-flood arrived: fill the hole or re-home the
-    /// origin, propagate structurally, and re-forward the decomposition
-    /// toward the repaired direction.
-    fn handle_adv_repair(&mut self, origin: Origin, adv: Advertisement, ctx: &mut Ctx<'_, MjMsg>) {
-        let changed = match self.adverts.rehome(adv.sensor, origin) {
-            None => self.adverts.insert(origin, adv),
-            Some(old) => old != origin && old != Origin::Local,
-        };
-        for &n in ctx.neighbors().to_vec().iter() {
-            if Origin::Neighbor(n) != origin {
-                ctx.send(n, MjMsg::AdvRepair(adv), ChargeKind::Recovery, 1);
-            }
+    // ----- sensor mobility -----
+
+    /// Re-route the stored decomposition after an advertisement origin
+    /// change: reconcile toward the old direction first (demoting any
+    /// `MultiAbove` whose fully-supporting neighbor lost the sensor — the
+    /// divergence point migrates here), then re-forward toward the new
+    /// path. `send_op` dedups, so intact forwards are never repeated.
+    fn reroute(&mut self, update: AdvUpdate, new_origin: Origin, ctx: &mut Ctx<'_, MjMsg>) {
+        if let AdvUpdate::Moved {
+            old: Origin::Neighbor(o),
+        } = update
+        {
+            self.resplit_toward(o, ctx);
         }
-        if changed {
-            if let Origin::Neighbor(m) = origin {
-                self.resplit_toward(m, ctx);
+        if matches!(update, AdvUpdate::Moved { .. } | AdvUpdate::Inserted) {
+            if let Origin::Neighbor(n) = new_origin {
+                self.resplit_toward(n, ctx);
             }
         }
     }
 
-    /// Re-forward the stored decomposition toward `j` after the data space
-    /// behind `j` changed: filter transports and divergence-node filters
-    /// re-project (`send_op` dedups, so intact forwards are not repeated);
-    /// whole multi-joins re-travel toward `j` if it now fully supports
-    /// them, and a `MultiAbove` whose fully-supporting neighbor died is
-    /// demoted — this node becomes the divergence point and re-processes it
-    /// as a fresh multi (splitting into binary joins + filter transports).
+    /// A generation-tagged `Move` re-advertisement arrived — the mobility
+    /// counterpart of [`Self::handle_adv_repair`]. See
+    /// [`fsf_core::PubSubNode`]'s move handler for the protocol; the
+    /// multi-join difference is in [`Self::resplit_toward`]'s demotion.
+    fn handle_move(
+        &mut self,
+        origin: Origin,
+        adv: Advertisement,
+        gen: u64,
+        ctx: &mut Ctx<'_, MjMsg>,
+    ) {
+        let update = self.adverts.apply_move(origin, adv, gen);
+        if update == AdvUpdate::Stale {
+            return; // absorb: a stale flood cannot resurrect the old route
+        }
+        for &j in ctx.neighbors().to_vec().iter() {
+            if Origin::Neighbor(j) != origin {
+                ctx.send(j, MjMsg::Move(adv, gen), ChargeKind::Handoff, 1);
+            }
+        }
+        // fresh correlation epoch for the moved sensor (stationary-twin
+        // rule: the retire-at-old-host twin drops these readings too)
+        self.events.remove_sensor(adv.sensor);
+        self.reroute(update, origin, ctx);
+    }
+
+    /// A crash-recovery re-flood arrived: fill the hole or re-home the
+    /// origin, propagate structurally, and re-forward the decomposition
+    /// toward the repaired direction. The generation ordering against
+    /// mobility lives in [`AdvStore::apply_repair`], shared with the
+    /// pub/sub family.
+    fn handle_adv_repair(
+        &mut self,
+        origin: Origin,
+        adv: Advertisement,
+        gen: u64,
+        ctx: &mut Ctx<'_, MjMsg>,
+    ) {
+        let update = self.adverts.apply_repair(origin, adv, gen);
+        for &n in ctx.neighbors().to_vec().iter() {
+            if Origin::Neighbor(n) != origin {
+                ctx.send(n, MjMsg::AdvRepair(adv, gen), ChargeKind::Recovery, 1);
+            }
+        }
+        self.reroute(update, origin, ctx);
+    }
+
+    /// Reconcile the stored decomposition with the data space behind `j`
+    /// after it changed (crash repair or sensor mobility), in three steps:
+    ///
+    /// 1. **demote** any `MultiAbove` that lost its last fully-supporting
+    ///    neighbor while every source is still reachable — this node
+    ///    becomes the divergence point and re-processes it as a fresh
+    ///    multi (splitting into binary joins + filter transports). An op
+    ///    that lost a *source* is inert and stays pinned (the
+    ///    `handle_sensor_down` rule), keeping its recorded forwards intact
+    ///    for the eventual whole-subscription retrace;
+    /// 2. compute the **desired** wire set toward `j`: per-neighbor filter
+    ///    projections of transports and divergence filters, plus whole
+    ///    multi-joins where `j` fully supports them;
+    /// 3. **diff against the recorded forwards**: a subscription with a
+    ///    recorded forward toward `j` that is no longer desired (the route
+    ///    moved away) is withdrawn with a `RemoveSub` retrace and re-sent
+    ///    from the desired set; otherwise the missing forwards are simply
+    ///    added (`send_op` dedups, so intact forwards are never repeated
+    ///    and an unchanged picture sends nothing).
     fn resplit_toward(&mut self, j: NodeId, ctx: &mut Ctx<'_, MjMsg>) {
         if ctx.neighbors().binary_search(&j).is_err() {
             return;
         }
         let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
-        let mut filters: Vec<Operator> = Vec::new();
-        let mut multis: Vec<Operator> = Vec::new();
         let mut demote: Vec<(Origin, MjKey, StoredMj)> = Vec::new();
         for (&origin, store) in &self.stores {
             if origin == Origin::Neighbor(j) {
                 continue;
             }
             for (key, s) in store.uncovered_entries() {
-                match s.role {
-                    StoredRole::FilterTransport | StoredRole::MultiSplit => {
-                        filters.push(s.op.clone());
+                if matches!(s.role, StoredRole::MultiAbove) {
+                    let full = self.full_support_neighbors(&s.op, origin, &neighbors);
+                    if full.is_empty()
+                        && s.op.supported_dims(self.adverts.all()).len() == s.op.arity()
+                    {
+                        demote.push((origin, key.clone(), s.clone()));
                     }
-                    StoredRole::MultiAbove => {
-                        let full = self.full_support_neighbors(&s.op, origin, &neighbors);
-                        if full.contains(&j) {
-                            multis.push(s.op.clone());
-                        } else if full.is_empty() {
-                            demote.push((origin, key.clone(), s.clone()));
-                        }
-                    }
-                    StoredRole::BinaryEval { .. } => {} // binaries never travel
                 }
             }
-        }
-        for op in filters {
-            let sup = op.supported_dims(self.adverts.from_origin(Origin::Neighbor(j)));
-            if let Some(proj) = op.project(&sup) {
-                self.send_op(j, MjWireOp::new(proj, WireKind::Filter), ctx);
-            }
-        }
-        for op in multis {
-            self.send_op(j, MjWireOp::new(op, WireKind::Multi), ctx);
         }
         for (origin, key, stored) in demote {
             self.stores
@@ -497,6 +563,64 @@ impl MjNode {
                 stored.is_user_sub,
                 ctx,
             );
+        }
+        let mut desired: BTreeMap<fsf_model::SubId, Vec<MjWireOp>> = BTreeMap::new();
+        for (&origin, store) in &self.stores {
+            if origin == Origin::Neighbor(j) {
+                continue;
+            }
+            for (key, s) in store.uncovered_entries() {
+                match s.role {
+                    StoredRole::FilterTransport | StoredRole::MultiSplit => {
+                        let sup =
+                            s.op.supported_dims(self.adverts.from_origin(Origin::Neighbor(j)));
+                        if let Some(proj) = s.op.project(&sup) {
+                            desired
+                                .entry(key.sub)
+                                .or_default()
+                                .push(MjWireOp::new(proj, WireKind::Filter));
+                        }
+                    }
+                    StoredRole::MultiAbove => {
+                        let full = self.full_support_neighbors(&s.op, origin, &neighbors);
+                        if full.contains(&j) {
+                            desired
+                                .entry(key.sub)
+                                .or_default()
+                                .push(MjWireOp::new(s.op.clone(), WireKind::Multi));
+                        }
+                    }
+                    StoredRole::BinaryEval { .. } => {} // binaries never travel
+                }
+            }
+        }
+        // withdraw subscriptions whose recorded forwards toward j are no
+        // longer what the current picture would produce — only for subs
+        // this node still stores away from j (foreign residue belongs to
+        // the removal cascade, not to the resplit)
+        let mut stale: Vec<fsf_model::SubId> = Vec::new();
+        for (nj, key) in &self.forwarded {
+            if *nj != j || stale.contains(&key.sub) {
+                continue;
+            }
+            let wanted = desired
+                .get(&key.sub)
+                .is_some_and(|ops| ops.iter().any(|w| w.key() == *key));
+            let stored_here = self.stores.iter().any(|(&o, s)| {
+                o != Origin::Neighbor(j) && s.uncovered_entries().any(|(k, _)| k.sub == key.sub)
+            });
+            if !wanted && stored_here {
+                stale.push(key.sub);
+            }
+        }
+        for sub in stale {
+            self.forwarded.retain(|(nj, k)| !(*nj == j && k.sub == sub));
+            ctx.send(j, MjMsg::RemoveSub(sub), ChargeKind::Subscription, 1);
+        }
+        for wires in desired.into_values() {
+            for wire in wires {
+                self.send_op(j, wire, ctx);
+            }
         }
     }
 
@@ -659,9 +783,10 @@ impl NodeBehavior for MjNode {
         match msg {
             MjMsg::SensorUp(adv) => self.handle_advertisement(Origin::Local, adv, ctx),
             MjMsg::Adv(adv) => self.handle_advertisement(origin, adv, ctx),
-            MjMsg::SensorDown(sensor) => self.handle_sensor_down(Origin::Local, sensor, ctx),
-            MjMsg::AdvDown(sensor) => self.handle_sensor_down(origin, sensor, ctx),
-            MjMsg::AdvRepair(adv) => self.handle_adv_repair(origin, adv, ctx),
+            MjMsg::SensorDown(sensor) => self.handle_sensor_down(Origin::Local, sensor, None, ctx),
+            MjMsg::AdvDown(sensor, gen) => self.handle_sensor_down(origin, sensor, Some(gen), ctx),
+            MjMsg::AdvRepair(adv, gen) => self.handle_adv_repair(origin, adv, gen, ctx),
+            MjMsg::Move(adv, gen) => self.handle_move(origin, adv, gen, ctx),
             MjMsg::Unsubscribe(sub) => self.handle_remove_sub(Origin::Local, sub, ctx),
             MjMsg::RemoveSub(sub) => self.handle_remove_sub(origin, sub, ctx),
             MjMsg::Subscribe(sub) => {
@@ -694,8 +819,9 @@ impl NodeBehavior for MjNode {
         }
         let local: Vec<Advertisement> = self.adverts.from_origin(Origin::Local).to_vec();
         for adv in local {
+            let gen = self.adverts.generation(adv.sensor);
             for &n in ctx.neighbors().to_vec().iter() {
-                ctx.send(n, MjMsg::AdvRepair(adv), ChargeKind::Recovery, 1);
+                ctx.send(n, MjMsg::AdvRepair(adv, gen), ChargeKind::Recovery, 1);
             }
         }
     }
@@ -898,6 +1024,50 @@ mod tests {
             .any(|m| matches!(m.role, StoredRole::MultiSplit)));
         // events complete end-to-end through the pass-through segment
         s.inject_and_run(NodeId(3), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
+        s.inject_and_run(NodeId(4), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
+        assert_eq!(s.deliveries.delivered(SubId(1)).len(), 2);
+    }
+
+    #[test]
+    fn move_migrates_the_join_point_with_multiabove_demotion() {
+        // line: user(0) — 1 — 2(hub) — 3(sensor1), plus 4(sensor2) on hub
+        let topo = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (2, 4)]).unwrap();
+        let mut s = Simulator::new(topo, |id, _| MjNode::new(id, 2 * DT));
+        s.inject_and_run(NodeId(3), MjMsg::SensorUp(adv(1, 0)));
+        s.inject_and_run(NodeId(4), MjMsg::SensorUp(adv(2, 1)));
+        s.inject_and_run(
+            NodeId(0),
+            MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])),
+        );
+        let n1 = s
+            .node(NodeId(1))
+            .store(Origin::Neighbor(NodeId(0)))
+            .unwrap();
+        assert!(matches!(n1.uncovered()[0].role, StoredRole::MultiAbove));
+        // sensor 1 moves onto the relay n1: no neighbor of n1 fully
+        // supports the multi any more, so the stored MultiAbove demotes —
+        // n1 becomes the divergence node and splits the join locally
+        s.inject_and_run(NodeId(1), MjMsg::Move(adv(1, 0), 1));
+        assert_eq!(
+            s.node(NodeId(1)).adverts().from_origin(Origin::Local).len(),
+            1
+        );
+        let n1 = s
+            .node(NodeId(1))
+            .store(Origin::Neighbor(NodeId(0)))
+            .unwrap();
+        assert!(
+            n1.uncovered()
+                .iter()
+                .any(|m| matches!(m.role, StoredRole::MultiSplit)),
+            "MultiAbove was not demoted when the join point moved"
+        );
+        assert!(n1
+            .uncovered()
+            .iter()
+            .any(|m| matches!(m.role, StoredRole::BinaryEval { .. })));
+        // both constituents reach the user through the migrated join point
+        s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         s.inject_and_run(NodeId(4), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 2);
     }

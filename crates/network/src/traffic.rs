@@ -25,6 +25,12 @@ pub enum ChargeKind {
     /// `crash + regraft`). Reported separately so the recovery protocol's
     /// cost is visible next to the paper's load metrics.
     Recovery,
+    /// Sensor-mobility control traffic: the generation-tagged `Move`
+    /// re-advertisement flood a station emits when a known sensor id
+    /// re-appears at a new node. Reported separately so the per-move
+    /// handoff bill is visible (the `ext5` table); the operator re-splits a
+    /// move triggers stay in the `Subscription` class, like any forward.
+    Handoff,
 }
 
 /// Per-link counters.
@@ -38,6 +44,9 @@ pub struct LinkTraffic {
     pub events: u64,
     /// Recovery re-flood messages over this directed link.
     pub recovery: u64,
+    /// Mobility handoff (`Move` re-advertisement) messages over this
+    /// directed link.
+    pub handoff: u64,
 }
 
 /// Aggregated traffic statistics of one simulation run.
@@ -54,6 +63,10 @@ pub struct TrafficStats {
     /// Total crash-recovery re-flood messages (excluded from the paper's
     /// load comparison, like advertisement traffic).
     pub recovery_msgs: u64,
+    /// Total mobility handoff (`Move` re-advertisement) messages — the
+    /// control cost of sensor re-advertisement re-routing, reported per
+    /// move in the `ext5` table.
+    pub handoff_msgs: u64,
     /// Directed per-link breakdown.
     per_link: BTreeMap<(NodeId, NodeId), LinkTraffic>,
 }
@@ -85,6 +98,10 @@ impl TrafficStats {
                 self.recovery_msgs += units;
                 link.recovery += units;
             }
+            ChargeKind::Handoff => {
+                self.handoff_msgs += units;
+                link.handoff += units;
+            }
         }
     }
 
@@ -105,12 +122,14 @@ impl TrafficStats {
         self.sub_forwards += other.sub_forwards;
         self.event_units += other.event_units;
         self.recovery_msgs += other.recovery_msgs;
+        self.handoff_msgs += other.handoff_msgs;
         for (k, v) in &other.per_link {
             let link = self.per_link.entry(*k).or_default();
             link.adv += v.adv;
             link.subs += v.subs;
             link.events += v.events;
             link.recovery += v.recovery;
+            link.handoff += v.handoff;
         }
     }
 }
@@ -126,9 +145,12 @@ mod tests {
         s.charge(ChargeKind::Subscription, NodeId(0), NodeId(1), 1);
         s.charge(ChargeKind::Event, NodeId(1), NodeId(0), 3);
         s.charge(ChargeKind::Advertisement, NodeId(2), NodeId(1), 1);
+        s.charge(ChargeKind::Handoff, NodeId(2), NodeId(1), 2);
         assert_eq!(s.sub_forwards, 2);
         assert_eq!(s.event_units, 3);
         assert_eq!(s.adv_msgs, 1);
+        assert_eq!(s.handoff_msgs, 2);
+        assert_eq!(s.link(NodeId(2), NodeId(1)).handoff, 2);
         assert_eq!(s.link(NodeId(0), NodeId(1)).subs, 2);
         assert_eq!(s.link(NodeId(1), NodeId(0)).events, 3);
         assert_eq!(s.link(NodeId(1), NodeId(2)).adv, 0, "links are directed");

@@ -25,13 +25,17 @@
 //!   recall);
 //! * [`churn`] — the dynamic counterpart: replays a seeded
 //!   [`fsf_dynamics::ChurnPlan`] (subscribe/unsubscribe, sensor up/down,
-//!   full teardown) and measures recall and traffic under churn.
+//!   full teardown) and measures recall and traffic under churn;
+//! * [`mobility`] — the sensor-mobility scenario: an id-reusing churn
+//!   plan with `Move` handoffs, replayed next to its stationary twin to
+//!   measure the handoff message bill and twin-exact recall.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod churn;
 pub mod driver;
+pub mod mobility;
 pub mod oracle;
 pub mod pareto;
 pub mod recovery;
@@ -43,6 +47,7 @@ pub mod workload;
 
 pub use churn::{run_churn, ChurnConfig, ChurnRow};
 pub use driver::run_engine;
+pub use mobility::{run_mobility, MobilityConfig, MobilityRow};
 pub use recovery::{run_recovery, RecoveryConfig, RecoveryRow};
 pub use results::{BatchPoint, ExperimentResult};
 pub use scenario::ScenarioConfig;

@@ -35,6 +35,7 @@ fn main() {
     let mut unsubs = 0usize;
     let mut crashes = 0usize;
     let mut recoveries = 0usize;
+    let mut moves = 0usize;
     let mut readings = 0usize;
     for a in &plan.actions {
         match a {
@@ -44,14 +45,15 @@ fn main() {
             ChurnAction::Unsubscribe { .. } => unsubs += 1,
             ChurnAction::Crash { .. } => crashes += 1,
             ChurnAction::Recover => recoveries += 1,
+            ChurnAction::Move { .. } => moves += 1,
             ChurnAction::Publish { .. } => readings += 1,
         }
     }
     println!("== churn rollout over a {}-node tree ==", topology.len());
     println!(
         "plan: {} sensor-ups, {} sensor-downs, {} subscribes, {} unsubscribes, \
-         {} crashes (+{} recoveries), {} readings\n",
-        ups, downs, subs, unsubs, crashes, recoveries, readings
+         {} crashes (+{} recoveries), {} moves, {} readings\n",
+        ups, downs, subs, unsubs, crashes, recoveries, moves, readings
     );
 
     println!(

@@ -293,6 +293,79 @@ fn interior_crashes_with_recovery_keep_five_engine_equivalence() {
     assert_five_engine_equivalence(&topology, &plan, "interior-crash");
 }
 
+/// The **id-reusing generator mode**: seeded plans now re-host known
+/// sensor ids (live handoffs and departed-id revivals via
+/// [`ChurnAction::Move`]) — the restriction the pre-mobility generator was
+/// designed around is gone. Each plan must keep the five-engine
+/// equivalence + teardown battery *and* match its stationary twin
+/// delivery-for-delivery on every engine. `FSF_MOBILITY_SWEEP=<n>` replays
+/// `n` seeds (the nightly sweep); unset (the per-PR path), it covers a
+/// single extra seed so the harness itself stays exercised.
+#[test]
+fn mobility_seed_sweep() {
+    let sweep: u64 = std::env::var("FSF_MOBILITY_SWEEP")
+        .ok()
+        .map(|s| s.parse().expect("FSF_MOBILITY_SWEEP must be a count"))
+        .unwrap_or(1);
+    let topology = fsf::network::builders::balanced(63, 2);
+    for i in 0..sweep {
+        let seed = 0x0B11_0B11 + i;
+        let plan = ChurnPlan::seeded(
+            &topology,
+            &ChurnPlanConfig {
+                seed,
+                churn_actions: 40,
+                initial_sensors: 8,
+                with_moves: true,
+                min_moves: 4,
+                ..ChurnPlanConfig::default()
+            },
+        );
+        let moves = plan
+            .actions
+            .iter()
+            .filter(|a| matches!(a, ChurnAction::Move { .. }))
+            .count();
+        assert!(moves >= 4, "seed {seed:#x}: only {moves} moves");
+        let label = format!("mobility seed {seed:#x}");
+        assert_five_engine_equivalence(&topology, &plan, &label);
+        // stationary-twin equality: the mobile run is indistinguishable
+        // from retire-old-id + fresh-id-at-the-new-node. Deterministic
+        // engines must match delivery-for-delivery; the probabilistic FSF
+        // filter draws different coverage decisions for the twin's renamed
+        // ids, so it gets the usual recall band instead.
+        let mobile = plan.clone().with_teardown();
+        let twin = plan.stationary_twin(10_000).with_teardown();
+        for kind in EngineKind::ALL {
+            let mut m = kind.build(topology.clone(), VALIDITY, 42);
+            run_plan(m.as_mut(), &mobile);
+            let mut t = kind.build(topology.clone(), VALIDITY, 42);
+            run_plan(t.as_mut(), &twin);
+            if kind == EngineKind::FilterSplitForward {
+                let (md, td) = (
+                    m.deliveries().total_event_units() as f64,
+                    t.deliveries().total_event_units() as f64,
+                );
+                if td == 0.0 {
+                    assert_eq!(md, 0.0, "{label}: FSF delivered with a silent twin");
+                } else {
+                    let ratio = md / td;
+                    assert!(
+                        (0.8..=1.25).contains(&ratio),
+                        "{label}: FSF mobile/twin recall ratio out of band: {ratio}"
+                    );
+                }
+            } else {
+                assert_eq!(
+                    m.deliveries(),
+                    t.deliveries(),
+                    "{label}: {kind} diverged from its stationary twin"
+                );
+            }
+        }
+    }
+}
+
 /// The nightly seed sweep: `FSF_CHURN_SWEEP=<n>` replays `n` seeded
 /// interior-crash churn plans through all five engines with the full
 /// equivalence + teardown battery. Unset (the per-PR path), it covers a

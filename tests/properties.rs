@@ -628,6 +628,140 @@ fn resubscription_after_retraction_behaves_like_fresh() {
     });
 }
 
+// ---------- sensor mobility ----------
+
+/// After N random moves of the deployed sensors, the network holds **no
+/// route entry for a superseded advertisement generation**: every node's
+/// recorded projections match what its current advertisement picture would
+/// produce, and every node agrees on each sensor's final generation.
+#[test]
+fn random_moves_leave_no_superseded_generation_routes() {
+    use fsf::core::PubSubConfig;
+    use fsf::engines::{Engine, PubSubEngine};
+    use fsf::model::{Advertisement, AttrId, Point};
+    cases(22, 16, |rng| {
+        let n = rng.gen_range(4usize..24);
+        let topo = builders::random_tree(n, rng);
+        let nodes: Vec<NodeId> = topo.nodes().collect();
+        let setup = rng.gen::<u64>();
+        for config in [
+            PubSubConfig::naive(60, 7),
+            PubSubConfig::operator_placement(60, 7),
+            PubSubConfig::fsf(60, 7),
+        ] {
+            let mut r = StdRng::seed_from_u64(setup);
+            let mut e = PubSubEngine::new("prop-mobility", topo.clone(), config);
+            let adv = |s: u32| Advertisement {
+                sensor: SensorId(s),
+                attr: AttrId(s as u16),
+                location: Point::new(0.0, 0.0),
+            };
+            for s in [1u32, 2] {
+                e.inject_sensor(nodes[r.gen_range(0..nodes.len())], adv(s));
+                e.flush();
+            }
+            e.inject_subscription(nodes[r.gen_range(0..nodes.len())], churn_sub(&mut r, 1));
+            e.flush();
+            let mut gens = [0u64; 2];
+            for _ in 0..r.gen_range(1usize..8) {
+                let s = r.gen_range(0u32..2);
+                e.move_sensor(nodes[r.gen_range(0..nodes.len())], adv(s + 1));
+                e.flush();
+                gens[s as usize] += 1;
+            }
+            for &v in &nodes {
+                let node = e.simulator().node(v);
+                assert_eq!(
+                    node.stale_routes(),
+                    Vec::<String>::new(),
+                    "node {v} kept superseded routing state"
+                );
+                for s in [0usize, 1] {
+                    assert_eq!(
+                        node.adverts().generation(SensorId(s as u32 + 1)),
+                        gens[s],
+                        "node {v} disagrees on sensor {}'s generation",
+                        s + 1
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// A sensor that moves away and back is home again: the round trip
+/// restores the node-state footprint of the never-moved deployment, and
+/// repeating the homecoming move is a state no-op (only the flood is
+/// re-billed). Holds for every engine.
+#[test]
+fn move_back_to_the_original_host_is_idempotent() {
+    use fsf::model::{Advertisement, AttrId, Point};
+    cases(23, 12, |rng| {
+        for kind in fsf::engines::EngineKind::ALL {
+            let n = rng.gen_range(4usize..20);
+            let topo = builders::random_tree(n, rng);
+            let nodes: Vec<NodeId> = topo.nodes().collect();
+            let home = nodes[rng.gen_range(0..nodes.len())];
+            // the round trip must genuinely leave home, or the case tests
+            // nothing about the away-and-back reroute
+            let away = loop {
+                let v = nodes[rng.gen_range(0..nodes.len())];
+                if v != home {
+                    break v;
+                }
+            };
+            let user = nodes[rng.gen_range(0..nodes.len())];
+            let adv = Advertisement {
+                sensor: SensorId(1),
+                attr: AttrId(1),
+                location: Point::new(0.0, 0.0),
+            };
+            let mut e = kind.build(topo, 60, 7);
+            e.inject_sensor(home, adv);
+            e.flush();
+            e.inject_subscription(
+                user,
+                Subscription::identified(SubId(1), [(SensorId(1), ValueRange::new(0.0, 10.0))], 30)
+                    .unwrap(),
+            );
+            e.flush();
+            let resting = e.footprint();
+            e.move_sensor(away, adv);
+            e.flush();
+            e.move_sensor(home, adv);
+            e.flush();
+            assert_eq!(
+                e.footprint(),
+                resting,
+                "{kind}: the round trip did not come home"
+            );
+            e.move_sensor(home, adv);
+            e.flush();
+            assert_eq!(
+                e.footprint(),
+                resting,
+                "{kind}: repeated move changed state"
+            );
+            e.inject_event(
+                home,
+                Event {
+                    id: EventId(100),
+                    sensor: SensorId(1),
+                    attr: AttrId(1),
+                    location: Point::new(0.0, 0.0),
+                    value: 5.0,
+                    timestamp: Timestamp(1_000),
+                },
+            );
+            e.flush();
+            assert!(
+                e.deliveries().delivered(SubId(1)).contains(&EventId(100)),
+                "{kind}: the homecoming sensor no longer delivers"
+            );
+        }
+    });
+}
+
 // ---------- workload determinism ----------
 
 #[test]

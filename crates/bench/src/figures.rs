@@ -408,6 +408,96 @@ pub fn ext5_mobility(scale: f64) -> (String, Vec<crate::json::JsonRecord>) {
     (out, records)
 }
 
+/// EXT-6: scheduler throughput of the sharded conservative-parallel
+/// simulator as the network grows — nodes vs events/sec across event-queue
+/// shard counts. Every multi-shard run is gated event-for-event against
+/// the single-shard oracle (`recall vs single shard` = 1.0 means the
+/// delivered logs and step counts came out identical) and on the message
+/// conservation invariant. At full scale the sweep reaches a million-node
+/// tree (flood-only: the engine-level station workload stops at the 131k
+/// point). Throughput is wall-clock and machine-dependent; the equality
+/// and conservation columns are deterministic.
+#[must_use]
+pub fn ext6_scale(scale: f64) -> (String, Vec<crate::json::JsonRecord>) {
+    // (nodes, stations, floods): stations = 0 skips the engine-level run
+    let sizes: &[(usize, usize, usize)] = if scale >= 1.0 {
+        &[
+            (1_023, 16, 8),
+            ((1 << 15) - 1, 16, 8),
+            ((1 << 17) - 1, 16, 8),
+            ((1 << 20) - 1, 0, 4),
+        ]
+    } else {
+        &[(1_023, 8, 4), ((1 << 12) - 1, 8, 4)]
+    };
+    let mut out = String::from(
+        "== ext6 — sharded-simulator throughput vs network size ==\n\
+         (flood ev/s: raw relay-flood scheduler throughput; speedup vs the \
+         1-shard oracle)\n",
+    );
+    out.push_str(&format!(
+        "{:>9} {:>7} {:>10} {:>12} {:>12} {:>8} {:>12} {:>6} {:>9}\n",
+        "nodes",
+        "shards",
+        "effective",
+        "flood steps",
+        "flood ev/s",
+        "speedup",
+        "engine ev/s",
+        "equal",
+        "conserved"
+    ));
+    let mut records = Vec::new();
+    for &(nodes, stations, floods) in sizes {
+        let mut config = fsf_workload::ScaleConfig::paper_scale().with_nodes(nodes);
+        config.stations = stations;
+        config.floods = floods;
+        if scale < 1.0 {
+            config.events_per_station = 2;
+            config.shard_counts = vec![1, 2, 4];
+        }
+        let rows = fsf_workload::run_scale(&config);
+        let base = rows
+            .iter()
+            .find(|r| r.shards == 1)
+            .map_or(0.0, |r| r.flood_events_per_sec);
+        for r in &rows {
+            let speedup = if base > 0.0 {
+                r.flood_events_per_sec / base
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:>9} {:>7} {:>10} {:>12} {:>12.0} {:>7.2}x {:>12.0} {:>6} {:>9}\n",
+                r.nodes,
+                r.shards,
+                r.effective_shards,
+                r.flood_steps,
+                r.flood_events_per_sec,
+                speedup,
+                r.engine_events_per_sec,
+                if r.equal_to_single { "yes" } else { "DIFF" },
+                if r.conserved { "yes" } else { "BROKEN" },
+            ));
+            let engine = format!("{} nodes / {} shards", r.nodes, r.shards);
+            for (metric, value) in [
+                ("flood events/sec", r.flood_events_per_sec),
+                ("speedup vs 1 shard", speedup),
+                ("engine events/sec", r.engine_events_per_sec),
+                (
+                    "recall vs single shard",
+                    if r.equal_to_single { 1.0 } else { 0.0 },
+                ),
+                ("conserved", if r.conserved { 1.0 } else { 0.0 }),
+                ("effective shards", r.effective_shards as f64),
+            ] {
+                records.push(crate::json::JsonRecord::new("ext6", &engine, metric, value));
+            }
+        }
+    }
+    (out, records)
+}
+
 /// Table II: the implemented-approaches matrix.
 #[must_use]
 pub fn table2() -> String {
@@ -569,6 +659,31 @@ mod tests {
         let doc = crate::json::to_json(0.4, &records);
         let (scale, parsed) = crate::json::parse(&doc).expect("well-formed");
         assert_eq!(scale, 0.4);
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn ext6_gates_every_shard_count_on_the_oracle() {
+        let (table, records) = ext6_scale(0.2);
+        assert!(!table.contains("DIFF"), "shard divergence:\n{table}");
+        assert!(!table.contains("BROKEN"), "conservation broke:\n{table}");
+        // 2 sizes × 3 shard counts × 6 metrics at reduced scale
+        assert_eq!(records.len(), 2 * 3 * 6, "size × shards × metric grid");
+        for r in &records {
+            if r.metric == "recall vs single shard" {
+                assert!((r.value - 1.0).abs() < 1e-12, "{}: diverged", r.engine);
+            }
+        }
+        // the multi-shard rows actually carved
+        let carved = records
+            .iter()
+            .filter(|r| r.metric == "effective shards" && r.value > 1.5)
+            .count();
+        assert!(carved >= 2, "partitioner never carved:\n{table}");
+        // the records survive the writer/parser round trip bit-exactly
+        let doc = crate::json::to_json(0.2, &records);
+        let (scale, parsed) = crate::json::parse(&doc).expect("well-formed");
+        assert_eq!(scale, 0.2);
         assert_eq!(parsed, records);
     }
 

@@ -5,7 +5,7 @@ use crate::multijoin::{MjMsg, MjNode};
 use fsf_core::{PubSubConfig, PubSubMsg, PubSubNode};
 use fsf_model::{Advertisement, Event, SensorId, SubId, Subscription};
 use fsf_network::{
-    DeliveryLog, LatencyModel, LatencySummary, NodeId, RegraftDelta, Simulator, Topology,
+    Backend, DeliveryLog, LatencyModel, LatencySummary, NodeId, RegraftDelta, Simulator, Topology,
     TopologyError, TrafficStats,
 };
 use std::collections::BTreeMap;
@@ -290,6 +290,24 @@ pub trait Engine {
     fn stats(&self) -> &TrafficStats;
     /// Accumulated end-user deliveries.
     fn deliveries(&self) -> &DeliveryLog;
+    /// Event-queue shard count of the underlying network simulator (1 =
+    /// the single-heap deterministic oracle; see
+    /// [`fsf_network::ShardedSimulator`]).
+    fn shards(&self) -> usize;
+    /// Re-partition the underlying simulator's event queue into `shards`
+    /// subtree shards (conservative-parallel execution). Only legal on a
+    /// pristine engine — before any injection scheduled traffic; panics
+    /// otherwise. Zero-latency networks coalesce back to one effective
+    /// shard (their lookahead is zero).
+    fn set_shards(&mut self, shards: usize);
+    /// Messages delivered to node behaviors so far.
+    fn steps(&self) -> u64;
+    /// Messages ever scheduled on the network. Conservation invariant:
+    /// `scheduled_total == steps + dropped_from_queue + queue_depth`.
+    fn scheduled_total(&self) -> u64;
+    /// Messages dropped from the queue without delivery (corpse-bound
+    /// traffic purged at a crash or popped to a downed node).
+    fn dropped_from_queue(&self) -> u64;
 }
 
 /// The five approaches of the paper's evaluation (§VI).
@@ -401,6 +419,26 @@ impl EngineKind {
             )),
         }
     }
+
+    /// Build an engine whose network runs on `shards` event-queue shards
+    /// (conservative-parallel execution; 1 = the single-heap oracle). The
+    /// sharded backend delivers the same [`DeliveryLog`] as the oracle —
+    /// shard count is a performance knob, not a semantics knob. Note that a
+    /// zero-latency `latency` model has no lookahead and coalesces back to
+    /// one effective shard.
+    #[must_use]
+    pub fn build_sharded(
+        &self,
+        topology: Topology,
+        event_validity: u64,
+        seed: u64,
+        latency: LatencyModel,
+        shards: usize,
+    ) -> Box<dyn Engine> {
+        let mut engine = self.build_with_latency(topology, event_validity, seed, latency);
+        engine.set_shards(shards);
+        engine
+    }
 }
 
 impl std::fmt::Display for EngineKind {
@@ -413,7 +451,7 @@ impl std::fmt::Display for EngineKind {
 /// placement, Filter-Split-Forward, and any ablation configuration).
 pub struct PubSubEngine {
     name: &'static str,
-    sim: Simulator<PubSubNode>,
+    sim: Backend<PubSubNode>,
     recovery: RecoveryPlane,
 }
 
@@ -433,7 +471,7 @@ impl PubSubEngine {
         config: PubSubConfig,
         latency: LatencyModel,
     ) -> Self {
-        let sim = Simulator::with_latency(topology, latency, |id, _| PubSubNode::new(id, config));
+        let sim = Backend::build(topology, latency, 1, |id, _| PubSubNode::new(id, config));
         PubSubEngine {
             name,
             sim,
@@ -464,10 +502,12 @@ impl PubSubEngine {
         self.recovery.recoveries += 1;
     }
 
-    /// Access the underlying simulator (tests / inspection).
+    /// Access the underlying single-queue simulator (tests / inspection).
+    /// Panics when the sharded backend is active — switch back with
+    /// [`Engine::set_shards`]`(1)` first.
     #[must_use]
     pub fn simulator(&self) -> &Simulator<PubSubNode> {
-        &self.sim
+        self.sim.as_single()
     }
 }
 
@@ -484,7 +524,7 @@ impl Engine for PubSubEngine {
         self.sim.inject(node, PubSubMsg::Subscribe(sub));
     }
     fn inject_event(&mut self, node: NodeId, event: Event) {
-        self.sim.deliveries.note_injection(event.id, self.sim.now());
+        self.sim.note_injection(event.id, self.sim.now());
         self.sim.inject(node, PubSubMsg::Publish(event));
     }
     fn retract_subscription(&mut self, node: NodeId, sub: SubId) {
@@ -502,7 +542,7 @@ impl Engine for PubSubEngine {
     fn mobility_stats(&self) -> MobilityStats {
         MobilityStats {
             moves: self.recovery.moves,
-            handoff_msgs: self.sim.stats.handoff_msgs,
+            handoff_msgs: self.sim.stats().handoff_msgs,
         }
     }
     fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
@@ -521,7 +561,7 @@ impl Engine for PubSubEngine {
         }
     }
     fn recovery_stats(&self) -> RecoveryStats {
-        self.recovery.stats(self.sim.stats.recovery_msgs)
+        self.recovery.stats(self.sim.stats().recovery_msgs)
     }
     fn footprint(&self) -> Vec<NodeFootprint> {
         let ids: Vec<NodeId> = self.sim.topology().nodes().collect();
@@ -552,19 +592,34 @@ impl Engine for PubSubEngine {
         self.sim.queue_depth()
     }
     fn latency_summary(&self) -> LatencySummary {
-        self.sim.deliveries.latency_summary()
+        self.sim.deliveries().latency_summary()
     }
     fn stats(&self) -> &TrafficStats {
-        &self.sim.stats
+        self.sim.stats()
     }
     fn deliveries(&self) -> &DeliveryLog {
-        &self.sim.deliveries
+        self.sim.deliveries()
+    }
+    fn shards(&self) -> usize {
+        self.sim.shards()
+    }
+    fn set_shards(&mut self, shards: usize) {
+        self.sim.set_shards(shards);
+    }
+    fn steps(&self) -> u64 {
+        self.sim.steps()
+    }
+    fn scheduled_total(&self) -> u64 {
+        self.sim.scheduled_total()
+    }
+    fn dropped_from_queue(&self) -> u64 {
+        self.sim.dropped_from_queue()
     }
 }
 
 /// Engine wrapper for the multi-join baseline.
 pub struct MjEngine {
-    sim: Simulator<MjNode>,
+    sim: Backend<MjNode>,
     recovery: RecoveryPlane,
 }
 
@@ -578,8 +633,9 @@ impl MjEngine {
     /// Build over a topology with a latency model.
     #[must_use]
     pub fn with_latency(topology: Topology, event_validity: u64, latency: LatencyModel) -> Self {
-        let sim =
-            Simulator::with_latency(topology, latency, |id, _| MjNode::new(id, event_validity));
+        let sim = Backend::build(topology, latency, 1, |id, _| {
+            MjNode::new(id, event_validity)
+        });
         MjEngine {
             sim,
             recovery: RecoveryPlane::new(),
@@ -587,9 +643,11 @@ impl MjEngine {
     }
 
     /// Node-level introspection for tests (stores, adverts, forwards).
+    /// Panics when the sharded backend is active — switch back with
+    /// [`Engine::set_shards`]`(1)` first.
     #[must_use]
     pub fn simulator(&self) -> &Simulator<MjNode> {
-        &self.sim
+        self.sim.as_single()
     }
 
     /// One crash's recovery — see [`PubSubEngine::apply_recovery`]; the
@@ -623,7 +681,7 @@ impl Engine for MjEngine {
         self.sim.inject(node, MjMsg::Subscribe(sub));
     }
     fn inject_event(&mut self, node: NodeId, event: Event) {
-        self.sim.deliveries.note_injection(event.id, self.sim.now());
+        self.sim.note_injection(event.id, self.sim.now());
         self.sim.inject(node, MjMsg::Publish(event));
     }
     fn retract_subscription(&mut self, node: NodeId, sub: SubId) {
@@ -641,7 +699,7 @@ impl Engine for MjEngine {
     fn mobility_stats(&self) -> MobilityStats {
         MobilityStats {
             moves: self.recovery.moves,
-            handoff_msgs: self.sim.stats.handoff_msgs,
+            handoff_msgs: self.sim.stats().handoff_msgs,
         }
     }
     fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
@@ -660,7 +718,7 @@ impl Engine for MjEngine {
         }
     }
     fn recovery_stats(&self) -> RecoveryStats {
-        self.recovery.stats(self.sim.stats.recovery_msgs)
+        self.recovery.stats(self.sim.stats().recovery_msgs)
     }
     fn footprint(&self) -> Vec<NodeFootprint> {
         let ids: Vec<NodeId> = self.sim.topology().nodes().collect();
@@ -692,19 +750,34 @@ impl Engine for MjEngine {
         self.sim.queue_depth()
     }
     fn latency_summary(&self) -> LatencySummary {
-        self.sim.deliveries.latency_summary()
+        self.sim.deliveries().latency_summary()
     }
     fn stats(&self) -> &TrafficStats {
-        &self.sim.stats
+        self.sim.stats()
     }
     fn deliveries(&self) -> &DeliveryLog {
-        &self.sim.deliveries
+        self.sim.deliveries()
+    }
+    fn shards(&self) -> usize {
+        self.sim.shards()
+    }
+    fn set_shards(&mut self, shards: usize) {
+        self.sim.set_shards(shards);
+    }
+    fn steps(&self) -> u64 {
+        self.sim.steps()
+    }
+    fn scheduled_total(&self) -> u64 {
+        self.sim.scheduled_total()
+    }
+    fn dropped_from_queue(&self) -> u64 {
+        self.sim.dropped_from_queue()
     }
 }
 
 /// Engine wrapper for the centralized baseline.
 pub struct CentralEngine {
-    sim: Simulator<CentralNode>,
+    sim: Backend<CentralNode>,
     recovery: RecoveryPlane,
     /// Live subscriptions with their bodies — the centralized baseline's
     /// repair path re-registers them (registrations dropped in flight
@@ -723,7 +796,7 @@ impl CentralEngine {
     #[must_use]
     pub fn with_latency(topology: Topology, event_validity: u64, latency: LatencyModel) -> Self {
         let center = topology.median();
-        let sim = Simulator::with_latency(topology, latency, move |id, t| {
+        let sim = Backend::build(topology, latency, 1, move |id, t| {
             CentralNode::new(id, t, center, event_validity)
         });
         CentralEngine {
@@ -781,7 +854,7 @@ impl Engine for CentralEngine {
         self.sim.inject(node, CentralMsg::Subscribe(sub));
     }
     fn inject_event(&mut self, node: NodeId, event: Event) {
-        self.sim.deliveries.note_injection(event.id, self.sim.now());
+        self.sim.note_injection(event.id, self.sim.now());
         self.sim.inject(node, CentralMsg::Publish(event));
     }
     fn retract_subscription(&mut self, node: NodeId, sub: SubId) {
@@ -803,7 +876,7 @@ impl Engine for CentralEngine {
     fn mobility_stats(&self) -> MobilityStats {
         MobilityStats {
             moves: self.recovery.moves,
-            handoff_msgs: self.sim.stats.handoff_msgs,
+            handoff_msgs: self.sim.stats().handoff_msgs,
         }
     }
     fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
@@ -823,7 +896,7 @@ impl Engine for CentralEngine {
         }
     }
     fn recovery_stats(&self) -> RecoveryStats {
-        self.recovery.stats(self.sim.stats.recovery_msgs)
+        self.recovery.stats(self.sim.stats().recovery_msgs)
     }
     fn footprint(&self) -> Vec<NodeFootprint> {
         let ids: Vec<NodeId> = self.sim.topology().nodes().collect();
@@ -854,13 +927,28 @@ impl Engine for CentralEngine {
         self.sim.queue_depth()
     }
     fn latency_summary(&self) -> LatencySummary {
-        self.sim.deliveries.latency_summary()
+        self.sim.deliveries().latency_summary()
     }
     fn stats(&self) -> &TrafficStats {
-        &self.sim.stats
+        self.sim.stats()
     }
     fn deliveries(&self) -> &DeliveryLog {
-        &self.sim.deliveries
+        self.sim.deliveries()
+    }
+    fn shards(&self) -> usize {
+        self.sim.shards()
+    }
+    fn set_shards(&mut self, shards: usize) {
+        self.sim.set_shards(shards);
+    }
+    fn steps(&self) -> u64 {
+        self.sim.steps()
+    }
+    fn scheduled_total(&self) -> u64 {
+        self.sim.scheduled_total()
+    }
+    fn dropped_from_queue(&self) -> u64 {
+        self.sim.dropped_from_queue()
     }
 }
 

@@ -143,9 +143,13 @@ pub fn clustered<R: Rng + ?Sized>(
     let gateways: Vec<NodeId> = (0..groups)
         .map(|g| NodeId((g * backbone / groups) as u32))
         .collect();
+    let mut is_gateway = vec![false; backbone];
+    for g in &gateways {
+        is_gateway[g.0 as usize] = true;
+    }
     let relays: Vec<NodeId> = (0..backbone as u32)
         .map(NodeId)
-        .filter(|n| !gateways.contains(n))
+        .filter(|n| !is_gateway[n.0 as usize])
         .collect();
 
     // Sensor nodes chain off their gateway: gateway — s₀ — s₁ — … .

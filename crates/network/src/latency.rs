@@ -71,6 +71,24 @@ impl LatencyModel {
         }
     }
 
+    /// The smallest delay any single hop can take (the lookahead floor of
+    /// the sharded simulator: conservative windows only exist when every
+    /// link costs at least one tick, so `min_hop() == 0` forces coalesced
+    /// single-queue execution).
+    #[must_use]
+    pub fn min_hop(&self) -> u64 {
+        match self {
+            LatencyModel::Zero => 0,
+            LatencyModel::Uniform { hop } => *hop,
+            LatencyModel::PerLink { default, weights } => weights
+                .values()
+                .copied()
+                .chain(std::iter::once(*default))
+                .min()
+                .unwrap_or(*default),
+        }
+    }
+
     /// The largest delay any single hop can take (an upper bound used to
     /// compute flood-drain safety gaps).
     #[must_use]
@@ -135,8 +153,13 @@ mod tests {
         assert_eq!(m.delay(NodeId(3), NodeId(1)), 7);
         assert_eq!(m.delay(NodeId(0), NodeId(1)), 2);
         assert_eq!(m.max_hop(), 7);
+        assert_eq!(m.min_hop(), 2);
         assert_eq!(LatencyModel::Zero.delay(NodeId(0), NodeId(1)), 0);
+        assert_eq!(LatencyModel::Zero.min_hop(), 0);
         assert_eq!(LatencyModel::Uniform { hop: 4 }.max_hop(), 4);
+        assert_eq!(LatencyModel::Uniform { hop: 4 }.min_hop(), 4);
+        let slow_default = LatencyModel::per_link(9, [(NodeId(0), NodeId(1), 3)]);
+        assert_eq!(slow_default.min_hop(), 3);
     }
 
     #[test]

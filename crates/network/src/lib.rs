@@ -33,12 +33,14 @@
 
 pub mod builders;
 pub mod latency;
+pub mod shard;
 pub mod sim;
 pub mod topology;
 pub mod traffic;
 
 pub use builders::ClusteredLayout;
 pub use latency::{LatencyModel, LatencySummary};
+pub use shard::{Backend, ShardPlan, ShardedSimulator};
 pub use sim::{Ctx, DeliveryLog, NodeBehavior, Simulator};
 pub use topology::{NodeId, RegraftDelta, Topology, TopologyError};
 pub use traffic::{ChargeKind, TrafficStats};

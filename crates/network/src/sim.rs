@@ -240,6 +240,19 @@ impl DeliveryLog {
         self.per_sub.values().map(|s| s.len() as u64).sum()
     }
 
+    /// Move this log's *results* (per-sub sets, delivery count, latency
+    /// samples) into `target`, leaving injection times behind so future
+    /// deliveries keep their latency anchor. The sharded simulator drains
+    /// per-shard logs into the merged log with this after every pump.
+    pub(crate) fn drain_into(&mut self, target: &mut DeliveryLog) {
+        target.complex_deliveries += self.complex_deliveries;
+        self.complex_deliveries = 0;
+        for (sub, events) in std::mem::take(&mut self.per_sub) {
+            target.per_sub.entry(sub).or_default().extend(events);
+        }
+        target.latencies.append(&mut self.latencies);
+    }
+
     /// Fold another log into this one (used by multi-executor runtimes).
     pub fn merge(&mut self, other: &DeliveryLog) {
         self.complex_deliveries += other.complex_deliveries;
@@ -309,8 +322,17 @@ pub struct Simulator<B: NodeBehavior> {
     scheduled_total: u64,
     queue_drops: u64,
     max_steps_per_run: u64,
-    down: BTreeSet<NodeId>,
+    /// Downed nodes, mapped to the `next_seq` value at their crash: queued
+    /// messages with a smaller seq were purge-counted at crash time and pop
+    /// as silent tombstones; later seqs are charged-but-dropped arrivals.
+    down: BTreeMap<NodeId, u64>,
     dropped_to_downed: u64,
+    /// Queued-message count per destination node — the crash purge reads
+    /// (and zeroes) one slot instead of rebuilding the whole heap.
+    queued_to: Vec<u32>,
+    /// Messages still in the heap whose drop was already accounted at a
+    /// crash. Excluded from [`Self::queue_depth`]; discarded silently at pop.
+    tombstones: u64,
 }
 
 impl<B: NodeBehavior> Simulator<B> {
@@ -334,6 +356,7 @@ impl<B: NodeBehavior> Simulator<B> {
             .nodes()
             .map(|id| make_node(id, &topology))
             .collect();
+        let queued_to = vec![0u32; topology.len()];
         Simulator {
             topology,
             nodes,
@@ -347,8 +370,43 @@ impl<B: NodeBehavior> Simulator<B> {
             scheduled_total: 0,
             queue_drops: 0,
             max_steps_per_run: Self::DEFAULT_MAX_STEPS,
-            down: BTreeSet::new(),
+            down: BTreeMap::new(),
             dropped_to_downed: 0,
+            queued_to,
+            tombstones: 0,
+        }
+    }
+
+    /// Tear a pristine simulator apart for backend switching (see
+    /// `shard::Backend::set_shards`): the topology, latency model and node
+    /// states move out; queued messages and counters are discarded, so
+    /// callers must only do this before any traffic is scheduled.
+    pub(crate) fn into_parts(self) -> (Topology, LatencyModel, Vec<B>) {
+        (self.topology, self.latency, self.nodes)
+    }
+
+    /// Rebuild from parts produced by [`Self::into_parts`] (node order must
+    /// match topology id order).
+    pub(crate) fn from_parts(topology: Topology, latency: LatencyModel, nodes: Vec<B>) -> Self {
+        assert_eq!(nodes.len(), topology.len(), "one node per topology id");
+        let queued_to = vec![0u32; topology.len()];
+        Simulator {
+            topology,
+            nodes,
+            queue: BinaryHeap::new(),
+            latency,
+            stats: TrafficStats::new(),
+            deliveries: DeliveryLog::new(),
+            now: 0,
+            next_seq: 0,
+            steps: 0,
+            scheduled_total: 0,
+            queue_drops: 0,
+            max_steps_per_run: Self::DEFAULT_MAX_STEPS,
+            down: BTreeMap::new(),
+            dropped_to_downed: 0,
+            queued_to,
+            tombstones: 0,
         }
     }
 
@@ -396,7 +454,7 @@ impl<B: NodeBehavior> Simulator<B> {
     /// Is the node marked down (crashed)?
     #[must_use]
     pub fn is_down(&self, id: NodeId) -> bool {
-        self.down.contains(&id)
+        self.down.contains_key(&id)
     }
 
     /// Messages dropped because their destination was down — the simulator's
@@ -415,10 +473,12 @@ impl<B: NodeBehavior> Simulator<B> {
         self.now
     }
 
-    /// Messages currently scheduled but not yet delivered.
+    /// Messages currently scheduled but not yet delivered. Tombstones —
+    /// messages purged by a crash but physically still in the heap — are
+    /// excluded: they are already accounted in [`Self::dropped_from_queue`].
     #[must_use]
     pub fn queue_depth(&self) -> usize {
-        self.queue.len()
+        self.queue.len() - self.tombstones as usize
     }
 
     /// Every envelope ever enqueued (injections at live nodes + sends).
@@ -452,24 +512,26 @@ impl<B: NodeBehavior> Simulator<B> {
         crashed: NodeId,
         anchor: NodeId,
     ) -> Result<RegraftDelta, crate::topology::TopologyError> {
-        if self.down.contains(&anchor) {
+        if self.down.contains_key(&anchor) {
             // re-grafting survivors onto a corpse would black-hole them
             return Err(crate::topology::TopologyError::BadEdge(crashed.0, anchor.0));
         }
         let (topology, delta) = self.topology.regraft_with_delta(crashed, anchor)?;
         self.topology = topology;
-        self.down.insert(crashed);
-        let before = self.queue.len();
-        let kept: BinaryHeap<Scheduled<B::Msg>> = std::mem::take(&mut self.queue)
-            .into_iter()
-            .filter(|s| s.env.to != crashed)
-            .collect();
-        self.queue = kept;
-        let purged = (before - self.queue.len()) as u64;
-        self.dropped_to_downed += purged;
-        self.queue_drops += purged;
+        if !self.down.contains_key(&crashed) {
+            // Tombstone purge: account every queued message to the corpse
+            // now (one counter read), leave the envelopes in the heap, and
+            // discard them silently at pop. O(1) against the old
+            // take-and-rebuild of the whole heap.
+            let purged = u64::from(self.queued_to[crashed.0 as usize]);
+            self.queued_to[crashed.0 as usize] = 0;
+            self.tombstones += purged;
+            self.dropped_to_downed += purged;
+            self.queue_drops += purged;
+            self.down.insert(crashed, self.next_seq);
+        }
         for id in 0..self.nodes.len() {
-            if !self.down.contains(&NodeId(id as u32)) {
+            if !self.down.contains_key(&NodeId(id as u32)) {
                 self.nodes[id].on_topology_change(&self.topology);
             }
         }
@@ -487,7 +549,7 @@ impl<B: NodeBehavior> Simulator<B> {
         let mut outbox: Vec<(NodeId, B::Msg, ChargeKind, u64)> = Vec::new();
         for id in 0..self.nodes.len() {
             let node = NodeId(id as u32);
-            if self.down.contains(&node) {
+            if self.down.contains_key(&node) {
                 continue;
             }
             {
@@ -520,6 +582,7 @@ impl<B: NodeBehavior> Simulator<B> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
+        self.queued_to[to.0 as usize] += 1;
         self.queue.push(Scheduled {
             deliver_at,
             seq,
@@ -538,7 +601,7 @@ impl<B: NodeBehavior> Simulator<B> {
     /// Inject a local item scheduled for virtual time `at` (clamped to the
     /// present — the clock never runs backwards).
     pub fn inject_at(&mut self, node: NodeId, msg: B::Msg, at: u64) {
-        if self.down.contains(&node) {
+        if self.down.contains_key(&node) {
             self.dropped_to_downed += 1;
             return;
         }
@@ -566,13 +629,23 @@ impl<B: NodeBehavior> Simulator<B> {
                     self.queue.len()
                 );
             }
-            self.now = self.now.max(sch.deliver_at);
-            let env = sch.env;
-            if self.down.contains(&env.to) {
+            if let Some(&cutoff) = self.down.get(&sch.env.to) {
+                if sch.seq < cutoff {
+                    // purge-counted (and removed from queued_to) at the
+                    // crash; discard without touching the clock or the
+                    // drop counters again
+                    self.tombstones -= 1;
+                    continue;
+                }
+                self.queued_to[sch.env.to.0 as usize] -= 1;
+                self.now = self.now.max(sch.deliver_at);
                 self.dropped_to_downed += 1;
                 self.queue_drops += 1;
                 continue;
             }
+            self.queued_to[sch.env.to.0 as usize] -= 1;
+            self.now = self.now.max(sch.deliver_at);
+            let env = sch.env;
             handled += 1;
             let node_idx = env.to.0 as usize;
             {

@@ -76,10 +76,10 @@ impl Topology {
     /// Build from an explicit edge list. The edges must form a tree:
     /// exactly `n − 1` distinct non-loop edges connecting all `n` nodes.
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, TopologyError> {
-        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         if edges.len() != n.saturating_sub(1) {
             return Err(TopologyError::NotATree);
         }
+        let mut degree = vec![0u32; n];
         for &(a, b) in edges {
             if a as usize >= n {
                 return Err(TopologyError::NodeOutOfRange(a));
@@ -90,9 +90,25 @@ impl Topology {
             if a == b {
                 return Err(TopologyError::BadEdge(a, b));
             }
-            if adj[a as usize].contains(&NodeId(b)) {
-                return Err(TopologyError::BadEdge(a, b));
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        // Duplicate detection via a sorted normalized copy — O(m log m)
+        // instead of the per-edge adjacency scan that made hub-heavy trees
+        // (stars, gateways) quadratic to build.
+        let mut normalized: Vec<(u32, u32)> =
+            edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+        normalized.sort_unstable();
+        for w in normalized.windows(2) {
+            if w[0] == w[1] {
+                return Err(TopologyError::BadEdge(w[0].0, w[0].1));
             }
+        }
+        let mut adj: Vec<Vec<NodeId>> = degree
+            .iter()
+            .map(|&d| Vec::with_capacity(d as usize))
+            .collect();
+        for &(a, b) in edges {
             adj[a as usize].push(NodeId(b));
             adj[b as usize].push(NodeId(a));
         }
@@ -136,8 +152,9 @@ impl Topology {
         self.adj[n.0 as usize].len()
     }
 
-    /// BFS visit order from `root` (used for connectivity validation).
-    fn bfs_order(&self, root: NodeId) -> Vec<NodeId> {
+    /// BFS visit order from `root` (used for connectivity validation and
+    /// the shard partitioner's subtree carving).
+    pub(crate) fn bfs_order(&self, root: NodeId) -> Vec<NodeId> {
         let mut seen = vec![false; self.adj.len()];
         let mut order = Vec::with_capacity(self.adj.len());
         let mut q = VecDeque::new();
@@ -224,11 +241,34 @@ impl Topology {
     #[must_use]
     pub fn median(&self) -> NodeId {
         assert!(!self.is_empty(), "median of empty topology");
-        let mut best = (usize::MAX, NodeId(0));
-        for n in self.nodes() {
-            let total: usize = self.distances_from(n).iter().sum();
-            if total < best.0 {
-                best = (total, n);
+        // Rerooting DP in O(n): one pass up the BFS tree accumulates
+        // subtree sizes and depth sums, one pass down transfers the total
+        // across each edge (moving the root toward a child brings its
+        // subtree one hop closer and pushes everything else one hop away:
+        // total(v) = total(parent) + n − 2·size(v)). The old per-node BFS
+        // was O(n²) and dominated million-node setup.
+        let n = self.len();
+        let root = NodeId(0);
+        let order = self.bfs_order(root);
+        let parents = self.parents_toward(root);
+        let mut size = vec![1i64; n];
+        let mut total = vec![0i64; n];
+        for &v in order.iter().rev() {
+            if let Some(p) = parents[v.0 as usize] {
+                size[p.0 as usize] += size[v.0 as usize];
+                // depth sum relative to p, via v's subtree
+                total[p.0 as usize] += total[v.0 as usize] + size[v.0 as usize];
+            }
+        }
+        for &v in &order {
+            if let Some(p) = parents[v.0 as usize] {
+                total[v.0 as usize] = total[p.0 as usize] + n as i64 - 2 * size[v.0 as usize];
+            }
+        }
+        let mut best = (total[0], NodeId(0));
+        for (v, &t) in total.iter().enumerate().skip(1) {
+            if t < best.0 {
+                best = (t, NodeId(v as u32));
             }
         }
         best.1
@@ -397,6 +437,27 @@ mod tests {
     fn median_of_star_is_hub() {
         let t = Topology::from_edges(5, &[(2, 0), (2, 1), (2, 3), (2, 4)]).unwrap();
         assert_eq!(t.median(), NodeId(2));
+    }
+
+    #[test]
+    fn median_matches_brute_force_on_assorted_trees() {
+        // the rerooting DP must agree with the definitional scan,
+        // including its low-id tie-break
+        let shapes = [
+            line(9),
+            Topology::from_edges(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (5, 6)]).unwrap(),
+            Topology::from_edges(6, &[(3, 0), (3, 1), (3, 2), (0, 4), (4, 5)]).unwrap(),
+        ];
+        for t in shapes {
+            let mut best = (usize::MAX, NodeId(0));
+            for n in t.nodes() {
+                let total: usize = t.distances_from(n).iter().sum();
+                if total < best.0 {
+                    best = (total, n);
+                }
+            }
+            assert_eq!(t.median(), best.1, "tree with {} nodes", t.len());
+        }
     }
 
     #[test]

@@ -28,7 +28,11 @@
 //!   full teardown) and measures recall and traffic under churn;
 //! * [`mobility`] — the sensor-mobility scenario: an id-reusing churn
 //!   plan with `Move` handoffs, replayed next to its stationary twin to
-//!   measure the handoff message bill and twin-exact recall.
+//!   measure the handoff message bill and twin-exact recall;
+//! * [`scale`] — the throughput scenario: relay floods and station
+//!   workloads over trees up to a million nodes, swept across event-queue
+//!   shard counts and gated on delivery equality with the single-shard
+//!   oracle.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -40,6 +44,7 @@ pub mod oracle;
 pub mod pareto;
 pub mod recovery;
 pub mod results;
+pub mod scale;
 pub mod scenario;
 pub mod sensorscope;
 pub mod timed;
@@ -50,6 +55,7 @@ pub use driver::run_engine;
 pub use mobility::{run_mobility, MobilityConfig, MobilityRow};
 pub use recovery::{run_recovery, RecoveryConfig, RecoveryRow};
 pub use results::{BatchPoint, ExperimentResult};
+pub use scale::{run_scale, RelayFlood, ScaleConfig, ScaleRow};
 pub use scenario::ScenarioConfig;
 pub use timed::{run_timed, TimedConfig, TimedRow};
 pub use workload::Workload;

@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fsf_network::{builders, Backend, LatencyModel, NodeId};
+use fsf_telemetry::Recorder;
 use fsf_workload::RelayFlood;
 use std::hint::black_box;
 
@@ -66,6 +67,50 @@ fn bench_cross_shard_handoff(c: &mut Criterion) {
     g.finish();
 }
 
+/// Telemetry overhead: the same flood-to-quiescence run with the sink
+/// disabled (`Noop`, statically compiled out — the baseline every other
+/// benchmark pays) and with a live [`Recorder`] capturing the full message
+/// lifecycle. The `noop` and plain scheduler numbers must agree within
+/// noise (the zero-overhead claim); `recorder` shows the real cost of
+/// tracing a run.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(10);
+    let n = 8_191usize;
+    g.bench_function("noop", |b| {
+        b.iter(|| {
+            let mut net = Backend::build(
+                builders::balanced(n, 2),
+                LatencyModel::Uniform { hop: 2 },
+                1,
+                |_, _| RelayFlood::default(),
+            );
+            for f in 0..4u64 {
+                net.inject(NodeId((f as usize * n / 4) as u32), f);
+            }
+            black_box(net.run_to_quiescence())
+        });
+    });
+    g.bench_function("recorder", |b| {
+        b.iter(|| {
+            let recorder = Recorder::new();
+            let mut net = Backend::build_with_sink(
+                builders::balanced(n, 2),
+                LatencyModel::Uniform { hop: 2 },
+                recorder.clone(),
+                1,
+                |_, _| RelayFlood::default(),
+            );
+            for f in 0..4u64 {
+                net.inject(NodeId((f as usize * n / 4) as u32), f);
+            }
+            let steps = net.run_to_quiescence();
+            black_box((steps, recorder.len()))
+        });
+    });
+    g.finish();
+}
+
 /// The channel the threaded runtime moves envelopes over (vendored
 /// crossbeam, an mpsc wrapper): ping a batch through and drain it.
 fn bench_channel_handoff(c: &mut Criterion) {
@@ -92,6 +137,7 @@ criterion_group!(
     benches,
     bench_flood_to_quiescence,
     bench_cross_shard_handoff,
+    bench_telemetry_overhead,
     bench_channel_handoff
 );
 criterion_main!(benches);

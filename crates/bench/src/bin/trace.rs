@@ -1,0 +1,150 @@
+//! Record a seeded churn run with full telemetry and export the trace.
+//!
+//! ```text
+//! trace [--engine KIND] [--nodes N] [--actions N] [--seed N] [--shards N] [--out DIR]
+//!
+//! --engine KIND : centralized | naive | operator-placement | multi-join | fsf
+//!                 (default fsf)
+//! --nodes N     : topology size, balanced binary tree (default 63)
+//! --actions N   : churn actions in the seeded plan (default 30)
+//! --seed N      : plan + engine seed (default 7)
+//! --shards N    : event-queue shards of the network backend (default 2)
+//! --out DIR     : output directory (default trace-out)
+//! ```
+//!
+//! The plan replays **timed** (actions fire at virtual timestamps while
+//! earlier floods are in flight) through one engine built with a live
+//! [`fsf_telemetry::Recorder`]. Afterwards the bin writes
+//! `trace.jsonl` (one event per line), `trace.chrome.json` (trace-event
+//! format; open in Perfetto or `chrome://tracing`) and `trace.top.txt`
+//! (hottest nodes/links/floods), validates the Chrome document's shape,
+//! and reconciles the recording against the simulator's own conservation
+//! counters. Exit 0 only when every check passes — this is the CI
+//! trace-smoke job's workhorse.
+
+use fsf_dynamics::{run_plan_timed_traced, ChurnPlan, ChurnPlanConfig, TimedReplayConfig};
+use fsf_engines::EngineKind;
+use fsf_network::{builders, LatencyModel};
+use fsf_telemetry::validate_chrome_trace;
+use std::process::ExitCode;
+
+fn parse_engine(name: &str) -> Option<EngineKind> {
+    match name {
+        "centralized" => Some(EngineKind::Centralized),
+        "naive" => Some(EngineKind::Naive),
+        "operator-placement" => Some(EngineKind::OperatorPlacement),
+        "multi-join" => Some(EngineKind::MultiJoin),
+        "fsf" => Some(EngineKind::FilterSplitForward),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kind = EngineKind::FilterSplitForward;
+    let mut nodes = 63usize;
+    let mut actions = 30usize;
+    let mut seed = 7u64;
+    let mut shards = 2usize;
+    let mut out_dir = "trace-out".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+                .clone()
+        };
+        match a.as_str() {
+            "--engine" => {
+                let name = next("--engine");
+                kind = parse_engine(&name).unwrap_or_else(|| {
+                    panic!("unknown engine {name:?} (centralized | naive | operator-placement | multi-join | fsf)")
+                });
+            }
+            "--nodes" => nodes = next("--nodes").parse().expect("--nodes needs an integer"),
+            "--actions" => {
+                actions = next("--actions")
+                    .parse()
+                    .expect("--actions needs an integer");
+            }
+            "--seed" => seed = next("--seed").parse().expect("--seed needs an integer"),
+            "--shards" => shards = next("--shards").parse().expect("--shards needs an integer"),
+            "--out" => out_dir = next("--out"),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let topo = builders::balanced(nodes, 2);
+    let latency = LatencyModel::Uniform { hop: 2 };
+    let plan = ChurnPlan::seeded(
+        &topo,
+        &ChurnPlanConfig {
+            seed,
+            churn_actions: actions,
+            with_crashes: true,
+            with_moves: true,
+            ..ChurnPlanConfig::default()
+        },
+    )
+    .with_teardown();
+    let timed = plan.timed(&TimedReplayConfig::drained(&topo, &latency));
+
+    let (mut engine, recorder) = kind.build_recorded(topo, 60, seed, latency, shards);
+    let end = run_plan_timed_traced(engine.as_mut(), &timed, &recorder);
+    println!(
+        "recorded {} ({} nodes, {} shards): {} telemetry events, clock {} at quiescence",
+        kind.name(),
+        nodes,
+        engine.shards(),
+        recorder.len(),
+        end
+    );
+
+    // the trace must re-derive the simulator's own ledger exactly
+    if let Err(e) = recorder.reconcile(
+        engine.scheduled_total(),
+        engine.steps(),
+        engine.dropped_from_queue(),
+        engine.deliveries().complex_deliveries(),
+    ) {
+        eprintln!("reconciliation FAILED:\n{e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "reconciled against conservation counters: {} scheduled / {} handled / {} dropped",
+        engine.scheduled_total(),
+        engine.steps(),
+        engine.dropped_from_queue()
+    );
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("creating {out_dir}: {e}");
+        return ExitCode::from(2);
+    }
+    let write = |name: &str, contents: &str| {
+        let path = format!("{out_dir}/{name}");
+        std::fs::write(&path, contents).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path} ({} bytes)", contents.len());
+    };
+    write("trace.jsonl", &recorder.to_jsonl());
+    let chrome = recorder.to_chrome_trace();
+    write("trace.chrome.json", &chrome);
+    write("trace.top.txt", &recorder.top_summary(10));
+
+    match validate_chrome_trace(&chrome) {
+        Ok(stats) => {
+            println!(
+                "chrome trace OK: {} events ({} slices, {} instants, {} metadata) on {} tracks",
+                stats.events, stats.slices, stats.instants, stats.metadata, stats.tracks
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("chrome trace INVALID: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

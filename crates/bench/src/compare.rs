@@ -6,9 +6,10 @@
 //!
 //! * any metric whose name contains `recall` may not drop by more than the
 //!   recall tolerance (relative, default 20%);
-//! * `latency p95` may not grow by more than the latency tolerance
-//!   (relative, default 20%, plus one absolute tick of slack so tiny
-//!   baselines don't flap);
+//! * `latency p95` and `latency p99` may not grow by more than the
+//!   latency tolerance (relative, default 20%, plus one absolute tick of
+//!   slack so tiny baselines don't flap) — the p99 gate watches the tail
+//!   the median-centric columns hide;
 //! * records present only on one side are reported as informational
 //!   drift, not failures (figure sets evolve).
 
@@ -82,14 +83,19 @@ pub fn compare(old: &[JsonRecord], new: &[JsonRecord], config: &CompareConfig) -
                     config.max_recall_drop * 100.0
                 ));
             }
-        } else if metric == "latency p95" {
+        } else if metric == "latency p95" || metric == "latency p99" {
             let ceiling = o.value * (1.0 + config.max_latency_growth) + 1.0;
             if n.value > ceiling {
                 report.regressions.push(format!(
-                    "✗ {} / {} / {}: p95 {} → {} (> {:.0}% growth)",
+                    "✗ {} / {} / {}: {} {} → {} (> {:.0}% growth)",
                     o.id,
                     o.engine,
                     o.metric,
+                    if metric == "latency p99" {
+                        "p99"
+                    } else {
+                        "p95"
+                    },
                     o.value,
                     n.value,
                     config.max_latency_growth * 100.0
@@ -148,6 +154,21 @@ mod tests {
         let old_e = vec![rec("event load", 10.0)];
         let new_e = vec![rec("event load", 100.0)];
         assert!(compare(&old_e, &new_e, &CompareConfig::default()).passed());
+    }
+
+    #[test]
+    fn latency_p99_tail_growth_fails_like_p95() {
+        let old = vec![rec("latency p99", 20.0)];
+        let ok = vec![rec("latency p99", 25.0)]; // 20 × 1.2 + 1 = boundary
+        let bad = vec![rec("latency p99", 26.0)];
+        assert!(compare(&old, &ok, &CompareConfig::default()).passed());
+        let r = compare(&old, &bad, &CompareConfig::default());
+        assert!(!r.passed());
+        assert!(r.regressions[0].contains("p99"), "{:?}", r.regressions);
+        // the mean is informational, not gated
+        let old_m = vec![rec("latency mean", 5.0)];
+        let new_m = vec![rec("latency mean", 50.0)];
+        assert!(compare(&old_m, &new_m, &CompareConfig::default()).passed());
     }
 
     #[test]

@@ -273,19 +273,29 @@ pub fn ext3_latency(scale: f64) -> (String, Vec<crate::json::JsonRecord>) {
         config.name, config.total_nodes, config.latency
     );
     out.push_str(&format!(
-        "{:<34} {:>10} {:>9} {:>9} {:>9} {:>9} {:>12}\n",
-        "approach", "delivered", "samples", "lat p50", "lat p95", "lat max", "final clock"
+        "{:<34} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12}\n",
+        "approach",
+        "delivered",
+        "samples",
+        "lat p50",
+        "lat p95",
+        "lat p99",
+        "lat max",
+        "lat mean",
+        "final clock"
     ));
     let mut records = Vec::new();
     for r in &rows {
         out.push_str(&format!(
-            "{:<34} {:>10} {:>9} {:>9} {:>9} {:>9} {:>12}\n",
+            "{:<34} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9.1} {:>12}\n",
             r.engine.name(),
             r.delivered_units,
             r.latency.samples,
             r.latency.p50,
             r.latency.p95,
+            r.latency.p99,
             r.latency.max,
+            r.latency.mean,
             r.final_clock,
         ));
         let name = r.engine.name();
@@ -294,7 +304,9 @@ pub fn ext3_latency(scale: f64) -> (String, Vec<crate::json::JsonRecord>) {
             ("latency samples", r.latency.samples as f64),
             ("latency p50", r.latency.p50 as f64),
             ("latency p95", r.latency.p95 as f64),
+            ("latency p99", r.latency.p99 as f64),
             ("latency max", r.latency.max as f64),
+            ("latency mean", r.latency.mean),
         ] {
             records.push(crate::json::JsonRecord::new("ext3", name, metric, value));
         }
@@ -580,13 +592,22 @@ mod tests {
         for kind in EngineKind::ALL {
             assert!(table.contains(kind.name()), "missing {kind}:\n{table}");
         }
-        assert_eq!(records.len(), 5 * 5, "engine × metric grid");
+        assert_eq!(records.len(), 5 * 7, "engine × metric grid");
         for kind in EngineKind::ALL {
-            let p95 = records
-                .iter()
-                .find(|r| r.engine == kind.name() && r.metric == "latency p95")
-                .unwrap();
-            assert!(p95.value > 0.0, "{kind}: zero p95 under nonzero latency");
+            let metric = |m: &str| {
+                records
+                    .iter()
+                    .find(|r| r.engine == kind.name() && r.metric == m)
+                    .unwrap_or_else(|| panic!("{kind}: missing {m}"))
+                    .value
+            };
+            let p95 = metric("latency p95");
+            let p99 = metric("latency p99");
+            let max = metric("latency max");
+            assert!(p95 > 0.0, "{kind}: zero p95 under nonzero latency");
+            assert!(p99 >= p95, "{kind}: p99 {p99} below p95 {p95}");
+            assert!(max >= p99, "{kind}: max {max} below p99 {p99}");
+            assert!(metric("latency mean") > 0.0, "{kind}: zero mean");
         }
     }
 

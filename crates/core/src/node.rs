@@ -951,7 +951,7 @@ mod tests {
     #[test]
     fn advertisement_floods_and_is_stored_per_origin() {
         let s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
-        assert_eq!(s.stats.adv_msgs, 3);
+        assert_eq!(s.stats.adv_msgs(), 3);
         assert!(s.node(NodeId(3)).adverts().knows_sensor(SensorId(1)));
         assert_eq!(
             s.node(NodeId(2))
@@ -971,7 +971,7 @@ mod tests {
         let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
         s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
         // forwarded over 3 links toward the sensor
-        assert_eq!(s.stats.sub_forwards, 3);
+        assert_eq!(s.stats.sub_forwards(), 3);
         // stored at every hop, uncovered
         assert_eq!(
             s.node(NodeId(3))
@@ -995,14 +995,14 @@ mod tests {
     fn unanswerable_subscription_is_dropped_at_origin() {
         let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
         s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(99, 0.0, 10.0)])));
-        assert_eq!(s.stats.sub_forwards, 0, "no sources — nothing forwarded");
+        assert_eq!(s.stats.sub_forwards(), 0, "no sources — nothing forwarded");
         assert_eq!(s.node(NodeId(3)).dropped_unanswerable(), 1);
         // partially answerable is also unanswerable (completeness!)
         s.inject_and_run(
             NodeId(3),
             PubSubMsg::Subscribe(sub(2, &[(1, 0.0, 10.0), (99, 0.0, 10.0)])),
         );
-        assert_eq!(s.stats.sub_forwards, 0);
+        assert_eq!(s.stats.sub_forwards(), 0);
         assert_eq!(s.node(NodeId(3)).dropped_unanswerable(), 2);
     }
 
@@ -1011,7 +1011,7 @@ mod tests {
         let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
         s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
-        assert_eq!(s.stats.event_units, 3, "3 hops");
+        assert_eq!(s.stats.event_units(), 3, "3 hops");
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
         assert!(s.deliveries.delivered(SubId(1)).contains(&EventId(100)));
     }
@@ -1022,7 +1022,8 @@ mod tests {
         s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 55.0, 1000)));
         assert_eq!(
-            s.stats.event_units, 0,
+            s.stats.event_units(),
+            0,
             "out-of-range events never leave the sensor node"
         );
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 0);
@@ -1032,7 +1033,7 @@ mod tests {
     fn event_without_subscription_goes_nowhere() {
         let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
-        assert_eq!(s.stats.event_units, 0);
+        assert_eq!(s.stats.event_units(), 0);
     }
 
     /// Two sensors on opposite ends, user in the middle: n0(s1) — n1 — n2(user) — n3 — n4(s2)
@@ -1052,7 +1053,7 @@ mod tests {
         let s = setup_join();
         // whole op travels nowhere as a whole: at n2 the advertisement paths
         // diverge, so simple operators go left and right (2+2 links = 4)
-        assert_eq!(s.stats.sub_forwards, 4);
+        assert_eq!(s.stats.sub_forwards(), 4);
         let left = s
             .node(NodeId(1))
             .subs(Origin::Neighbor(NodeId(2)))
@@ -1070,7 +1071,7 @@ mod tests {
         // simple operator pulls it) but not beyond… actually it must reach
         // n2 where the join waits; it is 2 hops.
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
-        let after_first = s.stats.event_units;
+        let after_first = s.stats.event_units();
         assert_eq!(after_first, 2, "left event reaches the join node and waits");
         assert_eq!(
             s.deliveries.delivered(SubId(1)).len(),
@@ -1080,7 +1081,7 @@ mod tests {
         // partner arrives within δt → complex event completes at n2
         s.inject_and_run(NodeId(4), PubSubMsg::Publish(ev(101, 2, 1, 5.0, 1010)));
         assert_eq!(
-            s.stats.event_units - after_first,
+            s.stats.event_units() - after_first,
             2,
             "right event: 2 hops to n2"
         );
@@ -1099,7 +1100,7 @@ mod tests {
         s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(2, &[(1, 4.0, 10.0)])));
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         // value 5 matches both, but FSF forwards it once per link: 3 units
-        assert_eq!(s.stats.event_units, 3);
+        assert_eq!(s.stats.event_units(), 3);
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
         assert_eq!(s.deliveries.delivered(SubId(2)).len(), 1);
     }
@@ -1111,7 +1112,7 @@ mod tests {
         s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(2, &[(1, 4.0, 10.0)])));
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         // two independent result streams over 3 links each
-        assert_eq!(s.stats.event_units, 6);
+        assert_eq!(s.stats.event_units(), 6);
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
         assert_eq!(s.deliveries.delivered(SubId(2)).len(), 1);
     }
@@ -1120,9 +1121,13 @@ mod tests {
     fn pairwise_coverage_stops_covered_subscription() {
         let mut s = setup_single_sensor(PubSubConfig::operator_placement(2 * DT, 1));
         s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
-        let before = s.stats.sub_forwards;
+        let before = s.stats.sub_forwards();
         s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(2, &[(1, 2.0, 8.0)])));
-        assert_eq!(s.stats.sub_forwards, before, "covered sub adds no traffic");
+        assert_eq!(
+            s.stats.sub_forwards(),
+            before,
+            "covered sub adds no traffic"
+        );
         // it is stored covered at the user node
         assert_eq!(
             s.node(NodeId(3)).subs(Origin::Local).unwrap().covered.len(),
@@ -1140,9 +1145,9 @@ mod tests {
             let mut s = setup_single_sensor(config);
             s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 6.0)])));
             s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(2, &[(1, 4.0, 10.0)])));
-            let before = s.stats.sub_forwards;
+            let before = s.stats.sub_forwards();
             s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(3, &[(1, 2.0, 8.0)])));
-            (s.stats.sub_forwards - before, s)
+            (s.stats.sub_forwards() - before, s)
         };
         let (fsf_added, mut s_fsf) = run(PubSubConfig::fsf(2 * DT, 1));
         let (pw_added, _) = run(PubSubConfig::operator_placement(2 * DT, 1));
@@ -1167,7 +1172,7 @@ mod tests {
         s.inject(NodeId(0), PubSubMsg::Publish(ev(101, 1, 0, 5.0, 1001)));
         s.inject(NodeId(0), PubSubMsg::Publish(ev(102, 1, 0, 5.0, 1002)));
         s.run_to_quiescence();
-        assert!(s.stats.event_units <= 3);
+        assert!(s.stats.event_units() <= 3);
         assert!(!s.deliveries.delivered(SubId(1)).is_empty());
     }
 
@@ -1210,9 +1215,9 @@ mod tests {
         );
         assert_eq!(s.node(NodeId(3)).subs(Origin::Local).unwrap().len(), 0);
         // further events go nowhere
-        let before = s.stats.event_units;
+        let before = s.stats.event_units();
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(101, 1, 0, 5.0, 2000)));
-        assert_eq!(s.stats.event_units, before);
+        assert_eq!(s.stats.event_units(), before);
         assert_eq!(
             s.deliveries.delivered(SubId(1)).len(),
             1,
@@ -1230,7 +1235,7 @@ mod tests {
             s.node(NodeId(3)).subs(Origin::Local).unwrap().covered.len(),
             1
         );
-        let before = s.stats.sub_forwards;
+        let before = s.stats.sub_forwards();
 
         s.inject_and_run(NodeId(3), PubSubMsg::Unsubscribe(SubId(1)));
         // s2 lost its cover: promoted and forwarded toward the sensor
@@ -1246,7 +1251,7 @@ mod tests {
                 .len(),
             1
         );
-        assert!(s.stats.sub_forwards > before, "promotion re-forwards s2");
+        assert!(s.stats.sub_forwards() > before, "promotion re-forwards s2");
         // and s2 is now served directly
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         assert_eq!(s.deliveries.delivered(SubId(2)).len(), 1);
@@ -1292,10 +1297,14 @@ mod tests {
                 "node n{n} still holds operators"
             );
         }
-        let before = s.stats.event_units;
+        let before = s.stats.event_units();
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         s.inject_and_run(NodeId(4), PubSubMsg::Publish(ev(101, 2, 1, 5.0, 1010)));
-        assert_eq!(s.stats.event_units, before, "no event moves after removal");
+        assert_eq!(
+            s.stats.event_units(),
+            before,
+            "no event moves after removal"
+        );
     }
 
     #[test]
@@ -1303,10 +1312,10 @@ mod tests {
         let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
         s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
-        let adv_before = s.stats.adv_msgs;
+        let adv_before = s.stats.adv_msgs();
         s.inject_and_run(NodeId(0), PubSubMsg::SensorDown(SensorId(1)));
         // the retraction retraces the 3 flood links
-        assert_eq!(s.stats.adv_msgs, adv_before + 3);
+        assert_eq!(s.stats.adv_msgs(), adv_before + 3);
         for n in 0..4u32 {
             let node = s.node(NodeId(n));
             assert!(!node.adverts().knows_sensor(SensorId(1)), "n{n} advert");
@@ -1399,7 +1408,7 @@ mod tests {
         let delta = s.crash_and_regraft(NodeId(1), NodeId(2)).unwrap();
         s.run_recovery(&delta);
         s.run_to_quiescence();
-        assert!(s.stats.recovery_msgs > 0, "re-flood was charged");
+        assert!(s.stats.recovery_msgs() > 0, "re-flood was charged");
         // the anchor re-homed the advert onto the re-grafted edge…
         assert_eq!(
             s.node(NodeId(2))
@@ -1441,10 +1450,10 @@ mod tests {
         // recovery counters: same stores, same routes, no re-forwards
         let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
         s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
-        let subs_before = s.stats.sub_forwards;
+        let subs_before = s.stats.sub_forwards();
         s.inject_and_run(NodeId(0), PubSubMsg::AdvRepair(adv(1, 0), 0));
-        assert_eq!(s.stats.sub_forwards, subs_before, "no operator re-sent");
-        assert_eq!(s.stats.recovery_msgs, 3, "repair traversed the 3 links");
+        assert_eq!(s.stats.sub_forwards(), subs_before, "no operator re-sent");
+        assert_eq!(s.stats.recovery_msgs(), 3, "repair traversed the 3 links");
         s.inject_and_run(NodeId(0), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
     }
@@ -1455,7 +1464,11 @@ mod tests {
         let mut s = setup_single_sensor(PubSubConfig::fsf(2 * DT, 1));
         s.inject_and_run(NodeId(3), PubSubMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
         s.inject_and_run(NodeId(2), PubSubMsg::Move(adv(1, 0), 1));
-        assert_eq!(s.stats.handoff_msgs, 3, "move flood traversed the 3 links");
+        assert_eq!(
+            s.stats.handoff_msgs(),
+            3,
+            "move flood traversed the 3 links"
+        );
         // the new host owns the advert locally; the old host reaches it via n1
         assert_eq!(
             s.node(NodeId(2)).adverts().from_origin(Origin::Local).len(),
@@ -1486,9 +1499,9 @@ mod tests {
             );
         }
         // readings from the new host reach the subscriber (1 hop now)
-        let before = s.stats.event_units;
+        let before = s.stats.event_units();
         s.inject_and_run(NodeId(2), PubSubMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
-        assert_eq!(s.stats.event_units - before, 1);
+        assert_eq!(s.stats.event_units() - before, 1);
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
     }
 
@@ -1587,9 +1600,9 @@ mod tests {
         let s3 = sub(3, &[(1, 55.0, 75.0), (2, 15.0, 35.0), (3, 5.0, 15.0)]);
         s.inject_and_run(NodeId(0), PubSubMsg::Subscribe(s1));
         s.inject_and_run(NodeId(0), PubSubMsg::Subscribe(s2));
-        let before_s3 = s.stats.sub_forwards;
+        let before_s3 = s.stats.sub_forwards();
         s.inject_and_run(NodeId(0), PubSubMsg::Subscribe(s3));
-        let s3_forwards = s.stats.sub_forwards - before_s3;
+        let s3_forwards = s.stats.sub_forwards() - before_s3;
         // s3's parts die where covering operators reside: fa,3 at n1, fb,3
         // at n2 (set cover by fb,1 ∪ fb,2!), fc,3 at n3 (or earlier).
         // It must not add traffic beyond the paths to those nodes (5 hops:

@@ -31,4 +31,4 @@ pub use invariants::{assert_clean, leaks};
 pub use plan::{
     ChurnAction, ChurnPlan, ChurnPlanConfig, TimedAction, TimedPlan, TimedReplayConfig,
 };
-pub use runner::{apply_action, run_plan, run_plan_timed};
+pub use runner::{apply_action, run_plan, run_plan_timed, run_plan_timed_traced, run_plan_traced};

@@ -4,6 +4,35 @@
 
 use crate::plan::{ChurnAction, ChurnPlan, TimedPlan};
 use fsf_engines::Engine;
+use fsf_telemetry::{Recorder, TelemetryEvent, TelemetrySink};
+
+/// Short label for an action's telemetry span.
+fn action_label(action: &ChurnAction) -> &'static str {
+    match action {
+        ChurnAction::SensorUp { .. } => "sensor-up",
+        ChurnAction::SensorDown { .. } => "sensor-down",
+        ChurnAction::Subscribe { .. } => "subscribe",
+        ChurnAction::Unsubscribe { .. } => "unsubscribe",
+        ChurnAction::Publish { .. } => "publish",
+        ChurnAction::Crash { .. } => "crash-action",
+        ChurnAction::Move { .. } => "move-action",
+        ChurnAction::Recover => "recover-action",
+    }
+}
+
+/// The target node of an action, where one exists.
+fn action_node(action: &ChurnAction) -> Option<u32> {
+    match action {
+        ChurnAction::SensorUp { node, .. }
+        | ChurnAction::SensorDown { node, .. }
+        | ChurnAction::Subscribe { node, .. }
+        | ChurnAction::Unsubscribe { node, .. }
+        | ChurnAction::Publish { node, .. }
+        | ChurnAction::Crash { node, .. }
+        | ChurnAction::Move { node, .. } => Some(node.0),
+        ChurnAction::Recover => None,
+    }
+}
 
 /// Apply one action to an engine (without flushing).
 pub fn apply_action(engine: &mut dyn Engine, action: &ChurnAction) {
@@ -53,6 +82,56 @@ pub fn run_plan_timed(engine: &mut dyn Engine, plan: &TimedPlan) -> u64 {
     engine.now()
 }
 
+/// [`run_plan`], recording one engine-level span per action into `sink`
+/// covering the action *and* the flush to quiescence it triggers — the
+/// window in which its matching, forwarding and re-splitting happen. Use
+/// with an engine built by [`fsf_engines::EngineKind::build_recorded`] so
+/// the spans land in the same trace as the message lifecycle.
+pub fn run_plan_traced(engine: &mut dyn Engine, plan: &ChurnPlan, sink: &Recorder) {
+    for action in &plan.actions {
+        let start = engine.now();
+        apply_action(engine, action);
+        engine.flush();
+        sink.record(TelemetryEvent::EngineOp {
+            op: action_label(action).to_string(),
+            node: action_node(action),
+            start,
+            end: engine.now(),
+            detail: String::new(),
+        });
+    }
+}
+
+/// [`run_plan_timed`], recording one engine-level span per action into
+/// `sink`: the span opens when the clock reaches the action's scheduled
+/// time and closes after the action is applied (in-flight floods keep
+/// running — the final flush gets its own `drain` span). Returns the
+/// virtual time at quiescence.
+pub fn run_plan_timed_traced(engine: &mut dyn Engine, plan: &TimedPlan, sink: &Recorder) -> u64 {
+    for timed in &plan.actions {
+        engine.run_until(timed.at);
+        let start = engine.now();
+        apply_action(engine, &timed.action);
+        sink.record(TelemetryEvent::EngineOp {
+            op: action_label(&timed.action).to_string(),
+            node: action_node(&timed.action),
+            start,
+            end: engine.now(),
+            detail: String::new(),
+        });
+    }
+    let start = engine.now();
+    engine.flush();
+    sink.record(TelemetryEvent::EngineOp {
+        op: "drain".to_string(),
+        node: None,
+        start,
+        end: engine.now(),
+        detail: String::new(),
+    });
+    engine.now()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,7 +152,7 @@ mod tests {
         for kind in EngineKind::ALL {
             let mut engine = kind.build(topo.clone(), 60, 42);
             run_plan(engine.as_mut(), &plan);
-            assert!(engine.stats().adv_msgs > 0, "{kind}: nothing happened");
+            assert!(engine.stats().adv_msgs() > 0, "{kind}: nothing happened");
         }
     }
 

@@ -8,7 +8,30 @@ use fsf_network::{
     Backend, DeliveryLog, LatencyModel, LatencySummary, NodeId, RegraftDelta, Simulator, Topology,
     TopologyError, TrafficStats,
 };
+use fsf_telemetry::{Noop, Recorder, TelemetryEvent, TelemetrySink};
 use std::collections::BTreeMap;
+
+/// Record one engine-level span into a sink (callers guard on
+/// `S::ENABLED`). High-volume data-plane injections are *not* spanned —
+/// they already appear in the message lifecycle as `Scheduled` events; the
+/// engine track carries the control-plane verbs (retract, move, crash,
+/// recover) and the flush windows where matching and forwarding happen.
+fn record_op<S: TelemetrySink>(
+    sink: &S,
+    op: &str,
+    node: Option<NodeId>,
+    start: u64,
+    end: u64,
+    detail: String,
+) {
+    sink.record(TelemetryEvent::EngineOp {
+        op: op.to_string(),
+        node: node.map(|n| n.0),
+        start,
+        end,
+        detail,
+    });
+}
 
 /// One node's residual state, as reported by [`Engine::footprint`] — the
 /// quantities a fully torn-down network must return to zero (churn leak
@@ -44,7 +67,7 @@ pub struct MobilityStats {
     /// Successful `move_sensor` calls (handoffs).
     pub moves: u64,
     /// `Move` re-advertisement messages network-wide (mirrors
-    /// `stats().handoff_msgs` — the protocol's handoff cost; the operator
+    /// `stats().handoff_msgs()` — the protocol's handoff cost; the operator
     /// re-splits ride in the subscription class).
     pub handoff_msgs: u64,
 }
@@ -70,7 +93,7 @@ pub struct RecoveryStats {
     /// auto-recovery; lags behind while recovery is deferred).
     pub recoveries: u64,
     /// Advertisement re-flood messages network-wide (mirrors
-    /// `stats().recovery_msgs` — the protocol's repair cost).
+    /// `stats().recovery_msgs()` — the protocol's repair cost).
     pub repair_msgs: u64,
     /// Management-plane injections issued during recovery: retractions for
     /// state hosted on the corpse, plus the centralized baseline's
@@ -439,6 +462,63 @@ impl EngineKind {
         engine.set_shards(shards);
         engine
     }
+
+    /// Build an engine with full run telemetry: every message lifecycle
+    /// event, shard-round profile, and engine-level operation span lands in
+    /// the returned [`Recorder`] (which the caller keeps — the engine holds
+    /// clones sharing the same store). Pass `shards > 1` for the
+    /// conservative-parallel backend; events are recorded on the virtual
+    /// clock either way. Use [`Recorder::reconcile`] after a run to check
+    /// the trace against the simulator's own conservation counters, or the
+    /// `fsf-telemetry` exporters to write JSONL / Chrome trace JSON.
+    #[must_use]
+    pub fn build_recorded(
+        &self,
+        topology: Topology,
+        event_validity: u64,
+        seed: u64,
+        latency: LatencyModel,
+        shards: usize,
+    ) -> (Box<dyn Engine>, Recorder) {
+        let recorder = Recorder::new();
+        let sink = recorder.clone();
+        let mut engine: Box<dyn Engine> = match self {
+            EngineKind::Centralized => Box::new(CentralEngine::with_sink(
+                topology,
+                event_validity,
+                latency,
+                sink,
+            )),
+            EngineKind::Naive => Box::new(PubSubEngine::with_sink(
+                "Naive approach",
+                topology,
+                PubSubConfig::naive(event_validity, seed),
+                latency,
+                sink,
+            )),
+            EngineKind::OperatorPlacement => Box::new(PubSubEngine::with_sink(
+                "Distributed operator placement",
+                topology,
+                PubSubConfig::operator_placement(event_validity, seed),
+                latency,
+                sink,
+            )),
+            EngineKind::MultiJoin => {
+                Box::new(MjEngine::with_sink(topology, event_validity, latency, sink))
+            }
+            EngineKind::FilterSplitForward => Box::new(PubSubEngine::with_sink(
+                "Filter-Split-Forward",
+                topology,
+                PubSubConfig::fsf(event_validity, seed),
+                latency,
+                sink,
+            )),
+        };
+        if shards > 1 {
+            engine.set_shards(shards);
+        }
+        (engine, recorder)
+    }
 }
 
 impl std::fmt::Display for EngineKind {
@@ -449,9 +529,10 @@ impl std::fmt::Display for EngineKind {
 
 /// Engine wrapper for the `fsf-core` pub/sub node family (naive, operator
 /// placement, Filter-Split-Forward, and any ablation configuration).
-pub struct PubSubEngine {
+pub struct PubSubEngine<S: TelemetrySink = Noop> {
     name: &'static str,
-    sim: Backend<PubSubNode>,
+    sim: Backend<PubSubNode, S>,
+    sink: S,
     recovery: RecoveryPlane,
 }
 
@@ -471,10 +552,29 @@ impl PubSubEngine {
         config: PubSubConfig,
         latency: LatencyModel,
     ) -> Self {
-        let sim = Backend::build(topology, latency, 1, |id, _| PubSubNode::new(id, config));
+        Self::with_sink(name, topology, config, latency, Noop)
+    }
+}
+
+impl<S: TelemetrySink> PubSubEngine<S> {
+    /// Build with an explicit configuration, latency model, and telemetry
+    /// sink. The sink sees the full message lifecycle plus engine-level
+    /// operation spans.
+    #[must_use]
+    pub fn with_sink(
+        name: &'static str,
+        topology: Topology,
+        config: PubSubConfig,
+        latency: LatencyModel,
+        sink: S,
+    ) -> Self {
+        let sim = Backend::build_with_sink(topology, latency, sink.clone(), 1, |id, _| {
+            PubSubNode::new(id, config)
+        });
         PubSubEngine {
             name,
             sim,
+            sink,
             recovery: RecoveryPlane::new(),
         }
     }
@@ -489,6 +589,7 @@ impl PubSubEngine {
     /// need no injection: the purge at the corpse's former neighbors
     /// retraces their forwards (severed or not).
     fn apply_recovery(&mut self, delta: &RegraftDelta) {
+        let start = self.sim.now();
         self.sim.run_recovery(delta);
         let frontier = RecoveryPlane::frontier(delta, |n| self.sim.is_down(n));
         let tombstones: Vec<SensorId> = self.recovery.dead_sensors.iter().copied().collect();
@@ -500,18 +601,28 @@ impl PubSubEngine {
             }
         }
         self.recovery.recoveries += 1;
+        if S::ENABLED {
+            record_op(
+                &self.sink,
+                "recover",
+                Some(delta.crashed),
+                start,
+                self.sim.now(),
+                format!("frontier {}", frontier.len()),
+            );
+        }
     }
 
     /// Access the underlying single-queue simulator (tests / inspection).
     /// Panics when the sharded backend is active — switch back with
     /// [`Engine::set_shards`]`(1)` first.
     #[must_use]
-    pub fn simulator(&self) -> &Simulator<PubSubNode> {
+    pub fn simulator(&self) -> &Simulator<PubSubNode, S> {
         self.sim.as_single()
     }
 }
 
-impl Engine for PubSubEngine {
+impl<S: TelemetrySink> Engine for PubSubEngine<S> {
     fn name(&self) -> &'static str {
         self.name
     }
@@ -530,23 +641,67 @@ impl Engine for PubSubEngine {
     fn retract_subscription(&mut self, node: NodeId, sub: SubId) {
         self.recovery.note_sub_retracted(sub);
         self.sim.inject(node, PubSubMsg::Unsubscribe(sub));
+        if S::ENABLED {
+            let t = self.sim.now();
+            record_op(
+                &self.sink,
+                "retract-sub",
+                Some(node),
+                t,
+                t,
+                format!("{sub:?}"),
+            );
+        }
     }
     fn retract_sensor(&mut self, node: NodeId, sensor: SensorId) {
         self.recovery.note_sensor_retracted(sensor);
         self.sim.inject(node, PubSubMsg::SensorDown(sensor));
+        if S::ENABLED {
+            let t = self.sim.now();
+            record_op(
+                &self.sink,
+                "retract-sensor",
+                Some(node),
+                t,
+                t,
+                format!("{sensor:?}"),
+            );
+        }
     }
     fn move_sensor(&mut self, node: NodeId, adv: Advertisement) {
         let gen = self.recovery.note_move(adv.sensor, node);
         self.sim.inject(node, PubSubMsg::Move(adv, gen));
+        if S::ENABLED {
+            let t = self.sim.now();
+            record_op(
+                &self.sink,
+                "move",
+                Some(node),
+                t,
+                t,
+                format!("{:?} gen {gen}", adv.sensor),
+            );
+        }
     }
     fn mobility_stats(&self) -> MobilityStats {
         MobilityStats {
             moves: self.recovery.moves,
-            handoff_msgs: self.sim.stats().handoff_msgs,
+            handoff_msgs: self.sim.stats().handoff_msgs(),
         }
     }
     fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
+        let start = self.sim.now();
         let delta = self.sim.crash_and_regraft(node, anchor)?;
+        if S::ENABLED {
+            record_op(
+                &self.sink,
+                "crash",
+                Some(node),
+                start,
+                self.sim.now(),
+                format!("anchor n{}, {} orphans", anchor.0, delta.orphans.len()),
+            );
+        }
         if let Some(delta) = self.recovery.note_crash(delta) {
             self.apply_recovery(&delta);
         }
@@ -561,7 +716,7 @@ impl Engine for PubSubEngine {
         }
     }
     fn recovery_stats(&self) -> RecoveryStats {
-        self.recovery.stats(self.sim.stats().recovery_msgs)
+        self.recovery.stats(self.sim.stats().recovery_msgs())
     }
     fn footprint(&self) -> Vec<NodeFootprint> {
         let ids: Vec<NodeId> = self.sim.topology().nodes().collect();
@@ -580,7 +735,19 @@ impl Engine for PubSubEngine {
             .collect()
     }
     fn flush(&mut self) {
+        let start = self.sim.now();
+        let before = self.sim.steps();
         self.sim.run_to_quiescence();
+        if S::ENABLED {
+            record_op(
+                &self.sink,
+                "flush",
+                None,
+                start,
+                self.sim.now(),
+                format!("{} handled", self.sim.steps() - before),
+            );
+        }
     }
     fn run_until(&mut self, t: u64) -> u64 {
         self.sim.run_until(t)
@@ -618,8 +785,9 @@ impl Engine for PubSubEngine {
 }
 
 /// Engine wrapper for the multi-join baseline.
-pub struct MjEngine {
-    sim: Backend<MjNode>,
+pub struct MjEngine<S: TelemetrySink = Noop> {
+    sim: Backend<MjNode, S>,
+    sink: S,
     recovery: RecoveryPlane,
 }
 
@@ -633,11 +801,25 @@ impl MjEngine {
     /// Build over a topology with a latency model.
     #[must_use]
     pub fn with_latency(topology: Topology, event_validity: u64, latency: LatencyModel) -> Self {
-        let sim = Backend::build(topology, latency, 1, |id, _| {
+        Self::with_sink(topology, event_validity, latency, Noop)
+    }
+}
+
+impl<S: TelemetrySink> MjEngine<S> {
+    /// Build over a topology with a latency model and telemetry sink.
+    #[must_use]
+    pub fn with_sink(
+        topology: Topology,
+        event_validity: u64,
+        latency: LatencyModel,
+        sink: S,
+    ) -> Self {
+        let sim = Backend::build_with_sink(topology, latency, sink.clone(), 1, |id, _| {
             MjNode::new(id, event_validity)
         });
         MjEngine {
             sim,
+            sink,
             recovery: RecoveryPlane::new(),
         }
     }
@@ -646,7 +828,7 @@ impl MjEngine {
     /// Panics when the sharded backend is active — switch back with
     /// [`Engine::set_shards`]`(1)` first.
     #[must_use]
-    pub fn simulator(&self) -> &Simulator<MjNode> {
+    pub fn simulator(&self) -> &Simulator<MjNode, S> {
         self.sim.as_single()
     }
 
@@ -654,6 +836,7 @@ impl MjEngine {
     /// multi-join protocol is analogous (purge + re-flood + tombstone
     /// re-announcement at the crash frontier).
     fn apply_recovery(&mut self, delta: &RegraftDelta) {
+        let start = self.sim.now();
         self.sim.run_recovery(delta);
         let frontier = RecoveryPlane::frontier(delta, |n| self.sim.is_down(n));
         let tombstones: Vec<SensorId> = self.recovery.dead_sensors.iter().copied().collect();
@@ -665,10 +848,20 @@ impl MjEngine {
             }
         }
         self.recovery.recoveries += 1;
+        if S::ENABLED {
+            record_op(
+                &self.sink,
+                "recover",
+                Some(delta.crashed),
+                start,
+                self.sim.now(),
+                format!("frontier {}", frontier.len()),
+            );
+        }
     }
 }
 
-impl Engine for MjEngine {
+impl<S: TelemetrySink> Engine for MjEngine<S> {
     fn name(&self) -> &'static str {
         "Distributed multi-join"
     }
@@ -687,23 +880,67 @@ impl Engine for MjEngine {
     fn retract_subscription(&mut self, node: NodeId, sub: SubId) {
         self.recovery.note_sub_retracted(sub);
         self.sim.inject(node, MjMsg::Unsubscribe(sub));
+        if S::ENABLED {
+            let t = self.sim.now();
+            record_op(
+                &self.sink,
+                "retract-sub",
+                Some(node),
+                t,
+                t,
+                format!("{sub:?}"),
+            );
+        }
     }
     fn retract_sensor(&mut self, node: NodeId, sensor: SensorId) {
         self.recovery.note_sensor_retracted(sensor);
         self.sim.inject(node, MjMsg::SensorDown(sensor));
+        if S::ENABLED {
+            let t = self.sim.now();
+            record_op(
+                &self.sink,
+                "retract-sensor",
+                Some(node),
+                t,
+                t,
+                format!("{sensor:?}"),
+            );
+        }
     }
     fn move_sensor(&mut self, node: NodeId, adv: Advertisement) {
         let gen = self.recovery.note_move(adv.sensor, node);
         self.sim.inject(node, MjMsg::Move(adv, gen));
+        if S::ENABLED {
+            let t = self.sim.now();
+            record_op(
+                &self.sink,
+                "move",
+                Some(node),
+                t,
+                t,
+                format!("{:?} gen {gen}", adv.sensor),
+            );
+        }
     }
     fn mobility_stats(&self) -> MobilityStats {
         MobilityStats {
             moves: self.recovery.moves,
-            handoff_msgs: self.sim.stats().handoff_msgs,
+            handoff_msgs: self.sim.stats().handoff_msgs(),
         }
     }
     fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
+        let start = self.sim.now();
         let delta = self.sim.crash_and_regraft(node, anchor)?;
+        if S::ENABLED {
+            record_op(
+                &self.sink,
+                "crash",
+                Some(node),
+                start,
+                self.sim.now(),
+                format!("anchor n{}, {} orphans", anchor.0, delta.orphans.len()),
+            );
+        }
         if let Some(delta) = self.recovery.note_crash(delta) {
             self.apply_recovery(&delta);
         }
@@ -718,7 +955,7 @@ impl Engine for MjEngine {
         }
     }
     fn recovery_stats(&self) -> RecoveryStats {
-        self.recovery.stats(self.sim.stats().recovery_msgs)
+        self.recovery.stats(self.sim.stats().recovery_msgs())
     }
     fn footprint(&self) -> Vec<NodeFootprint> {
         let ids: Vec<NodeId> = self.sim.topology().nodes().collect();
@@ -738,7 +975,19 @@ impl Engine for MjEngine {
             .collect()
     }
     fn flush(&mut self) {
+        let start = self.sim.now();
+        let before = self.sim.steps();
         self.sim.run_to_quiescence();
+        if S::ENABLED {
+            record_op(
+                &self.sink,
+                "flush",
+                None,
+                start,
+                self.sim.now(),
+                format!("{} handled", self.sim.steps() - before),
+            );
+        }
     }
     fn run_until(&mut self, t: u64) -> u64 {
         self.sim.run_until(t)
@@ -776,8 +1025,9 @@ impl Engine for MjEngine {
 }
 
 /// Engine wrapper for the centralized baseline.
-pub struct CentralEngine {
-    sim: Backend<CentralNode>,
+pub struct CentralEngine<S: TelemetrySink = Noop> {
+    sim: Backend<CentralNode, S>,
+    sink: S,
     recovery: RecoveryPlane,
     /// Live subscriptions with their bodies — the centralized baseline's
     /// repair path re-registers them (registrations dropped in flight
@@ -795,12 +1045,26 @@ impl CentralEngine {
     /// Build over a topology with a latency model.
     #[must_use]
     pub fn with_latency(topology: Topology, event_validity: u64, latency: LatencyModel) -> Self {
+        Self::with_sink(topology, event_validity, latency, Noop)
+    }
+}
+
+impl<S: TelemetrySink> CentralEngine<S> {
+    /// Build over a topology with a latency model and telemetry sink.
+    #[must_use]
+    pub fn with_sink(
+        topology: Topology,
+        event_validity: u64,
+        latency: LatencyModel,
+        sink: S,
+    ) -> Self {
         let center = topology.median();
-        let sim = Backend::build(topology, latency, 1, move |id, t| {
+        let sim = Backend::build_with_sink(topology, latency, sink.clone(), 1, move |id, t| {
             CentralNode::new(id, t, center, event_validity)
         });
         CentralEngine {
             sim,
+            sink,
             recovery: RecoveryPlane::new(),
             subscriptions: BTreeMap::new(),
         }
@@ -815,6 +1079,7 @@ impl CentralEngine {
     /// registrations are restored. Injections go to a live frontier node;
     /// a crashed centre is unrecoverable for this baseline by design.
     fn apply_recovery(&mut self, delta: &RegraftDelta) {
+        let start = self.sim.now();
         self.sim.run_recovery(delta);
         let frontier = RecoveryPlane::frontier(delta, |n| self.sim.is_down(n));
         if let Some(&via) = frontier.first() {
@@ -835,10 +1100,20 @@ impl CentralEngine {
             self.recovery.control_injections += 1;
         }
         self.recovery.recoveries += 1;
+        if S::ENABLED {
+            record_op(
+                &self.sink,
+                "recover",
+                Some(delta.crashed),
+                start,
+                self.sim.now(),
+                format!("frontier {}", frontier.len()),
+            );
+        }
     }
 }
 
-impl Engine for CentralEngine {
+impl<S: TelemetrySink> Engine for CentralEngine<S> {
     fn name(&self) -> &'static str {
         "Centralized"
     }
@@ -861,26 +1136,70 @@ impl Engine for CentralEngine {
         self.recovery.note_sub_retracted(sub);
         self.subscriptions.remove(&sub);
         self.sim.inject(node, CentralMsg::Unsubscribe(sub));
+        if S::ENABLED {
+            let t = self.sim.now();
+            record_op(
+                &self.sink,
+                "retract-sub",
+                Some(node),
+                t,
+                t,
+                format!("{sub:?}"),
+            );
+        }
     }
     fn retract_sensor(&mut self, node: NodeId, sensor: SensorId) {
         self.recovery.note_sensor_retracted(sensor);
         self.sim.inject(node, CentralMsg::SensorDown(sensor));
+        if S::ENABLED {
+            let t = self.sim.now();
+            record_op(
+                &self.sink,
+                "retract-sensor",
+                Some(node),
+                t,
+                t,
+                format!("{sensor:?}"),
+            );
+        }
     }
     fn move_sensor(&mut self, node: NodeId, adv: Advertisement) {
         // the centre's subscription table is location-independent, so the
         // handoff is management-plane (host re-home) plus the fresh-epoch
         // notice toward the centre; the generation is tracked for parity
-        let _gen = self.recovery.note_move(adv.sensor, node);
+        let gen = self.recovery.note_move(adv.sensor, node);
         self.sim.inject(node, CentralMsg::Move(adv.sensor));
+        if S::ENABLED {
+            let t = self.sim.now();
+            record_op(
+                &self.sink,
+                "move",
+                Some(node),
+                t,
+                t,
+                format!("{:?} gen {gen}", adv.sensor),
+            );
+        }
     }
     fn mobility_stats(&self) -> MobilityStats {
         MobilityStats {
             moves: self.recovery.moves,
-            handoff_msgs: self.sim.stats().handoff_msgs,
+            handoff_msgs: self.sim.stats().handoff_msgs(),
         }
     }
     fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
+        let start = self.sim.now();
         let delta = self.sim.crash_and_regraft(node, anchor)?;
+        if S::ENABLED {
+            record_op(
+                &self.sink,
+                "crash",
+                Some(node),
+                start,
+                self.sim.now(),
+                format!("anchor n{}, {} orphans", anchor.0, delta.orphans.len()),
+            );
+        }
         self.subscriptions.retain(|_, (n, _)| *n != node);
         if let Some(delta) = self.recovery.note_crash(delta) {
             self.apply_recovery(&delta);
@@ -896,7 +1215,7 @@ impl Engine for CentralEngine {
         }
     }
     fn recovery_stats(&self) -> RecoveryStats {
-        self.recovery.stats(self.sim.stats().recovery_msgs)
+        self.recovery.stats(self.sim.stats().recovery_msgs())
     }
     fn footprint(&self) -> Vec<NodeFootprint> {
         let ids: Vec<NodeId> = self.sim.topology().nodes().collect();
@@ -915,7 +1234,19 @@ impl Engine for CentralEngine {
             .collect()
     }
     fn flush(&mut self) {
+        let start = self.sim.now();
+        let before = self.sim.steps();
         self.sim.run_to_quiescence();
+        if S::ENABLED {
+            record_op(
+                &self.sink,
+                "flush",
+                None,
+                start,
+                self.sim.now(),
+                format!("{} handled", self.sim.steps() - before),
+            );
+        }
     }
     fn run_until(&mut self, t: u64) -> u64 {
         self.sim.run_until(t)
@@ -1050,7 +1381,7 @@ mod tests {
                 e.inject_event(NodeId(6), ev(eid, 2, 1, 5.0, t + 5));
                 e.flush();
             }
-            (e.stats().sub_forwards, e.stats().event_units)
+            (e.stats().sub_forwards(), e.stats().event_units())
         };
         let (sub_c, _ev_c) = run(EngineKind::Centralized);
         let (sub_n, ev_n) = run(EngineKind::Naive);

@@ -376,7 +376,7 @@ mod tests {
     fn subscription_travels_to_center_only() {
         let mut s = line_sim();
         s.inject_and_run(NodeId(0), CentralMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
-        assert_eq!(s.stats.sub_forwards, 2, "0→1→2");
+        assert_eq!(s.stats.sub_forwards(), 2, "0→1→2");
         assert_eq!(s.node(NodeId(2)).registered_subs(), 1);
         assert_eq!(s.node(NodeId(1)).registered_subs(), 0);
     }
@@ -386,7 +386,7 @@ mod tests {
         let mut s = line_sim();
         // no subscriptions at all — events still stream to the centre
         s.inject_and_run(NodeId(4), CentralMsg::Publish(ev(1, 1, 5.0, 100)));
-        assert_eq!(s.stats.event_units, 2, "4→3→2 even though nobody asked");
+        assert_eq!(s.stats.event_units(), 2, "4→3→2 even though nobody asked");
     }
 
     #[test]
@@ -395,7 +395,7 @@ mod tests {
         s.inject_and_run(NodeId(0), CentralMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
         s.inject_and_run(NodeId(4), CentralMsg::Publish(ev(1, 1, 5.0, 100)));
         // 2 units in (4→2) + 2 units out (2→0)
-        assert_eq!(s.stats.event_units, 4);
+        assert_eq!(s.stats.event_units(), 4);
         assert!(s.deliveries.delivered(SubId(1)).contains(&EventId(1)));
     }
 
@@ -422,16 +422,16 @@ mod tests {
         s.inject_and_run(NodeId(0), CentralMsg::Subscribe(sub(2, &[(1, 4.0, 10.0)])));
         s.inject_and_run(NodeId(4), CentralMsg::Publish(ev(1, 1, 5.0, 100)));
         // in: 2 units; out: 2 streams × 2 hops = 4 units
-        assert_eq!(s.stats.event_units, 6);
+        assert_eq!(s.stats.event_units(), 6);
     }
 
     #[test]
     fn user_at_center_gets_local_delivery() {
         let mut s = line_sim();
         s.inject_and_run(NodeId(2), CentralMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
-        assert_eq!(s.stats.sub_forwards, 0);
+        assert_eq!(s.stats.sub_forwards(), 0);
         s.inject_and_run(NodeId(4), CentralMsg::Publish(ev(1, 1, 5.0, 100)));
-        assert_eq!(s.stats.event_units, 2, "only the inbound leg");
+        assert_eq!(s.stats.event_units(), 2, "only the inbound leg");
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
     }
 
@@ -443,9 +443,9 @@ mod tests {
         s.inject_and_run(NodeId(0), CentralMsg::Unsubscribe(SubId(1)));
         assert_eq!(s.node(NodeId(2)).registered_subs(), 0);
         // events still pay the inbound fixed cost, but no results flow back
-        let before = s.stats.event_units;
+        let before = s.stats.event_units();
         s.inject_and_run(NodeId(4), CentralMsg::Publish(ev(1, 1, 5.0, 100)));
-        assert_eq!(s.stats.event_units - before, 2, "inbound leg only");
+        assert_eq!(s.stats.event_units() - before, 2, "inbound leg only");
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 0);
         // idempotent
         s.inject_and_run(NodeId(0), CentralMsg::Unsubscribe(SubId(1)));
@@ -476,7 +476,7 @@ mod tests {
             1,
             "the moved sensor's reading survived the handoff"
         );
-        assert_eq!(s.stats.handoff_msgs, 2, "notice travelled 0→1→2");
+        assert_eq!(s.stats.handoff_msgs(), 2, "notice travelled 0→1→2");
         // idempotent, and post-move readings store normally
         s.inject_and_run(NodeId(0), CentralMsg::Move(fsf_model::SensorId(1)));
         s.inject_and_run(NodeId(0), CentralMsg::Publish(ev(3, 1, 5.0, 130)));
@@ -492,11 +492,11 @@ mod tests {
         );
         s.inject_and_run(NodeId(4), CentralMsg::Publish(ev(1, 1, 5.0, 100)));
         s.inject_and_run(NodeId(4), CentralMsg::Publish(ev(2, 2, 5.0, 101)));
-        let base = s.stats.event_units;
+        let base = s.stats.event_units();
         // a second sensor-2 reading in the same window matches again, but
         // only the new event goes out (1 in-unit ×2 hops + 1 out-unit ×2 hops)
         s.inject_and_run(NodeId(4), CentralMsg::Publish(ev(3, 2, 6.0, 102)));
-        assert_eq!(s.stats.event_units - base, 4);
+        assert_eq!(s.stats.event_units() - base, 4);
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 3);
     }
 }

@@ -883,7 +883,7 @@ mod tests {
             MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0), (3, 0.0, 10.0)])),
         );
         // user→hub: 1 multi; hub: 3 binaries eval here, 3 simple filters out
-        assert_eq!(s.stats.sub_forwards, 1 + 3);
+        assert_eq!(s.stats.sub_forwards(), 1 + 3);
         let hub = s
             .node(NodeId(0))
             .store(Origin::Neighbor(NodeId(4)))
@@ -933,7 +933,7 @@ mod tests {
         s.inject_and_run(NodeId(2), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 0, "no delivery");
         // raw events to hub: 1+1; sanctioned FP hub→user: ≥1
-        let fp_units = s.stats.link(NodeId(0), NodeId(4)).events;
+        let fp_units = s.stats.link(NodeId(0), NodeId(4)).events();
         assert!(
             fp_units >= 1,
             "false positive crossed toward the user: {fp_units}"
@@ -949,10 +949,10 @@ mod tests {
         );
         s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         // lone event: no partner → nothing to the user
-        assert_eq!(s.stats.link(NodeId(0), NodeId(4)).events, 0);
+        assert_eq!(s.stats.link(NodeId(0), NodeId(4)).events(), 0);
         s.inject_and_run(NodeId(2), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 2);
-        assert_eq!(s.stats.link(NodeId(0), NodeId(4)).events, 2);
+        assert_eq!(s.stats.link(NodeId(0), NodeId(4)).events(), 2);
     }
 
     #[test]
@@ -969,7 +969,7 @@ mod tests {
         s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         s.inject_and_run(NodeId(2), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
         // hub→user link carries each event once despite two matching subs
-        assert_eq!(s.stats.link(NodeId(0), NodeId(4)).events, 2);
+        assert_eq!(s.stats.link(NodeId(0), NodeId(4)).events(), 2);
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 2);
         assert_eq!(s.deliveries.delivered(SubId(2)).len(), 2);
     }
@@ -981,14 +981,14 @@ mod tests {
             NodeId(4),
             MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (2, 0.0, 10.0)])),
         );
-        let before = s.stats.sub_forwards;
+        let before = s.stats.sub_forwards();
         // narrower multi-join over the same dims: covered pairwise at the
         // user node already — no further forwards at all
         s.inject_and_run(
             NodeId(4),
             MjMsg::Subscribe(sub(2, &[(1, 2.0, 8.0), (2, 2.0, 8.0)])),
         );
-        assert_eq!(s.stats.sub_forwards, before);
+        assert_eq!(s.stats.sub_forwards(), before);
         // …and still served
         s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         s.inject_and_run(NodeId(2), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
@@ -1008,7 +1008,7 @@ mod tests {
         );
         // 0→1 and 1→2 carry the whole multi (2 forwards); at 2 it splits:
         // two binaries eval at 2, simple filters 2→3 and 2→4 (2 forwards)
-        assert_eq!(s.stats.sub_forwards, 4);
+        assert_eq!(s.stats.sub_forwards(), 4);
         let n1 = s
             .node(NodeId(1))
             .store(Origin::Neighbor(NodeId(0)))
@@ -1076,7 +1076,7 @@ mod tests {
     fn single_attribute_subscription_behaves_like_simple_filter() {
         let mut s = star_sim();
         s.inject_and_run(NodeId(4), MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0)])));
-        assert_eq!(s.stats.sub_forwards, 2, "user→hub, hub→sensor");
+        assert_eq!(s.stats.sub_forwards(), 2, "user→hub, hub→sensor");
         s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 1);
         s.inject_and_run(NodeId(1), MjMsg::Publish(ev(101, 1, 0, 50.0, 1001)));
@@ -1101,10 +1101,10 @@ mod tests {
             assert_eq!(fwd, 0, "n{n} leaked forward entries");
         }
         // further readings go nowhere
-        let before = s.stats.event_units;
+        let before = s.stats.event_units();
         s.inject_and_run(NodeId(1), MjMsg::Publish(ev(100, 1, 0, 5.0, 1000)));
         s.inject_and_run(NodeId(2), MjMsg::Publish(ev(101, 2, 1, 5.0, 1005)));
-        assert_eq!(s.stats.event_units, before);
+        assert_eq!(s.stats.event_units(), before);
         assert_eq!(s.deliveries.delivered(SubId(1)).len(), 0);
         // idempotent
         let stats = s.stats.clone();
@@ -1174,7 +1174,7 @@ mod tests {
             NodeId(4),
             MjMsg::Subscribe(sub(1, &[(1, 0.0, 10.0), (99, 0.0, 1.0)])),
         );
-        assert_eq!(s.stats.sub_forwards, 0);
+        assert_eq!(s.stats.sub_forwards(), 0);
         assert_eq!(s.node(NodeId(4)).dropped_unanswerable(), 1);
     }
 }

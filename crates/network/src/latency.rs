@@ -108,7 +108,11 @@ impl LatencyModel {
 
 /// Summary statistics of end-to-end delivery latency (virtual ticks from
 /// reading injection to complex-event delivery at the user's node).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// `mean` is an `f64`, so the summary is `PartialEq` but not `Eq`; the
+/// equivalence batteries compare delivered *results*, not timing, and are
+/// unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LatencySummary {
     /// Number of complex-event deliveries with a known injection time.
     pub samples: u64,
@@ -116,12 +120,18 @@ pub struct LatencySummary {
     pub p50: u64,
     /// 95th-percentile delivery latency.
     pub p95: u64,
+    /// 99th-percentile delivery latency — the tail the compare gate
+    /// watches for regressions.
+    pub p99: u64,
     /// Worst observed delivery latency.
     pub max: u64,
+    /// Arithmetic-mean delivery latency.
+    pub mean: f64,
 }
 
 impl LatencySummary {
-    /// Nearest-rank percentiles over raw samples (empty input → all zero).
+    /// Nearest-rank percentiles and mean over raw samples, from a single
+    /// sort and a single accumulation pass (empty input → all zero).
     #[must_use]
     pub fn from_samples(samples: &[u64]) -> Self {
         if samples.is_empty() {
@@ -129,6 +139,7 @@ impl LatencySummary {
         }
         let mut sorted = samples.to_vec();
         sorted.sort_unstable();
+        let sum: u64 = sorted.iter().sum();
         let rank = |p: f64| {
             let idx = (p * sorted.len() as f64).ceil() as usize;
             sorted[idx.clamp(1, sorted.len()) - 1]
@@ -137,7 +148,9 @@ impl LatencySummary {
             samples: sorted.len() as u64,
             p50: rank(0.50),
             p95: rank(0.95),
+            p99: rank(0.99),
             max: *sorted.last().expect("non-empty"),
+            mean: sum as f64 / sorted.len() as f64,
         }
     }
 }
@@ -168,9 +181,26 @@ mod tests {
         assert_eq!(s.samples, 5);
         assert_eq!(s.p50, 5);
         assert_eq!(s.p95, 9);
+        assert_eq!(s.p99, 9);
         assert_eq!(s.max, 9);
+        assert_eq!(s.mean, 5.0);
         assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
         let one = LatencySummary::from_samples(&[4]);
-        assert_eq!((one.p50, one.p95, one.max), (4, 4, 4));
+        assert_eq!((one.p50, one.p95, one.p99, one.max), (4, 4, 4, 4));
+        assert_eq!(one.mean, 4.0);
+    }
+
+    #[test]
+    fn p99_separates_from_p95_on_long_tails() {
+        // 100 samples: 98 fast, 2 slow — p95 stays fast, p99 catches the
+        // first slow one, max the worst
+        let mut samples = vec![1u64; 98];
+        samples.push(50);
+        samples.push(90);
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.p95, 1);
+        assert_eq!(s.p99, 50);
+        assert_eq!(s.max, 90);
+        assert!((s.mean - 2.38).abs() < 1e-9, "mean {}", s.mean);
     }
 }

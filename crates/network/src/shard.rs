@@ -40,6 +40,7 @@ use crate::sim::{Ctx, DeliveryLog, NodeBehavior, Simulator};
 use crate::topology::{NodeId, RegraftDelta, Topology, TopologyError};
 use crate::traffic::{ChargeKind, TrafficStats};
 use fsf_model::EventId;
+use fsf_telemetry::{flood_id, Noop, TelemetryEvent, TelemetrySink, TrafficClass};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A partition of a topology's nodes into connected subtree shards.
@@ -159,14 +160,18 @@ struct Entry<M> {
     seq: u64,
     from: NodeId,
     to: NodeId,
+    /// Causality id (see [`fsf_telemetry::flood_id`]): minted at injection,
+    /// inherited by every downstream send.
+    flood: u64,
     msg: M,
 }
 
 /// Per-shard state: the nodes it owns, its calendar queue, and its private
 /// counters (drained into the merged totals after every pump).
 #[derive(Debug)]
-struct ShardState<B: NodeBehavior> {
+struct ShardState<B: NodeBehavior, S: TelemetrySink> {
     id: usize,
+    sink: S,
     nodes: Vec<B>,
     /// Calendar queue: tick → bucket of entries. Buckets are sorted by
     /// `(origin, seq)` at drain time; same-tick sends made while draining
@@ -188,10 +193,11 @@ struct ShardState<B: NodeBehavior> {
     outgoing: Vec<(u64, usize, Entry<B::Msg>)>,
 }
 
-impl<B: NodeBehavior> ShardState<B> {
-    fn new(id: usize) -> Self {
+impl<B: NodeBehavior, S: TelemetrySink> ShardState<B, S> {
+    fn new(id: usize, sink: S) -> Self {
         ShardState {
             id,
+            sink,
             nodes: Vec::new(),
             calendar: BTreeMap::new(),
             queued: 0,
@@ -243,19 +249,34 @@ impl<B: NodeBehavior> ShardState<B> {
             for entry in bucket {
                 popped += 1;
                 if popped > budget {
-                    panic!(
+                    let mut msg = format!(
                         "simulator exceeded {} steps at virtual time {} with {} messages \
-                         queued — forwarding loop?",
-                        budget, t, self.queued
+                         queued — forwarding loop? (shard {})",
+                        budget, t, self.queued, self.id
                     );
+                    if S::ENABLED {
+                        for ev in self.sink.recent(10) {
+                            msg.push_str(&format!("\n    {ev:?}"));
+                        }
+                    }
+                    panic!("{msg}");
                 }
                 if down.contains(&entry.to) {
                     self.queue_drops += 1;
                     self.dropped_to_downed += 1;
+                    if S::ENABLED {
+                        self.sink.record(TelemetryEvent::DroppedDowned {
+                            at: t,
+                            to: entry.to.0,
+                            shard: self.id as u32,
+                            flood: entry.flood,
+                        });
+                    }
                     continue;
                 }
                 handled += 1;
                 let slot = node_slot[entry.to.0 as usize] as usize;
+                let deliveries_before = self.deliveries.complex_deliveries();
                 {
                     let mut ctx = Ctx::external(
                         entry.to,
@@ -266,6 +287,16 @@ impl<B: NodeBehavior> ShardState<B> {
                     );
                     self.nodes[slot].on_message(entry.from, entry.msg, &mut ctx);
                 }
+                if S::ENABLED {
+                    self.sink.record(TelemetryEvent::Handled {
+                        at: t,
+                        from: entry.from.0,
+                        to: entry.to.0,
+                        shard: self.id as u32,
+                        flood: entry.flood,
+                        deliveries: self.deliveries.complex_deliveries() - deliveries_before,
+                    });
+                }
                 for (to, msg, kind, units) in outbox.drain(..) {
                     self.stats.charge(kind, entry.to, to, units);
                     let at = t + latency.delay(entry.to, to);
@@ -274,11 +305,24 @@ impl<B: NodeBehavior> ShardState<B> {
                         seq: self.next_seq,
                         from: entry.to,
                         to,
+                        flood: entry.flood,
                         msg,
                     };
                     self.next_seq += 1;
                     self.scheduled_total += 1;
                     let dest = plan.shard_of(to);
+                    if S::ENABLED {
+                        self.sink.record(TelemetryEvent::Scheduled {
+                            at: t,
+                            deliver_at: at,
+                            from: entry.to.0,
+                            to: to.0,
+                            shard: dest as u32,
+                            flood: entry.flood,
+                            class: kind.traffic_class(),
+                            units,
+                        });
+                    }
                     if dest == self.id {
                         self.push(at, e);
                     } else {
@@ -297,7 +341,7 @@ impl<B: NodeBehavior> ShardState<B> {
 /// advance concurrently within conservative lookahead windows. See the
 /// module docs for the protocol.
 #[derive(Debug)]
-pub struct ShardedSimulator<B: NodeBehavior + Send>
+pub struct ShardedSimulator<B: NodeBehavior + Send, S: TelemetrySink = Noop>
 where
     B::Msg: Send,
 {
@@ -306,7 +350,11 @@ where
     plan: ShardPlan,
     /// Global node id → index within its shard's `nodes` vector.
     node_slot: Vec<u32>,
-    shards: Vec<ShardState<B>>,
+    shards: Vec<ShardState<B, S>>,
+    sink: S,
+    /// Completed conservative rounds (the `round` stamp of
+    /// [`TelemetryEvent::ShardRound`] profiles).
+    rounds: u64,
     /// Shard adjacency with the minimum latency of any crossing link —
     /// the `L(r,s)` of the lookahead rule. Rebuilt on regraft.
     shard_graph: Vec<Vec<(usize, u64)>>,
@@ -332,6 +380,24 @@ where
         topology: Topology,
         latency: LatencyModel,
         shards: usize,
+        make_node: impl FnMut(NodeId, &Topology) -> B,
+    ) -> Self {
+        Self::with_sink(topology, latency, Noop, shards, make_node)
+    }
+}
+
+impl<B: NodeBehavior + Send, S: TelemetrySink> ShardedSimulator<B, S>
+where
+    B::Msg: Send,
+{
+    /// Build with an explicit latency model and telemetry sink (see
+    /// [`Self::with_latency`]). Every shard records into a clone of `sink`;
+    /// a [`fsf_telemetry::Recorder`] shares one store across clones.
+    pub fn with_sink(
+        topology: Topology,
+        latency: LatencyModel,
+        sink: S,
+        shards: usize,
         mut make_node: impl FnMut(NodeId, &Topology) -> B,
     ) -> Self {
         let plan = if latency.min_hop() == 0 {
@@ -343,7 +409,7 @@ where
             .nodes()
             .map(|id| make_node(id, &topology))
             .collect();
-        Self::from_parts(topology, latency, plan, nodes)
+        Self::from_parts(topology, latency, plan, nodes, sink)
     }
 
     /// Assemble from prebuilt nodes in topology-id order (backend
@@ -353,9 +419,12 @@ where
         latency: LatencyModel,
         plan: ShardPlan,
         nodes: Vec<B>,
+        sink: S,
     ) -> Self {
         assert_eq!(nodes.len(), topology.len(), "one node per topology id");
-        let mut shards: Vec<ShardState<B>> = (0..plan.shards()).map(ShardState::new).collect();
+        let mut shards: Vec<ShardState<B, S>> = (0..plan.shards())
+            .map(|id| ShardState::new(id, sink.clone()))
+            .collect();
         let mut node_slot = vec![0u32; topology.len()];
         for (id, node) in nodes.into_iter().enumerate() {
             let s = plan.shard_of(NodeId(id as u32));
@@ -370,6 +439,8 @@ where
             plan,
             node_slot,
             shards,
+            sink,
+            rounds: 0,
             merged_stats: TrafficStats::new(),
             merged_deliveries: DeliveryLog::new(),
             now: 0,
@@ -389,8 +460,13 @@ where
         shards.min(cores)
     }
 
+    /// The attached telemetry sink.
+    pub(crate) fn sink(&self) -> &S {
+        &self.sink
+    }
+
     /// Tear apart for backend switching: nodes return in topology-id order.
-    pub(crate) fn into_parts(self) -> (Topology, LatencyModel, Vec<B>) {
+    pub(crate) fn into_parts(self) -> (Topology, LatencyModel, Vec<B>, S) {
         let n = self.topology.len();
         let mut slots: Vec<Option<B>> = (0..n).map(|_| None).collect();
         for (s, shard) in self.shards.into_iter().enumerate() {
@@ -405,7 +481,7 @@ where
             .into_iter()
             .map(|n| n.expect("every id assigned to exactly one shard"))
             .collect();
-        (self.topology, self.latency, nodes)
+        (self.topology, self.latency, nodes, self.sink)
     }
 
     fn rebuild_shard_graph(&mut self) {
@@ -439,8 +515,12 @@ where
 
     /// Per-round conservative caps: `cap(s) = min over adjacent r of
     /// lb(r) + L(r,s)`, with `lb` the relaxed earliest-emission bounds (see
-    /// the module docs), clamped to `horizon + 1`.
-    fn round_caps(&self, heads: &[Option<u64>], horizon: Option<u64>) -> Vec<u64> {
+    /// the module docs), clamped to `horizon + 1`. The second element of
+    /// each pair is the cap's provenance: `true` when a neighbor's bound is
+    /// the binding constraint (rather than the horizon clamp or an
+    /// unconstrained `u64::MAX`) — the profiling signal for how often the
+    /// conservative window, not the workload, limits a shard's round.
+    fn round_caps(&self, heads: &[Option<u64>], horizon: Option<u64>) -> Vec<(u64, bool)> {
         let s = self.shards.len();
         let mut lb: Vec<u64> = heads.iter().map(|h| h.unwrap_or(u64::MAX)).collect();
         loop {
@@ -463,15 +543,21 @@ where
         }
         (0..s)
             .map(|a| {
-                let mut cap = self.shard_graph[a]
+                let neighbor_cap = self.shard_graph[a]
                     .iter()
                     .map(|&(b, l)| lb[b].saturating_add(l))
                     .min()
                     .unwrap_or(u64::MAX);
+                let mut cap = neighbor_cap;
+                let mut by_neighbor = neighbor_cap != u64::MAX;
                 if let Some(t) = horizon {
-                    cap = cap.min(t.saturating_add(1));
+                    let h = t.saturating_add(1);
+                    if h <= cap {
+                        cap = h;
+                        by_neighbor = false;
+                    }
                 }
-                cap
+                (cap, by_neighbor)
             })
             .collect()
     }
@@ -616,16 +702,33 @@ where
         }
         let s = self.plan.shard_of(node);
         let shard = &mut self.shards[s];
+        // every injection mints a fresh causal flood id in its shard's
+        // sequence space
+        let flood = flood_id(s as u32, shard.next_seq);
         let entry = Entry {
             origin: s as u32,
             seq: shard.next_seq,
             from: node,
             to: node,
+            flood,
             msg,
         };
         shard.next_seq += 1;
         shard.scheduled_total += 1;
-        shard.push(at.max(self.now), entry);
+        let deliver_at = at.max(self.now);
+        if S::ENABLED {
+            self.sink.record(TelemetryEvent::Scheduled {
+                at: self.now,
+                deliver_at,
+                from: node.0,
+                to: node.0,
+                shard: s as u32,
+                flood,
+                class: TrafficClass::Inject,
+                units: 1,
+            });
+        }
+        shard.push(deliver_at, entry);
     }
 
     /// Crash a node (see [`Simulator::crash_and_regraft`]): the purge only
@@ -641,7 +744,8 @@ where
         let (topology, delta) = self.topology.regraft_with_delta(crashed, anchor)?;
         self.topology = topology;
         if self.down.insert(crashed) {
-            let shard = &mut self.shards[self.plan.shard_of(crashed)];
+            let s = self.plan.shard_of(crashed);
+            let shard = &mut self.shards[s];
             let mut purged = 0u64;
             shard.calendar.retain(|_, bucket| {
                 let before = bucket.len();
@@ -652,6 +756,14 @@ where
             shard.queued -= purged as usize;
             shard.queue_drops += purged;
             shard.dropped_to_downed += purged;
+            if S::ENABLED && purged > 0 {
+                self.sink.record(TelemetryEvent::Purged {
+                    at: self.now,
+                    node: crashed.0,
+                    shard: s as u32,
+                    count: purged,
+                });
+            }
         }
         for id in 0..self.node_slot.len() {
             let node = NodeId(id as u32);
@@ -678,6 +790,7 @@ where
             }
             let s = self.plan.shard_of(node);
             let slot = self.node_slot[id] as usize;
+            let deliveries_before = self.shards[s].deliveries.complex_deliveries();
             {
                 let shard = &mut self.shards[s];
                 let mut ctx = Ctx::external(
@@ -689,21 +802,50 @@ where
                 );
                 shard.nodes[slot].on_recover(delta, &mut ctx);
             }
+            let sends = outbox.len() as u64;
             for (to, msg, kind, units) in outbox.drain(..) {
                 let at = now + self.latency.delay(node, to);
                 let sender = &mut self.shards[s];
                 sender.stats.charge(kind, node, to, units);
+                // each recovery send starts a fresh causal flood: it was
+                // not triggered by any in-flight message
+                let flood = flood_id(s as u32, sender.next_seq);
                 let entry = Entry {
                     origin: s as u32,
                     seq: sender.next_seq,
                     from: node,
                     to,
+                    flood,
                     msg,
                 };
                 sender.next_seq += 1;
                 sender.scheduled_total += 1;
                 let dest = self.plan.shard_of(to);
+                if S::ENABLED {
+                    self.sink.record(TelemetryEvent::Scheduled {
+                        at: now,
+                        deliver_at: at,
+                        from: node.0,
+                        to: to.0,
+                        shard: dest as u32,
+                        flood,
+                        class: kind.traffic_class(),
+                        units,
+                    });
+                }
                 self.shards[dest].push(at, entry);
+            }
+            if S::ENABLED {
+                let deliveries = self.shards[s].deliveries.complex_deliveries() - deliveries_before;
+                if deliveries + sends > 0 {
+                    self.sink.record(TelemetryEvent::Recovered {
+                        at: now,
+                        node: node.0,
+                        shard: s as u32,
+                        deliveries,
+                        sends,
+                    });
+                }
             }
         }
         self.refresh_merged();
@@ -717,6 +859,47 @@ where
             merged_stats.merge(&stats);
             shard.deliveries.drain_into(merged_deliveries);
         }
+    }
+
+    /// The runaway-protection panic message: the classic one-liner plus a
+    /// telemetry snapshot (per-shard queue depths, hottest destination,
+    /// and — when a recording sink is attached — the last lifecycle
+    /// events).
+    fn runaway_report(&self) -> String {
+        let mut msg = format!(
+            "simulator exceeded {} steps at virtual time {} with {} messages queued \
+             — forwarding loop?",
+            self.max_steps_per_run,
+            self.now,
+            self.queue_depth()
+        );
+        let depths: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| format!("shard {}: {}", s.id, s.queued))
+            .collect();
+        msg.push_str(&format!("\n  queue depths: {}", depths.join(", ")));
+        let mut queued_to: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for shard in &self.shards {
+            for bucket in shard.calendar.values() {
+                for e in bucket {
+                    *queued_to.entry(e.to).or_default() += 1;
+                }
+            }
+        }
+        if let Some((node, depth)) = queued_to.into_iter().max_by_key(|&(_, d)| d) {
+            msg.push_str(&format!("\n  hottest destination: {node} ({depth} queued)"));
+        }
+        if S::ENABLED {
+            let recent = self.sink.recent(10);
+            if !recent.is_empty() {
+                msg.push_str("\n  last lifecycle events:");
+                for ev in recent {
+                    msg.push_str(&format!("\n    {ev:?}"));
+                }
+            }
+        }
+        msg
     }
 
     /// Round-based conservative pump (see the module docs). Returns the
@@ -735,11 +918,13 @@ where
             let caps = self.round_caps(&heads, horizon);
             let budget = self.max_steps_per_run - total_popped;
             let runnable: Vec<usize> = (0..self.shards.len())
-                .filter(|&s| heads[s].is_some_and(|h| h < caps[s]))
+                .filter(|&s| heads[s].is_some_and(|h| h < caps[s].0))
                 .collect();
             debug_assert!(!runnable.is_empty(), "the gmin shard always runs");
             let mut round_handled = 0u64;
             let mut round_popped = 0u64;
+            // per-shard popped counts, for the ShardRound profiles
+            let mut drained = vec![0u64; self.shards.len()];
             {
                 let shards = &mut self.shards;
                 let topology = &self.topology;
@@ -754,37 +939,64 @@ where
                             if !runnable.contains(&idx) {
                                 continue;
                             }
-                            let cap = caps[idx];
-                            handles.push(sc.spawn(move || {
-                                shard.advance(cap, budget, topology, latency, plan, node_slot, down)
-                            }));
+                            let cap = caps[idx].0;
+                            handles.push((
+                                idx,
+                                sc.spawn(move || {
+                                    shard.advance(
+                                        cap, budget, topology, latency, plan, node_slot, down,
+                                    )
+                                }),
+                            ));
                         }
-                        for h in handles {
+                        for (idx, h) in handles {
                             let (hd, pp) =
                                 h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
                             round_handled += hd;
                             round_popped += pp;
+                            drained[idx] = pp;
                         }
                     });
                 } else {
                     for &idx in &runnable {
-                        let (hd, pp) = shards[idx]
-                            .advance(caps[idx], budget, topology, latency, plan, node_slot, down);
+                        let (hd, pp) = shards[idx].advance(
+                            caps[idx].0,
+                            budget,
+                            topology,
+                            latency,
+                            plan,
+                            node_slot,
+                            down,
+                        );
                         round_handled += hd;
                         round_popped += pp;
+                        drained[idx] = pp;
                     }
                 }
             }
             total_handled += round_handled;
             total_popped += round_popped;
+            if S::ENABLED {
+                // one profile per shard that had work queued this round —
+                // stalled shards (blocked by a neighbor's bound) show up
+                // with drained = 0, which is exactly the interesting case
+                for s in 0..self.shards.len() {
+                    let Some(head) = heads[s] else { continue };
+                    let (cap, by_neighbor) = caps[s];
+                    self.sink.record(TelemetryEvent::ShardRound {
+                        shard: s as u32,
+                        round: self.rounds,
+                        head,
+                        cap: (cap != u64::MAX).then_some(cap),
+                        capped_by_neighbor: by_neighbor,
+                        drained: drained[s],
+                        handoffs: self.shards[s].outgoing.len() as u64,
+                    });
+                }
+            }
+            self.rounds += 1;
             if total_popped > self.max_steps_per_run {
-                panic!(
-                    "simulator exceeded {} steps at virtual time {} with {} messages queued \
-                     — forwarding loop?",
-                    self.max_steps_per_run,
-                    self.now,
-                    self.queue_depth()
-                );
+                panic!("{}", self.runaway_report());
             }
             // Route cross-shard handoffs at the barrier, in shard-id order:
             // the destination bucket sort key (origin, seq) makes arrival
@@ -831,14 +1043,14 @@ where
 /// sharded mode on event-for-event [`DeliveryLog`] equality with the
 /// single mode.
 #[derive(Debug)]
-pub enum Backend<B: NodeBehavior + Send>
+pub enum Backend<B: NodeBehavior + Send, S: TelemetrySink = Noop>
 where
     B::Msg: Send,
 {
     /// The original single-heap [`Simulator`] — the determinism oracle.
-    Single(Simulator<B>),
+    Single(Simulator<B, S>),
     /// The sharded conservative-parallel simulator.
-    Sharded(ShardedSimulator<B>),
+    Sharded(ShardedSimulator<B, S>),
 }
 
 impl<B: NodeBehavior + Send> Backend<B>
@@ -853,11 +1065,27 @@ where
         shards: usize,
         make_node: impl FnMut(NodeId, &Topology) -> B,
     ) -> Self {
+        Self::build_with_sink(topology, latency, Noop, shards, make_node)
+    }
+}
+
+impl<B: NodeBehavior + Send, S: TelemetrySink> Backend<B, S>
+where
+    B::Msg: Send,
+{
+    /// Build with a telemetry sink (see [`Backend::build`]).
+    pub fn build_with_sink(
+        topology: Topology,
+        latency: LatencyModel,
+        sink: S,
+        shards: usize,
+        make_node: impl FnMut(NodeId, &Topology) -> B,
+    ) -> Self {
         if shards <= 1 {
-            Backend::Single(Simulator::with_latency(topology, latency, make_node))
+            Backend::Single(Simulator::with_sink(topology, latency, sink, make_node))
         } else {
-            Backend::Sharded(ShardedSimulator::with_latency(
-                topology, latency, shards, make_node,
+            Backend::Sharded(ShardedSimulator::with_sink(
+                topology, latency, sink, shards, make_node,
             ))
         }
     }
@@ -881,25 +1109,32 @@ where
             self.scheduled_total() == 0 && self.now() == 0,
             "set_shards requires a pristine simulator (no scheduled traffic)"
         );
+        let placeholder_sink = match &*self {
+            Backend::Single(s) => s.sink().clone(),
+            Backend::Sharded(s) => s.sink().clone(),
+        };
         let placeholder = Backend::Single(Simulator::from_parts(
             Topology::from_edges(0, &[]).expect("empty tree"),
             LatencyModel::Zero,
             Vec::new(),
+            placeholder_sink,
         ));
         let old = std::mem::replace(self, placeholder);
-        let (topology, latency, nodes) = match old {
+        let (topology, latency, nodes, sink) = match old {
             Backend::Single(sim) => sim.into_parts(),
             Backend::Sharded(sim) => sim.into_parts(),
         };
         *self = if shards <= 1 {
-            Backend::Single(Simulator::from_parts(topology, latency, nodes))
+            Backend::Single(Simulator::from_parts(topology, latency, nodes, sink))
         } else {
             let plan = if latency.min_hop() == 0 {
                 ShardPlan::single(topology.len())
             } else {
                 ShardPlan::partition(&topology, shards)
             };
-            Backend::Sharded(ShardedSimulator::from_parts(topology, latency, plan, nodes))
+            Backend::Sharded(ShardedSimulator::from_parts(
+                topology, latency, plan, nodes, sink,
+            ))
         };
     }
 
@@ -909,7 +1144,7 @@ where
     /// Panics if the sharded backend is active — callers needing raw
     /// simulator access (examples, probes) run single-shard.
     #[must_use]
-    pub fn as_single(&self) -> &Simulator<B> {
+    pub fn as_single(&self) -> &Simulator<B, S> {
         match self {
             Backend::Single(sim) => sim,
             Backend::Sharded(_) => {
@@ -920,7 +1155,7 @@ where
 
     /// Mutable access to the single-queue simulator, when active (see
     /// [`Self::as_single`]).
-    pub fn as_single_mut(&mut self) -> &mut Simulator<B> {
+    pub fn as_single_mut(&mut self) -> &mut Simulator<B, S> {
         match self {
             Backend::Single(sim) => sim,
             Backend::Sharded(_) => {
@@ -1217,7 +1452,7 @@ mod tests {
             }
             assert_eq!(sharded.now(), single.now());
             assert_eq!(sharded.steps(), single.steps());
-            assert_eq!(sharded.stats().adv_msgs, single.stats.adv_msgs);
+            assert_eq!(sharded.stats().adv_msgs(), single.stats.adv_msgs());
         }
     }
 

@@ -35,6 +35,7 @@ use crate::latency::{LatencyModel, LatencySummary};
 use crate::topology::{NodeId, RegraftDelta, Topology};
 use crate::traffic::{ChargeKind, TrafficStats};
 use fsf_model::{ComplexEvent, EventId, SubId};
+use fsf_telemetry::{flood_id, Noop, TelemetryEvent, TelemetrySink, TrafficClass};
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// The node-logic trait implemented by every engine (FSF and the four
@@ -273,6 +274,9 @@ impl DeliveryLog {
 struct Envelope<M> {
     from: NodeId,
     to: NodeId,
+    /// Causality id: minted at injection, inherited by every send made
+    /// while handling a message carrying it (see [`fsf_telemetry::flood_id`]).
+    flood: u64,
     msg: M,
 }
 
@@ -306,12 +310,19 @@ impl<M> Ord for Scheduled<M> {
 /// Deterministic discrete-event simulator over a tree of [`NodeBehavior`]
 /// nodes. Defaults to [`LatencyModel::Zero`], which reproduces the classic
 /// run-to-quiescence FIFO semantics exactly (see the module docs).
+///
+/// The `S` parameter is the telemetry sink; it defaults to
+/// [`fsf_telemetry::Noop`], whose `ENABLED = false` lets every recording
+/// site compile away — the disabled simulator is byte-for-byte the old one.
+/// Build with [`Simulator::with_sink`] and a
+/// [`fsf_telemetry::Recorder`] to capture the message lifecycle.
 #[derive(Debug)]
-pub struct Simulator<B: NodeBehavior> {
+pub struct Simulator<B: NodeBehavior, S: TelemetrySink = Noop> {
     topology: Topology,
     nodes: Vec<B>,
     queue: BinaryHeap<Scheduled<B::Msg>>,
     latency: LatencyModel,
+    sink: S,
     /// Accumulated traffic counters.
     pub stats: TrafficStats,
     /// Accumulated end-user deliveries.
@@ -336,10 +347,6 @@ pub struct Simulator<B: NodeBehavior> {
 }
 
 impl<B: NodeBehavior> Simulator<B> {
-    /// Default per-run step budget; exceeding it panics (a forwarding loop
-    /// would otherwise spin forever).
-    pub const DEFAULT_MAX_STEPS: u64 = 200_000_000;
-
     /// Build a zero-latency simulator, constructing one node per topology
     /// id.
     pub fn new(topology: Topology, make_node: impl FnMut(NodeId, &Topology) -> B) -> Self {
@@ -350,6 +357,22 @@ impl<B: NodeBehavior> Simulator<B> {
     pub fn with_latency(
         topology: Topology,
         latency: LatencyModel,
+        make_node: impl FnMut(NodeId, &Topology) -> B,
+    ) -> Self {
+        Self::with_sink(topology, latency, Noop, make_node)
+    }
+}
+
+impl<B: NodeBehavior, S: TelemetrySink> Simulator<B, S> {
+    /// Default per-run step budget; exceeding it panics (a forwarding loop
+    /// would otherwise spin forever).
+    pub const DEFAULT_MAX_STEPS: u64 = 200_000_000;
+
+    /// Build a simulator with an explicit latency model and telemetry sink.
+    pub fn with_sink(
+        topology: Topology,
+        latency: LatencyModel,
+        sink: S,
         mut make_node: impl FnMut(NodeId, &Topology) -> B,
     ) -> Self {
         let nodes = topology
@@ -362,6 +385,7 @@ impl<B: NodeBehavior> Simulator<B> {
             nodes,
             queue: BinaryHeap::new(),
             latency,
+            sink,
             stats: TrafficStats::new(),
             deliveries: DeliveryLog::new(),
             now: 0,
@@ -378,16 +402,27 @@ impl<B: NodeBehavior> Simulator<B> {
     }
 
     /// Tear a pristine simulator apart for backend switching (see
-    /// `shard::Backend::set_shards`): the topology, latency model and node
-    /// states move out; queued messages and counters are discarded, so
-    /// callers must only do this before any traffic is scheduled.
-    pub(crate) fn into_parts(self) -> (Topology, LatencyModel, Vec<B>) {
-        (self.topology, self.latency, self.nodes)
+    /// `shard::Backend::set_shards`): the topology, latency model, node
+    /// states and sink move out; queued messages and counters are
+    /// discarded, so callers must only do this before any traffic is
+    /// scheduled.
+    pub(crate) fn into_parts(self) -> (Topology, LatencyModel, Vec<B>, S) {
+        (self.topology, self.latency, self.nodes, self.sink)
+    }
+
+    /// The attached telemetry sink.
+    pub(crate) fn sink(&self) -> &S {
+        &self.sink
     }
 
     /// Rebuild from parts produced by [`Self::into_parts`] (node order must
     /// match topology id order).
-    pub(crate) fn from_parts(topology: Topology, latency: LatencyModel, nodes: Vec<B>) -> Self {
+    pub(crate) fn from_parts(
+        topology: Topology,
+        latency: LatencyModel,
+        nodes: Vec<B>,
+        sink: S,
+    ) -> Self {
         assert_eq!(nodes.len(), topology.len(), "one node per topology id");
         let queued_to = vec![0u32; topology.len()];
         Simulator {
@@ -395,6 +430,7 @@ impl<B: NodeBehavior> Simulator<B> {
             nodes,
             queue: BinaryHeap::new(),
             latency,
+            sink,
             stats: TrafficStats::new(),
             deliveries: DeliveryLog::new(),
             now: 0,
@@ -529,6 +565,14 @@ impl<B: NodeBehavior> Simulator<B> {
             self.dropped_to_downed += purged;
             self.queue_drops += purged;
             self.down.insert(crashed, self.next_seq);
+            if S::ENABLED && purged > 0 {
+                self.sink.record(TelemetryEvent::Purged {
+                    at: self.now,
+                    node: crashed.0,
+                    shard: 0,
+                    count: purged,
+                });
+            }
         }
         for id in 0..self.nodes.len() {
             if !self.down.contains_key(&NodeId(id as u32)) {
@@ -552,6 +596,7 @@ impl<B: NodeBehavior> Simulator<B> {
             if self.down.contains_key(&node) {
                 continue;
             }
+            let deliveries_before = self.deliveries.complex_deliveries();
             {
                 let mut ctx = Ctx {
                     node,
@@ -562,10 +607,34 @@ impl<B: NodeBehavior> Simulator<B> {
                 };
                 self.nodes[id].on_recover(delta, &mut ctx);
             }
+            let sends = outbox.len() as u64;
             for (to, msg, kind, units) in outbox.drain(..) {
                 self.stats.charge(kind, node, to, units);
                 let deliver_at = self.now + self.latency.delay(node, to);
-                self.schedule(node, to, msg, deliver_at);
+                // each recovery send starts a fresh causal flood: it was
+                // not triggered by any in-flight message
+                let flood = flood_id(0, self.next_seq);
+                self.schedule(
+                    node,
+                    to,
+                    msg,
+                    deliver_at,
+                    flood,
+                    kind.traffic_class(),
+                    units,
+                );
+            }
+            if S::ENABLED {
+                let deliveries = self.deliveries.complex_deliveries() - deliveries_before;
+                if deliveries + sends > 0 {
+                    self.sink.record(TelemetryEvent::Recovered {
+                        at: self.now,
+                        node: node.0,
+                        shard: 0,
+                        deliveries,
+                        sends,
+                    });
+                }
             }
         }
     }
@@ -578,15 +647,77 @@ impl<B: NodeBehavior> Simulator<B> {
         self.steps
     }
 
-    fn schedule(&mut self, from: NodeId, to: NodeId, msg: B::Msg, deliver_at: u64) {
+    /// The runaway-protection panic message: the classic one-liner plus a
+    /// telemetry snapshot (queue depth, hottest destination, and — when a
+    /// recording sink is attached — the last lifecycle events), so a
+    /// forwarding loop names its suspects instead of just dying.
+    fn runaway_report(&self) -> String {
+        let mut msg = format!(
+            "simulator exceeded {} steps at virtual time {} with {} messages queued — \
+             forwarding loop?",
+            self.max_steps_per_run,
+            self.now,
+            self.queue.len()
+        );
+        if let Some((node, depth)) = self
+            .queued_to
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &d)| d)
+            .filter(|&(_, &d)| d > 0)
+        {
+            msg.push_str(&format!(
+                "\n  hottest destination: n{node} ({depth} queued)"
+            ));
+        }
+        if S::ENABLED {
+            let recent = self.sink.recent(10);
+            if !recent.is_empty() {
+                msg.push_str("\n  last lifecycle events:");
+                for ev in recent {
+                    msg.push_str(&format!("\n    {ev:?}"));
+                }
+            }
+        }
+        msg
+    }
+
+    #[allow(clippy::too_many_arguments)] // one enqueue, fully described
+    fn schedule(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: B::Msg,
+        deliver_at: u64,
+        flood: u64,
+        class: TrafficClass,
+        units: u64,
+    ) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
         self.queued_to[to.0 as usize] += 1;
+        if S::ENABLED {
+            self.sink.record(TelemetryEvent::Scheduled {
+                at: self.now,
+                deliver_at,
+                from: from.0,
+                to: to.0,
+                shard: 0,
+                flood,
+                class,
+                units,
+            });
+        }
         self.queue.push(Scheduled {
             deliver_at,
             seq,
-            env: Envelope { from, to, msg },
+            env: Envelope {
+                from,
+                to,
+                flood,
+                msg,
+            },
         });
     }
 
@@ -605,7 +736,17 @@ impl<B: NodeBehavior> Simulator<B> {
             self.dropped_to_downed += 1;
             return;
         }
-        self.schedule(node, node, msg, at.max(self.now));
+        // every injection mints a fresh causal flood id
+        let flood = flood_id(0, self.next_seq);
+        self.schedule(
+            node,
+            node,
+            msg,
+            at.max(self.now),
+            flood,
+            TrafficClass::Inject,
+            1,
+        );
     }
 
     /// Process messages in `(deliver_at, seq)` order until `horizon` (if
@@ -621,13 +762,7 @@ impl<B: NodeBehavior> Simulator<B> {
             let sch = self.queue.pop().expect("peeked");
             popped += 1;
             if popped > self.max_steps_per_run {
-                panic!(
-                    "simulator exceeded {} steps at virtual time {} with {} messages queued — \
-                     forwarding loop?",
-                    self.max_steps_per_run,
-                    self.now,
-                    self.queue.len()
-                );
+                panic!("{}", self.runaway_report());
             }
             if let Some(&cutoff) = self.down.get(&sch.env.to) {
                 if sch.seq < cutoff {
@@ -641,6 +776,14 @@ impl<B: NodeBehavior> Simulator<B> {
                 self.now = self.now.max(sch.deliver_at);
                 self.dropped_to_downed += 1;
                 self.queue_drops += 1;
+                if S::ENABLED {
+                    self.sink.record(TelemetryEvent::DroppedDowned {
+                        at: self.now,
+                        to: sch.env.to.0,
+                        shard: 0,
+                        flood: sch.env.flood,
+                    });
+                }
                 continue;
             }
             self.queued_to[sch.env.to.0 as usize] -= 1;
@@ -648,6 +791,7 @@ impl<B: NodeBehavior> Simulator<B> {
             let env = sch.env;
             handled += 1;
             let node_idx = env.to.0 as usize;
+            let deliveries_before = self.deliveries.complex_deliveries();
             {
                 let mut ctx = Ctx {
                     node: env.to,
@@ -658,10 +802,29 @@ impl<B: NodeBehavior> Simulator<B> {
                 };
                 self.nodes[node_idx].on_message(env.from, env.msg, &mut ctx);
             }
+            if S::ENABLED {
+                self.sink.record(TelemetryEvent::Handled {
+                    at: self.now,
+                    from: env.from.0,
+                    to: env.to.0,
+                    shard: 0,
+                    flood: env.flood,
+                    deliveries: self.deliveries.complex_deliveries() - deliveries_before,
+                });
+            }
             for (to, msg, kind, units) in outbox.drain(..) {
                 self.stats.charge(kind, env.to, to, units);
                 let deliver_at = self.now + self.latency.delay(env.to, to);
-                self.schedule(env.to, to, msg, deliver_at);
+                // sends inherit the handled message's causal flood id
+                self.schedule(
+                    env.to,
+                    to,
+                    msg,
+                    deliver_at,
+                    env.flood,
+                    kind.traffic_class(),
+                    units,
+                );
             }
         }
         if let Some(t) = horizon {
@@ -732,7 +895,7 @@ mod tests {
             assert_eq!(sim.node(NodeId(n)).seen, vec![42], "node n{n}");
         }
         // a tree floods over exactly n-1 links (back-edges suppressed)
-        assert_eq!(sim.stats.adv_msgs, 14);
+        assert_eq!(sim.stats.adv_msgs(), 14);
         // zero latency: the virtual clock never moved
         assert_eq!(sim.now(), 0);
     }
@@ -801,7 +964,7 @@ mod tests {
             seen.sort_unstable();
             assert_eq!(seen, vec![1, 2], "node n{n} saw each flood exactly once");
         }
-        assert_eq!(sim.stats.adv_msgs, 2 * 14);
+        assert_eq!(sim.stats.adv_msgs(), 2 * 14);
         assert_eq!(
             sim.scheduled_total(),
             sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64
@@ -1043,7 +1206,10 @@ mod tests {
         assert_eq!(sim.node(NodeId(3)).seen, vec![0]);
         assert_eq!(sim.node(NodeId(2)).seen_at, vec![1 + 2]);
         assert_eq!(sim.node(NodeId(3)).seen_at, vec![1 + 4]);
-        assert!(sim.stats.recovery_msgs >= 1, "recovery traffic is charged");
+        assert!(
+            sim.stats.recovery_msgs() >= 1,
+            "recovery traffic is charged"
+        );
         assert_eq!(
             sim.scheduled_total(),
             sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64

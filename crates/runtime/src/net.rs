@@ -190,7 +190,11 @@ mod tests {
         net.inject(NodeId(30), 8);
         net.wait_quiescent();
         let (stats, _) = net.shutdown();
-        assert_eq!(stats.adv_msgs, 2 * 30, "each flood crosses every link once");
+        assert_eq!(
+            stats.adv_msgs(),
+            2 * 30,
+            "each flood crosses every link once"
+        );
     }
 
     #[test]
@@ -202,7 +206,7 @@ mod tests {
         }
         net.wait_quiescent();
         let (stats, _) = net.shutdown();
-        assert_eq!(stats.adv_msgs, 50 * 14);
+        assert_eq!(stats.adv_msgs(), 50 * 14);
     }
 
     #[test]
@@ -211,7 +215,7 @@ mod tests {
         let net = ThreadedNet::spawn(&topo, |_, _| Flood::default());
         net.wait_quiescent(); // nothing injected
         let (stats, deliveries) = net.shutdown();
-        assert_eq!(stats.adv_msgs, 0);
+        assert_eq!(stats.adv_msgs(), 0);
         assert_eq!(deliveries.total_event_units(), 0);
     }
 }

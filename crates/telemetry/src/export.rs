@@ -1,0 +1,785 @@
+//! Exporters: JSONL structured log (with a round-trip parser), Chrome
+//! trace-event JSON (shards as tracks, virtual time as timestamps — opens
+//! directly in Perfetto / `chrome://tracing`), and the `top` text summary
+//! of hottest nodes, links and floods.
+
+use crate::json::{escape, Json};
+use crate::{Recorder, TelemetryEvent, TrafficClass};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------- JSONL --
+
+fn event_to_json(e: &TelemetryEvent) -> String {
+    match e {
+        TelemetryEvent::Scheduled {
+            at,
+            deliver_at,
+            from,
+            to,
+            shard,
+            flood,
+            class,
+            units,
+        } => format!(
+            "{{\"type\":\"scheduled\",\"at\":{at},\"deliver_at\":{deliver_at},\"from\":{from},\
+             \"to\":{to},\"shard\":{shard},\"flood\":{flood},\"class\":\"{}\",\"units\":{units}}}",
+            class.as_str()
+        ),
+        TelemetryEvent::Handled {
+            at,
+            from,
+            to,
+            shard,
+            flood,
+            deliveries,
+        } => format!(
+            "{{\"type\":\"handled\",\"at\":{at},\"from\":{from},\"to\":{to},\"shard\":{shard},\
+             \"flood\":{flood},\"deliveries\":{deliveries}}}"
+        ),
+        TelemetryEvent::DroppedDowned {
+            at,
+            to,
+            shard,
+            flood,
+        } => format!(
+            "{{\"type\":\"dropped_downed\",\"at\":{at},\"to\":{to},\"shard\":{shard},\
+             \"flood\":{flood}}}"
+        ),
+        TelemetryEvent::Purged {
+            at,
+            node,
+            shard,
+            count,
+        } => format!(
+            "{{\"type\":\"purged\",\"at\":{at},\"node\":{node},\"shard\":{shard},\
+             \"count\":{count}}}"
+        ),
+        TelemetryEvent::Recovered {
+            at,
+            node,
+            shard,
+            deliveries,
+            sends,
+        } => format!(
+            "{{\"type\":\"recovered\",\"at\":{at},\"node\":{node},\"shard\":{shard},\
+             \"deliveries\":{deliveries},\"sends\":{sends}}}"
+        ),
+        TelemetryEvent::ShardRound {
+            shard,
+            round,
+            head,
+            cap,
+            capped_by_neighbor,
+            drained,
+            handoffs,
+        } => {
+            let cap = cap.map_or("null".to_string(), |c| c.to_string());
+            format!(
+                "{{\"type\":\"shard_round\",\"shard\":{shard},\"round\":{round},\"head\":{head},\
+                 \"cap\":{cap},\"capped_by_neighbor\":{capped_by_neighbor},\"drained\":{drained},\
+                 \"handoffs\":{handoffs}}}"
+            )
+        }
+        TelemetryEvent::EngineOp {
+            op,
+            node,
+            start,
+            end,
+            detail,
+        } => {
+            let node = node.map_or("null".to_string(), |n| n.to_string());
+            format!(
+                "{{\"type\":\"engine_op\",\"op\":\"{}\",\"node\":{node},\"start\":{start},\
+                 \"end\":{end},\"detail\":\"{}\"}}",
+                escape(op),
+                escape(detail)
+            )
+        }
+    }
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing/non-integer field {key:?}"))
+}
+
+fn field_u32(v: &Json, key: &str) -> Result<u32, String> {
+    u32::try_from(field_u64(v, key)?).map_err(|_| format!("field {key:?} exceeds u32"))
+}
+
+/// Parse one JSONL line back into an event (inverse of the writer).
+fn event_from_json(line: &str) -> Result<TelemetryEvent, String> {
+    let v = Json::parse(line)?;
+    let ty = v
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("missing \"type\"")?;
+    match ty {
+        "scheduled" => Ok(TelemetryEvent::Scheduled {
+            at: field_u64(&v, "at")?,
+            deliver_at: field_u64(&v, "deliver_at")?,
+            from: field_u32(&v, "from")?,
+            to: field_u32(&v, "to")?,
+            shard: field_u32(&v, "shard")?,
+            flood: field_u64(&v, "flood")?,
+            class: v
+                .get("class")
+                .and_then(Json::as_str)
+                .and_then(TrafficClass::parse)
+                .ok_or("bad \"class\"")?,
+            units: field_u64(&v, "units")?,
+        }),
+        "handled" => Ok(TelemetryEvent::Handled {
+            at: field_u64(&v, "at")?,
+            from: field_u32(&v, "from")?,
+            to: field_u32(&v, "to")?,
+            shard: field_u32(&v, "shard")?,
+            flood: field_u64(&v, "flood")?,
+            deliveries: field_u64(&v, "deliveries")?,
+        }),
+        "dropped_downed" => Ok(TelemetryEvent::DroppedDowned {
+            at: field_u64(&v, "at")?,
+            to: field_u32(&v, "to")?,
+            shard: field_u32(&v, "shard")?,
+            flood: field_u64(&v, "flood")?,
+        }),
+        "purged" => Ok(TelemetryEvent::Purged {
+            at: field_u64(&v, "at")?,
+            node: field_u32(&v, "node")?,
+            shard: field_u32(&v, "shard")?,
+            count: field_u64(&v, "count")?,
+        }),
+        "recovered" => Ok(TelemetryEvent::Recovered {
+            at: field_u64(&v, "at")?,
+            node: field_u32(&v, "node")?,
+            shard: field_u32(&v, "shard")?,
+            deliveries: field_u64(&v, "deliveries")?,
+            sends: field_u64(&v, "sends")?,
+        }),
+        "shard_round" => Ok(TelemetryEvent::ShardRound {
+            shard: field_u32(&v, "shard")?,
+            round: field_u64(&v, "round")?,
+            head: field_u64(&v, "head")?,
+            cap: match v.get("cap") {
+                Some(Json::Null) | None => None,
+                Some(c) => Some(c.as_u64().ok_or("bad \"cap\"")?),
+            },
+            capped_by_neighbor: v
+                .get("capped_by_neighbor")
+                .and_then(Json::as_bool)
+                .ok_or("bad \"capped_by_neighbor\"")?,
+            drained: field_u64(&v, "drained")?,
+            handoffs: field_u64(&v, "handoffs")?,
+        }),
+        "engine_op" => Ok(TelemetryEvent::EngineOp {
+            op: v
+                .get("op")
+                .and_then(Json::as_str)
+                .ok_or("missing \"op\"")?
+                .to_string(),
+            node: match v.get("node") {
+                Some(Json::Null) | None => None,
+                Some(n) => Some(
+                    u32::try_from(n.as_u64().ok_or("bad \"node\"")?)
+                        .map_err(|_| "node exceeds u32")?,
+                ),
+            },
+            start: field_u64(&v, "start")?,
+            end: field_u64(&v, "end")?,
+            detail: v
+                .get("detail")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        }),
+        other => Err(format!("unknown event type {other:?}")),
+    }
+}
+
+impl Recorder {
+    /// Serialize the recording as JSONL: one event object per line, in
+    /// arrival order. [`Recorder::from_jsonl`] is the exact inverse.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.lock().events.iter() {
+            out.push_str(&event_to_json(e));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Rebuild a recorder (events and counters) from a JSONL export.
+    ///
+    /// # Errors
+    /// Returns the first malformed line with its 1-based line number.
+    pub fn from_jsonl(input: &str) -> Result<Recorder, String> {
+        let r = Recorder::new();
+        for (i, line) in input.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event = event_from_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            crate::TelemetrySink::record(&r, event);
+        }
+        Ok(r)
+    }
+}
+
+// --------------------------------------------------------- Chrome trace --
+
+/// Track ids inside each shard's process: rounds on 0, in-flight messages
+/// on 1, delivery/drop instants on 2.
+const TID_ROUNDS: u32 = 0;
+const TID_MESSAGES: u32 = 1;
+const TID_INSTANTS: u32 = 2;
+
+#[allow(clippy::too_many_arguments)] // one row of the trace-event wire format
+fn chrome_event(
+    out: &mut String,
+    name: &str,
+    ph: &str,
+    ts: u64,
+    dur: Option<u64>,
+    pid: u32,
+    tid: u32,
+    args: &[(&str, String)],
+) {
+    let _ = write!(
+        out,
+        "  {{\"name\":\"{}\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid}",
+        escape(name)
+    );
+    if let Some(d) = dur {
+        let _ = write!(out, ",\"dur\":{d}");
+    }
+    if ph == "i" {
+        // instant events need a scope; thread scope keeps them on their track
+        out.push_str(",\"s\":\"t\"");
+    }
+    if !args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+fn chrome_meta(out: &mut String, pid: u32, tid: u32, kind: &str, name: &str) {
+    let _ = write!(
+        out,
+        "  {{\"name\":\"{kind}\",\"ph\":\"M\",\"ts\":0,\"pid\":{pid},\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape(name)
+    );
+}
+
+impl Recorder {
+    /// Serialize the recording in Chrome trace-event JSON. Each shard
+    /// becomes a process track (pid = shard + 1; the engine span track is
+    /// pid 0) and virtual-clock ticks map to microsecond timestamps, so
+    /// the file opens directly in Perfetto or `chrome://tracing`: rounds
+    /// and in-flight messages render as slices, deliveries and drops as
+    /// instants, with flood ids in the slice args for causal filtering.
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> String {
+        let events = self.events();
+        let mut shards: Vec<u32> = Vec::new();
+        let note_shard = |s: u32, shards: &mut Vec<u32>| {
+            if !shards.contains(&s) {
+                shards.push(s);
+            }
+        };
+        for e in &events {
+            match e {
+                TelemetryEvent::Scheduled { shard, .. }
+                | TelemetryEvent::Handled { shard, .. }
+                | TelemetryEvent::DroppedDowned { shard, .. }
+                | TelemetryEvent::Purged { shard, .. }
+                | TelemetryEvent::Recovered { shard, .. }
+                | TelemetryEvent::ShardRound { shard, .. } => note_shard(*shard, &mut shards),
+                TelemetryEvent::EngineOp { .. } => {}
+            }
+        }
+        shards.sort_unstable();
+
+        let mut body: Vec<String> = Vec::new();
+        let mut meta = String::new();
+        chrome_meta(&mut meta, 0, 0, "process_name", "engine");
+        body.push(std::mem::take(&mut meta));
+        for &s in &shards {
+            chrome_meta(&mut meta, s + 1, 0, "process_name", &format!("shard {s}"));
+            body.push(std::mem::take(&mut meta));
+            for (tid, name) in [
+                (TID_ROUNDS, "rounds"),
+                (TID_MESSAGES, "in-flight"),
+                (TID_INSTANTS, "deliveries+drops"),
+            ] {
+                chrome_meta(&mut meta, s + 1, tid, "thread_name", name);
+                body.push(std::mem::take(&mut meta));
+            }
+        }
+
+        let mut buf = String::new();
+        for e in &events {
+            match e {
+                TelemetryEvent::Scheduled {
+                    at,
+                    deliver_at,
+                    from,
+                    to,
+                    shard,
+                    flood,
+                    class,
+                    units,
+                } => chrome_event(
+                    &mut buf,
+                    &format!("msg {class}"),
+                    "X",
+                    *at,
+                    Some((*deliver_at - *at).max(1)),
+                    shard + 1,
+                    TID_MESSAGES,
+                    &[
+                        ("flood", flood.to_string()),
+                        ("from", from.to_string()),
+                        ("to", to.to_string()),
+                        ("units", units.to_string()),
+                    ],
+                ),
+                TelemetryEvent::Handled {
+                    at,
+                    from,
+                    to,
+                    shard,
+                    flood,
+                    deliveries,
+                } => chrome_event(
+                    &mut buf,
+                    "handled",
+                    "i",
+                    *at,
+                    None,
+                    shard + 1,
+                    TID_INSTANTS,
+                    &[
+                        ("flood", flood.to_string()),
+                        ("from", from.to_string()),
+                        ("to", to.to_string()),
+                        ("deliveries", deliveries.to_string()),
+                    ],
+                ),
+                TelemetryEvent::DroppedDowned {
+                    at,
+                    to,
+                    shard,
+                    flood,
+                } => chrome_event(
+                    &mut buf,
+                    "dropped (downed)",
+                    "i",
+                    *at,
+                    None,
+                    shard + 1,
+                    TID_INSTANTS,
+                    &[("flood", flood.to_string()), ("to", to.to_string())],
+                ),
+                TelemetryEvent::Purged {
+                    at,
+                    node,
+                    shard,
+                    count,
+                } => chrome_event(
+                    &mut buf,
+                    "purged (crash)",
+                    "i",
+                    *at,
+                    None,
+                    shard + 1,
+                    TID_INSTANTS,
+                    &[("node", node.to_string()), ("count", count.to_string())],
+                ),
+                TelemetryEvent::Recovered {
+                    at,
+                    node,
+                    shard,
+                    deliveries,
+                    sends,
+                } => chrome_event(
+                    &mut buf,
+                    "recovered",
+                    "i",
+                    *at,
+                    None,
+                    shard + 1,
+                    TID_INSTANTS,
+                    &[
+                        ("node", node.to_string()),
+                        ("deliveries", deliveries.to_string()),
+                        ("sends", sends.to_string()),
+                    ],
+                ),
+                TelemetryEvent::ShardRound {
+                    shard,
+                    round,
+                    head,
+                    cap,
+                    capped_by_neighbor,
+                    drained,
+                    handoffs,
+                } => chrome_event(
+                    &mut buf,
+                    &format!("round {round}"),
+                    "X",
+                    *head,
+                    Some(cap.map_or(1, |c| c.saturating_sub(*head).max(1))),
+                    shard + 1,
+                    TID_ROUNDS,
+                    &[
+                        ("capped_by_neighbor", capped_by_neighbor.to_string()),
+                        ("drained", drained.to_string()),
+                        ("handoffs", handoffs.to_string()),
+                    ],
+                ),
+                TelemetryEvent::EngineOp {
+                    op,
+                    node,
+                    start,
+                    end,
+                    detail,
+                } => chrome_event(
+                    &mut buf,
+                    op,
+                    "X",
+                    *start,
+                    Some(end.saturating_sub(*start).max(1)),
+                    0,
+                    0,
+                    &[
+                        ("node", node.map_or("null".to_string(), |n| n.to_string())),
+                        ("detail", format!("\"{}\"", escape(detail))),
+                    ],
+                ),
+            }
+            body.push(std::mem::take(&mut buf));
+        }
+
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        out.push_str(&body.join(",\n"));
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Shape statistics returned by a successful [`validate_chrome_trace`] —
+/// what the CI smoke job prints next to the uploaded artifact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChromeTraceStats {
+    /// Total entries in `traceEvents`.
+    pub events: usize,
+    /// Complete (`ph == "X"`) duration slices.
+    pub slices: usize,
+    /// Instant (`ph == "i"`) events.
+    pub instants: usize,
+    /// Metadata (`ph == "M"`) entries.
+    pub metadata: usize,
+    /// Distinct pids (tracks): shards + the engine track.
+    pub tracks: usize,
+}
+
+/// Validate a Chrome trace-event JSON document's shape: a top-level object
+/// with a `traceEvents` array whose entries all carry `name`/`ph`/`pid`/
+/// `tid`/`ts`, with a non-negative `dur` on every complete slice and a
+/// scope on every instant. Returns counts by phase on success.
+///
+/// # Errors
+/// Returns a message naming the first offending entry.
+pub fn validate_chrome_trace(input: &str) -> Result<ChromeTraceStats, String> {
+    let doc = Json::parse(input)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("top-level \"traceEvents\" array missing")?;
+    if events.is_empty() {
+        return Err("empty traceEvents".to_string());
+    }
+    let mut stats = ChromeTraceStats {
+        events: events.len(),
+        ..ChromeTraceStats::default()
+    };
+    let mut pids = std::collections::BTreeSet::new();
+    for (i, e) in events.iter().enumerate() {
+        let ctx = |what: &str| format!("traceEvents[{i}]: {what}");
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing \"ph\""))?;
+        e.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing \"name\""))?;
+        let pid = e
+            .get("pid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ctx("missing \"pid\""))?;
+        e.get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ctx("missing \"tid\""))?;
+        e.get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ctx("missing \"ts\""))?;
+        pids.insert(pid);
+        match ph {
+            "X" => {
+                let dur = e
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| ctx("complete slice without \"dur\""))?;
+                if dur < 0.0 {
+                    return Err(ctx("negative \"dur\""));
+                }
+                stats.slices += 1;
+            }
+            "i" => {
+                e.get("s")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ctx("instant without scope \"s\""))?;
+                stats.instants += 1;
+            }
+            "M" => stats.metadata += 1,
+            other => return Err(ctx(&format!("unsupported phase {other:?}"))),
+        }
+    }
+    stats.tracks = pids.len();
+    Ok(stats)
+}
+
+// ---------------------------------------------------------- top summary --
+
+fn top_n<K: Ord + Clone>(map: &BTreeMap<K, u64>, n: usize) -> Vec<(K, u64)> {
+    let mut rows: Vec<(K, u64)> = map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    rows.truncate(n);
+    rows
+}
+
+impl Recorder {
+    /// A human-readable "top" summary: the `n` hottest nodes (by messages
+    /// handled), links (by units scheduled across them) and floods (by
+    /// total messages carrying the flood id), plus the round/handoff
+    /// aggregates — the first thing to read before opening the full trace.
+    #[must_use]
+    pub fn top_summary(&self, n: usize) -> String {
+        let events = self.events();
+        let mut node_handled: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut link_units: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        let mut flood_msgs: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut flood_deliveries: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut neighbor_capped_rounds = 0u64;
+        for e in &events {
+            match e {
+                TelemetryEvent::Scheduled {
+                    from,
+                    to,
+                    flood,
+                    units,
+                    ..
+                } => {
+                    if from != to {
+                        *link_units.entry((*from, *to)).or_default() += units;
+                    }
+                    *flood_msgs.entry(*flood).or_default() += 1;
+                }
+                TelemetryEvent::Handled {
+                    to,
+                    flood,
+                    deliveries,
+                    ..
+                } => {
+                    *node_handled.entry(*to).or_default() += 1;
+                    *flood_deliveries.entry(*flood).or_default() += deliveries;
+                }
+                TelemetryEvent::ShardRound {
+                    capped_by_neighbor: true,
+                    ..
+                } => neighbor_capped_rounds += 1,
+                _ => {}
+            }
+        }
+        let c = self.counts();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "telemetry top — {} events | scheduled {} handled {} dropped {} purged {} \
+             deliveries {}",
+            events.len(),
+            c.scheduled,
+            c.handled,
+            c.dropped_downed,
+            c.purged,
+            c.user_deliveries
+        );
+        let _ = writeln!(
+            out,
+            "shard rounds {} ({} capped by a neighbor) | cross-shard handoffs {} | engine ops {}",
+            c.shard_rounds, neighbor_capped_rounds, c.handoffs, c.engine_ops
+        );
+        let _ = writeln!(out, "hottest nodes (messages handled):");
+        for (node, count) in top_n(&node_handled, n) {
+            let _ = writeln!(out, "  n{node:<8} {count}");
+        }
+        let _ = writeln!(out, "hottest links (units scheduled):");
+        for ((from, to), units) in top_n(&link_units, n) {
+            let _ = writeln!(out, "  n{from} -> n{to:<6} {units}");
+        }
+        let _ = writeln!(out, "hottest floods (messages | deliveries):");
+        for (flood, msgs) in top_n(&flood_msgs, n) {
+            let delivered = flood_deliveries.get(&flood).copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  shard {} seq {:<10} {msgs} | {delivered}",
+                crate::flood_shard(flood),
+                crate::flood_seq(flood)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{flood_id, TelemetrySink};
+
+    fn sample_recorder() -> Recorder {
+        let r = Recorder::new();
+        let f = flood_id(1, 3);
+        r.record(TelemetryEvent::Scheduled {
+            at: 0,
+            deliver_at: 2,
+            from: 4,
+            to: 5,
+            shard: 1,
+            flood: f,
+            class: TrafficClass::Advertisement,
+            units: 1,
+        });
+        r.record(TelemetryEvent::Handled {
+            at: 2,
+            from: 4,
+            to: 5,
+            shard: 1,
+            flood: f,
+            deliveries: 2,
+        });
+        r.record(TelemetryEvent::DroppedDowned {
+            at: 3,
+            to: 9,
+            shard: 0,
+            flood: f,
+        });
+        r.record(TelemetryEvent::Purged {
+            at: 3,
+            node: 9,
+            shard: 0,
+            count: 2,
+        });
+        r.record(TelemetryEvent::Recovered {
+            at: 4,
+            node: 5,
+            shard: 1,
+            deliveries: 1,
+            sends: 3,
+        });
+        r.record(TelemetryEvent::ShardRound {
+            shard: 1,
+            round: 7,
+            head: 2,
+            cap: Some(6),
+            capped_by_neighbor: true,
+            drained: 4,
+            handoffs: 1,
+        });
+        r.record(TelemetryEvent::ShardRound {
+            shard: 0,
+            round: 8,
+            head: 2,
+            cap: None,
+            capped_by_neighbor: false,
+            drained: 1,
+            handoffs: 0,
+        });
+        r.record(TelemetryEvent::EngineOp {
+            op: "move_sensor".to_string(),
+            node: Some(5),
+            start: 2,
+            end: 9,
+            detail: "sensor 3 \"quoted\"".to_string(),
+        });
+        r
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant() {
+        let r = sample_recorder();
+        let jsonl = r.to_jsonl();
+        let back = Recorder::from_jsonl(&jsonl).unwrap();
+        assert_eq!(back.events(), r.events());
+        assert_eq!(back.counts(), r.counts());
+        // and the re-export is byte-identical (canonical form)
+        assert_eq!(back.to_jsonl(), jsonl);
+    }
+
+    #[test]
+    fn jsonl_parser_names_the_bad_line() {
+        let err = Recorder::from_jsonl("{\"type\":\"scheduled\"}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "got: {err}");
+        let err = Recorder::from_jsonl("{\"type\":\"nope\"}").unwrap_err();
+        assert!(err.contains("unknown event type"), "got: {err}");
+    }
+
+    #[test]
+    fn chrome_trace_validates_and_counts_tracks() {
+        let r = sample_recorder();
+        let trace = r.to_chrome_trace();
+        let stats = validate_chrome_trace(&trace).unwrap();
+        // engine + shard 0 + shard 1
+        assert_eq!(stats.tracks, 3);
+        // 1 scheduled + 2 rounds + 1 engine op
+        assert_eq!(stats.slices, 4);
+        // handled + dropped + purged + recovered
+        assert_eq!(stats.instants, 4);
+        assert!(stats.metadata >= 3, "process/thread names present");
+        assert_eq!(stats.events, stats.slices + stats.instants + stats.metadata);
+    }
+
+    #[test]
+    fn chrome_validator_rejects_malformed_shapes() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[]}").is_err());
+        let no_dur = "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\",\"ts\":0,\
+                      \"pid\":0,\"tid\":0}]}";
+        let err = validate_chrome_trace(no_dur).unwrap_err();
+        assert!(err.contains("without \"dur\""), "got: {err}");
+        let bad_ph = "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"Q\",\"ts\":0,\
+                      \"pid\":0,\"tid\":0}]}";
+        assert!(validate_chrome_trace(bad_ph).is_err());
+    }
+
+    #[test]
+    fn top_summary_ranks_nodes_links_and_floods() {
+        let r = sample_recorder();
+        let top = r.top_summary(3);
+        assert!(top.contains("hottest nodes"), "got: {top}");
+        assert!(top.contains("n5"), "node 5 handled a message: {top}");
+        assert!(top.contains("n4 -> n5"), "link ranked: {top}");
+        assert!(top.contains("shard 1 seq 3"), "flood decoded: {top}");
+        assert!(top.contains("1 capped by a neighbor"), "got: {top}");
+    }
+}

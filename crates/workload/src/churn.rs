@@ -101,8 +101,8 @@ pub fn run_churn(config: &ChurnConfig) -> Vec<ChurnRow> {
         }
         rows.push(ChurnRow {
             engine: kind,
-            sub_forwards: engine.stats().sub_forwards,
-            event_units: engine.stats().event_units,
+            sub_forwards: engine.stats().sub_forwards(),
+            event_units: engine.stats().event_units(),
             delivered_units: delivered,
             recall_vs_exact: 0.0, // filled below, once the baseline is known
             teardown_clean: leaks(engine.as_mut()).is_empty(),

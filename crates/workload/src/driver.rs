@@ -47,8 +47,8 @@ pub fn run_engine(w: &Workload, engine: &mut dyn Engine) -> ExperimentResult {
         points.push(BatchPoint {
             batch: b,
             subs_injected,
-            sub_forwards: engine.stats().sub_forwards,
-            event_units: engine.stats().event_units,
+            sub_forwards: engine.stats().sub_forwards(),
+            event_units: engine.stats().event_units(),
             delivered_units: delivered,
             expected_units,
             recall,

@@ -68,7 +68,7 @@ impl TimedConfig {
 }
 
 /// One engine's measurements over the timed scenario.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimedRow {
     /// The engine.
     pub engine: EngineKind,

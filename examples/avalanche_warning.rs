@@ -65,7 +65,7 @@ fn main() {
     sim.inject_and_run(NodeId(9), PubSubMsg::Subscribe(warning));
     println!(
         "warning subscription installed ({} operator forwards)\n",
-        sim.stats.sub_forwards
+        sim.stats.sub_forwards()
     );
 
     // A day of readings, one sample per sensor per tick.
@@ -111,7 +111,7 @@ fn main() {
     println!(
         "total event units on the network: {} — quiet readings and the \
          out-of-region station never left their gateways",
-        sim.stats.event_units
+        sim.stats.event_units()
     );
 }
 

@@ -71,8 +71,8 @@ fn main() {
         println!(
             "{:<34} {:>9} {:>10} {:>10} {:>8} {:>9}",
             kind.name(),
-            engine.stats().sub_forwards,
-            engine.stats().event_units,
+            engine.stats().sub_forwards(),
+            engine.stats().event_units(),
             delivered,
             engine.recovery_stats().repair_msgs,
             if leaked.is_empty() { "clean" } else { "LEAKED" },

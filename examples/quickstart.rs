@@ -31,7 +31,7 @@ fn main() {
         sim.inject_and_run(node, PubSubMsg::SensorUp(adv));
         println!("sensor {name} advertised from {node}");
     }
-    println!("advertisement messages: {}\n", sim.stats.adv_msgs);
+    println!("advertisement messages: {}\n", sim.stats.adv_msgs());
 
     // Table I subscriptions, all registered at the user node n6.
     let subs: [(&str, Vec<(SensorId, ValueRange)>); 3] = [
@@ -59,12 +59,12 @@ fn main() {
         ),
     ];
     for (i, (desc, filters)) in subs.into_iter().enumerate() {
-        let before = sim.stats.sub_forwards;
+        let before = sim.stats.sub_forwards();
         let sub = Subscription::identified(SubId(i as u64 + 1), filters, 30).unwrap();
         sim.inject_and_run(NodeId(0), PubSubMsg::Subscribe(sub));
         println!(
             "registered {desc}: +{} operator forwards",
-            sim.stats.sub_forwards - before
+            sim.stats.sub_forwards() - before
         );
     }
     println!(
@@ -90,7 +90,7 @@ fn main() {
         sim.inject_and_run(node, PubSubMsg::Publish(event));
     }
 
-    println!("event units forwarded: {}", sim.stats.event_units);
+    println!("event units forwarded: {}", sim.stats.event_units());
     for id in 1..=3u64 {
         let delivered = sim.deliveries.delivered(SubId(id));
         println!(

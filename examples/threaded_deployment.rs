@@ -71,11 +71,13 @@ fn main() {
     println!("\n                         threads      simulator");
     println!(
         "subscription load   {:>12} {:>14}",
-        threaded_stats.sub_forwards, sim.stats.sub_forwards
+        threaded_stats.sub_forwards(),
+        sim.stats.sub_forwards()
     );
     println!(
         "event load          {:>12} {:>14}",
-        threaded_stats.event_units, sim.stats.event_units
+        threaded_stats.event_units(),
+        sim.stats.event_units()
     );
     println!(
         "delivered units     {:>12} {:>14}",
@@ -83,8 +85,8 @@ fn main() {
         sim.deliveries.total_event_units()
     );
 
-    assert_eq!(threaded_stats.sub_forwards, sim.stats.sub_forwards);
-    assert_eq!(threaded_stats.event_units, sim.stats.event_units);
+    assert_eq!(threaded_stats.sub_forwards(), sim.stats.sub_forwards());
+    assert_eq!(threaded_stats.event_units(), sim.stats.event_units());
     assert_eq!(
         threaded_deliveries.total_event_units(),
         sim.deliveries.total_event_units()

@@ -29,7 +29,13 @@
 //! * [`workload`] — synthetic SensorScope-style streams, Pareto
 //!   subscriptions, the four experiment scenarios, driver and recall oracle
 //!   (paper §VI-A);
-//! * [`runtime`] — one-OS-thread-per-node execution of any engine.
+//! * [`runtime`] — one-OS-thread-per-node execution of any engine;
+//! * [`telemetry`] — causal message tracing and run profiling: a
+//!   statically-dispatched [`telemetry::TelemetrySink`] every simulator
+//!   layer reports into (zero overhead when disabled), a
+//!   [`telemetry::Recorder`] capturing message lifecycles / shard-round
+//!   profiles / engine spans on the virtual clock, and JSONL /
+//!   Chrome-trace (Perfetto) / text-summary exporters.
 //!
 //! ## Quickstart
 //!
@@ -68,7 +74,7 @@
 //! sim.inject_and_run(NodeId(0), PubSubMsg::Publish(event));
 //!
 //! assert_eq!(sim.deliveries.delivered(SubId(1)).len(), 1);
-//! assert_eq!(sim.stats.event_units, 3); // one unit per hop
+//! assert_eq!(sim.stats.event_units(), 3); // one unit per hop
 //! ```
 
 #![deny(missing_docs)]
@@ -81,6 +87,7 @@ pub use fsf_model as model;
 pub use fsf_network as network;
 pub use fsf_runtime as runtime;
 pub use fsf_subsumption as subsumption;
+pub use fsf_telemetry as telemetry;
 pub use fsf_workload as workload;
 
 /// The most frequently used types, for glob import.

@@ -57,7 +57,7 @@ fn smoke(kind: EngineKind) {
         kind.name()
     );
     assert!(
-        engine.stats().event_units > 0,
+        engine.stats().event_units() > 0,
         "{}: the delivery must have crossed the network",
         kind.name()
     );
@@ -95,7 +95,7 @@ fn teardown_smoke(kind: EngineKind) {
 
     engine.retract_subscription(NodeId(3), SubId(1));
     engine.flush();
-    let units_after_retract = engine.stats().event_units;
+    let units_after_retract = engine.stats().event_units();
     engine.inject_event(NodeId(0), ev(101, 2_000));
     engine.flush();
     assert_eq!(
@@ -107,7 +107,7 @@ fn teardown_smoke(kind: EngineKind) {
         // distributed engines: the unwanted reading never leaves its node
         // (the centralized baseline always pays the inbound fixed cost)
         assert_eq!(
-            engine.stats().event_units,
+            engine.stats().event_units(),
             units_after_retract,
             "{kind}: event traffic after unsubscribe"
         );

@@ -45,11 +45,11 @@ fn duplicate_advertisements_are_idempotent() {
         let mut e = line_engine(kind);
         e.inject_sensor(NodeId(0), adv(1));
         e.flush();
-        let base = e.stats().adv_msgs;
+        let base = e.stats().adv_msgs();
         e.inject_sensor(NodeId(0), adv(1));
         e.flush();
         assert_eq!(
-            e.stats().adv_msgs,
+            e.stats().adv_msgs(),
             base,
             "{kind}: re-advertising flooded again"
         );
@@ -64,11 +64,11 @@ fn duplicate_subscriptions_are_idempotent() {
         e.flush();
         e.inject_subscription(NodeId(3), simple_sub(1, 1));
         e.flush();
-        let base = e.stats().sub_forwards;
+        let base = e.stats().sub_forwards();
         e.inject_subscription(NodeId(3), simple_sub(1, 1));
         e.flush();
         assert_eq!(
-            e.stats().sub_forwards,
+            e.stats().sub_forwards(),
             base,
             "{kind}: duplicate subscription forwarded"
         );
@@ -85,7 +85,7 @@ fn duplicate_event_publication_is_idempotent() {
         e.flush();
         e.inject_event(NodeId(0), event(100, 1, 5.0, 1_000));
         e.flush();
-        let base = e.stats().event_units;
+        let base = e.stats().event_units();
         e.inject_event(NodeId(0), event(100, 1, 5.0, 1_000));
         e.flush();
         if kind == EngineKind::Centralized {
@@ -95,14 +95,14 @@ fn duplicate_event_publication_is_idempotent() {
             let topo = fsf::network::builders::line(4);
             let inbound = topo.distance(NodeId(0), topo.median()) as u64;
             assert_eq!(
-                e.stats().event_units,
+                e.stats().event_units(),
                 base + inbound,
                 "{kind}: inbound transit only"
             );
         } else {
             // distributed engines dedup at the publishing node itself
             assert_eq!(
-                e.stats().event_units,
+                e.stats().event_units(),
                 base,
                 "{kind}: duplicate event re-forwarded"
             );
@@ -184,7 +184,7 @@ fn events_published_before_any_subscription_are_dropped_at_source() {
         e.inject_event(NodeId(0), event(100, 1, 5.0, 1_000));
         e.flush();
         assert_eq!(
-            e.stats().event_units,
+            e.stats().event_units(),
             0,
             "{kind}: unrequested event left the node"
         );
@@ -209,11 +209,11 @@ fn unanswerable_subscriptions_produce_no_traffic_in_distributed_engines() {
         .unwrap();
         e.inject_subscription(NodeId(3), sub);
         e.flush();
-        assert_eq!(e.stats().sub_forwards, 0, "{kind}");
+        assert_eq!(e.stats().sub_forwards(), 0, "{kind}");
         // and later events for the existing sensor stay put
         e.inject_event(NodeId(0), event(100, 1, 5.0, 1_000));
         e.flush();
-        assert_eq!(e.stats().event_units, 0, "{kind}");
+        assert_eq!(e.stats().event_units(), 0, "{kind}");
     }
 }
 

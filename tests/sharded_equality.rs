@@ -177,6 +177,45 @@ fn sharded_backends_match_the_oracle_on_timed_replays() {
     }
 }
 
+/// Telemetry self-verification across the same seed matrix: a recorded
+/// replay's trace must re-derive the conservation ledger exactly —
+/// `scheduled == scheduled_total`, `handled == steps`,
+/// `dropped + purged == dropped_from_queue`, observed deliveries ==
+/// `DeliveryLog` total — on both the single-heap oracle and the sharded
+/// backends.
+#[test]
+fn recorded_traces_reconcile_across_the_seed_matrix() {
+    for seed in seeds() {
+        let topology = builders::balanced(63, 2);
+        let latency = LatencyModel::Uniform { hop: 1 };
+        for (family, plan) in plan_families(&topology, seed) {
+            let timed = plan.timed(&TimedReplayConfig::drained(&topology, &latency));
+            for kind in EngineKind::ALL {
+                for shards in [1usize, 2, 4] {
+                    let ctx = format!("seed {seed:#x} {kind}/{family}/{shards} shards");
+                    let (mut e, recorder) = kind.build_recorded(
+                        topology.clone(),
+                        VALIDITY,
+                        42,
+                        latency.clone(),
+                        shards,
+                    );
+                    run_plan_timed(e.as_mut(), &timed);
+                    assert_conserved(e.as_ref(), &ctx);
+                    recorder
+                        .reconcile(
+                            e.scheduled_total(),
+                            e.steps(),
+                            e.dropped_from_queue(),
+                            e.deliveries().complex_deliveries(),
+                        )
+                        .unwrap_or_else(|err| panic!("{ctx}: trace does not reconcile:\n{err}"));
+                }
+            }
+        }
+    }
+}
+
 /// `run_until` at the exact boundary of a scheduled delivery, across shard
 /// counts at the engine level: the message due *at* `t` is delivered, the
 /// one due after stays queued, and the conservation counters account for

@@ -136,10 +136,10 @@ fn set_filtering_saves_s3_traffic_where_pairwise_cannot() {
         engine.inject_subscription(NodeId(0), s1);
         engine.inject_subscription(NodeId(0), s2);
         engine.flush();
-        let before = engine.stats().sub_forwards;
+        let before = engine.stats().sub_forwards();
         engine.inject_subscription(NodeId(0), s3);
         engine.flush();
-        engine.stats().sub_forwards - before
+        engine.stats().sub_forwards() - before
     };
     let fsf = added_by_s3(EngineKind::FilterSplitForward);
     let op = added_by_s3(EngineKind::OperatorPlacement);
@@ -170,7 +170,7 @@ fn subsumed_subscription_adds_no_event_traffic_under_fsf() {
         }
         engine.flush();
         publish_matching_triple(engine.as_mut());
-        engine.stats().event_units
+        engine.stats().event_units()
     };
     assert_eq!(
         run(false),

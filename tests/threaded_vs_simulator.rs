@@ -25,8 +25,8 @@ fn run_simulated(w: &Workload, config: PubSubConfig) -> (u64, u64, u64) {
         }
     }
     (
-        sim.stats.sub_forwards,
-        sim.stats.event_units,
+        sim.stats.sub_forwards(),
+        sim.stats.event_units(),
         sim.deliveries.total_event_units(),
     )
 }
@@ -53,8 +53,8 @@ fn run_threaded(w: &Workload, config: PubSubConfig) -> (u64, u64, u64) {
     }
     let (stats, deliveries) = net.shutdown();
     (
-        stats.sub_forwards,
-        stats.event_units,
+        stats.sub_forwards(),
+        stats.event_units(),
         deliveries.total_event_units(),
     )
 }

@@ -226,8 +226,8 @@ fn weighted_links_shift_latency_not_results() {
     // already stored when a reading arrives decides the result-set
     // bundling — so only the delivered results and the control planes are
     // compared
-    assert_eq!(results[0].1.adv_msgs, results[1].1.adv_msgs);
-    assert_eq!(results[0].1.sub_forwards, results[1].1.sub_forwards);
+    assert_eq!(results[0].1.adv_msgs(), results[1].1.adv_msgs());
+    assert_eq!(results[0].1.sub_forwards(), results[1].1.sub_forwards());
     assert!(
         results[1].2.max > results[0].2.max,
         "the slow backbone must show up in the latency tail: {:?} vs {:?}",

@@ -10,6 +10,10 @@
 //!   latency tolerance (relative, default 20%, plus one absolute tick of
 //!   slack so tiny baselines don't flap) — the p99 gate watches the tail
 //!   the median-centric columns hide;
+//! * `events/sec at max ops` (the ext7 matching-throughput headline at the
+//!   largest operator count) may not drop by more than the throughput
+//!   tolerance — wall-clock is noisy across machines, so the default is a
+//!   generous 50%;
 //! * records present only on one side are reported as informational
 //!   drift, not failures (figure sets evolve).
 
@@ -22,6 +26,9 @@ pub struct CompareConfig {
     pub max_recall_drop: f64,
     /// Maximum relative latency-p95 growth (0.2 = 20%).
     pub max_latency_growth: f64,
+    /// Maximum relative drop of the gated matching-throughput record
+    /// (`events/sec at max ops`). Wall-clock dependent, so generous.
+    pub max_throughput_drop: f64,
 }
 
 impl Default for CompareConfig {
@@ -29,6 +36,7 @@ impl Default for CompareConfig {
         CompareConfig {
             max_recall_drop: 0.2,
             max_latency_growth: 0.2,
+            max_throughput_drop: 0.5,
         }
     }
 }
@@ -101,6 +109,19 @@ pub fn compare(old: &[JsonRecord], new: &[JsonRecord], config: &CompareConfig) -
                     config.max_latency_growth * 100.0
                 ));
             }
+        } else if metric == "events/sec at max ops" && o.value > 0.0 {
+            let floor = o.value * (1.0 - config.max_throughput_drop);
+            if n.value < floor {
+                report.regressions.push(format!(
+                    "✗ {} / {} / {}: throughput {:.0} → {:.0} (> {:.0}% drop)",
+                    o.id,
+                    o.engine,
+                    o.metric,
+                    o.value,
+                    n.value,
+                    config.max_throughput_drop * 100.0
+                ));
+            }
         }
     }
     for n in new {
@@ -169,6 +190,26 @@ mod tests {
         let old_m = vec![rec("latency mean", 5.0)];
         let new_m = vec![rec("latency mean", 50.0)];
         assert!(compare(&old_m, &new_m, &CompareConfig::default()).passed());
+    }
+
+    #[test]
+    fn throughput_drop_at_max_ops_beyond_tolerance_fails() {
+        let old = vec![rec("events/sec at max ops", 100_000.0)];
+        // the default tolerance is 50%: half the baseline still passes
+        let ok = vec![rec("events/sec at max ops", 51_000.0)];
+        let bad = vec![rec("events/sec at max ops", 49_000.0)];
+        assert!(compare(&old, &ok, &CompareConfig::default()).passed());
+        let r = compare(&old, &bad, &CompareConfig::default());
+        assert!(!r.passed());
+        assert!(
+            r.regressions[0].contains("throughput"),
+            "{:?}",
+            r.regressions
+        );
+        // the per-size sweep columns stay informational
+        let old_s = vec![rec("events/sec @ 100 ops (scan)", 10_000.0)];
+        let new_s = vec![rec("events/sec @ 100 ops (scan)", 1_000.0)];
+        assert!(compare(&old_s, &new_s, &CompareConfig::default()).passed());
     }
 
     #[test]

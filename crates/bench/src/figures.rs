@@ -510,6 +510,168 @@ pub fn ext6_scale(scale: f64) -> (String, Vec<crate::json::JsonRecord>) {
     (out, records)
 }
 
+/// One measured leg of the ext7 sweep: build an engine in `mode`, load
+/// `n_ops` single-sensor operators, push the reading stream and time it.
+/// `batch` = 0 means event-at-a-time injection (one `Publish` per reading);
+/// otherwise readings go through [`fsf_engines::Engine::inject_events`] in
+/// delta frames of that size.
+fn ext7_run(
+    kind: EngineKind,
+    mode: fsf_engines::MatchMode,
+    n_ops: usize,
+    n_events: usize,
+    batch: usize,
+) -> (f64, fsf_network::DeliveryLog) {
+    use fsf_model::{
+        Advertisement, AttrId, Event, EventId, Point, SensorId, SubId, Subscription, Timestamp,
+        ValueRange,
+    };
+    use fsf_network::NodeId;
+    let delta_t = 4;
+    // event validity 10_000: the whole reading stream stays in-window
+    let mut e = kind.build_with_mode(
+        fsf_network::builders::line(3),
+        10_000,
+        ENGINE_SEED,
+        fsf_network::LatencyModel::Zero,
+        mode,
+    );
+    // deterministic xorshift so both legs see identical operators/readings
+    let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ (n_ops as u64);
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    e.inject_sensor(
+        NodeId(0),
+        Advertisement {
+            sensor: SensorId(1),
+            attr: AttrId(0),
+            location: Point::new(0.0, 0.0),
+        },
+    );
+    e.flush();
+    for i in 0..n_ops {
+        let lo = (rng() % 99_800) as f64 / 1_000.0;
+        let sub = Subscription::identified(
+            SubId(i as u64 + 1),
+            [(SensorId(1), ValueRange::new(lo, lo + 0.2))],
+            delta_t,
+        )
+        .expect("single-sensor subscription");
+        e.inject_subscription(NodeId(2), sub);
+    }
+    e.flush();
+    let events: Vec<Event> = (0..n_events)
+        .map(|i| Event {
+            id: EventId(i as u64 + 1),
+            sensor: SensorId(1),
+            attr: AttrId(0),
+            location: Point::new(0.0, 0.0),
+            value: (rng() % 100_000) as f64 / 1_000.0,
+            timestamp: Timestamp(1_000 + i as u64),
+        })
+        .collect();
+    let start = std::time::Instant::now();
+    if batch == 0 {
+        for ev in events {
+            e.inject_event(NodeId(0), ev);
+            e.flush();
+        }
+    } else {
+        for chunk in events.chunks(batch) {
+            e.inject_events(NodeId(0), chunk.to_vec());
+            e.flush();
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    (n_events as f64 / elapsed, e.deliveries().clone())
+}
+
+/// EXT-7: matching-core throughput — the batched arrangement path against
+/// the event-at-a-time linear-scan baseline as the operator count per node
+/// grows. Both legs run the same deterministic operator set and reading
+/// stream on every engine; the `log equal` column gates the arrangement
+/// path's [`fsf_network::DeliveryLog`] event-for-event against the scan
+/// oracle, so the throughput numbers only count if the semantics came out
+/// identical. Wall-clock events/sec is machine-dependent; the equality
+/// column is deterministic. The compare gate keys on the
+/// `events/sec at max ops` record (the largest operator count).
+#[must_use]
+pub fn ext7_matching(scale: f64) -> (String, Vec<crate::json::JsonRecord>) {
+    let (op_counts, n_events, batch): (&[usize], usize, usize) = if scale >= 1.0 {
+        (&[100, 1_000, 10_000], 512, 16)
+    } else {
+        (&[40, 160], 96, 8)
+    };
+    let mut out = String::from(
+        "== ext7 — matching-core throughput vs operator count ==\n\
+         (scan ev/s: event-at-a-time linear scan; arr ev/s: batched \
+         arrangement; equal gates the delivery logs)\n",
+    );
+    out.push_str(&format!(
+        "{:<34} {:>8} {:>12} {:>12} {:>8} {:>6}\n",
+        "approach", "ops", "scan ev/s", "arr ev/s", "speedup", "equal"
+    ));
+    let mut records = Vec::new();
+    let max_ops = *op_counts.last().expect("non-empty sweep");
+    for kind in EngineKind::ALL {
+        for &n_ops in op_counts {
+            let (scan_eps, scan_log) =
+                ext7_run(kind, fsf_engines::MatchMode::LinearScan, n_ops, n_events, 0);
+            let (arr_eps, arr_log) = ext7_run(
+                kind,
+                fsf_engines::MatchMode::Arrangement,
+                n_ops,
+                n_events,
+                batch,
+            );
+            let equal = scan_log == arr_log;
+            let speedup = if scan_eps > 0.0 {
+                arr_eps / scan_eps
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:<34} {:>8} {:>12.0} {:>12.0} {:>7.2}x {:>6}\n",
+                kind.name(),
+                n_ops,
+                scan_eps,
+                arr_eps,
+                speedup,
+                if equal { "yes" } else { "DIFF" },
+            ));
+            for (metric, value) in [
+                (format!("events/sec @ {n_ops} ops (scan)"), scan_eps),
+                (format!("events/sec @ {n_ops} ops (arrangement)"), arr_eps),
+                (format!("speedup @ {n_ops} ops"), speedup),
+                (
+                    format!("log equal @ {n_ops} ops"),
+                    if equal { 1.0 } else { 0.0 },
+                ),
+            ] {
+                records.push(crate::json::JsonRecord::new(
+                    "ext7",
+                    kind.name(),
+                    &metric,
+                    value,
+                ));
+            }
+            if n_ops == max_ops {
+                records.push(crate::json::JsonRecord::new(
+                    "ext7",
+                    kind.name(),
+                    "events/sec at max ops",
+                    arr_eps,
+                ));
+            }
+        }
+    }
+    (out, records)
+}
+
 /// Table II: the implemented-approaches matrix.
 #[must_use]
 pub fn table2() -> String {
@@ -701,6 +863,38 @@ mod tests {
             .filter(|r| r.metric == "effective shards" && r.value > 1.5)
             .count();
         assert!(carved >= 2, "partitioner never carved:\n{table}");
+        // the records survive the writer/parser round trip bit-exactly
+        let doc = crate::json::to_json(0.2, &records);
+        let (scale, parsed) = crate::json::parse(&doc).expect("well-formed");
+        assert_eq!(scale, 0.2);
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn ext7_gates_the_arrangement_on_the_scan_oracle() {
+        let (table, records) = ext7_matching(0.2);
+        assert!(!table.contains("DIFF"), "delivery logs diverged:\n{table}");
+        // 5 engines × 2 op counts × 4 metrics, plus the gated record per engine
+        assert_eq!(records.len(), 5 * 2 * 4 + 5, "engine × ops × metric grid");
+        for kind in EngineKind::ALL {
+            assert!(
+                records
+                    .iter()
+                    .any(|r| r.engine == kind.name() && r.metric == "events/sec at max ops"),
+                "{} missing the gated throughput record",
+                kind.name()
+            );
+        }
+        for r in &records {
+            if r.metric.starts_with("log equal") {
+                assert!(
+                    (r.value - 1.0).abs() < 1e-12,
+                    "{}: arrangement diverged from the scan oracle ({})",
+                    r.engine,
+                    r.metric
+                );
+            }
+        }
         // the records survive the writer/parser round trip bit-exactly
         let doc = crate::json::to_json(0.2, &records);
         let (scale, parsed) = crate::json::parse(&doc).expect("well-formed");

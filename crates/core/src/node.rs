@@ -23,8 +23,8 @@ use fsf_model::{
     complex_match, Advertisement, ComplexEvent, DimKey, Event, Operator, Subscription,
 };
 use fsf_network::{ChargeKind, Ctx, NodeBehavior, NodeId};
-use fsf_subsumption::{FilterPolicy, SubscriptionFilter};
-use std::collections::BTreeMap;
+use fsf_subsumption::{FilterPolicy, MatchMode, SubscriptionFilter};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Result-set duplicate suppression granularity (Table II, "Event
 /// propagation" column).
@@ -54,6 +54,10 @@ pub struct PubSubConfig {
     pub seed: u64,
     /// Optional top-k ranked forwarding (§VII extension).
     pub rank: RankPolicy,
+    /// Candidate-query implementation: the shared range arrangement
+    /// (default) or the linear inverted-index scan kept as the
+    /// differential-test oracle.
+    pub match_mode: MatchMode,
 }
 
 impl PubSubConfig {
@@ -66,6 +70,7 @@ impl PubSubConfig {
             event_validity,
             seed,
             rank: RankPolicy::All,
+            match_mode: MatchMode::default(),
         }
     }
 
@@ -78,6 +83,7 @@ impl PubSubConfig {
             event_validity,
             seed,
             rank: RankPolicy::All,
+            match_mode: MatchMode::default(),
         }
     }
 
@@ -91,7 +97,15 @@ impl PubSubConfig {
             event_validity,
             seed,
             rank: RankPolicy::All,
+            match_mode: MatchMode::default(),
         }
+    }
+
+    /// Same configuration, different candidate-query implementation.
+    #[must_use]
+    pub fn with_match_mode(mut self, mode: MatchMode) -> Self {
+        self.match_mode = mode;
+        self
     }
 }
 
@@ -283,6 +297,17 @@ impl PubSubNode {
             origins: self.subs.len(),
             forwarded_routes: self.routes.values().map(BTreeMap::len).sum(),
         }
+    }
+
+    /// Do all of this node's range arrangements (every origin, covered and
+    /// uncovered halves) equal ones rebuilt from scratch over the stored
+    /// operators? The rebuild property the churn/mobility/crash tests hold
+    /// every node to.
+    #[must_use]
+    pub fn arrangements_consistent(&self) -> bool {
+        self.subs
+            .values()
+            .all(|s| s.uncovered.arrangement_consistent() && s.covered.arrangement_consistent())
     }
 
     /// Mobility leak check: recorded route entries whose projection no
@@ -690,56 +715,96 @@ impl PubSubNode {
 
     // ----- Algorithm 5: event propagation -----
 
-    fn handle_event(&mut self, origin: Origin, event: Event, ctx: &mut Ctx<'_, PubSubMsg>) {
-        if !self.events.insert(event) {
-            return; // duplicate or expired — nothing new can match
-        }
-
-        // Local delivery first (j == n), then each neighbor except the
-        // sender (j ∈ neighbor(n) ∖ {m}), in deterministic order.
-        self.deliver_locally(&event, ctx);
-
+    /// The batched incremental matching core. One incoming frame (a
+    /// neighbor's `Events` batch, or a `Publish` as a frame of one) is
+    /// processed event-at-a-time *semantically* — insert, local delivery,
+    /// per-neighbor match, in frame order, exactly as the unbatched loop did
+    /// — but the outgoing wire traffic is accumulated per link and flushed
+    /// as **one** framed multi-event message per link per frame. Charge
+    /// units (the conservation ledger) are summed over the constituent
+    /// matches, so `TrafficStats` event-unit accounting is unchanged; only
+    /// the message count shrinks.
+    fn handle_event_batch(
+        &mut self,
+        origin: Origin,
+        events: Vec<Event>,
+        ctx: &mut Ctx<'_, PubSubMsg>,
+    ) {
         let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
-        for j in neighbors {
-            if Origin::Neighbor(j) == origin {
-                continue;
+        let mut frames: BTreeMap<NodeId, LinkFrame> = BTreeMap::new();
+        for event in events {
+            if !self.events.insert(event) {
+                continue; // duplicate or expired — nothing new can match
             }
-            self.forward_to_neighbor(j, &event, ctx);
+            // Local delivery first (j == n), then each neighbor except the
+            // sender (j ∈ neighbor(n) ∖ {m}), in deterministic order.
+            self.deliver_locally(&event, ctx);
+            for &j in &neighbors {
+                if Origin::Neighbor(j) == origin {
+                    continue;
+                }
+                self.collect_forward(j, &event, &mut frames);
+            }
+        }
+        for (j, frame) in frames {
+            if !frame.batch.is_empty() {
+                ctx.send(
+                    j,
+                    PubSubMsg::Events(frame.batch),
+                    ChargeKind::Event,
+                    frame.units,
+                );
+            }
         }
     }
 
-    /// Operators of `origin` that could involve `event`, via the dimension
-    /// index (both the sensor dimension and the attribute-type dimension).
-    fn candidate_ops(store: &SubStore, event: &Event, include_covered: bool) -> Vec<Operator> {
+    /// Operators of `origin` that could involve `event`, via the candidate
+    /// query (both the sensor dimension and the attribute-type dimension) —
+    /// arrangement stab or inverted-index scan per the configured
+    /// [`MatchMode`].
+    fn candidate_ops(
+        store: &mut SubStore,
+        mode: MatchMode,
+        event: &Event,
+        include_covered: bool,
+    ) -> Vec<Operator> {
         let sensor_dim = DimKey::Sensor(event.sensor);
         let attr_dim = DimKey::Attr(event.attr);
         let mut ops: Vec<Operator> = Vec::new();
-        let mut push_from = |table: &fsf_subsumption::OperatorTable| {
-            for d in [&sensor_dim, &attr_dim] {
-                for op in table.ops_with_dim(d) {
-                    if op.matches_simple(event) {
-                        ops.push(op.clone());
-                    }
-                }
-            }
-        };
-        push_from(&store.uncovered);
+        for d in [&sensor_dim, &attr_dim] {
+            ops.extend(store.uncovered.candidates_for(mode, d, event));
+        }
         if include_covered {
-            push_from(&store.covered);
+            for d in [&sensor_dim, &attr_dim] {
+                ops.extend(store.covered.candidates_for(mode, d, event));
+            }
         }
         ops
     }
 
     fn deliver_locally(&mut self, event: &Event, ctx: &mut Ctx<'_, PubSubMsg>) {
-        let Some(store) = self.subs.get(&Origin::Local) else {
+        let mode = self.config.match_mode;
+        let Some(store) = self.subs.get_mut(&Origin::Local) else {
             return;
         };
         // Local users are served from *all* their subscriptions, covered or
         // not (Algorithm 5 line 9: "S = S_local", "which are all whole").
-        let ops = Self::candidate_ops(store, event, true);
+        let ops = Self::candidate_ops(store, mode, event, true);
+        // The event store's `by_time` map *is* the indexed window store:
+        // one range probe per distinct δt serves every operator sharing
+        // that correlation band, instead of one probe per operator.
+        let mut bands: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
         for op in ops {
-            let band = self.events.correlation_band(event.timestamp, op.delta_t());
-            let Some(m) = complex_match(&band, &op) else {
+            let dt = op.delta_t();
+            let band: &Vec<Event> = bands.entry(dt).or_insert_with(|| {
+                self.events
+                    .correlation_band(event.timestamp, dt)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            });
+            let band_refs: Vec<&Event> = band.iter().collect();
+            let Some(m) = complex_match(&band_refs, &op) else {
                 continue;
             };
             let scope = SentScope::LocalSub(op.sub());
@@ -752,8 +817,7 @@ impl PubSubNode {
             if new_ids.is_empty() {
                 continue;
             }
-            let complex = ComplexEvent::new(m.participants.iter().map(|&i| *band[i]).collect());
-            drop(band);
+            let complex = ComplexEvent::new(m.participants.iter().map(|&i| band[i]).collect());
             ctx.deliver(op.sub(), &complex);
             for id in new_ids {
                 self.events.mark_sent(id, SentScope::LocalSub(op.sub()));
@@ -761,22 +825,39 @@ impl PubSubNode {
         }
     }
 
-    fn forward_to_neighbor(&mut self, j: NodeId, event: &Event, ctx: &mut Ctx<'_, PubSubMsg>) {
-        let Some(store) = self.subs.get(&Origin::Neighbor(j)) else {
+    /// The per-neighbor half of Algorithm 5 for one event, accumulating
+    /// into the per-link frame instead of sending — the frame is flushed by
+    /// [`Self::handle_event_batch`] once the whole incoming frame is
+    /// processed. Match semantics, `was_sent` dedup marks, and charge units
+    /// are computed exactly as the unbatched sender did.
+    fn collect_forward(
+        &mut self,
+        j: NodeId,
+        event: &Event,
+        frames: &mut BTreeMap<NodeId, LinkFrame>,
+    ) {
+        let mode = self.config.match_mode;
+        let Some(store) = self.subs.get_mut(&Origin::Neighbor(j)) else {
             return;
         };
-        let ops = Self::candidate_ops(store, event, false);
+        let ops = Self::candidate_ops(store, mode, event, false);
         if ops.is_empty() {
             return;
         }
-        // Collect the batch of new events for this link; charge units
-        // according to the dedup mode.
-        let mut batch: Vec<Event> = Vec::new();
-        let mut units: u64 = 0;
+        let mut bands: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
         let mut marks: Vec<(fsf_model::EventId, SentScope)> = Vec::new();
+        let frame = frames.entry(j).or_default();
         for op in &ops {
-            let band = self.events.correlation_band(event.timestamp, op.delta_t());
-            let Some(m) = complex_match(&band, op) else {
+            let dt = op.delta_t();
+            let band: &Vec<Event> = bands.entry(dt).or_insert_with(|| {
+                self.events
+                    .correlation_band(event.timestamp, dt)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            });
+            let band_refs: Vec<&Event> = band.iter().collect();
+            let Some(m) = complex_match(&band_refs, op) else {
                 continue;
             };
             let scope = match self.config.dedup {
@@ -791,25 +872,32 @@ impl PubSubNode {
                 {
                     continue;
                 }
-                new_events.push(*band[i]);
+                new_events.push(band[i]);
             }
-            drop(band);
             let selected = self.config.rank.select(new_events);
             for e in &selected {
                 marks.push((e.id, scope.clone()));
-                units += 1;
-                if !batch.iter().any(|b| b.id == e.id) {
-                    batch.push(*e);
+                frame.units += 1;
+                if frame.ids.insert(e.id) {
+                    frame.batch.push(*e);
                 }
             }
         }
         for (id, scope) in marks {
             self.events.mark_sent(id, scope);
         }
-        if !batch.is_empty() {
-            ctx.send(j, PubSubMsg::Events(batch), ChargeKind::Event, units);
-        }
     }
+}
+
+/// The accumulating per-link outgoing frame of one batched matching round:
+/// the events to ship (deduplicated by id — a constituent reaching the same
+/// link via several triggering events travels once; the receiver's event
+/// store would drop the duplicate anyway) and the summed charge units.
+#[derive(Debug, Default)]
+struct LinkFrame {
+    batch: Vec<Event>,
+    ids: BTreeSet<fsf_model::EventId>,
+    units: u64,
 }
 
 impl NodeBehavior for PubSubNode {
@@ -847,12 +935,8 @@ impl NodeBehavior for PubSubNode {
                 self.handle_unsubscribe(sub, ctx);
             }
             PubSubMsg::RemoveOperator(key) => self.handle_remove(origin, &key, ctx),
-            PubSubMsg::Publish(event) => self.handle_event(Origin::Local, event, ctx),
-            PubSubMsg::Events(events) => {
-                for e in events {
-                    self.handle_event(origin, e, ctx);
-                }
-            }
+            PubSubMsg::Publish(event) => self.handle_event_batch(Origin::Local, vec![event], ctx),
+            PubSubMsg::Events(events) => self.handle_event_batch(origin, events, ctx),
         }
     }
 

@@ -8,6 +8,7 @@ use fsf_network::{
     Backend, DeliveryLog, LatencyModel, LatencySummary, NodeId, RegraftDelta, Simulator, Topology,
     TopologyError, TrafficStats,
 };
+use fsf_subsumption::MatchMode;
 use fsf_telemetry::{Noop, Recorder, TelemetryEvent, TelemetrySink};
 use std::collections::BTreeMap;
 
@@ -249,6 +250,17 @@ pub trait Engine {
     fn inject_subscription(&mut self, node: NodeId, sub: Subscription);
     /// A sensor at `node` publishes a reading.
     fn inject_event(&mut self, node: NodeId, event: Event);
+    /// A node publishes one virtual-time tick's readings as a single delta
+    /// batch. The default loops [`Engine::inject_event`]; engines with a
+    /// batched matching core override it to schedule one framed
+    /// multi-event message, so link-level delivery batching starts at the
+    /// source. Semantically equivalent to the loop either way — the
+    /// batched-delivery equality tests hold engines to that.
+    fn inject_events(&mut self, node: NodeId, events: Vec<Event>) {
+        for e in events {
+            self.inject_event(node, e);
+        }
+    }
     /// The user at `node` cancels subscription `sub`: every engine must
     /// withdraw the subscription's operator state along its forwarding
     /// paths (or, for the centralized baseline, at the centre).
@@ -413,31 +425,53 @@ impl EngineKind {
         seed: u64,
         latency: LatencyModel,
     ) -> Box<dyn Engine> {
+        self.build_with_mode(
+            topology,
+            event_validity,
+            seed,
+            latency,
+            MatchMode::default(),
+        )
+    }
+
+    /// Build an engine with an explicit candidate-query implementation.
+    /// [`MatchMode::LinearScan`] keeps the per-operator scan alive as the
+    /// oracle the differential battery compares the arrangement against.
+    #[must_use]
+    pub fn build_with_mode(
+        &self,
+        topology: Topology,
+        event_validity: u64,
+        seed: u64,
+        latency: LatencyModel,
+        mode: MatchMode,
+    ) -> Box<dyn Engine> {
         match self {
-            EngineKind::Centralized => Box::new(CentralEngine::with_latency(
+            EngineKind::Centralized => Box::new(CentralEngine::with_mode(
                 topology,
                 event_validity,
                 latency,
+                mode,
             )),
             EngineKind::Naive => Box::new(PubSubEngine::with_latency(
                 "Naive approach",
                 topology,
-                PubSubConfig::naive(event_validity, seed),
+                PubSubConfig::naive(event_validity, seed).with_match_mode(mode),
                 latency,
             )),
             EngineKind::OperatorPlacement => Box::new(PubSubEngine::with_latency(
                 "Distributed operator placement",
                 topology,
-                PubSubConfig::operator_placement(event_validity, seed),
+                PubSubConfig::operator_placement(event_validity, seed).with_match_mode(mode),
                 latency,
             )),
             EngineKind::MultiJoin => {
-                Box::new(MjEngine::with_latency(topology, event_validity, latency))
+                Box::new(MjEngine::with_mode(topology, event_validity, latency, mode))
             }
             EngineKind::FilterSplitForward => Box::new(PubSubEngine::with_latency(
                 "Filter-Split-Forward",
                 topology,
-                PubSubConfig::fsf(event_validity, seed),
+                PubSubConfig::fsf(event_validity, seed).with_match_mode(mode),
                 latency,
             )),
         }
@@ -638,6 +672,18 @@ impl<S: TelemetrySink> Engine for PubSubEngine<S> {
         self.sim.note_injection(event.id, self.sim.now());
         self.sim.inject(node, PubSubMsg::Publish(event));
     }
+    fn inject_events(&mut self, node: NodeId, events: Vec<Event>) {
+        if events.is_empty() {
+            return;
+        }
+        let now = self.sim.now();
+        for e in &events {
+            self.sim.note_injection(e.id, now);
+        }
+        // one framed injection: the node processes the frame in order and
+        // flushes one outgoing message per link for the whole tick
+        self.sim.inject(node, PubSubMsg::Events(events));
+    }
     fn retract_subscription(&mut self, node: NodeId, sub: SubId) {
         self.recovery.note_sub_retracted(sub);
         self.sim.inject(node, PubSubMsg::Unsubscribe(sub));
@@ -803,6 +849,25 @@ impl MjEngine {
     pub fn with_latency(topology: Topology, event_validity: u64, latency: LatencyModel) -> Self {
         Self::with_sink(topology, event_validity, latency, Noop)
     }
+
+    /// Build with an explicit candidate-query implementation (the linear
+    /// scan is the differential-test oracle).
+    #[must_use]
+    pub fn with_mode(
+        topology: Topology,
+        event_validity: u64,
+        latency: LatencyModel,
+        mode: MatchMode,
+    ) -> Self {
+        let sim = Backend::build_with_sink(topology, latency, Noop, 1, move |id, _| {
+            MjNode::with_mode(id, event_validity, mode)
+        });
+        MjEngine {
+            sim,
+            sink: Noop,
+            recovery: RecoveryPlane::new(),
+        }
+    }
 }
 
 impl<S: TelemetrySink> MjEngine<S> {
@@ -876,6 +941,16 @@ impl<S: TelemetrySink> Engine for MjEngine<S> {
     fn inject_event(&mut self, node: NodeId, event: Event) {
         self.sim.note_injection(event.id, self.sim.now());
         self.sim.inject(node, MjMsg::Publish(event));
+    }
+    fn inject_events(&mut self, node: NodeId, events: Vec<Event>) {
+        if events.is_empty() {
+            return;
+        }
+        let now = self.sim.now();
+        for e in &events {
+            self.sim.note_injection(e.id, now);
+        }
+        self.sim.inject(node, MjMsg::Events(events));
     }
     fn retract_subscription(&mut self, node: NodeId, sub: SubId) {
         self.recovery.note_sub_retracted(sub);
@@ -1047,6 +1122,27 @@ impl CentralEngine {
     pub fn with_latency(topology: Topology, event_validity: u64, latency: LatencyModel) -> Self {
         Self::with_sink(topology, event_validity, latency, Noop)
     }
+
+    /// Build with an explicit candidate-query implementation for the centre
+    /// matcher (the linear scan is the differential-test oracle).
+    #[must_use]
+    pub fn with_mode(
+        topology: Topology,
+        event_validity: u64,
+        latency: LatencyModel,
+        mode: MatchMode,
+    ) -> Self {
+        let center = topology.median();
+        let sim = Backend::build_with_sink(topology, latency, Noop, 1, move |id, t| {
+            CentralNode::with_mode(id, t, center, event_validity, mode)
+        });
+        CentralEngine {
+            sim,
+            sink: Noop,
+            recovery: RecoveryPlane::new(),
+            subscriptions: BTreeMap::new(),
+        }
+    }
 }
 
 impl<S: TelemetrySink> CentralEngine<S> {
@@ -1068,6 +1164,14 @@ impl<S: TelemetrySink> CentralEngine<S> {
             recovery: RecoveryPlane::new(),
             subscriptions: BTreeMap::new(),
         }
+    }
+
+    /// Access the underlying single-queue simulator (tests / inspection).
+    /// Panics when the sharded backend is active — switch back with
+    /// [`Engine::set_shards`]`(1)` first.
+    #[must_use]
+    pub fn simulator(&self) -> &Simulator<CentralNode, S> {
+        self.sim.as_single()
     }
 
     /// The centralized repair path: the next-hop tables were already

@@ -15,7 +15,7 @@
 use fsf_core::events::{EventStore, SentScope};
 use fsf_model::{complex_match, ComplexEvent, Event, Operator, SubId, Subscription};
 use fsf_network::{ChargeKind, Ctx, NodeBehavior, NodeId, Topology};
-use fsf_subsumption::OperatorTable;
+use fsf_subsumption::{MatchMode, OperatorTable};
 use std::collections::BTreeMap;
 
 /// Wire messages of the centralized engine.
@@ -78,6 +78,7 @@ pub struct CentralNode {
     subs: OperatorTable,
     owners: BTreeMap<SubId, NodeId>,
     events: EventStore,
+    match_mode: MatchMode,
 }
 
 impl CentralNode {
@@ -85,6 +86,19 @@ impl CentralNode {
     /// setup; `event_validity` as for the distributed engines.
     #[must_use]
     pub fn new(id: NodeId, topology: &Topology, center: NodeId, event_validity: u64) -> Self {
+        Self::with_mode(id, topology, center, event_validity, MatchMode::default())
+    }
+
+    /// Build a node with an explicit candidate-query implementation for the
+    /// centre matcher (the linear scan is the differential-test oracle).
+    #[must_use]
+    pub fn with_mode(
+        id: NodeId,
+        topology: &Topology,
+        center: NodeId,
+        event_validity: u64,
+        match_mode: MatchMode,
+    ) -> Self {
         CentralNode {
             id,
             center,
@@ -92,7 +106,15 @@ impl CentralNode {
             subs: OperatorTable::new(),
             owners: BTreeMap::new(),
             events: EventStore::new(event_validity),
+            match_mode,
         }
+    }
+
+    /// Does the centre's range arrangement equal one rebuilt from scratch?
+    /// Trivially `true` away from the centre. (Rebuild property tests.)
+    #[must_use]
+    pub fn arrangements_consistent(&self) -> bool {
+        self.subs.arrangement_consistent()
     }
 
     /// Full next-hop table: for each destination, the neighbor on the path.
@@ -179,26 +201,35 @@ impl CentralNode {
         let candidates: Vec<Operator> = {
             let sensor_dim = fsf_model::DimKey::Sensor(event.sensor);
             let attr_dim = fsf_model::DimKey::Attr(event.attr);
+            let mode = self.match_mode;
             [&sensor_dim, &attr_dim]
                 .iter()
-                .flat_map(|d| self.subs.ops_with_dim(d))
-                .filter(|op| op.matches_simple(&event))
-                .cloned()
+                .flat_map(|d| self.subs.candidates_for(mode, d, &event))
                 .collect()
         };
+        // one window probe per distinct δt serves every subscription
+        // sharing that correlation band
+        let mut bands: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
         for op in candidates {
-            let band = self.events.correlation_band(event.timestamp, op.delta_t());
-            let Some(m) = complex_match(&band, &op) else {
+            let dt = op.delta_t();
+            let band: &Vec<Event> = bands.entry(dt).or_insert_with(|| {
+                self.events
+                    .correlation_band(event.timestamp, dt)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            });
+            let band_refs: Vec<&Event> = band.iter().collect();
+            let Some(m) = complex_match(&band_refs, &op) else {
                 continue;
             };
             let scope = SentScope::LocalSub(op.sub());
             let new_events: Vec<Event> = m
                 .participants
                 .iter()
-                .map(|&i| *band[i])
+                .map(|&i| band[i])
                 .filter(|e| !self.events.was_sent(e.id, &scope))
                 .collect();
-            drop(band);
             if new_events.is_empty() {
                 continue;
             }

@@ -23,6 +23,10 @@ pub mod api;
 pub mod centralized;
 pub mod multijoin;
 
-pub use api::{Engine, EngineKind, MobilityStats, NodeFootprint, PubSubEngine, RecoveryStats};
+pub use api::{
+    CentralEngine, Engine, EngineKind, MjEngine, MobilityStats, NodeFootprint, PubSubEngine,
+    RecoveryStats,
+};
 pub use centralized::{CentralMsg, CentralNode};
+pub use fsf_subsumption::MatchMode;
 pub use multijoin::{MjMsg, MjNode};

@@ -8,7 +8,7 @@ use fsf_model::{
     complex_match, Advertisement, ComplexEvent, DimKey, Event, Operator, Subscription,
 };
 use fsf_network::{ChargeKind, Ctx, NodeBehavior, NodeId};
-use fsf_subsumption::pairwise;
+use fsf_subsumption::{pairwise, MatchMode};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Wire messages of the multi-join engine.
@@ -66,12 +66,20 @@ pub struct MjNode {
     /// of one multi-join share simple filters, which must not be sent twice.
     forwarded: BTreeSet<(NodeId, MjKey)>,
     dropped_unanswerable: u64,
+    match_mode: MatchMode,
 }
 
 impl MjNode {
     /// Create a node. `event_validity` as for the other engines.
     #[must_use]
     pub fn new(id: NodeId, event_validity: u64) -> Self {
+        Self::with_mode(id, event_validity, MatchMode::default())
+    }
+
+    /// Create a node with an explicit candidate-query implementation (the
+    /// linear scan is kept alive as the differential-test oracle).
+    #[must_use]
+    pub fn with_mode(id: NodeId, event_validity: u64, match_mode: MatchMode) -> Self {
         MjNode {
             id,
             adverts: AdvStore::new(),
@@ -79,7 +87,15 @@ impl MjNode {
             events: EventStore::new(event_validity),
             forwarded: BTreeSet::new(),
             dropped_unanswerable: 0,
+            match_mode,
         }
+    }
+
+    /// Do all per-origin range arrangements equal ones rebuilt from scratch
+    /// over the stored operators? (Rebuild property tests.)
+    #[must_use]
+    pub fn arrangements_consistent(&self) -> bool {
+        self.stores.values().all(MjStore::arrangement_consistent)
     }
 
     /// The node id.
@@ -643,46 +659,73 @@ impl MjNode {
 
     // ----- events -----
 
-    fn handle_event(&mut self, origin: Origin, event: Event, ctx: &mut Ctx<'_, MjMsg>) {
-        if !self.events.insert(event) {
-            return;
-        }
-        self.deliver_locally(&event, ctx);
+    /// The batched incremental matching core (multi-join edition): one
+    /// incoming frame is processed event-at-a-time in frame order — insert,
+    /// local delivery, per-neighbor match — while the outgoing wire traffic
+    /// accumulates per link and is flushed as one framed multi-event
+    /// message per link per frame, charge units summed over the matches.
+    fn handle_event_batch(&mut self, origin: Origin, events: Vec<Event>, ctx: &mut Ctx<'_, MjMsg>) {
         let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
-        for j in neighbors {
-            if Origin::Neighbor(j) == origin {
+        let mut frames: BTreeMap<NodeId, MjLinkFrame> = BTreeMap::new();
+        for event in events {
+            if !self.events.insert(event) {
                 continue;
             }
-            self.forward_to_neighbor(j, &event, ctx);
+            self.deliver_locally(&event, ctx);
+            for &j in &neighbors {
+                if Origin::Neighbor(j) == origin {
+                    continue;
+                }
+                self.collect_forward(j, &event, &mut frames);
+            }
+        }
+        for (j, frame) in frames {
+            if !frame.batch.is_empty() {
+                let units = frame.batch.len() as u64;
+                ctx.send(j, MjMsg::Events(frame.batch), ChargeKind::Event, units);
+            }
         }
     }
 
     /// Final filtering at the user: whole-subscription window matching, so
     /// binary-join false positives are dropped here and never delivered.
     fn deliver_locally(&mut self, event: &Event, ctx: &mut Ctx<'_, MjMsg>) {
-        let Some(store) = self.stores.get(&Origin::Local) else {
+        let mode = self.match_mode;
+        let Some(store) = self.stores.get_mut(&Origin::Local) else {
             return;
         };
         let sensor_dim = DimKey::Sensor(event.sensor);
         let attr_dim = DimKey::Attr(event.attr);
         let mut candidates: Vec<Operator> = Vec::new();
         for d in [&sensor_dim, &attr_dim] {
-            for s in store.uncovered_with_dim(d) {
-                if s.is_user_sub && s.op.matches_simple(event) {
-                    candidates.push(s.op.clone());
+            for s in store.uncovered_matching(mode, d, event) {
+                if s.is_user_sub {
+                    candidates.push(s.op);
                 }
             }
         }
         // covered user subscriptions are still served (they ride on their
-        // coverer's streams)
+        // coverer's streams) — the covered half is only consulted here, so
+        // it stays a scan
         for s in store.covered() {
             if s.is_user_sub && s.op.matches_simple(event) {
                 candidates.push(s.op.clone());
             }
         }
+        // one window probe per distinct δt serves every operator sharing
+        // that correlation band
+        let mut bands: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
         for op in candidates {
-            let band = self.events.correlation_band(event.timestamp, op.delta_t());
-            let Some(m) = complex_match(&band, &op) else {
+            let dt = op.delta_t();
+            let band: &Vec<Event> = bands.entry(dt).or_insert_with(|| {
+                self.events
+                    .correlation_band(event.timestamp, dt)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            });
+            let band_refs: Vec<&Event> = band.iter().collect();
+            let Some(m) = complex_match(&band_refs, &op) else {
                 continue;
             };
             let scope = SentScope::LocalSub(op.sub());
@@ -695,8 +738,7 @@ impl MjNode {
             if new_ids.is_empty() {
                 continue;
             }
-            let complex = ComplexEvent::new(m.participants.iter().map(|&i| *band[i]).collect());
-            drop(band);
+            let complex = ComplexEvent::new(m.participants.iter().map(|&i| band[i]).collect());
             ctx.deliver(op.sub(), &complex);
             for id in new_ids {
                 self.events.mark_sent(id, SentScope::LocalSub(op.sub()));
@@ -704,12 +746,32 @@ impl MjNode {
         }
     }
 
-    fn forward_to_neighbor(&mut self, j: NodeId, event: &Event, ctx: &mut Ctx<'_, MjMsg>) {
-        let Some(store) = self.stores.get(&Origin::Neighbor(j)) else {
+    /// The per-neighbor half of event processing for one event,
+    /// accumulating into the per-link frame flushed by
+    /// [`Self::handle_event_batch`]. Match semantics and `was_sent` dedup
+    /// marks are computed exactly as the unbatched sender did.
+    fn collect_forward(
+        &mut self,
+        j: NodeId,
+        event: &Event,
+        frames: &mut BTreeMap<NodeId, MjLinkFrame>,
+    ) {
+        let mode = self.match_mode;
+        let Some(store) = self.stores.get_mut(&Origin::Neighbor(j)) else {
             return;
         };
         let sensor_dim = DimKey::Sensor(event.sensor);
         let attr_dim = DimKey::Attr(event.attr);
+
+        let mut matched: Vec<(StoredRole, Operator)> = Vec::new();
+        for d in [&sensor_dim, &attr_dim] {
+            for s in store.uncovered_matching(mode, d, event) {
+                matched.push((s.role, s.op));
+            }
+        }
+        if matched.is_empty() {
+            return;
+        }
 
         // Which stored events should flow to j because of this arrival?
         let mut to_send: Vec<Event> = Vec::new();
@@ -718,13 +780,7 @@ impl MjNode {
                 buf.push(e);
             }
         };
-
-        let mut matched: Vec<(StoredRole, Operator)> = Vec::new();
-        for d in [&sensor_dim, &attr_dim] {
-            for s in store.uncovered_with_dim(d) {
-                matched.push((s.role, s.op.clone()));
-            }
-        }
+        let mut bands: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
         for (role, op) in matched {
             match role {
                 StoredRole::MultiSplit => {} // inert: binaries act here
@@ -732,28 +788,30 @@ impl MjNode {
                     // pass-through result dissemination: value filters only,
                     // no window re-evaluation (this is what lets binary-join
                     // false positives travel to the user)
-                    if op.matches_simple(event) {
-                        push(*event, &self.events, &mut to_send);
-                    }
+                    push(*event, &self.events, &mut to_send);
                 }
                 StoredRole::BinaryEval { main } => {
-                    if !op.matches_simple(event) {
-                        continue;
-                    }
-                    let band = self.events.correlation_band(event.timestamp, op.delta_t());
-                    let Some(m) = complex_match(&band, &op) else {
+                    let dt = op.delta_t();
+                    let band: &Vec<Event> = bands.entry(dt).or_insert_with(|| {
+                        self.events
+                            .correlation_band(event.timestamp, dt)
+                            .into_iter()
+                            .copied()
+                            .collect()
+                    });
+                    let band_refs: Vec<&Event> = band.iter().collect();
+                    let Some(m) = complex_match(&band_refs, &op) else {
                         continue;
                     };
                     let mains: Vec<Event> = m
                         .participants
                         .iter()
-                        .map(|&i| *band[i])
+                        .map(|&i| band[i])
                         .filter(|e| {
                             op.predicate_for(&main)
                                 .is_some_and(|p| p.matches(e, op.region()))
                         })
                         .collect();
-                    drop(band);
                     for e in mains {
                         push(e, &self.events, &mut to_send);
                     }
@@ -763,12 +821,24 @@ impl MjNode {
         if to_send.is_empty() {
             return;
         }
-        let units = to_send.len() as u64;
         for e in &to_send {
             self.events.mark_sent(e.id, SentScope::Link(j));
         }
-        ctx.send(j, MjMsg::Events(to_send), ChargeKind::Event, units);
+        let frame = frames.entry(j).or_default();
+        for e in to_send {
+            if frame.ids.insert(e.id) {
+                frame.batch.push(e);
+            }
+        }
     }
+}
+
+/// The accumulating per-link outgoing frame of one batched multi-join
+/// matching round (per-link dedup means units equal the batch length).
+#[derive(Debug, Default)]
+struct MjLinkFrame {
+    batch: Vec<Event>,
+    ids: BTreeSet<fsf_model::EventId>,
 }
 
 impl NodeBehavior for MjNode {
@@ -800,12 +870,8 @@ impl NodeBehavior for MjNode {
                 self.handle_operator(Origin::Local, MjWireOp::new(op, kind), true, ctx);
             }
             MjMsg::Op(wire) => self.handle_operator(origin, wire, false, ctx),
-            MjMsg::Publish(event) => self.handle_event(Origin::Local, event, ctx),
-            MjMsg::Events(events) => {
-                for e in events {
-                    self.handle_event(origin, e, ctx);
-                }
-            }
+            MjMsg::Publish(event) => self.handle_event_batch(Origin::Local, vec![event], ctx),
+            MjMsg::Events(events) => self.handle_event_batch(origin, events, ctx),
         }
     }
 

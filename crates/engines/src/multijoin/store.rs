@@ -5,7 +5,8 @@
 //! subscriptions without rebuilding the store.
 
 use super::ops::MjKey;
-use fsf_model::{DimKey, Operator, SubId};
+use fsf_model::{DimKey, Event, Operator, SubId};
+use fsf_subsumption::{MatchMode, RangeIndex};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// How a stored operator participates in event processing at *this* node.
@@ -44,12 +45,15 @@ pub struct StoredMj {
 }
 
 /// Per-origin storage: uncovered (active) and covered halves, with a
-/// per-dimension index over the uncovered half.
+/// per-dimension index and a shared range arrangement over the uncovered
+/// half (the covered half is only consulted for local user subscriptions
+/// and stays a scan).
 #[derive(Debug, Default, Clone)]
 pub struct MjStore {
     uncovered: BTreeMap<MjKey, StoredMj>,
     covered: BTreeMap<MjKey, StoredMj>,
     dim_index: BTreeMap<DimKey, BTreeSet<MjKey>>,
+    index: RangeIndex<MjKey>,
 }
 
 impl MjStore {
@@ -72,6 +76,10 @@ impl MjStore {
         }
         for d in stored.op.dims() {
             self.dim_index.entry(d).or_default().insert(key.clone());
+            if let Some(p) = stored.op.predicate_for(&d) {
+                self.index
+                    .insert(d, p.range.min(), p.range.max(), key.clone());
+            }
         }
         self.uncovered.insert(key, stored);
         true
@@ -93,6 +101,56 @@ impl MjStore {
             .into_iter()
             .flatten()
             .map(|k| &self.uncovered[k])
+    }
+
+    /// Uncovered operators whose predicate on `dim` matches `event` —
+    /// cloned, in key order. Both modes answer the identical set in the
+    /// identical order: [`MatchMode::LinearScan`] value-checks every
+    /// operator the dimension index returns, [`MatchMode::Arrangement`]
+    /// stabs the range index (`&mut` for the lazy rebuild) and post-filters
+    /// through the same predicate check.
+    pub fn uncovered_matching(
+        &mut self,
+        mode: MatchMode,
+        dim: &DimKey,
+        event: &Event,
+    ) -> Vec<StoredMj> {
+        match mode {
+            MatchMode::LinearScan => self
+                .uncovered_with_dim(dim)
+                .filter(|s| {
+                    s.op.predicate_for(dim)
+                        .is_some_and(|p| p.matches(event, s.op.region()))
+                })
+                .cloned()
+                .collect(),
+            MatchMode::Arrangement => {
+                let keys = self.index.stab(dim, event.value);
+                keys.into_iter()
+                    .filter_map(|k| self.uncovered.get(&k))
+                    .filter(|s| {
+                        s.op.predicate_for(dim)
+                            .is_some_and(|p| p.matches(event, s.op.region()))
+                    })
+                    .cloned()
+                    .collect()
+            }
+        }
+    }
+
+    /// Does the incrementally-maintained arrangement equal one rebuilt from
+    /// scratch over the uncovered half? (Rebuild property tests.)
+    #[must_use]
+    pub fn arrangement_consistent(&self) -> bool {
+        let mut fresh: RangeIndex<MjKey> = RangeIndex::new();
+        for (key, stored) in &self.uncovered {
+            for d in stored.op.dims() {
+                if let Some(p) = stored.op.predicate_for(&d) {
+                    fresh.insert(d, p.range.min(), p.range.max(), key.clone());
+                }
+            }
+        }
+        self.index.same_entries(&fresh)
     }
 
     /// All uncovered operators, in key order.
@@ -129,6 +187,7 @@ impl MjStore {
                     self.dim_index.remove(&d);
                 }
             }
+            self.index.remove(&d, key);
         }
         Some(stored)
     }
@@ -171,6 +230,7 @@ impl MjStore {
                             self.dim_index.remove(&d);
                         }
                     }
+                    self.index.remove(&d, key);
                 }
             }
             self.covered.remove(key);

@@ -917,10 +917,14 @@ where
             }
             let caps = self.round_caps(&heads, horizon);
             let budget = self.max_steps_per_run - total_popped;
-            let runnable: Vec<usize> = (0..self.shards.len())
-                .filter(|&s| heads[s].is_some_and(|h| h < caps[s].0))
+            // Boolean bitmap, not a membership list: the threaded branch
+            // below checks every shard index against it, and a
+            // `Vec::contains` scan there is O(shards²) per round.
+            let runnable: Vec<bool> = (0..self.shards.len())
+                .map(|s| heads[s].is_some_and(|h| h < caps[s].0))
                 .collect();
-            debug_assert!(!runnable.is_empty(), "the gmin shard always runs");
+            let runnable_count = runnable.iter().filter(|&&r| r).count();
+            debug_assert!(runnable_count > 0, "the gmin shard always runs");
             let mut round_handled = 0u64;
             let mut round_popped = 0u64;
             // per-shard popped counts, for the ShardRound profiles
@@ -932,11 +936,11 @@ where
                 let plan = &self.plan;
                 let node_slot = &self.node_slot;
                 let down = &self.down;
-                if self.workers > 1 && runnable.len() > 1 {
+                if self.workers > 1 && runnable_count > 1 {
                     std::thread::scope(|sc| {
-                        let mut handles = Vec::with_capacity(runnable.len());
+                        let mut handles = Vec::with_capacity(runnable_count);
                         for (idx, shard) in shards.iter_mut().enumerate() {
-                            if !runnable.contains(&idx) {
+                            if !runnable[idx] {
                                 continue;
                             }
                             let cap = caps[idx].0;
@@ -958,7 +962,7 @@ where
                         }
                     });
                 } else {
-                    for &idx in &runnable {
+                    for idx in (0..shards.len()).filter(|&s| runnable[s]) {
                         let (hd, pp) = shards[idx].advance(
                             caps[idx].0,
                             budget,

@@ -26,6 +26,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod arrangement;
 pub mod exact;
 pub mod filter;
 pub mod monte_carlo;
@@ -33,6 +34,7 @@ pub mod pairwise;
 pub mod shape;
 pub mod table;
 
+pub use arrangement::{MatchMode, RangeIndex};
 pub use filter::{FilterPolicy, SetFilterConfig, SubscriptionFilter};
 pub use shape::{CoverShape, SamplePoint};
 pub use table::OperatorTable;

@@ -8,19 +8,24 @@
 //!
 //! Beyond the signature groups, the table maintains a per-dimension inverted
 //! index so that event processing (Algorithm 5) only touches operators that
-//! reference the incoming event's sensor or attribute type.
+//! reference the incoming event's sensor or attribute type, and a shared
+//! [`RangeIndex`] arrangement over the operators' value ranges so that the
+//! per-reading candidate query costs O(log ops + matches) in
+//! [`MatchMode::Arrangement`] instead of a linear scan.
 
-use fsf_model::{DimKey, DimSignature, Operator, OperatorKey};
+use crate::arrangement::{MatchMode, RangeIndex};
+use fsf_model::{DimKey, DimSignature, Event, Operator, OperatorKey};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Operators grouped by dimension signature, deduplicated by
 /// [`OperatorKey`] (`(subscription, dims)` identity), with a per-dimension
-/// inverted index.
+/// inverted index and a shared range arrangement.
 #[derive(Debug, Default, Clone)]
 pub struct OperatorTable {
     by_key: BTreeMap<OperatorKey, Operator>,
     by_sig: BTreeMap<DimSignature, Vec<OperatorKey>>,
     by_dim: BTreeMap<DimKey, BTreeSet<OperatorKey>>,
+    index: RangeIndex<OperatorKey>,
 }
 
 impl OperatorTable {
@@ -44,6 +49,10 @@ impl OperatorTable {
             .push(key.clone());
         for d in op.dims() {
             self.by_dim.entry(d).or_default().insert(key.clone());
+            if let Some(p) = op.predicate_for(&d) {
+                self.index
+                    .insert(d, p.range.min(), p.range.max(), key.clone());
+            }
         }
         self.by_key.insert(key, op);
         true
@@ -91,8 +100,65 @@ impl OperatorTable {
                     self.by_dim.remove(&d);
                 }
             }
+            self.index.remove(&d, key);
         }
         Some(op)
+    }
+
+    /// Candidate operators for `event` under `dim` — those whose predicate
+    /// on `dim` matches the event — cloned, in key order.
+    ///
+    /// Both modes answer the identical set in the identical order (the
+    /// differential battery in `tests/matching_equivalence.rs` holds them to
+    /// that): [`MatchMode::LinearScan`] walks the inverted index and
+    /// value-checks every operator; [`MatchMode::Arrangement`] stabs the
+    /// range index (`&mut` because the first stab after a control-plane
+    /// mutation rebuilds lazily) and post-filters the survivors through the
+    /// same [`fsf_model::Predicate::matches`] check, so region and
+    /// sensor/attribute constraints are enforced identically.
+    pub fn candidates_for(
+        &mut self,
+        mode: MatchMode,
+        dim: &DimKey,
+        event: &Event,
+    ) -> Vec<Operator> {
+        match mode {
+            MatchMode::LinearScan => self
+                .ops_with_dim(dim)
+                .filter(|op| {
+                    op.predicate_for(dim)
+                        .is_some_and(|p| p.matches(event, op.region()))
+                })
+                .cloned()
+                .collect(),
+            MatchMode::Arrangement => {
+                let keys = self.index.stab(dim, event.value);
+                keys.into_iter()
+                    .filter_map(|k| self.by_key.get(&k))
+                    .filter(|op| {
+                        op.predicate_for(dim)
+                            .is_some_and(|p| p.matches(event, op.region()))
+                    })
+                    .cloned()
+                    .collect()
+            }
+        }
+    }
+
+    /// Does the incrementally-maintained arrangement equal one rebuilt from
+    /// scratch over the stored operators? Used by the rebuild property tests
+    /// (retraction, mobility supersession, crash purge).
+    #[must_use]
+    pub fn arrangement_consistent(&self) -> bool {
+        let mut fresh: RangeIndex<OperatorKey> = RangeIndex::new();
+        for (key, op) in &self.by_key {
+            for d in op.dims() {
+                if let Some(p) = op.predicate_for(&d) {
+                    fresh.insert(d, p.range.min(), p.range.max(), key.clone());
+                }
+            }
+        }
+        self.index.same_entries(&fresh)
     }
 
     /// All operators originating from one subscription (a user subscription
@@ -243,6 +309,51 @@ mod tests {
         assert_eq!(t.keys_of_sub(SubId(1)).len(), 2);
         assert_eq!(t.keys_of_sub(SubId(2)).len(), 1);
         assert!(t.keys_of_sub(SubId(9)).is_empty());
+    }
+
+    #[test]
+    fn candidates_agree_across_modes_and_index_stays_consistent() {
+        use fsf_model::{AttrId, DimKey, Event, EventId, Point, Timestamp};
+        let mut t = OperatorTable::new();
+        for i in 0..40u64 {
+            let lo = (i % 10) as f64;
+            let s = Subscription::identified(
+                SubId(i),
+                [(SensorId(1), ValueRange::new(lo, lo + 3.0))],
+                30,
+            )
+            .unwrap();
+            t.insert(Operator::from_subscription(&s));
+        }
+        let dim = DimKey::Sensor(SensorId(1));
+        for v in 0..15 {
+            let e = Event {
+                id: EventId(1000 + v),
+                sensor: SensorId(1),
+                attr: AttrId(1),
+                location: Point { x: 0.0, y: 0.0 },
+                value: v as f64 + 0.5,
+                timestamp: Timestamp(0),
+            };
+            let scan: Vec<OperatorKey> = t
+                .candidates_for(crate::MatchMode::LinearScan, &dim, &e)
+                .iter()
+                .map(Operator::key)
+                .collect();
+            let arr: Vec<OperatorKey> = t
+                .candidates_for(crate::MatchMode::Arrangement, &dim, &e)
+                .iter()
+                .map(Operator::key)
+                .collect();
+            assert_eq!(scan, arr, "v={v}");
+        }
+        assert!(t.arrangement_consistent());
+        for i in (0..40u64).step_by(2) {
+            for k in t.keys_of_sub(SubId(i)) {
+                t.remove(&k);
+            }
+        }
+        assert!(t.arrangement_consistent(), "after removals");
     }
 
     #[test]

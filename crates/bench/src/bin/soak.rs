@@ -1,0 +1,192 @@
+//! Nightly async soak: a 10k-node topology on the bounded-mailbox executor.
+//!
+//! ```text
+//! soak [--nodes N] [--workers W] [--actions A] [--seed S]
+//!      [--out soak.json] [--baseline soak-baseline.json]
+//! ```
+//!
+//! Replays one seeded churn plan (teardown included) through two engines
+//! built with `Deploy::Async`: the exact Naive baseline as ground truth and
+//! Filter-Split-Forward as the candidate. Emits a `figures --json`-shaped
+//! document with the measured recall and delivery-latency percentiles, plus
+//! (with `--baseline`) a perfect-recall twin of the same document — the
+//! existing `compare` binary then gates the run: recall may not sit more
+//! than its tolerance below 1.0.
+//!
+//! The binary itself fails (exit 1) when the conservation ledger of either
+//! engine does not reconcile at quiescence, or when teardown leaks state —
+//! the soak is a stability check first, a recall check second.
+
+use fsf_dynamics::{leaks, run_plan, ChurnAction, ChurnPlan, ChurnPlanConfig};
+use fsf_engines::{Deploy, Engine, EngineKind};
+use fsf_model::SubId;
+use fsf_network::{builders, LatencyModel};
+use std::process::ExitCode;
+
+const VALIDITY: u64 = 60;
+
+fn run_async(
+    kind: EngineKind,
+    topology: &fsf_network::Topology,
+    plan: &ChurnPlan,
+    workers: usize,
+) -> Result<Box<dyn Engine>, String> {
+    let mut engine = kind
+        .builder(topology.clone())
+        .validity(VALIDITY)
+        .seed(42)
+        .latency(LatencyModel::Uniform { hop: 2 })
+        .deploy(Deploy::Async { workers })
+        .build();
+    run_plan(engine.as_mut(), plan);
+    engine.flush();
+    if engine.scheduled_total() != engine.steps() + engine.dropped_from_queue() {
+        return Err(format!(
+            "{}: conservation ledger does not reconcile ({} scheduled, {} handled, {} dropped)",
+            kind.name(),
+            engine.scheduled_total(),
+            engine.steps(),
+            engine.dropped_from_queue()
+        ));
+    }
+    let leaked = leaks(engine.as_mut());
+    if !leaked.is_empty() {
+        return Err(format!("{}: teardown leaked: {leaked:?}", kind.name()));
+    }
+    Ok(engine)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut nodes = 10_000usize;
+    let mut workers = 8usize;
+    let mut actions = 30usize;
+    let mut seed = 0x50A_C0DEu64;
+    let mut out = "soak.json".to_string();
+    let mut baseline: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+                .clone()
+        };
+        match a.as_str() {
+            "--nodes" => nodes = next("--nodes").parse().expect("--nodes needs an integer"),
+            "--workers" => {
+                workers = next("--workers")
+                    .parse()
+                    .expect("--workers needs an integer");
+            }
+            "--actions" => {
+                actions = next("--actions")
+                    .parse()
+                    .expect("--actions needs an integer");
+            }
+            "--seed" => seed = next("--seed").parse().expect("--seed needs an integer"),
+            "--out" => out = next("--out"),
+            "--baseline" => baseline = Some(next("--baseline")),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let topology = builders::balanced(nodes, 4);
+    let plan = ChurnPlan::seeded(
+        &topology,
+        &ChurnPlanConfig {
+            seed,
+            initial_sensors: 12,
+            churn_actions: actions,
+            events_per_action: 4,
+            ..ChurnPlanConfig::default()
+        },
+    )
+    .with_teardown();
+    let subs: Vec<SubId> = plan
+        .actions
+        .iter()
+        .filter_map(|a| match a {
+            ChurnAction::Subscribe { sub, .. } => Some(sub.id()),
+            _ => None,
+        })
+        .collect();
+    println!(
+        "soaking {} nodes on {} async workers: {} churn actions, {} subscriptions…",
+        topology.len(),
+        workers,
+        plan.churn_action_count(),
+        subs.len()
+    );
+
+    let truth = match run_async(EngineKind::Naive, &topology, &plan, workers) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let candidate = match run_async(EngineKind::FilterSplitForward, &topology, &plan, workers) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (mut expected, mut hit) = (0usize, 0usize);
+    for &sub in &subs {
+        let truth_set = truth.deliveries().delivered(sub);
+        let got = candidate.deliveries().delivered(sub);
+        if !got.is_subset(truth_set) {
+            eprintln!("error: FSF delivered outside ground truth for {sub:?}");
+            return ExitCode::FAILURE;
+        }
+        expected += truth_set.len();
+        hit += got.intersection(truth_set).count();
+    }
+    let recall = if expected == 0 {
+        1.0
+    } else {
+        hit as f64 / expected as f64
+    };
+    let latency = candidate.latency_summary();
+    println!(
+        "recall {recall:.4} ({hit}/{expected} deliveries), latency p95 {} p99 {} over {} samples",
+        latency.p95, latency.p99, latency.samples
+    );
+
+    let records = |r: f64| {
+        vec![
+            fsf_bench::json::JsonRecord::new("soak", "Filter-Split-Forward", "recall", r),
+            fsf_bench::json::JsonRecord::new(
+                "soak",
+                "Filter-Split-Forward",
+                "latency p95",
+                latency.p95 as f64,
+            ),
+            fsf_bench::json::JsonRecord::new(
+                "soak",
+                "Filter-Split-Forward",
+                "latency p99",
+                latency.p99 as f64,
+            ),
+        ]
+    };
+    let doc = fsf_bench::json::to_json(1.0, &records(recall));
+    if let Err(e) = std::fs::write(&out, &doc) {
+        eprintln!("error: writing {out}: {e}");
+        return ExitCode::from(2);
+    }
+    if let Some(path) = baseline {
+        let doc = fsf_bench::json::to_json(1.0, &records(1.0));
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}

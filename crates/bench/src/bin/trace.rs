@@ -92,7 +92,15 @@ fn main() -> ExitCode {
     .with_teardown();
     let timed = plan.timed(&TimedReplayConfig::drained(&topo, &latency));
 
-    let (mut engine, recorder) = kind.build_recorded(topo, 60, seed, latency, shards);
+    let recorder = fsf_telemetry::Recorder::new();
+    let mut engine = kind
+        .builder(topo)
+        .validity(60)
+        .seed(seed)
+        .latency(latency)
+        .shards(shards)
+        .sink(recorder.clone())
+        .build();
     let end = run_plan_timed_traced(engine.as_mut(), &timed, &recorder);
     println!(
         "recorded {} ({} nodes, {} shards): {} telemetry events, clock {} at quiescence",

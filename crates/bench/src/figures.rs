@@ -529,13 +529,12 @@ fn ext7_run(
     use fsf_network::NodeId;
     let delta_t = 4;
     // event validity 10_000: the whole reading stream stays in-window
-    let mut e = kind.build_with_mode(
-        fsf_network::builders::line(3),
-        10_000,
-        ENGINE_SEED,
-        fsf_network::LatencyModel::Zero,
-        mode,
-    );
+    let mut e = kind
+        .builder(fsf_network::builders::line(3))
+        .validity(10_000)
+        .seed(ENGINE_SEED)
+        .match_mode(mode)
+        .build();
     // deterministic xorshift so both legs see identical operators/readings
     let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ (n_ops as u64);
     let mut rng = move || {

@@ -114,7 +114,7 @@ impl PubSubConfig {
 /// `SensorUp`, `Subscribe` and `Publish` are *local injections* (the
 /// workload acting as local sensors/users); `Adv`, `Operator` and `Events`
 /// travel between nodes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PubSubMsg {
     /// A sensor appears at this node (Algorithm 1, lines 2–7).
     SensorUp(Advertisement),

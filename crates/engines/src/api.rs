@@ -8,6 +8,7 @@ use fsf_network::{
     Backend, DeliveryLog, LatencyModel, LatencySummary, NodeId, RegraftDelta, Simulator, Topology,
     TopologyError, TrafficStats,
 };
+use fsf_runtime::HostMode;
 use fsf_subsumption::MatchMode;
 use fsf_telemetry::{Noop, Recorder, TelemetryEvent, TelemetrySink};
 use std::collections::BTreeMap;
@@ -109,36 +110,36 @@ pub struct RecoveryStats {
 /// that ever left, which crashes still await recovery, and the cumulative
 /// counters.
 #[derive(Debug)]
-struct RecoveryPlane {
-    auto: bool,
-    pending: Vec<RegraftDelta>,
-    crashes: u64,
-    recoveries: u64,
-    control_injections: u64,
-    sensor_hosts: BTreeMap<SensorId, NodeId>,
-    sub_hosts: BTreeMap<SubId, NodeId>,
+pub(crate) struct RecoveryPlane {
+    pub(crate) auto: bool,
+    pub(crate) pending: Vec<RegraftDelta>,
+    pub(crate) crashes: u64,
+    pub(crate) recoveries: u64,
+    pub(crate) control_injections: u64,
+    pub(crate) sensor_hosts: BTreeMap<SensorId, NodeId>,
+    pub(crate) sub_hosts: BTreeMap<SubId, NodeId>,
     /// Advertisement generation per sensor: 0 at the first advertisement,
     /// bumped by every move. The management plane is the generation
     /// authority — the new host cannot derive it from its own (possibly
     /// stale, possibly still in-flight) advertisement picture.
-    sensor_gens: BTreeMap<SensorId, u64>,
+    pub(crate) sensor_gens: BTreeMap<SensorId, u64>,
     /// Successful `move_sensor` calls.
-    moves: u64,
+    pub(crate) moves: u64,
     /// Tombstones: every sensor that ever departed — retracted by its user
     /// or dead in a crash. Recovery re-announces them at the crash
     /// frontier, because a retraction flood the crash severed in flight
     /// must be replayed; a re-announcement of a long-forgotten sensor is
     /// absorbed by the first node that no longer knows it, so the cost is
     /// proportional to actual staleness.
-    dead_sensors: std::collections::BTreeSet<SensorId>,
+    pub(crate) dead_sensors: std::collections::BTreeSet<SensorId>,
     /// Tombstoned subscriptions, for the centralized baseline (the pub/sub
     /// family's corpse purge retraces severed operator removals on its
     /// own; the centre needs the cancellation re-sent).
-    dead_subs: std::collections::BTreeSet<SubId>,
+    pub(crate) dead_subs: std::collections::BTreeSet<SubId>,
 }
 
 impl RecoveryPlane {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         RecoveryPlane {
             auto: true,
             pending: Vec::new(),
@@ -159,7 +160,7 @@ impl RecoveryPlane {
     /// tombstone — the sensor is live again and must not be re-retracted
     /// by a later recovery's tombstone re-announcement. Returns the new
     /// generation the `Move` flood must carry.
-    fn note_move(&mut self, sensor: SensorId, node: NodeId) -> u64 {
+    pub(crate) fn note_move(&mut self, sensor: SensorId, node: NodeId) -> u64 {
         self.moves += 1;
         self.sensor_hosts.insert(sensor, node);
         self.dead_sensors.remove(&sensor);
@@ -173,14 +174,14 @@ impl RecoveryPlane {
     /// `SensorDown` (retire the current generation), keeping the
     /// management plane the generation authority for tombstone
     /// re-announcements and later revivals.
-    fn note_sensor_retracted(&mut self, sensor: SensorId) {
+    pub(crate) fn note_sensor_retracted(&mut self, sensor: SensorId) {
         self.sensor_hosts.remove(&sensor);
         self.dead_sensors.insert(sensor);
         let gen = self.sensor_gens.entry(sensor).or_insert(0);
         *gen += 1;
     }
 
-    fn note_sub_retracted(&mut self, sub: SubId) {
+    pub(crate) fn note_sub_retracted(&mut self, sub: SubId) {
         self.sub_hosts.remove(&sub);
         self.dead_subs.insert(sub);
     }
@@ -188,7 +189,7 @@ impl RecoveryPlane {
     /// Record a crash: state hosted on the corpse is dead (tombstoned)
     /// from the management plane's point of view immediately. Returns the
     /// delta to recover now (auto) or queues it (deferred).
-    fn note_crash(&mut self, delta: RegraftDelta) -> Option<RegraftDelta> {
+    pub(crate) fn note_crash(&mut self, delta: RegraftDelta) -> Option<RegraftDelta> {
         self.crashes += 1;
         let corpse = delta.crashed;
         let dead_sensors: Vec<SensorId> = self
@@ -221,14 +222,14 @@ impl RecoveryPlane {
     /// — the anchor and the orphans, skipping any that are corpses
     /// themselves (cascading crashes). Every stale region left behind by a
     /// severed flood is rooted at one of these nodes.
-    fn frontier(delta: &RegraftDelta, is_down: impl Fn(NodeId) -> bool) -> Vec<NodeId> {
+    pub(crate) fn frontier(delta: &RegraftDelta, is_down: impl Fn(NodeId) -> bool) -> Vec<NodeId> {
         std::iter::once(delta.anchor)
             .chain(delta.orphans.iter().copied())
             .filter(|&n| !is_down(n))
             .collect()
     }
 
-    fn stats(&self, repair_msgs: u64) -> RecoveryStats {
+    pub(crate) fn stats(&self, repair_msgs: u64) -> RecoveryStats {
         RecoveryStats {
             crashes: self.crashes,
             recoveries: self.recoveries,
@@ -238,10 +239,10 @@ impl RecoveryPlane {
     }
 }
 
-/// A continuous-query engine under test: inject workload items (and retract
-/// them — §IV-B: state "is valid until explicitly removed"), flush the
-/// network, read traffic and deliveries.
-pub trait Engine {
+/// The workload-facing **data plane** of an engine: inject items (and
+/// retract them — §IV-B: state "is valid until explicitly removed") and
+/// drain the network. One of the three facets composed by [`Engine`].
+pub trait EngineData {
     /// Human-readable approach name (paper §VI naming).
     fn name(&self) -> &'static str;
     /// A sensor appears at `node` (advertises itself).
@@ -251,8 +252,8 @@ pub trait Engine {
     /// A sensor at `node` publishes a reading.
     fn inject_event(&mut self, node: NodeId, event: Event);
     /// A node publishes one virtual-time tick's readings as a single delta
-    /// batch. The default loops [`Engine::inject_event`]; engines with a
-    /// batched matching core override it to schedule one framed
+    /// batch. The default loops [`EngineData::inject_event`]; engines with
+    /// a batched matching core override it to schedule one framed
     /// multi-event message, so link-level delivery batching starts at the
     /// source. Semantically equivalent to the loop either way — the
     /// batched-delivery equality tests hold engines to that.
@@ -279,8 +280,14 @@ pub trait Engine {
     /// Works for a live sensor (handoff) and for a previously retracted id
     /// re-appearing (re-advertisement).
     fn move_sensor(&mut self, node: NodeId, adv: Advertisement);
-    /// Cumulative mobility counters (moves and handoff message cost).
-    fn mobility_stats(&self) -> MobilityStats;
+    /// Process all queued messages to quiescence.
+    fn flush(&mut self);
+}
+
+/// The **control plane** of an engine: churn (crashes, recovery) and
+/// execution knobs (partial advancement, sharding). One of the three
+/// facets composed by [`Engine`].
+pub trait EngineControl {
     /// Crash `node`: re-graft its orphaned neighbors onto `anchor` (which
     /// must be one of its neighbors) and mark it down — subsequent traffic
     /// to it is dropped. See [`fsf_network::Topology::regraft`].
@@ -293,26 +300,41 @@ pub trait Engine {
     /// re-grafted tree (advertisement re-floods, operator re-forwards,
     /// management-plane retraction of corpse-hosted state); when disabled,
     /// crashes degrade the network — the pre-recovery behavior — until
-    /// [`Engine::recover`] is called.
+    /// [`EngineControl::recover`] is called.
     fn set_auto_recover(&mut self, on: bool);
     /// Run the recovery protocol for every crash still pending (a no-op
     /// when auto-recovery already handled them). Schedules the recovery
     /// traffic on the virtual clock without flushing, so it races whatever
     /// is in flight — flush or `run_until` to drain it.
     fn recover(&mut self);
+    /// Advance the virtual clock to `t`, delivering exactly the messages
+    /// due at or before `t` and leaving later ones in flight (partial
+    /// advancement — the timed churn replay interleaves actions with
+    /// in-flight floods through this). Returns the number of messages
+    /// handled. Free-running deployments (the async host) have no
+    /// held-back future messages, so there `run_until` drains to
+    /// quiescence like [`EngineData::flush`].
+    fn run_until(&mut self, t: u64) -> u64;
+    /// Re-partition the underlying simulator's event queue into `shards`
+    /// subtree shards (conservative-parallel execution). Only legal on a
+    /// pristine engine — before any injection scheduled traffic; panics
+    /// otherwise. Zero-latency networks coalesce back to one effective
+    /// shard (their lookahead is zero). Async deployments fix their worker
+    /// count at build time and panic on any other value.
+    fn set_shards(&mut self, shards: usize);
+}
+
+/// The **read-only introspection** surface of an engine: cumulative
+/// counters, residual state, clocks, and delivery records. One of the
+/// three facets composed by [`Engine`].
+pub trait EngineIntrospect {
+    /// Cumulative mobility counters (moves and handoff message cost).
+    fn mobility_stats(&self) -> MobilityStats;
     /// Cumulative crash/recovery counters.
     fn recovery_stats(&self) -> RecoveryStats;
     /// Per-node residual state (downed nodes excluded — they died with
     /// their state).
     fn footprint(&self) -> Vec<NodeFootprint>;
-    /// Process all queued messages to quiescence.
-    fn flush(&mut self);
-    /// Advance the virtual clock to `t`, delivering exactly the messages
-    /// due at or before `t` and leaving later ones in flight (partial
-    /// advancement — the timed churn replay interleaves actions with
-    /// in-flight floods through this). Returns the number of messages
-    /// handled.
-    fn run_until(&mut self, t: u64) -> u64;
     /// The network's virtual clock (0 until a nonzero-latency message or
     /// `run_until` horizon advances it).
     fn now(&self) -> u64;
@@ -327,14 +349,9 @@ pub trait Engine {
     fn deliveries(&self) -> &DeliveryLog;
     /// Event-queue shard count of the underlying network simulator (1 =
     /// the single-heap deterministic oracle; see
-    /// [`fsf_network::ShardedSimulator`]).
+    /// [`fsf_network::ShardedSimulator`]), or the async host's worker
+    /// count.
     fn shards(&self) -> usize;
-    /// Re-partition the underlying simulator's event queue into `shards`
-    /// subtree shards (conservative-parallel execution). Only legal on a
-    /// pristine engine — before any injection scheduled traffic; panics
-    /// otherwise. Zero-latency networks coalesce back to one effective
-    /// shard (their lookahead is zero).
-    fn set_shards(&mut self, shards: usize);
     /// Messages delivered to node behaviors so far.
     fn steps(&self) -> u64;
     /// Messages ever scheduled on the network. Conservation invariant:
@@ -344,6 +361,18 @@ pub trait Engine {
     /// traffic purged at a crash or popped to a downed node).
     fn dropped_from_queue(&self) -> u64;
 }
+
+/// A continuous-query engine under test — the umbrella over the three
+/// facets ([`EngineData`] + [`EngineControl`] + [`EngineIntrospect`]).
+///
+/// Generic call sites keep bounding on `Engine` (or boxing `dyn Engine`)
+/// and see every method; narrower call sites — a workload driver that must
+/// not touch churn, a report generator that must not mutate — can bound on
+/// a single facet. The blanket impl makes every type implementing all
+/// three facets an `Engine` automatically.
+pub trait Engine: EngineData + EngineControl + EngineIntrospect {}
+
+impl<T: EngineData + EngineControl + EngineIntrospect + ?Sized> Engine for T {}
 
 /// The five approaches of the paper's evaluation (§VI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -405,18 +434,38 @@ impl EngineKind {
         }
     }
 
+    /// Start a fluent [`EngineBuilder`] over `topology` — the one
+    /// construction path every deployment goes through:
+    ///
+    /// ```ignore
+    /// let engine = EngineKind::FilterSplitForward
+    ///     .builder(topology)
+    ///     .latency(LatencyModel::Uniform { hop: 2 })
+    ///     .deploy(Deploy::Async { workers: 4 })
+    ///     .build();
+    /// ```
+    #[must_use]
+    pub fn builder(&self, topology: Topology) -> EngineBuilder {
+        EngineBuilder::new(*self, topology)
+    }
+
     /// Build an engine instance over `topology` with instantaneous message
     /// delivery (the paper's run-to-quiescence evaluation setting).
     ///
     /// `event_validity` must exceed the workload's `δt`; `seed` feeds the
     /// probabilistic set filter (Filter-Split-Forward only).
+    /// (Thin shim over [`EngineKind::builder`].)
     #[must_use]
     pub fn build(&self, topology: Topology, event_validity: u64, seed: u64) -> Box<dyn Engine> {
-        self.build_with_latency(topology, event_validity, seed, LatencyModel::Zero)
+        self.builder(topology)
+            .validity(event_validity)
+            .seed(seed)
+            .build()
     }
 
     /// Build an engine whose network has real propagation delay: every send
     /// is scheduled through `latency` on the discrete-event clock.
+    /// (Thin shim over [`EngineKind::builder`].)
     #[must_use]
     pub fn build_with_latency(
         &self,
@@ -425,18 +474,17 @@ impl EngineKind {
         seed: u64,
         latency: LatencyModel,
     ) -> Box<dyn Engine> {
-        self.build_with_mode(
-            topology,
-            event_validity,
-            seed,
-            latency,
-            MatchMode::default(),
-        )
+        self.builder(topology)
+            .validity(event_validity)
+            .seed(seed)
+            .latency(latency)
+            .build()
     }
 
     /// Build an engine with an explicit candidate-query implementation.
     /// [`MatchMode::LinearScan`] keeps the per-operator scan alive as the
     /// oracle the differential battery compares the arrangement against.
+    /// (Thin shim over [`EngineKind::builder`].)
     #[must_use]
     pub fn build_with_mode(
         &self,
@@ -446,35 +494,12 @@ impl EngineKind {
         latency: LatencyModel,
         mode: MatchMode,
     ) -> Box<dyn Engine> {
-        match self {
-            EngineKind::Centralized => Box::new(CentralEngine::with_mode(
-                topology,
-                event_validity,
-                latency,
-                mode,
-            )),
-            EngineKind::Naive => Box::new(PubSubEngine::with_latency(
-                "Naive approach",
-                topology,
-                PubSubConfig::naive(event_validity, seed).with_match_mode(mode),
-                latency,
-            )),
-            EngineKind::OperatorPlacement => Box::new(PubSubEngine::with_latency(
-                "Distributed operator placement",
-                topology,
-                PubSubConfig::operator_placement(event_validity, seed).with_match_mode(mode),
-                latency,
-            )),
-            EngineKind::MultiJoin => {
-                Box::new(MjEngine::with_mode(topology, event_validity, latency, mode))
-            }
-            EngineKind::FilterSplitForward => Box::new(PubSubEngine::with_latency(
-                "Filter-Split-Forward",
-                topology,
-                PubSubConfig::fsf(event_validity, seed).with_match_mode(mode),
-                latency,
-            )),
-        }
+        self.builder(topology)
+            .validity(event_validity)
+            .seed(seed)
+            .latency(latency)
+            .match_mode(mode)
+            .build()
     }
 
     /// Build an engine whose network runs on `shards` event-queue shards
@@ -482,7 +507,7 @@ impl EngineKind {
     /// sharded backend delivers the same [`DeliveryLog`] as the oracle —
     /// shard count is a performance knob, not a semantics knob. Note that a
     /// zero-latency `latency` model has no lookahead and coalesces back to
-    /// one effective shard.
+    /// one effective shard. (Thin shim over [`EngineKind::builder`].)
     #[must_use]
     pub fn build_sharded(
         &self,
@@ -492,9 +517,12 @@ impl EngineKind {
         latency: LatencyModel,
         shards: usize,
     ) -> Box<dyn Engine> {
-        let mut engine = self.build_with_latency(topology, event_validity, seed, latency);
-        engine.set_shards(shards);
-        engine
+        self.builder(topology)
+            .validity(event_validity)
+            .seed(seed)
+            .latency(latency)
+            .shards(shards)
+            .build()
     }
 
     /// Build an engine with full run telemetry: every message lifecycle
@@ -505,6 +533,7 @@ impl EngineKind {
     /// clock either way. Use [`Recorder::reconcile`] after a run to check
     /// the trace against the simulator's own conservation counters, or the
     /// `fsf-telemetry` exporters to write JSONL / Chrome trace JSON.
+    /// (Thin shim over [`EngineKind::builder`] + [`EngineBuilder::sink`].)
     #[must_use]
     pub fn build_recorded(
         &self,
@@ -515,43 +544,268 @@ impl EngineKind {
         shards: usize,
     ) -> (Box<dyn Engine>, Recorder) {
         let recorder = Recorder::new();
-        let sink = recorder.clone();
-        let mut engine: Box<dyn Engine> = match self {
-            EngineKind::Centralized => Box::new(CentralEngine::with_sink(
-                topology,
-                event_validity,
-                latency,
-                sink,
-            )),
-            EngineKind::Naive => Box::new(PubSubEngine::with_sink(
-                "Naive approach",
-                topology,
-                PubSubConfig::naive(event_validity, seed),
-                latency,
-                sink,
-            )),
-            EngineKind::OperatorPlacement => Box::new(PubSubEngine::with_sink(
-                "Distributed operator placement",
-                topology,
-                PubSubConfig::operator_placement(event_validity, seed),
-                latency,
-                sink,
-            )),
-            EngineKind::MultiJoin => {
-                Box::new(MjEngine::with_sink(topology, event_validity, latency, sink))
+        let engine = self
+            .builder(topology)
+            .validity(event_validity)
+            .seed(seed)
+            .latency(latency)
+            .shards(shards)
+            .sink(recorder.clone())
+            .build();
+        (engine, recorder)
+    }
+}
+
+/// Where an engine's nodes execute — the deployment axis of
+/// [`EngineBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deploy {
+    /// The deterministic discrete-event simulator (default): virtual
+    /// clock, partial advancement, event-queue sharding, telemetry sinks.
+    Simulator,
+    /// The production host with one OS thread per node: bounded mailboxes,
+    /// backpressure, wire framing, per-link write batching.
+    Threaded,
+    /// The production host with nodes as async tasks multiplexed on the
+    /// vendored `miniloop` executor.
+    Async {
+        /// Executor worker threads (clamped to at least 1).
+        workers: usize,
+    },
+}
+
+/// Fluent construction for every engine family, deployment, and knob —
+/// the single path behind the legacy `build_*` shims:
+///
+/// ```ignore
+/// let engine = EngineKind::FilterSplitForward
+///     .builder(topology)
+///     .validity(1_000)
+///     .seed(42)
+///     .latency(LatencyModel::Uniform { hop: 2 })
+///     .match_mode(MatchMode::Arrangement)
+///     .deploy(Deploy::Async { workers: 4 })
+///     .build();
+/// ```
+///
+/// Knob interactions: [`EngineBuilder::shards`] and
+/// [`EngineBuilder::sink`] are simulator features (the builder panics if
+/// they are combined with a host deployment); [`EngineBuilder::mailbox`]
+/// only affects host deployments; a telemetry sink applies the match mode
+/// to the pub/sub family only (the centralized and multi-join recorded
+/// constructors predate match modes and keep their defaults).
+pub struct EngineBuilder {
+    kind: EngineKind,
+    topology: Topology,
+    event_validity: u64,
+    seed: u64,
+    latency: LatencyModel,
+    shards: usize,
+    mode: MatchMode,
+    sink: Option<Recorder>,
+    deploy: Deploy,
+    mailbox: usize,
+}
+
+impl EngineBuilder {
+    /// Defaults: validity 1000, seed 7, zero latency, one shard, default
+    /// match mode, no sink, simulator deployment, 64-frame mailboxes.
+    #[must_use]
+    pub fn new(kind: EngineKind, topology: Topology) -> Self {
+        EngineBuilder {
+            kind,
+            topology,
+            event_validity: 1_000,
+            seed: 7,
+            latency: LatencyModel::Zero,
+            shards: 1,
+            mode: MatchMode::default(),
+            sink: None,
+            deploy: Deploy::Simulator,
+            mailbox: 64,
+        }
+    }
+
+    /// Event-store validity horizon; must exceed the workload's largest
+    /// `δt` (§IV-B).
+    #[must_use]
+    pub fn validity(mut self, event_validity: u64) -> Self {
+        self.event_validity = event_validity;
+        self
+    }
+
+    /// Base RNG seed for the probabilistic set filter
+    /// (Filter-Split-Forward only).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Per-link message latency model (virtual ticks).
+    #[must_use]
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Event-queue shard count (simulator deployments only; 1 = the
+    /// single-heap deterministic oracle).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Candidate-query implementation ([`MatchMode::LinearScan`] is the
+    /// differential-test oracle).
+    #[must_use]
+    pub fn match_mode(mut self, mode: MatchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Record full run telemetry into `recorder` (simulator deployments
+    /// only; the engine holds clones sharing the same store).
+    #[must_use]
+    pub fn sink(mut self, recorder: Recorder) -> Self {
+        self.sink = Some(recorder);
+        self
+    }
+
+    /// Where the nodes execute (default [`Deploy::Simulator`]).
+    #[must_use]
+    pub fn deploy(mut self, deploy: Deploy) -> Self {
+        self.deploy = deploy;
+        self
+    }
+
+    /// Bounded mailbox capacity per node, in wire frames (host
+    /// deployments only; senders park when a mailbox is full).
+    #[must_use]
+    pub fn mailbox(mut self, frames: usize) -> Self {
+        self.mailbox = frames;
+        self
+    }
+
+    /// Construct the engine.
+    ///
+    /// # Panics
+    /// Panics when a telemetry sink or `shards > 1` is combined with a
+    /// host deployment — both are simulator features.
+    #[must_use]
+    pub fn build(self) -> Box<dyn Engine> {
+        let host_mode = match self.deploy {
+            Deploy::Simulator => return self.build_simulator(),
+            Deploy::Threaded => HostMode::ThreadPerNode,
+            Deploy::Async { workers } => HostMode::Executor {
+                workers: workers.max(1),
+            },
+        };
+        assert!(
+            self.sink.is_none(),
+            "run telemetry requires Deploy::Simulator (the host's nodes run concurrently; \
+             the virtual-clock lifecycle trace is a simulator feature)"
+        );
+        assert!(
+            self.shards == 1,
+            "event-queue sharding is a simulator knob; size the host with \
+             Deploy::Async {{ workers }} instead"
+        );
+        crate::async_engine::build_async(
+            &self.topology,
+            crate::async_engine::HostSpec {
+                kind: self.kind,
+                event_validity: self.event_validity,
+                seed: self.seed,
+                latency: self.latency,
+                mode: self.mode,
+                host_mode,
+                mailbox: self.mailbox.max(1),
+            },
+        )
+    }
+
+    fn build_simulator(self) -> Box<dyn Engine> {
+        let EngineBuilder {
+            kind,
+            topology,
+            event_validity,
+            seed,
+            latency,
+            shards,
+            mode,
+            sink,
+            ..
+        } = self;
+        let mut engine: Box<dyn Engine> = if let Some(sink) = sink {
+            match kind {
+                EngineKind::Centralized => Box::new(CentralEngine::with_sink(
+                    topology,
+                    event_validity,
+                    latency,
+                    sink,
+                )),
+                EngineKind::Naive => Box::new(PubSubEngine::with_sink(
+                    "Naive approach",
+                    topology,
+                    PubSubConfig::naive(event_validity, seed).with_match_mode(mode),
+                    latency,
+                    sink,
+                )),
+                EngineKind::OperatorPlacement => Box::new(PubSubEngine::with_sink(
+                    "Distributed operator placement",
+                    topology,
+                    PubSubConfig::operator_placement(event_validity, seed).with_match_mode(mode),
+                    latency,
+                    sink,
+                )),
+                EngineKind::MultiJoin => {
+                    Box::new(MjEngine::with_sink(topology, event_validity, latency, sink))
+                }
+                EngineKind::FilterSplitForward => Box::new(PubSubEngine::with_sink(
+                    "Filter-Split-Forward",
+                    topology,
+                    PubSubConfig::fsf(event_validity, seed).with_match_mode(mode),
+                    latency,
+                    sink,
+                )),
             }
-            EngineKind::FilterSplitForward => Box::new(PubSubEngine::with_sink(
-                "Filter-Split-Forward",
-                topology,
-                PubSubConfig::fsf(event_validity, seed),
-                latency,
-                sink,
-            )),
+        } else {
+            match kind {
+                EngineKind::Centralized => Box::new(CentralEngine::with_mode(
+                    topology,
+                    event_validity,
+                    latency,
+                    mode,
+                )),
+                EngineKind::Naive => Box::new(PubSubEngine::with_latency(
+                    "Naive approach",
+                    topology,
+                    PubSubConfig::naive(event_validity, seed).with_match_mode(mode),
+                    latency,
+                )),
+                EngineKind::OperatorPlacement => Box::new(PubSubEngine::with_latency(
+                    "Distributed operator placement",
+                    topology,
+                    PubSubConfig::operator_placement(event_validity, seed).with_match_mode(mode),
+                    latency,
+                )),
+                EngineKind::MultiJoin => {
+                    Box::new(MjEngine::with_mode(topology, event_validity, latency, mode))
+                }
+                EngineKind::FilterSplitForward => Box::new(PubSubEngine::with_latency(
+                    "Filter-Split-Forward",
+                    topology,
+                    PubSubConfig::fsf(event_validity, seed).with_match_mode(mode),
+                    latency,
+                )),
+            }
         };
         if shards > 1 {
             engine.set_shards(shards);
         }
-        (engine, recorder)
+        engine
     }
 }
 
@@ -656,7 +910,7 @@ impl<S: TelemetrySink> PubSubEngine<S> {
     }
 }
 
-impl<S: TelemetrySink> Engine for PubSubEngine<S> {
+impl<S: TelemetrySink> EngineData for PubSubEngine<S> {
     fn name(&self) -> &'static str {
         self.name
     }
@@ -729,12 +983,24 @@ impl<S: TelemetrySink> Engine for PubSubEngine<S> {
             );
         }
     }
-    fn mobility_stats(&self) -> MobilityStats {
-        MobilityStats {
-            moves: self.recovery.moves,
-            handoff_msgs: self.sim.stats().handoff_msgs(),
+    fn flush(&mut self) {
+        let start = self.sim.now();
+        let before = self.sim.steps();
+        self.sim.run_to_quiescence();
+        if S::ENABLED {
+            record_op(
+                &self.sink,
+                "flush",
+                None,
+                start,
+                self.sim.now(),
+                format!("{} handled", self.sim.steps() - before),
+            );
         }
     }
+}
+
+impl<S: TelemetrySink> EngineControl for PubSubEngine<S> {
     fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
         let start = self.sim.now();
         let delta = self.sim.crash_and_regraft(node, anchor)?;
@@ -761,6 +1027,21 @@ impl<S: TelemetrySink> Engine for PubSubEngine<S> {
             self.apply_recovery(&delta);
         }
     }
+    fn run_until(&mut self, t: u64) -> u64 {
+        self.sim.run_until(t)
+    }
+    fn set_shards(&mut self, shards: usize) {
+        self.sim.set_shards(shards);
+    }
+}
+
+impl<S: TelemetrySink> EngineIntrospect for PubSubEngine<S> {
+    fn mobility_stats(&self) -> MobilityStats {
+        MobilityStats {
+            moves: self.recovery.moves,
+            handoff_msgs: self.sim.stats().handoff_msgs(),
+        }
+    }
     fn recovery_stats(&self) -> RecoveryStats {
         self.recovery.stats(self.sim.stats().recovery_msgs())
     }
@@ -780,24 +1061,6 @@ impl<S: TelemetrySink> Engine for PubSubEngine<S> {
             })
             .collect()
     }
-    fn flush(&mut self) {
-        let start = self.sim.now();
-        let before = self.sim.steps();
-        self.sim.run_to_quiescence();
-        if S::ENABLED {
-            record_op(
-                &self.sink,
-                "flush",
-                None,
-                start,
-                self.sim.now(),
-                format!("{} handled", self.sim.steps() - before),
-            );
-        }
-    }
-    fn run_until(&mut self, t: u64) -> u64 {
-        self.sim.run_until(t)
-    }
     fn now(&self) -> u64 {
         self.sim.now()
     }
@@ -815,9 +1078,6 @@ impl<S: TelemetrySink> Engine for PubSubEngine<S> {
     }
     fn shards(&self) -> usize {
         self.sim.shards()
-    }
-    fn set_shards(&mut self, shards: usize) {
-        self.sim.set_shards(shards);
     }
     fn steps(&self) -> u64 {
         self.sim.steps()
@@ -926,7 +1186,7 @@ impl<S: TelemetrySink> MjEngine<S> {
     }
 }
 
-impl<S: TelemetrySink> Engine for MjEngine<S> {
+impl<S: TelemetrySink> EngineData for MjEngine<S> {
     fn name(&self) -> &'static str {
         "Distributed multi-join"
     }
@@ -997,12 +1257,24 @@ impl<S: TelemetrySink> Engine for MjEngine<S> {
             );
         }
     }
-    fn mobility_stats(&self) -> MobilityStats {
-        MobilityStats {
-            moves: self.recovery.moves,
-            handoff_msgs: self.sim.stats().handoff_msgs(),
+    fn flush(&mut self) {
+        let start = self.sim.now();
+        let before = self.sim.steps();
+        self.sim.run_to_quiescence();
+        if S::ENABLED {
+            record_op(
+                &self.sink,
+                "flush",
+                None,
+                start,
+                self.sim.now(),
+                format!("{} handled", self.sim.steps() - before),
+            );
         }
     }
+}
+
+impl<S: TelemetrySink> EngineControl for MjEngine<S> {
     fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
         let start = self.sim.now();
         let delta = self.sim.crash_and_regraft(node, anchor)?;
@@ -1029,6 +1301,21 @@ impl<S: TelemetrySink> Engine for MjEngine<S> {
             self.apply_recovery(&delta);
         }
     }
+    fn run_until(&mut self, t: u64) -> u64 {
+        self.sim.run_until(t)
+    }
+    fn set_shards(&mut self, shards: usize) {
+        self.sim.set_shards(shards);
+    }
+}
+
+impl<S: TelemetrySink> EngineIntrospect for MjEngine<S> {
+    fn mobility_stats(&self) -> MobilityStats {
+        MobilityStats {
+            moves: self.recovery.moves,
+            handoff_msgs: self.sim.stats().handoff_msgs(),
+        }
+    }
     fn recovery_stats(&self) -> RecoveryStats {
         self.recovery.stats(self.sim.stats().recovery_msgs())
     }
@@ -1049,24 +1336,6 @@ impl<S: TelemetrySink> Engine for MjEngine<S> {
             })
             .collect()
     }
-    fn flush(&mut self) {
-        let start = self.sim.now();
-        let before = self.sim.steps();
-        self.sim.run_to_quiescence();
-        if S::ENABLED {
-            record_op(
-                &self.sink,
-                "flush",
-                None,
-                start,
-                self.sim.now(),
-                format!("{} handled", self.sim.steps() - before),
-            );
-        }
-    }
-    fn run_until(&mut self, t: u64) -> u64 {
-        self.sim.run_until(t)
-    }
     fn now(&self) -> u64 {
         self.sim.now()
     }
@@ -1084,9 +1353,6 @@ impl<S: TelemetrySink> Engine for MjEngine<S> {
     }
     fn shards(&self) -> usize {
         self.sim.shards()
-    }
-    fn set_shards(&mut self, shards: usize) {
-        self.sim.set_shards(shards);
     }
     fn steps(&self) -> u64 {
         self.sim.steps()
@@ -1217,7 +1483,7 @@ impl<S: TelemetrySink> CentralEngine<S> {
     }
 }
 
-impl<S: TelemetrySink> Engine for CentralEngine<S> {
+impl<S: TelemetrySink> EngineData for CentralEngine<S> {
     fn name(&self) -> &'static str {
         "Centralized"
     }
@@ -1285,12 +1551,24 @@ impl<S: TelemetrySink> Engine for CentralEngine<S> {
             );
         }
     }
-    fn mobility_stats(&self) -> MobilityStats {
-        MobilityStats {
-            moves: self.recovery.moves,
-            handoff_msgs: self.sim.stats().handoff_msgs(),
+    fn flush(&mut self) {
+        let start = self.sim.now();
+        let before = self.sim.steps();
+        self.sim.run_to_quiescence();
+        if S::ENABLED {
+            record_op(
+                &self.sink,
+                "flush",
+                None,
+                start,
+                self.sim.now(),
+                format!("{} handled", self.sim.steps() - before),
+            );
         }
     }
+}
+
+impl<S: TelemetrySink> EngineControl for CentralEngine<S> {
     fn crash_node(&mut self, node: NodeId, anchor: NodeId) -> Result<(), TopologyError> {
         let start = self.sim.now();
         let delta = self.sim.crash_and_regraft(node, anchor)?;
@@ -1318,6 +1596,21 @@ impl<S: TelemetrySink> Engine for CentralEngine<S> {
             self.apply_recovery(&delta);
         }
     }
+    fn run_until(&mut self, t: u64) -> u64 {
+        self.sim.run_until(t)
+    }
+    fn set_shards(&mut self, shards: usize) {
+        self.sim.set_shards(shards);
+    }
+}
+
+impl<S: TelemetrySink> EngineIntrospect for CentralEngine<S> {
+    fn mobility_stats(&self) -> MobilityStats {
+        MobilityStats {
+            moves: self.recovery.moves,
+            handoff_msgs: self.sim.stats().handoff_msgs(),
+        }
+    }
     fn recovery_stats(&self) -> RecoveryStats {
         self.recovery.stats(self.sim.stats().recovery_msgs())
     }
@@ -1337,24 +1630,6 @@ impl<S: TelemetrySink> Engine for CentralEngine<S> {
             })
             .collect()
     }
-    fn flush(&mut self) {
-        let start = self.sim.now();
-        let before = self.sim.steps();
-        self.sim.run_to_quiescence();
-        if S::ENABLED {
-            record_op(
-                &self.sink,
-                "flush",
-                None,
-                start,
-                self.sim.now(),
-                format!("{} handled", self.sim.steps() - before),
-            );
-        }
-    }
-    fn run_until(&mut self, t: u64) -> u64 {
-        self.sim.run_until(t)
-    }
     fn now(&self) -> u64 {
         self.sim.now()
     }
@@ -1372,9 +1647,6 @@ impl<S: TelemetrySink> Engine for CentralEngine<S> {
     }
     fn shards(&self) -> usize {
         self.sim.shards()
-    }
-    fn set_shards(&mut self, shards: usize) {
-        self.sim.set_shards(shards);
     }
     fn steps(&self) -> u64 {
         self.sim.steps()

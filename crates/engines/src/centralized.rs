@@ -19,7 +19,7 @@ use fsf_subsumption::{MatchMode, OperatorTable};
 use std::collections::BTreeMap;
 
 /// Wire messages of the centralized engine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CentralMsg {
     /// Local injection: a user registers a subscription at this node.
     Subscribe(Subscription),

@@ -20,12 +20,14 @@
 #![warn(clippy::all)]
 
 pub mod api;
+mod async_engine;
 pub mod centralized;
 pub mod multijoin;
+pub mod wire;
 
 pub use api::{
-    CentralEngine, Engine, EngineKind, MjEngine, MobilityStats, NodeFootprint, PubSubEngine,
-    RecoveryStats,
+    CentralEngine, Deploy, Engine, EngineBuilder, EngineControl, EngineData, EngineIntrospect,
+    EngineKind, MjEngine, MobilityStats, NodeFootprint, PubSubEngine, RecoveryStats,
 };
 pub use centralized::{CentralMsg, CentralNode};
 pub use fsf_subsumption::MatchMode;

@@ -12,7 +12,7 @@ use fsf_subsumption::{pairwise, MatchMode};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Wire messages of the multi-join engine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MjMsg {
     /// A sensor appears at this node (local injection).
     SensorUp(Advertisement),

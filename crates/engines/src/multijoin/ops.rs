@@ -22,7 +22,7 @@ pub enum WireKind {
 }
 
 /// A multi-join-engine operator in flight.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MjWireOp {
     /// The underlying value filters / correlation distances.
     pub op: Operator,

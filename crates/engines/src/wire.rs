@@ -1,0 +1,308 @@
+//! Binary wire encodings ([`WireMsg`]) for the engines' message enums, so
+//! every engine family can run on the production [`fsf_runtime::NodeHost`]
+//! with real frames on every link.
+//!
+//! [`fsf_core::PubSubMsg`]'s encoding lives with the codec in
+//! `fsf-runtime`; this module covers the two families implemented in this
+//! crate — [`MjMsg`] (multi-join) and [`CentralMsg`] (centralized) — in
+//! the same style: a one-byte variant tag followed by the payload in the
+//! codec's primitive encodings. Decoding is strict: unknown tags and
+//! trailing bytes are rejected (`None`), and the round-trip battery in
+//! `tests/codec_roundtrip.rs` exercises every variant of all three enums.
+//!
+//! Per-link write batching merges adjacent event frames: two
+//! [`MjMsg::Events`] runs concatenate, and two [`CentralMsg::Results`]
+//! frames for the same `(user, sub)` concatenate — everything else keeps
+//! its own frame (and its FIFO slot on the link).
+
+use crate::centralized::CentralMsg;
+use crate::multijoin::{MjMsg, MjWireOp, WireKind};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fsf_model::{SensorId, SubId};
+use fsf_network::NodeId;
+use fsf_runtime::codec::{
+    decode_advertisement, decode_dim_key, decode_event, decode_events, decode_operator,
+    decode_subscription, encode_advertisement, encode_dim_key, encode_event, encode_events,
+    encode_operator, encode_subscription,
+};
+use fsf_runtime::WireMsg;
+
+/// Encode a multi-join operator with its decomposition role.
+pub fn encode_mj_op(op: &MjWireOp, buf: &mut BytesMut) {
+    encode_operator(&op.op, buf);
+    match op.kind {
+        WireKind::Multi => buf.put_u8(0),
+        WireKind::Binary { main } => {
+            buf.put_u8(1);
+            encode_dim_key(&main, buf);
+        }
+        WireKind::Filter => buf.put_u8(2),
+    }
+}
+
+/// Decode a multi-join operator; `None` on malformed input.
+pub fn decode_mj_op(buf: &mut Bytes) -> Option<MjWireOp> {
+    let op = decode_operator(buf)?;
+    if buf.remaining() < 1 {
+        return None;
+    }
+    let kind = match buf.get_u8() {
+        0 => WireKind::Multi,
+        1 => WireKind::Binary {
+            main: decode_dim_key(buf)?,
+        },
+        2 => WireKind::Filter,
+        _ => return None,
+    };
+    Some(MjWireOp { op, kind })
+}
+
+impl WireMsg for MjMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            MjMsg::SensorUp(adv) => {
+                buf.put_u8(0);
+                encode_advertisement(adv, buf);
+            }
+            MjMsg::Adv(adv) => {
+                buf.put_u8(1);
+                encode_advertisement(adv, buf);
+            }
+            MjMsg::SensorDown(sensor) => {
+                buf.put_u8(2);
+                buf.put_u32(sensor.0);
+            }
+            MjMsg::AdvDown(sensor, generation) => {
+                buf.put_u8(3);
+                buf.put_u32(sensor.0);
+                buf.put_u64(*generation);
+            }
+            MjMsg::AdvRepair(adv, generation) => {
+                buf.put_u8(4);
+                encode_advertisement(adv, buf);
+                buf.put_u64(*generation);
+            }
+            MjMsg::Move(adv, generation) => {
+                buf.put_u8(5);
+                encode_advertisement(adv, buf);
+                buf.put_u64(*generation);
+            }
+            MjMsg::Subscribe(sub) => {
+                buf.put_u8(6);
+                encode_subscription(sub, buf);
+            }
+            MjMsg::Unsubscribe(sub) => {
+                buf.put_u8(7);
+                buf.put_u64(sub.0);
+            }
+            MjMsg::Op(op) => {
+                buf.put_u8(8);
+                encode_mj_op(op, buf);
+            }
+            MjMsg::RemoveSub(sub) => {
+                buf.put_u8(9);
+                buf.put_u64(sub.0);
+            }
+            MjMsg::Publish(event) => {
+                buf.put_u8(10);
+                encode_event(event, buf);
+            }
+            MjMsg::Events(events) => {
+                buf.put_u8(11);
+                encode_events(events, buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        Some(match buf.get_u8() {
+            0 => MjMsg::SensorUp(decode_advertisement(buf)?),
+            1 => MjMsg::Adv(decode_advertisement(buf)?),
+            2 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                MjMsg::SensorDown(SensorId(buf.get_u32()))
+            }
+            3 => {
+                if buf.remaining() < 12 {
+                    return None;
+                }
+                MjMsg::AdvDown(SensorId(buf.get_u32()), buf.get_u64())
+            }
+            4 => {
+                let adv = decode_advertisement(buf)?;
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                MjMsg::AdvRepair(adv, buf.get_u64())
+            }
+            5 => {
+                let adv = decode_advertisement(buf)?;
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                MjMsg::Move(adv, buf.get_u64())
+            }
+            6 => MjMsg::Subscribe(decode_subscription(buf)?),
+            7 => {
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                MjMsg::Unsubscribe(SubId(buf.get_u64()))
+            }
+            8 => MjMsg::Op(decode_mj_op(buf)?),
+            9 => {
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                MjMsg::RemoveSub(SubId(buf.get_u64()))
+            }
+            10 => MjMsg::Publish(decode_event(buf)?),
+            11 => MjMsg::Events(decode_events(buf)?),
+            _ => return None,
+        })
+    }
+
+    fn coalesce(&mut self, other: Self) -> Result<(), Self> {
+        match (self, other) {
+            (MjMsg::Events(mine), MjMsg::Events(theirs)) => {
+                mine.extend(theirs);
+                Ok(())
+            }
+            (_, other) => Err(other),
+        }
+    }
+}
+
+impl WireMsg for CentralMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            CentralMsg::Subscribe(sub) => {
+                buf.put_u8(0);
+                encode_subscription(sub, buf);
+            }
+            CentralMsg::SubToCenter { sub, user } => {
+                buf.put_u8(1);
+                buf.put_u32(user.0);
+                encode_subscription(sub, buf);
+            }
+            CentralMsg::Publish(event) => {
+                buf.put_u8(2);
+                encode_event(event, buf);
+            }
+            CentralMsg::EventToCenter(event) => {
+                buf.put_u8(3);
+                encode_event(event, buf);
+            }
+            CentralMsg::Results { user, sub, events } => {
+                buf.put_u8(4);
+                buf.put_u32(user.0);
+                buf.put_u64(sub.0);
+                encode_events(events, buf);
+            }
+            CentralMsg::Unsubscribe(sub) => {
+                buf.put_u8(5);
+                buf.put_u64(sub.0);
+            }
+            CentralMsg::UnsubToCenter(sub) => {
+                buf.put_u8(6);
+                buf.put_u64(sub.0);
+            }
+            CentralMsg::SensorDown(sensor) => {
+                buf.put_u8(7);
+                buf.put_u32(sensor.0);
+            }
+            CentralMsg::SensorDownToCenter(sensor) => {
+                buf.put_u8(8);
+                buf.put_u32(sensor.0);
+            }
+            CentralMsg::Move(sensor) => {
+                buf.put_u8(9);
+                buf.put_u32(sensor.0);
+            }
+            CentralMsg::MoveToCenter(sensor) => {
+                buf.put_u8(10);
+                buf.put_u32(sensor.0);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        let tag = buf.get_u8();
+        Some(match tag {
+            0 => CentralMsg::Subscribe(decode_subscription(buf)?),
+            1 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let user = NodeId(buf.get_u32());
+                CentralMsg::SubToCenter {
+                    sub: decode_subscription(buf)?,
+                    user,
+                }
+            }
+            2 => CentralMsg::Publish(decode_event(buf)?),
+            3 => CentralMsg::EventToCenter(decode_event(buf)?),
+            4 => {
+                if buf.remaining() < 12 {
+                    return None;
+                }
+                let user = NodeId(buf.get_u32());
+                let sub = SubId(buf.get_u64());
+                CentralMsg::Results {
+                    user,
+                    sub,
+                    events: decode_events(buf)?,
+                }
+            }
+            5 | 6 => {
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                let sub = SubId(buf.get_u64());
+                if tag == 5 {
+                    CentralMsg::Unsubscribe(sub)
+                } else {
+                    CentralMsg::UnsubToCenter(sub)
+                }
+            }
+            7..=10 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let sensor = SensorId(buf.get_u32());
+                match tag {
+                    7 => CentralMsg::SensorDown(sensor),
+                    8 => CentralMsg::SensorDownToCenter(sensor),
+                    9 => CentralMsg::Move(sensor),
+                    _ => CentralMsg::MoveToCenter(sensor),
+                }
+            }
+            _ => return None,
+        })
+    }
+
+    fn coalesce(&mut self, other: Self) -> Result<(), Self> {
+        match (self, other) {
+            (
+                CentralMsg::Results { user, sub, events },
+                CentralMsg::Results {
+                    user: other_user,
+                    sub: other_sub,
+                    events: other_events,
+                },
+            ) if *user == other_user && *sub == other_sub => {
+                events.extend(other_events);
+                Ok(())
+            }
+            (_, other) => Err(other),
+        }
+    }
+}

@@ -160,6 +160,12 @@ pub struct DeliveryLog {
     /// injection time: delivery tick − injection tick of the *latest*
     /// injected constituent (the reading that completed the match).
     latencies: Vec<u64>,
+    /// Deliveries recorded before their constituents' injection times were
+    /// locally known: the live hosts record into short-lived per-task logs
+    /// while injections register on the shared log. Each entry resolves
+    /// into a latency sample when [`DeliveryLog::merge`] (or the sharded
+    /// drain) unites it with the injection registry.
+    pending: Vec<(Vec<EventId>, u64)>,
 }
 
 impl PartialEq for DeliveryLog {
@@ -198,6 +204,8 @@ impl DeliveryLog {
             .max()
         {
             self.latencies.push(at.saturating_sub(injected));
+        } else {
+            self.pending.push((event.event_ids().collect(), at));
         }
         self.per_sub
             .entry(sub)
@@ -252,6 +260,8 @@ impl DeliveryLog {
             target.per_sub.entry(sub).or_default().extend(events);
         }
         target.latencies.append(&mut self.latencies);
+        target.pending.append(&mut self.pending);
+        target.resolve_pending();
     }
 
     /// Fold another log into this one (used by multi-executor runtimes).
@@ -267,6 +277,25 @@ impl DeliveryLog {
             self.injected_at.entry(id).or_insert(at);
         }
         self.latencies.extend_from_slice(&other.latencies);
+        self.pending.extend(other.pending.iter().cloned());
+        self.resolve_pending();
+    }
+
+    /// Convert pending deliveries whose constituents are now registered
+    /// into latency samples; the rest stay pending for a later merge.
+    fn resolve_pending(&mut self) {
+        let mut unresolved = Vec::new();
+        for (ids, at) in self.pending.drain(..) {
+            match ids
+                .iter()
+                .filter_map(|id| self.injected_at.get(id).copied())
+                .max()
+            {
+                Some(injected) => self.latencies.push(at.saturating_sub(injected)),
+                None => unresolved.push((ids, at)),
+            }
+        }
+        self.pending = unresolved;
     }
 }
 
@@ -1267,5 +1296,35 @@ mod tests {
         other.record(SubId(1), &ComplexEvent::new(vec![ev(1), ev(2)]));
         other.record(SubId(1), &ComplexEvent::new(vec![ev(9)]));
         assert_eq!(log, other);
+    }
+
+    #[test]
+    fn pending_latencies_resolve_when_merged_with_the_injection_registry() {
+        use fsf_model::{AttrId, Event, Point, SensorId, Timestamp};
+        let ev = |id: u64| Event {
+            id: EventId(id),
+            sensor: SensorId(1),
+            attr: AttrId(0),
+            location: Point::new(0.0, 0.0),
+            value: 0.0,
+            timestamp: Timestamp(id),
+        };
+        // the live hosts' shape: injections register on the shared log,
+        // deliveries record into a fresh per-task log that merges back
+        let mut shared = DeliveryLog::new();
+        shared.note_injection(EventId(1), 100);
+        shared.note_injection(EventId(2), 130);
+        let mut local = DeliveryLog::new();
+        local.record_at(SubId(1), &ComplexEvent::new(vec![ev(1), ev(2)]), 142);
+        assert!(local.latency_samples().is_empty(), "no local registry yet");
+        shared.merge(&local);
+        assert_eq!(shared.latency_samples(), &[12]);
+        // a delivery whose constituents were never registered stays
+        // sample-less even after the merge
+        let mut stray = DeliveryLog::new();
+        stray.record_at(SubId(1), &ComplexEvent::new(vec![ev(9)]), 500);
+        shared.merge(&stray);
+        assert_eq!(shared.latency_samples(), &[12]);
+        assert_eq!(shared.complex_deliveries(), 2);
     }
 }

@@ -6,7 +6,57 @@
 //! paper's homogeneous middleware.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use fsf_model::{Advertisement, AttrId, Event, EventId, Point, SensorId, Timestamp};
+use fsf_core::PubSubMsg;
+use fsf_model::{
+    Advertisement, AttrId, DimKey, DimSignature, Event, EventId, Operator, OperatorKey, Point,
+    Rect, Region, SensorId, SubId, Subscription, SubscriptionKind, Timestamp, ValueRange,
+};
+
+/// A message type with a binary wire form, plus the per-link write-batching
+/// hook the async host's send path uses.
+///
+/// Every link message of the async deployment passes through
+/// [`WireMsg::to_frame`] on the sending side and [`WireMsg::from_frame`] on
+/// the receiving side — the channels carry opaque byte frames, exactly as a
+/// socket would.
+pub trait WireMsg: Sized {
+    /// Append this message's wire form to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Decode one message, consuming its bytes; `None` on a short or
+    /// malformed buffer.
+    fn decode(buf: &mut Bytes) -> Option<Self>;
+
+    /// Try to absorb `other` into `self` for per-link write batching
+    /// (e.g. two adjacent `Events` frames bound for the same peer merge
+    /// into one). Non-coalescible pairs hand `other` back unchanged; that
+    /// is the default, so control messages never merge.
+    ///
+    /// # Errors
+    /// Returns `other` untouched when the pair cannot merge.
+    fn coalesce(&mut self, other: Self) -> Result<(), Self> {
+        Err(other)
+    }
+
+    /// Encode into a standalone frame.
+    #[must_use]
+    fn to_frame(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decode a frame produced by [`WireMsg::to_frame`]; `None` if the
+    /// frame is malformed or has trailing garbage.
+    #[must_use]
+    fn from_frame(mut frame: Bytes) -> Option<Self> {
+        let msg = Self::decode(&mut frame)?;
+        if frame.remaining() > 0 {
+            return None;
+        }
+        Some(msg)
+    }
+}
 
 /// Encoded size of an [`Event`] in bytes.
 pub const EVENT_WIRE_SIZE: usize = 8 + 4 + 2 + 8 + 8 + 8 + 8;
@@ -86,6 +136,385 @@ pub fn decode_event_batch(mut buf: Bytes) -> Option<Vec<Event>> {
         out.push(decode_event(&mut buf)?);
     }
     Some(out)
+}
+
+/// Append a subscription dimension key (1 tag byte + the id).
+pub fn encode_dim_key(key: &DimKey, buf: &mut BytesMut) {
+    match key {
+        DimKey::Sensor(d) => {
+            buf.put_u8(0);
+            buf.put_u32(d.0);
+        }
+        DimKey::Attr(a) => {
+            buf.put_u8(1);
+            buf.put_u16(a.0);
+        }
+    }
+}
+
+/// Decode one dimension key.
+pub fn decode_dim_key(buf: &mut Bytes) -> Option<DimKey> {
+    if buf.remaining() < 1 {
+        return None;
+    }
+    match buf.get_u8() {
+        0 if buf.remaining() >= 4 => Some(DimKey::Sensor(SensorId(buf.get_u32()))),
+        1 if buf.remaining() >= 2 => Some(DimKey::Attr(AttrId(buf.get_u16()))),
+        _ => None,
+    }
+}
+
+/// Append a value range (min, max as `f64`).
+pub fn encode_value_range(range: &ValueRange, buf: &mut BytesMut) {
+    buf.put_f64(range.min());
+    buf.put_f64(range.max());
+}
+
+/// Decode one value range.
+pub fn decode_value_range(buf: &mut Bytes) -> Option<ValueRange> {
+    if buf.remaining() < 16 {
+        return None;
+    }
+    let (min, max) = (buf.get_f64(), buf.get_f64());
+    ValueRange::try_new(min, max).ok()
+}
+
+/// Append a region (1 tag byte + its geometry).
+pub fn encode_region(region: &Region, buf: &mut BytesMut) {
+    match region {
+        Region::All => buf.put_u8(0),
+        Region::Rect(r) => {
+            buf.put_u8(1);
+            buf.put_f64(r.min.x);
+            buf.put_f64(r.min.y);
+            buf.put_f64(r.max.x);
+            buf.put_f64(r.max.y);
+        }
+        Region::Circle { center, radius } => {
+            buf.put_u8(2);
+            buf.put_f64(center.x);
+            buf.put_f64(center.y);
+            buf.put_f64(*radius);
+        }
+    }
+}
+
+/// Decode one region.
+pub fn decode_region(buf: &mut Bytes) -> Option<Region> {
+    if buf.remaining() < 1 {
+        return None;
+    }
+    match buf.get_u8() {
+        0 => Some(Region::All),
+        1 if buf.remaining() >= 32 => {
+            let min = Point::new(buf.get_f64(), buf.get_f64());
+            let max = Point::new(buf.get_f64(), buf.get_f64());
+            if min.x.is_finite() && min.y.is_finite() && min.x <= max.x && min.y <= max.y {
+                Some(Region::Rect(Rect::new(min, max)))
+            } else {
+                None
+            }
+        }
+        2 if buf.remaining() >= 24 => Some(Region::Circle {
+            center: Point::new(buf.get_f64(), buf.get_f64()),
+            radius: buf.get_f64(),
+        }),
+        _ => None,
+    }
+}
+
+fn encode_opt_f64(v: Option<f64>, buf: &mut BytesMut) {
+    match v {
+        None => buf.put_u8(0),
+        Some(x) => {
+            buf.put_u8(1);
+            buf.put_f64(x);
+        }
+    }
+}
+
+fn decode_opt_f64(buf: &mut Bytes) -> Option<Option<f64>> {
+    if buf.remaining() < 1 {
+        return None;
+    }
+    match buf.get_u8() {
+        0 => Some(None),
+        1 if buf.remaining() >= 8 => Some(Some(buf.get_f64())),
+        _ => None,
+    }
+}
+
+/// The shared wire body of subscriptions and operators: `(id, kind,
+/// predicates, region, δt, δl)`. Operators are projections of
+/// subscriptions, so both sides reconstruct through the [`Subscription`]
+/// constructors — the decode re-validates everything the constructors
+/// validate.
+fn encode_query_body(
+    id: SubId,
+    kind: SubscriptionKind,
+    predicates: &[fsf_model::Predicate],
+    region: &Region,
+    delta_t: u64,
+    delta_l: Option<f64>,
+    buf: &mut BytesMut,
+) {
+    buf.put_u64(id.0);
+    buf.put_u8(match kind {
+        SubscriptionKind::Identified => 0,
+        SubscriptionKind::Abstract => 1,
+    });
+    buf.put_u16(predicates.len() as u16);
+    for p in predicates {
+        encode_dim_key(&p.key, buf);
+        encode_value_range(&p.range, buf);
+    }
+    encode_region(region, buf);
+    buf.put_u64(delta_t);
+    encode_opt_f64(delta_l, buf);
+}
+
+fn decode_query_body(buf: &mut Bytes) -> Option<Subscription> {
+    if buf.remaining() < 11 {
+        return None;
+    }
+    let id = SubId(buf.get_u64());
+    let kind = buf.get_u8();
+    let n = buf.get_u16() as usize;
+    let mut keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = decode_dim_key(buf)?;
+        let range = decode_value_range(buf)?;
+        keys.push((key, range));
+    }
+    let region = decode_region(buf)?;
+    if buf.remaining() < 8 {
+        return None;
+    }
+    let delta_t = buf.get_u64();
+    let delta_l = decode_opt_f64(buf)?;
+    match kind {
+        0 => {
+            let filters: Option<Vec<(SensorId, ValueRange)>> = keys
+                .into_iter()
+                .map(|(k, r)| match k {
+                    DimKey::Sensor(d) => Some((d, r)),
+                    DimKey::Attr(_) => None,
+                })
+                .collect();
+            Subscription::identified(id, filters?, delta_t).ok()
+        }
+        1 => {
+            let filters: Option<Vec<(AttrId, ValueRange)>> = keys
+                .into_iter()
+                .map(|(k, r)| match k {
+                    DimKey::Attr(a) => Some((a, r)),
+                    DimKey::Sensor(_) => None,
+                })
+                .collect();
+            Subscription::abstract_over(id, filters?, region, delta_t, delta_l).ok()
+        }
+        _ => None,
+    }
+}
+
+/// Append a subscription's wire form.
+pub fn encode_subscription(sub: &Subscription, buf: &mut BytesMut) {
+    encode_query_body(
+        sub.id(),
+        sub.kind(),
+        sub.predicates(),
+        sub.region(),
+        sub.delta_t(),
+        sub.delta_l(),
+        buf,
+    );
+}
+
+/// Decode one subscription.
+pub fn decode_subscription(buf: &mut Bytes) -> Option<Subscription> {
+    decode_query_body(buf)
+}
+
+/// Append an operator's wire form (same body as a subscription — an
+/// operator is a projection of one, and carries the identical fields).
+pub fn encode_operator(op: &Operator, buf: &mut BytesMut) {
+    encode_query_body(
+        op.sub(),
+        op.kind(),
+        op.predicates(),
+        op.region(),
+        op.delta_t(),
+        op.delta_l(),
+        buf,
+    );
+}
+
+/// Decode one operator.
+pub fn decode_operator(buf: &mut Bytes) -> Option<Operator> {
+    decode_query_body(buf).map(|sub| Operator::from_subscription(&sub))
+}
+
+/// Append an operator key (`subscription id` + dimension signature).
+pub fn encode_operator_key(key: &OperatorKey, buf: &mut BytesMut) {
+    buf.put_u64(key.sub.0);
+    buf.put_u16(key.dims.dims().len() as u16);
+    for d in key.dims.dims() {
+        encode_dim_key(d, buf);
+    }
+}
+
+/// Decode one operator key.
+pub fn decode_operator_key(buf: &mut Bytes) -> Option<OperatorKey> {
+    if buf.remaining() < 10 {
+        return None;
+    }
+    let sub = SubId(buf.get_u64());
+    let n = buf.get_u16() as usize;
+    let mut dims = Vec::with_capacity(n);
+    for _ in 0..n {
+        dims.push(decode_dim_key(buf)?);
+    }
+    Some(OperatorKey {
+        sub,
+        dims: DimSignature::new(dims),
+    })
+}
+
+/// Append a length-prefixed event vector (the body of an `Events` frame).
+pub fn encode_events(events: &[Event], buf: &mut BytesMut) {
+    buf.put_u32(events.len() as u32);
+    for e in events {
+        encode_event(e, buf);
+    }
+}
+
+/// Decode a length-prefixed event vector.
+pub fn decode_events(buf: &mut Bytes) -> Option<Vec<Event>> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let n = buf.get_u32() as usize;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        out.push(decode_event(buf)?);
+    }
+    Some(out)
+}
+
+impl WireMsg for PubSubMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            PubSubMsg::SensorUp(a) => {
+                buf.put_u8(0);
+                encode_advertisement(a, buf);
+            }
+            PubSubMsg::Adv(a) => {
+                buf.put_u8(1);
+                encode_advertisement(a, buf);
+            }
+            PubSubMsg::SensorDown(d) => {
+                buf.put_u8(2);
+                buf.put_u32(d.0);
+            }
+            PubSubMsg::AdvDown(d, gen) => {
+                buf.put_u8(3);
+                buf.put_u32(d.0);
+                buf.put_u64(*gen);
+            }
+            PubSubMsg::AdvRepair(a, gen) => {
+                buf.put_u8(4);
+                encode_advertisement(a, buf);
+                buf.put_u64(*gen);
+            }
+            PubSubMsg::Move(a, gen) => {
+                buf.put_u8(5);
+                encode_advertisement(a, buf);
+                buf.put_u64(*gen);
+            }
+            PubSubMsg::Subscribe(s) => {
+                buf.put_u8(6);
+                encode_subscription(s, buf);
+            }
+            PubSubMsg::Operator(op) => {
+                buf.put_u8(7);
+                encode_operator(op, buf);
+            }
+            PubSubMsg::Unsubscribe(s) => {
+                buf.put_u8(8);
+                buf.put_u64(s.0);
+            }
+            PubSubMsg::RemoveOperator(k) => {
+                buf.put_u8(9);
+                encode_operator_key(k, buf);
+            }
+            PubSubMsg::Publish(e) => {
+                buf.put_u8(10);
+                encode_event(e, buf);
+            }
+            PubSubMsg::Events(es) => {
+                buf.put_u8(11);
+                encode_events(es, buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        Some(match buf.get_u8() {
+            0 => PubSubMsg::SensorUp(decode_advertisement(buf)?),
+            1 => PubSubMsg::Adv(decode_advertisement(buf)?),
+            2 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                PubSubMsg::SensorDown(SensorId(buf.get_u32()))
+            }
+            3 => {
+                if buf.remaining() < 12 {
+                    return None;
+                }
+                PubSubMsg::AdvDown(SensorId(buf.get_u32()), buf.get_u64())
+            }
+            4 => {
+                let a = decode_advertisement(buf)?;
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                PubSubMsg::AdvRepair(a, buf.get_u64())
+            }
+            5 => {
+                let a = decode_advertisement(buf)?;
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                PubSubMsg::Move(a, buf.get_u64())
+            }
+            6 => PubSubMsg::Subscribe(decode_subscription(buf)?),
+            7 => PubSubMsg::Operator(decode_operator(buf)?),
+            8 => {
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                PubSubMsg::Unsubscribe(SubId(buf.get_u64()))
+            }
+            9 => PubSubMsg::RemoveOperator(decode_operator_key(buf)?),
+            10 => PubSubMsg::Publish(decode_event(buf)?),
+            11 => PubSubMsg::Events(decode_events(buf)?),
+            _ => return None,
+        })
+    }
+
+    fn coalesce(&mut self, other: Self) -> Result<(), Self> {
+        match (self, other) {
+            (PubSubMsg::Events(mine), PubSubMsg::Events(more)) => {
+                mine.extend(more);
+                Ok(())
+            }
+            (_, other) => Err(other),
+        }
+    }
 }
 
 #[cfg(test)]

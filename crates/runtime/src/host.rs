@@ -1,0 +1,848 @@
+//! The production node host: every topology node runs as an asynchronous
+//! task (or a dedicated thread) with a **bounded mailbox**, explicit
+//! backpressure, and the binary [`crate::codec`] on every link.
+//!
+//! This is the deployment-shaped counterpart of the discrete-event
+//! simulator in `fsf-network` and the legacy [`crate::ThreadedNet`]:
+//!
+//! * **Bounded mailboxes.** Each node owns one bounded channel (the wire's
+//!   receive buffer). A sender facing a full mailbox *parks* — nothing is
+//!   ever dropped — and every park is counted in the [`HostLedger`].
+//! * **Deadlock-free backpressure.** Before parking on a full peer, a node
+//!   drains its *own* mailbox into a local staging queue (the application
+//!   reading the socket so the kernel buffer frees). A node parked on a
+//!   full peer therefore always has an empty mailbox of its own, so a
+//!   cycle of mutually-full mailboxes cannot form.
+//! * **Wire framing.** Every link message and injection crosses its
+//!   channel as an encoded [`crate::codec::WireMsg`] frame and is decoded
+//!   on arrival — the channels carry bytes, exactly as sockets would.
+//! * **Per-link write batching.** Within one handler's outbox, adjacent
+//!   frames bound for the same peer are coalesced through
+//!   [`crate::codec::WireMsg::coalesce`] (`Events` runs merge into one
+//!   frame; control messages never merge, preserving per-link FIFO).
+//!   Traffic is charged per original message, so [`TrafficStats`] stays
+//!   comparable; the ledger counts the saved frames.
+//! * **Virtual timestamps.** Packets carry a logical `at`; each hop adds
+//!   the [`LatencyModel`] delay, so delivery latencies remain measurable
+//!   against the timed simulator's reference timeline even though
+//!   execution itself is free-running.
+//! * **Churn.** The topology lives behind a shared snapshot;
+//!   [`NodeHost::crash_and_regraft`] re-grafts it, marks the corpse down
+//!   (subsequent traffic to it is counted `dropped_to_downed`), and
+//!   broadcasts [`NodeBehavior::on_topology_change`];
+//!   [`NodeHost::run_recovery`] runs the survivors' recovery protocol.
+//!
+//! The conservation ledger reconciles at quiescence:
+//! `scheduled == handled + dropped_to_downed` — backpressure parks senders
+//! instead of dropping, and the robustness battery holds the host to it.
+
+use crate::codec::WireMsg;
+use bytes::Bytes;
+use fsf_model::EventId;
+use fsf_network::{
+    ChargeKind, Ctx, DeliveryLog, LatencyModel, NodeBehavior, NodeId, RegraftDelta, Topology,
+    TopologyError, TrafficStats,
+};
+use miniloop::sync::mpsc;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+/// How the node bodies execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostMode {
+    /// One dedicated OS thread per node, each driving the node task with
+    /// [`miniloop::block_on`] — the paper's one-JVM-per-Xen-VM shape.
+    ThreadPerNode,
+    /// All nodes multiplexed as tasks on a [`miniloop::Runtime`] with the
+    /// given number of worker threads — the service deployment shape.
+    Executor {
+        /// Executor worker threads (clamped to at least 1).
+        workers: usize,
+    },
+}
+
+/// Host construction knobs.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Execution mode (threads vs executor tasks).
+    pub mode: HostMode,
+    /// Bounded mailbox capacity per node, in wire frames (clamped ≥ 1).
+    pub mailbox: usize,
+    /// Per-link delay added to packet timestamps (virtual ticks — the
+    /// host's execution is free-running; the timestamps keep the delivery
+    /// latency measurements aligned with the timed simulator).
+    pub latency: LatencyModel,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            mode: HostMode::Executor { workers: 4 },
+            mailbox: 64,
+            latency: LatencyModel::Zero,
+        }
+    }
+}
+
+/// The host's conservation ledger, all counters cumulative.
+///
+/// At quiescence `scheduled == handled + dropped_to_downed`: every frame
+/// accepted by the host is either delivered to a behavior or accounted to
+/// a downed node — backpressure parks senders, it never drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostLedger {
+    /// Frames accepted by the host (injections + link sends).
+    pub scheduled: u64,
+    /// Frames delivered to a node behavior.
+    pub handled: u64,
+    /// Frames addressed to a downed node (charged, then dropped at the
+    /// wire — the corpse cannot receive).
+    pub dropped_to_downed: u64,
+    /// Times a sender parked on a full mailbox (backpressure events).
+    pub parks: u64,
+    /// Encoded frames that actually crossed a link (after batching).
+    pub wire_frames: u64,
+    /// Bytes across all links (after batching).
+    pub wire_bytes: u64,
+    /// Original messages absorbed into a neighboring frame by per-link
+    /// write batching (each saved one wire frame).
+    pub coalesced_frames: u64,
+}
+
+/// A control closure executed on a node's own task with a live [`Ctx`]
+/// (sends it makes are charged and delivered like any message).
+pub type ControlFn<B> =
+    Box<dyn FnOnce(&mut B, &mut Ctx<'_, <B as NodeBehavior>::Msg>) + Send + 'static>;
+
+enum Packet<B: NodeBehavior> {
+    /// An encoded message frame (injection or link traffic).
+    Wire {
+        from: NodeId,
+        at: u64,
+        frame: Bytes,
+    },
+    /// A management-plane closure, acknowledged after its outbox flushed.
+    Ctl {
+        run: ControlFn<B>,
+        at: u64,
+        ack: std::sync::mpsc::Sender<()>,
+    },
+    Stop,
+}
+
+struct HostShared {
+    stats: Mutex<TrafficStats>,
+    deliveries: Mutex<DeliveryLog>,
+    /// Messages injected or sent but not yet fully processed; 0 ⇒ quiescent.
+    pending: AtomicI64,
+    topology: Mutex<Arc<Topology>>,
+    down: Vec<AtomicBool>,
+    latency: LatencyModel,
+    /// High-water logical packet timestamp observed by any handler.
+    clock: AtomicU64,
+    scheduled: AtomicU64,
+    handled: AtomicU64,
+    dropped_to_downed: AtomicU64,
+    parks: AtomicU64,
+    wire_frames: AtomicU64,
+    wire_bytes: AtomicU64,
+    coalesced_frames: AtomicU64,
+}
+
+impl HostShared {
+    fn topology(&self) -> Arc<Topology> {
+        Arc::clone(&self.topology.lock())
+    }
+
+    fn is_down(&self, node: NodeId) -> bool {
+        self.down[node.0 as usize].load(Ordering::Acquire)
+    }
+}
+
+enum Running {
+    Threads(Vec<std::thread::JoinHandle<()>>),
+    Executor {
+        // field order = drop order: join handles die before the runtime
+        tasks: Vec<miniloop::JoinHandle<()>>,
+        rt: miniloop::Runtime,
+    },
+}
+
+/// A deployed network of node behaviors — see the module docs.
+pub struct NodeHost<B>
+where
+    B: NodeBehavior + Send + 'static,
+    B::Msg: WireMsg + Send + 'static,
+{
+    txs: Vec<mpsc::Sender<Packet<B>>>,
+    shared: Arc<HostShared>,
+    running: Option<Running>,
+}
+
+impl<B> NodeHost<B>
+where
+    B: NodeBehavior + Send + 'static,
+    B::Msg: WireMsg + Send + 'static,
+{
+    /// Deploy one node per topology entry. `make_node` builds each node's
+    /// behavior on the calling thread.
+    #[must_use]
+    pub fn spawn(
+        topology: &Topology,
+        config: &HostConfig,
+        mut make_node: impl FnMut(NodeId, &Topology) -> B,
+    ) -> Self {
+        let n = topology.len();
+        let shared = Arc::new(HostShared {
+            stats: Mutex::new(TrafficStats::new()),
+            deliveries: Mutex::new(DeliveryLog::new()),
+            pending: AtomicI64::new(0),
+            topology: Mutex::new(Arc::new(topology.clone())),
+            down: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            latency: config.latency.clone(),
+            clock: AtomicU64::new(0),
+            scheduled: AtomicU64::new(0),
+            handled: AtomicU64::new(0),
+            dropped_to_downed: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            wire_frames: AtomicU64::new(0),
+            wire_bytes: AtomicU64::new(0),
+            coalesced_frames: AtomicU64::new(0),
+        });
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::channel(config.mailbox.max(1));
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let txs_shared = Arc::new(txs.clone());
+        let running = match config.mode {
+            HostMode::ThreadPerNode => {
+                let mut handles = Vec::with_capacity(n);
+                for (idx, rx) in rxs.into_iter().enumerate() {
+                    let id = NodeId(idx as u32);
+                    let node = make_node(id, topology);
+                    let txs = Arc::clone(&txs_shared);
+                    let shared = Arc::clone(&shared);
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("fsf-node-{idx}"))
+                            .spawn(move || {
+                                miniloop::block_on(node_task(id, node, rx, txs, shared));
+                            })
+                            .expect("spawn node thread"),
+                    );
+                }
+                Running::Threads(handles)
+            }
+            HostMode::Executor { workers } => {
+                let rt = miniloop::Builder::new_multi_thread()
+                    .worker_threads(workers)
+                    .build();
+                let tasks = rxs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(idx, rx)| {
+                        let id = NodeId(idx as u32);
+                        let node = make_node(id, topology);
+                        let txs = Arc::clone(&txs_shared);
+                        let shared = Arc::clone(&shared);
+                        rt.spawn(node_task(id, node, rx, txs, shared))
+                    })
+                    .collect();
+                Running::Executor { tasks, rt }
+            }
+        };
+        NodeHost {
+            txs,
+            shared,
+            running: Some(running),
+        }
+    }
+
+    /// Inject a local item at `node` with logical timestamp `at` (the node
+    /// sees `from == node`). Injections at a downed node are accounted
+    /// `dropped_to_downed`, mirroring the simulator. Backpressure applies:
+    /// a full mailbox parks the *calling thread* until the node drains.
+    pub fn inject(&self, node: NodeId, msg: &B::Msg, at: u64) {
+        self.shared.scheduled.fetch_add(1, Ordering::SeqCst);
+        if self.shared.is_down(node) {
+            self.shared.dropped_to_downed.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+        let frame = msg.to_frame();
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        if self.txs[node.0 as usize]
+            .blocking_send(Packet::Wire {
+                from: node,
+                at,
+                frame,
+            })
+            .is_err()
+        {
+            panic!("inject into a stopped node task");
+        }
+    }
+
+    /// Record an event injection time in the shared delivery log (feeds
+    /// the latency percentiles).
+    pub fn note_injection(&self, event: EventId, at: u64) {
+        self.shared.deliveries.lock().note_injection(event, at);
+    }
+
+    /// Block until no message is queued or being processed anywhere.
+    pub fn wait_quiescent(&self) {
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Crash `node` at quiescence: re-graft its orphans onto `anchor`,
+    /// mark it down, and broadcast the new topology to every survivor
+    /// ([`NodeBehavior::on_topology_change`] on each node's own task).
+    ///
+    /// # Errors
+    /// Fails if `anchor` is downed or not a neighbor of `node`.
+    pub fn crash_and_regraft(
+        &self,
+        node: NodeId,
+        anchor: NodeId,
+        at: u64,
+    ) -> Result<RegraftDelta, TopologyError> {
+        if self.shared.is_down(anchor) {
+            return Err(TopologyError::BadEdge(node.0, anchor.0));
+        }
+        let new_topology;
+        let delta;
+        {
+            let mut topo = self.shared.topology.lock();
+            let (t, d) = topo.regraft_with_delta(node, anchor)?;
+            new_topology = Arc::new(t);
+            delta = d;
+            *topo = Arc::clone(&new_topology);
+        }
+        self.shared.down[node.0 as usize].store(true, Ordering::Release);
+        // every survivor refreshes routing state against the new snapshot
+        let ids: Vec<NodeId> = (0..self.txs.len() as u32).map(NodeId).collect();
+        for id in ids {
+            if self.shared.is_down(id) {
+                continue;
+            }
+            let topo = Arc::clone(&new_topology);
+            self.with_node(
+                id,
+                at,
+                Box::new(move |node, _ctx| node.on_topology_change(&topo)),
+            );
+        }
+        Ok(delta)
+    }
+
+    /// Run the crash-recovery protocol for one regraft: every surviving
+    /// node gets [`NodeBehavior::on_recover`] on its own task, in id
+    /// order, with a live [`Ctx`] — its repair sends are charged and
+    /// delivered like any traffic (flush afterwards to drain them).
+    pub fn run_recovery(&self, delta: &RegraftDelta, at: u64) {
+        for idx in 0..self.txs.len() {
+            let id = NodeId(idx as u32);
+            if self.shared.is_down(id) {
+                continue;
+            }
+            let delta = delta.clone();
+            self.with_node(
+                id,
+                at,
+                Box::new(move |node, ctx| node.on_recover(&delta, ctx)),
+            );
+        }
+    }
+
+    /// Execute a control closure on `id`'s own task and block until it —
+    /// and the flush of any sends it made — completed.
+    ///
+    /// # Panics
+    /// Panics if `id` is downed (corpses accept no management traffic).
+    pub fn with_node(&self, id: NodeId, at: u64, run: ControlFn<B>) {
+        assert!(
+            !self.shared.is_down(id),
+            "control message to downed node n{}",
+            id.0
+        );
+        let (ack_tx, ack_rx) = std::sync::mpsc::channel();
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        if self.txs[id.0 as usize]
+            .blocking_send(Packet::Ctl {
+                run,
+                at,
+                ack: ack_tx,
+            })
+            .is_err()
+        {
+            panic!("control message to a stopped node task");
+        }
+        ack_rx.recv().expect("node task alive for ack");
+    }
+
+    /// Is the node marked down?
+    #[must_use]
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.shared.is_down(node)
+    }
+
+    /// The current topology snapshot.
+    #[must_use]
+    pub fn topology(&self) -> Arc<Topology> {
+        self.shared.topology()
+    }
+
+    /// Snapshot of the accumulated traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> TrafficStats {
+        self.shared.stats.lock().clone()
+    }
+
+    /// Snapshot of the accumulated deliveries.
+    #[must_use]
+    pub fn deliveries(&self) -> DeliveryLog {
+        self.shared.deliveries.lock().clone()
+    }
+
+    /// Snapshot of the conservation ledger.
+    #[must_use]
+    pub fn ledger(&self) -> HostLedger {
+        HostLedger {
+            scheduled: self.shared.scheduled.load(Ordering::SeqCst),
+            handled: self.shared.handled.load(Ordering::SeqCst),
+            dropped_to_downed: self.shared.dropped_to_downed.load(Ordering::SeqCst),
+            parks: self.shared.parks.load(Ordering::SeqCst),
+            wire_frames: self.shared.wire_frames.load(Ordering::SeqCst),
+            wire_bytes: self.shared.wire_bytes.load(Ordering::SeqCst),
+            coalesced_frames: self.shared.coalesced_frames.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Messages accepted but not yet fully processed (0 at quiescence).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared.pending.load(Ordering::SeqCst).max(0) as usize
+    }
+
+    /// High-water logical packet timestamp any handler has observed.
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.shared.clock.load(Ordering::SeqCst)
+    }
+
+    /// Stop every node (including idle corpses) and return the final
+    /// aggregates.
+    pub fn shutdown(mut self) -> (TrafficStats, DeliveryLog) {
+        self.wait_quiescent();
+        self.stop_and_join();
+        let stats = self.shared.stats.lock().clone();
+        let deliveries = self.shared.deliveries.lock().clone();
+        (stats, deliveries)
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(running) = self.running.take() else {
+            return;
+        };
+        for tx in &self.txs {
+            let _ = tx.blocking_send(Packet::Stop);
+        }
+        match running {
+            Running::Threads(handles) => {
+                for h in handles {
+                    h.join().expect("node thread panicked");
+                }
+            }
+            Running::Executor { tasks, rt } => {
+                for t in tasks {
+                    t.join();
+                }
+                rt.shutdown();
+            }
+        }
+    }
+}
+
+impl<B> Drop for NodeHost<B>
+where
+    B: NodeBehavior + Send + 'static,
+    B::Msg: WireMsg + Send + 'static,
+{
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The body every node runs, identical across both host modes.
+async fn node_task<B>(
+    id: NodeId,
+    mut node: B,
+    mut rx: mpsc::Receiver<Packet<B>>,
+    txs: Arc<Vec<mpsc::Sender<Packet<B>>>>,
+    shared: Arc<HostShared>,
+) where
+    B: NodeBehavior + Send + 'static,
+    B::Msg: WireMsg + Send + 'static,
+{
+    // Packets drained out of the mailbox while this node was itself
+    // parked on a full peer (see SendLinked); processed before new
+    // arrivals, preserving per-link FIFO.
+    let mut staging: VecDeque<Packet<B>> = VecDeque::new();
+    let mut outbox: Vec<(NodeId, B::Msg, ChargeKind, u64)> = Vec::new();
+    let mut local_deliveries = DeliveryLog::new();
+    loop {
+        let pkt = match staging.pop_front() {
+            Some(p) => p,
+            None => match rx.recv().await {
+                Some(p) => p,
+                None => break,
+            },
+        };
+        match pkt {
+            Packet::Stop => break,
+            Packet::Ctl { run, at, ack } => {
+                let topo = shared.topology();
+                {
+                    let mut ctx = Ctx::external(
+                        id,
+                        topo.neighbors(id),
+                        at,
+                        &mut outbox,
+                        &mut local_deliveries,
+                    );
+                    run(&mut node, &mut ctx);
+                }
+                merge_deliveries(&shared, &mut local_deliveries);
+                flush_outbox(id, at, &mut outbox, &mut rx, &mut staging, &txs, &shared).await;
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
+                let _ = ack.send(());
+            }
+            Packet::Wire { from, at, frame } => {
+                let msg = B::Msg::from_frame(frame).expect("malformed wire frame");
+                shared.clock.fetch_max(at, Ordering::SeqCst);
+                let topo = shared.topology();
+                {
+                    let mut ctx = Ctx::external(
+                        id,
+                        topo.neighbors(id),
+                        at,
+                        &mut outbox,
+                        &mut local_deliveries,
+                    );
+                    node.on_message(from, msg, &mut ctx);
+                }
+                merge_deliveries(&shared, &mut local_deliveries);
+                flush_outbox(id, at, &mut outbox, &mut rx, &mut staging, &txs, &shared).await;
+                shared.handled.fetch_add(1, Ordering::SeqCst);
+                // decrement only after our own sends were registered, so
+                // the pending count can never dip to zero early
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+fn merge_deliveries(shared: &HostShared, local: &mut DeliveryLog) {
+    if local.complex_deliveries() > 0 {
+        shared.deliveries.lock().merge(local);
+        *local = DeliveryLog::new();
+    }
+}
+
+/// Charge, batch, encode and send one handler's outbox.
+async fn flush_outbox<B>(
+    id: NodeId,
+    at: u64,
+    outbox: &mut Vec<(NodeId, B::Msg, ChargeKind, u64)>,
+    rx: &mut mpsc::Receiver<Packet<B>>,
+    staging: &mut VecDeque<Packet<B>>,
+    txs: &Arc<Vec<mpsc::Sender<Packet<B>>>>,
+    shared: &Arc<HostShared>,
+) where
+    B: NodeBehavior + Send + 'static,
+    B::Msg: WireMsg + Send + 'static,
+{
+    if outbox.is_empty() {
+        return;
+    }
+    // traffic is charged per original message, before batching — the
+    // counters stay comparable with the simulator's
+    {
+        let mut stats = shared.stats.lock();
+        for (to, _, kind, units) in outbox.iter() {
+            stats.charge(*kind, id, *to, *units);
+        }
+    }
+    // per-link write batching: only *adjacent* frames to the same peer may
+    // merge, so a control message between two Events runs keeps its FIFO
+    // position on the link
+    let mut wire: Vec<(NodeId, B::Msg)> = Vec::with_capacity(outbox.len());
+    for (to, msg, _, _) in outbox.drain(..) {
+        if let Some((last_to, last_msg)) = wire.last_mut() {
+            if *last_to == to {
+                match last_msg.coalesce(msg) {
+                    Ok(()) => {
+                        shared.coalesced_frames.fetch_add(1, Ordering::SeqCst);
+                        continue;
+                    }
+                    Err(back) => {
+                        wire.push((to, back));
+                        continue;
+                    }
+                }
+            }
+        }
+        wire.push((to, msg));
+    }
+    for (to, msg) in wire {
+        shared.scheduled.fetch_add(1, Ordering::SeqCst);
+        if shared.is_down(to) {
+            // charged above, dropped at the wire: the corpse cannot receive
+            shared.dropped_to_downed.fetch_add(1, Ordering::SeqCst);
+            continue;
+        }
+        let frame = msg.to_frame();
+        shared.wire_frames.fetch_add(1, Ordering::SeqCst);
+        shared
+            .wire_bytes
+            .fetch_add(frame.len() as u64, Ordering::SeqCst);
+        shared.pending.fetch_add(1, Ordering::SeqCst);
+        let deliver_at = at + shared.latency.delay(id, to);
+        SendLinked {
+            tx: &txs[to.0 as usize],
+            rx,
+            staging,
+            shared,
+            item: Some(Packet::Wire {
+                from: id,
+                at: deliver_at,
+                frame,
+            }),
+            parked: false,
+        }
+        .await;
+    }
+}
+
+/// Send one packet with drain-before-park backpressure.
+///
+/// On a full peer mailbox the future first drains this node's *own*
+/// mailbox into the staging queue (freeing slots wakes senders parked on
+/// us), then parks registered on **both** the peer's capacity and our own
+/// mailbox — whichever fires re-polls. A parked node therefore always has
+/// an empty mailbox, which makes a cycle of mutually-blocked senders
+/// impossible.
+struct SendLinked<'a, B>
+where
+    B: NodeBehavior + Send + 'static,
+    B::Msg: WireMsg + Send + 'static,
+{
+    tx: &'a mpsc::Sender<Packet<B>>,
+    rx: &'a mut mpsc::Receiver<Packet<B>>,
+    staging: &'a mut VecDeque<Packet<B>>,
+    shared: &'a Arc<HostShared>,
+    item: Option<Packet<B>>,
+    parked: bool,
+}
+
+impl<B> Unpin for SendLinked<'_, B>
+where
+    B: NodeBehavior + Send + 'static,
+    B::Msg: WireMsg + Send + 'static,
+{
+}
+
+impl<B> Future for SendLinked<'_, B>
+where
+    B: NodeBehavior + Send + 'static,
+    B::Msg: WireMsg + Send + 'static,
+{
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        loop {
+            let item = this
+                .item
+                .take()
+                .expect("SendLinked polled after completion");
+            match this.tx.try_send(item) {
+                Ok(()) => return Poll::Ready(()),
+                Err(mpsc::TrySendError::Closed(_)) => {
+                    panic!("send to a stopped node task (host shut down mid-run?)")
+                }
+                Err(mpsc::TrySendError::Full(back)) => this.item = Some(back),
+            }
+            // Drain our own mailbox: frees slots (waking senders parked on
+            // us) and, once empty, registers our waker for new arrivals.
+            let mut drained = false;
+            while let Poll::Ready(Some(p)) = this.rx.poll_recv(cx) {
+                this.staging.push_back(p);
+                drained = true;
+            }
+            if drained {
+                // capacity may have opened anywhere in the cycle — retry
+                continue;
+            }
+            match this.tx.poll_ready(cx) {
+                Poll::Ready(_) => continue, // a slot freed while we drained
+                Poll::Pending => {
+                    if !this.parked {
+                        this.parked = true;
+                        this.shared.parks.fetch_add(1, Ordering::SeqCst);
+                    }
+                    return Poll::Pending;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsf_network::builders;
+
+    /// Flooding behavior over the `u64` test message (mirrors the
+    /// ThreadedNet test double). `u64` gets a tiny wire form locally.
+    #[derive(Debug, Default)]
+    struct Flood {
+        seen: Vec<u64>,
+    }
+
+    impl NodeBehavior for Flood {
+        type Msg = u64;
+        fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+            if self.seen.contains(&msg) {
+                return;
+            }
+            self.seen.push(msg);
+            let me = ctx.node();
+            for n in ctx.neighbors().to_vec() {
+                if n != from || from == me {
+                    ctx.send(n, msg, ChargeKind::Advertisement, 1);
+                }
+            }
+        }
+    }
+
+    impl WireMsg for u64 {
+        fn encode(&self, buf: &mut bytes::BytesMut) {
+            use bytes::BufMut;
+            buf.put_u64(*self);
+        }
+        fn decode(buf: &mut Bytes) -> Option<Self> {
+            use bytes::Buf;
+            if buf.remaining() < 8 {
+                return None;
+            }
+            Some(buf.get_u64())
+        }
+    }
+
+    fn modes() -> [HostMode; 2] {
+        [HostMode::ThreadPerNode, HostMode::Executor { workers: 3 }]
+    }
+
+    #[test]
+    fn flood_matches_simulator_traffic_in_both_modes() {
+        for mode in modes() {
+            let topo = builders::balanced(31, 2);
+            let config = HostConfig {
+                mode,
+                mailbox: 4,
+                latency: LatencyModel::Zero,
+            };
+            let host = NodeHost::spawn(&topo, &config, |_, _| Flood::default());
+            host.inject(NodeId(0), &7, 0);
+            host.wait_quiescent();
+            host.inject(NodeId(30), &8, 0);
+            host.wait_quiescent();
+            let ledger = host.ledger();
+            assert_eq!(
+                ledger.scheduled,
+                ledger.handled + ledger.dropped_to_downed,
+                "{mode:?}: ledger must reconcile at quiescence"
+            );
+            let (stats, _) = host.shutdown();
+            assert_eq!(
+                stats.adv_msgs(),
+                2 * 30,
+                "{mode:?}: each flood crosses every link once"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_mailboxes_park_but_never_drop() {
+        for mode in modes() {
+            let topo = builders::balanced(15, 2);
+            let config = HostConfig {
+                mode,
+                mailbox: 1, // worst case: every concurrent send contends
+                latency: LatencyModel::Zero,
+            };
+            let host = NodeHost::spawn(&topo, &config, |_, _| Flood::default());
+            for i in 0..50u64 {
+                host.inject(NodeId((i % 15) as u32), &(1000 + i), 0);
+            }
+            host.wait_quiescent();
+            let ledger = host.ledger();
+            assert_eq!(ledger.scheduled, ledger.handled, "{mode:?}: no drops");
+            let (stats, _) = host.shutdown();
+            assert_eq!(stats.adv_msgs(), 50 * 14, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn crash_marks_down_and_accounts_dropped_traffic() {
+        let topo = builders::line(4);
+        let config = HostConfig {
+            mode: HostMode::Executor { workers: 2 },
+            mailbox: 8,
+            latency: LatencyModel::Zero,
+        };
+        let host = NodeHost::spawn(&topo, &config, |_, _| Flood::default());
+        host.inject(NodeId(0), &1, 0);
+        host.wait_quiescent();
+        let delta = host.crash_and_regraft(NodeId(3), NodeId(2), 0).unwrap();
+        assert_eq!(delta.crashed, NodeId(3));
+        assert!(host.is_down(NodeId(3)));
+        // a fresh flood: n2 still forwards toward the corpse (it remains a
+        // leaf neighbor), and that frame is dropped at the wire
+        host.inject(NodeId(0), &2, 0);
+        host.wait_quiescent();
+        let ledger = host.ledger();
+        assert!(ledger.dropped_to_downed > 0, "corpse traffic not accounted");
+        assert_eq!(ledger.scheduled, ledger.handled + ledger.dropped_to_downed);
+        // injections at the corpse are dropped, not delivered
+        host.inject(NodeId(3), &9, 0);
+        host.wait_quiescent();
+        let after = host.ledger();
+        assert_eq!(after.dropped_to_downed, ledger.dropped_to_downed + 1);
+    }
+
+    #[test]
+    fn latency_timestamps_advance_the_logical_clock() {
+        let topo = builders::line(3);
+        let config = HostConfig {
+            mode: HostMode::Executor { workers: 2 },
+            mailbox: 8,
+            latency: LatencyModel::Uniform { hop: 5 },
+        };
+        let host = NodeHost::spawn(&topo, &config, |_, _| Flood::default());
+        host.inject(NodeId(0), &1, 100);
+        host.wait_quiescent();
+        // two hops away, the packet carries 100 + 2·5
+        assert_eq!(host.clock(), 110);
+    }
+}

@@ -11,14 +11,30 @@
 //! node state. Integration tests verify that the threaded execution and the
 //! simulator produce identical deliveries and traffic.
 //!
-//! [`codec`] provides a compact binary wire encoding for events and
-//! advertisements (what a real deployment would put on the sockets the
+//! Two execution substrates are provided:
+//!
+//! * [`net::ThreadedNet`] — the legacy one-OS-thread-per-node harness with
+//!   unbounded channels (kept as a reference implementation);
+//! * [`host::NodeHost`] — the production host: nodes as **async tasks** on
+//!   the vendored `miniloop` executor (or dedicated threads), **bounded
+//!   mailboxes** with park-don't-drop backpressure, the binary wire codec
+//!   on every link, per-link write batching, virtual-latency timestamps,
+//!   and churn support (crash/regraft/recover). A conservation ledger
+//!   (`scheduled == handled + dropped_to_downed`) reconciles at
+//!   quiescence.
+//!
+//! [`codec`] provides the compact binary wire encoding ([`codec::WireMsg`])
+//! for events, advertisements, subscriptions, operators, and the engines'
+//! full message enums (what a real deployment would put on the sockets the
 //! channels stand in for).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod codec;
+pub mod host;
 pub mod net;
 
+pub use codec::WireMsg;
+pub use host::{HostConfig, HostLedger, HostMode, NodeHost};
 pub use net::ThreadedNet;

@@ -61,7 +61,7 @@ fn main() {
         "approach", "sub load", "event load", "delivered", "repairs", "teardown"
     );
     for kind in EngineKind::ALL {
-        let mut engine = kind.build(topology.clone(), 60, 42);
+        let mut engine = kind.builder(topology.clone()).validity(60).seed(42).build();
         // live phase
         run_plan(engine.as_mut(), &plan);
         let delivered = engine.deliveries().total_event_units();

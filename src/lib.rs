@@ -96,7 +96,10 @@ pub mod prelude {
         DedupMode, FilterPolicy, PubSubConfig, PubSubMsg, PubSubNode, RankPolicy, SetFilterConfig,
     };
     pub use fsf_dynamics::{ChurnAction, ChurnPlan, ChurnPlanConfig, TimedPlan, TimedReplayConfig};
-    pub use fsf_engines::{Engine, EngineKind, MatchMode, NodeFootprint};
+    pub use fsf_engines::{
+        Deploy, Engine, EngineBuilder, EngineControl, EngineData, EngineIntrospect, EngineKind,
+        MatchMode, NodeFootprint,
+    };
     pub use fsf_model::{
         Advertisement, AttrId, ComplexEvent, Event, EventId, Operator, Point, Rect, Region,
         SensorId, SubId, Subscription, Timestamp, ValueRange,

@@ -31,7 +31,11 @@ fn assert_five_engine_equivalence(topology: &Topology, plan: &ChurnPlan, label: 
     let mut engines: Vec<(EngineKind, Box<dyn Engine>)> = EngineKind::ALL
         .iter()
         .map(|&kind| {
-            let mut e = kind.build(topology.clone(), VALIDITY, 42);
+            let mut e = kind
+                .builder(topology.clone())
+                .validity(VALIDITY)
+                .seed(42)
+                .build();
             run_plan(e.as_mut(), &full);
             (kind, e)
         })
@@ -104,7 +108,11 @@ fn all_five_engines_survive_an_identical_seeded_churn_plan() {
     let mut engines: Vec<(EngineKind, Box<dyn Engine>)> = EngineKind::ALL
         .iter()
         .map(|&kind| {
-            let mut e = kind.build(topology.clone(), VALIDITY, 42);
+            let mut e = kind
+                .builder(topology.clone())
+                .validity(VALIDITY)
+                .seed(42)
+                .build();
             run_plan(e.as_mut(), &full);
             (kind, e)
         })
@@ -160,7 +168,11 @@ fn all_five_engines_survive_an_identical_seeded_churn_plan() {
 fn retractions_are_idempotent_mid_plan() {
     let (topology, plan) = acceptance_plan();
     for kind in EngineKind::DISTRIBUTED {
-        let mut engine = kind.build(topology.clone(), VALIDITY, 42);
+        let mut engine = kind
+            .builder(topology.clone())
+            .validity(VALIDITY)
+            .seed(42)
+            .build();
         run_plan(engine.as_mut(), &plan);
         for action in plan.teardown() {
             fsf::dynamics::apply_action(engine.as_mut(), &action);
@@ -201,7 +213,11 @@ fn leaf_crashes_regraft_without_breaking_equivalence() {
     );
     let mut delivered: Vec<(EngineKind, u64)> = Vec::new();
     for kind in EngineKind::ALL {
-        let mut engine = kind.build(topology.clone(), VALIDITY, 42);
+        let mut engine = kind
+            .builder(topology.clone())
+            .validity(VALIDITY)
+            .seed(42)
+            .build();
         run_plan(engine.as_mut(), &plan);
         delivered.push((kind, engine.deliveries().total_event_units()));
         assert_clean(engine.as_mut());
@@ -337,9 +353,17 @@ fn mobility_seed_sweep() {
         let mobile = plan.clone().with_teardown();
         let twin = plan.stationary_twin(10_000).with_teardown();
         for kind in EngineKind::ALL {
-            let mut m = kind.build(topology.clone(), VALIDITY, 42);
+            let mut m = kind
+                .builder(topology.clone())
+                .validity(VALIDITY)
+                .seed(42)
+                .build();
             run_plan(m.as_mut(), &mobile);
-            let mut t = kind.build(topology.clone(), VALIDITY, 42);
+            let mut t = kind
+                .builder(topology.clone())
+                .validity(VALIDITY)
+                .seed(42)
+                .build();
             run_plan(t.as_mut(), &twin);
             if kind == EngineKind::FilterSplitForward {
                 let (md, td) = (

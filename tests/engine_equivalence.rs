@@ -22,7 +22,11 @@ fn deterministic_engines_agree_on_every_delivered_event() {
     ]
     .into_iter()
     .map(|k| {
-        let mut engine = k.build(w.topology.clone(), w.config.event_validity(), 42);
+        let mut engine = k
+            .builder(w.topology.clone())
+            .validity(w.config.event_validity())
+            .seed(42)
+            .build();
         let r = fsf::workload::run_engine(&w, engine.as_mut());
         (k, engine, r)
     })
@@ -46,10 +50,17 @@ fn deterministic_engines_agree_on_every_delivered_event() {
 #[test]
 fn fsf_deliveries_are_a_subset_of_ground_truth() {
     let w = workload();
-    let mut exact = EngineKind::Naive.build(w.topology.clone(), w.config.event_validity(), 42);
+    let mut exact = EngineKind::Naive
+        .builder(w.topology.clone())
+        .validity(w.config.event_validity())
+        .seed(42)
+        .build();
     fsf::workload::run_engine(&w, exact.as_mut());
-    let mut fsf_engine =
-        EngineKind::FilterSplitForward.build(w.topology.clone(), w.config.event_validity(), 42);
+    let mut fsf_engine = EngineKind::FilterSplitForward
+        .builder(w.topology.clone())
+        .validity(w.config.event_validity())
+        .seed(42)
+        .build();
     fsf::workload::run_engine(&w, fsf_engine.as_mut());
 
     for sub_id in 0..w.total_subs() as u64 {

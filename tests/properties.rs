@@ -637,7 +637,7 @@ fn resubscription_after_retraction_behaves_like_fresh() {
 #[test]
 fn random_moves_leave_no_superseded_generation_routes() {
     use fsf::core::PubSubConfig;
-    use fsf::engines::{Engine, PubSubEngine};
+    use fsf::engines::{EngineData, PubSubEngine};
     use fsf::model::{Advertisement, AttrId, Point};
     cases(22, 16, |rng| {
         let n = rng.gen_range(4usize..24);

@@ -95,20 +95,24 @@ fn sharded_backends_match_the_oracle_on_flushed_replays() {
         for latency in [LatencyModel::Zero, LatencyModel::Uniform { hop: 2 }] {
             for (family, plan) in plan_families(&topology, seed) {
                 for kind in EngineKind::ALL {
-                    let mut oracle =
-                        kind.build_with_latency(topology.clone(), VALIDITY, 42, latency.clone());
+                    let mut oracle = kind
+                        .builder(topology.clone())
+                        .validity(VALIDITY)
+                        .seed(42)
+                        .latency(latency.clone())
+                        .build();
                     run_plan(oracle.as_mut(), &plan);
                     assert_conserved(oracle.as_ref(), &format!("{kind}/{family}/oracle"));
                     for shards in SHARD_SWEEP {
                         let ctx =
                             format!("seed {seed:#x} {kind}/{family}/{latency:?}/{shards} shards");
-                        let mut e = kind.build_sharded(
-                            topology.clone(),
-                            VALIDITY,
-                            42,
-                            latency.clone(),
-                            shards,
-                        );
+                        let mut e = kind
+                            .builder(topology.clone())
+                            .validity(VALIDITY)
+                            .seed(42)
+                            .latency(latency.clone())
+                            .shards(shards)
+                            .build();
                         run_plan(e.as_mut(), &plan);
                         assert_eq!(
                             e.deliveries(),
@@ -149,13 +153,22 @@ fn sharded_backends_match_the_oracle_on_timed_replays() {
         for (family, plan) in plan_families(&topology, seed) {
             let timed = plan.timed(&TimedReplayConfig::drained(&topology, &latency));
             for kind in EngineKind::ALL {
-                let mut oracle =
-                    kind.build_with_latency(topology.clone(), VALIDITY, 42, latency.clone());
+                let mut oracle = kind
+                    .builder(topology.clone())
+                    .validity(VALIDITY)
+                    .seed(42)
+                    .latency(latency.clone())
+                    .build();
                 run_plan_timed(oracle.as_mut(), &timed);
                 for shards in SHARD_SWEEP {
                     let ctx = format!("seed {seed:#x} {kind}/{family}/timed/{shards} shards");
-                    let mut e =
-                        kind.build_sharded(topology.clone(), VALIDITY, 42, latency.clone(), shards);
+                    let mut e = kind
+                        .builder(topology.clone())
+                        .validity(VALIDITY)
+                        .seed(42)
+                        .latency(latency.clone())
+                        .shards(shards)
+                        .build();
                     let end = run_plan_timed(e.as_mut(), &timed);
                     assert!(end >= timed.horizon(), "{ctx}: clock stalled");
                     assert_eq!(
@@ -193,13 +206,15 @@ fn recorded_traces_reconcile_across_the_seed_matrix() {
             for kind in EngineKind::ALL {
                 for shards in [1usize, 2, 4] {
                     let ctx = format!("seed {seed:#x} {kind}/{family}/{shards} shards");
-                    let (mut e, recorder) = kind.build_recorded(
-                        topology.clone(),
-                        VALIDITY,
-                        42,
-                        latency.clone(),
-                        shards,
-                    );
+                    let recorder = fsf::telemetry::Recorder::new();
+                    let mut e = kind
+                        .builder(topology.clone())
+                        .validity(VALIDITY)
+                        .seed(42)
+                        .latency(latency.clone())
+                        .shards(shards)
+                        .sink(recorder.clone())
+                        .build();
                     run_plan_timed(e.as_mut(), &timed);
                     assert_conserved(e.as_ref(), &ctx);
                     recorder
@@ -224,13 +239,13 @@ fn recorded_traces_reconcile_across_the_seed_matrix() {
 fn run_until_boundary_and_conservation_hold_across_shard_counts() {
     for shards in [1usize, 2, 4] {
         let topology = builders::balanced(63, 2);
-        let mut e = EngineKind::Naive.build_sharded(
-            topology,
-            VALIDITY,
-            42,
-            LatencyModel::Uniform { hop: 2 },
-            shards,
-        );
+        let mut e = EngineKind::Naive
+            .builder(topology)
+            .validity(VALIDITY)
+            .seed(42)
+            .latency(LatencyModel::Uniform { hop: 2 })
+            .shards(shards)
+            .build();
         // sensor on one deep leaf, subscriber on another: the forward path
         // crosses the root, so with hop = 2 deliveries land on even ticks
         e.inject_sensor(

@@ -58,8 +58,12 @@ fn five_engines_agree_event_for_event_under_latency() {
         let mut engines: Vec<(EngineKind, Box<dyn Engine>)> = EngineKind::ALL
             .iter()
             .map(|&kind| {
-                let mut e =
-                    kind.build_with_latency(topology.clone(), VALIDITY, 42, latency.clone());
+                let mut e = kind
+                    .builder(topology.clone())
+                    .validity(VALIDITY)
+                    .seed(42)
+                    .latency(latency.clone())
+                    .build();
                 let end = run_plan_timed(e.as_mut(), &timed);
                 assert!(end >= timed.horizon(), "{kind}: clock stalled");
                 assert_eq!(e.queue_depth(), 0, "{kind}: not quiescent");
@@ -147,8 +151,12 @@ fn five_engines_agree_through_timed_crash_recover_interleavings() {
         let mut engines: Vec<(EngineKind, Box<dyn Engine>)> = EngineKind::ALL
             .iter()
             .map(|&kind| {
-                let mut e =
-                    kind.build_with_latency(topology.clone(), VALIDITY, 42, latency.clone());
+                let mut e = kind
+                    .builder(topology.clone())
+                    .validity(VALIDITY)
+                    .seed(42)
+                    .latency(latency.clone())
+                    .build();
                 run_plan_timed(e.as_mut(), &timed);
                 assert_eq!(e.queue_depth(), 0, "{kind}: not quiescent");
                 assert!(e.recovery_stats().recoveries > 0, "{kind}: no recovery ran");
@@ -211,8 +219,12 @@ fn weighted_links_shift_latency_not_results() {
     let mut results = Vec::new();
     for latency in [uniform, weighted] {
         let timed = plan.timed(&TimedReplayConfig::drained(&topology, &latency));
-        let mut e =
-            EngineKind::Naive.build_with_latency(topology.clone(), VALIDITY, 42, latency.clone());
+        let mut e = EngineKind::Naive
+            .builder(topology.clone())
+            .validity(VALIDITY)
+            .seed(42)
+            .latency(latency.clone())
+            .build();
         run_plan_timed(e.as_mut(), &timed);
         results.push((
             e.deliveries().clone(),
@@ -245,8 +257,12 @@ fn weighted_links_shift_latency_not_results() {
 fn sensor_down_races_its_own_advertisement_flood() {
     for kind in EngineKind::ALL {
         let topology = builders::balanced(15, 2);
-        let mut e =
-            kind.build_with_latency(topology, VALIDITY, 42, LatencyModel::Uniform { hop: 3 });
+        let mut e = kind
+            .builder(topology)
+            .validity(VALIDITY)
+            .seed(42)
+            .latency(LatencyModel::Uniform { hop: 3 })
+            .build();
         e.inject_sensor(
             NodeId(7), // a leaf: the flood has the full tree ahead of it
             Advertisement {
@@ -295,12 +311,11 @@ fn injecting_during_a_paused_flood_preserves_deliveries() {
     };
     for kind in EngineKind::ALL {
         let build = || {
-            kind.build_with_latency(
-                builders::balanced(15, 2),
-                VALIDITY,
-                42,
-                LatencyModel::Uniform { hop: 2 },
-            )
+            kind.builder(builders::balanced(15, 2))
+                .validity(VALIDITY)
+                .seed(42)
+                .latency(LatencyModel::Uniform { hop: 2 })
+                .build()
         };
         let sub = Subscription::identified(
             SubId(1),

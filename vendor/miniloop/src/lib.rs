@@ -1,0 +1,708 @@
+//! A vendored, dependency-free, tokio-shaped mini executor.
+//!
+//! Provides the slice of the tokio surface the `fsf-runtime` async host
+//! needs, built on `std` only so the workspace keeps building offline:
+//!
+//! * [`Runtime`] — a multi-threaded executor: [`Runtime::spawn`] submits a
+//!   future as a task, worker threads poll tasks woken through the standard
+//!   [`std::task::Wake`] machinery.
+//! * [`block_on`] — drive a future to completion on the calling thread
+//!   (thread-parker waker), which is also how a dedicated thread-per-node
+//!   deployment runs the very same async task bodies.
+//! * [`sync::mpsc`] — a bounded multi-producer single-consumer channel with
+//!   `async` send/recv, non-blocking `try_*` variants, poll-level hooks
+//!   ([`sync::mpsc::Receiver::poll_recv`], [`sync::mpsc::Sender::poll_ready`])
+//!   for hand-written futures, and `blocking_*` adapters for synchronous
+//!   callers. A full channel parks the sender — nothing is ever dropped.
+//!
+//! Not a general-purpose runtime: no timers, no I/O driver, no task
+//! budgets. Tasks still queued when the runtime shuts down are dropped.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+struct InjectorState {
+    queue: VecDeque<Arc<Task>>,
+    shutdown: bool,
+}
+
+struct Injector {
+    state: Mutex<InjectorState>,
+    available: Condvar,
+}
+
+impl Injector {
+    fn push(&self, task: Arc<Task>) {
+        let mut st = self.state.lock().unwrap();
+        if st.shutdown {
+            return;
+        }
+        st.queue.push_back(task);
+        drop(st);
+        self.available.notify_one();
+    }
+}
+
+struct Task {
+    /// `None` once the task has completed.
+    future: Mutex<Option<BoxFuture>>,
+    injector: Weak<Injector>,
+    /// Set while the task sits in the run queue; cleared just before a
+    /// poll, so a wake arriving *during* the poll re-queues it.
+    queued: std::sync::atomic::AtomicBool,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        use std::sync::atomic::Ordering;
+        if !self.queued.swap(true, Ordering::AcqRel) {
+            if let Some(injector) = self.injector.upgrade() {
+                injector.push(self);
+            }
+        }
+    }
+}
+
+/// Receives the output of a spawned task; see [`Runtime::spawn`].
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
+struct JoinState<T> {
+    inner: Mutex<JoinInner<T>>,
+    done: Condvar,
+}
+
+struct JoinInner<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+    finished: bool,
+}
+
+impl<T> JoinHandle<T> {
+    /// Block the calling thread until the task completes and return its
+    /// output.
+    ///
+    /// # Panics
+    /// Panics if the runtime shut down before the task completed (its
+    /// future was dropped without producing an output).
+    pub fn join(self) -> T {
+        let mut inner = self.state.inner.lock().unwrap();
+        while !inner.finished {
+            inner = self.state.done.wait(inner).unwrap();
+        }
+        inner
+            .result
+            .take()
+            .expect("task dropped before completion (runtime shut down?)")
+    }
+
+    /// Has the task produced its output yet?
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.state.inner.lock().unwrap().finished
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut inner = self.state.inner.lock().unwrap();
+        if inner.finished {
+            Poll::Ready(
+                inner
+                    .result
+                    .take()
+                    .expect("JoinHandle polled after completion"),
+            )
+        } else {
+            inner.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// A multi-threaded task executor.
+///
+/// Worker threads pull woken tasks from a shared injector queue and poll
+/// them; a task is re-queued whenever its waker fires. Dropping the runtime
+/// shuts it down: workers are joined and tasks that never completed are
+/// dropped in place.
+pub struct Runtime {
+    injector: Arc<Injector>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Configures a [`Runtime`] before building it (tokio-shaped).
+pub struct Builder {
+    worker_threads: usize,
+}
+
+impl Builder {
+    /// Start configuring a multi-threaded runtime.
+    #[must_use]
+    pub fn new_multi_thread() -> Self {
+        Builder { worker_threads: 1 }
+    }
+
+    /// Number of worker threads (clamped to at least 1).
+    #[must_use]
+    pub fn worker_threads(mut self, n: usize) -> Self {
+        self.worker_threads = n.max(1);
+        self
+    }
+
+    /// Build the runtime, spawning its worker threads.
+    #[must_use]
+    pub fn build(self) -> Runtime {
+        Runtime::new(self.worker_threads)
+    }
+}
+
+impl Runtime {
+    /// A runtime with `workers` worker threads (at least 1).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let injector = Arc::new(Injector {
+            state: Mutex::new(InjectorState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let injector = Arc::clone(&injector);
+                std::thread::Builder::new()
+                    .name(format!("miniloop-worker-{i}"))
+                    .spawn(move || worker_loop(&injector))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Runtime { injector, workers }
+    }
+
+    /// Submit a future as a task; it starts polling immediately on a worker
+    /// thread. The [`JoinHandle`] yields its output.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let state = Arc::new(JoinState {
+            inner: Mutex::new(JoinInner {
+                result: None,
+                waker: None,
+                finished: false,
+            }),
+            done: Condvar::new(),
+        });
+        let state2 = Arc::clone(&state);
+        let wrapped = async move {
+            let out = future.await;
+            let waker = {
+                let mut inner = state2.inner.lock().unwrap();
+                inner.result = Some(out);
+                inner.finished = true;
+                inner.waker.take()
+            };
+            state2.done.notify_all();
+            if let Some(w) = waker {
+                w.wake();
+            }
+        };
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(wrapped))),
+            injector: Arc::downgrade(&self.injector),
+            queued: std::sync::atomic::AtomicBool::new(true),
+        });
+        self.injector.push(task);
+        JoinHandle { state }
+    }
+
+    /// Shut the runtime down: stop the workers and drop any tasks that
+    /// never completed. Equivalent to dropping the runtime, but explicit.
+    pub fn shutdown(self) {}
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        {
+            let mut st = self.injector.state.lock().unwrap();
+            st.shutdown = true;
+            st.queue.clear();
+        }
+        self.injector.available.notify_all();
+        for w in self.workers.drain(..) {
+            w.join().expect("miniloop worker panicked");
+        }
+    }
+}
+
+fn worker_loop(injector: &Arc<Injector>) {
+    loop {
+        let task = {
+            let mut st = injector.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(t) = st.queue.pop_front() {
+                    break t;
+                }
+                st = injector.available.wait(st).unwrap();
+            }
+        };
+        // Clear the queued flag *before* polling: a wake arriving while we
+        // poll must re-queue the task or progress would be lost.
+        task.queued
+            .store(false, std::sync::atomic::Ordering::Release);
+        let waker = Waker::from(Arc::clone(&task));
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = task.future.lock().unwrap();
+        if let Some(fut) = slot.as_mut() {
+            if fut.as_mut().poll(&mut cx).is_ready() {
+                *slot = None;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// block_on
+// ---------------------------------------------------------------------------
+
+struct ThreadUnparker {
+    thread: std::thread::Thread,
+}
+
+impl Wake for ThreadUnparker {
+    fn wake(self: Arc<Self>) {
+        self.thread.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.thread.unpark();
+    }
+}
+
+/// Drive `future` to completion on the calling thread, parking it between
+/// polls. This is both the bridge for synchronous callers (e.g.
+/// `blocking_send`) and the whole executor of a thread-per-task deployment.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let mut future = std::pin::pin!(future);
+    let waker = Waker::from(Arc::new(ThreadUnparker {
+        thread: std::thread::current(),
+    }));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            // A wake that raced the poll left the park token set, so this
+            // returns immediately — no lost wakeups.
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sync::mpsc
+// ---------------------------------------------------------------------------
+
+/// Synchronization primitives (tokio-shaped namespace).
+pub mod sync {
+    /// A bounded multi-producer, single-consumer queue with async
+    /// backpressure: senders on a full channel park until the receiver
+    /// frees a slot; nothing is dropped.
+    pub mod mpsc {
+        use std::collections::VecDeque;
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::sync::{Arc, Mutex};
+        use std::task::{Context, Poll, Waker};
+
+        struct Inner<T> {
+            queue: VecDeque<T>,
+            cap: usize,
+            recv_wakers: Vec<Waker>,
+            send_wakers: Vec<Waker>,
+            senders: usize,
+            rx_alive: bool,
+        }
+
+        impl<T> Inner<T> {
+            fn wake_receivers(&mut self) {
+                for w in self.recv_wakers.drain(..) {
+                    w.wake();
+                }
+            }
+            fn wake_senders(&mut self) {
+                for w in self.send_wakers.drain(..) {
+                    w.wake();
+                }
+            }
+        }
+
+        struct Chan<T> {
+            inner: Mutex<Inner<T>>,
+        }
+
+        /// The error of sending on a channel whose receiver is gone; holds
+        /// the undelivered value.
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct SendError<T>(pub T);
+
+        /// The error of a [`Sender::try_send`].
+        #[derive(Debug, PartialEq, Eq)]
+        pub enum TrySendError<T> {
+            /// The channel is at capacity; the value is handed back.
+            Full(T),
+            /// The receiver is gone; the value is handed back.
+            Closed(T),
+        }
+
+        /// The error of a [`Receiver::try_recv`].
+        #[derive(Debug, PartialEq, Eq)]
+        pub enum TryRecvError {
+            /// No message is currently queued.
+            Empty,
+            /// All senders are gone and the queue is drained.
+            Disconnected,
+        }
+
+        /// The sending half; clonable.
+        pub struct Sender<T> {
+            chan: Arc<Chan<T>>,
+        }
+
+        /// The receiving half.
+        pub struct Receiver<T> {
+            chan: Arc<Chan<T>>,
+        }
+
+        /// Create a bounded channel with room for `cap` queued messages
+        /// (`cap` is clamped to at least 1).
+        #[must_use]
+        pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+            let chan = Arc::new(Chan {
+                inner: Mutex::new(Inner {
+                    queue: VecDeque::new(),
+                    cap: cap.max(1),
+                    recv_wakers: Vec::new(),
+                    send_wakers: Vec::new(),
+                    senders: 1,
+                    rx_alive: true,
+                }),
+            });
+            (
+                Sender {
+                    chan: Arc::clone(&chan),
+                },
+                Receiver { chan },
+            )
+        }
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Self {
+                self.chan.inner.lock().unwrap().senders += 1;
+                Sender {
+                    chan: Arc::clone(&self.chan),
+                }
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                let mut inner = self.chan.inner.lock().unwrap();
+                inner.senders -= 1;
+                if inner.senders == 0 {
+                    inner.wake_receivers();
+                }
+            }
+        }
+
+        impl<T> Drop for Receiver<T> {
+            fn drop(&mut self) {
+                let mut inner = self.chan.inner.lock().unwrap();
+                inner.rx_alive = false;
+                inner.wake_senders();
+            }
+        }
+
+        impl<T> Sender<T> {
+            /// Enqueue without waiting; hand the value back if the channel
+            /// is full or closed.
+            pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+                let mut inner = self.chan.inner.lock().unwrap();
+                if !inner.rx_alive {
+                    return Err(TrySendError::Closed(value));
+                }
+                if inner.queue.len() >= inner.cap {
+                    return Err(TrySendError::Full(value));
+                }
+                inner.queue.push_back(value);
+                inner.wake_receivers();
+                Ok(())
+            }
+
+            /// Register interest in capacity: `Ready` when a `try_send`
+            /// would currently succeed (or fail fast because the channel
+            /// closed), `Pending` — with the waker registered — while full.
+            pub fn poll_ready(&self, cx: &mut Context<'_>) -> Poll<Result<(), ()>> {
+                let mut inner = self.chan.inner.lock().unwrap();
+                if !inner.rx_alive {
+                    return Poll::Ready(Err(()));
+                }
+                if inner.queue.len() < inner.cap {
+                    return Poll::Ready(Ok(()));
+                }
+                inner.send_wakers.push(cx.waker().clone());
+                Poll::Pending
+            }
+
+            /// Enqueue, waiting (async) for capacity on a full channel.
+            ///
+            /// # Errors
+            /// Returns the value if the receiver is gone.
+            pub fn send(&self, value: T) -> SendFuture<'_, T> {
+                SendFuture {
+                    sender: self,
+                    value: Some(value),
+                }
+            }
+
+            /// Enqueue from synchronous code, parking the thread while the
+            /// channel is full.
+            ///
+            /// # Errors
+            /// Returns the value if the receiver is gone.
+            pub fn blocking_send(&self, value: T) -> Result<(), SendError<T>> {
+                crate::block_on(self.send(value))
+            }
+        }
+
+        /// Future returned by [`Sender::send`].
+        pub struct SendFuture<'a, T> {
+            sender: &'a Sender<T>,
+            value: Option<T>,
+        }
+
+        impl<T> Unpin for SendFuture<'_, T> {}
+
+        impl<T> Future for SendFuture<'_, T> {
+            type Output = Result<(), SendError<T>>;
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let value = self
+                    .value
+                    .take()
+                    .expect("SendFuture polled after completion");
+                match self.sender.try_send(value) {
+                    Ok(()) => Poll::Ready(Ok(())),
+                    Err(TrySendError::Closed(v)) => Poll::Ready(Err(SendError(v))),
+                    Err(TrySendError::Full(v)) => {
+                        self.value = Some(v);
+                        // Register, then re-check: a slot freed between the
+                        // failed try_send and the registration must not be
+                        // slept through.
+                        match self.sender.poll_ready(cx) {
+                            Poll::Ready(_) => {
+                                let v = self.value.take().expect("value present");
+                                match self.sender.try_send(v) {
+                                    Ok(()) => Poll::Ready(Ok(())),
+                                    Err(TrySendError::Closed(v)) => Poll::Ready(Err(SendError(v))),
+                                    Err(TrySendError::Full(v)) => {
+                                        self.value = Some(v);
+                                        Poll::Pending
+                                    }
+                                }
+                            }
+                            Poll::Pending => Poll::Pending,
+                        }
+                    }
+                }
+            }
+        }
+
+        impl<T> Receiver<T> {
+            /// Dequeue without waiting.
+            ///
+            /// # Errors
+            /// [`TryRecvError::Empty`] when nothing is queued,
+            /// [`TryRecvError::Disconnected`] once every sender is gone and
+            /// the queue is drained.
+            pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+                let mut inner = self.chan.inner.lock().unwrap();
+                match inner.queue.pop_front() {
+                    Some(v) => {
+                        inner.wake_senders();
+                        Ok(v)
+                    }
+                    None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                    None => Err(TryRecvError::Empty),
+                }
+            }
+
+            /// Poll for the next message: `Ready(Some)` with a message,
+            /// `Ready(None)` once the channel is closed and drained,
+            /// `Pending` — waker registered — otherwise.
+            pub fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<Option<T>> {
+                let mut inner = self.chan.inner.lock().unwrap();
+                match inner.queue.pop_front() {
+                    Some(v) => {
+                        inner.wake_senders();
+                        Poll::Ready(Some(v))
+                    }
+                    None if inner.senders == 0 => Poll::Ready(None),
+                    None => {
+                        inner.recv_wakers.push(cx.waker().clone());
+                        Poll::Pending
+                    }
+                }
+            }
+
+            /// Dequeue, waiting (async) while the channel is empty; `None`
+            /// once it is closed and drained.
+            pub fn recv(&mut self) -> RecvFuture<'_, T> {
+                RecvFuture { receiver: self }
+            }
+
+            /// Dequeue from synchronous code, parking the thread while the
+            /// channel is empty; `None` once it is closed and drained.
+            pub fn blocking_recv(&mut self) -> Option<T> {
+                crate::block_on(async { self.recv().await })
+            }
+        }
+
+        /// Future returned by [`Receiver::recv`].
+        pub struct RecvFuture<'a, T> {
+            receiver: &'a mut Receiver<T>,
+        }
+
+        impl<T> Unpin for RecvFuture<'_, T> {}
+
+        impl<T> Future for RecvFuture<'_, T> {
+            type Output = Option<T>;
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                self.receiver.poll_recv(cx)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::mpsc;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn block_on_runs_a_future() {
+        assert_eq!(block_on(async { 2 + 2 }), 4);
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        let rt = Runtime::new(2);
+        let h = rt.spawn(async { 21 * 2 });
+        assert_eq!(h.join(), 42);
+    }
+
+    #[test]
+    fn many_tasks_on_few_workers() {
+        let rt = Builder::new_multi_thread().worker_threads(3).build();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..100)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                rt.spawn(async move {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn channel_roundtrip_across_tasks() {
+        let rt = Runtime::new(2);
+        let (tx, mut rx) = mpsc::channel::<u32>(4);
+        let producer = rt.spawn(async move {
+            for i in 0..50 {
+                tx.send(i).await.unwrap();
+            }
+        });
+        let consumer = rt.spawn(async move {
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        producer.join();
+        assert_eq!(consumer.join(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_channel_parks_sender_until_capacity_frees() {
+        let rt = Runtime::new(1);
+        let (tx, mut rx) = mpsc::channel::<u32>(1);
+        tx.try_send(0).unwrap();
+        assert!(matches!(tx.try_send(1), Err(mpsc::TrySendError::Full(1))));
+        let h = rt.spawn(async move {
+            tx.send(1).await.unwrap(); // parks: capacity 1, slot taken
+            drop(tx);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!h.is_finished(), "sender completed without capacity");
+        assert_eq!(rx.blocking_recv(), Some(0));
+        h.join();
+        assert_eq!(rx.blocking_recv(), Some(1));
+        assert_eq!(rx.blocking_recv(), None);
+    }
+
+    #[test]
+    fn blocking_send_and_recv_bridge_threads() {
+        let (tx, mut rx) = mpsc::channel::<u32>(2);
+        let t = std::thread::spawn(move || {
+            for i in 0..20 {
+                tx.blocking_send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = rx.blocking_recv() {
+            got.push(v);
+        }
+        t.join().unwrap();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = mpsc::channel::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.blocking_send(9), Err(mpsc::SendError(9)));
+    }
+
+    #[test]
+    fn join_handle_is_awaitable() {
+        let rt = Runtime::new(2);
+        let inner = rt.spawn(async { 7 });
+        let outer = rt.spawn(async move { inner.await + 1 });
+        assert_eq!(outer.join(), 8);
+    }
+}

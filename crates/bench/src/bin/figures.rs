@@ -3,7 +3,7 @@
 //! ```text
 //! figures [targets…] [--scale F] [--json PATH]
 //!
-//! targets: all | table1 | table2 | fig4 fig5 … fig12 | abl1 abl2 abl3 abl4 | ext1 ext2 ext3 ext4 ext5 ext6 ext7
+//! targets: all | table1 | table2 | fig4 fig5 … fig12 | abl1 abl2 abl3 abl4 | ext1 ext2 ext3 ext4 ext5 ext6 ext7 ext8
 //! --scale F   : scale subscription/round volume by F (default 1.0 = paper size)
 //! --json PATH : additionally write machine-readable results (engine × metric)
 //!               for bench trajectory files (`BENCH_*.json`)
@@ -13,8 +13,8 @@
 //! metrics), so asking for both costs one run.
 
 use fsf_bench::figures::{
-    ext2_churn, ext3_latency, ext4_recovery, ext5_mobility, ext6_scale, ext7_matching, figure12,
-    run_scenario, table1, table2, FigureData,
+    ext2_churn, ext3_latency, ext4_recovery, ext5_mobility, ext6_scale, ext7_matching,
+    ext8_partition, figure12, run_scenario, table1, table2, FigureData,
 };
 use fsf_bench::json::{to_json, JsonRecord};
 use fsf_bench::{ablations, Figure};
@@ -49,7 +49,7 @@ fn main() {
         targets = [
             "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig7b", "fig8", "fig9", "fig10",
             "fig11", "fig12", "abl1", "abl2", "abl3", "abl4", "ext1", "ext2", "ext3", "ext4",
-            "ext5", "ext6", "ext7",
+            "ext5", "ext6", "ext7", "ext8",
         ]
         .into_iter()
         .map(String::from)
@@ -238,6 +238,13 @@ fn main() {
         let t0 = Instant::now();
         let (table, mut recs) = ext7_matching(scale);
         eprintln!("[ext7] {:.1?}", t0.elapsed());
+        println!("{table}");
+        records.append(&mut recs);
+    }
+    if want("ext8") {
+        let t0 = Instant::now();
+        let (table, mut recs) = ext8_partition(scale);
+        eprintln!("[ext8] {:.1?}", t0.elapsed());
         println!("{table}");
         records.append(&mut recs);
     }

@@ -299,19 +299,50 @@ pub fn ext3_latency(scale: f64) -> (String, Vec<crate::json::JsonRecord>) {
             r.final_clock,
         ));
         let name = r.engine.name();
-        for (metric, value) in [
-            ("delivered units", r.delivered_units as f64),
-            ("latency samples", r.latency.samples as f64),
-            ("latency p50", r.latency.p50 as f64),
-            ("latency p95", r.latency.p95 as f64),
-            ("latency p99", r.latency.p99 as f64),
-            ("latency max", r.latency.max as f64),
-            ("latency mean", r.latency.mean),
-        ] {
-            records.push(crate::json::JsonRecord::new("ext3", name, metric, value));
-        }
+        records.push(crate::json::JsonRecord::new(
+            "ext3",
+            name,
+            "delivered units",
+            r.delivered_units as f64,
+        ));
+        records.append(&mut latency_records("ext3", name, &r.latency));
     }
     (out, records)
+}
+
+/// The latency-distribution records one engine contributes to a figure's
+/// JSON output. A summary with **no samples** is all zeros by
+/// construction ([`fsf_network::LatencySummary::from_samples`] on an
+/// empty slice), and a zero is a meaningless gate baseline: the first run
+/// with real samples would read as unbounded p95/p99 growth. So only the
+/// sample count is emitted, and the percentile records stay absent —
+/// which the compare gate reports as informational missing-vs-present
+/// drift, not a regression.
+#[must_use]
+pub fn latency_records(
+    id: &str,
+    engine: &str,
+    latency: &fsf_network::LatencySummary,
+) -> Vec<crate::json::JsonRecord> {
+    let mut records = vec![crate::json::JsonRecord::new(
+        id,
+        engine,
+        "latency samples",
+        latency.samples as f64,
+    )];
+    if latency.samples == 0 {
+        return records;
+    }
+    for (metric, value) in [
+        ("latency p50", latency.p50 as f64),
+        ("latency p95", latency.p95 as f64),
+        ("latency p99", latency.p99 as f64),
+        ("latency max", latency.max as f64),
+        ("latency mean", latency.mean),
+    ] {
+        records.push(crate::json::JsonRecord::new(id, engine, metric, value));
+    }
+    records
 }
 
 /// EXT-4: recall and message cost before / during / after an interior-node
@@ -671,6 +702,71 @@ pub fn ext7_matching(scale: f64) -> (String, Vec<crate::json::JsonRecord>) {
     (out, records)
 }
 
+/// EXT-8: recall during and after a **network partition** — what a split
+/// costs each engine and what the heal reconciliation restores. A seeded
+/// partition plan cuts the tree edge that splits most evenly, publishes
+/// through the split, heals, and publishes again; every engine runs next
+/// to its never-partitioned connected twin and is judged by the
+/// reachability oracle. `recall connected subs` = 1.0 means both halves
+/// kept serving everything they could reach; `recall split-only loss` =
+/// 1.0 means the severed subscriptions lost *only* split-window readings
+/// (post-heal traffic flows again, nothing spurious, nothing missing).
+#[must_use]
+pub fn ext8_partition(scale: f64) -> (String, Vec<crate::json::JsonRecord>) {
+    let config = if scale < 1.0 {
+        fsf_workload::PartitionConfig::paper_scale().scaled(scale)
+    } else {
+        fsf_workload::PartitionConfig::paper_scale()
+    };
+    let rows = fsf_workload::run_partition(&config);
+    let mut out = format!(
+        "== ext8 — recall during and after a partition ({}, {} nodes, \
+         {} readings/window) ==\n",
+        config.name, config.total_nodes, config.plan.events_per_phase
+    );
+    out.push_str(&format!(
+        "{:<34} {:>8} {:>10} {:>10} {:>8} {:>10} {:>11} {:>9}\n",
+        "approach", "dropped", "delivered", "twin", "recall", "connected", "split-only", "teardown"
+    ));
+    let mut records = Vec::new();
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<34} {:>8} {:>10} {:>10} {:>8.4} {:>10} {:>11} {:>9}\n",
+            r.engine.name(),
+            r.dropped_severed,
+            r.delivered_units,
+            r.twin_units,
+            r.recall_vs_twin,
+            if r.connected_equal { "equal" } else { "DIFF" },
+            if r.lost_in_split_only {
+                "exact"
+            } else {
+                "LEAKED"
+            },
+            if r.teardown_clean { "clean" } else { "LEAKED" },
+        ));
+        let name = r.engine.name();
+        for (metric, value) in [
+            ("dropped at severed links", r.dropped_severed as f64),
+            ("delivered units", r.delivered_units as f64),
+            ("twin units", r.twin_units as f64),
+            ("recall vs connected twin", r.recall_vs_twin),
+            (
+                "recall connected subs",
+                if r.connected_equal { 1.0 } else { 0.0 },
+            ),
+            (
+                "recall split-only loss",
+                if r.lost_in_split_only { 1.0 } else { 0.0 },
+            ),
+            ("teardown clean", if r.teardown_clean { 1.0 } else { 0.0 }),
+        ] {
+            records.push(crate::json::JsonRecord::new("ext8", name, metric, value));
+        }
+    }
+    (out, records)
+}
+
 /// Table II: the implemented-approaches matrix.
 #[must_use]
 pub fn table2() -> String {
@@ -899,6 +995,60 @@ mod tests {
         let (scale, parsed) = crate::json::parse(&doc).expect("well-formed");
         assert_eq!(scale, 0.2);
         assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn ext8_gates_partition_recall_and_round_trips_json() {
+        let (table, records) = ext8_partition(0.5);
+        for kind in EngineKind::ALL {
+            assert!(table.contains(kind.name()), "missing {kind}:\n{table}");
+        }
+        assert!(!table.contains("DIFF"), "connected subs diverged:\n{table}");
+        assert!(
+            !table.contains("LEAKED"),
+            "split loss or teardown:\n{table}"
+        );
+        assert_eq!(records.len(), 5 * 7, "engine × metric grid");
+        for kind in EngineKind::ALL {
+            for gated in ["recall connected subs", "recall split-only loss"] {
+                let r = records
+                    .iter()
+                    .find(|r| r.engine == kind.name() && r.metric == gated)
+                    .unwrap_or_else(|| panic!("{} missing {gated}", kind.name()));
+                assert!((r.value - 1.0).abs() < 1e-12, "{}: {gated}", kind.name());
+            }
+            let dropped = records
+                .iter()
+                .find(|r| r.engine == kind.name() && r.metric == "dropped at severed links")
+                .unwrap();
+            assert!(dropped.value > 0.0, "{}: free partition?", kind.name());
+        }
+        let doc = crate::json::to_json(0.5, &records);
+        let (scale, parsed) = crate::json::parse(&doc).expect("well-formed");
+        assert_eq!(scale, 0.5);
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn empty_latency_summaries_emit_no_percentile_records() {
+        use fsf_network::LatencySummary;
+        let empty = latency_records("extX", "Naive approach", &LatencySummary::default());
+        assert_eq!(empty.len(), 1, "only the sample count: {empty:?}");
+        assert_eq!(empty[0].metric, "latency samples");
+        assert_eq!(empty[0].value, 0.0);
+        let full = latency_records(
+            "extX",
+            "Naive approach",
+            &LatencySummary::from_samples(&[3, 5, 9]),
+        );
+        assert_eq!(full.len(), 6, "samples + five distribution records");
+        assert!(full.iter().any(|r| r.metric == "latency p99"));
+        // the compare gate sees a missing percentile as drift, not a
+        // regression — the S3 contract this helper exists for
+        let report =
+            crate::compare::compare(&full, &empty, &crate::compare::CompareConfig::default());
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert!(!report.notes.is_empty());
     }
 
     #[test]

@@ -550,6 +550,16 @@ impl PubSubNode {
     /// operators that previously had nothing to send toward `j` but now
     /// project onto its repaired data space are forwarded fresh.
     fn resplit_toward(&mut self, j: NodeId, ctx: &mut Ctx<'_, PubSubMsg>) {
+        self.resplit_toward_inner(j, ctx, false);
+    }
+
+    /// [`Self::resplit_toward`] with a `force` mode for partition healing:
+    /// projections whose recorded route already matches the desired one are
+    /// normally skipped (idempotence), but a route recorded during a
+    /// partition was dropped at the severed radio — the downstream copy
+    /// never existed. Forcing re-sends every desired projection; the
+    /// receiver dedups by key, so a copy that did arrive costs one message.
+    fn resplit_toward_inner(&mut self, j: NodeId, ctx: &mut Ctx<'_, PubSubMsg>, force: bool) {
         if ctx.neighbors().binary_search(&j).is_err() {
             return; // j crashed out of the topology — nothing to reconcile
         }
@@ -575,7 +585,13 @@ impl PubSubNode {
                 let desired = parent.project(&dims);
                 match (&desired, &recorded) {
                     (None, None) => {}
-                    (Some(p), Some(k)) if p.key() == *k => {} // unchanged
+                    (Some(p), Some(k)) if p.key() == *k => {
+                        if force {
+                            // re-send without a withdrawal: same key, the
+                            // peer either dedups or finally receives it
+                            updates.push(((origin, key), None, desired));
+                        }
+                    }
                     _ => updates.push(((origin, key), recorded, desired)),
                 }
             }
@@ -959,6 +975,45 @@ impl NodeBehavior for PubSubNode {
                 ctx.send(n, PubSubMsg::AdvRepair(adv, gen), ChargeKind::Recovery, 1);
             }
         }
+    }
+
+    /// A severed link healed: push this half's advertisement picture across
+    /// and force a re-split toward the peer. Retraction tombstones go first
+    /// so a peer that missed an `AdvDown` retires the route instead of
+    /// resurrecting it; then every advertisement this node reaches *not*
+    /// through the peer is re-offered as a generation-tagged repair (highest
+    /// generation wins at the receiver, exactly the crash-repair ordering);
+    /// finally the forced re-split re-sends operator projections whose
+    /// recorded routes were dropped at the severed radio. The peer runs the
+    /// same hook, so the two repair floods converge the divergent halves.
+    fn on_link_up(&mut self, peer: NodeId, ctx: &mut Ctx<'_, PubSubMsg>) {
+        let tombs: Vec<(fsf_model::SensorId, u64)> = self.adverts.tombstones().collect();
+        for (sensor, gen) in tombs {
+            ctx.send(
+                peer,
+                PubSubMsg::AdvDown(sensor, gen),
+                ChargeKind::Recovery,
+                1,
+            );
+        }
+        let advs: Vec<(Advertisement, u64)> = self
+            .adverts
+            .origins()
+            .filter(|&o| o != Origin::Neighbor(peer))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(|o| self.adverts.from_origin(o).iter().copied())
+            .map(|a| (a, self.adverts.generation(a.sensor)))
+            .collect();
+        for (adv, gen) in advs {
+            ctx.send(
+                peer,
+                PubSubMsg::AdvRepair(adv, gen),
+                ChargeKind::Recovery,
+                1,
+            );
+        }
+        self.resplit_toward_inner(peer, ctx, true);
     }
 }
 

@@ -249,6 +249,18 @@ impl AdvStore {
     pub fn origins(&self) -> impl Iterator<Item = Origin> + '_ {
         self.per_origin.keys().copied()
     }
+
+    /// Retraction tombstones: sensors whose advertisement was removed but
+    /// whose generation entry survives to absorb stale floods, paired with
+    /// the surviving generation. Partition healing re-floods these so a
+    /// peer that missed the retraction drops its superseded route instead
+    /// of resurrecting it.
+    pub fn tombstones(&self) -> impl Iterator<Item = (SensorId, u64)> + '_ {
+        self.gens
+            .iter()
+            .filter(|(s, _)| !self.seen.contains(s))
+            .map(|(&s, &g)| (s, g))
+    }
 }
 
 /// The subscription side of one origin slot: uncovered and covered halves.

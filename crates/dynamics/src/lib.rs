@@ -8,9 +8,13 @@
 //!
 //! * [`plan`] — [`ChurnPlan`]: a deterministic sequence of
 //!   [`ChurnAction`]s (sensor up/down, subscribe/unsubscribe, publish,
-//!   node crash), either scripted by hand or generated from a seed over
-//!   any topology, plus the teardown suffix that retracts everything that
-//!   is still alive;
+//!   node crash, link sever/heal), either scripted by hand or generated
+//!   from a seed over any topology, plus the teardown suffix that
+//!   retracts everything that is still alive. Partition plans
+//!   ([`ChurnPlan::seeded_partition`]) cut one tree edge, publish through
+//!   the split, and heal; their never-partitioned
+//!   [`ChurnPlan::connected_twin`] plus the reachability
+//!   [`ChurnPlan::partition_oracle`] give an exact delivery oracle;
 //! * [`runner`] — replays a plan through any [`fsf_engines::Engine`]
 //!   (all five approaches speak the retraction protocol), either
 //!   serialized (flush per action) or timed ([`run_plan_timed`]: actions
@@ -29,6 +33,7 @@ pub mod runner;
 
 pub use invariants::{assert_clean, leaks};
 pub use plan::{
-    ChurnAction, ChurnPlan, ChurnPlanConfig, TimedAction, TimedPlan, TimedReplayConfig,
+    ChurnAction, ChurnPlan, ChurnPlanConfig, PartitionOracle, PartitionPlanConfig, TimedAction,
+    TimedPlan, TimedReplayConfig,
 };
 pub use runner::{apply_action, run_plan, run_plan_timed, run_plan_timed_traced, run_plan_traced};

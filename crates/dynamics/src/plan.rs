@@ -77,6 +77,27 @@ pub enum ChurnAction {
     /// crash); the pair makes the outage window explicit for engines
     /// driven with auto-recovery off.
     Recover,
+    /// The link between `a` and `b` goes down: messages scheduled across
+    /// it die at the sender's radio (charged and counted, never
+    /// delivered) until the link heals. Severing a tree edge partitions
+    /// the deployment; both halves keep serving the subscriptions they
+    /// can still reach.
+    Sever {
+        /// One endpoint of the cut link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// The severed link between `a` and `b` comes back: both endpoints
+    /// run the reconciliation handshake (tombstones first, then
+    /// generation-tagged re-advertisements, then forced re-splits) so
+    /// state that diverged during the partition merges.
+    Heal {
+        /// One endpoint of the restored link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
 }
 
 impl ChurnAction {
@@ -167,6 +188,64 @@ impl Default for ChurnPlanConfig {
             min_moves: 0,
         }
     }
+}
+
+/// Parameters of the seeded partition-plan generator
+/// ([`ChurnPlan::seeded_partition`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionPlanConfig {
+    /// Master seed; the same `(topology, config)` pair always yields the
+    /// same plan.
+    pub seed: u64,
+    /// Sensors brought up before the split (alternating sides of the cut,
+    /// so both halves keep publishing while partitioned). At least 2.
+    pub sensors: usize,
+    /// Single-filter subscriptions registered before the split (even ids
+    /// on their sensor's side of the cut, odd ids across it).
+    pub subscriptions: usize,
+    /// Readings published in each of the three windows (pre-split, split,
+    /// post-heal).
+    pub events_per_phase: usize,
+    /// Temporal correlation distance `δt` of generated subscriptions.
+    pub delta_t: u64,
+    /// Value domain: readings are uniform in `[0, value_span)`, and every
+    /// subscription's range spans it entirely (full recall by design —
+    /// the oracle is pure reachability).
+    pub value_span: f64,
+    /// Seconds the clock advances per published reading.
+    pub reading_interval: u64,
+}
+
+impl Default for PartitionPlanConfig {
+    fn default() -> Self {
+        PartitionPlanConfig {
+            seed: 0x5EA5_1DE5,
+            sensors: 6,
+            subscriptions: 8,
+            events_per_phase: 12,
+            delta_t: 30,
+            value_span: 100.0,
+            reading_interval: 7,
+        }
+    }
+}
+
+/// What [`ChurnPlan::partition_oracle`] computed: the subscription and
+/// event classification the reachable-twin battery compares against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionOracle {
+    /// Subscriptions that stayed reachable from every sensor they
+    /// reference through every severed window: the partitioned run must
+    /// deliver *exactly* what the never-partitioned twin delivers to
+    /// these.
+    pub connected_subs: Vec<SubId>,
+    /// Subscriptions cut off from at least one referenced sensor while a
+    /// link was down: they lose (only) split-window readings from across
+    /// the cut.
+    pub severed_subs: Vec<SubId>,
+    /// Events published while at least one link was severed — the only
+    /// deliveries a severed subscription may be missing.
+    pub split_events: Vec<EventId>,
 }
 
 /// A deterministic sequence of churn actions over one topology.
@@ -412,22 +491,26 @@ impl ChurnPlan {
                     live_subs.retain(|_, (n, _)| n != node);
                     out.push(action.clone());
                 }
-                ChurnAction::Recover => out.push(action.clone()),
+                ChurnAction::Recover | ChurnAction::Sever { .. } | ChurnAction::Heal { .. } => {
+                    out.push(action.clone())
+                }
             }
         }
         ChurnPlan { actions: out }
     }
 
-    /// The teardown suffix: unsubscribe every subscription that is still
-    /// active at the end of the plan, then retract every sensor that is
-    /// still up — in that order, so operator retraction happens while its
-    /// forwarding state is still addressable. State hosted on crashed nodes
-    /// died with them and is skipped.
+    /// The teardown suffix: heal every link that is still severed (so the
+    /// retraction floods can reach the whole tree again), unsubscribe
+    /// every subscription that is still active, then retract every sensor
+    /// that is still up — in that order, so operator retraction happens
+    /// while its forwarding state is still addressable. State hosted on
+    /// crashed nodes died with them and is skipped.
     #[must_use]
     pub fn teardown(&self) -> Vec<ChurnAction> {
         let mut up: BTreeMap<SensorId, NodeId> = BTreeMap::new();
         let mut active: BTreeMap<SubId, NodeId> = BTreeMap::new();
         let mut crashed: Vec<NodeId> = Vec::new();
+        let mut severed: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         for a in &self.actions {
             match a {
                 ChurnAction::SensorUp { node, adv } => {
@@ -446,10 +529,19 @@ impl ChurnPlan {
                     active.remove(sub);
                 }
                 ChurnAction::Crash { node, .. } => crashed.push(*node),
+                ChurnAction::Sever { a, b } => {
+                    severed.insert((*a.min(b), *a.max(b)));
+                }
+                ChurnAction::Heal { a, b } => {
+                    severed.remove(&(*a.min(b), *a.max(b)));
+                }
                 ChurnAction::Recover | ChurnAction::Publish { .. } => {}
             }
         }
-        let mut out = Vec::with_capacity(active.len() + up.len());
+        let mut out = Vec::with_capacity(severed.len() + active.len() + up.len());
+        for (a, b) in severed {
+            out.push(ChurnAction::Heal { a, b });
+        }
         for (sub, node) in active {
             if !crashed.contains(&node) {
                 out.push(ChurnAction::Unsubscribe { node, sub });
@@ -469,6 +561,253 @@ impl ChurnPlan {
         let mut tail = self.teardown();
         self.actions.append(&mut tail);
         self
+    }
+
+    /// Generate a seeded partition plan: bootstrap sensors on both sides
+    /// of a chosen tree edge, register single-filter selection
+    /// subscriptions (a mix of same-side and cross-cut pairs), publish a
+    /// pre-split window, [`ChurnAction::Sever`] the edge, publish through
+    /// the partition, [`ChurnAction::Heal`] it, and publish a post-heal
+    /// window.
+    ///
+    /// The cut edge is the one splitting the tree most evenly (seeded
+    /// tie-break), so both halves are substantial. Subscriptions use
+    /// full-span value ranges, which makes the delivery oracle exact:
+    /// a reading reaches a subscription iff a route exists from the
+    /// sensor's host to the subscription's node at publish time — the
+    /// property [`Self::partition_oracle`] computes and the reachable-twin
+    /// battery checks against [`Self::connected_twin`].
+    #[must_use]
+    pub fn seeded_partition(topology: &Topology, config: &PartitionPlanConfig) -> Self {
+        assert!(topology.len() >= 4, "a partition needs two halves");
+        assert!(config.sensors >= 2, "both halves need a sensor");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // the cut: the tree edge whose removal splits most evenly
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for n in topology.nodes() {
+            for &m in topology.neighbors(n) {
+                if n.0 < m.0 {
+                    edges.push((n, m));
+                }
+            }
+        }
+        let balance = |&(a, b): &(NodeId, NodeId)| {
+            let mut t = topology.clone();
+            t.sever_link(a, b).expect("enumerated edge");
+            let labels = t.components();
+            let small = labels
+                .iter()
+                .filter(|&&l| l == labels[a.0 as usize])
+                .count();
+            small.min(topology.len() - small)
+        };
+        let best = edges.iter().map(balance).max().expect("tree has edges");
+        let candidates: Vec<(NodeId, NodeId)> =
+            edges.into_iter().filter(|e| balance(e) == best).collect();
+        let &cut = candidates.choose(&mut rng).expect("non-empty");
+        let mut split = topology.clone();
+        split.sever_link(cut.0, cut.1).expect("chosen edge exists");
+        let labels = split.components();
+        let side_a: Vec<NodeId> = topology
+            .nodes()
+            .filter(|n| labels[n.0 as usize] == labels[cut.0 .0 as usize])
+            .collect();
+        let side_b: Vec<NodeId> = topology
+            .nodes()
+            .filter(|n| labels[n.0 as usize] != labels[cut.0 .0 as usize])
+            .collect();
+
+        let mut actions = Vec::new();
+        let mut clock = 1_000u64;
+        // sensors alternate sides so each half keeps publishing while cut
+        let mut hosts: Vec<(SensorId, NodeId, AttrId)> = Vec::new();
+        for i in 0..config.sensors {
+            let side = if i % 2 == 0 { &side_a } else { &side_b };
+            let node = *side.choose(&mut rng).expect("non-empty side");
+            let sensor = SensorId(i as u32);
+            let attr = AttrId((i % 5) as u16);
+            hosts.push((sensor, node, attr));
+            actions.push(ChurnAction::SensorUp {
+                node,
+                adv: Advertisement {
+                    sensor,
+                    attr,
+                    location: Point::new(f64::from(sensor.0), 0.0),
+                },
+            });
+        }
+        // single-filter full-span subscriptions: even ids land on their
+        // sensor's own side (they keep delivering through the split), odd
+        // ids on the far side (the split cuts them off)
+        for i in 0..config.subscriptions.max(2) {
+            let &(sensor, host, _) = hosts.choose(&mut rng).expect("sensors exist");
+            let host_in_a = side_a.contains(&host);
+            let same_side = i % 2 == 0;
+            let side = if host_in_a == same_side {
+                &side_a
+            } else {
+                &side_b
+            };
+            let node = *side.choose(&mut rng).expect("non-empty side");
+            let sub = Subscription::identified(
+                SubId(i as u64),
+                vec![(sensor, ValueRange::new(0.0, config.value_span))],
+                config.delta_t,
+            )
+            .expect("single full-span filter is valid");
+            clock += config.delta_t;
+            actions.push(ChurnAction::Subscribe { node, sub });
+        }
+        let mut next_event = 0u64;
+        let mut publish_window =
+            |actions: &mut Vec<ChurnAction>, clock: &mut u64, rng: &mut StdRng| {
+                for _ in 0..config.events_per_phase {
+                    let &(sensor, node, attr) = hosts.choose(rng).expect("sensors exist");
+                    *clock += config.reading_interval;
+                    actions.push(ChurnAction::Publish {
+                        node,
+                        event: Event {
+                            id: EventId(next_event),
+                            sensor,
+                            attr,
+                            location: Point::new(f64::from(sensor.0), 0.0),
+                            value: rng.gen_range(0.0..config.value_span),
+                            timestamp: Timestamp(*clock),
+                        },
+                    });
+                    next_event += 1;
+                }
+            };
+        publish_window(&mut actions, &mut clock, &mut rng);
+        // correlation epoch around the outage, as for crashes and moves
+        clock += config.delta_t;
+        actions.push(ChurnAction::Sever { a: cut.0, b: cut.1 });
+        publish_window(&mut actions, &mut clock, &mut rng);
+        clock += config.delta_t;
+        actions.push(ChurnAction::Heal { a: cut.0, b: cut.1 });
+        publish_window(&mut actions, &mut clock, &mut rng);
+        ChurnPlan { actions }
+    }
+
+    /// The **connected twin** of a partition plan: the same actions with
+    /// every [`ChurnAction::Sever`] and [`ChurnAction::Heal`] removed —
+    /// the world in which the link never went down. Restricted to the
+    /// subscription/event pairs that stayed connected through every split
+    /// (see [`Self::partition_oracle`]), a correct partition protocol
+    /// makes the partitioned run and this twin produce identical
+    /// [`fsf_network::DeliveryLog`] entries.
+    #[must_use]
+    pub fn connected_twin(&self) -> ChurnPlan {
+        ChurnPlan {
+            actions: self
+                .actions
+                .iter()
+                .filter(|a| !matches!(a, ChurnAction::Sever { .. } | ChurnAction::Heal { .. }))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Replay this plan over `topology` (tracking severs, heals, and
+    /// regrafts) and classify its subscriptions and events for the
+    /// reachable-twin comparison: which subscriptions stayed connected to
+    /// every sensor they reference through every severed window, and
+    /// which events were published while any link was down.
+    ///
+    /// Connectivity is direct sensor-host-to-subscription-node tree
+    /// reachability — right for every engine that routes along the tree
+    /// path. For the centralized baseline use
+    /// [`Self::partition_oracle_via`] with the collection hub.
+    #[must_use]
+    pub fn partition_oracle(&self, topology: &Topology) -> PartitionOracle {
+        self.partition_oracle_via(topology, None)
+    }
+
+    /// [`Self::partition_oracle`] with an optional routing hub: when `via`
+    /// is set, a sensor reaches a subscription only if both can reach the
+    /// hub — the centralized baseline's star routing, where every reading
+    /// and result transits the collection point regardless of where the
+    /// two endpoints sit.
+    #[must_use]
+    pub fn partition_oracle_via(
+        &self,
+        topology: &Topology,
+        via: Option<NodeId>,
+    ) -> PartitionOracle {
+        let mut topo = topology.clone();
+        let mut hosts: BTreeMap<SensorId, NodeId> = BTreeMap::new();
+        let mut live: BTreeMap<SubId, (NodeId, Vec<SensorId>)> = BTreeMap::new();
+        let mut all: BTreeSet<SubId> = BTreeSet::new();
+        let mut severed_subs: BTreeSet<SubId> = BTreeSet::new();
+        let mut split_events: Vec<EventId> = Vec::new();
+        let routed = move |topo: &Topology, from: NodeId, to: NodeId| match via {
+            Some(hub) => topo.reachable(from, hub) && topo.reachable(hub, to),
+            None => topo.reachable(from, to),
+        };
+        let cut_off = |topo: &Topology,
+                       hosts: &BTreeMap<SensorId, NodeId>,
+                       node: NodeId,
+                       sensors: &[SensorId]| {
+            sensors
+                .iter()
+                .any(|s| hosts.get(s).is_some_and(|&host| !routed(topo, host, node)))
+        };
+        for action in &self.actions {
+            match action {
+                ChurnAction::SensorUp { node, adv } | ChurnAction::Move { node, adv, .. } => {
+                    hosts.insert(adv.sensor, *node);
+                }
+                ChurnAction::SensorDown { sensor, .. } => {
+                    hosts.remove(sensor);
+                }
+                ChurnAction::Subscribe { node, sub } => {
+                    let sensors: Vec<SensorId> = sub
+                        .dims()
+                        .map(|d| {
+                            let fsf_model::DimKey::Sensor(s) = d else {
+                                panic!("partition oracles need identified subscriptions")
+                            };
+                            s
+                        })
+                        .collect();
+                    all.insert(sub.id());
+                    if topo.has_severed_links() && cut_off(&topo, &hosts, *node, &sensors) {
+                        severed_subs.insert(sub.id());
+                    }
+                    live.insert(sub.id(), (*node, sensors));
+                }
+                ChurnAction::Unsubscribe { sub, .. } => {
+                    live.remove(sub);
+                }
+                ChurnAction::Sever { a, b } => {
+                    topo.sever_link(*a, *b).expect("plan severs a live edge");
+                    for (id, (node, sensors)) in &live {
+                        if cut_off(&topo, &hosts, *node, sensors) {
+                            severed_subs.insert(*id);
+                        }
+                    }
+                }
+                ChurnAction::Heal { a, b } => {
+                    topo.heal_link(*a, *b).expect("plan heals a severed edge");
+                }
+                ChurnAction::Publish { event, .. } => {
+                    if topo.has_severed_links() {
+                        split_events.push(event.id);
+                    }
+                }
+                ChurnAction::Crash { node, anchor } => {
+                    topo = topo
+                        .regraft(*node, *anchor)
+                        .expect("plan crashes are anchored on a neighbor");
+                }
+                ChurnAction::Recover => {}
+            }
+        }
+        PartitionOracle {
+            connected_subs: all.difference(&severed_subs).copied().collect(),
+            severed_subs: severed_subs.into_iter().collect(),
+            split_events,
+        }
     }
 
     /// Schedule this plan on the virtual clock: assign every action the
@@ -504,11 +843,16 @@ impl ChurnPlan {
                     data_clock += sub.delta_t();
                     at
                 }
-                // crashes, recoveries and moves leave a widened margin
-                // *behind* them: each is a cascade (adv/move flood →
-                // operator re-split → downstream re-forwards), so whatever
-                // follows must wait several flood-drain gaps, not one
-                ChurnAction::Crash { .. } | ChurnAction::Recover | ChurnAction::Move { .. } => {
+                // crashes, recoveries, moves, severs and heals leave a
+                // widened margin *behind* them: each is a cascade (adv/move
+                // flood → operator re-split → downstream re-forwards; a
+                // heal's reconciliation handshake is the same shape), so
+                // whatever follows must wait several flood-drain gaps
+                ChurnAction::Crash { .. }
+                | ChurnAction::Recover
+                | ChurnAction::Move { .. }
+                | ChurnAction::Sever { .. }
+                | ChurnAction::Heal { .. } => {
                     offset += config.churn_gap;
                     let at = data_clock + offset;
                     offset += config.churn_gap * (Self::RECOVERY_GAP_FACTOR - 1);
@@ -1055,7 +1399,10 @@ mod tests {
                         assert!(up.contains_key(&s), "subscription over a dead sensor");
                     }
                 }
-                ChurnAction::Unsubscribe { .. } | ChurnAction::Recover => {}
+                ChurnAction::Unsubscribe { .. }
+                | ChurnAction::Recover
+                | ChurnAction::Sever { .. }
+                | ChurnAction::Heal { .. } => {}
             }
         }
     }
@@ -1100,6 +1447,145 @@ mod tests {
             }
         }
         assert!(saw_crash);
+    }
+
+    #[test]
+    fn partition_plans_cut_one_edge_publish_through_it_and_heal() {
+        let topo = builders::balanced(31, 2);
+        let cfg = PartitionPlanConfig::default();
+        let plan = ChurnPlan::seeded_partition(&topo, &cfg);
+        assert_eq!(plan, ChurnPlan::seeded_partition(&topo, &cfg));
+        let severs: Vec<&ChurnAction> = plan
+            .actions
+            .iter()
+            .filter(|a| matches!(a, ChurnAction::Sever { .. }))
+            .collect();
+        let heals: Vec<&ChurnAction> = plan
+            .actions
+            .iter()
+            .filter(|a| matches!(a, ChurnAction::Heal { .. }))
+            .collect();
+        assert_eq!(severs.len(), 1);
+        assert_eq!(heals.len(), 1);
+        let ChurnAction::Sever { a, b } = severs[0] else {
+            unreachable!()
+        };
+        assert!(topo.neighbors(*a).contains(b), "cut must be a tree edge");
+        assert_eq!(heals[0], &ChurnAction::Heal { a: *a, b: *b });
+        // the cut splits evenly enough that both halves are substantial
+        let mut split = topo.clone();
+        split.sever_link(*a, *b).unwrap();
+        let labels = split.components();
+        let side = labels.iter().filter(|&&l| l == labels[0]).count();
+        assert!(side.min(topo.len() - side) >= topo.len() / 3);
+        // each half hosts a sensor, so both keep publishing while cut
+        let mut sides_hosting: BTreeSet<u32> = BTreeSet::new();
+        for action in &plan.actions {
+            if let ChurnAction::SensorUp { node, .. } = action {
+                sides_hosting.insert(labels[node.0 as usize]);
+            }
+        }
+        assert_eq!(sides_hosting.len(), 2, "sensors must straddle the cut");
+        // every publish window is non-empty
+        let sever_at = plan
+            .actions
+            .iter()
+            .position(|x| matches!(x, ChurnAction::Sever { .. }))
+            .unwrap();
+        let heal_at = plan
+            .actions
+            .iter()
+            .position(|x| matches!(x, ChurnAction::Heal { .. }))
+            .unwrap();
+        let publishes = |range: &[ChurnAction]| {
+            range
+                .iter()
+                .filter(|x| matches!(x, ChurnAction::Publish { .. }))
+                .count()
+        };
+        assert_eq!(publishes(&plan.actions[..sever_at]), cfg.events_per_phase);
+        assert_eq!(
+            publishes(&plan.actions[sever_at..heal_at]),
+            cfg.events_per_phase
+        );
+        assert_eq!(publishes(&plan.actions[heal_at..]), cfg.events_per_phase);
+    }
+
+    #[test]
+    fn the_connected_twin_drops_exactly_the_link_actions() {
+        let topo = builders::balanced(31, 2);
+        let plan = ChurnPlan::seeded_partition(&topo, &PartitionPlanConfig::default());
+        let twin = plan.connected_twin();
+        assert_eq!(twin.actions.len(), plan.actions.len() - 2);
+        assert!(twin
+            .actions
+            .iter()
+            .all(|a| !matches!(a, ChurnAction::Sever { .. } | ChurnAction::Heal { .. })));
+        // everything else survives in order
+        let kept: Vec<&ChurnAction> = plan
+            .actions
+            .iter()
+            .filter(|a| !matches!(a, ChurnAction::Sever { .. } | ChurnAction::Heal { .. }))
+            .collect();
+        assert!(twin.actions.iter().zip(kept).all(|(t, k)| t == k));
+    }
+
+    #[test]
+    fn the_partition_oracle_classifies_by_reachability_across_the_cut() {
+        let topo = builders::balanced(31, 2);
+        let plan = ChurnPlan::seeded_partition(&topo, &PartitionPlanConfig::default());
+        let oracle = plan.partition_oracle(&topo);
+        // the generator aims half its subscriptions across the cut
+        assert!(!oracle.connected_subs.is_empty(), "no same-side subs");
+        assert!(!oracle.severed_subs.is_empty(), "no cross-cut subs");
+        assert!(!oracle.split_events.is_empty(), "no split-window events");
+        // recompute one classification by hand: a severed sub's node must
+        // be unreachable from its sensor's host in the cut topology
+        let ChurnAction::Sever { a, b } = *plan
+            .actions
+            .iter()
+            .find(|x| matches!(x, ChurnAction::Sever { .. }))
+            .unwrap()
+        else {
+            unreachable!()
+        };
+        let mut split = topo.clone();
+        split.sever_link(a, b).unwrap();
+        let mut hosts: BTreeMap<SensorId, NodeId> = BTreeMap::new();
+        for action in &plan.actions {
+            match action {
+                ChurnAction::SensorUp { node, adv } => {
+                    hosts.insert(adv.sensor, *node);
+                }
+                ChurnAction::Subscribe { node, sub } => {
+                    let fsf_model::DimKey::Sensor(s) = sub.dims().next().unwrap() else {
+                        panic!("identified")
+                    };
+                    let expected_cut = !split.reachable(hosts[&s], *node);
+                    assert_eq!(
+                        oracle.severed_subs.contains(&sub.id()),
+                        expected_cut,
+                        "sub {:?} misclassified",
+                        sub.id()
+                    );
+                }
+                _ => {}
+            }
+        }
+        // the teardown of a still-severed plan heals first
+        let truncated = ChurnPlan {
+            actions: plan
+                .actions
+                .iter()
+                .take_while(|x| !matches!(x, ChurnAction::Heal { .. }))
+                .cloned()
+                .collect(),
+        };
+        assert_eq!(
+            truncated.teardown().first(),
+            Some(&ChurnAction::Heal { a, b }),
+            "teardown must restore connectivity before retracting"
+        );
     }
 
     #[test]

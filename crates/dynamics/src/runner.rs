@@ -17,6 +17,8 @@ fn action_label(action: &ChurnAction) -> &'static str {
         ChurnAction::Crash { .. } => "crash-action",
         ChurnAction::Move { .. } => "move-action",
         ChurnAction::Recover => "recover-action",
+        ChurnAction::Sever { .. } => "sever-link",
+        ChurnAction::Heal { .. } => "heal-link",
     }
 }
 
@@ -30,7 +32,9 @@ fn action_node(action: &ChurnAction) -> Option<u32> {
         | ChurnAction::Publish { node, .. }
         | ChurnAction::Crash { node, .. }
         | ChurnAction::Move { node, .. } => Some(node.0),
-        ChurnAction::Recover => None,
+        // a link action has two endpoints; the engine's own span carries
+        // both, so the action-level span names neither
+        ChurnAction::Recover | ChurnAction::Sever { .. } | ChurnAction::Heal { .. } => None,
     }
 }
 
@@ -49,6 +53,16 @@ pub fn apply_action(engine: &mut dyn Engine, action: &ChurnAction) {
         }
         ChurnAction::Move { node, adv, .. } => engine.move_sensor(*node, *adv),
         ChurnAction::Recover => engine.recover(),
+        ChurnAction::Sever { a, b } => {
+            engine
+                .sever_link(*a, *b)
+                .expect("plan severs an existing edge");
+        }
+        ChurnAction::Heal { a, b } => {
+            engine
+                .heal_link(*a, *b)
+                .expect("plan heals an existing edge");
+        }
     }
 }
 

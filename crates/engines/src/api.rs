@@ -307,6 +307,43 @@ pub trait EngineControl {
     /// traffic on the virtual clock without flushing, so it races whatever
     /// is in flight — flush or `run_until` to drain it.
     fn recover(&mut self);
+    /// Sever the link between the adjacent nodes `a` and `b` (network
+    /// partition): the edge stays in the routing picture on both sides,
+    /// but traffic over it dies at the sender's radio — charged, counted
+    /// ([`EngineIntrospect::dropped_severed`]), never delivered — until
+    /// [`EngineControl::heal_link`]. Messages already in flight across the
+    /// link still arrive. Idempotent.
+    ///
+    /// # Errors
+    /// Fails if `(a, b)` is not an edge of the topology.
+    fn sever_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError>;
+    /// Heal a severed link and run the in-protocol reconciliation: both
+    /// live endpoints get [`fsf_network::NodeBehavior::on_link_up`] —
+    /// tombstones first, then generation-tagged advertisement repairs
+    /// (highest generation wins), then a forced re-split of operator
+    /// projections toward the peer, so state that diverged during the
+    /// partition merges without route loss. The reconciliation traffic is
+    /// scheduled, not drained — flush or `run_until` to finish the merge.
+    /// A no-op on a link that is not severed.
+    ///
+    /// # Errors
+    /// Fails if `(a, b)` is not an edge of the topology.
+    fn heal_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError>;
+    /// Enable the in-protocol heartbeat failure detector: every `period`
+    /// virtual ticks each live node pings its neighbors, a neighbor silent
+    /// past `timeout` is suspected, and a node all of whose live neighbors
+    /// suspect it is confirmed dead. Confirmations feed the recovery plane
+    /// on the next `run_until`/`flush`: a confirmed node whose crash is
+    /// still awaiting recovery (see [`EngineControl::set_auto_recover`])
+    /// has that recovery applied in-protocol, without a management-plane
+    /// [`EngineControl::recover`] call; a *false* confirmation (a live
+    /// node behind a severed link or a long delay) matches no crash record
+    /// and is ignored — its late pong re-admits it with no route loss.
+    /// Pick `timeout ≥ period + 2 × the longest link delay` to avoid
+    /// false suspicion on healthy links. Simulator deployments require the
+    /// single-shard backend; the async host probes on management-plane
+    /// ticks instead of the virtual clock.
+    fn set_liveness(&mut self, period: u64, timeout: u64);
     /// Advance the virtual clock to `t`, delivering exactly the messages
     /// due at or before `t` and leaving later ones in flight (partial
     /// advancement — the timed churn replay interleaves actions with
@@ -358,8 +395,21 @@ pub trait EngineIntrospect {
     /// `scheduled_total == steps + dropped_from_queue + queue_depth`.
     fn scheduled_total(&self) -> u64;
     /// Messages dropped from the queue without delivery (corpse-bound
-    /// traffic purged at a crash or popped to a downed node).
+    /// traffic purged at a crash, popped to a downed node, or dead at the
+    /// radio of a severed link).
     fn dropped_from_queue(&self) -> u64;
+    /// Messages dropped at a sender's radio because the link was severed
+    /// (a subset of [`EngineIntrospect::dropped_from_queue`]; 0 unless
+    /// [`EngineControl::sever_link`] was used).
+    fn dropped_severed(&self) -> u64 {
+        0
+    }
+    /// Active directed `(observer, suspect)` suspicions of the heartbeat
+    /// failure detector, sorted (empty unless
+    /// [`EngineControl::set_liveness`] was used).
+    fn suspicions(&self) -> Vec<(NodeId, NodeId)> {
+        Vec::new()
+    }
 }
 
 /// A continuous-query engine under test — the umbrella over the three
@@ -605,11 +655,13 @@ pub struct EngineBuilder {
     sink: Option<Recorder>,
     deploy: Deploy,
     mailbox: usize,
+    heartbeat: Option<(u64, u64)>,
 }
 
 impl EngineBuilder {
     /// Defaults: validity 1000, seed 7, zero latency, one shard, default
-    /// match mode, no sink, simulator deployment, 64-frame mailboxes.
+    /// match mode, no sink, simulator deployment, 64-frame mailboxes, no
+    /// heartbeat failure detector.
     #[must_use]
     pub fn new(kind: EngineKind, topology: Topology) -> Self {
         EngineBuilder {
@@ -623,6 +675,7 @@ impl EngineBuilder {
             sink: None,
             deploy: Deploy::Simulator,
             mailbox: 64,
+            heartbeat: None,
         }
     }
 
@@ -688,6 +741,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Enable the in-protocol heartbeat failure detector with the given
+    /// ping period and suspicion timeout, both in virtual ticks — see
+    /// [`EngineControl::set_liveness`]. Simulator deployments require the
+    /// single-shard backend (the builder panics on `shards > 1`); host
+    /// deployments probe on management-plane ticks instead.
+    #[must_use]
+    pub fn heartbeat(mut self, period: u64, timeout: u64) -> Self {
+        self.heartbeat = Some((period, timeout));
+        self
+    }
+
     /// Construct the engine.
     ///
     /// # Panics
@@ -712,7 +776,7 @@ impl EngineBuilder {
             "event-queue sharding is a simulator knob; size the host with \
              Deploy::Async {{ workers }} instead"
         );
-        crate::async_engine::build_async(
+        let mut engine = crate::async_engine::build_async(
             &self.topology,
             crate::async_engine::HostSpec {
                 kind: self.kind,
@@ -723,7 +787,11 @@ impl EngineBuilder {
                 host_mode,
                 mailbox: self.mailbox.max(1),
             },
-        )
+        );
+        if let Some((period, timeout)) = self.heartbeat {
+            engine.set_liveness(period, timeout);
+        }
+        engine
     }
 
     fn build_simulator(self) -> Box<dyn Engine> {
@@ -736,6 +804,7 @@ impl EngineBuilder {
             shards,
             mode,
             sink,
+            heartbeat,
             ..
         } = self;
         let mut engine: Box<dyn Engine> = if let Some(sink) = sink {
@@ -804,6 +873,14 @@ impl EngineBuilder {
         };
         if shards > 1 {
             engine.set_shards(shards);
+        }
+        if let Some((period, timeout)) = heartbeat {
+            assert!(
+                shards == 1,
+                "heartbeat liveness requires the single-shard backend \
+                 (suspicion timeouts ride the global virtual clock)"
+            );
+            engine.set_liveness(period, timeout);
         }
         engine
     }
@@ -901,6 +978,25 @@ impl<S: TelemetrySink> PubSubEngine<S> {
         }
     }
 
+    /// Feed the heartbeat detector's confirmations into the recovery
+    /// plane: a confirmed node whose crash is awaiting recovery gets that
+    /// recovery applied in-protocol; a false confirmation (no crash
+    /// record — the node is alive behind a partition) matches nothing and
+    /// is dropped on the floor, its late pong having re-admitted it.
+    fn drain_liveness(&mut self) {
+        let confirmed = self.sim.take_confirmed_dead();
+        if confirmed.is_empty() {
+            return;
+        }
+        let (detected, pending): (Vec<_>, Vec<_>) = std::mem::take(&mut self.recovery.pending)
+            .into_iter()
+            .partition(|d| confirmed.contains(&d.crashed));
+        self.recovery.pending = pending;
+        for delta in detected {
+            self.apply_recovery(&delta);
+        }
+    }
+
     /// Access the underlying single-queue simulator (tests / inspection).
     /// Panics when the sharded backend is active — switch back with
     /// [`Engine::set_shards`]`(1)` first.
@@ -987,6 +1083,7 @@ impl<S: TelemetrySink> EngineData for PubSubEngine<S> {
         let start = self.sim.now();
         let before = self.sim.steps();
         self.sim.run_to_quiescence();
+        self.drain_liveness();
         if S::ENABLED {
             record_op(
                 &self.sink,
@@ -1027,8 +1124,43 @@ impl<S: TelemetrySink> EngineControl for PubSubEngine<S> {
             self.apply_recovery(&delta);
         }
     }
+    fn sever_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        self.sim.sever_link(a, b)?;
+        if S::ENABLED {
+            let t = self.sim.now();
+            record_op(
+                &self.sink,
+                "sever",
+                None,
+                t,
+                t,
+                format!("n{} - n{}", a.0, b.0),
+            );
+        }
+        Ok(())
+    }
+    fn heal_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        let start = self.sim.now();
+        self.sim.heal_link(a, b)?;
+        if S::ENABLED {
+            record_op(
+                &self.sink,
+                "heal",
+                None,
+                start,
+                self.sim.now(),
+                format!("n{} - n{}", a.0, b.0),
+            );
+        }
+        Ok(())
+    }
+    fn set_liveness(&mut self, period: u64, timeout: u64) {
+        self.sim.set_liveness(period, timeout);
+    }
     fn run_until(&mut self, t: u64) -> u64 {
-        self.sim.run_until(t)
+        let handled = self.sim.run_until(t);
+        self.drain_liveness();
+        handled
     }
     fn set_shards(&mut self, shards: usize) {
         self.sim.set_shards(shards);
@@ -1087,6 +1219,12 @@ impl<S: TelemetrySink> EngineIntrospect for PubSubEngine<S> {
     }
     fn dropped_from_queue(&self) -> u64 {
         self.sim.dropped_from_queue()
+    }
+    fn dropped_severed(&self) -> u64 {
+        self.sim.dropped_severed()
+    }
+    fn suspicions(&self) -> Vec<(NodeId, NodeId)> {
+        self.sim.suspicions()
     }
 }
 
@@ -1184,6 +1322,22 @@ impl<S: TelemetrySink> MjEngine<S> {
             );
         }
     }
+
+    /// See [`PubSubEngine::drain_liveness`] — confirmed-dead nodes with a
+    /// crash awaiting recovery trigger it; false confirmations are ignored.
+    fn drain_liveness(&mut self) {
+        let confirmed = self.sim.take_confirmed_dead();
+        if confirmed.is_empty() {
+            return;
+        }
+        let (detected, pending): (Vec<_>, Vec<_>) = std::mem::take(&mut self.recovery.pending)
+            .into_iter()
+            .partition(|d| confirmed.contains(&d.crashed));
+        self.recovery.pending = pending;
+        for delta in detected {
+            self.apply_recovery(&delta);
+        }
+    }
 }
 
 impl<S: TelemetrySink> EngineData for MjEngine<S> {
@@ -1261,6 +1415,7 @@ impl<S: TelemetrySink> EngineData for MjEngine<S> {
         let start = self.sim.now();
         let before = self.sim.steps();
         self.sim.run_to_quiescence();
+        self.drain_liveness();
         if S::ENABLED {
             record_op(
                 &self.sink,
@@ -1301,8 +1456,43 @@ impl<S: TelemetrySink> EngineControl for MjEngine<S> {
             self.apply_recovery(&delta);
         }
     }
+    fn sever_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        self.sim.sever_link(a, b)?;
+        if S::ENABLED {
+            let t = self.sim.now();
+            record_op(
+                &self.sink,
+                "sever",
+                None,
+                t,
+                t,
+                format!("n{} - n{}", a.0, b.0),
+            );
+        }
+        Ok(())
+    }
+    fn heal_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        let start = self.sim.now();
+        self.sim.heal_link(a, b)?;
+        if S::ENABLED {
+            record_op(
+                &self.sink,
+                "heal",
+                None,
+                start,
+                self.sim.now(),
+                format!("n{} - n{}", a.0, b.0),
+            );
+        }
+        Ok(())
+    }
+    fn set_liveness(&mut self, period: u64, timeout: u64) {
+        self.sim.set_liveness(period, timeout);
+    }
     fn run_until(&mut self, t: u64) -> u64 {
-        self.sim.run_until(t)
+        let handled = self.sim.run_until(t);
+        self.drain_liveness();
+        handled
     }
     fn set_shards(&mut self, shards: usize) {
         self.sim.set_shards(shards);
@@ -1362,6 +1552,12 @@ impl<S: TelemetrySink> EngineIntrospect for MjEngine<S> {
     }
     fn dropped_from_queue(&self) -> u64 {
         self.sim.dropped_from_queue()
+    }
+    fn dropped_severed(&self) -> u64 {
+        self.sim.dropped_severed()
+    }
+    fn suspicions(&self) -> Vec<(NodeId, NodeId)> {
+        self.sim.suspicions()
     }
 }
 
@@ -1481,6 +1677,22 @@ impl<S: TelemetrySink> CentralEngine<S> {
             );
         }
     }
+
+    /// See [`PubSubEngine::drain_liveness`] — confirmed-dead nodes with a
+    /// crash awaiting recovery trigger it; false confirmations are ignored.
+    fn drain_liveness(&mut self) {
+        let confirmed = self.sim.take_confirmed_dead();
+        if confirmed.is_empty() {
+            return;
+        }
+        let (detected, pending): (Vec<_>, Vec<_>) = std::mem::take(&mut self.recovery.pending)
+            .into_iter()
+            .partition(|d| confirmed.contains(&d.crashed));
+        self.recovery.pending = pending;
+        for delta in detected {
+            self.apply_recovery(&delta);
+        }
+    }
 }
 
 impl<S: TelemetrySink> EngineData for CentralEngine<S> {
@@ -1555,6 +1767,7 @@ impl<S: TelemetrySink> EngineData for CentralEngine<S> {
         let start = self.sim.now();
         let before = self.sim.steps();
         self.sim.run_to_quiescence();
+        self.drain_liveness();
         if S::ENABLED {
             record_op(
                 &self.sink,
@@ -1596,8 +1809,75 @@ impl<S: TelemetrySink> EngineControl for CentralEngine<S> {
             self.apply_recovery(&delta);
         }
     }
+    fn sever_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        self.sim.sever_link(a, b)?;
+        if S::ENABLED {
+            let t = self.sim.now();
+            record_op(
+                &self.sink,
+                "sever",
+                None,
+                t,
+                t,
+                format!("n{} - n{}", a.0, b.0),
+            );
+        }
+        Ok(())
+    }
+    fn heal_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        let start = self.sim.now();
+        let was_severed = self.sim.topology().is_severed(a, b);
+        self.sim.heal_link(a, b)?;
+        if !was_severed {
+            return Ok(());
+        }
+        // The centre's tables are only reachable-side complete after a
+        // partition; the node-level `on_link_up` has nothing to exchange
+        // (this baseline keeps no per-link routing state), so the heal is
+        // management plane — mirror `apply_recovery`: re-send tombstoned
+        // retractions toward the centre through both heal endpoints
+        // (idempotent where they already arrived), then re-register every
+        // live subscription so registrations dropped at the severed radio
+        // are restored (the centre dedups by key).
+        for via in [a, b] {
+            if self.sim.is_down(via) {
+                continue;
+            }
+            let sensors: Vec<SensorId> = self.recovery.dead_sensors.iter().copied().collect();
+            for sensor in sensors {
+                self.sim.inject(via, CentralMsg::SensorDownToCenter(sensor));
+                self.recovery.control_injections += 1;
+            }
+            let subs: Vec<SubId> = self.recovery.dead_subs.iter().copied().collect();
+            for sub in subs {
+                self.sim.inject(via, CentralMsg::UnsubToCenter(sub));
+                self.recovery.control_injections += 1;
+            }
+        }
+        let live: Vec<(NodeId, Subscription)> = self.subscriptions.values().cloned().collect();
+        for (node, sub) in live {
+            self.sim.inject(node, CentralMsg::Subscribe(sub));
+            self.recovery.control_injections += 1;
+        }
+        if S::ENABLED {
+            record_op(
+                &self.sink,
+                "heal",
+                None,
+                start,
+                self.sim.now(),
+                format!("n{} - n{}", a.0, b.0),
+            );
+        }
+        Ok(())
+    }
+    fn set_liveness(&mut self, period: u64, timeout: u64) {
+        self.sim.set_liveness(period, timeout);
+    }
     fn run_until(&mut self, t: u64) -> u64 {
-        self.sim.run_until(t)
+        let handled = self.sim.run_until(t);
+        self.drain_liveness();
+        handled
     }
     fn set_shards(&mut self, shards: usize) {
         self.sim.set_shards(shards);
@@ -1656,6 +1936,12 @@ impl<S: TelemetrySink> EngineIntrospect for CentralEngine<S> {
     }
     fn dropped_from_queue(&self) -> u64 {
         self.sim.dropped_from_queue()
+    }
+    fn dropped_severed(&self) -> u64 {
+        self.sim.dropped_severed()
+    }
+    fn suspicions(&self) -> Vec<(NodeId, NodeId)> {
+        self.sim.suspicions()
     }
 }
 

@@ -70,6 +70,18 @@ pub(crate) trait DeployProto: Send + 'static {
         plane: &RecoveryPlane,
         frontier: &[NodeId],
     ) -> Vec<(NodeId, Self::Msg)>;
+    /// The management-plane injections completing one heal's
+    /// reconciliation, mirroring the family's `heal_link` in `api.rs`.
+    /// Most families reconcile in-protocol through
+    /// [`fsf_network::NodeBehavior::on_link_up`] and need none; the
+    /// centralized baseline re-sends retractions and re-registrations.
+    fn heal_injections(
+        &self,
+        _plane: &RecoveryPlane,
+        _endpoints: (NodeId, NodeId),
+    ) -> Vec<(NodeId, Self::Msg)> {
+        Vec::new()
+    }
 }
 
 /// An engine running its nodes on the production [`NodeHost`].
@@ -80,6 +92,9 @@ pub(crate) struct AsyncEngine<P: DeployProto> {
     /// Reported via [`EngineIntrospect::shards`]: executor workers, or 1
     /// in thread-per-node mode.
     workers: usize,
+    /// Probe the host's failure detector on every drain (set by
+    /// [`EngineControl::set_liveness`]).
+    liveness_on: bool,
     stats_cache: TrafficStats,
     deliveries_cache: DeliveryLog,
 }
@@ -107,6 +122,7 @@ impl<P: DeployProto> AsyncEngine<P> {
             host,
             recovery: RecoveryPlane::new(),
             workers,
+            liveness_on: false,
             stats_cache: TrafficStats::new(),
             deliveries_cache: DeliveryLog::new(),
         }
@@ -126,6 +142,29 @@ impl<P: DeployProto> AsyncEngine<P> {
             self.recovery.control_injections += 1;
         }
         self.recovery.recoveries += 1;
+    }
+
+    /// One probe round of the host's failure detector plus the drain:
+    /// confirmed-dead nodes with a crash awaiting recovery trigger it
+    /// in-protocol; false confirmations match no crash record and are
+    /// ignored (see `PubSubEngine::drain_liveness` in `api.rs`).
+    fn drain_liveness(&mut self) {
+        if !self.liveness_on {
+            return;
+        }
+        self.host.liveness_tick();
+        let confirmed = self.host.take_confirmed_dead();
+        if confirmed.is_empty() {
+            return;
+        }
+        let (detected, pending): (Vec<_>, Vec<_>) = std::mem::take(&mut self.recovery.pending)
+            .into_iter()
+            .partition(|d| confirmed.contains(&d.crashed));
+        self.recovery.pending = pending;
+        for delta in detected {
+            self.apply_recovery(&delta);
+        }
+        self.host.wait_quiescent();
     }
 }
 
@@ -183,6 +222,7 @@ impl<P: DeployProto> EngineData for AsyncEngine<P> {
     }
     fn flush(&mut self) {
         self.host.wait_quiescent();
+        self.drain_liveness();
         self.refresh();
     }
 }
@@ -212,11 +252,42 @@ impl<P: DeployProto> EngineControl for AsyncEngine<P> {
         }
         self.refresh();
     }
+    fn sever_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        // sever at quiescence, like crashes: the cut applies to traffic
+        // scheduled from here on, matching the simulator's schedule-time
+        // drop semantics
+        self.host.wait_quiescent();
+        self.host.sever_link(a, b)?;
+        self.refresh();
+        Ok(())
+    }
+    fn heal_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        self.host.wait_quiescent();
+        let was_severed = self.host.topology().is_severed(a, b);
+        let at = self.host.clock();
+        self.host.heal_link(a, b, at)?;
+        if was_severed {
+            for (node, msg) in self.proto.heal_injections(&self.recovery, (a, b)) {
+                if self.host.is_down(node) {
+                    continue;
+                }
+                self.host.inject(node, &msg, at);
+                self.recovery.control_injections += 1;
+            }
+        }
+        self.refresh();
+        Ok(())
+    }
+    fn set_liveness(&mut self, period: u64, timeout: u64) {
+        self.host.set_liveness(period, timeout);
+        self.liveness_on = true;
+    }
     fn run_until(&mut self, _t: u64) -> u64 {
         // free-running: no future traffic is held back, so the horizon is
         // always "everything" — drain and report the handled delta
         let before = self.host.ledger().handled;
         self.host.wait_quiescent();
+        self.drain_liveness();
         self.refresh();
         self.host.ledger().handled - before
     }
@@ -288,7 +359,14 @@ impl<P: DeployProto> EngineIntrospect for AsyncEngine<P> {
         self.host.ledger().scheduled
     }
     fn dropped_from_queue(&self) -> u64 {
-        self.host.ledger().dropped_to_downed
+        let ledger = self.host.ledger();
+        ledger.dropped_to_downed + ledger.dropped_severed
+    }
+    fn dropped_severed(&self) -> u64 {
+        self.host.ledger().dropped_severed
+    }
+    fn suspicions(&self) -> Vec<(NodeId, NodeId)> {
+        self.host.suspicions()
     }
 }
 
@@ -482,6 +560,28 @@ impl DeployProto for CentralProto {
     ) -> Vec<(NodeId, CentralMsg)> {
         let mut out = Vec::new();
         if let Some(&via) = frontier.first() {
+            for &sensor in &plane.dead_sensors {
+                out.push((via, CentralMsg::SensorDownToCenter(sensor)));
+            }
+            for &sub in &plane.dead_subs {
+                out.push((via, CentralMsg::UnsubToCenter(sub)));
+            }
+        }
+        for (node, sub) in self.subscriptions.values() {
+            out.push((*node, CentralMsg::Subscribe(sub.clone())));
+        }
+        out
+    }
+    fn heal_injections(
+        &self,
+        plane: &RecoveryPlane,
+        endpoints: (NodeId, NodeId),
+    ) -> Vec<(NodeId, CentralMsg)> {
+        // mirror CentralEngine::heal_link: retractions through both heal
+        // endpoints (idempotent where they already reached the centre),
+        // then every live subscription re-registered at its home node
+        let mut out = Vec::new();
+        for via in [endpoints.0, endpoints.1] {
             for &sensor in &plane.dead_sensors {
                 out.push((via, CentralMsg::SensorDownToCenter(sensor)));
             }

@@ -548,6 +548,16 @@ impl MjNode {
     ///    added (`send_op` dedups, so intact forwards are never repeated
     ///    and an unchanged picture sends nothing).
     fn resplit_toward(&mut self, j: NodeId, ctx: &mut Ctx<'_, MjMsg>) {
+        self.resplit_toward_inner(j, ctx, false);
+    }
+
+    /// [`Self::resplit_toward`] with a `force` mode for partition healing:
+    /// a forward recorded while the link was severed was dropped at the
+    /// radio, so the sender-side dedup in [`Self::send_op`] would wrongly
+    /// skip it. Forcing clears the record for every desired wire before
+    /// re-sending; the receiver dedups by key, so intact copies cost one
+    /// message each.
+    fn resplit_toward_inner(&mut self, j: NodeId, ctx: &mut Ctx<'_, MjMsg>, force: bool) {
         if ctx.neighbors().binary_search(&j).is_err() {
             return;
         }
@@ -635,6 +645,9 @@ impl MjNode {
         }
         for wires in desired.into_values() {
             for wire in wires {
+                if force {
+                    self.forwarded.remove(&(j, wire.key()));
+                }
                 self.send_op(j, wire, ctx);
             }
         }
@@ -890,6 +903,32 @@ impl NodeBehavior for MjNode {
                 ctx.send(n, MjMsg::AdvRepair(adv, gen), ChargeKind::Recovery, 1);
             }
         }
+    }
+
+    /// A severed link healed: push this half's advertisement picture across
+    /// (retraction tombstones first, then generation-tagged repairs —
+    /// highest generation wins at the receiver) and force-re-forward the
+    /// stored decomposition toward the peer, clearing the sender-side dedup
+    /// records that were poisoned by radio-dropped forwards. See
+    /// [`fsf_core::PubSubNode`]'s hook for the full reconciliation story.
+    fn on_link_up(&mut self, peer: NodeId, ctx: &mut Ctx<'_, MjMsg>) {
+        let tombs: Vec<(fsf_model::SensorId, u64)> = self.adverts.tombstones().collect();
+        for (sensor, gen) in tombs {
+            ctx.send(peer, MjMsg::AdvDown(sensor, gen), ChargeKind::Recovery, 1);
+        }
+        let advs: Vec<(Advertisement, u64)> = self
+            .adverts
+            .origins()
+            .filter(|&o| o != Origin::Neighbor(peer))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(|o| self.adverts.from_origin(o).iter().copied())
+            .map(|a| (a, self.adverts.generation(a.sensor)))
+            .collect();
+        for (adv, gen) in advs {
+            ctx.send(peer, MjMsg::AdvRepair(adv, gen), ChargeKind::Recovery, 1);
+        }
+        self.resplit_toward_inner(peer, ctx, true);
     }
 }
 

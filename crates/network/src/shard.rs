@@ -184,6 +184,7 @@ struct ShardState<B: NodeBehavior, S: TelemetrySink> {
     steps: u64,
     queue_drops: u64,
     dropped_to_downed: u64,
+    dropped_severed: u64,
     /// Highest tick this shard has processed (drops included).
     last_tick: u64,
     stats: TrafficStats,
@@ -206,6 +207,7 @@ impl<B: NodeBehavior, S: TelemetrySink> ShardState<B, S> {
             steps: 0,
             queue_drops: 0,
             dropped_to_downed: 0,
+            dropped_severed: 0,
             last_tick: 0,
             stats: TrafficStats::new(),
             deliveries: DeliveryLog::new(),
@@ -322,6 +324,23 @@ impl<B: NodeBehavior, S: TelemetrySink> ShardState<B, S> {
                             class: kind.traffic_class(),
                             units,
                         });
+                    }
+                    // Severed links drop at the sender's radio, at schedule
+                    // time — same rule as the single simulator, so the drop
+                    // decision never depends on when a shard pops the entry.
+                    if entry.to != to && topology.is_severed(entry.to, to) {
+                        self.queue_drops += 1;
+                        self.dropped_severed += 1;
+                        if S::ENABLED {
+                            self.sink.record(TelemetryEvent::DroppedSevered {
+                                at: t,
+                                from: entry.to.0,
+                                to: to.0,
+                                shard: self.id as u32,
+                                flood: entry.flood,
+                            });
+                        }
+                        continue;
                     }
                     if dest == self.id {
                         self.push(at, e);
@@ -493,6 +512,12 @@ where
                 if v <= u {
                     continue;
                 }
+                // a severed link carries no messages, so it must not lower
+                // the conservative lookahead bound (and a heal must widen
+                // it again — callers rebuild after every mutation)
+                if self.topology.is_severed(u, v) {
+                    continue;
+                }
                 let sv = self.plan.shard_of(v);
                 if su == sv {
                     continue;
@@ -649,6 +674,133 @@ where
         self.injection_drops + self.shards.iter().map(|s| s.dropped_to_downed).sum::<u64>()
     }
 
+    /// Messages dropped at the sender's radio because the link was severed.
+    #[must_use]
+    pub fn dropped_severed(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped_severed).sum()
+    }
+
+    /// Sever the link between two adjacent nodes (see
+    /// [`Simulator::sever_link`]). The shard lookahead graph is rebuilt
+    /// immediately: a severed crossing link no longer bounds the
+    /// conservative window.
+    pub fn sever_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        self.topology.sever_link(a, b)?;
+        if S::ENABLED {
+            self.sink.record(TelemetryEvent::LinkSevered {
+                at: self.now,
+                a: a.0,
+                b: b.0,
+            });
+        }
+        self.rebuild_shard_graph();
+        Ok(())
+    }
+
+    /// Heal a severed link (see [`Simulator::heal_link`]). The lookahead
+    /// fixpoint is recomputed before any reconciliation traffic is
+    /// scheduled: the re-enabled link may lower the conservative bound, and
+    /// running a round against the stale graph would overshoot
+    /// `run_until`'s boundary.
+    pub fn heal_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        let was_severed = self.topology.is_severed(a, b);
+        self.topology.heal_link(a, b)?;
+        if !was_severed {
+            return Ok(());
+        }
+        if S::ENABLED {
+            self.sink.record(TelemetryEvent::LinkHealed {
+                at: self.now,
+                a: a.0,
+                b: b.0,
+            });
+        }
+        self.rebuild_shard_graph();
+        let now = self.now;
+        let mut outbox: Vec<(NodeId, B::Msg, ChargeKind, u64)> = Vec::new();
+        for (node, peer) in [(a, b), (b, a)] {
+            if self.down.contains(&node) {
+                continue;
+            }
+            let s = self.plan.shard_of(node);
+            let slot = self.node_slot[node.0 as usize] as usize;
+            {
+                let shard = &mut self.shards[s];
+                let mut ctx = Ctx::external(
+                    node,
+                    self.topology.neighbors(node),
+                    now,
+                    &mut outbox,
+                    &mut shard.deliveries,
+                );
+                shard.nodes[slot].on_link_up(peer, &mut ctx);
+            }
+            for (to, msg, kind, units) in outbox.drain(..) {
+                self.schedule_external(s, node, to, msg, kind, units);
+            }
+        }
+        self.refresh_merged();
+        Ok(())
+    }
+
+    /// Charge and schedule one send made outside the pump (recovery or
+    /// link-up reconciliation), minting a fresh causal flood in the sender
+    /// shard's sequence space. Honors the severed-at-the-radio drop rule.
+    fn schedule_external(
+        &mut self,
+        s: usize,
+        from: NodeId,
+        to: NodeId,
+        msg: B::Msg,
+        kind: ChargeKind,
+        units: u64,
+    ) {
+        let now = self.now;
+        let at = now + self.latency.delay(from, to);
+        let sender = &mut self.shards[s];
+        sender.stats.charge(kind, from, to, units);
+        let flood = flood_id(s as u32, sender.next_seq);
+        let entry = Entry {
+            origin: s as u32,
+            seq: sender.next_seq,
+            from,
+            to,
+            flood,
+            msg,
+        };
+        sender.next_seq += 1;
+        sender.scheduled_total += 1;
+        let dest = self.plan.shard_of(to);
+        if S::ENABLED {
+            self.sink.record(TelemetryEvent::Scheduled {
+                at: now,
+                deliver_at: at,
+                from: from.0,
+                to: to.0,
+                shard: dest as u32,
+                flood,
+                class: kind.traffic_class(),
+                units,
+            });
+        }
+        if from != to && self.topology.is_severed(from, to) {
+            let sender = &mut self.shards[s];
+            sender.queue_drops += 1;
+            sender.dropped_severed += 1;
+            if S::ENABLED {
+                self.sink.record(TelemetryEvent::DroppedSevered {
+                    at: now,
+                    from: from.0,
+                    to: to.0,
+                    shard: s as u32,
+                    flood,
+                });
+            }
+            return;
+        }
+        self.shards[dest].push(at, entry);
+    }
+
     /// Messages processed by live nodes since construction.
     #[must_use]
     pub fn steps(&self) -> u64 {
@@ -744,25 +896,35 @@ where
         let (topology, delta) = self.topology.regraft_with_delta(crashed, anchor)?;
         self.topology = topology;
         if self.down.insert(crashed) {
-            let s = self.plan.shard_of(crashed);
-            let shard = &mut self.shards[s];
-            let mut purged = 0u64;
-            shard.calendar.retain(|_, bucket| {
-                let before = bucket.len();
-                bucket.retain(|e| e.to != crashed);
-                purged += (before - bucket.len()) as u64;
-                !bucket.is_empty()
-            });
-            shard.queued -= purged as usize;
-            shard.queue_drops += purged;
-            shard.dropped_to_downed += purged;
-            if S::ENABLED && purged > 0 {
-                self.sink.record(TelemetryEvent::Purged {
-                    at: self.now,
-                    node: crashed.0,
-                    shard: s as u32,
-                    count: purged,
+            // Purge corpse-bound entries from EVERY shard, not just the
+            // corpse's own: cross-shard routing normally lands them in
+            // `shard_of(crashed)`, but entries parked in another shard's
+            // calendar or outgoing buffer would otherwise survive as stale
+            // tombstones and skew the conservation ledger.
+            for shard in &mut self.shards {
+                let mut purged = 0u64;
+                shard.calendar.retain(|_, bucket| {
+                    let before = bucket.len();
+                    bucket.retain(|e| e.to != crashed);
+                    purged += (before - bucket.len()) as u64;
+                    !bucket.is_empty()
                 });
+                shard.queued -= purged as usize;
+                // outgoing entries were scheduled but never pushed, so they
+                // are absent from `queued` — drop-count them all the same
+                let before = shard.outgoing.len();
+                shard.outgoing.retain(|(_, _, e)| e.to != crashed);
+                let total = purged + (before - shard.outgoing.len()) as u64;
+                shard.queue_drops += total;
+                shard.dropped_to_downed += total;
+                if S::ENABLED && total > 0 {
+                    self.sink.record(TelemetryEvent::Purged {
+                        at: self.now,
+                        node: crashed.0,
+                        shard: shard.id as u32,
+                        count: total,
+                    });
+                }
             }
         }
         for id in 0..self.node_slot.len() {
@@ -804,36 +966,9 @@ where
             }
             let sends = outbox.len() as u64;
             for (to, msg, kind, units) in outbox.drain(..) {
-                let at = now + self.latency.delay(node, to);
-                let sender = &mut self.shards[s];
-                sender.stats.charge(kind, node, to, units);
                 // each recovery send starts a fresh causal flood: it was
                 // not triggered by any in-flight message
-                let flood = flood_id(s as u32, sender.next_seq);
-                let entry = Entry {
-                    origin: s as u32,
-                    seq: sender.next_seq,
-                    from: node,
-                    to,
-                    flood,
-                    msg,
-                };
-                sender.next_seq += 1;
-                sender.scheduled_total += 1;
-                let dest = self.plan.shard_of(to);
-                if S::ENABLED {
-                    self.sink.record(TelemetryEvent::Scheduled {
-                        at: now,
-                        deliver_at: at,
-                        from: node.0,
-                        to: to.0,
-                        shard: dest as u32,
-                        flood,
-                        class: kind.traffic_class(),
-                        units,
-                    });
-                }
-                self.shards[dest].push(at, entry);
+                self.schedule_external(s, node, to, msg, kind, units);
             }
             if S::ENABLED {
                 let deliveries = self.shards[s].deliveries.complex_deliveries() - deliveries_before;
@@ -1307,6 +1442,64 @@ where
         }
     }
 
+    /// See [`Simulator::dropped_severed`].
+    #[must_use]
+    pub fn dropped_severed(&self) -> u64 {
+        match self {
+            Backend::Single(s) => s.dropped_severed(),
+            Backend::Sharded(s) => s.dropped_severed(),
+        }
+    }
+
+    /// See [`Simulator::sever_link`].
+    pub fn sever_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        match self {
+            Backend::Single(s) => s.sever_link(a, b),
+            Backend::Sharded(s) => s.sever_link(a, b),
+        }
+    }
+
+    /// See [`Simulator::heal_link`].
+    pub fn heal_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        match self {
+            Backend::Single(s) => s.heal_link(a, b),
+            Backend::Sharded(s) => s.heal_link(a, b),
+        }
+    }
+
+    /// See [`Simulator::set_liveness`].
+    ///
+    /// # Panics
+    /// Panics on the sharded backend — the heartbeat detector runs on the
+    /// single-queue simulator only (the beat emitter is a global-clock
+    /// construct; a sharded port is a ROADMAP follow-on).
+    pub fn set_liveness(&mut self, period: u64, timeout: u64) {
+        match self {
+            Backend::Single(s) => s.set_liveness(period, timeout),
+            Backend::Sharded(_) => {
+                panic!("heartbeat liveness requires the single-shard backend")
+            }
+        }
+    }
+
+    /// See [`Simulator::suspicions`]. Empty on the sharded backend.
+    #[must_use]
+    pub fn suspicions(&self) -> Vec<(NodeId, NodeId)> {
+        match self {
+            Backend::Single(s) => s.suspicions(),
+            Backend::Sharded(_) => Vec::new(),
+        }
+    }
+
+    /// See [`Simulator::take_confirmed_dead`]. Empty on the sharded
+    /// backend.
+    pub fn take_confirmed_dead(&mut self) -> Vec<NodeId> {
+        match self {
+            Backend::Single(s) => s.take_confirmed_dead(),
+            Backend::Sharded(_) => Vec::new(),
+        }
+    }
+
     /// See [`Simulator::crash_and_regraft`].
     pub fn crash_and_regraft(
         &mut self,
@@ -1510,6 +1703,120 @@ mod tests {
             assert!(sim.is_down(NodeId(5)));
             sim.run_to_quiescence();
             assert!(sim.node(NodeId(5)).seen.is_empty(), "corpse heard nothing");
+            assert_eq!(
+                sim.scheduled_total(),
+                sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64,
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn severed_links_drop_with_conservation_across_shard_counts() {
+        for shards in [1, 2, 4] {
+            let mut sim = sharded(63, 4, shards);
+            sim.sever_link(NodeId(0), NodeId(2)).unwrap();
+            sim.inject_and_run(NodeId(0), 1);
+            assert!(
+                sim.node(NodeId(2)).seen.is_empty(),
+                "{shards} shards: right subtree unreachable"
+            );
+            assert!(!sim.node(NodeId(1)).seen.is_empty());
+            assert!(sim.dropped_severed() > 0);
+            assert_eq!(
+                sim.scheduled_total(),
+                sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64,
+                "{shards} shards: conservation across severed drops"
+            );
+            // heal: the next flood reaches the formerly cut-off subtree
+            sim.heal_link(NodeId(0), NodeId(2)).unwrap();
+            sim.inject_and_run(NodeId(0), 2);
+            assert_eq!(sim.node(NodeId(2)).seen, vec![2], "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_severed_flood_matches_single_sim() {
+        for shards in [2, 4] {
+            let mut sharded = sharded(63, 3, shards);
+            let mut single = Simulator::with_latency(
+                builders::balanced(63, 2),
+                LatencyModel::Uniform { hop: 3 },
+                |_, _| Flood::default(),
+            );
+            sharded.sever_link(NodeId(1), NodeId(3)).unwrap();
+            single.sever_link(NodeId(1), NodeId(3)).unwrap();
+            sharded.inject_and_run(NodeId(17), 7);
+            single.inject_and_run(NodeId(17), 7);
+            for n in 0..63u32 {
+                assert_eq!(
+                    sharded.node(NodeId(n)).seen_at,
+                    single.node(NodeId(n)).seen_at,
+                    "node n{n} at {shards} shards"
+                );
+            }
+            assert_eq!(sharded.dropped_severed(), single.dropped_severed());
+            assert_eq!(sharded.steps(), single.steps());
+        }
+    }
+
+    #[test]
+    fn run_until_boundary_is_exact_across_a_sever_heal_interleaving() {
+        // The S4 hazard: a heal re-enables a link whose latency lowers the
+        // conservative bound — the fixpoint must be recomputed before the
+        // next round, or run_until(t) pops events past t.
+        for shards in [1, 2, 4] {
+            let mut sim = sharded(31, 5, shards);
+            // drops happen at schedule time, so cut before the root sends
+            sim.sever_link(NodeId(0), NodeId(1)).unwrap();
+            sim.inject(NodeId(0), 1);
+            sim.run_until(4);
+            // left child never hears flood 1; right child does at t=5
+            let at = sim.run_until(5);
+            assert_eq!(at, 1, "{shards} shards: only the right child at t=5");
+            sim.run_to_quiescence(); // flush flood 1 through the right half
+            assert!(sim.node(NodeId(1)).seen.is_empty());
+            let resume = sim.now();
+            sim.heal_link(NodeId(0), NodeId(1)).unwrap();
+            sim.inject_at(NodeId(0), 2, resume + 1);
+            // flood 2 reaches both children at exactly resume + 6
+            let before = sim.run_until(resume + 5);
+            assert_eq!(before, 1, "{shards} shards: only the root before that");
+            assert_eq!(sim.now(), resume + 5, "{shards} shards: clock at horizon");
+            let at_boundary = sim.run_until(resume + 6);
+            assert_eq!(
+                at_boundary, 2,
+                "{shards} shards: both children exactly at the boundary"
+            );
+            sim.run_to_quiescence();
+            assert_eq!(sim.node(NodeId(1)).seen, vec![2], "{shards} shards");
+            assert_eq!(
+                sim.scheduled_total(),
+                sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64,
+                "{shards} shards: conservation after sever/heal"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_shard_crash_purge_reconciles_every_calendar() {
+        // S2: corpse-bound entries must vanish from every shard's calendar
+        // and outgoing buffer at purge time, with exact drop accounting.
+        for shards in [2, 4] {
+            let mut sim = sharded(63, 4, shards);
+            sim.inject(NodeId(0), 1);
+            sim.run_until(5);
+            sim.crash_and_regraft(NodeId(5), NodeId(2)).unwrap();
+            for shard in &sim.shards {
+                for bucket in shard.calendar.values() {
+                    assert!(
+                        bucket.iter().all(|e| e.to != NodeId(5)),
+                        "{shards} shards: no stale corpse-bound entries"
+                    );
+                }
+                assert!(shard.outgoing.is_empty());
+            }
+            sim.run_to_quiescence();
             assert_eq!(
                 sim.scheduled_total(),
                 sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64,

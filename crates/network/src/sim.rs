@@ -32,7 +32,7 @@
 //! determinism the evaluation needs.
 
 use crate::latency::{LatencyModel, LatencySummary};
-use crate::topology::{NodeId, RegraftDelta, Topology};
+use crate::topology::{NodeId, RegraftDelta, Topology, TopologyError};
 use crate::traffic::{ChargeKind, TrafficStats};
 use fsf_model::{ComplexEvent, EventId, SubId};
 use fsf_telemetry::{flood_id, Noop, TelemetryEvent, TelemetrySink, TrafficClass};
@@ -67,6 +67,14 @@ pub trait NodeBehavior {
     /// any other message. The default is a no-op (test behaviours, plain
     /// relays).
     fn on_recover(&mut self, _delta: &RegraftDelta, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// A severed link to `peer` was healed: the partitions on each side of
+    /// the cut diverged (floods dropped at the cut), so reconcile across
+    /// the revived edge — re-offer advertisements/generations and re-split
+    /// operators toward `peer`. Invoked through [`Simulator::heal_link`]
+    /// with a live [`Ctx`] on *both* endpoints, so reconciliation traffic
+    /// rides the virtual clock like recovery traffic. Default is a no-op.
+    fn on_link_up(&mut self, _peer: NodeId, _ctx: &mut Ctx<'_, Self::Msg>) {}
 }
 
 /// What a node may do while handling a message: send to neighbors, deliver
@@ -265,19 +273,25 @@ impl DeliveryLog {
     }
 
     /// Fold another log into this one (used by multi-executor runtimes).
-    pub fn merge(&mut self, other: &DeliveryLog) {
+    ///
+    /// *Draining*: the other log's results — delivery count, per-sub sets,
+    /// latency samples and pending entries — move out, so merging the same
+    /// log twice is idempotent. (The old copying merge double-counted
+    /// latency samples when a host log with overlapping pending sets was
+    /// merged twice.) Only the injection registry stays behind in `other`:
+    /// it is keyed/or-inserted, so re-merging it cannot double anything,
+    /// and the source log keeps its latency anchor for later deliveries.
+    pub fn merge(&mut self, other: &mut DeliveryLog) {
         self.complex_deliveries += other.complex_deliveries;
-        for (sub, events) in &other.per_sub {
-            self.per_sub
-                .entry(*sub)
-                .or_default()
-                .extend(events.iter().copied());
+        other.complex_deliveries = 0;
+        for (sub, events) in std::mem::take(&mut other.per_sub) {
+            self.per_sub.entry(sub).or_default().extend(events);
         }
         for (&id, &at) in &other.injected_at {
             self.injected_at.entry(id).or_insert(at);
         }
-        self.latencies.extend_from_slice(&other.latencies);
-        self.pending.extend(other.pending.iter().cloned());
+        self.latencies.append(&mut other.latencies);
+        self.pending.append(&mut other.pending);
         self.resolve_pending();
     }
 
@@ -299,6 +313,18 @@ impl DeliveryLog {
     }
 }
 
+/// What travels on a link: an application message, or one leg of the
+/// liveness layer's heartbeat exchange. Pings and pongs ride the same
+/// scheduler (latency, severed links, crash drops all apply — that is what
+/// makes the suspicion signal honest) but are answered *below*
+/// [`NodeBehavior`]: node logic never sees them.
+#[derive(Debug, Clone)]
+enum Payload<M> {
+    App(M),
+    Ping,
+    Pong,
+}
+
 #[derive(Debug, Clone)]
 struct Envelope<M> {
     from: NodeId,
@@ -306,7 +332,35 @@ struct Envelope<M> {
     /// Causality id: minted at injection, inherited by every send made
     /// while handling a message carrying it (see [`fsf_telemetry::flood_id`]).
     flood: u64,
-    msg: M,
+    msg: Payload<M>,
+}
+
+/// Heartbeat failure-detector state (tentpole of the liveness layer). All
+/// bookkeeping is *directed*: `(observer, peer)` — node `observer`'s view
+/// of neighbor `peer`. Suspicion never mutates node or routing state; it
+/// only feeds [`Simulator::take_confirmed_dead`], which the engine layer
+/// intersects with actual crash deltas — a false suspicion (e.g. a live
+/// node behind a severed link) therefore cannot cause route loss, and is
+/// cleared the moment a pong gets through again.
+#[derive(Debug)]
+struct Liveness {
+    period: u64,
+    timeout: u64,
+    /// Virtual time liveness was enabled: the freshness baseline for pairs
+    /// that have never exchanged a pong.
+    enabled_at: u64,
+    /// Next beat tick: every live node pings every neighbor.
+    next_beat: u64,
+    /// `(observer, peer)` → virtual time of the last pong heard.
+    last_seen: BTreeMap<(NodeId, NodeId), u64>,
+    /// Directed suspicions currently active.
+    suspected: BTreeSet<(NodeId, NodeId)>,
+    /// Nodes every live neighbor currently suspects, not yet drained by
+    /// [`Simulator::take_confirmed_dead`].
+    confirmed: Vec<NodeId>,
+    /// Everything ever confirmed (until a pong re-admits it) — keeps a
+    /// dead node from being re-confirmed every beat.
+    confirmed_ever: BTreeSet<NodeId>,
 }
 
 /// A scheduled envelope. Heap order: earliest `deliver_at` first, ties
@@ -373,6 +427,10 @@ pub struct Simulator<B: NodeBehavior, S: TelemetrySink = Noop> {
     /// Messages still in the heap whose drop was already accounted at a
     /// crash. Excluded from [`Self::queue_depth`]; discarded silently at pop.
     tombstones: u64,
+    /// Messages dropped at the radio because their link was severed.
+    dropped_severed: u64,
+    /// Heartbeat failure detector, off by default (zero overhead when off).
+    liveness: Option<Liveness>,
 }
 
 impl<B: NodeBehavior> Simulator<B> {
@@ -427,6 +485,8 @@ impl<B: NodeBehavior, S: TelemetrySink> Simulator<B, S> {
             dropped_to_downed: 0,
             queued_to,
             tombstones: 0,
+            dropped_severed: 0,
+            liveness: None,
         }
     }
 
@@ -472,6 +532,8 @@ impl<B: NodeBehavior, S: TelemetrySink> Simulator<B, S> {
             dropped_to_downed: 0,
             queued_to,
             tombstones: 0,
+            dropped_severed: 0,
+            liveness: None,
         }
     }
 
@@ -529,6 +591,128 @@ impl<B: NodeBehavior, S: TelemetrySink> Simulator<B, S> {
     #[must_use]
     pub fn dropped_to_downed(&self) -> u64 {
         self.dropped_to_downed
+    }
+
+    /// Messages dropped at the sender's radio because the link they would
+    /// cross is severed. Included in [`Self::dropped_from_queue`], so the
+    /// conservation invariant stays exact across partitions.
+    #[must_use]
+    pub fn dropped_severed(&self) -> u64 {
+        self.dropped_severed
+    }
+
+    /// Sever the link between two adjacent nodes (partition): from now on,
+    /// traffic crossing it is dropped at the radio with conservation
+    /// accounting. Messages already in flight on the link were on the wire
+    /// before the cut and still arrive. Routing state is untouched — both
+    /// halves keep serving whatever is reachable on their side.
+    pub fn sever_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        self.topology.sever_link(a, b)?;
+        if S::ENABLED {
+            self.sink.record(TelemetryEvent::LinkSevered {
+                at: self.now,
+                a: a.0,
+                b: b.0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Heal a severed link and run [`NodeBehavior::on_link_up`] on both
+    /// live endpoints with a live [`Ctx`]: the reconciliation traffic they
+    /// emit (advertisement re-offers, generation repairs, operator
+    /// re-splits) is charged and scheduled on the virtual clock. Healing a
+    /// healthy link is a validated no-op.
+    pub fn heal_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        let was_severed = self.topology.is_severed(a, b);
+        self.topology.heal_link(a, b)?;
+        if !was_severed {
+            return Ok(());
+        }
+        if S::ENABLED {
+            self.sink.record(TelemetryEvent::LinkHealed {
+                at: self.now,
+                a: a.0,
+                b: b.0,
+            });
+        }
+        let mut outbox: Vec<(NodeId, B::Msg, ChargeKind, u64)> = Vec::new();
+        for (node, peer) in [(a, b), (b, a)] {
+            if self.down.contains_key(&node) {
+                continue;
+            }
+            {
+                let mut ctx = Ctx {
+                    node,
+                    neighbors: self.topology.neighbors(node),
+                    now: self.now,
+                    outbox: &mut outbox,
+                    deliveries: &mut self.deliveries,
+                };
+                self.nodes[node.0 as usize].on_link_up(peer, &mut ctx);
+            }
+            for (to, msg, kind, units) in outbox.drain(..) {
+                self.stats.charge(kind, node, to, units);
+                let deliver_at = self.now + self.latency.delay(node, to);
+                // reconciliation sends start fresh causal floods
+                let flood = flood_id(0, self.next_seq);
+                self.schedule(
+                    node,
+                    to,
+                    Payload::App(msg),
+                    deliver_at,
+                    flood,
+                    kind.traffic_class(),
+                    units,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Enable the heartbeat failure detector: every `period` virtual ticks
+    /// each live node pings every neighbor; a neighbor whose pong has not
+    /// been heard for more than `timeout` ticks is suspected. A node all
+    /// of whose live neighbors suspect it is reported through
+    /// [`Self::take_confirmed_dead`]. Suspicion never mutates node state —
+    /// false suspicions (live nodes behind a severed link) clear themselves
+    /// when a pong next gets through.
+    ///
+    /// Pick `timeout ≥ period + 2 × max link delay` to avoid false
+    /// suspicion on healthy links.
+    pub fn set_liveness(&mut self, period: u64, timeout: u64) {
+        assert!(period > 0, "heartbeat period must be positive");
+        assert!(timeout > 0, "suspicion timeout must be positive");
+        self.liveness = Some(Liveness {
+            period,
+            timeout,
+            enabled_at: self.now,
+            next_beat: self.now + period,
+            last_seen: BTreeMap::new(),
+            suspected: BTreeSet::new(),
+            confirmed: Vec::new(),
+            confirmed_ever: BTreeSet::new(),
+        });
+    }
+
+    /// Currently active directed suspicions, `(observer, suspect)` sorted.
+    #[must_use]
+    pub fn suspicions(&self) -> Vec<(NodeId, NodeId)> {
+        self.liveness
+            .as_ref()
+            .map(|lv| lv.suspected.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Drain the nodes newly confirmed dead by the failure detector (every
+    /// live neighbor suspects them). The engine layer intersects these
+    /// with its crash records before triggering recovery, so a falsely
+    /// confirmed-but-alive node (a partitioned leaf) costs nothing.
+    pub fn take_confirmed_dead(&mut self) -> Vec<NodeId> {
+        self.liveness
+            .as_mut()
+            .map(|lv| std::mem::take(&mut lv.confirmed))
+            .unwrap_or_default()
     }
 
     /// The virtual clock: the latest delivery tick processed (or horizon
@@ -646,7 +830,7 @@ impl<B: NodeBehavior, S: TelemetrySink> Simulator<B, S> {
                 self.schedule(
                     node,
                     to,
-                    msg,
+                    Payload::App(msg),
                     deliver_at,
                     flood,
                     kind.traffic_class(),
@@ -716,7 +900,7 @@ impl<B: NodeBehavior, S: TelemetrySink> Simulator<B, S> {
         &mut self,
         from: NodeId,
         to: NodeId,
-        msg: B::Msg,
+        msg: Payload<B::Msg>,
         deliver_at: u64,
         flood: u64,
         class: TrafficClass,
@@ -725,7 +909,6 @@ impl<B: NodeBehavior, S: TelemetrySink> Simulator<B, S> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.queued_to[to.0 as usize] += 1;
         if S::ENABLED {
             self.sink.record(TelemetryEvent::Scheduled {
                 at: self.now,
@@ -738,6 +921,24 @@ impl<B: NodeBehavior, S: TelemetrySink> Simulator<B, S> {
                 units,
             });
         }
+        // A send across a severed link dies at the radio: charged by the
+        // caller (it left the sender), accounted as a queue drop so the
+        // conservation invariant stays exact, never enqueued.
+        if from != to && self.topology.is_severed(from, to) {
+            self.queue_drops += 1;
+            self.dropped_severed += 1;
+            if S::ENABLED {
+                self.sink.record(TelemetryEvent::DroppedSevered {
+                    at: self.now,
+                    from: from.0,
+                    to: to.0,
+                    shard: 0,
+                    flood,
+                });
+            }
+            return;
+        }
+        self.queued_to[to.0 as usize] += 1;
         self.queue.push(Scheduled {
             deliver_at,
             seq,
@@ -770,7 +971,7 @@ impl<B: NodeBehavior, S: TelemetrySink> Simulator<B, S> {
         self.schedule(
             node,
             node,
-            msg,
+            Payload::App(msg),
             at.max(self.now),
             flood,
             TrafficClass::Inject,
@@ -779,13 +980,31 @@ impl<B: NodeBehavior, S: TelemetrySink> Simulator<B, S> {
     }
 
     /// Process messages in `(deliver_at, seq)` order until `horizon` (if
-    /// any) or quiescence. Returns the number of messages handled.
+    /// any) or quiescence, interleaving heartbeat beats (when liveness is
+    /// enabled) at their scheduled ticks. Returns the number of messages
+    /// handled. Beats fire whenever the clock would cross their tick —
+    /// either because a queued message is due at or after it, or because an
+    /// explicit horizon covers it; with an empty queue and no horizon the
+    /// pump is quiescent and beats wait for time to be driven forward
+    /// (`run_until`), so quiescence stays reachable.
     fn pump(&mut self, horizon: Option<u64>) -> u64 {
         let mut handled = 0u64;
         let mut popped = 0u64;
         let mut outbox: Vec<(NodeId, B::Msg, ChargeKind, u64)> = Vec::new();
-        while let Some(head) = self.queue.peek() {
-            if horizon.is_some_and(|t| head.deliver_at > t) {
+        loop {
+            let head_at = self.queue.peek().map(|s| s.deliver_at);
+            if let Some(beat_at) = self.liveness.as_ref().map(|lv| lv.next_beat) {
+                let beat_due = match head_at {
+                    Some(h) => beat_at <= h,
+                    None => horizon.is_some_and(|t| beat_at <= t),
+                } && horizon.is_none_or(|t| beat_at <= t);
+                if beat_due {
+                    self.emit_beat(beat_at);
+                    continue;
+                }
+            }
+            let Some(h) = head_at else { break };
+            if horizon.is_some_and(|t| h > t) {
                 break;
             }
             let sch = self.queue.pop().expect("peeked");
@@ -820,6 +1039,64 @@ impl<B: NodeBehavior, S: TelemetrySink> Simulator<B, S> {
             let env = sch.env;
             handled += 1;
             let node_idx = env.to.0 as usize;
+            let msg = match env.msg {
+                Payload::App(msg) => msg,
+                Payload::Ping => {
+                    // answered below the app layer: the node is alive, so
+                    // a pong heads back (dying at the radio if the link
+                    // was severed since the ping crossed)
+                    self.stats.charge(ChargeKind::Liveness, env.to, env.from, 1);
+                    let deliver_at = self.now + self.latency.delay(env.to, env.from);
+                    if S::ENABLED {
+                        self.sink.record(TelemetryEvent::Handled {
+                            at: self.now,
+                            from: env.from.0,
+                            to: env.to.0,
+                            shard: 0,
+                            flood: env.flood,
+                            deliveries: 0,
+                        });
+                    }
+                    self.schedule(
+                        env.to,
+                        env.from,
+                        Payload::Pong,
+                        deliver_at,
+                        env.flood,
+                        TrafficClass::Liveness,
+                        1,
+                    );
+                    continue;
+                }
+                Payload::Pong => {
+                    if let Some(lv) = &mut self.liveness {
+                        lv.last_seen.insert((env.to, env.from), sch.deliver_at);
+                        if lv.suspected.remove(&(env.to, env.from)) && S::ENABLED {
+                            self.sink.record(TelemetryEvent::SuspicionCleared {
+                                at: self.now,
+                                by: env.to.0,
+                                node: env.from.0,
+                            });
+                        }
+                        if !self.down.contains_key(&env.from) {
+                            // a late answer re-admits a falsely confirmed
+                            // node — no route was lost, nothing to repair
+                            lv.confirmed_ever.remove(&env.from);
+                        }
+                    }
+                    if S::ENABLED {
+                        self.sink.record(TelemetryEvent::Handled {
+                            at: self.now,
+                            from: env.from.0,
+                            to: env.to.0,
+                            shard: 0,
+                            flood: env.flood,
+                            deliveries: 0,
+                        });
+                    }
+                    continue;
+                }
+            };
             let deliveries_before = self.deliveries.complex_deliveries();
             {
                 let mut ctx = Ctx {
@@ -829,7 +1106,7 @@ impl<B: NodeBehavior, S: TelemetrySink> Simulator<B, S> {
                     outbox: &mut outbox,
                     deliveries: &mut self.deliveries,
                 };
-                self.nodes[node_idx].on_message(env.from, env.msg, &mut ctx);
+                self.nodes[node_idx].on_message(env.from, msg, &mut ctx);
             }
             if S::ENABLED {
                 self.sink.record(TelemetryEvent::Handled {
@@ -848,7 +1125,7 @@ impl<B: NodeBehavior, S: TelemetrySink> Simulator<B, S> {
                 self.schedule(
                     env.to,
                     to,
-                    msg,
+                    Payload::App(msg),
                     deliver_at,
                     env.flood,
                     kind.traffic_class(),
@@ -861,6 +1138,74 @@ impl<B: NodeBehavior, S: TelemetrySink> Simulator<B, S> {
         }
         self.steps += handled;
         handled
+    }
+
+    /// Fire one heartbeat beat at tick `t`: every live node pings every
+    /// neighbor (severed links eat the ping at the radio — that absence is
+    /// the partition signal), then the suspicion sweep marks every
+    /// `(observer, peer)` pair whose last pong is older than the timeout
+    /// and confirms nodes all of whose live neighbors suspect them.
+    fn emit_beat(&mut self, t: u64) {
+        self.now = self.now.max(t);
+        let n = self.topology.len() as u32;
+        for a in (0..n).map(NodeId) {
+            if self.down.contains_key(&a) {
+                continue;
+            }
+            let neighbors: Vec<NodeId> = self.topology.neighbors(a).to_vec();
+            for b in neighbors {
+                self.stats.charge(ChargeKind::Liveness, a, b, 1);
+                let deliver_at = self.now + self.latency.delay(a, b);
+                let flood = flood_id(0, self.next_seq);
+                self.schedule(
+                    a,
+                    b,
+                    Payload::Ping,
+                    deliver_at,
+                    flood,
+                    TrafficClass::Liveness,
+                    1,
+                );
+            }
+        }
+        let lv = self
+            .liveness
+            .as_mut()
+            .expect("beats only fire with liveness on");
+        for a in (0..n).map(NodeId) {
+            if self.down.contains_key(&a) {
+                continue;
+            }
+            for &b in self.topology.neighbors(a) {
+                let seen = lv.last_seen.get(&(a, b)).copied().unwrap_or(lv.enabled_at);
+                if t.saturating_sub(seen) > lv.timeout && lv.suspected.insert((a, b)) && S::ENABLED
+                {
+                    self.sink.record(TelemetryEvent::Suspected {
+                        at: t,
+                        by: a.0,
+                        node: b.0,
+                    });
+                }
+            }
+        }
+        for x in (0..n).map(NodeId) {
+            if lv.confirmed_ever.contains(&x) {
+                continue;
+            }
+            let mut live_neighbors = 0usize;
+            let all_suspect = self.topology.neighbors(x).iter().all(|&nb| {
+                if self.down.contains_key(&nb) {
+                    return true; // corpses cast no vote
+                }
+                live_neighbors += 1;
+                lv.suspected.contains(&(nb, x))
+            });
+            if live_neighbors > 0 && all_suspect {
+                lv.confirmed_ever.insert(x);
+                lv.confirmed.push(x);
+            }
+        }
+        lv.next_beat = t + lv.period;
     }
 
     /// Process queued messages until the network is quiescent, advancing
@@ -1317,14 +1662,182 @@ mod tests {
         let mut local = DeliveryLog::new();
         local.record_at(SubId(1), &ComplexEvent::new(vec![ev(1), ev(2)]), 142);
         assert!(local.latency_samples().is_empty(), "no local registry yet");
-        shared.merge(&local);
+        shared.merge(&mut local);
         assert_eq!(shared.latency_samples(), &[12]);
         // a delivery whose constituents were never registered stays
         // sample-less even after the merge
         let mut stray = DeliveryLog::new();
         stray.record_at(SubId(1), &ComplexEvent::new(vec![ev(9)]), 500);
-        shared.merge(&stray);
+        shared.merge(&mut stray);
         assert_eq!(shared.latency_samples(), &[12]);
         assert_eq!(shared.complex_deliveries(), 2);
+    }
+
+    #[test]
+    fn merging_the_same_host_log_twice_is_idempotent() {
+        use fsf_model::{AttrId, Event, Point, SensorId, Timestamp};
+        let ev = |id: u64| Event {
+            id: EventId(id),
+            sensor: SensorId(1),
+            attr: AttrId(0),
+            location: Point::new(0.0, 0.0),
+            value: 0.0,
+            timestamp: Timestamp(id),
+        };
+        // regression: the copying merge double-counted latency samples and
+        // deliveries when a host log was merged twice (its pending entries
+        // overlapped with the already-resolved set)
+        let mut shared = DeliveryLog::new();
+        shared.note_injection(EventId(1), 100);
+        let mut local = DeliveryLog::new();
+        local.record_at(SubId(1), &ComplexEvent::new(vec![ev(1)]), 110);
+        local.record_at(SubId(1), &ComplexEvent::new(vec![ev(7)]), 120); // stays pending
+        shared.merge(&mut local);
+        assert_eq!(shared.complex_deliveries(), 2);
+        assert_eq!(shared.latency_samples(), &[10]);
+        // the merge drained the local results…
+        assert_eq!(local.complex_deliveries(), 0);
+        // …so a second merge of the same log changes nothing
+        shared.merge(&mut local);
+        assert_eq!(shared.complex_deliveries(), 2);
+        assert_eq!(shared.latency_samples(), &[10]);
+        assert_eq!(shared.delivered(SubId(1)).len(), 2);
+        // the straggler resolves exactly once when its injection registers
+        shared.note_injection(EventId(7), 115);
+        shared.resolve_pending();
+        assert_eq!(shared.latency_samples(), &[10, 5]);
+        shared.resolve_pending();
+        assert_eq!(shared.latency_samples(), &[10, 5], "resolution idempotent");
+    }
+
+    #[test]
+    fn severed_link_drops_are_conserved_and_heal_restores_delivery() {
+        let topo = builders::line(4);
+        let mut sim = Simulator::new(topo, |_, _| Flood::default());
+        sim.sever_link(NodeId(1), NodeId(2)).unwrap();
+        sim.inject_and_run(NodeId(0), 1);
+        // the flood serves its own side and dies at the cut
+        assert_eq!(sim.node(NodeId(1)).seen, vec![1]);
+        assert!(sim.node(NodeId(2)).seen.is_empty());
+        assert_eq!(sim.dropped_severed(), 1);
+        assert_eq!(sim.dropped_from_queue(), 1);
+        assert_eq!(
+            sim.scheduled_total(),
+            sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64
+        );
+        // the far side keeps serving reachable traffic
+        sim.inject_and_run(NodeId(3), 2);
+        assert_eq!(sim.node(NodeId(2)).seen, vec![2]);
+        assert_eq!(sim.node(NodeId(0)).seen, vec![1]);
+        // heal: new traffic crosses again (the dropped floods stay dropped —
+        // re-offering state is the on_link_up protocol, not the carrier's job)
+        sim.heal_link(NodeId(1), NodeId(2)).unwrap();
+        sim.inject_and_run(NodeId(0), 3);
+        assert_eq!(sim.node(NodeId(3)).seen, vec![2, 3]);
+        assert_eq!(
+            sim.scheduled_total(),
+            sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64
+        );
+    }
+
+    #[test]
+    fn in_flight_messages_at_sever_time_still_arrive() {
+        // queued-or-dropped semantics: a message on the wire when the link
+        // is cut was already transmitted and arrives; sends after the cut die
+        let topo = builders::line(3);
+        let mut sim = Simulator::with_latency(topo, LatencyModel::Uniform { hop: 4 }, |_, _| {
+            Flood::default()
+        });
+        sim.inject(NodeId(0), 1);
+        sim.run_until(5); // the 1→2 copy is in flight, due at t=8
+        sim.sever_link(NodeId(1), NodeId(2)).unwrap();
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(NodeId(2)).seen, vec![1], "pre-cut copy arrives");
+        assert_eq!(sim.dropped_severed(), 0);
+    }
+
+    /// Behaviour that records link-up reconciliation calls.
+    #[derive(Debug, Default)]
+    struct LinkUp {
+        ups: Vec<NodeId>,
+    }
+    impl NodeBehavior for LinkUp {
+        type Msg = u64;
+        fn on_message(&mut self, _: NodeId, _: u64, _: &mut Ctx<'_, u64>) {}
+        fn on_link_up(&mut self, peer: NodeId, ctx: &mut Ctx<'_, u64>) {
+            self.ups.push(peer);
+            ctx.send(peer, 99, ChargeKind::Recovery, 1);
+        }
+    }
+
+    #[test]
+    fn heal_runs_on_link_up_on_both_endpoints() {
+        let topo = builders::line(3);
+        let mut sim = Simulator::new(topo, |_, _| LinkUp::default());
+        sim.sever_link(NodeId(0), NodeId(1)).unwrap();
+        sim.heal_link(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(sim.node(NodeId(0)).ups, vec![NodeId(1)]);
+        assert_eq!(sim.node(NodeId(1)).ups, vec![NodeId(0)]);
+        assert!(sim.node(NodeId(2)).ups.is_empty());
+        assert!(sim.stats.recovery_msgs() >= 2, "reconciliation is charged");
+        // healing a healthy link does not re-run reconciliation
+        sim.heal_link(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(sim.node(NodeId(0)).ups.len(), 1);
+        sim.run_to_quiescence();
+        assert_eq!(
+            sim.scheduled_total(),
+            sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64
+        );
+    }
+
+    #[test]
+    fn heartbeats_confirm_a_crashed_node_and_clear_false_suspicion() {
+        // line 0-1-2: enable liveness, crash n2, drive time past the
+        // timeout — n1 (its only live neighbor) must confirm it dead
+        let topo = builders::line(3);
+        let mut sim = Simulator::new(topo, |_, _| Flood::default());
+        sim.set_liveness(10, 25);
+        sim.crash_and_regraft(NodeId(2), NodeId(1)).unwrap();
+        sim.run_until(100);
+        assert!(sim.suspicions().contains(&(NodeId(1), NodeId(2))));
+        assert_eq!(sim.take_confirmed_dead(), vec![NodeId(2)]);
+        assert!(sim.take_confirmed_dead().is_empty(), "drained once");
+        // healthy pairs never suspected each other
+        assert!(!sim.suspicions().contains(&(NodeId(0), NodeId(1))));
+        // conservation holds with heartbeat traffic in the ledger
+        assert_eq!(
+            sim.scheduled_total(),
+            sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64
+        );
+        assert!(sim.stats.liveness_msgs() > 0, "heartbeats are charged");
+    }
+
+    #[test]
+    fn false_suspicion_across_a_severed_link_clears_after_heal() {
+        // partition a live leaf: its neighbor falsely confirms it dead;
+        // after heal the next pong re-admits it with no state change
+        let topo = builders::line(3);
+        let mut sim = Simulator::new(topo, |_, _| Flood::default());
+        sim.set_liveness(10, 25);
+        sim.sever_link(NodeId(1), NodeId(2)).unwrap();
+        sim.run_until(100);
+        assert!(sim.suspicions().contains(&(NodeId(1), NodeId(2))));
+        assert!(sim.suspicions().contains(&(NodeId(2), NodeId(1))));
+        assert_eq!(
+            sim.take_confirmed_dead(),
+            vec![NodeId(2)],
+            "a severed leaf is indistinguishable from a corpse — the engine \
+             layer must intersect with real crash records"
+        );
+        sim.heal_link(NodeId(1), NodeId(2)).unwrap();
+        sim.run_until(200);
+        assert!(sim.suspicions().is_empty(), "pongs cleared both directions");
+        assert!(sim.take_confirmed_dead().is_empty());
+        // node state never changed: suspicion is observation, not mutation
+        assert!(sim.node(NodeId(2)).seen.is_empty());
+        assert_eq!(
+            sim.scheduled_total(),
+            sim.steps() + sim.dropped_from_queue() + sim.queue_depth() as u64
+        );
     }
 }

@@ -5,7 +5,7 @@
 //! what makes reverse-advertisement-path routing of subscriptions and
 //! reverse-subscription-path routing of events well-defined.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Identifier of a processing node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -67,9 +67,20 @@ impl RegraftDelta {
 }
 
 /// A validated tree over nodes `0..n`.
+///
+/// Links can be *severed* (partition) and later *healed*: the edge stays in
+/// the adjacency lists — routing state on both sides keeps pointing across
+/// the cut — but carriers consult [`Topology::is_severed`] and drop traffic
+/// on the floor (with conservation accounting) while the link is down.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     adj: Vec<Vec<NodeId>>,
+    /// Severed edges, normalized `(min, max)`.
+    severed: BTreeSet<(u32, u32)>,
+}
+
+fn norm_edge(a: NodeId, b: NodeId) -> (u32, u32) {
+    (a.0.min(b.0), a.0.max(b.0))
 }
 
 impl Topology {
@@ -115,12 +126,90 @@ impl Topology {
         for l in &mut adj {
             l.sort_unstable();
         }
-        let topo = Topology { adj };
+        let topo = Topology {
+            adj,
+            severed: BTreeSet::new(),
+        };
         // n-1 distinct edges + connected ⇒ tree
         if n > 0 && topo.bfs_order(NodeId(0)).len() != n {
             return Err(TopologyError::NotATree);
         }
         Ok(topo)
+    }
+
+    /// Sever the link between two adjacent nodes: the edge stays in the
+    /// adjacency lists (routes on both sides keep pointing across it) but
+    /// traffic over it is dropped by the carriers until [`Self::heal_link`].
+    /// Idempotent; rejects non-edges.
+    pub fn sever_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        if a == b || a.0 as usize >= self.len() || !self.neighbors(a).contains(&b) {
+            return Err(TopologyError::BadEdge(a.0, b.0));
+        }
+        self.severed.insert(norm_edge(a, b));
+        Ok(())
+    }
+
+    /// Re-enable a severed link. Idempotent; rejects non-edges.
+    pub fn heal_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        if a == b || a.0 as usize >= self.len() || !self.neighbors(a).contains(&b) {
+            return Err(TopologyError::BadEdge(a.0, b.0));
+        }
+        self.severed.remove(&norm_edge(a, b));
+        Ok(())
+    }
+
+    /// Is the link between `a` and `b` currently severed?
+    #[must_use]
+    pub fn is_severed(&self, a: NodeId, b: NodeId) -> bool {
+        self.severed.contains(&norm_edge(a, b))
+    }
+
+    /// Currently severed links, normalized `(min, max)` and sorted.
+    pub fn severed_links(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.severed.iter().map(|&(a, b)| (NodeId(a), NodeId(b)))
+    }
+
+    /// Any severed links at all?
+    #[must_use]
+    pub fn has_severed_links(&self) -> bool {
+        !self.severed.is_empty()
+    }
+
+    /// Component label per node of the graph with severed edges removed:
+    /// `labels[v]` is the smallest node id reachable from `v` without
+    /// crossing a severed link. With no severed links every label is 0.
+    /// This is the reachability oracle partition tests compare against.
+    #[must_use]
+    pub fn components(&self) -> Vec<u32> {
+        let n = self.len();
+        let mut labels = vec![u32::MAX; n];
+        for root in 0..n as u32 {
+            if labels[root as usize] != u32::MAX {
+                continue;
+            }
+            let mut q = VecDeque::new();
+            labels[root as usize] = root;
+            q.push_back(NodeId(root));
+            while let Some(u) = q.pop_front() {
+                for &v in self.neighbors(u) {
+                    if labels[v.0 as usize] == u32::MAX && !self.is_severed(u, v) {
+                        labels[v.0 as usize] = root;
+                        q.push_back(v);
+                    }
+                }
+            }
+        }
+        labels
+    }
+
+    /// Are `a` and `b` connected without crossing a severed link?
+    #[must_use]
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        if self.severed.is_empty() {
+            return true;
+        }
+        let labels = self.components();
+        labels[a.0 as usize] == labels[b.0 as usize]
     }
 
     /// Number of nodes.
@@ -314,7 +403,16 @@ impl Topology {
             adj[anchor.0 as usize].push(o);
         }
         adj[anchor.0 as usize].sort_unstable();
-        let topo = Topology { adj };
+        // Severed state survives a regraft for edges that still exist; cuts
+        // on edges the regraft rewired (those incident to the corpse) are
+        // dropped — the replacement edges to the anchor start healthy.
+        let severed: BTreeSet<(u32, u32)> = self
+            .severed
+            .iter()
+            .copied()
+            .filter(|&(a, b)| adj[a as usize].contains(&NodeId(b)))
+            .collect();
+        let topo = Topology { adj, severed };
         debug_assert_eq!(
             topo.bfs_order(anchor).len(),
             topo.len(),
@@ -529,6 +627,54 @@ mod tests {
         assert!(t.regraft(NodeId(1), NodeId(3)).is_err(), "not a neighbor");
         assert!(t.regraft(NodeId(1), NodeId(1)).is_err(), "self anchor");
         assert!(t.regraft(NodeId(9), NodeId(0)).is_err(), "out of range");
+    }
+
+    #[test]
+    fn sever_and_heal_track_components() {
+        let mut t = line(5);
+        assert!(t.reachable(NodeId(0), NodeId(4)));
+        assert!(!t.has_severed_links());
+        t.sever_link(NodeId(2), NodeId(1)).unwrap();
+        assert!(t.is_severed(NodeId(1), NodeId(2)), "normalized lookup");
+        assert!(t.has_severed_links());
+        assert_eq!(
+            t.severed_links().collect::<Vec<_>>(),
+            vec![(NodeId(1), NodeId(2))]
+        );
+        // adjacency unchanged: routes still point across the cut
+        assert_eq!(t.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        let labels = t.components();
+        assert_eq!(labels, vec![0, 0, 2, 2, 2]);
+        assert!(!t.reachable(NodeId(0), NodeId(3)));
+        assert!(t.reachable(NodeId(2), NodeId(4)));
+        // idempotent sever, then heal restores a single component
+        t.sever_link(NodeId(1), NodeId(2)).unwrap();
+        t.heal_link(NodeId(1), NodeId(2)).unwrap();
+        assert!(!t.is_severed(NodeId(1), NodeId(2)));
+        assert!(t.reachable(NodeId(0), NodeId(4)));
+        // healing a healthy link is a no-op, non-edges are rejected
+        t.heal_link(NodeId(0), NodeId(1)).unwrap();
+        assert!(t.sever_link(NodeId(0), NodeId(4)).is_err());
+        assert!(t.sever_link(NodeId(1), NodeId(1)).is_err());
+        assert!(t.heal_link(NodeId(0), NodeId(4)).is_err());
+    }
+
+    #[test]
+    fn regraft_keeps_surviving_cuts_and_drops_rewired_ones() {
+        // line 0-1-2-3-4: sever (0,1) and (2,3), crash 3 onto 2
+        let mut t = line(5);
+        t.sever_link(NodeId(0), NodeId(1)).unwrap();
+        t.sever_link(NodeId(2), NodeId(3)).unwrap();
+        let (r, _) = t.regraft_with_delta(NodeId(3), NodeId(2)).unwrap();
+        // 4 was orphaned onto 2 — the severed (2,3) edge still exists
+        // (corpse leaf link) so its cut survives; (0,1) is untouched.
+        assert!(r.is_severed(NodeId(0), NodeId(1)));
+        assert!(r.is_severed(NodeId(2), NodeId(3)));
+        assert!(!r.is_severed(NodeId(2), NodeId(4)), "new edge is healthy");
+        // crash 1 onto 2: the (0,1) edge is rewired to (0,2) — cut dropped
+        let (r2, _) = r.regraft_with_delta(NodeId(1), NodeId(2)).unwrap();
+        assert!(!r2.is_severed(NodeId(0), NodeId(2)));
+        assert_eq!(r2.severed_links().count(), 1, "only (2,3) remains");
     }
 
     #[test]

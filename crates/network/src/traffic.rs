@@ -36,11 +36,15 @@ pub enum ChargeKind {
     /// handoff bill is visible (the `ext5` table); the operator re-splits a
     /// move triggers stay in the `Subscription` class, like any forward.
     Handoff,
+    /// Heartbeat failure-detector traffic (ping/pong). Reported separately
+    /// so the liveness layer's standing cost is visible next to the
+    /// paper's load metrics; zero whenever the detector is off.
+    Liveness,
 }
 
 impl ChargeKind {
     /// Number of charge classes (the counter-array width).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     /// Every class, in counter-array order.
     pub const ALL: [ChargeKind; Self::COUNT] = [
@@ -49,6 +53,7 @@ impl ChargeKind {
         ChargeKind::Event,
         ChargeKind::Recovery,
         ChargeKind::Handoff,
+        ChargeKind::Liveness,
     ];
 
     /// This class's slot in a counter array.
@@ -69,6 +74,7 @@ impl ChargeKind {
             ChargeKind::Event => TrafficClass::Event,
             ChargeKind::Recovery => TrafficClass::Recovery,
             ChargeKind::Handoff => TrafficClass::Handoff,
+            ChargeKind::Liveness => TrafficClass::Liveness,
         }
     }
 }
@@ -115,6 +121,12 @@ impl LinkTraffic {
     #[must_use]
     pub fn handoff(&self) -> u64 {
         self.by_kind(ChargeKind::Handoff)
+    }
+
+    /// Heartbeat ping/pong messages over this directed link.
+    #[must_use]
+    pub fn liveness(&self) -> u64 {
+        self.by_kind(ChargeKind::Liveness)
     }
 
     /// Total units over this directed link, all classes together — the
@@ -201,6 +213,13 @@ impl TrafficStats {
         self.by_kind(ChargeKind::Handoff)
     }
 
+    /// Total heartbeat ping/pong messages — the failure detector's standing
+    /// cost (zero with liveness off).
+    #[must_use]
+    pub fn liveness_msgs(&self) -> u64 {
+        self.by_kind(ChargeKind::Liveness)
+    }
+
     /// Per-link counters for a directed link.
     #[must_use]
     pub fn link(&self, from: NodeId, to: NodeId) -> LinkTraffic {
@@ -255,7 +274,7 @@ mod tests {
             assert_eq!(s.by_kind(kind), (i + 1) as u64, "{kind:?}");
             assert_eq!(s.link(NodeId(0), NodeId(1)).by_kind(kind), (i + 1) as u64);
         }
-        assert_eq!(s.link(NodeId(0), NodeId(1)).total(), 1 + 2 + 3 + 4 + 5);
+        assert_eq!(s.link(NodeId(0), NodeId(1)).total(), 1 + 2 + 3 + 4 + 5 + 6);
         assert_eq!(s.link(NodeId(1), NodeId(0)).total(), 0);
     }
 

@@ -32,9 +32,22 @@
 //!   broadcasts [`NodeBehavior::on_topology_change`];
 //!   [`NodeHost::run_recovery`] runs the survivors' recovery protocol.
 //!
+//! * **Partitions.** [`NodeHost::sever_link`] marks a link severed in the
+//!   shared topology snapshot: frames bound across the cut die at the
+//!   sender's radio — charged, counted `dropped_severed`, never delivered.
+//!   [`NodeHost::heal_link`] re-enables the link and runs
+//!   [`NodeBehavior::on_link_up`] on both live endpoints so divergent
+//!   state reconciles in-protocol.
+//! * **Liveness.** The free-running host has no virtual clock to ride, so
+//!   its failure detector probes on management-plane ticks:
+//!   [`NodeHost::liveness_tick`] checks every live node's view of each
+//!   neighbor (down or severed ⇒ miss), with the same
+//!   suspicion/confirmation semantics as the simulator's heartbeats.
+//!
 //! The conservation ledger reconciles at quiescence:
-//! `scheduled == handled + dropped_to_downed` — backpressure parks senders
-//! instead of dropping, and the robustness battery holds the host to it.
+//! `scheduled == handled + dropped_to_downed + dropped_severed` —
+//! backpressure parks senders instead of dropping, and the robustness
+//! battery holds the host to it.
 
 use crate::codec::WireMsg;
 use bytes::Bytes;
@@ -91,9 +104,10 @@ impl Default for HostConfig {
 
 /// The host's conservation ledger, all counters cumulative.
 ///
-/// At quiescence `scheduled == handled + dropped_to_downed`: every frame
-/// accepted by the host is either delivered to a behavior or accounted to
-/// a downed node — backpressure parks senders, it never drops.
+/// At quiescence `scheduled == handled + dropped_to_downed +
+/// dropped_severed`: every frame accepted by the host is either delivered
+/// to a behavior or accounted to a downed node or a severed link —
+/// backpressure parks senders, it never drops silently.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HostLedger {
     /// Frames accepted by the host (injections + link sends).
@@ -103,6 +117,9 @@ pub struct HostLedger {
     /// Frames addressed to a downed node (charged, then dropped at the
     /// wire — the corpse cannot receive).
     pub dropped_to_downed: u64,
+    /// Frames that died at the sender's radio because the link was
+    /// severed (charged, never delivered).
+    pub dropped_severed: u64,
     /// Times a sender parked on a full mailbox (backpressure events).
     pub parks: u64,
     /// Encoded frames that actually crossed a link (after batching).
@@ -135,6 +152,23 @@ enum Packet<B: NodeBehavior> {
     Stop,
 }
 
+/// Probe-based failure-detector state (the host analogue of the
+/// simulator's heartbeat liveness — see [`NodeHost::liveness_tick`]).
+struct HostLiveness {
+    /// Consecutive missed probe rounds before `(observer, peer)` suspicion
+    /// (⌈timeout / period⌉, mirroring the simulator's knobs).
+    threshold: u64,
+    /// Consecutive misses per directed neighbor pair.
+    misses: std::collections::BTreeMap<(NodeId, NodeId), u64>,
+    /// Directed suspicions currently active.
+    suspected: std::collections::BTreeSet<(NodeId, NodeId)>,
+    /// Nodes newly confirmed dead, drained by
+    /// [`NodeHost::take_confirmed_dead`].
+    confirmed: Vec<NodeId>,
+    /// Everything ever confirmed (until a successful probe re-admits it).
+    confirmed_ever: std::collections::BTreeSet<NodeId>,
+}
+
 struct HostShared {
     stats: Mutex<TrafficStats>,
     deliveries: Mutex<DeliveryLog>,
@@ -148,10 +182,12 @@ struct HostShared {
     scheduled: AtomicU64,
     handled: AtomicU64,
     dropped_to_downed: AtomicU64,
+    dropped_severed: AtomicU64,
     parks: AtomicU64,
     wire_frames: AtomicU64,
     wire_bytes: AtomicU64,
     coalesced_frames: AtomicU64,
+    liveness: Mutex<Option<HostLiveness>>,
 }
 
 impl HostShared {
@@ -209,10 +245,12 @@ where
             scheduled: AtomicU64::new(0),
             handled: AtomicU64::new(0),
             dropped_to_downed: AtomicU64::new(0),
+            dropped_severed: AtomicU64::new(0),
             parks: AtomicU64::new(0),
             wire_frames: AtomicU64::new(0),
             wire_bytes: AtomicU64::new(0),
             coalesced_frames: AtomicU64::new(0),
+            liveness: Mutex::new(None),
         });
         let mut txs = Vec::with_capacity(n);
         let mut rxs = Vec::with_capacity(n);
@@ -389,6 +427,144 @@ where
         ack_rx.recv().expect("node task alive for ack");
     }
 
+    /// Sever the link between the adjacent nodes `a` and `b`: frames
+    /// bound across the cut die at the sender's radio from now on —
+    /// charged, counted `dropped_severed`, never delivered. Frames already
+    /// in a mailbox still arrive. Idempotent.
+    ///
+    /// # Errors
+    /// Fails if `(a, b)` is not an edge of the topology.
+    pub fn sever_link(&self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        let mut topo = self.shared.topology.lock();
+        let mut t = (**topo).clone();
+        t.sever_link(a, b)?;
+        *topo = Arc::new(t);
+        Ok(())
+    }
+
+    /// Heal a severed link and run [`NodeBehavior::on_link_up`] on both
+    /// live endpoints (each on its own task, with a live [`Ctx`] — the
+    /// reconciliation sends are charged and delivered like any traffic;
+    /// flush afterwards to drain them). A no-op on a link that was not
+    /// severed.
+    ///
+    /// # Errors
+    /// Fails if `(a, b)` is not an edge of the topology.
+    pub fn heal_link(&self, a: NodeId, b: NodeId, at: u64) -> Result<(), TopologyError> {
+        let was_severed = {
+            let mut topo = self.shared.topology.lock();
+            let was = topo.is_severed(a, b);
+            let mut t = (**topo).clone();
+            t.heal_link(a, b)?;
+            *topo = Arc::new(t);
+            was
+        };
+        if !was_severed {
+            return Ok(());
+        }
+        for (node, peer) in [(a, b), (b, a)] {
+            if self.shared.is_down(node) {
+                continue;
+            }
+            self.with_node(node, at, Box::new(move |n, ctx| n.on_link_up(peer, ctx)));
+        }
+        Ok(())
+    }
+
+    /// Enable the probe-based failure detector. `period`/`timeout` mirror
+    /// the simulator's heartbeat knobs: a neighbor must miss
+    /// `⌈timeout / period⌉` consecutive [`Self::liveness_tick`] rounds
+    /// before suspicion.
+    pub fn set_liveness(&self, period: u64, timeout: u64) {
+        assert!(period > 0, "probe period must be positive");
+        assert!(timeout > 0, "suspicion timeout must be positive");
+        *self.shared.liveness.lock() = Some(HostLiveness {
+            threshold: timeout.div_ceil(period).max(1),
+            misses: std::collections::BTreeMap::new(),
+            suspected: std::collections::BTreeSet::new(),
+            confirmed: Vec::new(),
+            confirmed_ever: std::collections::BTreeSet::new(),
+        });
+    }
+
+    /// One probe round of the host's failure detector (a no-op until
+    /// [`Self::set_liveness`]). The free-running host has no virtual clock
+    /// for heartbeats to ride, so the management loop drives beats
+    /// explicitly: each live node probes each neighbor, and a probe misses
+    /// exactly when the simulator's ping would die at a radio — the peer
+    /// is down or the link is severed. `threshold` consecutive misses ⇒
+    /// suspicion; every live neighbor suspecting ⇒ confirmed dead (read
+    /// with [`Self::take_confirmed_dead`]); a successful probe clears the
+    /// suspicion and re-admits a falsely confirmed peer.
+    pub fn liveness_tick(&self) {
+        let topo = self.shared.topology();
+        let mut guard = self.shared.liveness.lock();
+        let Some(lv) = guard.as_mut() else {
+            return;
+        };
+        for idx in 0..topo.len() {
+            let a = NodeId(idx as u32);
+            if self.shared.is_down(a) {
+                continue;
+            }
+            for &b in topo.neighbors(a) {
+                if !self.shared.is_down(b) && !topo.is_severed(a, b) {
+                    lv.misses.remove(&(a, b));
+                    lv.suspected.remove(&(a, b));
+                    // the probe's "pong": a reachable live peer cannot
+                    // stay confirmed
+                    lv.confirmed_ever.remove(&b);
+                } else {
+                    let m = lv.misses.entry((a, b)).or_insert(0);
+                    *m += 1;
+                    if *m >= lv.threshold {
+                        lv.suspected.insert((a, b));
+                    }
+                }
+            }
+        }
+        let suspects: std::collections::BTreeSet<NodeId> =
+            lv.suspected.iter().map(|&(_, x)| x).collect();
+        for x in suspects {
+            if lv.confirmed_ever.contains(&x) {
+                continue;
+            }
+            // corpses cast no vote: confirmation needs every *live*
+            // neighbor to agree
+            let unanimous = topo
+                .neighbors(x)
+                .iter()
+                .all(|&nb| self.shared.is_down(nb) || lv.suspected.contains(&(nb, x)));
+            if unanimous {
+                lv.confirmed_ever.insert(x);
+                lv.confirmed.push(x);
+            }
+        }
+    }
+
+    /// Active directed `(observer, suspect)` suspicions, sorted.
+    #[must_use]
+    pub fn suspicions(&self) -> Vec<(NodeId, NodeId)> {
+        self.shared
+            .liveness
+            .lock()
+            .as_ref()
+            .map(|lv| lv.suspected.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Drain the nodes newly confirmed dead by the failure detector (each
+    /// node appears once per confirmation; a successful probe re-admits a
+    /// falsely confirmed node so it can be re-confirmed later).
+    pub fn take_confirmed_dead(&self) -> Vec<NodeId> {
+        self.shared
+            .liveness
+            .lock()
+            .as_mut()
+            .map(|lv| std::mem::take(&mut lv.confirmed))
+            .unwrap_or_default()
+    }
+
     /// Is the node marked down?
     #[must_use]
     pub fn is_down(&self, node: NodeId) -> bool {
@@ -420,6 +596,7 @@ where
             scheduled: self.shared.scheduled.load(Ordering::SeqCst),
             handled: self.shared.handled.load(Ordering::SeqCst),
             dropped_to_downed: self.shared.dropped_to_downed.load(Ordering::SeqCst),
+            dropped_severed: self.shared.dropped_severed.load(Ordering::SeqCst),
             parks: self.shared.parks.load(Ordering::SeqCst),
             wire_frames: self.shared.wire_frames.load(Ordering::SeqCst),
             wire_bytes: self.shared.wire_bytes.load(Ordering::SeqCst),
@@ -603,11 +780,17 @@ async fn flush_outbox<B>(
         }
         wire.push((to, msg));
     }
+    let topo = shared.topology();
     for (to, msg) in wire {
         shared.scheduled.fetch_add(1, Ordering::SeqCst);
         if shared.is_down(to) {
             // charged above, dropped at the wire: the corpse cannot receive
             shared.dropped_to_downed.fetch_add(1, Ordering::SeqCst);
+            continue;
+        }
+        if topo.is_severed(id, to) {
+            // charged above, died at the radio: the cut carries nothing
+            shared.dropped_severed.fetch_add(1, Ordering::SeqCst);
             continue;
         }
         let frame = msg.to_frame();
@@ -829,6 +1012,77 @@ mod tests {
         host.wait_quiescent();
         let after = host.ledger();
         assert_eq!(after.dropped_to_downed, ledger.dropped_to_downed + 1);
+    }
+
+    #[test]
+    fn severed_links_drop_at_the_radio_until_healed() {
+        let topo = builders::line(3);
+        let config = HostConfig {
+            mode: HostMode::Executor { workers: 2 },
+            mailbox: 8,
+            latency: LatencyModel::Zero,
+        };
+        let host = NodeHost::spawn(&topo, &config, |_, _| Flood::default());
+        host.sever_link(NodeId(1), NodeId(2)).unwrap();
+        host.inject(NodeId(0), &1, 0);
+        host.wait_quiescent();
+        let ledger = host.ledger();
+        assert_eq!(ledger.dropped_severed, 1, "n1's forward died at the radio");
+        assert_eq!(
+            ledger.scheduled,
+            ledger.handled + ledger.dropped_to_downed + ledger.dropped_severed,
+            "conservation with radio deaths accounted"
+        );
+        host.heal_link(NodeId(1), NodeId(2), 0).unwrap();
+        host.inject(NodeId(0), &2, 0);
+        host.wait_quiescent();
+        let after = host.ledger();
+        assert_eq!(after.dropped_severed, 1, "no new radio deaths after heal");
+        assert_eq!(
+            after.scheduled,
+            after.handled + after.dropped_to_downed + after.dropped_severed
+        );
+        let (stats, _) = host.shutdown();
+        // flood 1: n0→n1 delivered, n1→n2 charged then cut; flood 2: both hops
+        assert_eq!(stats.adv_msgs(), 4);
+    }
+
+    #[test]
+    fn probe_liveness_confirms_only_unanimous_suspicion_and_readmits() {
+        let topo = builders::line(3);
+        let config = HostConfig {
+            mode: HostMode::Executor { workers: 2 },
+            mailbox: 8,
+            latency: LatencyModel::Zero,
+        };
+        let host = NodeHost::spawn(&topo, &config, |_, _| Flood::default());
+        host.set_liveness(10, 25); // threshold: 3 missed rounds
+        host.liveness_tick();
+        assert!(host.suspicions().is_empty(), "healthy links never suspect");
+        // partition n1|n2: both sides suspect across the cut, but only n2
+        // (whose every live neighbor suspects it) is confirmed — n0 still
+        // vouches for n1
+        host.sever_link(NodeId(1), NodeId(2)).unwrap();
+        for _ in 0..3 {
+            host.liveness_tick();
+        }
+        assert_eq!(
+            host.suspicions(),
+            vec![(NodeId(1), NodeId(2)), (NodeId(2), NodeId(1))]
+        );
+        assert_eq!(host.take_confirmed_dead(), vec![NodeId(2)]);
+        // the heal's successful probe clears suspicion and re-admits the
+        // falsely confirmed node
+        host.heal_link(NodeId(1), NodeId(2), 0).unwrap();
+        host.liveness_tick();
+        assert!(host.suspicions().is_empty());
+        assert!(host.take_confirmed_dead().is_empty());
+        // a real crash is re-confirmable after the re-admission
+        host.crash_and_regraft(NodeId(2), NodeId(1), 0).unwrap();
+        for _ in 0..3 {
+            host.liveness_tick();
+        }
+        assert_eq!(host.take_confirmed_dead(), vec![NodeId(2)]);
     }
 
     #[test]

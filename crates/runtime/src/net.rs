@@ -133,7 +133,7 @@ fn node_loop<B: NodeBehavior>(
                     node.on_message(from, msg, &mut ctx);
                 }
                 if local_deliveries.complex_deliveries() > 0 {
-                    shared.deliveries.lock().merge(&local_deliveries);
+                    shared.deliveries.lock().merge(&mut local_deliveries);
                     local_deliveries = DeliveryLog::new();
                 }
                 if !outbox.is_empty() {

@@ -46,6 +46,28 @@ fn event_to_json(e: &TelemetryEvent) -> String {
             "{{\"type\":\"dropped_downed\",\"at\":{at},\"to\":{to},\"shard\":{shard},\
              \"flood\":{flood}}}"
         ),
+        TelemetryEvent::DroppedSevered {
+            at,
+            from,
+            to,
+            shard,
+            flood,
+        } => format!(
+            "{{\"type\":\"dropped_severed\",\"at\":{at},\"from\":{from},\"to\":{to},\
+             \"shard\":{shard},\"flood\":{flood}}}"
+        ),
+        TelemetryEvent::LinkSevered { at, a, b } => {
+            format!("{{\"type\":\"link_severed\",\"at\":{at},\"a\":{a},\"b\":{b}}}")
+        }
+        TelemetryEvent::LinkHealed { at, a, b } => {
+            format!("{{\"type\":\"link_healed\",\"at\":{at},\"a\":{a},\"b\":{b}}}")
+        }
+        TelemetryEvent::Suspected { at, by, node } => {
+            format!("{{\"type\":\"suspected\",\"at\":{at},\"by\":{by},\"node\":{node}}}")
+        }
+        TelemetryEvent::SuspicionCleared { at, by, node } => {
+            format!("{{\"type\":\"suspicion_cleared\",\"at\":{at},\"by\":{by},\"node\":{node}}}")
+        }
         TelemetryEvent::Purged {
             at,
             node,
@@ -144,6 +166,33 @@ fn event_from_json(line: &str) -> Result<TelemetryEvent, String> {
             to: field_u32(&v, "to")?,
             shard: field_u32(&v, "shard")?,
             flood: field_u64(&v, "flood")?,
+        }),
+        "dropped_severed" => Ok(TelemetryEvent::DroppedSevered {
+            at: field_u64(&v, "at")?,
+            from: field_u32(&v, "from")?,
+            to: field_u32(&v, "to")?,
+            shard: field_u32(&v, "shard")?,
+            flood: field_u64(&v, "flood")?,
+        }),
+        "link_severed" => Ok(TelemetryEvent::LinkSevered {
+            at: field_u64(&v, "at")?,
+            a: field_u32(&v, "a")?,
+            b: field_u32(&v, "b")?,
+        }),
+        "link_healed" => Ok(TelemetryEvent::LinkHealed {
+            at: field_u64(&v, "at")?,
+            a: field_u32(&v, "a")?,
+            b: field_u32(&v, "b")?,
+        }),
+        "suspected" => Ok(TelemetryEvent::Suspected {
+            at: field_u64(&v, "at")?,
+            by: field_u32(&v, "by")?,
+            node: field_u32(&v, "node")?,
+        }),
+        "suspicion_cleared" => Ok(TelemetryEvent::SuspicionCleared {
+            at: field_u64(&v, "at")?,
+            by: field_u32(&v, "by")?,
+            node: field_u32(&v, "node")?,
         }),
         "purged" => Ok(TelemetryEvent::Purged {
             at: field_u64(&v, "at")?,
@@ -302,10 +351,15 @@ impl Recorder {
                 TelemetryEvent::Scheduled { shard, .. }
                 | TelemetryEvent::Handled { shard, .. }
                 | TelemetryEvent::DroppedDowned { shard, .. }
+                | TelemetryEvent::DroppedSevered { shard, .. }
                 | TelemetryEvent::Purged { shard, .. }
                 | TelemetryEvent::Recovered { shard, .. }
                 | TelemetryEvent::ShardRound { shard, .. } => note_shard(*shard, &mut shards),
-                TelemetryEvent::EngineOp { .. } => {}
+                TelemetryEvent::EngineOp { .. }
+                | TelemetryEvent::LinkSevered { .. }
+                | TelemetryEvent::LinkHealed { .. }
+                | TelemetryEvent::Suspected { .. }
+                | TelemetryEvent::SuspicionCleared { .. } => {}
             }
         }
         shards.sort_unstable();
@@ -390,6 +444,66 @@ impl Recorder {
                     shard + 1,
                     TID_INSTANTS,
                     &[("flood", flood.to_string()), ("to", to.to_string())],
+                ),
+                TelemetryEvent::DroppedSevered {
+                    at,
+                    from,
+                    to,
+                    shard,
+                    flood,
+                } => chrome_event(
+                    &mut buf,
+                    "dropped (severed)",
+                    "i",
+                    *at,
+                    None,
+                    shard + 1,
+                    TID_INSTANTS,
+                    &[
+                        ("flood", flood.to_string()),
+                        ("from", from.to_string()),
+                        ("to", to.to_string()),
+                    ],
+                ),
+                TelemetryEvent::LinkSevered { at, a, b } => chrome_event(
+                    &mut buf,
+                    "link severed",
+                    "i",
+                    *at,
+                    None,
+                    0,
+                    0,
+                    &[("a", a.to_string()), ("b", b.to_string())],
+                ),
+                TelemetryEvent::LinkHealed { at, a, b } => chrome_event(
+                    &mut buf,
+                    "link healed",
+                    "i",
+                    *at,
+                    None,
+                    0,
+                    0,
+                    &[("a", a.to_string()), ("b", b.to_string())],
+                ),
+                TelemetryEvent::Suspected { at, by, node } => chrome_event(
+                    &mut buf,
+                    "suspected",
+                    "i",
+                    *at,
+                    None,
+                    0,
+                    0,
+                    &[("by", by.to_string()), ("node", node.to_string())],
+                ),
+                TelemetryEvent::SuspicionCleared { at, by, node } => chrome_event(
+                    &mut buf,
+                    "suspicion cleared",
+                    "i",
+                    *at,
+                    None,
+                    0,
+                    0,
+                    &[("by", by.to_string()), ("node", node.to_string())],
                 ),
                 TelemetryEvent::Purged {
                     at,

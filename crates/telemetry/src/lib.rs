@@ -79,17 +79,20 @@ pub enum TrafficClass {
     Recovery,
     /// Sensor-mobility handoff traffic.
     Handoff,
+    /// Heartbeat failure-detector traffic (ping/pong).
+    Liveness,
 }
 
 impl TrafficClass {
     /// All classes, in wire order.
-    pub const ALL: [TrafficClass; 6] = [
+    pub const ALL: [TrafficClass; 7] = [
         TrafficClass::Inject,
         TrafficClass::Advertisement,
         TrafficClass::Subscription,
         TrafficClass::Event,
         TrafficClass::Recovery,
         TrafficClass::Handoff,
+        TrafficClass::Liveness,
     ];
 
     /// Stable lowercase wire name (used by the JSONL exporter).
@@ -102,6 +105,7 @@ impl TrafficClass {
             TrafficClass::Event => "event",
             TrafficClass::Recovery => "recovery",
             TrafficClass::Handoff => "handoff",
+            TrafficClass::Liveness => "liveness",
         }
     }
 
@@ -168,6 +172,58 @@ pub enum TelemetryEvent {
         shard: u32,
         /// Causality id of the dropped message.
         flood: u64,
+    },
+    /// A message died at the sender's radio because its link was severed.
+    DroppedSevered {
+        /// Virtual time of the drop.
+        at: u64,
+        /// Sending node.
+        from: u32,
+        /// Destination across the cut.
+        to: u32,
+        /// Shard that attempted the send.
+        shard: u32,
+        /// Causality id of the dropped message.
+        flood: u64,
+    },
+    /// A link was severed (partition start).
+    LinkSevered {
+        /// Virtual time of the cut.
+        at: u64,
+        /// One endpoint.
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+    },
+    /// A severed link was healed (partition end); `on_link_up`
+    /// reconciliation runs on both endpoints.
+    LinkHealed {
+        /// Virtual time of the heal.
+        at: u64,
+        /// One endpoint.
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+    },
+    /// The failure detector started suspecting a neighbor (no pong inside
+    /// the timeout).
+    Suspected {
+        /// Virtual time of the suspicion sweep.
+        at: u64,
+        /// The observing node.
+        by: u32,
+        /// The suspected neighbor.
+        node: u32,
+    },
+    /// A pong got through and cleared a standing suspicion — either the
+    /// partition healed or a late answer won the race against the timeout.
+    SuspicionCleared {
+        /// Virtual time the pong arrived.
+        at: u64,
+        /// The observing node.
+        by: u32,
+        /// The re-admitted neighbor.
+        node: u32,
     },
     /// A crash purged every queued message addressed to the corpse.
     Purged {
@@ -240,7 +296,12 @@ impl TelemetryEvent {
     pub fn is_lifecycle(&self) -> bool {
         !matches!(
             self,
-            TelemetryEvent::ShardRound { .. } | TelemetryEvent::EngineOp { .. }
+            TelemetryEvent::ShardRound { .. }
+                | TelemetryEvent::EngineOp { .. }
+                | TelemetryEvent::LinkSevered { .. }
+                | TelemetryEvent::LinkHealed { .. }
+                | TelemetryEvent::Suspected { .. }
+                | TelemetryEvent::SuspicionCleared { .. }
         )
     }
 }
@@ -289,6 +350,8 @@ pub struct TelemetryCounts {
     pub handled: u64,
     /// Messages dropped at pop because the destination was down.
     pub dropped_downed: u64,
+    /// Messages dropped at the radio because their link was severed.
+    pub dropped_severed: u64,
     /// Messages purged from queues by crashes (sum of purge counts).
     pub purged: u64,
     /// Complex-event deliveries observed (handler + recovery deliveries).
@@ -379,10 +442,11 @@ impl Recorder {
         if c.handled != steps {
             errs.push(format!("handled: recorded {} != steps {steps}", c.handled));
         }
-        if c.dropped_downed + c.purged != dropped_from_queue {
+        if c.dropped_downed + c.dropped_severed + c.purged != dropped_from_queue {
             errs.push(format!(
-                "drops: recorded {} downed + {} purged != dropped_from_queue {dropped_from_queue}",
-                c.dropped_downed, c.purged
+                "drops: recorded {} downed + {} severed + {} purged != dropped_from_queue \
+                 {dropped_from_queue}",
+                c.dropped_downed, c.dropped_severed, c.purged
             ));
         }
         if c.user_deliveries != complex_deliveries {
@@ -412,6 +476,7 @@ impl TelemetrySink for Recorder {
                 c.user_deliveries += deliveries;
             }
             TelemetryEvent::DroppedDowned { .. } => c.dropped_downed += 1,
+            TelemetryEvent::DroppedSevered { .. } => c.dropped_severed += 1,
             TelemetryEvent::Purged { count, .. } => c.purged += count,
             TelemetryEvent::Recovered { deliveries, .. } => c.user_deliveries += deliveries,
             TelemetryEvent::ShardRound { handoffs, .. } => {
@@ -419,6 +484,10 @@ impl TelemetrySink for Recorder {
                 c.handoffs += handoffs;
             }
             TelemetryEvent::EngineOp { .. } => c.engine_ops += 1,
+            TelemetryEvent::LinkSevered { .. }
+            | TelemetryEvent::LinkHealed { .. }
+            | TelemetryEvent::Suspected { .. }
+            | TelemetryEvent::SuspicionCleared { .. } => {}
         }
         inner.events.push(event);
     }

@@ -42,6 +42,7 @@ pub mod driver;
 pub mod mobility;
 pub mod oracle;
 pub mod pareto;
+pub mod partition;
 pub mod recovery;
 pub mod results;
 pub mod scale;
@@ -53,6 +54,7 @@ pub mod workload;
 pub use churn::{run_churn, ChurnConfig, ChurnRow};
 pub use driver::run_engine;
 pub use mobility::{run_mobility, MobilityConfig, MobilityRow};
+pub use partition::{run_partition, PartitionConfig, PartitionRow};
 pub use recovery::{run_recovery, RecoveryConfig, RecoveryRow};
 pub use results::{BatchPoint, ExperimentResult};
 pub use scale::{run_scale, RelayFlood, ScaleConfig, ScaleRow};

@@ -37,6 +37,8 @@ fn main() {
     let mut recoveries = 0usize;
     let mut moves = 0usize;
     let mut readings = 0usize;
+    let mut severs = 0usize;
+    let mut heals = 0usize;
     for a in &plan.actions {
         match a {
             ChurnAction::SensorUp { .. } => ups += 1,
@@ -47,13 +49,15 @@ fn main() {
             ChurnAction::Recover => recoveries += 1,
             ChurnAction::Move { .. } => moves += 1,
             ChurnAction::Publish { .. } => readings += 1,
+            ChurnAction::Sever { .. } => severs += 1,
+            ChurnAction::Heal { .. } => heals += 1,
         }
     }
     println!("== churn rollout over a {}-node tree ==", topology.len());
     println!(
         "plan: {} sensor-ups, {} sensor-downs, {} subscribes, {} unsubscribes, \
-         {} crashes (+{} recoveries), {} moves, {} readings\n",
-        ups, downs, subs, unsubs, crashes, recoveries, moves, readings
+         {} crashes (+{} recoveries), {} moves, {} severs (+{} heals), {} readings\n",
+        ups, downs, subs, unsubs, crashes, recoveries, moves, severs, heals, readings
     );
 
     println!(

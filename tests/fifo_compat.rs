@@ -98,8 +98,12 @@ fn as_msg(action: &ChurnAction) -> (NodeId, PubSubMsg) {
         ChurnAction::Subscribe { node, sub } => (*node, PubSubMsg::Subscribe(sub.clone())),
         ChurnAction::Unsubscribe { node, sub } => (*node, PubSubMsg::Unsubscribe(*sub)),
         ChurnAction::Publish { node, event } => (*node, PubSubMsg::Publish(*event)),
-        ChurnAction::Crash { .. } | ChurnAction::Recover | ChurnAction::Move { .. } => {
-            unreachable!("compat plans are crash- and move-free")
+        ChurnAction::Crash { .. }
+        | ChurnAction::Recover
+        | ChurnAction::Move { .. }
+        | ChurnAction::Sever { .. }
+        | ChurnAction::Heal { .. } => {
+            unreachable!("compat plans are churn-free beyond pub/sub traffic")
         }
     }
 }

@@ -13,7 +13,8 @@
 //! seed on top of the built-in ones.
 
 use fsf::dynamics::{
-    leaks, run_plan, run_plan_timed, ChurnPlan, ChurnPlanConfig, TimedReplayConfig,
+    leaks, run_plan, run_plan_timed, ChurnPlan, ChurnPlanConfig, PartitionPlanConfig,
+    TimedReplayConfig,
 };
 use fsf::network::{builders, LatencyModel, Topology};
 use fsf::prelude::*;
@@ -272,6 +273,77 @@ fn run_until_boundary_and_conservation_hold_across_shard_counts() {
             e.steps(),
             "{shards} shards: at quiescence with no crashes every scheduled \
              message was delivered"
+        );
+    }
+}
+
+/// The drop side of the ledger, non-vacuously: a crash plan whose purge
+/// demonstrably discards corpse-bound traffic and a partition plan whose
+/// cut demonstrably kills messages at the radio must both reconcile
+/// against the recorded trace — `dropped_downed + dropped_severed +
+/// purged == dropped_from_queue`, term by term, on the single heap and on
+/// every sharded backend. A purge the recorder never saw (or a severed
+/// drop booked as a purge) fails here even though the engine's own
+/// conservation sum still balances.
+#[test]
+fn crash_purges_and_severed_drops_reconcile_on_sharded_backends() {
+    let topology = builders::balanced(63, 2);
+    let latency = LatencyModel::Uniform { hop: 1 };
+    let crash_plan = plan_families(&topology, 0x5AAD_0001)
+        .into_iter()
+        .find(|(family, _)| *family == "crash-recover")
+        .expect("crash family")
+        .1;
+    let partition_plan = ChurnPlan::seeded_partition(
+        &topology,
+        &PartitionPlanConfig {
+            seed: 0x5AAD_0001,
+            ..PartitionPlanConfig::default()
+        },
+    )
+    .with_teardown();
+    for (family, plan, severed) in [
+        ("crash-recover", &crash_plan, false),
+        ("partition", &partition_plan, true),
+    ] {
+        let timed = plan.timed(&TimedReplayConfig::drained(&topology, &latency));
+        let mut family_drops = 0u64;
+        for kind in EngineKind::ALL {
+            for shards in [1usize, 2, 4] {
+                let ctx = format!("{kind}/{family}/{shards} shards");
+                let recorder = fsf::telemetry::Recorder::new();
+                let mut e = kind
+                    .builder(topology.clone())
+                    .validity(VALIDITY)
+                    .seed(42)
+                    .latency(latency.clone())
+                    .shards(shards)
+                    .sink(recorder.clone())
+                    .build();
+                run_plan_timed(e.as_mut(), &timed);
+                if severed {
+                    assert!(
+                        e.dropped_severed() > 0,
+                        "{ctx}: the cut carried traffic anyway"
+                    );
+                } else {
+                    assert_eq!(e.dropped_severed(), 0, "{ctx}: no link was severed");
+                }
+                family_drops += e.dropped_from_queue();
+                assert_conserved(e.as_ref(), &ctx);
+                recorder
+                    .reconcile(
+                        e.scheduled_total(),
+                        e.steps(),
+                        e.dropped_from_queue(),
+                        e.deliveries().complex_deliveries(),
+                    )
+                    .unwrap_or_else(|err| panic!("{ctx}: drop ledger does not reconcile:\n{err}"));
+            }
+        }
+        assert!(
+            family_drops > 0,
+            "{family}: nothing was dropped anywhere — the reconcile is vacuous"
         );
     }
 }
